@@ -1,0 +1,150 @@
+//! Criterion benchmarks mirroring the paper's evaluation: one group per
+//! table/figure, at reduced (`Tiny`) scale so a full `cargo bench` stays
+//! tractable. The `figures` binary regenerates the full-scale numbers; see
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gps_bench::figures;
+use gps_bench::runner::{baseline, measure, RunSpec};
+use gps_core::GpsConfig;
+use gps_interconnect::LinkGen;
+use gps_paradigms::{GpsPolicy, Paradigm};
+use gps_sim::{Engine, SimConfig};
+use gps_workloads::{suite, ScaleProfile};
+
+fn spec(paradigm: Paradigm, gpus: usize, link: LinkGen) -> RunSpec {
+    RunSpec {
+        paradigm,
+        gpus,
+        link,
+        scale: ScaleProfile::Tiny,
+    }
+}
+
+/// Figure 1 / Figure 13 kernel: the memcpy paradigm across interconnects.
+fn bench_fig1_interconnects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_memcpy_by_link");
+    group.sample_size(10);
+    let app = suite::by_name("jacobi").unwrap();
+    for link in [LinkGen::Pcie3, LinkGen::Pcie6, LinkGen::Infinite] {
+        group.bench_with_input(BenchmarkId::from_parameter(link.label()), &link, |b, &l| {
+            b.iter(|| black_box(measure(&app, spec(Paradigm::Memcpy, 4, l)).steady_cycles));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8 kernel: every paradigm on one representative app per
+/// communication pattern.
+fn bench_fig8_paradigms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_paradigms");
+    group.sample_size(10);
+    for app_name in ["jacobi", "sssp", "ct"] {
+        let app = suite::by_name(app_name).unwrap();
+        for paradigm in Paradigm::FIGURE8 {
+            group.bench_with_input(
+                BenchmarkId::new(app_name, paradigm.label()),
+                &paradigm,
+                |b, &p| {
+                    b.iter(|| black_box(measure(&app, spec(p, 4, LinkGen::Pcie3)).steady_cycles));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 9/11 kernel: GPS with and without subscription tracking.
+fn bench_fig11_subscription(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_subscription");
+    group.sample_size(10);
+    let app = suite::by_name("diffusion").unwrap();
+    for paradigm in [Paradigm::Gps, Paradigm::GpsNoSubscription] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(paradigm.label()),
+            &paradigm,
+            |b, &p| {
+                b.iter(|| black_box(measure(&app, spec(p, 4, LinkGen::Pcie3)).steady_cycles));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 12 kernel: 16-GPU strong scaling.
+fn bench_fig12_16gpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_16gpu");
+    group.sample_size(10);
+    let app = suite::by_name("pagerank").unwrap();
+    for paradigm in [Paradigm::Gps, Paradigm::Memcpy] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(paradigm.label()),
+            &paradigm,
+            |b, &p| {
+                b.iter(|| black_box(measure(&app, spec(p, 16, LinkGen::Pcie6)).steady_cycles));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 14 kernel: the GPS write-queue size sweep on CT.
+fn bench_fig14_write_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_write_queue");
+    group.sample_size(10);
+    let app = suite::by_name("ct").unwrap();
+    let wl = (app.build)(4, ScaleProfile::Tiny);
+    for entries in [64usize, 512, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut policy =
+                        GpsPolicy::with_config(GpsConfig::paper().with_rwq_entries(entries));
+                    let mut config = SimConfig::gv100_system(4);
+                    config.page_size = wl.page_size;
+                    let report = Engine::new(config, LinkGen::Pcie3, &wl, &mut policy)
+                        .unwrap()
+                        .run();
+                    black_box(report.metric("rwq_hit_rate"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Baseline kernel: single-GPU runs (the denominator of every figure).
+fn bench_single_gpu_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_gpu_baseline");
+    group.sample_size(10);
+    for app_name in ["jacobi", "als"] {
+        let app = suite::by_name(app_name).unwrap();
+        group.bench_function(app_name, |b| {
+            b.iter(|| black_box(baseline(&app, ScaleProfile::Tiny).steady_cycles));
+        });
+    }
+    group.finish();
+}
+
+/// Table 1/2 rendering (cheap; keeps the text outputs exercised).
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| b.iter(|| black_box(figures::table1())));
+    c.bench_function("fig3_render", |b| {
+        b.iter(|| black_box(figures::fig3().render()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_interconnects,
+    bench_fig8_paradigms,
+    bench_fig11_subscription,
+    bench_fig12_16gpu,
+    bench_fig14_write_queue,
+    bench_single_gpu_baselines,
+    bench_tables
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the simulation substrate itself: fabric
+//! booking, DRAM/cache models and end-to-end engine throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gps_interconnect::{Fabric, FabricConfig, LinkGen};
+use gps_paradigms::{make_policy, Paradigm};
+use gps_sim::{Cache, CacheConfig, DramModel, Engine, SimConfig};
+use gps_types::{Bandwidth, Cycle, GpuId, Latency, LineAddr};
+use gps_workloads::{jacobi, ScaleProfile};
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    group.bench_function("transfer_line", |b| {
+        let mut fabric = Fabric::new(FabricConfig::new(4, LinkGen::Pcie3));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(
+                fabric
+                    .transfer(GpuId::new(0), GpuId::new(1), 128, Cycle::new(t))
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("broadcast_16gpu", |b| {
+        let mut fabric = Fabric::new(FabricConfig::new(16, LinkGen::Pcie6));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(
+                fabric
+                    .broadcast(GpuId::new(0), GpuId::all(16), 128, Cycle::new(t))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_memory_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_models");
+    group.bench_function("dram_read", |b| {
+        let mut dram = DramModel::new(Bandwidth::gb_per_sec(900.0), Latency::from_nanos(240));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(dram.read(128, Cycle::new(t)))
+        });
+    });
+    group.bench_function("l2_access_streaming", |b| {
+        let mut l2 = Cache::new(CacheConfig::new(6 * 1024 * 1024, 16));
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            black_box(l2.access_read(LineAddr::new(line), GpuId::new(0)))
+        });
+    });
+    group.bench_function("l2_access_resident", |b| {
+        let mut l2 = Cache::new(CacheConfig::new(6 * 1024 * 1024, 16));
+        for line in 0..1024u64 {
+            l2.access_read(LineAddr::new(line), GpuId::new(0));
+        }
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 1024;
+            black_box(l2.access_read(LineAddr::new(line), GpuId::new(0)))
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end engine throughput: warp instructions simulated per second for
+/// a tiny Jacobi under two representative paradigms.
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    for paradigm in [Paradigm::InfiniteBw, Paradigm::Gps] {
+        group.bench_with_input(
+            BenchmarkId::new("jacobi_tiny_2gpu", paradigm.label()),
+            &paradigm,
+            |b, &paradigm| {
+                let wl = jacobi::build(2, ScaleProfile::Tiny);
+                b.iter(|| {
+                    let mut policy = make_policy(paradigm);
+                    let mut config = SimConfig::gv100_system(2);
+                    config.page_size = wl.page_size;
+                    let report = Engine::new(config, LinkGen::Pcie3, &wl, policy.as_mut())
+                        .unwrap()
+                        .run();
+                    black_box(report.total_cycles)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric, bench_memory_models, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Criterion microbenchmarks of the GPS hardware structures (Table 1).
+//!
+//! These quantify the per-operation cost of the structures the paper sizes:
+//! the remote write queue (512 entries, §5.2), the GPS-TLB (32 entries,
+//! §7.4), the wide GPS page table, the access tracking bitmap and the
+//! conventional memory substrate (page table, TLB, frame allocator).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gps_core::{AccessTrackingUnit, GpsTlb, RemoteWriteQueue};
+use gps_mem::{FrameAllocator, GpsPageTable, PageTable, Pte, Tlb, TlbConfig};
+use gps_types::{Cycle, GpuId, Latency, LineAddr, PageSize, Ppn, Scope, Vpn};
+
+fn bench_remote_write_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_write_queue");
+    for &size in &[32usize, 128, 512, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_streaming", size),
+            &size,
+            |b, &size| {
+                let mut q = RemoteWriteQueue::new(size, size - 1);
+                let mut n = 0u64;
+                b.iter(|| {
+                    n += 1;
+                    black_box(q.insert(LineAddr::new(n), Scope::Weak))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("insert_coalescing", size),
+            &size,
+            |b, &size| {
+                let mut q = RemoteWriteQueue::new(size, size - 1);
+                let mut n = 0u64;
+                b.iter(|| {
+                    n += 1;
+                    // 50% rewrites of a recent line.
+                    let line = if n.is_multiple_of(2) { n } else { n - 1 };
+                    black_box(q.insert(LineAddr::new(line), Scope::Weak))
+                });
+            },
+        );
+    }
+    group.bench_function("flush_512", |b| {
+        b.iter_batched(
+            || {
+                let mut q = RemoteWriteQueue::new(512, 511);
+                for i in 0..511u64 {
+                    q.insert(LineAddr::new(i), Scope::Weak);
+                }
+                q
+            },
+            |mut q| black_box(q.flush()),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_gps_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gps_tlb");
+    let mut table = GpsPageTable::new();
+    for v in 0..1024u64 {
+        for g in 0..4u16 {
+            table.subscribe(Vpn::new(v), GpuId::new(g), Ppn::new(v));
+        }
+    }
+    group.bench_function("translate_hit", |b| {
+        let mut tlb = GpsTlb::paper(Latency::from_nanos(400));
+        tlb.translate(Vpn::new(1), &table, Cycle::ZERO);
+        b.iter(|| black_box(tlb.translate(Vpn::new(1), &table, Cycle::ZERO)));
+    });
+    group.bench_function("translate_miss_walk", |b| {
+        let mut tlb = GpsTlb::paper(Latency::from_nanos(400));
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 33) % 1024; // always misses the 32-entry TLB
+            black_box(tlb.translate(Vpn::new(v), &table, Cycle::ZERO))
+        });
+    });
+    group.finish();
+}
+
+fn bench_page_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_tables");
+    group.bench_function("conventional_map_translate", |b| {
+        let mut pt = PageTable::new(GpuId::new(0), PageSize::Standard64K);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            pt.map(Vpn::new(v), Pte::gps(GpuId::new(0), Ppn::new(v)));
+            black_box(pt.translate(Vpn::new(v)))
+        });
+    });
+    group.bench_function("gps_subscribe_unsubscribe", |b| {
+        let mut t = GpsPageTable::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            let vpn = Vpn::new(v);
+            t.subscribe(vpn, GpuId::new(0), Ppn::new(v));
+            t.subscribe(vpn, GpuId::new(1), Ppn::new(v));
+            black_box(t.unsubscribe(vpn, GpuId::new(1)).unwrap());
+        });
+    });
+    group.bench_function("subscriber_histogram_4k_pages", |b| {
+        let mut t = GpsPageTable::new();
+        for v in 0..4096u64 {
+            for g in 0..=(v % 4) as u16 {
+                t.subscribe(Vpn::new(v), GpuId::new(g), Ppn::new(v));
+            }
+        }
+        b.iter(|| black_box(t.subscriber_histogram(4)));
+    });
+    group.finish();
+}
+
+fn bench_conventional_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conventional_tlb");
+    group.bench_function("lookup_hit", |b| {
+        let mut tlb: Tlb<()> = Tlb::new(TlbConfig::conventional_l2_tlb());
+        for v in 0..512u64 {
+            tlb.insert(Vpn::new(v), ());
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 512;
+            black_box(tlb.lookup(Vpn::new(v)).is_some())
+        });
+    });
+    group.bench_function("insert_evict", |b| {
+        let mut tlb: Tlb<()> = Tlb::new(TlbConfig { sets: 4, ways: 8 });
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            black_box(tlb.insert(Vpn::new(v), ()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_tracking_and_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_and_frames");
+    group.bench_function("atu_record", |b| {
+        let mut atu = AccessTrackingUnit::new(4, Vpn::new(0), 1 << 16);
+        atu.set_active(true);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % (1 << 16);
+            atu.record(GpuId::new((v % 4) as u16), Vpn::new(v));
+        });
+    });
+    group.bench_function("frame_alloc_free", |b| {
+        let mut fa = FrameAllocator::new(GpuId::new(0), 1 << 30, PageSize::Standard64K);
+        b.iter(|| {
+            let p = fa.allocate().unwrap();
+            fa.free(black_box(p));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_remote_write_queue,
+    bench_gps_tlb,
+    bench_page_tables,
+    bench_conventional_tlb,
+    bench_tracking_and_frames
+);
+criterion_main!(benches);

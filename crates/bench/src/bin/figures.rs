@@ -1,0 +1,105 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `figures <id> [scale]` where `<id>` is one of `table1`, `table2`,
+//! `fig1`, `fig3`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
+//! `fig14`, `tlb`, `pagesize`, or `all`; extensions/ablations beyond the
+//! paper: `watermark`, `profiling`, `nvlink`, `scaling`, or `extras` for
+//! all four. `[scale]` is `tiny`, `small` or `paper` (default `paper`).
+
+use gps_bench::figures;
+use gps_workloads::ScaleProfile;
+
+const USAGE: &str = "\
+usage: figures <id> [scale] [--csv]
+
+Regenerates the tables and figures of the GPS paper (MICRO 2021).
+
+  <id>     table1 table2 fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+           tlb pagesize all
+           ablations/extensions: watermark profiling nvlink scaling topology extras
+  [scale]  tiny | small | paper (default: paper)
+  --csv    emit CSV instead of an aligned text table (figures only)
+";
+
+fn emit(fig: gps_bench::figures::Figure, csv: bool) {
+    if csv {
+        println!("{}", fig.to_csv());
+    } else {
+        println!("{}", fig.render());
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let id = args.first().map(String::as_str).unwrap_or("all").to_owned();
+    let id = id.as_str();
+    let scale = match args.get(1).map(String::as_str) {
+        Some("tiny") => ScaleProfile::Tiny,
+        Some("small") => ScaleProfile::Small,
+        _ => ScaleProfile::Paper,
+    };
+    match id {
+        "table1" => println!("{}", figures::table1()),
+        "table2" => println!("{}", figures::table2()),
+        "fig1" => emit(figures::fig1(scale), csv),
+        "fig3" => emit(figures::fig3(), csv),
+        "fig8" => emit(figures::fig8(scale), csv),
+        "fig9" => emit(figures::fig9(scale), csv),
+        "fig10" => emit(figures::fig10(scale), csv),
+        "fig11" => emit(figures::fig11(scale), csv),
+        "fig12" => emit(figures::fig12(scale), csv),
+        "fig13" => emit(figures::fig13(scale), csv),
+        "fig14" => emit(figures::fig14(scale), csv),
+        "tlb" => emit(figures::gps_tlb_sensitivity(scale), csv),
+        "pagesize" => emit(figures::page_size_sensitivity(scale), csv),
+        "watermark" => emit(figures::watermark_sensitivity(scale), csv),
+        "profiling" => emit(figures::profiling_mode(scale), csv),
+        "nvlink" => emit(figures::nvlink_sweep(scale), csv),
+        "scaling" => emit(figures::scaling_curve(scale), csv),
+        "topology" => emit(figures::topology_comparison(scale), csv),
+        "extras" => {
+            for f in [
+                figures::watermark_sensitivity(scale),
+                figures::profiling_mode(scale),
+                figures::nvlink_sweep(scale),
+                figures::scaling_curve(scale),
+                figures::topology_comparison(scale),
+            ] {
+                println!("{}", f.render());
+            }
+        }
+        "all" => {
+            println!("{}", figures::table1());
+            println!("{}", figures::table2());
+            println!("{}", figures::fig3().render());
+            for f in [
+                figures::fig1(scale),
+                figures::fig8(scale),
+                figures::fig9(scale),
+                figures::fig10(scale),
+                figures::fig11(scale),
+                figures::fig12(scale),
+                figures::fig13(scale),
+                figures::fig14(scale),
+                figures::gps_tlb_sensitivity(scale),
+                figures::page_size_sensitivity(scale),
+            ] {
+                println!("{}", f.render());
+            }
+        }
+        other => {
+            eprintln!("unknown figure id {other:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,816 @@
+//! Per-figure/table reproduction runners (§7 of the paper).
+//!
+//! Every function regenerates the rows/series of one table or figure and
+//! returns them as a [`Figure`] so integration tests can assert the
+//! *shapes* (who wins, rough factors, crossovers) without parsing text.
+
+use std::fmt::Write as _;
+
+use gps_core::GpsConfig;
+use gps_interconnect::{LinkGen, PLATFORMS};
+use gps_paradigms::{GpsPolicy, Paradigm};
+use gps_sim::GpuConfig;
+use gps_types::PageSize;
+use gps_workloads::{suite, ScaleProfile};
+
+use crate::runner::{
+    baseline, geomean, measure, measure_with_policy, parallel_map, speedup,
+    steady_traffic_per_iteration, Measurement, RunSpec,
+};
+
+/// One reproduced figure: a label per series column and one row per
+/// application (or sweep point).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure id and caption.
+    pub title: String,
+    /// Column headers (after the row label).
+    pub columns: Vec<String>,
+    /// `(row label, values)` in presentation order.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Figure {
+    /// Value at `(row_label, column_label)`.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(r, _)| r == row)
+            .and_then(|(_, vals)| vals.get(c).copied())
+    }
+
+    /// All values of one column, in row order.
+    pub fn column(&self, column: &str) -> Vec<f64> {
+        let Some(c) = self.columns.iter().position(|c| c == column) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|(_, vals)| vals.get(c).copied())
+            .collect()
+    }
+
+    /// Renders the figure as CSV (header row, then one row per label).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "label");
+        for c in &self.columns {
+            let _ = write!(out, ",{}", c.replace(',', ";"));
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{}", label.replace(',', ";"));
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(r, _)| r.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9);
+        let col_w = self.columns.iter().map(|c| c.len()).chain([9]).max().unwrap_or(9) + 2;
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>col_w$}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for v in vals {
+                let _ = write!(out, "{v:>col_w$.3}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn spec(paradigm: Paradigm, gpus: usize, link: LinkGen, scale: ScaleProfile) -> RunSpec {
+    RunSpec {
+        paradigm,
+        gpus,
+        link,
+        scale,
+    }
+}
+
+/// Speedup table over the application suite: one row per app plus a
+/// geomean row, one column per `(paradigm, link)` pair.
+fn speedup_figure(
+    title: &str,
+    columns: Vec<(String, Paradigm, LinkGen)>,
+    gpus: usize,
+    scale: ScaleProfile,
+) -> Figure {
+    let apps = suite::all();
+    // Baselines in parallel, then the grid in parallel.
+    let bases: Vec<Measurement> = parallel_map(
+        apps.iter()
+            .map(|app| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || baseline(&app, scale)
+            })
+            .collect(),
+    );
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            columns.iter().map(move |(_, paradigm, link)| {
+                let app = suite::by_name(app.name).expect("known app");
+                let s = spec(*paradigm, gpus, *link, scale);
+                move || measure(&app, s)
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+
+    let ncols = columns.len();
+    let mut rows = Vec::new();
+    let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); ncols];
+    for (ai, app) in apps.iter().enumerate() {
+        let mut vals = Vec::with_capacity(ncols);
+        for ci in 0..ncols {
+            let m = &results[ai * ncols + ci];
+            let s = speedup(m, &bases[ai]);
+            per_column[ci].push(s);
+            vals.push(s);
+        }
+        rows.push((app.name.to_owned(), vals));
+    }
+    rows.push((
+        "geomean".to_owned(),
+        per_column.iter().map(|c| geomean(c)).collect(),
+    ));
+    Figure {
+        title: title.to_owned(),
+        columns: columns.into_iter().map(|(n, _, _)| n).collect(),
+        rows,
+    }
+}
+
+/// Table 1: the simulated machine.
+pub fn table1() -> String {
+    let g = GpuConfig::gv100();
+    let c = GpsConfig::paper();
+    let mut out = String::new();
+    let mut row = |k: &str, v: String| {
+        let _ = writeln!(out, "{k:<34}{v}");
+    };
+    row("== Table 1: simulation settings ==", String::new());
+    row("Cache block size", "128 bytes".into());
+    row("Global memory", format!("{} GB", g.dram_bytes >> 30));
+    row("Streaming multiprocessors (SM)", g.sms.to_string());
+    row("CUDA cores/SM", "64".into());
+    row("L2 cache size", format!("{} MB", g.l2_bytes >> 20));
+    row("Warp size", g.warp_size.to_string());
+    row("Maximum threads per SM", g.max_threads_per_sm.to_string());
+    row("Maximum threads per CTA", g.max_threads_per_cta.to_string());
+    row("Remote write queue", format!("{} entries", c.rwq_entries));
+    row(
+        "Remote write queue entry size",
+        format!("{} bytes", c.rwq_entry_bytes),
+    );
+    row(
+        "GPS-TLB",
+        format!("{}-way set associative", c.gps_tlb.ways),
+    );
+    row("GPS-TLB size", format!("{} entries", c.gps_tlb.entries()));
+    row("Virtual address", "49 bits".into());
+    row("Physical address", "47 bits".into());
+    out
+}
+
+/// Table 2: the application suite, augmented with the generators'
+/// measured access-mix characteristics (tiny-scale, 4 GPUs).
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 2: applications under study ==");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:>10} {:>9} {:>9}  {}",
+        "app", "pattern", "cy/line", "atomic%", "dom.deg", "description"
+    );
+    for app in suite::all() {
+        let c = gps_workloads::characterize(&(app.build)(4, ScaleProfile::Tiny));
+        let _ = writeln!(
+            out,
+            "{:<10} {:<14} {:>10.0} {:>8.0}% {:>9}  {}",
+            app.name,
+            app.pattern.to_string(),
+            c.compute_per_line(),
+            c.atomic_write_fraction() * 100.0,
+            c.dominant_degree().unwrap_or(0),
+            app.description
+        );
+    }
+    out
+}
+
+/// Figure 1: 4-GPU strong scaling of the bulk-synchronous (memcpy)
+/// programming style under PCIe 3.0, projected PCIe 6.0 and an infinite
+/// interconnect.
+pub fn fig1(scale: ScaleProfile) -> Figure {
+    speedup_figure(
+        "Figure 1: 4-GPU scaling vs interconnect (memcpy programming model)",
+        vec![
+            ("PCIe3.0".into(), Paradigm::Memcpy, LinkGen::Pcie3),
+            ("PCIe6(projected)".into(), Paradigm::Memcpy, LinkGen::Pcie6),
+            ("InfiniteBW".into(), Paradigm::InfiniteBw, LinkGen::Infinite),
+        ],
+        4,
+        scale,
+    )
+}
+
+/// Figure 3: local vs remote bandwidth across platform generations.
+pub fn fig3() -> Figure {
+    Figure {
+        title: "Figure 3: local and remote bandwidths across GPU platforms (GB/s)".into(),
+        columns: vec!["Local".into(), "Remote".into(), "Gap".into()],
+        rows: PLATFORMS
+            .iter()
+            .map(|p| {
+                (
+                    p.name.to_owned(),
+                    vec![p.local_gbps, p.remote_gbps, p.gap()],
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Figure 8: 4-GPU speedup of every paradigm over one GPU (PCIe 3.0).
+pub fn fig8(scale: ScaleProfile) -> Figure {
+    speedup_figure(
+        "Figure 8: 4-GPU speedup of different paradigms (PCIe 3.0)",
+        Paradigm::FIGURE8
+            .iter()
+            .map(|p| (p.to_string(), *p, LinkGen::Pcie3))
+            .collect(),
+        4,
+        scale,
+    )
+}
+
+/// Figure 9: subscriber distribution of shared GPS pages (percent of
+/// multi-subscriber pages with 2, 3 and 4 subscribers) on 4 GPUs.
+pub fn fig9(scale: ScaleProfile) -> Figure {
+    let apps = suite::all();
+    let results = parallel_map(
+        apps.iter()
+            .map(|app| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || measure(&app, spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale))
+            })
+            .collect(),
+    );
+    let rows = results
+        .iter()
+        .map(|m| {
+            let count = |k: usize| {
+                m.report
+                    .metric(&format!("pages_{k}_subscribers"))
+                    .unwrap_or(0.0)
+            };
+            let shared: f64 = (2..=4).map(count).sum();
+            let pct = |k: usize| {
+                if shared > 0.0 {
+                    100.0 * count(k) / shared
+                } else {
+                    0.0
+                }
+            };
+            (m.app.to_owned(), vec![pct(4), pct(3), pct(2)])
+        })
+        .collect();
+    Figure {
+        title: "Figure 9: subscriber distribution of shared pages (% of multi-subscriber pages)"
+            .into(),
+        columns: vec![
+            "4 subscribers".into(),
+            "3 subscribers".into(),
+            "2 subscribers".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figure 10: steady-state interconnect traffic per iteration, normalised
+/// to the memcpy paradigm (4 GPUs, PCIe 3.0).
+pub fn fig10(scale: ScaleProfile) -> Figure {
+    let apps = suite::all();
+    let paradigms = [
+        Paradigm::Um,
+        Paradigm::UmHints,
+        Paradigm::Rdl,
+        Paradigm::Memcpy,
+        Paradigm::Gps,
+    ];
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            paradigms.iter().map(move |p| {
+                let app = suite::by_name(app.name).expect("known app");
+                let s = spec(*p, 4, LinkGen::Pcie3, scale);
+                move || measure(&app, s)
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let ppi = 1; // all suite workloads use one phase per iteration
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            let traffic: Vec<f64> = (0..paradigms.len())
+                .map(|ci| steady_traffic_per_iteration(&results[ai * paradigms.len() + ci].report, ppi))
+                .collect();
+            let memcpy = traffic[3].max(1.0);
+            (
+                app.name.to_owned(),
+                vec![
+                    traffic[0] / memcpy,
+                    traffic[1] / memcpy,
+                    traffic[2] / memcpy,
+                    traffic[4] / memcpy,
+                ],
+            )
+        })
+        .collect();
+    Figure {
+        title: "Figure 10: data moved over interconnect normalised to memcpy".into(),
+        columns: vec!["UM".into(), "UM+hints".into(), "RDL".into(), "GPS".into()],
+        rows,
+    }
+}
+
+/// Figure 11: GPS with vs without subscription tracking (4 GPUs, PCIe 3.0).
+pub fn fig11(scale: ScaleProfile) -> Figure {
+    speedup_figure(
+        "Figure 11: performance sensitivity to subscription (4 GPUs, PCIe 3.0)",
+        vec![
+            (
+                "GPS w/o subscription".into(),
+                Paradigm::GpsNoSubscription,
+                LinkGen::Pcie3,
+            ),
+            ("GPS with subscription".into(), Paradigm::Gps, LinkGen::Pcie3),
+        ],
+        4,
+        scale,
+    )
+}
+
+/// Figure 12: 16-GPU speedups under projected PCIe 6.0.
+pub fn fig12(scale: ScaleProfile) -> Figure {
+    speedup_figure(
+        "Figure 12: 16-GPU performance of different paradigms (PCIe 6.0 projected)",
+        Paradigm::FIGURE8
+            .iter()
+            .map(|p| (p.to_string(), *p, LinkGen::Pcie6))
+            .collect(),
+        16,
+        scale,
+    )
+}
+
+/// Figure 13: geomean 4-GPU speedup per paradigm as the interconnect
+/// improves from PCIe 3.0 to projected PCIe 6.0.
+pub fn fig13(scale: ScaleProfile) -> Figure {
+    let mut rows = Vec::new();
+    for link in LinkGen::PCIE_SWEEP {
+        let fig = speedup_figure(
+            "inner",
+            Paradigm::FIGURE8
+                .iter()
+                .map(|p| (p.to_string(), *p, link))
+                .collect(),
+            4,
+            scale,
+        );
+        let geo = fig.rows.last().expect("geomean row").1.clone();
+        rows.push((link.to_string(), geo));
+    }
+    Figure {
+        title: "Figure 13: geomean speedup vs interconnect bandwidth (4 GPUs)".into(),
+        columns: Paradigm::FIGURE8.iter().map(|p| p.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figure 14: GPS remote-write-queue hit rate vs queue size.
+pub fn fig14(scale: ScaleProfile) -> Figure {
+    let sizes = [0usize, 32, 64, 128, 256, 512, 1024];
+    let apps = suite::all();
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            sizes.iter().map(move |&size| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || {
+                    let mut policy =
+                        GpsPolicy::with_config(GpsConfig::paper().with_rwq_entries(size));
+                    let m = measure_with_policy(
+                        &app,
+                        spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
+                        &mut policy,
+                    );
+                    m.report.metric("rwq_hit_rate").unwrap_or(0.0) * 100.0
+                }
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            (
+                app.name.to_owned(),
+                results[ai * sizes.len()..(ai + 1) * sizes.len()].to_vec(),
+            )
+        })
+        .collect();
+    Figure {
+        title: "Figure 14: GPS write queue hit rate (%) vs queue size".into(),
+        columns: sizes.iter().map(|s| s.to_string()).collect(),
+        rows,
+    }
+}
+
+/// §7.4: GPS-TLB hit rate vs entry count (the paper finds ~100 % at 32).
+pub fn gps_tlb_sensitivity(scale: ScaleProfile) -> Figure {
+    let geometries = [(1usize, 8usize), (2, 8), (4, 8), (8, 8)]; // 8..64 entries
+    let apps = suite::all();
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            geometries.iter().map(move |&(sets, ways)| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || {
+                    let mut cfg = GpsConfig::paper();
+                    cfg.gps_tlb = gps_mem::TlbConfig { sets, ways };
+                    let mut policy = GpsPolicy::with_config(cfg);
+                    let m = measure_with_policy(
+                        &app,
+                        spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
+                        &mut policy,
+                    );
+                    m.report.metric("gps_tlb_hit_rate").unwrap_or(0.0) * 100.0
+                }
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            (
+                app.name.to_owned(),
+                results[ai * geometries.len()..(ai + 1) * geometries.len()].to_vec(),
+            )
+        })
+        .collect();
+    Figure {
+        title: "GPS-TLB hit rate (%) vs entries (4 GPUs, PCIe 3.0)".into(),
+        columns: geometries
+            .iter()
+            .map(|(s, w)| (s * w).to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Ablation (beyond the paper): drain-watermark sensitivity. The paper
+/// fixes the high watermark at capacity - 1 "to maximize coalescing
+/// opportunity" (§5.2); sweeping it shows the coalescing lost by draining
+/// earlier.
+pub fn watermark_sensitivity(scale: ScaleProfile) -> Figure {
+    let watermarks = [63usize, 127, 255, 383, 511];
+    let apps: Vec<_> = ["ct", "eqwp", "diffusion", "hit"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("known app"))
+        .collect();
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            watermarks.iter().map(move |&wm| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || {
+                    let mut cfg = GpsConfig::paper();
+                    cfg.drain_watermark = wm;
+                    let mut policy = GpsPolicy::with_config(cfg);
+                    let m = measure_with_policy(
+                        &app,
+                        spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
+                        &mut policy,
+                    );
+                    m.report.metric("rwq_hit_rate").unwrap_or(0.0) * 100.0
+                }
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            (
+                app.name.to_owned(),
+                results[ai * watermarks.len()..(ai + 1) * watermarks.len()].to_vec(),
+            )
+        })
+        .collect();
+    Figure {
+        title: "Ablation: write-queue hit rate (%) vs drain watermark (512-entry queue)".into(),
+        columns: watermarks.iter().map(|w| w.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Ablation (§3.2/§5.2 discussion): subscribed-by-default vs
+/// unsubscribed-by-default profiling. The former over-transfers during
+/// iteration 0; the latter pays first-touch remote reads instead.
+pub fn profiling_mode(scale: ScaleProfile) -> Figure {
+    let apps = suite::all();
+    let modes = [
+        gps_core::ProfilingMode::SubscribedByDefault,
+        gps_core::ProfilingMode::UnsubscribedByDefault,
+    ];
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            modes.iter().map(move |&mode| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || {
+                    let mut cfg = GpsConfig::paper();
+                    cfg.profiling = mode;
+                    let mut policy = GpsPolicy::with_config(cfg);
+                    let m = measure_with_policy(
+                        &app,
+                        spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
+                        &mut policy,
+                    );
+                    let ppi = 2;
+                    let iter0 = m.report.phase_ends[ppi - 1].as_u64() as f64;
+                    (iter0, m.steady_cycles)
+                }
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            let (sub0, sub_steady) = results[ai * 2];
+            let (unsub0, unsub_steady) = results[ai * 2 + 1];
+            (
+                app.name.to_owned(),
+                vec![sub0, unsub0, sub_steady, unsub_steady],
+            )
+        })
+        .collect();
+    Figure {
+        title: "Ablation: profiling mode (cycles; sub-by-default vs unsub-by-default)".into(),
+        columns: vec![
+            "iter0 sub".into(),
+            "iter0 unsub".into(),
+            "steady sub".into(),
+            "steady unsub".into(),
+        ],
+        rows,
+    }
+}
+
+/// Extension: geomean speedups on NVLink-class fabrics (Figure 3's
+/// platforms, applied to the Figure 13 sweep).
+pub fn nvlink_sweep(scale: ScaleProfile) -> Figure {
+    let mut rows = Vec::new();
+    for link in [LinkGen::Pcie3, LinkGen::NvLink1, LinkGen::NvLink2, LinkGen::NvLink3] {
+        let fig = speedup_figure(
+            "inner",
+            Paradigm::FIGURE8
+                .iter()
+                .map(|p| (p.to_string(), *p, link))
+                .collect(),
+            4,
+            scale,
+        );
+        let geo = fig.rows.last().expect("geomean row").1.clone();
+        rows.push((link.to_string(), geo));
+    }
+    Figure {
+        title: "Extension: geomean speedup on NVLink-class interconnects (4 GPUs)".into(),
+        columns: Paradigm::FIGURE8.iter().map(|p| p.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Extension: GPS strong-scaling curve across GPU counts (PCIe 6.0),
+/// interpolating between the paper's 4-GPU and 16-GPU systems.
+pub fn scaling_curve(scale: ScaleProfile) -> Figure {
+    let counts = [2usize, 4, 8, 16];
+    let paradigms = [Paradigm::Memcpy, Paradigm::Gps, Paradigm::InfiniteBw];
+    let apps = suite::all();
+    let bases: Vec<Measurement> = parallel_map(
+        apps.iter()
+            .map(|app| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || baseline(&app, scale)
+            })
+            .collect(),
+    );
+    let jobs: Vec<_> = counts
+        .iter()
+        .flat_map(|&gpus| {
+            paradigms.iter().flat_map(move |&p| {
+                suite::all().into_iter().map(move |app| {
+                    let app = suite::by_name(app.name).expect("known app");
+                    move || measure(&app, spec(p, gpus, LinkGen::Pcie6, scale))
+                })
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let napps = apps.len();
+    let mut rows = Vec::new();
+    for (ci, &gpus) in counts.iter().enumerate() {
+        let mut geo = Vec::new();
+        for (pi, _) in paradigms.iter().enumerate() {
+            let start = ci * paradigms.len() * napps + pi * napps;
+            let speedups: Vec<f64> = (0..napps)
+                .map(|ai| speedup(&results[start + ai], &bases[ai]))
+                .collect();
+            geo.push(geomean(&speedups));
+        }
+        rows.push((format!("{gpus} GPUs"), geo));
+    }
+    Figure {
+        title: "Extension: geomean strong scaling vs GPU count (PCIe 6.0)".into(),
+        columns: paradigms.iter().map(|p| p.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Extension: switch vs ring topology at NVLink-1 bandwidth. The paper
+/// evaluates switch-attached systems; a switchless ring (NVLink bridges)
+/// makes transit traffic contend on neighbour links, hurting the
+/// all-to-all applications most.
+pub fn topology_comparison(scale: ScaleProfile) -> Figure {
+    use gps_interconnect::Topology;
+    let apps = suite::all();
+    let topologies = [Topology::Switch, Topology::Ring];
+    let bases: Vec<Measurement> = parallel_map(
+        apps.iter()
+            .map(|app| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || baseline(&app, scale)
+            })
+            .collect(),
+    );
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            topologies.iter().map(move |&topo| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || {
+                    let workload = (app.build)(4, scale);
+                    let mut policy = GpsPolicy::new();
+                    let mut config = gps_sim::SimConfig::gv100_system(4);
+                    config.page_size = workload.page_size;
+                    config.topology = topo;
+                    let report = gps_sim::Engine::new(
+                        config,
+                        LinkGen::NvLink1,
+                        &workload,
+                        &mut policy,
+                    )
+                    .expect("consistent build")
+                    .run();
+                    crate::runner::steady_cycles_per_iteration(
+                        &report,
+                        workload.phases_per_iteration,
+                    )
+                }
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            let sw = bases[ai].steady_cycles / results[ai * 2];
+            let ring = bases[ai].steady_cycles / results[ai * 2 + 1];
+            (app.name.to_owned(), vec![sw, ring])
+        })
+        .collect();
+    Figure {
+        title: "Extension: GPS speedup, central switch vs ring topology (4 GPUs, NVLink 1)"
+            .into(),
+        columns: vec!["Switch".into(), "Ring".into()],
+        rows,
+    }
+}
+
+/// §7.4: GPS performance at 4 KiB / 64 KiB / 2 MiB pages, normalised to
+/// 64 KiB (the paper: 4 KiB 42 % slower, 2 MiB 15 % slower).
+pub fn page_size_sensitivity(scale: ScaleProfile) -> Figure {
+    let apps = suite::all();
+    let sizes = [PageSize::Small4K, PageSize::Standard64K, PageSize::Huge2M];
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            sizes.iter().map(move |&page| {
+                let app = suite::by_name(app.name).expect("known app");
+                move || {
+                    let workload = (app.build_paged)(4, scale, page);
+                    let report =
+                        gps_paradigms::run_paradigm(Paradigm::Gps, &workload, 4, LinkGen::Pcie3);
+                    crate::runner::steady_cycles_per_iteration(
+                        &report,
+                        workload.phases_per_iteration,
+                    )
+                }
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut norm_cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for (ai, app) in apps.iter().enumerate() {
+        let t = &results[ai * sizes.len()..(ai + 1) * sizes.len()];
+        let base = t[1];
+        let vals: Vec<f64> = t.iter().map(|&x| base / x).collect();
+        for (ci, v) in vals.iter().enumerate() {
+            norm_cols[ci].push(*v);
+        }
+        rows.push((app.name.to_owned(), vals));
+    }
+    rows.push((
+        "geomean".to_owned(),
+        norm_cols.iter().map(|c| geomean(c)).collect(),
+    ));
+    Figure {
+        title: "Page-size sensitivity: GPS performance relative to 64 KiB pages".into(),
+        columns: vec!["4KiB".into(), "64KiB".into(), "2MiB".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            title: "t".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                ("x".into(), vec![1.0, 2.0]),
+                ("y".into(), vec![3.0, 4.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn value_and_column_lookup() {
+        let f = sample();
+        assert_eq!(f.value("x", "b"), Some(2.0));
+        assert_eq!(f.value("y", "a"), Some(3.0));
+        assert_eq!(f.value("z", "a"), None);
+        assert_eq!(f.value("x", "c"), None);
+        assert_eq!(f.column("a"), vec![1.0, 3.0]);
+        assert!(f.column("missing").is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,a,b"));
+        assert_eq!(lines.next(), Some("x,1,2"));
+        assert_eq!(lines.next(), Some("y,3,4"));
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let rendered = sample().render();
+        assert!(rendered.starts_with("== t =="));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure/table reproduction harness for the GPS evaluation (§7).
+//!
+//! [`runner`] provides the measurement machinery (steady-state timing,
+//! speedup-vs-one-GPU, parallel sweeps over applications and paradigms);
+//! [`figures`] renders each table and figure of the paper as text, in the
+//! same rows/series the paper reports. The `figures` binary dispatches on
+//! a figure id (`fig1`, `fig8`, ..., `table1`, `tlb`, `pagesize`, `all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{measure, steady_cycles_per_iteration, Measurement, RunSpec};

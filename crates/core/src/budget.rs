@@ -1,0 +1,195 @@
+//! Hardware cost accounting for the GPS extensions (§5.2).
+//!
+//! The paper argues GPS's area and energy are "negligible relative to the
+//! GPU SoC" by sizing each structure explicitly: 135-byte remote-write-queue
+//! entries (512 of them ≈ 68 KB of SRAM), wide GPS-PTEs of
+//! `VPN + (N-1) x PPN` bits (126 bits for 4 GPUs with 33-bit VPNs and
+//! 31-bit PPNs), a one-bit-per-page DRAM bitmap (64 KB for a 32 GB GPS
+//! space at 64 KB pages), and a single re-purposed PTE bit. This module
+//! reproduces that arithmetic for any system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use gps_mem::GpsPte;
+use gps_types::PageSize;
+#[cfg(test)]
+use gps_types::{GIB, KIB};
+
+use crate::config::GpsConfig;
+
+/// Address-width parameters of the paper's GP100-style MMU encoding
+/// (§5.2: "for a Virtual Page Number (VPN) size of 33 bits and Physical
+/// Page Number (PPN) size of 31 bits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuWidths {
+    /// Virtual page number bits.
+    pub vpn_bits: u32,
+    /// Physical page number bits.
+    pub ppn_bits: u32,
+}
+
+impl MmuWidths {
+    /// The paper's 64 KB-page encoding: 49-bit VAs and 47-bit PAs leave
+    /// 33/31 bits of page number.
+    pub fn paper_64k() -> Self {
+        Self {
+            vpn_bits: 33,
+            ppn_bits: 31,
+        }
+    }
+
+    /// Widths for an arbitrary page size under 49-bit VA / 47-bit PA.
+    pub fn for_page_size(page: PageSize) -> Self {
+        Self {
+            vpn_bits: 49 - page.shift(),
+            ppn_bits: 47 - page.shift(),
+        }
+    }
+}
+
+/// Per-GPU hardware budget of the GPS extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareBudget {
+    /// SRAM for the remote write queue, in bytes.
+    pub rwq_sram_bytes: u64,
+    /// Bits per wide GPS page-table entry.
+    pub gps_pte_bits: u32,
+    /// SRAM for the GPS-TLB (entries x entry bits, rounded to bytes).
+    pub gps_tlb_sram_bytes: u64,
+    /// DRAM for the access-tracking bitmap, in bytes.
+    pub atu_dram_bytes: u64,
+    /// DRAM for the GPS page table itself (leaf entries only), in bytes.
+    pub gps_page_table_dram_bytes: u64,
+}
+
+impl HardwareBudget {
+    /// Sizes the GPS hardware for a system of `gpu_count` GPUs managing
+    /// `gps_space_bytes` of GPS address space at `page` granularity.
+    ///
+    /// ```
+    /// use gps_core::{GpsConfig, HardwareBudget};
+    /// use gps_types::{PageSize, GIB};
+    ///
+    /// let b = HardwareBudget::size(
+    ///     &GpsConfig::paper(),
+    ///     4,
+    ///     32 * GIB,
+    ///     PageSize::Standard64K,
+    /// );
+    /// // §5.2: "the GPS-write buffer requires 68 KB of SRAM" (512 x 135 B).
+    /// assert_eq!(b.rwq_sram_bytes, 512 * 135);
+    /// // §5.2: "for a 4 GPU system, the minimum GPS-PTE entry size is 126
+    /// // bits".
+    /// assert_eq!(b.gps_pte_bits, 126);
+    /// // §5.2: "Tracking a 32GB virtual address range, the bitmap requires
+    /// // only 64KB of DRAM".
+    /// assert_eq!(b.atu_dram_bytes, 64 * 1024);
+    /// ```
+    pub fn size(
+        config: &GpsConfig,
+        gpu_count: u32,
+        gps_space_bytes: u64,
+        page: PageSize,
+    ) -> HardwareBudget {
+        let widths = if page == PageSize::Standard64K {
+            MmuWidths::paper_64k()
+        } else {
+            MmuWidths::for_page_size(page)
+        };
+        let pte_bits = GpsPte::bits(widths.vpn_bits, widths.ppn_bits, gpu_count.max(2));
+        let pages = page.pages_for(gps_space_bytes);
+        HardwareBudget {
+            rwq_sram_bytes: config.rwq_sram_bytes(),
+            gps_pte_bits: pte_bits,
+            gps_tlb_sram_bytes: (config.gps_tlb.entries() as u64 * pte_bits as u64).div_ceil(8),
+            atu_dram_bytes: pages.div_ceil(8),
+            gps_page_table_dram_bytes: (pages * pte_bits as u64).div_ceil(8),
+        }
+    }
+
+    /// Total on-chip SRAM added per GPU.
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.rwq_sram_bytes + self.gps_tlb_sram_bytes
+    }
+
+    /// Total off-chip DRAM consumed per GPU.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.atu_dram_bytes + self.gps_page_table_dram_bytes
+    }
+
+    /// SRAM as a fraction of a given L2 capacity — the paper's sanity
+    /// check that the write queue "amounts to only a few kilobytes of
+    /// state" next to megabytes of L2 (§5.3).
+    pub fn sram_fraction_of_l2(&self, l2_bytes: u64) -> f64 {
+        self.total_sram_bytes() as f64 / l2_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_types::MIB;
+
+    fn paper_budget() -> HardwareBudget {
+        HardwareBudget::size(&GpsConfig::paper(), 4, 32 * GIB, PageSize::Standard64K)
+    }
+
+    #[test]
+    fn rwq_sram_matches_paper() {
+        // 512 entries x 135 B = 69120 B = 67.5 KiB, the paper's "68 KB".
+        let b = paper_budget();
+        assert_eq!(b.rwq_sram_bytes, 69_120);
+        assert!((b.rwq_sram_bytes as f64 / KIB as f64 - 67.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pte_bits_match_paper_example() {
+        assert_eq!(paper_budget().gps_pte_bits, 126);
+        // 16 GPUs: 33 + 15 x 31 = 498 bits.
+        let b16 = HardwareBudget::size(&GpsConfig::paper(), 16, 32 * GIB, PageSize::Standard64K);
+        assert_eq!(b16.gps_pte_bits, 498);
+    }
+
+    #[test]
+    fn atu_bitmap_matches_paper() {
+        assert_eq!(paper_budget().atu_dram_bytes, 64 * KIB);
+        // Smaller space, smaller bitmap.
+        let b = HardwareBudget::size(&GpsConfig::paper(), 4, GIB, PageSize::Standard64K);
+        assert_eq!(b.atu_dram_bytes, 2 * KIB);
+    }
+
+    #[test]
+    fn gps_tlb_is_tiny() {
+        let b = paper_budget();
+        // 32 entries x 126 bits = 504 bytes.
+        assert_eq!(b.gps_tlb_sram_bytes, 504);
+        // Total SRAM is ~1% of a 6 MB L2 ("negligible relative to the GPU
+        // SoC").
+        assert!(b.sram_fraction_of_l2(6 * MIB) < 0.012);
+    }
+
+    #[test]
+    fn page_table_dram_scales_with_space_and_gpus() {
+        let b4 = paper_budget();
+        let b16 = HardwareBudget::size(&GpsConfig::paper(), 16, 32 * GIB, PageSize::Standard64K);
+        assert!(b16.gps_page_table_dram_bytes > b4.gps_page_table_dram_bytes * 3);
+        assert!(b4.total_dram_bytes() < 16 * MIB, "megabytes, not gigabytes");
+    }
+
+    #[test]
+    fn small_pages_mean_wider_tables() {
+        let b64k = paper_budget();
+        let b4k = HardwareBudget::size(&GpsConfig::paper(), 4, 32 * GIB, PageSize::Small4K);
+        // 16x the pages: bigger bitmap and page table.
+        assert_eq!(b4k.atu_dram_bytes, b64k.atu_dram_bytes * 16);
+        assert!(b4k.gps_page_table_dram_bytes > b64k.gps_page_table_dram_bytes * 10);
+    }
+
+    #[test]
+    fn mmu_widths_track_page_shift() {
+        let w = MmuWidths::for_page_size(PageSize::Huge2M);
+        assert_eq!(w.vpn_bits, 28);
+        assert_eq!(w.ppn_bits, 26);
+        assert_eq!(MmuWidths::for_page_size(PageSize::Standard64K).vpn_bits, 33);
+    }
+}

@@ -1,0 +1,132 @@
+//! Traffic accounting behind Figure 10.
+
+use serde::{Deserialize, Serialize};
+
+use gps_types::GpuId;
+
+/// Per-pair and aggregate byte counters for inter-GPU traffic.
+///
+/// Figure 10 compares "total data moved over the interconnect" across
+/// paradigms, normalised to the memcpy paradigm; these counters supply the
+/// raw numbers.
+///
+/// ```
+/// use gps_interconnect::TrafficCounters;
+/// use gps_types::GpuId;
+///
+/// let mut tc = TrafficCounters::new(2);
+/// tc.record(GpuId::new(0), GpuId::new(1), 128);
+/// tc.record(GpuId::new(1), GpuId::new(0), 64);
+/// assert_eq!(tc.total_bytes(), 192);
+/// assert_eq!(tc.pair_bytes(GpuId::new(0), GpuId::new(1)), 128);
+/// assert_eq!(tc.egress_bytes(GpuId::new(1)), 64);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficCounters {
+    gpu_count: usize,
+    /// Row-major `gpu_count x gpu_count` matrix, `[src][dst]`.
+    pair_bytes: Vec<u64>,
+    total: u64,
+    transfers: u64,
+}
+
+impl TrafficCounters {
+    /// Creates zeroed counters for a `gpu_count`-GPU system.
+    pub fn new(gpu_count: usize) -> Self {
+        Self {
+            gpu_count,
+            pair_bytes: vec![0; gpu_count * gpu_count],
+            total: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Number of GPUs covered.
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_count
+    }
+
+    /// Records one transfer of `bytes` from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either GPU id is out of range.
+    pub fn record(&mut self, src: GpuId, dst: GpuId, bytes: u64) {
+        let idx = src.index() * self.gpu_count + dst.index();
+        self.pair_bytes[idx] += bytes;
+        self.total += bytes;
+        self.transfers += 1;
+    }
+
+    /// Total bytes moved over the interconnect.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of discrete transfers recorded.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Bytes moved from `src` to `dst`.
+    pub fn pair_bytes(&self, src: GpuId, dst: GpuId) -> u64 {
+        self.pair_bytes[src.index() * self.gpu_count + dst.index()]
+    }
+
+    /// Bytes sent by `src` to all destinations.
+    pub fn egress_bytes(&self, src: GpuId) -> u64 {
+        (0..self.gpu_count)
+            .map(|d| self.pair_bytes[src.index() * self.gpu_count + d])
+            .sum()
+    }
+
+    /// Bytes received by `dst` from all sources.
+    pub fn ingress_bytes(&self, dst: GpuId) -> u64 {
+        (0..self.gpu_count)
+            .map(|s| self.pair_bytes[s * self.gpu_count + dst.index()])
+            .sum()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.pair_bytes.fill(0);
+        self.total = 0;
+        self.transfers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let mut tc = TrafficCounters::new(4);
+        tc.record(GpuId::new(0), GpuId::new(1), 10);
+        tc.record(GpuId::new(0), GpuId::new(2), 20);
+        tc.record(GpuId::new(3), GpuId::new(0), 30);
+        assert_eq!(tc.total_bytes(), 60);
+        assert_eq!(tc.egress_bytes(GpuId::new(0)), 30);
+        assert_eq!(tc.ingress_bytes(GpuId::new(0)), 30);
+        assert_eq!(tc.transfer_count(), 3);
+        let sum_egress: u64 = (0..4).map(|g| tc.egress_bytes(GpuId::new(g))).sum();
+        assert_eq!(sum_egress, tc.total_bytes());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut tc = TrafficCounters::new(2);
+        tc.record(GpuId::new(0), GpuId::new(1), 5);
+        tc.reset();
+        assert_eq!(tc.total_bytes(), 0);
+        assert_eq!(tc.pair_bytes(GpuId::new(0), GpuId::new(1)), 0);
+        assert_eq!(tc.transfer_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_gpu_panics() {
+        let mut tc = TrafficCounters::new(2);
+        tc.record(GpuId::new(2), GpuId::new(0), 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! The switch-attached multi-GPU fabric.
+
+use gps_types::{Cycle, GpsError, GpuId, Result};
+
+use crate::counters::TrafficCounters;
+use crate::resource::BandwidthResource;
+use crate::spec::LinkGen;
+
+/// Physical arrangement of the inter-GPU links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Topology {
+    /// A non-blocking central switch (PCIe switch / NVSwitch): every GPU
+    /// owns one ingress and one egress link; any pair communicates in one
+    /// hop. This is the paper's evaluated topology.
+    #[default]
+    Switch,
+    /// A bidirectional ring (NVLink bridges without a switch): each GPU
+    /// has a clockwise and a counter-clockwise link; transfers take the
+    /// shortest path and consume bandwidth on every transit link.
+    Ring,
+}
+
+/// Configuration of a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of GPUs attached to the fabric.
+    pub gpu_count: usize,
+    /// Interconnect generation: sets per-direction bandwidth and latency.
+    pub link: LinkGen,
+    /// Link arrangement.
+    pub topology: Topology,
+}
+
+impl FabricConfig {
+    /// Creates a switch configuration (the paper's topology).
+    pub fn new(gpu_count: usize, link: LinkGen) -> Self {
+        Self {
+            gpu_count,
+            link,
+            topology: Topology::Switch,
+        }
+    }
+
+    /// Replaces the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+}
+
+/// The booked times of one transfer through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the payload left the source (egress serialisation complete).
+    pub departed: Cycle,
+    /// When the payload is fully visible at the destination.
+    pub arrived: Cycle,
+}
+
+/// A non-blocking switch topology: every GPU owns one egress and one ingress
+/// link of the configured generation, as in a PCIe-switch or NVSwitch
+/// system.
+///
+/// Transfers are cut-through: a transfer from `src` to `dst` occupies
+/// `src`'s egress link and `dst`'s ingress link for its serialisation time;
+/// if the ingress link is busy, the start is delayed and the egress link is
+/// backpressured to the same schedule. Completion additionally pays the
+/// generation's hop latency. The switch core itself is non-blocking
+/// (bisection bandwidth is never the bottleneck in the modelled systems, and
+/// the paper's PCIe results are per-GPU-link-bound).
+///
+/// ```
+/// use gps_interconnect::{Fabric, FabricConfig, LinkGen};
+/// use gps_types::{Cycle, GpuId};
+///
+/// let mut fabric = Fabric::new(FabricConfig::new(4, LinkGen::Pcie3));
+/// let t = fabric.transfer(GpuId::new(0), GpuId::new(1), 1300, Cycle::ZERO)?;
+/// // 1300 bytes at 13 B/cy = 100 cy serialisation + 1300 ns hop latency.
+/// assert_eq!(t.arrived, Cycle::new(100 + 1300));
+/// assert_eq!(fabric.counters().total_bytes(), 1300);
+/// # Ok::<(), gps_types::GpsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    config: FabricConfig,
+    egress: Vec<BandwidthResource>,
+    ingress: Vec<BandwidthResource>,
+    /// Ring topology only: clockwise links `cw[i]`: i -> (i+1) % N, and
+    /// counter-clockwise links `ccw[i]`: i -> (i-1) % N.
+    cw: Vec<BandwidthResource>,
+    ccw: Vec<BandwidthResource>,
+    counters: TrafficCounters,
+}
+
+impl Fabric {
+    /// Creates an idle fabric.
+    pub fn new(config: FabricConfig) -> Self {
+        let bw = config.link.bandwidth();
+        let ring_links = if config.topology == Topology::Ring {
+            config.gpu_count
+        } else {
+            0
+        };
+        Self {
+            config,
+            egress: (0..config.gpu_count)
+                .map(|_| BandwidthResource::new(bw))
+                .collect(),
+            ingress: (0..config.gpu_count)
+                .map(|_| BandwidthResource::new(bw))
+                .collect(),
+            cw: (0..ring_links).map(|_| BandwidthResource::new(bw)).collect(),
+            ccw: (0..ring_links).map(|_| BandwidthResource::new(bw)).collect(),
+            counters: TrafficCounters::new(config.gpu_count),
+        }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> FabricConfig {
+        self.config
+    }
+
+    /// The interconnect generation.
+    pub fn link(&self) -> LinkGen {
+        self.config.link
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn counters(&self) -> &TrafficCounters {
+        &self.counters
+    }
+
+    fn check(&self, gpu: GpuId) -> Result<()> {
+        if gpu.index() >= self.config.gpu_count {
+            Err(GpsError::UnknownGpu {
+                gpu,
+                system_size: self.config.gpu_count,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Books a `bytes`-sized transfer from `src` to `dst` arriving at the
+    /// fabric at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpsError::UnknownGpu`] if either endpoint is out of range.
+    /// * [`GpsError::InvalidRange`] if `src == dst` (local copies never
+    ///   touch the fabric).
+    pub fn transfer(&mut self, src: GpuId, dst: GpuId, bytes: u64, now: Cycle) -> Result<Transfer> {
+        self.check(src)?;
+        self.check(dst)?;
+        if src == dst {
+            return Err(GpsError::InvalidRange {
+                reason: format!("transfer from {src} to itself"),
+            });
+        }
+        match self.config.topology {
+            Topology::Switch => {
+                // Claim the egress link, then the ingress link no earlier
+                // than the egress start (cut-through). Per-destination
+                // egress queues with credit-based flow control mean a busy
+                // destination does not block the source link for other
+                // destinations.
+                let (egress_start, _egress_end) =
+                    self.egress[src.index()].book_from(bytes, now);
+                let (_, ingress_end) = self.ingress[dst.index()].book_from(bytes, egress_start);
+                self.counters.record(src, dst, bytes);
+                Ok(Transfer {
+                    departed: ingress_end,
+                    arrived: ingress_end + self.config.link.latency(),
+                })
+            }
+            Topology::Ring => {
+                // Shortest direction around the ring; each hop books its
+                // directed link in sequence (store-and-forward at link
+                // granularity — conservative) and pays one hop latency.
+                let n = self.config.gpu_count;
+                let fwd = (dst.index() + n - src.index()) % n;
+                let bwd = (src.index() + n - dst.index()) % n;
+                let clockwise = fwd <= bwd;
+                let hops = fwd.min(bwd);
+                let mut at = now;
+                let mut node = src.index();
+                for _ in 0..hops {
+                    at = if clockwise {
+                        let end = self.cw[node].book(bytes, at);
+                        node = (node + 1) % n;
+                        end
+                    } else {
+                        node = (node + n - 1) % n;
+                        let end = self.ccw[(node + 1) % n].book(bytes, at);
+                        end
+                    } + self.config.link.latency();
+                }
+                self.counters.record(src, dst, bytes);
+                Ok(Transfer {
+                    departed: at,
+                    arrived: at,
+                })
+            }
+        }
+    }
+
+    /// Books the same payload from `src` to every GPU in `dsts`
+    /// (skipping `src` itself); returns the latest arrival.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Fabric::transfer`].
+    pub fn broadcast<I>(&mut self, src: GpuId, dsts: I, bytes: u64, now: Cycle) -> Result<Cycle>
+    where
+        I: IntoIterator<Item = GpuId>,
+    {
+        let mut latest = now;
+        for dst in dsts {
+            if dst == src {
+                continue;
+            }
+            let t = self.transfer(src, dst, bytes, now)?;
+            latest = latest.max(t.arrived);
+        }
+        Ok(latest)
+    }
+
+    /// Earliest time `src`'s egress link frees up.
+    pub fn egress_free(&self, src: GpuId) -> Cycle {
+        self.egress[src.index()].next_free()
+    }
+
+    /// Earliest time `dst`'s ingress link frees up.
+    pub fn ingress_free(&self, dst: GpuId) -> Cycle {
+        self.ingress[dst.index()].next_free()
+    }
+
+    /// Resets all link schedules and counters.
+    pub fn reset(&mut self) {
+        for r in self.egress.iter_mut().chain(self.ingress.iter_mut()) {
+            r.reset();
+        }
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcie3_4gpu() -> Fabric {
+        Fabric::new(FabricConfig::new(4, LinkGen::Pcie3))
+    }
+
+    const G0: GpuId = GpuId::new(0);
+    const G1: GpuId = GpuId::new(1);
+    const G2: GpuId = GpuId::new(2);
+    const G3: GpuId = GpuId::new(3);
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let mut f = pcie3_4gpu();
+        let a = f.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        let b = f.transfer(G2, G3, 1300, Cycle::ZERO).unwrap();
+        assert_eq!(a.arrived, b.arrived, "independent links run in parallel");
+    }
+
+    #[test]
+    fn shared_egress_serialises() {
+        let mut f = pcie3_4gpu();
+        let a = f.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        let b = f.transfer(G0, G2, 1300, Cycle::ZERO).unwrap();
+        assert_eq!(b.arrived - a.arrived, gps_types::Latency::new(100));
+    }
+
+    #[test]
+    fn shared_ingress_serialises() {
+        let mut f = pcie3_4gpu();
+        let a = f.transfer(G1, G0, 1300, Cycle::ZERO).unwrap();
+        let b = f.transfer(G2, G0, 1300, Cycle::ZERO).unwrap();
+        assert!(b.arrived > a.arrived);
+    }
+
+    #[test]
+    fn self_transfer_rejected() {
+        let mut f = pcie3_4gpu();
+        assert!(matches!(
+            f.transfer(G0, G0, 1, Cycle::ZERO),
+            Err(GpsError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_gpu_rejected() {
+        let mut f = pcie3_4gpu();
+        let err = f.transfer(GpuId::new(7), G0, 1, Cycle::ZERO).unwrap_err();
+        assert!(matches!(err, GpsError::UnknownGpu { .. }));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_source() {
+        let mut f = pcie3_4gpu();
+        let latest = f
+            .broadcast(G0, GpuId::all(4), 130, Cycle::ZERO)
+            .unwrap();
+        assert_eq!(f.counters().total_bytes(), 3 * 130);
+        assert_eq!(f.counters().pair_bytes(G0, G0), 0);
+        // Three serialised sends on G0's egress: 10 cy each + latency.
+        assert_eq!(latest, Cycle::new(30 + 1300));
+    }
+
+    #[test]
+    fn infinite_fabric_only_pays_latency() {
+        let mut f = Fabric::new(FabricConfig::new(2, LinkGen::Infinite));
+        let t = f.transfer(G0, G1, 1 << 30, Cycle::new(5)).unwrap();
+        assert_eq!(t.arrived, Cycle::new(5));
+    }
+
+    #[test]
+    fn ring_neighbours_take_one_hop() {
+        let cfg = FabricConfig::new(4, LinkGen::Pcie3).with_topology(Topology::Ring);
+        let mut f = Fabric::new(cfg);
+        let t = f.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        // One hop: 100 cy serialisation + one hop latency.
+        assert_eq!(t.arrived, Cycle::new(100 + 1300));
+    }
+
+    #[test]
+    fn ring_opposite_corner_takes_two_hops() {
+        let cfg = FabricConfig::new(4, LinkGen::Pcie3).with_topology(Topology::Ring);
+        let mut f = Fabric::new(cfg);
+        let t = f.transfer(G0, G2, 1300, Cycle::ZERO).unwrap();
+        // Two hops, each 100 cy serialisation + latency (store-and-forward).
+        assert_eq!(t.arrived, Cycle::new(2 * (100 + 1300)));
+    }
+
+    #[test]
+    fn ring_transit_traffic_contends_with_neighbour_traffic() {
+        let cfg = FabricConfig::new(4, LinkGen::Pcie3).with_topology(Topology::Ring);
+        let mut f = Fabric::new(cfg);
+        // G0 -> G2 transits the G0->G1 link...
+        f.transfer(G0, G2, 1300, Cycle::ZERO).unwrap();
+        // ...so a subsequent G0 -> G1 transfer queues behind it.
+        let t = f.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        assert!(t.arrived > Cycle::new(100 + 1300));
+    }
+
+    #[test]
+    fn ring_uses_shortest_direction() {
+        let cfg = FabricConfig::new(4, LinkGen::Pcie3).with_topology(Topology::Ring);
+        let mut f = Fabric::new(cfg);
+        // G3 -> G0 is one counter... clockwise hop (3 -> 0), not three.
+        let t = f.transfer(G3, G0, 1300, Cycle::ZERO).unwrap();
+        assert_eq!(t.arrived, Cycle::new(100 + 1300));
+    }
+
+    #[test]
+    fn counters_track_all_traffic() {
+        let mut f = pcie3_4gpu();
+        f.transfer(G0, G1, 100, Cycle::ZERO).unwrap();
+        f.transfer(G1, G0, 50, Cycle::ZERO).unwrap();
+        assert_eq!(f.counters().total_bytes(), 150);
+        f.reset();
+        assert_eq!(f.counters().total_bytes(), 0);
+        assert_eq!(f.egress_free(G0), Cycle::ZERO);
+    }
+}

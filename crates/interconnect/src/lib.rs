@@ -1,0 +1,32 @@
+//! Inter-GPU interconnect models for the GPS reproduction.
+//!
+//! The paper evaluates GPS across PCIe generations 3.0 through a projected
+//! 6.0 (Figure 13), motivates the work with the persistent ~3x local/remote
+//! bandwidth gap across five NVIDIA platform generations (Figure 3), and
+//! reports total interconnect traffic per paradigm (Figure 10). This crate
+//! provides:
+//!
+//! * [`LinkGen`] — the interconnect generation menu with effective
+//!   per-direction, per-GPU bandwidth and hop latency.
+//! * [`PlatformSpec`] / [`PLATFORMS`] — the Figure 3 local-vs-remote
+//!   bandwidth table.
+//! * [`BandwidthResource`] — booked-next-free-time serialisation of a
+//!   bandwidth-limited resource (also used by the DRAM model in `gps-sim`).
+//! * [`Fabric`] — a switch-attached topology in which every GPU owns one
+//!   ingress and one egress link; transfers are cut-through and
+//!   backpressure both endpoints.
+//! * [`TrafficCounters`] — per-source/destination byte accounting behind
+//!   Figure 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod fabric;
+mod resource;
+mod spec;
+
+pub use counters::TrafficCounters;
+pub use fabric::{Fabric, FabricConfig, Topology, Transfer};
+pub use resource::BandwidthResource;
+pub use spec::{LinkGen, PlatformSpec, PLATFORMS};

@@ -1,0 +1,238 @@
+//! The conventional per-GPU page table, extended with the GPS bit.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gps_types::{GpsError, GpuId, PageSize, Ppn, Result, Vpn};
+
+/// A conventional page table entry, extended with the single re-purposed
+/// **GPS bit** of §5.2.
+///
+/// In the paper's design each GPU's conventional page table translates a GPS
+/// virtual page to the physical address of the *local replica* when the GPU
+/// subscribes to the page, or to a remote subscriber's physical memory when
+/// it does not. The GPS bit tells store hardware to also forward the write
+/// to the GPS unit for replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pte {
+    /// The GPU whose physical memory backs this translation.
+    pub location: GpuId,
+    /// Physical page number within `location`'s memory.
+    pub ppn: Ppn,
+    /// The GPS bit: when set, stores to the page are forwarded to the GPS
+    /// remote write queue for replication to subscribers.
+    pub gps: bool,
+}
+
+impl Pte {
+    /// Creates a conventional (non-GPS) entry.
+    pub const fn conventional(location: GpuId, ppn: Ppn) -> Self {
+        Self {
+            location,
+            ppn,
+            gps: false,
+        }
+    }
+
+    /// Creates a GPS-enabled entry.
+    pub const fn gps(location: GpuId, ppn: Ppn) -> Self {
+        Self {
+            location,
+            ppn,
+            gps: true,
+        }
+    }
+
+    /// Whether this translation points at `gpu`'s own memory.
+    pub fn is_local_to(&self, gpu: GpuId) -> bool {
+        self.location == gpu
+    }
+}
+
+/// One GPU's page table: a flat map from [`Vpn`] to [`Pte`].
+///
+/// A real GV100 uses a 5-level radix table; the *walk latency* is modelled by
+/// the simulator's TLB-miss path, so the functional container here can be a
+/// hash map without affecting timing fidelity.
+///
+/// ```
+/// use gps_mem::{PageTable, Pte};
+/// use gps_types::{GpuId, PageSize, Ppn, Vpn};
+///
+/// let mut pt = PageTable::new(GpuId::new(0), PageSize::Standard64K);
+/// pt.map(Vpn::new(3), Pte::conventional(GpuId::new(0), Ppn::new(77)));
+/// assert_eq!(pt.translate(Vpn::new(3)).unwrap().ppn, Ppn::new(77));
+/// assert!(pt.translate(Vpn::new(4)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    gpu: GpuId,
+    page_size: PageSize,
+    entries: HashMap<Vpn, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table for `gpu` with the given page size.
+    pub fn new(gpu: GpuId, page_size: PageSize) -> Self {
+        Self {
+            gpu,
+            page_size,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The GPU this table belongs to.
+    pub fn gpu(&self) -> GpuId {
+        self.gpu
+    }
+
+    /// The page size this table translates at.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs (or replaces) the translation for `vpn`, returning the
+    /// previous entry if one existed.
+    pub fn map(&mut self, vpn: Vpn, pte: Pte) -> Option<Pte> {
+        self.entries.insert(vpn, pte)
+    }
+
+    /// Removes the translation for `vpn`, returning it if present.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Looks up the translation for `vpn`.
+    pub fn translate(&self, vpn: Vpn) -> Option<Pte> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Looks up the translation for `vpn`, failing with
+    /// [`GpsError::Unmapped`] when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Unmapped`] if `vpn` has no translation.
+    pub fn translate_checked(&self, vpn: Vpn) -> Result<Pte> {
+        self.translate(vpn).ok_or(GpsError::Unmapped { vpn })
+    }
+
+    /// Sets or clears the GPS bit on an existing entry.
+    ///
+    /// Clearing the GPS bit is how pages with a single remaining subscriber
+    /// are downgraded to conventional pages (§5.2), and how sys-scoped store
+    /// collapse demotes a page (§5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Unmapped`] if `vpn` has no translation.
+    pub fn set_gps_bit(&mut self, vpn: Vpn, gps: bool) -> Result<()> {
+        match self.entries.get_mut(&vpn) {
+            Some(pte) => {
+                pte.gps = gps;
+                Ok(())
+            }
+            None => Err(GpsError::Unmapped { vpn }),
+        }
+    }
+
+    /// Redirects an existing translation to a new backing location,
+    /// preserving the GPS bit. Used for page migration and collapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Unmapped`] if `vpn` has no translation.
+    pub fn redirect(&mut self, vpn: Vpn, location: GpuId, ppn: Ppn) -> Result<()> {
+        match self.entries.get_mut(&vpn) {
+            Some(pte) => {
+                pte.location = location;
+                pte.ppn = ppn;
+                Ok(())
+            }
+            None => Err(GpsError::Unmapped { vpn }),
+        }
+    }
+
+    /// Iterates over all `(vpn, pte)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.entries.iter().map(|(&v, &p)| (v, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        PageTable::new(GpuId::new(0), PageSize::Standard64K)
+    }
+
+    #[test]
+    fn map_translate_unmap_roundtrip() {
+        let mut pt = table();
+        let pte = Pte::gps(GpuId::new(2), Ppn::new(5));
+        assert_eq!(pt.map(Vpn::new(1), pte), None);
+        assert_eq!(pt.translate(Vpn::new(1)), Some(pte));
+        assert_eq!(pt.unmap(Vpn::new(1)), Some(pte));
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut pt = table();
+        let old = Pte::conventional(GpuId::new(0), Ppn::new(1));
+        let new = Pte::conventional(GpuId::new(1), Ppn::new(2));
+        pt.map(Vpn::new(9), old);
+        assert_eq!(pt.map(Vpn::new(9), new), Some(old));
+        assert_eq!(pt.translate(Vpn::new(9)), Some(new));
+    }
+
+    #[test]
+    fn translate_checked_reports_unmapped() {
+        let pt = table();
+        assert_eq!(
+            pt.translate_checked(Vpn::new(42)).unwrap_err(),
+            GpsError::Unmapped { vpn: Vpn::new(42) }
+        );
+    }
+
+    #[test]
+    fn gps_bit_toggles() {
+        let mut pt = table();
+        pt.map(Vpn::new(0), Pte::conventional(GpuId::new(0), Ppn::new(0)));
+        pt.set_gps_bit(Vpn::new(0), true).unwrap();
+        assert!(pt.translate(Vpn::new(0)).unwrap().gps);
+        pt.set_gps_bit(Vpn::new(0), false).unwrap();
+        assert!(!pt.translate(Vpn::new(0)).unwrap().gps);
+        assert!(pt.set_gps_bit(Vpn::new(1), true).is_err());
+    }
+
+    #[test]
+    fn redirect_moves_backing_store() {
+        let mut pt = table();
+        pt.map(Vpn::new(4), Pte::gps(GpuId::new(0), Ppn::new(10)));
+        pt.redirect(Vpn::new(4), GpuId::new(3), Ppn::new(20)).unwrap();
+        let pte = pt.translate(Vpn::new(4)).unwrap();
+        assert_eq!(pte.location, GpuId::new(3));
+        assert_eq!(pte.ppn, Ppn::new(20));
+        assert!(pte.gps, "redirect must preserve the GPS bit");
+    }
+
+    #[test]
+    fn locality_check() {
+        let pte = Pte::conventional(GpuId::new(2), Ppn::new(0));
+        assert!(pte.is_local_to(GpuId::new(2)));
+        assert!(!pte.is_local_to(GpuId::new(0)));
+    }
+}

@@ -1,0 +1,320 @@
+//! The GPS paradigm: wiring [`GpsSystem`] into the simulator.
+
+use gps_core::{GpsConfig, GpsLoad, GpsStore, GpsSystem};
+use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SimConfig, StoreRoute, Workload};
+use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
+
+/// GPS with automatic subscription management (§6):
+///
+/// * Every shared allocation is registered as an automatic GPS region
+///   (`cudaMallocGPS`), i.e. all GPUs tentatively subscribe.
+/// * Iteration 0 runs under `cuGPSTrackingStart`; at its last phase
+///   barrier, `cuGPSTrackingStop` unsubscribes each GPU from the pages it
+///   never touched.
+/// * Stores to GPS pages coalesce in the per-GPU remote write queue and
+///   broadcast to subscribers; loads are local (or forwarded / remote
+///   fallback for non-subscribers); atomics broadcast uncoalesced;
+///   sys-scoped stores collapse their page.
+/// * The queue drains fully at sys-scoped fences and at every grid-end
+///   implicit release, and kernel completion waits for broadcast
+///   visibility.
+#[derive(Debug)]
+pub struct GpsPolicy {
+    config: GpsConfig,
+    subscription: bool,
+    sys: Option<GpsSystem>,
+    phases_per_iter: usize,
+    profiled: bool,
+    pruned: usize,
+}
+
+impl GpsPolicy {
+    /// GPS as evaluated in the paper (Table 1 hardware, subscription
+    /// tracking on).
+    pub fn new() -> Self {
+        Self::with_config(GpsConfig::paper())
+    }
+
+    /// GPS with custom hardware parameters (write-queue sweeps, profiling
+    /// mode...).
+    pub fn with_config(config: GpsConfig) -> Self {
+        Self {
+            config,
+            subscription: true,
+            sys: None,
+            phases_per_iter: 1,
+            profiled: false,
+            pruned: 0,
+        }
+    }
+
+    /// The Figure 11 ablation: subscription tracking disabled, every GPS
+    /// page stays all-to-all subscribed.
+    pub fn without_subscription() -> Self {
+        let mut p = Self::new();
+        p.subscription = false;
+        p
+    }
+
+    /// The assembled GPS machine (after `init`).
+    pub fn system(&self) -> Option<&GpsSystem> {
+        self.sys.as_ref()
+    }
+
+    fn sys_mut(&mut self) -> &mut GpsSystem {
+        self.sys.as_mut().expect("policy used before init")
+    }
+}
+
+impl Default for GpsPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryPolicy for GpsPolicy {
+    fn name(&self) -> &'static str {
+        if self.subscription {
+            "gps"
+        } else {
+            "gps-nosub"
+        }
+    }
+
+    fn init(&mut self, workload: &Workload, config: &SimConfig) {
+        let mut sys = GpsSystem::new(config.gpu_count, workload.page_size, self.config)
+            .expect("invalid GPS configuration");
+        sys.set_subscription_enabled(self.subscription);
+        for alloc in workload.shared_allocs() {
+            sys.register_region(alloc.range)
+                .expect("workload ranges are disjoint");
+        }
+        self.phases_per_iter = workload.phases_per_iteration.max(1);
+        self.profiled = false;
+        self.pruned = 0;
+        // cuGPSTrackingStart at the top of iteration 0 (Listing 1). With no
+        // shared allocations there is nothing to profile.
+        if sys.runtime().allocated_span().is_some() {
+            sys.tracking_start().expect("fresh tracking session");
+        } else {
+            self.profiled = true;
+        }
+        self.sys = Some(sys);
+    }
+
+    fn route_load(&mut self, gpu: GpuId, line: LineAddr, _ctx: &mut MemCtx<'_>) -> LoadRoute {
+        match self.sys_mut().load(gpu, line) {
+            GpsLoad::LocalReplica => LoadRoute::Local,
+            GpsLoad::Forwarded => LoadRoute::Forwarded,
+            GpsLoad::RemoteFallback { from } => LoadRoute::Remote { from },
+        }
+    }
+
+    fn route_store(
+        &mut self,
+        gpu: GpuId,
+        line: LineAddr,
+        scope: Scope,
+        ctx: &mut MemCtx<'_>,
+    ) -> StoreRoute {
+        match self.sys_mut().store(gpu, line, scope, ctx.now, ctx.fabric) {
+            GpsStore::Local => StoreRoute::Local,
+            GpsStore::RemoteOwner { to } => StoreRoute::Remote { to },
+            GpsStore::Replicated => StoreRoute::LocalReplicated,
+            GpsStore::CollapseStall { ready } => StoreRoute::StallThenLocal { ready },
+        }
+    }
+
+    fn route_atomic(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> StoreRoute {
+        match self.sys_mut().atomic(gpu, line, ctx.now, ctx.fabric) {
+            GpsStore::Local => StoreRoute::Local,
+            GpsStore::RemoteOwner { to } => StoreRoute::Remote { to },
+            GpsStore::Replicated => StoreRoute::LocalReplicated,
+            GpsStore::CollapseStall { ready } => StoreRoute::StallThenLocal { ready },
+        }
+    }
+
+    fn on_tlb_miss(&mut self, gpu: GpuId, vpn: Vpn, _ctx: &mut MemCtx<'_>) {
+        self.sys_mut().tlb_miss(gpu, vpn);
+    }
+
+    fn on_fence(&mut self, gpu: GpuId, scope: Scope, ctx: &mut MemCtx<'_>) -> Cycle {
+        if scope.drains_write_queue() {
+            self.sys_mut().flush(gpu, ctx.now, ctx.fabric)
+        } else {
+            ctx.now
+        }
+    }
+
+    fn on_kernel_end(&mut self, gpu: GpuId, ctx: &mut MemCtx<'_>) -> Cycle {
+        // The implicit release at the end of every grid (§3.3).
+        self.sys_mut().flush(gpu, ctx.now, ctx.fabric)
+    }
+
+    fn on_phase_end(&mut self, phase_idx: usize, ctx: &mut MemCtx<'_>) -> Cycle {
+        if !self.profiled && phase_idx + 1 == self.phases_per_iter {
+            // cuGPSTrackingStop at the end of iteration 0 (Listing 1).
+            self.pruned = self.sys_mut().tracking_stop().expect("tracking active");
+            self.profiled = true;
+        }
+        ctx.now
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        let Some(sys) = self.sys.as_ref() else {
+            return Vec::new();
+        };
+        let hist = sys.subscriber_histogram();
+        let mut m = vec![
+            ("rwq_hit_rate".to_owned(), sys.rwq_overall_hit_rate()),
+            ("gps_tlb_hit_rate".to_owned(), sys.gps_tlb_hit_rate()),
+            ("pruned_subscriptions".to_owned(), self.pruned as f64),
+            (
+                "atomic_broadcasts".to_owned(),
+                sys.atomic_broadcasts() as f64,
+            ),
+        ];
+        for (k, &count) in hist.iter().enumerate() {
+            m.push((format!("pages_{k}_subscribers"), count as f64));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_interconnect::{Fabric, FabricConfig, LinkGen};
+    use gps_types::PageSize;
+
+    const G0: GpuId = GpuId::new(0);
+    const G1: GpuId = GpuId::new(1);
+
+    fn workload() -> Workload {
+        let mut b = gps_sim::WorkloadBuilder::new("t", PageSize::Standard64K, 2);
+        b.alloc_shared("s", 2 * 65536).unwrap();
+        b.alloc_private("p", 65536).unwrap();
+        for _ in 0..2 {
+            b.phase(vec![gps_sim::KernelSpec {
+                name: "k".into(),
+                gpu: G0,
+                cta_count: 1,
+                warps_per_cta: 1,
+                program: std::sync::Arc::new(|_: gps_sim::WarpCtx| {
+                    vec![gps_sim::WarpInstr::Compute(1)]
+                }),
+            }]);
+        }
+        b.build(1).unwrap()
+    }
+
+    fn setup() -> (GpsPolicy, Fabric) {
+        let wl = workload();
+        let mut p = GpsPolicy::new();
+        p.init(&wl, &SimConfig::gv100_system(2));
+        (p, Fabric::new(FabricConfig::new(2, LinkGen::Pcie3)))
+    }
+
+    fn sline(page: u64) -> LineAddr {
+        gps_types::VirtAddr::new((1 << 32) + page * 65536).line()
+    }
+
+    #[test]
+    fn loads_local_stores_replicated() {
+        let (mut p, mut f) = setup();
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut f,
+            page_size: PageSize::Standard64K,
+        };
+        assert_eq!(p.route_load(G1, sline(0), &mut c), LoadRoute::Local);
+        assert_eq!(
+            p.route_store(G0, sline(0), Scope::Weak, &mut c),
+            StoreRoute::LocalReplicated
+        );
+        // Grid-end release drains the queue and costs fabric time.
+        let done = p.on_kernel_end(G0, &mut c);
+        assert!(done > Cycle::ZERO);
+        assert_eq!(c.fabric.counters().total_bytes(), 128);
+    }
+
+    #[test]
+    fn profiling_stops_at_end_of_first_iteration() {
+        let (mut p, mut f) = setup();
+        assert!(p.system().unwrap().is_tracking());
+        {
+            let mut c = MemCtx {
+                now: Cycle::ZERO,
+                fabric: &mut f,
+                page_size: PageSize::Standard64K,
+            };
+            // Only G0 touches page 0; nobody touches page 1.
+            p.on_tlb_miss(G0, sline(0).vpn(PageSize::Standard64K), &mut c);
+            // Two phases per iteration in this workload? phases_per_iter=1,
+            // so the first phase end stops tracking.
+            let _ = p.on_phase_end(0, &mut c);
+        }
+        assert!(!p.system().unwrap().is_tracking());
+        // Page 0 loses G1; untouched page 1 keeps one survivor (loses one
+        // of two GPUs): 2 prunes total.
+        assert_eq!(p.metrics()[2].1, 2.0);
+        // Both pages are single-subscriber now.
+        let hist = p.system().unwrap().subscriber_histogram();
+        assert_eq!(hist[1], 2);
+    }
+
+    #[test]
+    fn non_shared_lines_bypass_gps() {
+        let (mut p, mut f) = setup();
+        let private = gps_types::VirtAddr::new((1 << 32) + 2 * 65536).line();
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut f,
+            page_size: PageSize::Standard64K,
+        };
+        assert_eq!(
+            p.route_store(G0, private, Scope::Weak, &mut c),
+            StoreRoute::Local
+        );
+        assert_eq!(p.route_load(G1, private, &mut c), LoadRoute::Local);
+        assert_eq!(c.fabric.counters().total_bytes(), 0);
+    }
+
+    #[test]
+    fn sys_fence_drains_gpu_and_cta_fences_do_not() {
+        let (mut p, mut f) = setup();
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut f,
+            page_size: PageSize::Standard64K,
+        };
+        p.route_store(G0, sline(0), Scope::Weak, &mut c);
+        assert_eq!(p.on_fence(G0, Scope::Gpu, &mut c), Cycle::ZERO);
+        assert_eq!(c.fabric.counters().total_bytes(), 0);
+        let done = p.on_fence(G0, Scope::Sys, &mut c);
+        assert!(done > Cycle::ZERO);
+        assert_eq!(c.fabric.counters().total_bytes(), 128);
+    }
+
+    #[test]
+    fn atomics_broadcast_immediately() {
+        let (mut p, mut f) = setup();
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut f,
+            page_size: PageSize::Standard64K,
+        };
+        assert_eq!(
+            p.route_atomic(G1, sline(0), &mut c),
+            StoreRoute::LocalReplicated
+        );
+        assert_eq!(c.fabric.counters().total_bytes(), 128);
+        assert_eq!(p.metrics()[0].1, 0.0, "atomics keep the rwq hit rate at 0");
+    }
+
+    #[test]
+    fn ablation_name_differs() {
+        assert_eq!(GpsPolicy::new().name(), "gps");
+        assert_eq!(GpsPolicy::without_subscription().name(), "gps-nosub");
+    }
+}

@@ -1,0 +1,71 @@
+//! The infinite-bandwidth upper bound (§6).
+
+use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
+use gps_types::{GpuId, LineAddr, Scope};
+
+/// The infinite-bandwidth comparison point.
+///
+/// "An upper bound on achievable multi-GPU performance if all data were
+/// always accessible locally at each GPU (i.e., it ignores all transfer
+/// costs). We obtain this comparison by eliding the data transfer time from
+/// the memcpy variant" (§6). Every access is local and barriers release
+/// immediately; [`run_paradigm`] additionally pins the fabric to the
+/// infinite link so any stray booking is free.
+///
+/// [`run_paradigm`]: crate::run_paradigm
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InfiniteBwPolicy;
+
+impl InfiniteBwPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MemoryPolicy for InfiniteBwPolicy {
+    fn name(&self) -> &'static str {
+        "infinite-bw"
+    }
+
+    fn route_load(&mut self, _gpu: GpuId, _line: LineAddr, _ctx: &mut MemCtx<'_>) -> LoadRoute {
+        LoadRoute::Local
+    }
+
+    fn route_store(
+        &mut self,
+        _gpu: GpuId,
+        _line: LineAddr,
+        _scope: Scope,
+        _ctx: &mut MemCtx<'_>,
+    ) -> StoreRoute {
+        StoreRoute::Local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_interconnect::{Fabric, FabricConfig, LinkGen};
+    use gps_types::{Cycle, PageSize};
+
+    #[test]
+    fn everything_is_local_and_free() {
+        let mut p = InfiniteBwPolicy::new();
+        let mut fabric = Fabric::new(FabricConfig::new(2, LinkGen::Infinite));
+        let mut c = MemCtx {
+            now: Cycle::new(5),
+            fabric: &mut fabric,
+            page_size: PageSize::Standard64K,
+        };
+        assert_eq!(
+            p.route_load(GpuId::new(0), LineAddr::new(1), &mut c),
+            LoadRoute::Local
+        );
+        assert_eq!(
+            p.route_store(GpuId::new(1), LineAddr::new(1), Scope::Sys, &mut c),
+            StoreRoute::Local
+        );
+        assert_eq!(p.on_phase_end(0, &mut c), Cycle::new(5));
+    }
+}

@@ -1,0 +1,159 @@
+//! Remote demand loads: the converse of GPS (§6).
+
+use std::collections::HashMap;
+
+use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload};
+use gps_types::{GpuId, LineAddr, Scope, Vpn};
+
+/// Remote Demand Loads.
+///
+/// "While GPS performs all loads locally by issuing the stores to all
+/// subscribers, RDL performs the converse: it issues stores to local memory
+/// and loads to the most recent GPU to issue a store to a given page. We
+/// believe that this paradigm is representative of an expert programmer who
+/// manually tracks writers to each page" (§6). The simulator tracks the
+/// latest writer per page exactly as the paper's does.
+///
+/// Remote loads stall the issuing warp for the interconnect round trip
+/// unless enough warp parallelism hides it — which is why RDL "performs
+/// well for applications where multi-threading is sufficient to hide remote
+/// load latencies; however, for others, these loads lie in the critical
+/// path" (§7.1).
+#[derive(Debug, Default)]
+pub struct RdlPolicy {
+    index: Option<SharedIndex>,
+    last_writer: HashMap<Vpn, GpuId>,
+    remote_loads: u64,
+    local_loads: u64,
+}
+
+impl RdlPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn is_shared(&self, line: LineAddr) -> bool {
+        self.index.as_ref().is_some_and(|i| i.is_shared(line))
+    }
+}
+
+impl MemoryPolicy for RdlPolicy {
+    fn name(&self) -> &'static str {
+        "rdl"
+    }
+
+    fn init(&mut self, workload: &Workload, _config: &SimConfig) {
+        self.index = Some(workload.index());
+    }
+
+    fn route_load(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> LoadRoute {
+        if !self.is_shared(line) {
+            return LoadRoute::Local;
+        }
+        match self.last_writer.get(&ctx.vpn_of(line)) {
+            Some(&writer) if writer != gpu => {
+                self.remote_loads += 1;
+                LoadRoute::Remote { from: writer }
+            }
+            _ => {
+                self.local_loads += 1;
+                LoadRoute::Local
+            }
+        }
+    }
+
+    fn route_store(
+        &mut self,
+        gpu: GpuId,
+        line: LineAddr,
+        _scope: Scope,
+        ctx: &mut MemCtx<'_>,
+    ) -> StoreRoute {
+        if self.is_shared(line) {
+            self.last_writer.insert(ctx.vpn_of(line), gpu);
+        }
+        StoreRoute::Local
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("rdl_remote_loads".to_owned(), self.remote_loads as f64),
+            ("rdl_local_loads".to_owned(), self.local_loads as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_interconnect::{Fabric, FabricConfig, LinkGen};
+    use gps_types::{Cycle, PageSize, VirtAddr};
+
+    const G0: GpuId = GpuId::new(0);
+    const G1: GpuId = GpuId::new(1);
+
+    fn policy() -> RdlPolicy {
+        let mut b = gps_sim::WorkloadBuilder::new("t", PageSize::Standard64K, 2);
+        b.alloc_shared("s", 65536).unwrap();
+        b.phase(vec![gps_sim::KernelSpec {
+            name: "k".into(),
+            gpu: G0,
+            cta_count: 1,
+            warps_per_cta: 1,
+            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| vec![gps_sim::WarpInstr::Compute(1)]),
+        }]);
+        let wl = b.build(1).unwrap();
+        let mut p = RdlPolicy::new();
+        p.init(&wl, &SimConfig::gv100_system(2));
+        p
+    }
+
+    fn sline() -> LineAddr {
+        VirtAddr::new(1 << 32).line()
+    }
+
+    #[test]
+    fn loads_follow_the_last_writer() {
+        let mut p = policy();
+        let mut fabric = Fabric::new(FabricConfig::new(2, LinkGen::Pcie3));
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut fabric,
+            page_size: PageSize::Standard64K,
+        };
+        // Untouched page: local.
+        assert_eq!(p.route_load(G1, sline(), &mut c), LoadRoute::Local);
+        // G0 writes; G1's loads go to G0.
+        p.route_store(G0, sline(), Scope::Weak, &mut c);
+        assert_eq!(
+            p.route_load(G1, sline(), &mut c),
+            LoadRoute::Remote { from: G0 }
+        );
+        // The writer itself reads locally.
+        assert_eq!(p.route_load(G0, sline(), &mut c), LoadRoute::Local);
+        // Ownership follows the most recent writer.
+        p.route_store(G1, sline(), Scope::Weak, &mut c);
+        assert_eq!(
+            p.route_load(G0, sline(), &mut c),
+            LoadRoute::Remote { from: G1 }
+        );
+        assert_eq!(p.metrics()[0].1, 2.0);
+    }
+
+    #[test]
+    fn stores_never_leave_the_gpu() {
+        let mut p = policy();
+        let mut fabric = Fabric::new(FabricConfig::new(2, LinkGen::Pcie3));
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut fabric,
+            page_size: PageSize::Standard64K,
+        };
+        assert_eq!(
+            p.route_store(G0, sline(), Scope::Weak, &mut c),
+            StoreRoute::Local
+        );
+        assert_eq!(c.fabric.counters().total_bytes(), 0);
+    }
+}

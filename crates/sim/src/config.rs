@@ -1,0 +1,251 @@
+//! Machine and timing configuration (Table 1 plus timing constants).
+
+use serde::{Deserialize, Serialize};
+
+use gps_interconnect::Topology;
+use gps_types::{Bandwidth, GpsError, Latency, PageSize, Result, GIB, KIB, MIB};
+
+/// Architectural and timing parameters of one simulated GPU.
+///
+/// Defaults ([`GpuConfig::gv100`]) encode Table 1's NVIDIA V100 settings:
+/// 80 SMs, 128 B cache blocks, 6 MB L2, 2048 threads (64 warps) per SM,
+/// 16 GB of global memory — augmented with the timing constants a
+/// system-level simulator needs (latencies, DRAM bandwidth, launch
+/// overheads), chosen to match public V100 microbenchmark numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors per GPU (Table 1: 80).
+    pub sms: usize,
+    /// Threads per warp (Table 1: 32).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM (Table 1: 2048 -> 64 warps).
+    pub max_threads_per_sm: u32,
+    /// Maximum threads per CTA (Table 1: 1024).
+    pub max_threads_per_cta: u32,
+    /// Maximum resident CTAs per SM (V100: 32).
+    pub max_ctas_per_sm: u32,
+
+    /// Per-SM L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: Latency,
+
+    /// L2 capacity in bytes (Table 1: 6 MB).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: Latency,
+
+    /// Device memory capacity (Table 1: 16 GB).
+    pub dram_bytes: u64,
+    /// Device memory bandwidth (V100 HBM2: ~900 GB/s).
+    pub dram_bandwidth: Bandwidth,
+    /// DRAM access latency beyond L2 (row access + return).
+    pub dram_latency: Latency,
+
+    /// Last-level TLB entries.
+    pub tlb_entries: usize,
+    /// Last-level TLB associativity.
+    pub tlb_assoc: usize,
+    /// Page-walk penalty applied on a last-level TLB miss.
+    pub tlb_walk_latency: Latency,
+    /// Service interval of the (shared) hardware page walker: successive
+    /// walks on one GPU are at least this far apart. Finite walker
+    /// throughput is what makes 4 KiB pages expensive (§7.4: "it
+    /// significantly increases the pressure on all the TLBs in the GPU").
+    pub tlb_walker_interval: Latency,
+
+    /// Host-side kernel launch overhead.
+    pub kernel_launch_overhead: Latency,
+    /// Additional host-side synchronisation cost at each phase barrier.
+    pub phase_sync_overhead: Latency,
+}
+
+impl GpuConfig {
+    /// Table 1's GV100 configuration.
+    pub fn gv100() -> Self {
+        Self {
+            sms: 80,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_threads_per_cta: 1024,
+            max_ctas_per_sm: 32,
+            l1_bytes: 32 * KIB,
+            l1_assoc: 4,
+            l1_latency: Latency::from_nanos(28),
+            l2_bytes: 6 * MIB,
+            l2_assoc: 16,
+            l2_latency: Latency::from_nanos(190),
+            dram_bytes: 16 * GIB,
+            dram_bandwidth: Bandwidth::gb_per_sec(900.0),
+            dram_latency: Latency::from_nanos(240),
+            tlb_entries: 2048,
+            tlb_assoc: 8,
+            tlb_walk_latency: Latency::from_nanos(320),
+            tlb_walker_interval: Latency::from_nanos(40),
+            kernel_launch_overhead: Latency::from_micros(6),
+            phase_sync_overhead: Latency::from_micros(10),
+        }
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Resident CTA slots per SM for a kernel whose CTAs hold
+    /// `warps_per_cta` warps.
+    pub fn cta_slots_per_sm(&self, warps_per_cta: u32) -> u32 {
+        (self.max_warps_per_sm() / warps_per_cta.max(1)).clamp(1, self.max_ctas_per_sm)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Config`] on zero-sized structures or impossible
+    /// geometry.
+    pub fn validate(&self) -> Result<()> {
+        let reject = |reason: String| Err(GpsError::Config { reason });
+        if self.sms == 0 {
+            return reject("sms must be positive".into());
+        }
+        if self.warp_size == 0 || self.max_threads_per_sm < self.warp_size {
+            return reject("SM must hold at least one warp".into());
+        }
+        if self.max_threads_per_cta > self.max_threads_per_sm {
+            return reject("CTA cannot exceed SM thread capacity".into());
+        }
+        if self.l1_bytes == 0 || self.l2_bytes == 0 || self.dram_bytes == 0 {
+            return reject("memory levels must be non-empty".into());
+        }
+        if self.tlb_entries == 0 || self.tlb_assoc == 0 {
+            return reject("TLB must be non-empty".into());
+        }
+        if !(self.tlb_entries / self.tlb_assoc).is_power_of_two() {
+            return reject(format!(
+                "TLB sets ({}) must be a power of two",
+                self.tlb_entries / self.tlb_assoc
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::gv100()
+    }
+}
+
+/// Full simulation configuration: the machine an [`Engine`] models.
+///
+/// [`Engine`]: crate::Engine
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of GPUs.
+    pub gpu_count: usize,
+    /// Per-GPU architecture.
+    pub gpu: GpuConfig,
+    /// Page size used by all address spaces in the run (64 KiB default).
+    pub page_size: PageSize,
+    /// Inter-GPU link arrangement (central switch by default, as in the
+    /// paper's evaluated systems).
+    pub topology: Topology,
+}
+
+impl SimConfig {
+    /// A `gpu_count`-GPU GV100 system with 64 KiB pages.
+    pub fn gv100_system(gpu_count: usize) -> Self {
+        Self {
+            gpu_count,
+            gpu: GpuConfig::gv100(),
+            page_size: PageSize::Standard64K,
+            topology: Topology::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Config`] if `gpu_count` is zero or the GPU
+    /// configuration is invalid.
+    pub fn validate(&self) -> Result<()> {
+        if self.gpu_count == 0 {
+            return Err(GpsError::Config {
+                reason: "gpu_count must be positive".into(),
+            });
+        }
+        self.gpu.validate()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::gv100_system(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gv100_matches_table1() {
+        let g = GpuConfig::gv100();
+        assert_eq!(g.sms, 80);
+        assert_eq!(g.warp_size, 32);
+        assert_eq!(g.max_threads_per_sm, 2048);
+        assert_eq!(g.max_threads_per_cta, 1024);
+        assert_eq!(g.l2_bytes, 6 * MIB);
+        assert_eq!(g.dram_bytes, 16 * GIB);
+        assert_eq!(g.max_warps_per_sm(), 64);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn cta_slots_respect_both_limits() {
+        let g = GpuConfig::gv100();
+        // 64 warps / 2 warps-per-CTA = 32 slots (hits the CTA cap exactly).
+        assert_eq!(g.cta_slots_per_sm(2), 32);
+        // 64 / 1 = 64 would exceed the 32-CTA cap.
+        assert_eq!(g.cta_slots_per_sm(1), 32);
+        // 64 / 32 = 2 slots of full-size CTAs.
+        assert_eq!(g.cta_slots_per_sm(32), 2);
+        // Degenerate: zero-warp CTA treated as one warp.
+        assert_eq!(g.cta_slots_per_sm(0), 32);
+        // Oversized CTA still gets one slot.
+        assert_eq!(g.cta_slots_per_sm(128), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut g = GpuConfig::gv100();
+        g.sms = 0;
+        assert!(g.validate().is_err());
+
+        let mut g = GpuConfig::gv100();
+        g.max_threads_per_cta = 4096;
+        assert!(g.validate().is_err());
+
+        let mut g = GpuConfig::gv100();
+        g.tlb_entries = 24; // 3 sets at assoc 8
+        assert!(g.validate().is_err());
+
+        let mut s = SimConfig::gv100_system(4);
+        s.gpu_count = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn default_system_is_4_gpus() {
+        let s = SimConfig::default();
+        assert_eq!(s.gpu_count, 4);
+        assert_eq!(s.page_size, PageSize::Standard64K);
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,739 @@
+//! The discrete-event simulation engine.
+//!
+//! One [`Engine`] run replays a [`Workload`] against a machine described by
+//! [`SimConfig`] under a [`MemoryPolicy`], producing a [`SimReport`].
+//!
+//! # Execution model
+//!
+//! * Warps are the schedulable entities. A global binary heap orders warp
+//!   resume events by `(time, sequence)` across all GPUs, so cross-GPU
+//!   fabric contention is booked in (near) time order and runs are
+//!   deterministic.
+//! * Each SM owns an issue port: one warp instruction issues per cycle;
+//!   `Compute(c)` occupies the port for `c` cycles (other warps on other
+//!   SMs proceed; other warps on the *same* SM queue behind it — the
+//!   standard throughput abstraction for a system-level model).
+//! * Loads stall their warp until every line of the coalesced range has
+//!   arrived; stores and atomics never stall (the asymmetry GPS exploits).
+//! * CTAs are scheduled onto SMs with bounded residency
+//!   ([`GpuConfig::cta_slots_per_sm`]); finished CTAs free their slot for
+//!   pending CTAs of the same grid.
+//! * Kernels launched on the same GPU within a phase run back-to-back with
+//!   a launch overhead; a phase ends with a global barrier at which the
+//!   policy may copy data (memcpy paradigm) or drain write queues (GPS).
+//!
+//! [`GpuConfig::cta_slots_per_sm`]: crate::GpuConfig::cta_slots_per_sm
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use gps_interconnect::{Fabric, FabricConfig, LinkGen};
+use gps_mem::{Tlb, TlbConfig};
+use gps_types::{
+    Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES,
+};
+
+use crate::cache::{Cache, CacheConfig, Lookup};
+use crate::config::SimConfig;
+use crate::dram::DramModel;
+use crate::instr::{WarpCtx, WarpInstr};
+use crate::policy::{LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
+use crate::stats::{GpuReport, SimReport, TlbCounts};
+use crate::workload::{KernelSpec, Workload};
+
+/// Replays one workload under one memory policy.
+///
+/// ```
+/// use std::sync::Arc;
+/// use gps_sim::{AllLocalPolicy, Engine, KernelSpec, SimConfig,
+///               WarpCtx, WarpInstr, WorkloadBuilder};
+/// use gps_interconnect::LinkGen;
+/// use gps_types::{GpuId, PageSize};
+///
+/// let mut b = WorkloadBuilder::new("demo", PageSize::Standard64K, 1);
+/// let data = b.alloc_shared("data", 1 << 20)?;
+/// let line = data.base().line();
+/// b.phase(vec![KernelSpec {
+///     name: "touch".into(),
+///     gpu: GpuId::new(0),
+///     cta_count: 4,
+///     warps_per_cta: 2,
+///     program: Arc::new(move |_: WarpCtx| vec![WarpInstr::load1(line)]),
+/// }]);
+/// let workload = b.build(1)?;
+///
+/// let mut policy = AllLocalPolicy::new();
+/// let report = Engine::new(SimConfig::gv100_system(1), LinkGen::Pcie3,
+///                          &workload, &mut policy)?
+///     .run();
+/// assert_eq!(report.per_gpu[0].warps, 8);
+/// # Ok::<(), gps_types::GpsError>(())
+/// ```
+pub struct Engine<'a> {
+    config: SimConfig,
+    link: LinkGen,
+    workload: &'a Workload,
+    policy: &'a mut dyn MemoryPolicy,
+}
+
+struct GpuState {
+    sm_issue: Vec<Cycle>,
+    sm_busy: u64,
+    l1: Vec<Cache>,
+    l1_hits: u64,
+    l1_misses: u64,
+    l2: Cache,
+    dram: DramModel,
+    tlb: Tlb<()>,
+    /// Next time the shared page walker can start a new walk.
+    walker_free: Cycle,
+    instructions: u64,
+    warps_done: u64,
+    kernels_done: u64,
+}
+
+struct Warp {
+    gpu: usize,
+    sm: usize,
+    cta: u32,
+    instrs: Vec<WarpInstr>,
+    pc: usize,
+    ready: Cycle,
+}
+
+/// Per-GPU state of the kernel currently running (one at a time per GPU).
+struct KernelRun {
+    spec: KernelSpec,
+    /// Next CTA index not yet launched.
+    next_cta: u32,
+    /// Live warps per launched CTA (indexed by CTA id).
+    cta_live: Vec<u32>,
+    /// Warps still running across the grid.
+    live_warps: u64,
+    /// Latest warp completion seen so far.
+    last_done: Cycle,
+    /// Round-robin SM cursor for CTA placement.
+    sm_cursor: usize,
+    /// Resident CTAs per SM.
+    sm_resident: Vec<u32>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Config`] if the machine configuration is invalid,
+    /// the workload was partitioned for a different GPU count, or the page
+    /// sizes disagree.
+    pub fn new(
+        config: SimConfig,
+        link: LinkGen,
+        workload: &'a Workload,
+        policy: &'a mut dyn MemoryPolicy,
+    ) -> Result<Self> {
+        config.validate()?;
+        workload.validate()?;
+        if workload.gpu_count != config.gpu_count {
+            return Err(GpsError::Config {
+                reason: format!(
+                    "workload partitioned for {} GPUs, machine has {}",
+                    workload.gpu_count, config.gpu_count
+                ),
+            });
+        }
+        if workload.page_size != config.page_size {
+            return Err(GpsError::PageSizeMismatch {
+                expected: config.page_size,
+                actual: workload.page_size,
+            });
+        }
+        Ok(Self {
+            config,
+            link,
+            workload,
+            policy,
+        })
+    }
+
+    /// Runs the workload to completion.
+    pub fn run(mut self) -> SimReport {
+        let gc = self.config.gpu_count;
+        let gpu_cfg = self.config.gpu;
+        let tlb_cfg = TlbConfig {
+            sets: gpu_cfg.tlb_entries / gpu_cfg.tlb_assoc,
+            ways: gpu_cfg.tlb_assoc,
+        };
+        let mut gpus: Vec<GpuState> = (0..gc)
+            .map(|_| GpuState {
+                sm_issue: vec![Cycle::ZERO; gpu_cfg.sms],
+                sm_busy: 0,
+                l1: (0..gpu_cfg.sms)
+                    .map(|_| Cache::new(CacheConfig::new(gpu_cfg.l1_bytes, gpu_cfg.l1_assoc)))
+                    .collect(),
+                l1_hits: 0,
+                l1_misses: 0,
+                l2: Cache::new(CacheConfig::new(gpu_cfg.l2_bytes, gpu_cfg.l2_assoc)),
+                dram: DramModel::new(gpu_cfg.dram_bandwidth, gpu_cfg.dram_latency),
+                tlb: Tlb::new(tlb_cfg),
+                walker_free: Cycle::ZERO,
+                instructions: 0,
+                warps_done: 0,
+                kernels_done: 0,
+            })
+            .collect();
+        let mut fabric =
+            Fabric::new(FabricConfig::new(gc, self.link).with_topology(self.config.topology));
+
+        self.policy.init(self.workload, &self.config);
+
+        let mut warps: Vec<Warp> = Vec::new();
+        let mut free_slots: Vec<usize> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+
+        let mut phase_ends: Vec<Cycle> = Vec::new();
+        let mut phase_traffic: Vec<u64> = Vec::new();
+        let mut phase_start = Cycle::ZERO;
+
+        for (phase_idx, phase) in self.workload.phases.iter().enumerate() {
+            {
+                let mut ctx = MemCtx {
+                    now: phase_start,
+                    fabric: &mut fabric,
+                    page_size: self.config.page_size,
+                };
+                let gate = self.policy.on_phase_start(phase_idx, &mut ctx);
+                phase_start = phase_start.max(gate);
+            }
+
+            // Per-GPU launch queues for this phase.
+            let mut queues: Vec<VecDeque<KernelSpec>> = (0..gc)
+                .map(|g| phase.launches_for(GpuId::new(g as u16)).cloned().collect())
+                .collect();
+            let mut running: Vec<Option<KernelRun>> = (0..gc).map(|_| None).collect();
+            let mut gpu_done: Vec<Option<Cycle>> = (0..gc).map(|_| None).collect();
+
+            for g in 0..gc {
+                if let Some(spec) = queues[g].pop_front() {
+                    let at = phase_start + gpu_cfg.kernel_launch_overhead;
+                    let run = self.start_kernel(
+                        g,
+                        spec,
+                        at,
+                        &mut warps,
+                        &mut free_slots,
+                        &mut heap,
+                        &mut seq,
+                    );
+                    running[g] = Some(run);
+                } else {
+                    gpu_done[g] = Some(phase_start);
+                }
+            }
+
+            // Drain the event heap for this phase.
+            while let Some(Reverse((_, _, slot))) = heap.pop() {
+                let g = warps[slot].gpu;
+                self.step_warp(slot, &mut warps, &mut gpus, &mut fabric);
+
+                let finished = warps[slot].pc >= warps[slot].instrs.len();
+                if !finished {
+                    seq += 1;
+                    heap.push(Reverse((warps[slot].ready.as_u64(), seq, slot)));
+                    continue;
+                }
+
+                // Warp retired.
+                let done_at = warps[slot].ready;
+                let cta = warps[slot].cta;
+                let sm = warps[slot].sm;
+                gpus[g].warps_done += 1;
+                free_slots.push(slot);
+                warps[slot].instrs = Vec::new();
+
+                let kernel_finished = {
+                    let run = running[g].as_mut().expect("warp without kernel");
+                    run.live_warps -= 1;
+                    run.last_done = run.last_done.max(done_at);
+                    run.cta_live[cta as usize] -= 1;
+                    if run.cta_live[cta as usize] == 0 {
+                        run.sm_resident[sm] -= 1;
+                        // Launch a pending CTA into the freed slot.
+                        if run.next_cta < run.spec.cta_count {
+                            let cta_idx = run.next_cta;
+                            run.next_cta += 1;
+                            run.sm_resident[sm] += 1;
+                            run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
+                            let spec = run.spec.clone();
+                            Self::spawn_cta(
+                                self.workload.gpu_count as u32,
+                                g,
+                                sm,
+                                &spec,
+                                cta_idx,
+                                done_at,
+                                &mut warps,
+                                &mut free_slots,
+                                &mut heap,
+                                &mut seq,
+                            );
+                        }
+                    }
+                    run.live_warps == 0
+                };
+
+                if kernel_finished {
+                    let run = running[g].take().expect("just observed");
+                    gpus[g].kernels_done += 1;
+                    // Grid-end implicit release: L1s drop everything, the
+                    // L2 drops peer-homed lines, the policy drains.
+                    for l1 in &mut gpus[g].l1[..] {
+                        l1.invalidate_all();
+                    }
+                    gpus[g].l2.invalidate_remote(GpuId::new(g as u16));
+                    let visible = {
+                        let mut ctx = MemCtx {
+                            now: run.last_done,
+                            fabric: &mut fabric,
+                            page_size: self.config.page_size,
+                        };
+                        self.policy.on_kernel_end(GpuId::new(g as u16), &mut ctx)
+                    };
+                    if let Some(spec) = queues[g].pop_front() {
+                        let at = visible + gpu_cfg.kernel_launch_overhead;
+                        let run = self.start_kernel(
+                            g,
+                            spec,
+                            at,
+                            &mut warps,
+                            &mut free_slots,
+                            &mut heap,
+                            &mut seq,
+                        );
+                        running[g] = Some(run);
+                    } else {
+                        gpu_done[g] = Some(visible);
+                    }
+                }
+            }
+
+            let barrier = gpu_done
+                .iter()
+                .map(|d| d.expect("phase drained with running GPU"))
+                .max()
+                .unwrap_or(phase_start);
+            let release = {
+                let mut ctx = MemCtx {
+                    now: barrier,
+                    fabric: &mut fabric,
+                    page_size: self.config.page_size,
+                };
+                self.policy.on_phase_end(phase_idx, &mut ctx)
+            };
+            phase_ends.push(release);
+            phase_traffic.push(fabric.counters().total_bytes());
+            phase_start = release + gpu_cfg.phase_sync_overhead;
+        }
+
+        let total = phase_ends.last().copied().unwrap_or(Cycle::ZERO);
+        let mut report = SimReport {
+            workload: self.workload.name.clone(),
+            policy: self.policy.name().to_owned(),
+            gpu_count: gc,
+            link: self.link.label().to_owned(),
+            total_cycles: total,
+            phase_ends,
+            phase_traffic,
+            interconnect_bytes: 0,
+            interconnect_transfers: 0,
+            per_gpu: gpus
+                .iter()
+                .map(|g| GpuReport {
+                    l1_hits: g.l1_hits,
+                    l1_misses: g.l1_misses,
+                    l2_hits: g.l2.stats().hits,
+                    l2_misses: g.l2.stats().misses,
+                    l2_writebacks: g.l2.stats().writebacks,
+                    tlb: TlbCounts {
+                        hits: g.tlb.stats().hits,
+                        misses: g.tlb.stats().misses,
+                    },
+                    sm_busy_cycles: g.sm_busy,
+                    dram_read_bytes: g.dram.read_bytes(),
+                    dram_write_bytes: g.dram.write_bytes(),
+                    instructions: g.instructions,
+                    warps: g.warps_done,
+                    kernels: g.kernels_done,
+                })
+                .collect(),
+            policy_metrics: self.policy.metrics(),
+        };
+        report.absorb_traffic(fabric.counters());
+        report
+    }
+
+    /// Creates the runtime state for a kernel and spawns its first wave of
+    /// CTAs.
+    #[allow(clippy::too_many_arguments)]
+    fn start_kernel(
+        &mut self,
+        gpu: usize,
+        spec: KernelSpec,
+        at: Cycle,
+        warps: &mut Vec<Warp>,
+        free_slots: &mut Vec<usize>,
+        heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+        seq: &mut u64,
+    ) -> KernelRun {
+        let gpu_cfg = self.config.gpu;
+        let slots_per_sm = gpu_cfg.cta_slots_per_sm(spec.warps_per_cta);
+        let mut run = KernelRun {
+            next_cta: 0,
+            cta_live: vec![0; spec.cta_count as usize],
+            live_warps: 0,
+            last_done: at,
+            sm_cursor: 0,
+            sm_resident: vec![0; gpu_cfg.sms],
+            spec,
+        };
+        run.live_warps = run.spec.total_warps() as u64;
+
+        // First wave: round-robin CTAs over SMs until residency is full or
+        // CTAs run out.
+        let capacity = slots_per_sm as u64 * gpu_cfg.sms as u64;
+        let first_wave = (run.spec.cta_count as u64).min(capacity) as u32;
+        for _ in 0..first_wave {
+            let cta_idx = run.next_cta;
+            run.next_cta += 1;
+            // Find next SM with room.
+            let mut sm = run.sm_cursor;
+            while run.sm_resident[sm] >= slots_per_sm {
+                sm = (sm + 1) % gpu_cfg.sms;
+            }
+            run.sm_cursor = (sm + 1) % gpu_cfg.sms;
+            run.sm_resident[sm] += 1;
+            run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
+            Self::spawn_cta(
+                self.workload.gpu_count as u32,
+                gpu,
+                sm,
+                &run.spec,
+                cta_idx,
+                at,
+                warps,
+                free_slots,
+                heap,
+                seq,
+            );
+        }
+        run
+    }
+
+    /// Materialises the warps of one CTA and schedules them.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_cta(
+        gpu_count: u32,
+        gpu: usize,
+        sm: usize,
+        spec: &KernelSpec,
+        cta_idx: u32,
+        at: Cycle,
+        warps: &mut Vec<Warp>,
+        free_slots: &mut Vec<usize>,
+        heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+        seq: &mut u64,
+    ) {
+        for w in 0..spec.warps_per_cta {
+            let ctx = WarpCtx {
+                gpu: GpuId::new(gpu as u16),
+                gpu_count,
+                cta: gps_types::CtaId::new(cta_idx),
+                cta_count: spec.cta_count,
+                warp_in_cta: w,
+                warps_per_cta: spec.warps_per_cta,
+            };
+            let instrs = spec.program.warp_instrs(ctx);
+            let warp = Warp {
+                gpu,
+                sm,
+                cta: cta_idx,
+                instrs,
+                pc: 0,
+                ready: at,
+            };
+            let slot = match free_slots.pop() {
+                Some(s) => {
+                    warps[s] = warp;
+                    s
+                }
+                None => {
+                    warps.push(warp);
+                    warps.len() - 1
+                }
+            };
+            if warps[slot].instrs.is_empty() {
+                // Degenerate empty warp: retire immediately by giving it a
+                // single no-op so the bookkeeping path sees it.
+                warps[slot].instrs.push(WarpInstr::Compute(0));
+            }
+            *seq += 1;
+            heap.push(Reverse((at.as_u64(), *seq, slot)));
+        }
+    }
+
+    /// Executes one instruction of warp `slot`.
+    fn step_warp(
+        &mut self,
+        slot: usize,
+        warps: &mut [Warp],
+        gpus: &mut [GpuState],
+        fabric: &mut Fabric,
+    ) {
+        let w = &mut warps[slot];
+        let instr = w.instrs[w.pc];
+        let gcfg = self.config.gpu;
+        let page_size = self.config.page_size;
+        let g = w.gpu;
+        let gpu_id = GpuId::new(g as u16);
+
+        let issue = w.ready.max(gpus[g].sm_issue[w.sm]);
+        gpus[g].instructions += 1;
+
+        match instr {
+            WarpInstr::Compute(c) => {
+                let end = Cycle::new(issue.as_u64() + c as u64);
+                gpus[g].sm_issue[w.sm] = end.max(Cycle::new(issue.as_u64() + 1));
+                gpus[g].sm_busy += (c as u64).max(1);
+                w.ready = end.max(Cycle::new(issue.as_u64() + 1));
+            }
+            WarpInstr::Load(range) => {
+                gpus[g].sm_busy += range.len().max(1) as u64;
+                gpus[g].sm_issue[w.sm] = Cycle::new(issue.as_u64() + range.len().max(1) as u64);
+                let mut ready = Cycle::new(issue.as_u64() + 1);
+                for (i, line) in range.iter().enumerate() {
+                    let t = Cycle::new(issue.as_u64() + i as u64);
+                    let arrival = Self::load_line(
+                        self.policy, gcfg, page_size, gpus, fabric, g, w.sm, line, t,
+                    );
+                    ready = ready.max(arrival);
+                }
+                w.ready = ready;
+            }
+            WarpInstr::Store(range, scope) => {
+                gpus[g].sm_busy += range.len().max(1) as u64;
+                gpus[g].sm_issue[w.sm] = Cycle::new(issue.as_u64() + range.len().max(1) as u64);
+                let mut ready = Cycle::new(issue.as_u64() + 1);
+                for (i, line) in range.iter().enumerate() {
+                    let t = Cycle::new(issue.as_u64() + i as u64);
+                    if let Some(stall) = Self::store_line(
+                        self.policy, gcfg, page_size, gpus, fabric, g, w.sm, line, scope, t,
+                        false,
+                    ) {
+                        ready = ready.max(stall);
+                    }
+                }
+                w.ready = ready;
+            }
+            WarpInstr::Atomic(line) => {
+                gpus[g].sm_busy += 1;
+                gpus[g].sm_issue[w.sm] = Cycle::new(issue.as_u64() + 1);
+                let mut ready = Cycle::new(issue.as_u64() + 1);
+                if let Some(stall) = Self::store_line(
+                    self.policy, gcfg, page_size, gpus, fabric, g, w.sm, line, Scope::Gpu, issue,
+                    true,
+                ) {
+                    ready = ready.max(stall);
+                }
+                w.ready = ready;
+            }
+            WarpInstr::Fence(scope) => {
+                gpus[g].sm_busy += 1;
+                gpus[g].sm_issue[w.sm] = Cycle::new(issue.as_u64() + 1);
+                let mut ctx = MemCtx {
+                    now: issue,
+                    fabric,
+                    page_size,
+                };
+                let done = self.policy.on_fence(gpu_id, scope, &mut ctx);
+                w.ready = done.max(Cycle::new(issue.as_u64() + 1));
+            }
+        }
+        w.pc += 1;
+    }
+
+    /// Translates `vpn`, charging a walk on a miss; returns the time
+    /// translation completes.
+    #[allow(clippy::too_many_arguments)]
+    fn translate(
+        policy: &mut dyn MemoryPolicy,
+        gcfg: &crate::config::GpuConfig,
+        page_size: gps_types::PageSize,
+        gpus: &mut [GpuState],
+        fabric: &mut Fabric,
+        g: usize,
+        line: LineAddr,
+        t: Cycle,
+    ) -> Cycle {
+        let vpn = line.vpn(page_size);
+        if gpus[g].tlb.lookup(vpn).is_some() {
+            t
+        } else {
+            gpus[g].tlb.insert(vpn, ());
+            let mut ctx = MemCtx {
+                now: t,
+                fabric,
+                page_size,
+            };
+            policy.on_tlb_miss(GpuId::new(g as u16), vpn, &mut ctx);
+            // Walks serialise on the GPU's shared page walker.
+            let start = gpus[g].walker_free.max(t);
+            gpus[g].walker_free = start + gcfg.tlb_walker_interval;
+            start + gcfg.tlb_walk_latency
+        }
+    }
+
+    /// Full load path for one line; returns the data arrival time.
+    #[allow(clippy::too_many_arguments)]
+    fn load_line(
+        policy: &mut dyn MemoryPolicy,
+        gcfg: crate::config::GpuConfig,
+        page_size: gps_types::PageSize,
+        gpus: &mut [GpuState],
+        fabric: &mut Fabric,
+        g: usize,
+        sm: usize,
+        line: LineAddr,
+        t: Cycle,
+    ) -> Cycle {
+        let gpu_id = GpuId::new(g as u16);
+        // L1 probe.
+        if gpus[g].l1[sm].probe(line) {
+            gpus[g].l1_hits += 1;
+            return t + gcfg.l1_latency;
+        }
+        gpus[g].l1_misses += 1;
+
+        let t = Self::translate(policy, &gcfg, page_size, gpus, fabric, g, line, t);
+        let route = {
+            let mut ctx = MemCtx {
+                now: t,
+                fabric,
+                page_size,
+            };
+            policy.route_load(gpu_id, line, &mut ctx)
+        };
+        match route {
+            LoadRoute::Local => {
+                let arrival = Self::l2_read(gpus, gcfg, g, line, gpu_id, t);
+                gpus[g].l1[sm].fill(line, gpu_id);
+                arrival
+            }
+            LoadRoute::Remote { from } => {
+                // Peer loads are not cached in the local L2 — remote data
+                // is not kept coherent, which is exactly the gap proposals
+                // like CARVE fill (§8). The per-SM L1 provides the short
+                // intra-kernel reuse window real hardware exhibits.
+                let req_at = t + fabric.link().latency();
+                let data_at = gpus[from.index()].dram.read(CACHE_LINE_BYTES, req_at);
+                let arrived = fabric
+                    .transfer(from, gpu_id, CACHE_LINE_BYTES, data_at)
+                    .map(|tr| tr.arrived)
+                    .unwrap_or(data_at);
+                gpus[g].l1[sm].fill(line, from);
+                arrived
+            }
+            LoadRoute::Forwarded => t + gcfg.l2_latency,
+            LoadRoute::StallThenLocal { ready } => {
+                let t = ready.max(t);
+                let arrival = Self::l2_read(gpus, gcfg, g, line, gpu_id, t);
+                gpus[g].l1[sm].fill(line, gpu_id);
+                arrival
+            }
+        }
+    }
+
+    /// L2 -> DRAM read path for a locally-homed line.
+    fn l2_read(
+        gpus: &mut [GpuState],
+        gcfg: crate::config::GpuConfig,
+        g: usize,
+        line: LineAddr,
+        home: GpuId,
+        t: Cycle,
+    ) -> Cycle {
+        match gpus[g].l2.access_read(line, home) {
+            Lookup::Hit => t + gcfg.l2_latency,
+            Lookup::Miss { evicted } => {
+                if let Some(e) = evicted {
+                    if e.dirty {
+                        gpus[g].dram.write(CACHE_LINE_BYTES, t);
+                    }
+                }
+                gpus[g].dram.read(CACHE_LINE_BYTES, t + gcfg.l2_latency)
+            }
+        }
+    }
+
+    /// Full store/atomic path for one line; returns `Some(ready)` if the
+    /// warp must stall (write faults), else `None`.
+    #[allow(clippy::too_many_arguments)]
+    fn store_line(
+        policy: &mut dyn MemoryPolicy,
+        gcfg: crate::config::GpuConfig,
+        page_size: gps_types::PageSize,
+        gpus: &mut [GpuState],
+        fabric: &mut Fabric,
+        g: usize,
+        sm: usize,
+        line: LineAddr,
+        scope: Scope,
+        t: Cycle,
+        atomic: bool,
+    ) -> Option<Cycle> {
+        let gpu_id = GpuId::new(g as u16);
+        let t = Self::translate(policy, &gcfg, page_size, gpus, fabric, g, line, t);
+        let route = {
+            let mut ctx = MemCtx {
+                now: t,
+                fabric,
+                page_size,
+            };
+            if atomic {
+                policy.route_atomic(gpu_id, line, &mut ctx)
+            } else {
+                policy.route_store(gpu_id, line, scope, &mut ctx)
+            }
+        };
+        // Write-through L1: update in place if present (probe refreshes
+        // LRU); no allocation on store miss.
+        let _ = gpus[g].l1[sm].probe(line);
+        match route {
+            StoreRoute::Local | StoreRoute::LocalReplicated => {
+                Self::l2_write(gpus, g, line, gpu_id, t);
+                None
+            }
+            StoreRoute::Remote { to } => {
+                let _ = fabric.transfer(gpu_id, to, CACHE_LINE_BYTES, t);
+                None
+            }
+            StoreRoute::StallThenLocal { ready } => {
+                let at = ready.max(t);
+                Self::l2_write(gpus, g, line, gpu_id, at);
+                Some(at)
+            }
+        }
+    }
+
+    /// Write-validate L2 store path.
+    fn l2_write(gpus: &mut [GpuState], g: usize, line: LineAddr, home: GpuId, t: Cycle) {
+        if let Lookup::Miss {
+            evicted: Some(e),
+        } = gpus[g].l2.access_write(line, home)
+        {
+            if e.dirty {
+                gpus[g].dram.write(CACHE_LINE_BYTES, t);
+            }
+        }
+    }
+}

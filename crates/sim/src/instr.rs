@@ -1,0 +1,185 @@
+//! The warp-level trace format.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gps_types::{CtaId, GpuId, LineAddr, LineRange, Scope};
+
+/// One warp-level instruction, *after* the SM memory coalescer.
+///
+/// The paper drives NVAS with SASS-level traces; the timing-relevant
+/// residue of a SASS stream at system level is (a) how many cycles of
+/// arithmetic separate memory operations and (b) which cache lines each
+/// coalesced warp access touches. `WarpInstr` encodes exactly that. A fully
+/// coalesced 32-lane x 4 B access is a single 128 B line
+/// (`LineRange::single`); strided accesses cover multiple lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpInstr {
+    /// `cycles` of arithmetic dependent on prior results. Occupies the SM
+    /// issue pipeline for the duration; other resident warps hide it.
+    Compute(u32),
+    /// A coalesced load. The warp stalls until every line has returned
+    /// (lines within the range overlap — memory-level parallelism of an
+    /// unrolled load batch).
+    Load(LineRange),
+    /// A coalesced store at the given scope. Fire-and-forget: the warp does
+    /// not stall (§2.1: "peer-to-peer stores typically do not stall GPU
+    /// thread execution").
+    Store(LineRange, Scope),
+    /// A read-modify-write on one line. Follows the store path through GPS
+    /// (§5.1) but is never coalesced by the remote write queue.
+    Atomic(LineAddr),
+    /// A memory fence at the given scope. `sys` fences drain the GPS remote
+    /// write queue (§5.2).
+    Fence(Scope),
+}
+
+impl WarpInstr {
+    /// A weak store covering one line.
+    pub fn store1(line: LineAddr) -> Self {
+        WarpInstr::Store(LineRange::single(line), Scope::Weak)
+    }
+
+    /// A load covering one line.
+    pub fn load1(line: LineAddr) -> Self {
+        WarpInstr::Load(LineRange::single(line))
+    }
+
+    /// Number of cache lines this instruction touches.
+    pub fn lines_touched(&self) -> u32 {
+        match self {
+            WarpInstr::Compute(_) | WarpInstr::Fence(_) => 0,
+            WarpInstr::Load(r) | WarpInstr::Store(r, _) => r.len(),
+            WarpInstr::Atomic(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for WarpInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarpInstr::Compute(c) => write!(f, "compute({c})"),
+            WarpInstr::Load(r) => write!(f, "load {r}"),
+            WarpInstr::Store(r, s) => write!(f, "store.{s} {r}"),
+            WarpInstr::Atomic(l) => write!(f, "atomic {l}"),
+            WarpInstr::Fence(s) => write!(f, "fence.{s}"),
+        }
+    }
+}
+
+/// The coordinates handed to a [`WarpProgram`] when a warp's trace is
+/// generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpCtx {
+    /// The GPU running the kernel.
+    pub gpu: GpuId,
+    /// Number of GPUs participating in the workload.
+    pub gpu_count: u32,
+    /// The CTA within the grid.
+    pub cta: CtaId,
+    /// Total CTAs in the grid.
+    pub cta_count: u32,
+    /// Warp index within the CTA.
+    pub warp_in_cta: u32,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+}
+
+impl WarpCtx {
+    /// Grid-global warp index.
+    pub fn global_warp(&self) -> u32 {
+        self.cta.raw() * self.warps_per_cta + self.warp_in_cta
+    }
+
+    /// Total warps in the grid.
+    pub fn total_warps(&self) -> u32 {
+        self.cta_count * self.warps_per_cta
+    }
+}
+
+/// Generates the instruction trace of each warp of a kernel.
+///
+/// Implementations must be deterministic in `ctx` — the simulator may
+/// regenerate a warp's trace and two simulations of the same workload must
+/// agree cycle-for-cycle. Workload generators seed any pseudo-randomness
+/// from the warp coordinates.
+pub trait WarpProgram: Send + Sync {
+    /// Produces the full instruction list for the warp at `ctx`.
+    fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr>;
+
+    /// Short label for debugging and reports.
+    fn label(&self) -> &str {
+        "kernel"
+    }
+}
+
+impl<F> WarpProgram for F
+where
+    F: Fn(WarpCtx) -> Vec<WarpInstr> + Send + Sync,
+{
+    fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr> {
+        self(ctx)
+    }
+}
+
+impl WarpProgram for Arc<dyn WarpProgram> {
+    fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr> {
+        (**self).warp_instrs(ctx)
+    }
+
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_touched() {
+        assert_eq!(WarpInstr::Compute(5).lines_touched(), 0);
+        assert_eq!(WarpInstr::load1(LineAddr::new(0)).lines_touched(), 1);
+        assert_eq!(
+            WarpInstr::Store(LineRange::contiguous(LineAddr::new(0), 4), Scope::Weak)
+                .lines_touched(),
+            4
+        );
+        assert_eq!(WarpInstr::Atomic(LineAddr::new(9)).lines_touched(), 1);
+        assert_eq!(WarpInstr::Fence(Scope::Sys).lines_touched(), 0);
+    }
+
+    #[test]
+    fn warp_ctx_indexing() {
+        let ctx = WarpCtx {
+            gpu: GpuId::new(0),
+            gpu_count: 4,
+            cta: CtaId::new(3),
+            cta_count: 10,
+            warp_in_cta: 2,
+            warps_per_cta: 8,
+        };
+        assert_eq!(ctx.global_warp(), 26);
+        assert_eq!(ctx.total_warps(), 80);
+    }
+
+    #[test]
+    fn closures_are_programs() {
+        let prog = |_ctx: WarpCtx| vec![WarpInstr::Compute(1)];
+        let ctx = WarpCtx {
+            gpu: GpuId::new(0),
+            gpu_count: 1,
+            cta: CtaId::new(0),
+            cta_count: 1,
+            warp_in_cta: 0,
+            warps_per_cta: 1,
+        };
+        assert_eq!(prog.warp_instrs(ctx), vec![WarpInstr::Compute(1)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(WarpInstr::Compute(3).to_string(), "compute(3)");
+        assert_eq!(WarpInstr::Fence(Scope::Sys).to_string(), "fence.sys");
+    }
+}

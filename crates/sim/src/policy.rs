@@ -1,0 +1,230 @@
+//! The memory-policy interface: how paradigms observe and route accesses.
+
+use gps_interconnect::Fabric;
+use gps_types::{Cycle, GpuId, LineAddr, PageSize, Scope, Vpn};
+
+use crate::config::SimConfig;
+use crate::workload::Workload;
+
+/// Mutable simulation context handed to every policy hook.
+///
+/// `now` is the time the access (or event) reaches the memory system —
+/// after SM issue and TLB translation. Policies book proactive transfers on
+/// `fabric` directly; its booked-next-free-time semantics make asynchronous
+/// background traffic cheap to model.
+#[derive(Debug)]
+pub struct MemCtx<'a> {
+    /// Current simulated time of the triggering event.
+    pub now: Cycle,
+    /// The inter-GPU fabric (bandwidth booking + traffic counters).
+    pub fabric: &'a mut Fabric,
+    /// Page size of the run.
+    pub page_size: PageSize,
+}
+
+impl MemCtx<'_> {
+    /// The page containing `line`.
+    pub fn vpn_of(&self, line: LineAddr) -> Vpn {
+        line.vpn(self.page_size)
+    }
+}
+
+/// How a coalesced load should be serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadRoute {
+    /// Serve from the issuing GPU's local hierarchy (L2 -> DRAM).
+    Local,
+    /// Demand-read the line from `from`'s memory over the fabric.
+    Remote {
+        /// The GPU whose DRAM holds the data.
+        from: GpuId,
+    },
+    /// The value was forwarded from a buffering structure (e.g. a GPS
+    /// remote-write-queue hit): small fixed latency, no DRAM access.
+    Forwarded,
+    /// The warp stalls until `ready` (page fault + migration), after which
+    /// the access completes locally.
+    StallThenLocal {
+        /// When the fault resolves.
+        ready: Cycle,
+    },
+}
+
+/// How a coalesced store should be handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreRoute {
+    /// Write to the local hierarchy only.
+    Local,
+    /// Peer store: send to `to`'s memory, nothing kept locally.
+    Remote {
+        /// Destination GPU.
+        to: GpuId,
+    },
+    /// Write locally; the policy has already arranged (and charged) any
+    /// replication to other GPUs itself. This is the GPS path.
+    LocalReplicated,
+    /// The warp stalls until `ready` (write fault / collapse), after which
+    /// the store completes locally.
+    StallThenLocal {
+        /// When the fault resolves.
+        ready: Cycle,
+    },
+}
+
+/// A multi-GPU memory-management paradigm.
+///
+/// The simulation engine consults the policy on every coalesced line
+/// access, on fences, at kernel ends (the implicit grid-wide release) and
+/// around phase barriers. Policies route accesses, book proactive traffic
+/// on the fabric, and expose paradigm-specific metrics (e.g. the GPS write
+/// queue hit rate of Figure 14).
+pub trait MemoryPolicy {
+    /// Paradigm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before simulation with the workload and machine.
+    fn init(&mut self, workload: &Workload, config: &SimConfig) {
+        let _ = (workload, config);
+    }
+
+    /// Routes one coalesced load of `line` by `gpu`.
+    fn route_load(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> LoadRoute;
+
+    /// Routes one coalesced store to `line` by `gpu`.
+    fn route_store(
+        &mut self,
+        gpu: GpuId,
+        line: LineAddr,
+        scope: Scope,
+        ctx: &mut MemCtx<'_>,
+    ) -> StoreRoute;
+
+    /// Routes one atomic to `line` by `gpu`. Defaults to the store route at
+    /// device scope.
+    fn route_atomic(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> StoreRoute {
+        self.route_store(gpu, line, Scope::Gpu, ctx)
+    }
+
+    /// Notifies the policy of a last-level TLB miss (feeds the GPS access
+    /// tracking unit, §5.2).
+    fn on_tlb_miss(&mut self, gpu: GpuId, vpn: Vpn, ctx: &mut MemCtx<'_>) {
+        let _ = (gpu, vpn, ctx);
+    }
+
+    /// A memory fence at `scope` executed by `gpu`; returns when the fence
+    /// completes (sys fences drain write buffers).
+    fn on_fence(&mut self, gpu: GpuId, scope: Scope, ctx: &mut MemCtx<'_>) -> Cycle {
+        let _ = (gpu, scope);
+        ctx.now
+    }
+
+    /// A kernel on `gpu` finished at `ctx.now` — the implicit grid-end
+    /// release. Returns when all the kernel's memory effects are globally
+    /// visible.
+    fn on_kernel_end(&mut self, gpu: GpuId, ctx: &mut MemCtx<'_>) -> Cycle {
+        let _ = gpu;
+        ctx.now
+    }
+
+    /// Phase `phase_idx` is about to start at `ctx.now`. Returns the time
+    /// the phase's kernels may launch — policies whose host-side work
+    /// blocks the stream (e.g. synchronous `cudaMemPrefetchAsync` chains
+    /// before the kernel, §6) return a later time.
+    fn on_phase_start(&mut self, phase_idx: usize, ctx: &mut MemCtx<'_>) -> Cycle {
+        let _ = phase_idx;
+        ctx.now
+    }
+
+    /// All GPUs reached the barrier ending phase `phase_idx` at `ctx.now`;
+    /// returns when the barrier may release (bulk-synchronous paradigms do
+    /// their copying here).
+    fn on_phase_end(&mut self, phase_idx: usize, ctx: &mut MemCtx<'_>) -> Cycle {
+        let _ = phase_idx;
+        ctx.now
+    }
+
+    /// Paradigm-specific metrics for reports (name, value).
+    fn metrics(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+/// The trivial policy: every access is local.
+///
+/// Used for single-GPU baselines and as the infinite-bandwidth *placement*
+/// component (all data resident everywhere, transfers free).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllLocalPolicy;
+
+impl AllLocalPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MemoryPolicy for AllLocalPolicy {
+    fn name(&self) -> &'static str {
+        "all-local"
+    }
+
+    fn route_load(&mut self, _gpu: GpuId, _line: LineAddr, _ctx: &mut MemCtx<'_>) -> LoadRoute {
+        LoadRoute::Local
+    }
+
+    fn route_store(
+        &mut self,
+        _gpu: GpuId,
+        _line: LineAddr,
+        _scope: Scope,
+        _ctx: &mut MemCtx<'_>,
+    ) -> StoreRoute {
+        StoreRoute::Local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_interconnect::{FabricConfig, LinkGen};
+
+    #[test]
+    fn all_local_routes_everything_locally() {
+        let mut fabric = Fabric::new(FabricConfig::new(2, LinkGen::Pcie3));
+        let mut ctx = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut fabric,
+            page_size: PageSize::Standard64K,
+        };
+        let mut p = AllLocalPolicy::new();
+        assert_eq!(
+            p.route_load(GpuId::new(0), LineAddr::new(5), &mut ctx),
+            LoadRoute::Local
+        );
+        assert_eq!(
+            p.route_store(GpuId::new(0), LineAddr::new(5), Scope::Weak, &mut ctx),
+            StoreRoute::Local
+        );
+        assert_eq!(
+            p.route_atomic(GpuId::new(0), LineAddr::new(5), &mut ctx),
+            StoreRoute::Local
+        );
+        // Default hooks are no-ops that return `now`.
+        assert_eq!(p.on_fence(GpuId::new(0), Scope::Sys, &mut ctx), Cycle::ZERO);
+        assert_eq!(p.on_kernel_end(GpuId::new(0), &mut ctx), Cycle::ZERO);
+        assert_eq!(p.on_phase_end(0, &mut ctx), Cycle::ZERO);
+        assert!(p.metrics().is_empty());
+    }
+
+    #[test]
+    fn vpn_of_uses_configured_page_size() {
+        let mut fabric = Fabric::new(FabricConfig::new(2, LinkGen::Pcie3));
+        let ctx = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut fabric,
+            page_size: PageSize::Small4K,
+        };
+        // Line 32 = byte 4096 = second 4 KiB page.
+        assert_eq!(ctx.vpn_of(LineAddr::new(32)), Vpn::new(1));
+    }
+}

@@ -1,0 +1,500 @@
+//! Trace recording and replay.
+//!
+//! NVAS is driven by application traces collected with NVBit on real
+//! hardware (§6: "CUDA API events, GPU kernel instructions, and memory
+//! addresses accessed, but no pre-recorded timing events"). This module
+//! provides the equivalent artifact for this simulator: a [`Workload`] can
+//! be *recorded* — every warp's instruction stream expanded and serialised
+//! to a compact binary format — and later *replayed* as a workload whose
+//! kernels read from the recorded streams instead of generating them.
+//!
+//! Recorded traces are self-contained (allocations, phase structure,
+//! launches, instructions) and replay bit-identically: the same trace under
+//! the same machine and policy produces the same [`SimReport`].
+//!
+//! [`SimReport`]: crate::SimReport
+//!
+//! # Format
+//!
+//! Little-endian, length-prefixed:
+//!
+//! ```text
+//! magic "GPSTRACE" | version u32 | gpu_count u32 | page_size u8
+//! | phases_per_iteration u32
+//! | alloc_count u32 | allocs: { name, base u64, bytes u64, shared u8 }
+//! | phase_count u32 | phases: { launch_count u32 | launches: {
+//!       name, gpu u16, cta_count u32, warps_per_cta u32,
+//!       warps: cta_count*warps_per_cta x { instr_count u32 | instrs } } }
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use gps_mem::VaRange;
+use gps_types::{
+    GpsError, GpuId, LineAddr, LineRange, PageSize, Result, Scope, VirtAddr,
+};
+
+use crate::instr::{WarpCtx, WarpInstr, WarpProgram};
+use crate::workload::{AllocSpec, KernelSpec, Phase, Workload};
+
+const MAGIC: &[u8; 8] = b"GPSTRACE";
+const VERSION: u32 = 1;
+
+/// A recorded, replayable warp-level trace of a workload.
+///
+/// ```
+/// use std::sync::Arc;
+/// use gps_sim::{KernelSpec, Trace, WarpCtx, WarpInstr, WorkloadBuilder};
+/// use gps_types::{GpuId, PageSize};
+///
+/// let mut b = WorkloadBuilder::new("demo", PageSize::Standard64K, 1);
+/// let d = b.alloc_shared("d", 1)?;
+/// let line = d.base().line();
+/// b.phase(vec![KernelSpec {
+///     name: "k".into(),
+///     gpu: GpuId::new(0),
+///     cta_count: 1,
+///     warps_per_cta: 1,
+///     program: Arc::new(move |_: WarpCtx| vec![WarpInstr::store1(line)]),
+/// }]);
+/// let wl = b.build(1)?;
+///
+/// let trace = Trace::record(&wl);
+/// let replayed = trace.replay("replay")?;
+/// assert_eq!(replayed.total_warps(), wl.total_warps());
+/// # Ok::<(), gps_types::GpsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    bytes: Bytes,
+}
+
+impl Trace {
+    /// Records `workload` by expanding every warp's instruction stream.
+    ///
+    /// The expansion walks each launch's full grid, so recording a
+    /// paper-scale workload produces a few megabytes and takes a moment;
+    /// the result is independent of the generator closures that produced
+    /// it.
+    pub fn record(workload: &Workload) -> Trace {
+        let mut buf = BytesMut::with_capacity(1 << 20);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(workload.gpu_count as u32);
+        buf.put_u8(page_size_tag(workload.page_size));
+        buf.put_u32_le(workload.phases_per_iteration as u32);
+
+        buf.put_u32_le(workload.allocs.len() as u32);
+        for alloc in &workload.allocs {
+            put_str(&mut buf, &alloc.name);
+            buf.put_u64_le(alloc.range.base().as_u64());
+            buf.put_u64_le(alloc.range.bytes());
+            buf.put_u8(alloc.shared as u8);
+        }
+
+        buf.put_u32_le(workload.phases.len() as u32);
+        for phase in &workload.phases {
+            buf.put_u32_le(phase.launches.len() as u32);
+            for k in &phase.launches {
+                put_str(&mut buf, &k.name);
+                buf.put_u16_le(k.gpu.raw());
+                buf.put_u32_le(k.cta_count);
+                buf.put_u32_le(k.warps_per_cta);
+                for cta in 0..k.cta_count {
+                    for warp in 0..k.warps_per_cta {
+                        let ctx = WarpCtx {
+                            gpu: k.gpu,
+                            gpu_count: workload.gpu_count as u32,
+                            cta: gps_types::CtaId::new(cta),
+                            cta_count: k.cta_count,
+                            warp_in_cta: warp,
+                            warps_per_cta: k.warps_per_cta,
+                        };
+                        let instrs = k.program.warp_instrs(ctx);
+                        buf.put_u32_le(instrs.len() as u32);
+                        for i in &instrs {
+                            put_instr(&mut buf, i);
+                        }
+                    }
+                }
+            }
+        }
+        Trace {
+            bytes: buf.freeze(),
+        }
+    }
+
+    /// The serialised bytes (for writing to a file).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps serialised bytes produced by [`Trace::record`].
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Trace {
+        Trace {
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Size of the trace in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the trace is empty (an empty buffer is never a valid trace).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reconstructs a [`Workload`] that replays the recorded streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Parse`] on malformed input and propagates
+    /// workload validation failures.
+    pub fn replay(&self, name: impl Into<String>) -> Result<Workload> {
+        let mut buf = self.bytes.clone();
+        let fail = |what: &'static str| GpsError::Parse {
+            what,
+            input: "trace".to_owned(),
+        };
+
+        if buf.remaining() < 8 || &buf.copy_to_bytes(8)[..] != MAGIC {
+            return Err(fail("trace magic"));
+        }
+        if read_u32(&mut buf).ok_or(fail("version"))? != VERSION {
+            return Err(fail("trace version"));
+        }
+        let gpu_count = read_u32(&mut buf).ok_or(fail("gpu count"))? as usize;
+        let page_size = page_size_from_tag(read_u8(&mut buf).ok_or(fail("page size"))?)
+            .ok_or(fail("page size tag"))?;
+        let ppi = read_u32(&mut buf).ok_or(fail("phases per iteration"))? as usize;
+
+        let alloc_count = read_u32(&mut buf).ok_or(fail("alloc count"))?;
+        let mut allocs = Vec::with_capacity(alloc_count as usize);
+        for _ in 0..alloc_count {
+            let name = read_str(&mut buf).ok_or(fail("alloc name"))?;
+            let base = read_u64(&mut buf).ok_or(fail("alloc base"))?;
+            let bytes = read_u64(&mut buf).ok_or(fail("alloc bytes"))?;
+            let shared = read_u8(&mut buf).ok_or(fail("alloc shared"))? != 0;
+            allocs.push(AllocSpec {
+                name,
+                range: VaRange::new(VirtAddr::new(base), bytes, page_size),
+                shared,
+            });
+        }
+
+        let phase_count = read_u32(&mut buf).ok_or(fail("phase count"))?;
+        let mut phases = Vec::with_capacity(phase_count as usize);
+        for _ in 0..phase_count {
+            let launch_count = read_u32(&mut buf).ok_or(fail("launch count"))?;
+            let mut launches = Vec::with_capacity(launch_count as usize);
+            for _ in 0..launch_count {
+                let name = read_str(&mut buf).ok_or(fail("kernel name"))?;
+                let gpu = GpuId::new(read_u16(&mut buf).ok_or(fail("kernel gpu"))?);
+                let cta_count = read_u32(&mut buf).ok_or(fail("cta count"))?;
+                let warps_per_cta = read_u32(&mut buf).ok_or(fail("warps per cta"))?;
+                let total = cta_count as usize * warps_per_cta as usize;
+                let mut warps = Vec::with_capacity(total);
+                for _ in 0..total {
+                    let n = read_u32(&mut buf).ok_or(fail("instr count"))?;
+                    let mut instrs = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        instrs.push(read_instr(&mut buf).ok_or(fail("instr"))?);
+                    }
+                    warps.push(instrs);
+                }
+                launches.push(KernelSpec {
+                    name,
+                    gpu,
+                    cta_count,
+                    warps_per_cta,
+                    program: Arc::new(RecordedProgram {
+                        warps: Arc::new(warps),
+                        warps_per_cta,
+                    }),
+                });
+            }
+            phases.push(Phase::new(launches));
+        }
+
+        let wl = Workload {
+            name: name.into(),
+            page_size,
+            allocs,
+            phases,
+            phases_per_iteration: ppi,
+            gpu_count,
+        };
+        wl.validate()?;
+        Ok(wl)
+    }
+}
+
+/// A warp program that replays recorded instruction streams.
+struct RecordedProgram {
+    warps: Arc<Vec<Vec<WarpInstr>>>,
+    warps_per_cta: u32,
+}
+
+impl fmt::Debug for RecordedProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecordedProgram")
+            .field("warps", &self.warps.len())
+            .finish()
+    }
+}
+
+impl WarpProgram for RecordedProgram {
+    fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr> {
+        let idx = (ctx.cta.raw() * self.warps_per_cta + ctx.warp_in_cta) as usize;
+        self.warps.get(idx).cloned().unwrap_or_default()
+    }
+
+    fn label(&self) -> &str {
+        "recorded"
+    }
+}
+
+fn page_size_tag(p: PageSize) -> u8 {
+    match p {
+        PageSize::Small4K => 0,
+        PageSize::Standard64K => 1,
+        PageSize::Huge2M => 2,
+    }
+}
+
+fn page_size_from_tag(t: u8) -> Option<PageSize> {
+    match t {
+        0 => Some(PageSize::Small4K),
+        1 => Some(PageSize::Standard64K),
+        2 => Some(PageSize::Huge2M),
+        _ => None,
+    }
+}
+
+fn scope_tag(s: Scope) -> u8 {
+    match s {
+        Scope::Weak => 0,
+        Scope::Cta => 1,
+        Scope::Gpu => 2,
+        Scope::Sys => 3,
+    }
+}
+
+fn scope_from_tag(t: u8) -> Option<Scope> {
+    match t {
+        0 => Some(Scope::Weak),
+        1 => Some(Scope::Cta),
+        2 => Some(Scope::Gpu),
+        3 => Some(Scope::Sys),
+        _ => None,
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_instr(buf: &mut BytesMut, i: &WarpInstr) {
+    match *i {
+        WarpInstr::Compute(c) => {
+            buf.put_u8(0);
+            buf.put_u32_le(c);
+        }
+        WarpInstr::Load(r) => {
+            buf.put_u8(1);
+            put_range(buf, r);
+        }
+        WarpInstr::Store(r, scope) => {
+            buf.put_u8(2);
+            put_range(buf, r);
+            buf.put_u8(scope_tag(scope));
+        }
+        WarpInstr::Atomic(line) => {
+            buf.put_u8(3);
+            buf.put_u64_le(line.as_u64());
+        }
+        WarpInstr::Fence(scope) => {
+            buf.put_u8(4);
+            buf.put_u8(scope_tag(scope));
+        }
+    }
+}
+
+fn put_range(buf: &mut BytesMut, r: LineRange) {
+    buf.put_u64_le(r.start().as_u64());
+    buf.put_u32_le(r.len());
+    buf.put_u32_le(r.stride());
+}
+
+fn read_u8(buf: &mut Bytes) -> Option<u8> {
+    (buf.remaining() >= 1).then(|| buf.get_u8())
+}
+
+fn read_u16(buf: &mut Bytes) -> Option<u16> {
+    (buf.remaining() >= 2).then(|| buf.get_u16_le())
+}
+
+fn read_u32(buf: &mut Bytes) -> Option<u32> {
+    (buf.remaining() >= 4).then(|| buf.get_u32_le())
+}
+
+fn read_u64(buf: &mut Bytes) -> Option<u64> {
+    (buf.remaining() >= 8).then(|| buf.get_u64_le())
+}
+
+fn read_str(buf: &mut Bytes) -> Option<String> {
+    let len = read_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec()).ok()
+}
+
+fn read_range(buf: &mut Bytes) -> Option<LineRange> {
+    let start = read_u64(buf)?;
+    let count = read_u32(buf)?;
+    let stride = read_u32(buf)?;
+    if count > 1 && stride == 0 {
+        return None;
+    }
+    Some(LineRange::new(LineAddr::new(start), count, stride.max(1)))
+}
+
+fn read_instr(buf: &mut Bytes) -> Option<WarpInstr> {
+    match read_u8(buf)? {
+        0 => Some(WarpInstr::Compute(read_u32(buf)?)),
+        1 => Some(WarpInstr::Load(read_range(buf)?)),
+        2 => {
+            let r = read_range(buf)?;
+            let s = scope_from_tag(read_u8(buf)?)?;
+            Some(WarpInstr::Store(r, s))
+        }
+        3 => Some(WarpInstr::Atomic(LineAddr::new(read_u64(buf)?))),
+        4 => Some(WarpInstr::Fence(scope_from_tag(read_u8(buf)?)?)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_mem::VaSpace;
+
+    fn sample_workload() -> Workload {
+        let mut space = VaSpace::new(PageSize::Standard64K);
+        let data = space.allocate(2 * 65536).unwrap();
+        let base = data.base().line();
+        let program = move |ctx: WarpCtx| {
+            let w = ctx.global_warp() as u64;
+            vec![
+                WarpInstr::Load(LineRange::contiguous(base.offset(w * 4), 4)),
+                WarpInstr::Compute(10 + w as u32),
+                WarpInstr::Store(LineRange::new(base.offset(w), 2, 3), Scope::Gpu),
+                WarpInstr::Atomic(base.offset(w + 100)),
+                WarpInstr::Fence(Scope::Sys),
+            ]
+        };
+        Workload {
+            name: "sample".into(),
+            page_size: PageSize::Standard64K,
+            allocs: vec![AllocSpec {
+                name: "data".into(),
+                range: data,
+                shared: true,
+            }],
+            phases: vec![Phase::new(vec![
+                KernelSpec {
+                    name: "k0".into(),
+                    gpu: GpuId::new(0),
+                    cta_count: 3,
+                    warps_per_cta: 2,
+                    program: Arc::new(program),
+                },
+                KernelSpec {
+                    name: "k1".into(),
+                    gpu: GpuId::new(1),
+                    cta_count: 1,
+                    warps_per_cta: 4,
+                    program: Arc::new(program),
+                },
+            ])],
+            phases_per_iteration: 1,
+            gpu_count: 2,
+        }
+    }
+
+    fn all_instrs(wl: &Workload) -> Vec<Vec<WarpInstr>> {
+        let mut out = Vec::new();
+        for phase in &wl.phases {
+            for k in &phase.launches {
+                for cta in 0..k.cta_count {
+                    for warp in 0..k.warps_per_cta {
+                        out.push(k.program.warp_instrs(WarpCtx {
+                            gpu: k.gpu,
+                            gpu_count: wl.gpu_count as u32,
+                            cta: gps_types::CtaId::new(cta),
+                            cta_count: k.cta_count,
+                            warp_in_cta: warp,
+                            warps_per_cta: k.warps_per_cta,
+                        }));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn record_replay_roundtrips_instruction_streams() {
+        let wl = sample_workload();
+        let trace = Trace::record(&wl);
+        assert!(!trace.is_empty());
+        let replayed = trace.replay("replayed").unwrap();
+        assert_eq!(replayed.gpu_count, wl.gpu_count);
+        assert_eq!(replayed.page_size, wl.page_size);
+        assert_eq!(replayed.phases_per_iteration, wl.phases_per_iteration);
+        assert_eq!(replayed.allocs.len(), 1);
+        assert_eq!(replayed.allocs[0].range, wl.allocs[0].range);
+        assert!(replayed.allocs[0].shared);
+        assert_eq!(all_instrs(&replayed), all_instrs(&wl));
+    }
+
+    #[test]
+    fn serialised_bytes_roundtrip() {
+        let wl = sample_workload();
+        let trace = Trace::record(&wl);
+        let copied = Trace::from_bytes(trace.as_bytes().to_vec());
+        assert_eq!(copied.len(), trace.len());
+        let replayed = copied.replay("copy").unwrap();
+        assert_eq!(all_instrs(&replayed), all_instrs(&wl));
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(Trace::from_bytes(vec![]).replay("x").is_err());
+        assert!(Trace::from_bytes(b"NOTATRACE".to_vec()).replay("x").is_err());
+        // Truncated mid-stream.
+        let wl = sample_workload();
+        let full = Trace::record(&wl);
+        let cut = Trace::from_bytes(full.as_bytes()[..full.len() / 2].to_vec());
+        assert!(cut.replay("x").is_err());
+    }
+
+    #[test]
+    fn kernel_metadata_survives() {
+        let wl = sample_workload();
+        let replayed = Trace::record(&wl).replay("r").unwrap();
+        let k = &replayed.phases[0].launches[1];
+        assert_eq!(k.name, "k1");
+        assert_eq!(k.gpu, GpuId::new(1));
+        assert_eq!(k.cta_count, 1);
+        assert_eq!(k.warps_per_cta, 4);
+        assert_eq!(k.program.label(), "recorded");
+    }
+}

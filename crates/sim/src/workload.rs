@@ -1,0 +1,416 @@
+//! Workload description: allocations, phases and kernel launches.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gps_mem::{VaRange, VaSpace};
+use gps_types::{GpsError, GpuId, LineAddr, PageSize, Result, Vpn};
+
+use crate::instr::WarpProgram;
+
+/// One memory allocation of a workload.
+#[derive(Debug, Clone)]
+pub struct AllocSpec {
+    /// Human-readable name ("matrix", "halo_east", ...).
+    pub name: String,
+    /// The virtual range backing the allocation.
+    pub range: VaRange,
+    /// Whether the allocation holds *shared* data (accessed by more than
+    /// one GPU). Shared allocations are the ones `cudaMallocGPS` would
+    /// cover; private per-GPU scratch stays conventional.
+    pub shared: bool,
+}
+
+/// One kernel launch.
+#[derive(Clone)]
+pub struct KernelSpec {
+    /// Kernel name for reports.
+    pub name: String,
+    /// The GPU the grid runs on.
+    pub gpu: GpuId,
+    /// CTAs in the grid.
+    pub cta_count: u32,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+    /// Per-warp trace generator.
+    pub program: Arc<dyn WarpProgram>,
+}
+
+impl fmt::Debug for KernelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelSpec")
+            .field("name", &self.name)
+            .field("gpu", &self.gpu)
+            .field("cta_count", &self.cta_count)
+            .field("warps_per_cta", &self.warps_per_cta)
+            .field("program", &self.program.label())
+            .finish()
+    }
+}
+
+impl KernelSpec {
+    /// Total warps in the grid.
+    pub fn total_warps(&self) -> u64 {
+        self.cta_count as u64 * self.warps_per_cta as u64
+    }
+}
+
+/// A bulk-synchronous phase: kernels that run concurrently across GPUs
+/// (kernels listed for the same GPU run back-to-back in order), terminated
+/// by a global barrier.
+#[derive(Debug, Clone, Default)]
+pub struct Phase {
+    /// The launches of the phase.
+    pub launches: Vec<KernelSpec>,
+}
+
+impl Phase {
+    /// Creates a phase from its launches.
+    pub fn new(launches: Vec<KernelSpec>) -> Self {
+        Self { launches }
+    }
+
+    /// The launches destined for `gpu`, in order.
+    pub fn launches_for(&self, gpu: GpuId) -> impl Iterator<Item = &KernelSpec> + '_ {
+        self.launches.iter().filter(move |k| k.gpu == gpu)
+    }
+}
+
+/// A complete multi-GPU workload: what an application's NVBit trace plus
+/// allocation log would contain.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Application name (Table 2 row).
+    pub name: String,
+    /// Page size of the shared address space.
+    pub page_size: PageSize,
+    /// All allocations.
+    pub allocs: Vec<AllocSpec>,
+    /// The bulk-synchronous phases, in execution order.
+    pub phases: Vec<Phase>,
+    /// Phases per application iteration; iterative policies use
+    /// `phase_idx % phases_per_iteration` to recognise repeats.
+    pub phases_per_iteration: usize,
+    /// GPU count the workload was partitioned for.
+    pub gpu_count: usize,
+}
+
+impl Workload {
+    /// The shared allocations.
+    pub fn shared_allocs(&self) -> impl Iterator<Item = &AllocSpec> + '_ {
+        self.allocs.iter().filter(|a| a.shared)
+    }
+
+    /// Total bytes of shared data.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_allocs().map(|a| a.range.bytes()).sum()
+    }
+
+    /// Total warps across all phases (a proxy for trace size).
+    pub fn total_warps(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| p.launches.iter())
+            .map(KernelSpec::total_warps)
+            .sum()
+    }
+
+    /// Builds a line/page classifier over this workload's allocations.
+    pub fn index(&self) -> SharedIndex {
+        SharedIndex::new(self)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Config`] if a launch targets a GPU outside
+    /// `gpu_count`, a grid is empty, or `phases_per_iteration` does not
+    /// divide the phase count.
+    pub fn validate(&self) -> Result<()> {
+        for phase in &self.phases {
+            for k in &phase.launches {
+                if k.gpu.index() >= self.gpu_count {
+                    return Err(GpsError::Config {
+                        reason: format!(
+                            "kernel {} targets {} in a {}-GPU workload",
+                            k.name, k.gpu, self.gpu_count
+                        ),
+                    });
+                }
+                if k.cta_count == 0 || k.warps_per_cta == 0 {
+                    return Err(GpsError::Config {
+                        reason: format!("kernel {} has an empty grid", k.name),
+                    });
+                }
+            }
+        }
+        if self.phases_per_iteration == 0
+            || !self.phases.len().is_multiple_of(self.phases_per_iteration)
+        {
+            return Err(GpsError::Config {
+                reason: format!(
+                    "{} phases is not a multiple of {} phases per iteration",
+                    self.phases.len(),
+                    self.phases_per_iteration
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A sorted interval index classifying lines/pages as shared or private.
+///
+/// Memory policies build one in `init` and consult it on every access, so
+/// lookups are binary searches over a handful of ranges.
+#[derive(Debug, Clone)]
+pub struct SharedIndex {
+    /// `(first_line, last_line_exclusive, alloc_idx, shared)` sorted by
+    /// first line.
+    spans: Vec<(u64, u64, usize, bool)>,
+    page_size: PageSize,
+}
+
+impl SharedIndex {
+    fn new(workload: &Workload) -> Self {
+        let mut spans: Vec<_> = workload
+            .allocs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let first = a.range.base().line().as_u64();
+                (first, first + a.range.lines(), i, a.shared)
+            })
+            .collect();
+        spans.sort_unstable_by_key(|s| s.0);
+        Self {
+            spans,
+            page_size: workload.page_size,
+        }
+    }
+
+    fn span_of(&self, line: LineAddr) -> Option<&(u64, u64, usize, bool)> {
+        let l = line.as_u64();
+        match self.spans.binary_search_by(|s| {
+            if l < s.0 {
+                std::cmp::Ordering::Greater
+            } else if l >= s.1 {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => Some(&self.spans[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether `line` belongs to a shared allocation.
+    pub fn is_shared(&self, line: LineAddr) -> bool {
+        self.span_of(line).is_some_and(|s| s.3)
+    }
+
+    /// The allocation index containing `line`, if any.
+    pub fn alloc_of(&self, line: LineAddr) -> Option<usize> {
+        self.span_of(line).map(|s| s.2)
+    }
+
+    /// Whether the *page* holding `line` belongs to a shared allocation.
+    pub fn is_shared_page(&self, vpn: Vpn) -> bool {
+        self.is_shared(vpn.first_line(self.page_size))
+    }
+
+    /// The page size the index classifies at.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+}
+
+/// Incrementally constructs a [`Workload`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use gps_sim::{WorkloadBuilder, WarpInstr, WarpCtx, KernelSpec};
+/// use gps_types::{GpuId, PageSize};
+///
+/// let mut b = WorkloadBuilder::new("demo", PageSize::Standard64K, 2);
+/// let data = b.alloc_shared("data", 1 << 20)?;
+/// let first = data.base().line();
+/// b.phase(vec![KernelSpec {
+///     name: "touch".into(),
+///     gpu: GpuId::new(0),
+///     cta_count: 1,
+///     warps_per_cta: 1,
+///     program: Arc::new(move |_ctx: WarpCtx| vec![WarpInstr::load1(first)]),
+/// }]);
+/// let wl = b.build(1)?;
+/// assert_eq!(wl.phases.len(), 1);
+/// # Ok::<(), gps_types::GpsError>(())
+/// ```
+#[derive(Debug)]
+pub struct WorkloadBuilder {
+    name: String,
+    space: VaSpace,
+    gpu_count: usize,
+    allocs: Vec<AllocSpec>,
+    phases: Vec<Phase>,
+}
+
+impl WorkloadBuilder {
+    /// Starts a workload named `name` for `gpu_count` GPUs with the given
+    /// page size.
+    pub fn new(name: impl Into<String>, page_size: PageSize, gpu_count: usize) -> Self {
+        Self {
+            name: name.into(),
+            space: VaSpace::new(page_size),
+            gpu_count,
+            allocs: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Allocates `bytes` of shared (multi-GPU) data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-space exhaustion / invalid-size errors.
+    pub fn alloc_shared(&mut self, name: impl Into<String>, bytes: u64) -> Result<VaRange> {
+        let range = self.space.allocate(bytes)?;
+        self.allocs.push(AllocSpec {
+            name: name.into(),
+            range,
+            shared: true,
+        });
+        Ok(range)
+    }
+
+    /// Allocates `bytes` of private (single-GPU) data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-space exhaustion / invalid-size errors.
+    pub fn alloc_private(&mut self, name: impl Into<String>, bytes: u64) -> Result<VaRange> {
+        let range = self.space.allocate(bytes)?;
+        self.allocs.push(AllocSpec {
+            name: name.into(),
+            range,
+            shared: false,
+        });
+        Ok(range)
+    }
+
+    /// Appends a phase.
+    pub fn phase(&mut self, launches: Vec<KernelSpec>) -> &mut Self {
+        self.phases.push(Phase::new(launches));
+        self
+    }
+
+    /// Finalises the workload, declaring `phases_per_iteration`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Workload::validate`] failures.
+    pub fn build(self, phases_per_iteration: usize) -> Result<Workload> {
+        let wl = Workload {
+            name: self.name,
+            page_size: self.space.page_size(),
+            allocs: self.allocs,
+            phases: self.phases,
+            phases_per_iteration,
+            gpu_count: self.gpu_count,
+        };
+        wl.validate()?;
+        Ok(wl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{WarpCtx, WarpInstr};
+
+    fn nop_kernel(gpu: u16) -> KernelSpec {
+        KernelSpec {
+            name: format!("nop{gpu}"),
+            gpu: GpuId::new(gpu),
+            cta_count: 1,
+            warps_per_cta: 1,
+            program: Arc::new(|_: WarpCtx| vec![WarpInstr::Compute(1)]),
+        }
+    }
+
+    fn demo() -> WorkloadBuilder {
+        WorkloadBuilder::new("demo", PageSize::Standard64K, 2)
+    }
+
+    #[test]
+    fn builder_accumulates_allocs_and_phases() {
+        let mut b = demo();
+        b.alloc_shared("a", 1).unwrap();
+        b.alloc_private("b", 1).unwrap();
+        b.phase(vec![nop_kernel(0), nop_kernel(1)]);
+        b.phase(vec![nop_kernel(0)]);
+        let wl = b.build(2).unwrap();
+        assert_eq!(wl.allocs.len(), 2);
+        assert_eq!(wl.phases.len(), 2);
+        assert_eq!(wl.shared_bytes(), 65536);
+        assert_eq!(wl.total_warps(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_bad_gpu() {
+        let mut b = demo();
+        b.phase(vec![nop_kernel(5)]);
+        assert!(matches!(b.build(1), Err(GpsError::Config { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_empty_grid() {
+        let mut b = demo();
+        let mut k = nop_kernel(0);
+        k.cta_count = 0;
+        b.phase(vec![k]);
+        assert!(b.build(1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nondivisible_iteration_length() {
+        let mut b = demo();
+        b.phase(vec![nop_kernel(0)]);
+        b.phase(vec![nop_kernel(0)]);
+        b.phase(vec![nop_kernel(0)]);
+        assert!(b.build(2).is_err());
+    }
+
+    #[test]
+    fn shared_index_classifies_lines_and_pages() {
+        let mut b = demo();
+        let shared = b.alloc_shared("s", 65536).unwrap();
+        let private = b.alloc_private("p", 65536).unwrap();
+        b.phase(vec![nop_kernel(0)]);
+        let wl = b.build(1).unwrap();
+        let idx = wl.index();
+        assert!(idx.is_shared(shared.base().line()));
+        assert!(!idx.is_shared(private.base().line()));
+        assert_eq!(idx.alloc_of(shared.line_at(511)), Some(0));
+        assert_eq!(idx.alloc_of(private.base().line()), Some(1));
+        assert_eq!(idx.alloc_of(private.line_at(511).next()), None);
+        assert!(idx.is_shared_page(shared.base().vpn(PageSize::Standard64K)));
+        assert!(!idx.is_shared_page(private.base().vpn(PageSize::Standard64K)));
+    }
+
+    #[test]
+    fn launches_for_filters_by_gpu() {
+        let phase = Phase::new(vec![nop_kernel(0), nop_kernel(1), nop_kernel(0)]);
+        assert_eq!(phase.launches_for(GpuId::new(0)).count(), 2);
+        assert_eq!(phase.launches_for(GpuId::new(1)).count(), 1);
+    }
+
+    #[test]
+    fn kernel_debug_shows_label_not_pointer() {
+        let k = nop_kernel(0);
+        let dbg = format!("{k:?}");
+        assert!(dbg.contains("nop0"));
+    }
+}

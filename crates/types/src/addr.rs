@@ -1,0 +1,388 @@
+//! Virtual and physical addresses at byte, cache-line and page granularity.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageSize;
+
+/// Cache block size in bytes (Table 1: 128 bytes).
+pub const CACHE_LINE_BYTES: u64 = 128;
+
+/// `log2(CACHE_LINE_BYTES)`.
+pub const CACHE_LINE_SHIFT: u32 = 7;
+
+macro_rules! byte_addr {
+    ($(#[$meta:meta])* $name:ident, $fmt_prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an address from a raw byte value.
+            pub const fn new(addr: u64) -> Self {
+                Self(addr)
+            }
+
+            /// Returns the raw byte address.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the cache line containing this byte address.
+            pub const fn line(self) -> LineAddr {
+                LineAddr(self.0 >> CACHE_LINE_SHIFT)
+            }
+
+            /// Byte offset of this address within its cache line.
+            pub const fn line_offset(self) -> u64 {
+                self.0 & (CACHE_LINE_BYTES - 1)
+            }
+
+            /// Byte offset of this address within its page of size `size`.
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Returns the address advanced by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds on overflow.
+            pub const fn offset(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// Checked addition, returning `None` on overflow.
+            pub const fn checked_offset(self, bytes: u64) -> Option<Self> {
+                match self.0.checked_add(bytes) {
+                    Some(v) => Some(Self(v)),
+                    None => None,
+                }
+            }
+
+            /// Aligns this address downward to a multiple of `align`.
+            ///
+            /// `align` must be a power of two.
+            pub const fn align_down(self, align: u64) -> Self {
+                debug_assert!(align.is_power_of_two());
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Aligns this address upward to a multiple of `align`.
+            ///
+            /// `align` must be a power of two.
+            pub const fn align_up(self, align: u64) -> Self {
+                debug_assert!(align.is_power_of_two());
+                Self((self.0 + align - 1) & !(align - 1))
+            }
+
+            /// Whether the address is a multiple of `align` (a power of two).
+            pub const fn is_aligned(self, align: u64) -> bool {
+                self.0 & (align - 1) == 0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($fmt_prefix, ":{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+    };
+}
+
+byte_addr!(
+    /// A byte address in the shared multi-GPU virtual address space.
+    ///
+    /// Table 1 fixes the modelled virtual address width at 49 bits; this type
+    /// stores the full `u64` and the memory substrate enforces the width at
+    /// allocation time.
+    VirtAddr,
+    "va"
+);
+
+byte_addr!(
+    /// A byte address in one GPU's physical memory.
+    ///
+    /// Physical addresses are local to a GPU: the pair `(GpuId, PhysAddr)`
+    /// names a unique DRAM location in the system. Table 1 fixes the modelled
+    /// physical address width at 47 bits.
+    PhysAddr,
+    "pa"
+);
+
+impl VirtAddr {
+    /// Returns the virtual page number of this address for pages of `size`.
+    pub const fn vpn(self, size: PageSize) -> Vpn {
+        Vpn(self.0 >> size.shift())
+    }
+}
+
+impl PhysAddr {
+    /// Returns the physical page number of this address for pages of `size`.
+    pub const fn ppn(self, size: PageSize) -> Ppn {
+        Ppn(self.0 >> size.shift())
+    }
+}
+
+/// A cache-line index: a [`VirtAddr`] shifted right by [`CACHE_LINE_SHIFT`].
+///
+/// The GPS remote write queue is virtually addressed at cache-block
+/// granularity (§5.2), so line indices are the unit of coalescing.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line index from its raw value (byte address >> 7).
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Raw line index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address covered by this line.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << CACHE_LINE_SHIFT)
+    }
+
+    /// The virtual page containing this line for pages of `size`.
+    pub const fn vpn(self, size: PageSize) -> Vpn {
+        Vpn(self.0 >> (size.shift() - CACHE_LINE_SHIFT))
+    }
+
+    /// The next line.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// Advances by `n` lines.
+    pub const fn offset(self, n: u64) -> Self {
+        Self(self.0 + n)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<LineAddr> for u64 {
+    fn from(v: LineAddr) -> u64 {
+        v.0
+    }
+}
+
+/// A virtual page number: a [`VirtAddr`] shifted right by the page shift.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Vpn(u64);
+
+impl Vpn {
+    /// Creates a VPN from its raw value.
+    pub const fn new(vpn: u64) -> Self {
+        Self(vpn)
+    }
+
+    /// Raw page number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the page for pages of `size`.
+    pub const fn base(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 << size.shift())
+    }
+
+    /// First cache line of the page for pages of `size`.
+    pub const fn first_line(self, size: PageSize) -> LineAddr {
+        LineAddr(self.0 << (size.shift() - CACHE_LINE_SHIFT))
+    }
+
+    /// The next page.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// Advances by `n` pages.
+    pub const fn offset(self, n: u64) -> Self {
+        Self(self.0 + n)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical page number: a [`PhysAddr`] shifted right by the page shift.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ppn(u64);
+
+impl Ppn {
+    /// Creates a PPN from its raw value.
+    pub const fn new(ppn: u64) -> Self {
+        Self(ppn)
+    }
+
+    /// Raw page number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the physical page for pages of `size`.
+    pub const fn base(self, size: PageSize) -> PhysAddr {
+        PhysAddr(self.0 << size.shift())
+    }
+}
+
+impl fmt::Display for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ppn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        let va = VirtAddr::new(0x1000 + 130);
+        assert_eq!(va.line(), LineAddr::new((0x1000 + 130) >> 7));
+        assert_eq!(va.line_offset(), 2);
+        assert_eq!(va.line().base().as_u64(), 0x1080);
+    }
+
+    #[test]
+    fn vpn_roundtrip_64k() {
+        let va = VirtAddr::new(3 * 65536 + 42);
+        let vpn = va.vpn(PageSize::Standard64K);
+        assert_eq!(vpn.as_u64(), 3);
+        assert_eq!(vpn.base(PageSize::Standard64K).as_u64(), 3 * 65536);
+        assert_eq!(va.page_offset(PageSize::Standard64K), 42);
+    }
+
+    #[test]
+    fn vpn_depends_on_page_size() {
+        let va = VirtAddr::new(5 * 4096);
+        assert_eq!(va.vpn(PageSize::Small4K).as_u64(), 5);
+        assert_eq!(va.vpn(PageSize::Standard64K).as_u64(), 0);
+        assert_eq!(va.vpn(PageSize::Huge2M).as_u64(), 0);
+    }
+
+    #[test]
+    fn line_to_vpn_is_consistent_with_byte_addr() {
+        let va = VirtAddr::new(0xDEAD_BEEF);
+        assert_eq!(
+            va.line().vpn(PageSize::Standard64K),
+            va.vpn(PageSize::Standard64K)
+        );
+        assert_eq!(va.line().vpn(PageSize::Small4K), va.vpn(PageSize::Small4K));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let va = VirtAddr::new(0x1234);
+        assert_eq!(va.align_down(0x1000).as_u64(), 0x1000);
+        assert_eq!(va.align_up(0x1000).as_u64(), 0x2000);
+        assert!(VirtAddr::new(0x2000).is_aligned(0x1000));
+        assert!(!va.is_aligned(0x1000));
+        assert_eq!(VirtAddr::new(0x2000).align_up(0x1000).as_u64(), 0x2000);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = VirtAddr::new(100);
+        let b = a + 28;
+        assert_eq!(b.as_u64(), 128);
+        assert_eq!(b - a, 28);
+        assert_eq!(a.offset(28), b);
+        assert_eq!(a.checked_offset(u64::MAX), None);
+    }
+
+    #[test]
+    fn first_line_of_page() {
+        let vpn = Vpn::new(2);
+        // 64 KiB page = 512 cache lines.
+        assert_eq!(vpn.first_line(PageSize::Standard64K).as_u64(), 1024);
+        assert_eq!(
+            vpn.first_line(PageSize::Standard64K).base(),
+            vpn.base(PageSize::Standard64K)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtAddr::new(0x10).to_string(), "va:0x10");
+        assert_eq!(PhysAddr::new(0x10).to_string(), "pa:0x10");
+        assert_eq!(LineAddr::new(0x10).to_string(), "line:0x10");
+        assert_eq!(format!("{:x}", VirtAddr::new(255)), "ff");
+        assert_eq!(format!("{:X}", PhysAddr::new(255)), "FF");
+    }
+
+    #[test]
+    fn ppn_base() {
+        assert_eq!(
+            Ppn::new(7).base(PageSize::Standard64K).as_u64(),
+            7 * 65536
+        );
+    }
+}

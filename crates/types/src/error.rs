@@ -1,0 +1,150 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::GpuId;
+use crate::page::PageSize;
+use crate::Vpn;
+
+/// Errors produced by the GPS runtime, memory substrate and simulator.
+///
+/// Mirrors the error conditions the paper's API defines, most notably the
+/// refusal to unsubscribe the *last* subscriber of a GPS region (§4: "GPS
+/// ensures that there is at least one subscriber to a GPS region and will
+/// return an error on attempts to unsubscribe the last subscriber").
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpsError {
+    /// Attempted to unsubscribe the only remaining subscriber of a GPS page
+    /// or region.
+    LastSubscriber {
+        /// The page whose final subscriber would have been removed.
+        vpn: Vpn,
+        /// The GPU that attempted (or was the target of) the unsubscription.
+        gpu: GpuId,
+    },
+    /// Attempted to operate on a GPU id outside the simulated system.
+    UnknownGpu {
+        /// The offending id.
+        gpu: GpuId,
+        /// Number of GPUs in the system.
+        system_size: usize,
+    },
+    /// A virtual address or range is not part of any allocation.
+    Unmapped {
+        /// The unmapped page.
+        vpn: Vpn,
+    },
+    /// Physical memory on a GPU is exhausted.
+    OutOfMemory {
+        /// The GPU whose frame allocator is full.
+        gpu: GpuId,
+        /// Bytes that were requested.
+        requested: u64,
+    },
+    /// The virtual address space is exhausted.
+    OutOfAddressSpace {
+        /// Bytes that were requested.
+        requested: u64,
+    },
+    /// An allocation or advise call used an invalid range.
+    InvalidRange {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Subscription state and an operation disagree (e.g. subscribing a GPU
+    /// twice with the manual API, or advising a non-GPS allocation).
+    Subscription {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Profiling API misuse (e.g. `tracking_stop` without `tracking_start`).
+    Profiling {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration value is out of its supported range.
+    Config {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Failed to parse a textual value.
+    Parse {
+        /// What was being parsed.
+        what: &'static str,
+        /// The rejected input.
+        input: String,
+    },
+    /// A page-size mismatch between an operation and the address space.
+    PageSizeMismatch {
+        /// Page size expected by the address space.
+        expected: PageSize,
+        /// Page size used by the operation.
+        actual: PageSize,
+    },
+}
+
+impl fmt::Display for GpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpsError::LastSubscriber { vpn, gpu } => write!(
+                f,
+                "cannot unsubscribe {gpu} from {vpn}: it is the last subscriber"
+            ),
+            GpsError::UnknownGpu { gpu, system_size } => {
+                write!(f, "{gpu} does not exist in a {system_size}-GPU system")
+            }
+            GpsError::Unmapped { vpn } => write!(f, "{vpn} is not mapped by any allocation"),
+            GpsError::OutOfMemory { gpu, requested } => {
+                write!(f, "{gpu} is out of physical memory ({requested} bytes requested)")
+            }
+            GpsError::OutOfAddressSpace { requested } => {
+                write!(f, "virtual address space exhausted ({requested} bytes requested)")
+            }
+            GpsError::InvalidRange { reason } => write!(f, "invalid range: {reason}"),
+            GpsError::Subscription { reason } => write!(f, "subscription error: {reason}"),
+            GpsError::Profiling { reason } => write!(f, "profiling error: {reason}"),
+            GpsError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            GpsError::Parse { what, input } => {
+                write!(f, "cannot parse {what} from {input:?}")
+            }
+            GpsError::PageSizeMismatch { expected, actual } => {
+                write!(f, "page size mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for GpsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<GpsError>();
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = GpsError::LastSubscriber {
+            vpn: Vpn::new(4),
+            gpu: GpuId::new(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("cannot unsubscribe"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn display_mentions_the_actors() {
+        let e = GpsError::UnknownGpu {
+            gpu: GpuId::new(9),
+            system_size: 4,
+        };
+        assert_eq!(e.to_string(), "gpu9 does not exist in a 4-GPU system");
+    }
+}

@@ -1,0 +1,155 @@
+//! Device and execution identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr, $repr:ty) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($repr);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            pub const fn new(index: $repr) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index of this identifier.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw representation.
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for $repr {
+            fn from(v: $name) -> $repr {
+                v.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one GPU in the simulated multi-GPU system.
+    ///
+    /// GPU indices are dense, starting at zero; a 4-GPU system uses ids
+    /// `0..4`. The paper evaluates 4- and 16-GPU systems.
+    GpuId,
+    "gpu",
+    u16
+);
+
+id_type!(
+    /// Identifies a streaming multiprocessor within one GPU.
+    SmId,
+    "sm",
+    u16
+);
+
+id_type!(
+    /// Identifies a warp context within one kernel launch (global across the
+    /// grid, not per-SM).
+    WarpId,
+    "warp",
+    u32
+);
+
+id_type!(
+    /// Identifies a cooperative thread array (thread block) within a grid.
+    CtaId,
+    "cta",
+    u32
+);
+
+id_type!(
+    /// Identifies a kernel launch within one simulation.
+    KernelId,
+    "kernel",
+    u32
+);
+
+id_type!(
+    /// Identifies a CUDA-style stream (in-order launch queue) on one GPU.
+    StreamId,
+    "stream",
+    u16
+);
+
+impl GpuId {
+    /// Iterates over all GPU ids in a system of `count` GPUs.
+    ///
+    /// ```
+    /// use gps_types::GpuId;
+    /// let ids: Vec<_> = GpuId::all(3).collect();
+    /// assert_eq!(ids, vec![GpuId::new(0), GpuId::new(1), GpuId::new(2)]);
+    /// ```
+    pub fn all(count: usize) -> impl Iterator<Item = GpuId> + Clone {
+        (0..count as u16).map(GpuId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix_and_index() {
+        assert_eq!(GpuId::new(3).to_string(), "gpu3");
+        assert_eq!(SmId::new(79).to_string(), "sm79");
+        assert_eq!(WarpId::new(1024).to_string(), "warp1024");
+        assert_eq!(CtaId::new(7).to_string(), "cta7");
+        assert_eq!(KernelId::new(0).to_string(), "kernel0");
+        assert_eq!(StreamId::new(2).to_string(), "stream2");
+    }
+
+    #[test]
+    fn roundtrip_through_raw_repr() {
+        let g = GpuId::new(11);
+        assert_eq!(GpuId::from(u16::from(g)), g);
+        assert_eq!(g.index(), 11);
+        assert_eq!(g.raw(), 11);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GpuId::new(0) < GpuId::new(1));
+        assert!(WarpId::new(5) > WarpId::new(4));
+    }
+
+    #[test]
+    fn all_enumerates_dense_ids() {
+        assert_eq!(GpuId::all(0).count(), 0);
+        let v: Vec<_> = GpuId::all(16).collect();
+        assert_eq!(v.len(), 16);
+        assert_eq!(v[15], GpuId::new(15));
+    }
+
+    #[test]
+    fn ids_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuId>();
+        assert_send_sync::<SmId>();
+        assert_send_sync::<WarpId>();
+    }
+}

@@ -1,0 +1,142 @@
+//! Virtual-memory page sizes studied by the paper (§7.4).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GpsError;
+
+/// The three page sizes evaluated in the paper's page-size sensitivity study.
+///
+/// The paper allocates the GPS address space with 64 KiB pages by default:
+/// 4 KiB pages increase TLB pressure (42 % slower) and 2 MiB pages multiply
+/// false-sharing broadcast traffic (15 % slower), making 64 KiB the sweet
+/// spot (§7.4).
+///
+/// ```
+/// use gps_types::PageSize;
+/// assert_eq!(PageSize::Standard64K.bytes(), 64 * 1024);
+/// assert_eq!(PageSize::Standard64K.lines(), 512);
+/// assert_eq!(PageSize::default(), PageSize::Standard64K);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum PageSize {
+    /// 4 KiB pages: least false sharing, most TLB pressure.
+    Small4K,
+    /// 64 KiB pages: the paper's default for the GPS address space.
+    #[default]
+    Standard64K,
+    /// 2 MiB huge pages: best TLB coverage, most redundant broadcast traffic.
+    Huge2M,
+}
+
+impl PageSize {
+    /// All supported page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Small4K, PageSize::Standard64K, PageSize::Huge2M];
+
+    /// Page size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small4K => 4 * 1024,
+            PageSize::Standard64K => 64 * 1024,
+            PageSize::Huge2M => 2 * 1024 * 1024,
+        }
+    }
+
+    /// `log2(bytes)`.
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Small4K => 12,
+            PageSize::Standard64K => 16,
+            PageSize::Huge2M => 21,
+        }
+    }
+
+    /// Number of 128-byte cache lines per page.
+    pub const fn lines(self) -> u64 {
+        self.bytes() / crate::addr::CACHE_LINE_BYTES
+    }
+
+    /// Number of pages needed to cover `bytes` (rounded up).
+    ///
+    /// ```
+    /// use gps_types::PageSize;
+    /// assert_eq!(PageSize::Standard64K.pages_for(1), 1);
+    /// assert_eq!(PageSize::Standard64K.pages_for(65536), 1);
+    /// assert_eq!(PageSize::Standard64K.pages_for(65537), 2);
+    /// assert_eq!(PageSize::Standard64K.pages_for(0), 0);
+    /// ```
+    pub const fn pages_for(self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes())
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Small4K => write!(f, "4KiB"),
+            PageSize::Standard64K => write!(f, "64KiB"),
+            PageSize::Huge2M => write!(f, "2MiB"),
+        }
+    }
+}
+
+impl FromStr for PageSize {
+    type Err = GpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "4k" | "4kib" | "4kb" | "small" => Ok(PageSize::Small4K),
+            "64k" | "64kib" | "64kb" | "standard" => Ok(PageSize::Standard64K),
+            "2m" | "2mib" | "2mb" | "huge" => Ok(PageSize::Huge2M),
+            other => Err(GpsError::Parse {
+                what: "page size",
+                input: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes_match_shifts() {
+        for size in PageSize::ALL {
+            assert_eq!(size.bytes(), 1u64 << size.shift());
+        }
+    }
+
+    #[test]
+    fn lines_per_page() {
+        assert_eq!(PageSize::Small4K.lines(), 32);
+        assert_eq!(PageSize::Standard64K.lines(), 512);
+        assert_eq!(PageSize::Huge2M.lines(), 16384);
+    }
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!("64k".parse::<PageSize>().unwrap(), PageSize::Standard64K);
+        assert_eq!("4KiB".parse::<PageSize>().unwrap(), PageSize::Small4K);
+        assert_eq!("huge".parse::<PageSize>().unwrap(), PageSize::Huge2M);
+        assert!("128k".parse::<PageSize>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for size in PageSize::ALL {
+            let shown = size.to_string();
+            assert_eq!(shown.parse::<PageSize>().unwrap(), size);
+        }
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(PageSize::Huge2M.pages_for(2 * 1024 * 1024 + 1), 2);
+        assert_eq!(PageSize::Small4K.pages_for(3 * 4096), 3);
+    }
+}

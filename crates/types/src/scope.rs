@@ -1,0 +1,104 @@
+//! PTX-style memory-operation scopes (§2.3 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The scope of a memory access or fence, following the NVIDIA PTX memory
+/// consistency model.
+///
+/// GPS exploits the distinction between *weak* (and narrower-than-system
+/// scoped) accesses and *sys-scoped* accesses (§2.3, §3.3):
+///
+/// * Anything below [`Scope::Sys`] need not become visible to other GPUs
+///   until the next sys-scoped synchronisation, so GPS may buffer and
+///   coalesce such stores in the remote write queue.
+/// * [`Scope::Sys`] accesses are inter-GPU synchronisation: they are never
+///   coalesced, and a sys-scoped *store* to a GPS page collapses the page to
+///   a single conventional copy (§5.3).
+///
+/// ```
+/// use gps_types::Scope;
+/// assert!(Scope::Weak.is_coalescable());
+/// assert!(!Scope::Sys.is_coalescable());
+/// assert!(Scope::Sys >= Scope::Gpu);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Scope {
+    /// A weak access: no ordering or visibility requirement beyond
+    /// same-address, same-thread rules.
+    #[default]
+    Weak,
+    /// Strong access scoped to the issuing CTA.
+    Cta,
+    /// Strong access scoped to the issuing GPU.
+    Gpu,
+    /// Strong access scoped to the whole system; used for inter-GPU
+    /// synchronisation.
+    Sys,
+}
+
+impl Scope {
+    /// Whether a store at this scope may legally be buffered and coalesced in
+    /// the GPS remote write queue before being made visible to other GPUs.
+    ///
+    /// Everything except `sys` scope may be coalesced (§3.3): the memory
+    /// model only requires cross-GPU visibility at sys-scoped
+    /// synchronisation.
+    pub const fn is_coalescable(self) -> bool {
+        !matches!(self, Scope::Sys)
+    }
+
+    /// Whether a fence at this scope forces the GPS remote write queue and
+    /// address-translation unit to drain (§5.2: "the remote write queue unit
+    /// must fully drain at synchronization points, e.g., when a sys-scoped
+    /// memory fence is issued").
+    pub const fn drains_write_queue(self) -> bool {
+        matches!(self, Scope::Sys)
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Weak => write!(f, "weak"),
+            Scope::Cta => write!(f, "cta"),
+            Scope::Gpu => write!(f, "gpu"),
+            Scope::Sys => write!(f, "sys"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sys_is_widest() {
+        assert!(Scope::Weak < Scope::Cta);
+        assert!(Scope::Cta < Scope::Gpu);
+        assert!(Scope::Gpu < Scope::Sys);
+    }
+
+    #[test]
+    fn coalescability() {
+        assert!(Scope::Weak.is_coalescable());
+        assert!(Scope::Cta.is_coalescable());
+        assert!(Scope::Gpu.is_coalescable());
+        assert!(!Scope::Sys.is_coalescable());
+    }
+
+    #[test]
+    fn only_sys_drains() {
+        assert!(Scope::Sys.drains_write_queue());
+        assert!(!Scope::Gpu.drains_write_queue());
+        assert!(!Scope::Weak.drains_write_queue());
+    }
+
+    #[test]
+    fn default_is_weak() {
+        assert_eq!(Scope::default(), Scope::Weak);
+    }
+}

@@ -1,0 +1,301 @@
+//! Time and bandwidth units for the timing models.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Model clock frequency: 1 GHz, so one [`Cycle`] is one nanosecond.
+///
+/// GV100 boosts to ~1.5 GHz; a 1 GHz model clock keeps cycle arithmetic and
+/// nanosecond latencies interchangeable without changing any of the relative
+/// results the paper reports.
+pub const CYCLES_PER_SECOND: u64 = 1_000_000_000;
+
+/// A point in simulated time, measured in model cycles (1 cycle = 1 ns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The far future; useful as an "unscheduled" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Self(cycles)
+    }
+
+    /// Creates a time from nanoseconds (identical to cycles at 1 GHz).
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_SECOND as f64
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Cycle) -> Latency {
+        Latency(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl Add<Latency> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Latency) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Latency> for Cycle {
+    fn add_assign(&mut self, rhs: Latency) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Latency;
+    fn sub(self, rhs: Cycle) -> Latency {
+        Latency(self.0 - rhs.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(v: Cycle) -> u64 {
+        v.0
+    }
+}
+
+/// A duration, measured in model cycles (1 cycle = 1 ns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Latency(u64);
+
+impl Latency {
+    /// Zero duration.
+    pub const ZERO: Latency = Latency(0);
+
+    /// Creates a duration from cycles.
+    pub const fn new(cycles: u64) -> Self {
+        Self(cycles)
+    }
+
+    /// Creates a duration from nanoseconds (identical to cycles at 1 GHz).
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    fn add(self, rhs: Latency) -> Latency {
+        Latency(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Latency {
+    fn add_assign(&mut self, rhs: Latency) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Latency {
+    type Output = Latency;
+    fn mul(self, rhs: u64) -> Latency {
+        Latency(self.0 * rhs)
+    }
+}
+
+impl From<u64> for Latency {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// Link or memory bandwidth.
+///
+/// Stored as bytes per model cycle; constructed from GB/s for readability
+/// (at the 1 GHz model clock, 1 GB/s = 1 byte/cycle).
+///
+/// ```
+/// use gps_types::Bandwidth;
+/// let bw = Bandwidth::gb_per_sec(16.0);
+/// assert_eq!(bw.bytes_per_cycle(), 16.0);
+/// // Transferring 1600 bytes takes 100 cycles at 16 B/cy.
+/// assert_eq!(bw.cycles_for_bytes(1600), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Unlimited bandwidth: transfers take zero serialisation time.
+    pub const INFINITE: Bandwidth = Bandwidth(f64::INFINITY);
+
+    /// Creates a bandwidth from gigabytes per second (decimal GB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive.
+    pub fn gb_per_sec(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive, got {gbps}");
+        Self(gbps)
+    }
+
+    /// Bytes transferred per model cycle.
+    pub fn bytes_per_cycle(self) -> f64 {
+        self.0
+    }
+
+    /// Bandwidth in GB/s.
+    pub fn as_gb_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is the infinite-bandwidth model.
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Serialisation delay for `bytes` at this bandwidth, rounded up to whole
+    /// cycles (zero for infinite bandwidth).
+    pub fn cycles_for_bytes(self, bytes: u64) -> u64 {
+        if self.is_infinite() || bytes == 0 {
+            0
+        } else {
+            (bytes as f64 / self.0).ceil() as u64
+        }
+    }
+
+    /// Scales the bandwidth by `factor` (e.g. protocol efficiency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive, got {factor}");
+        Self(self.0 * factor)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf GB/s")
+        } else {
+            write!(f, "{:.1} GB/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let t = Cycle::new(100) + Latency::new(50);
+        assert_eq!(t, Cycle::new(150));
+        assert_eq!(t - Cycle::new(100), Latency::new(50));
+        assert_eq!(Cycle::new(10).saturating_sub(Cycle::new(20)), Latency::ZERO);
+    }
+
+    #[test]
+    fn micros_conversion() {
+        assert_eq!(Latency::from_micros(25).as_u64(), 25_000);
+        assert_eq!(Cycle::from_micros(1).as_u64(), 1_000);
+        assert!((Cycle::from_micros(1_000_000).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_serialisation_delay() {
+        let pcie3 = Bandwidth::gb_per_sec(13.0);
+        assert_eq!(pcie3.cycles_for_bytes(0), 0);
+        assert_eq!(pcie3.cycles_for_bytes(13), 1);
+        assert_eq!(pcie3.cycles_for_bytes(130), 10);
+        // 128-byte line over 13 B/cy rounds up.
+        assert_eq!(pcie3.cycles_for_bytes(128), 10);
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_free() {
+        assert!(Bandwidth::INFINITE.is_infinite());
+        assert_eq!(Bandwidth::INFINITE.cycles_for_bytes(u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::gb_per_sec(0.0);
+    }
+
+    #[test]
+    fn latency_display_picks_unit() {
+        assert_eq!(Latency::new(999).to_string(), "999ns");
+        assert_eq!(Latency::new(2_500).to_string(), "2.50us");
+        assert_eq!(Latency::new(3_000_000).to_string(), "3.00ms");
+    }
+
+    #[test]
+    fn scaled_bandwidth() {
+        let raw = Bandwidth::gb_per_sec(16.0);
+        let effective = raw.scaled(0.8);
+        assert!((effective.as_gb_per_sec() - 12.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the address/page arithmetic.
+
+use proptest::prelude::*;
+
+use gps_types::{Bandwidth, LineAddr, LineRange, PageSize, VirtAddr, CACHE_LINE_BYTES};
+
+proptest! {
+    /// Byte -> line -> page decomposition is consistent for every page
+    /// size: the page of the line equals the page of the byte, and line
+    /// bases round-trip.
+    #[test]
+    fn address_decomposition_is_consistent(addr in 0u64..(1 << 49)) {
+        let va = VirtAddr::new(addr);
+        let line = va.line();
+        prop_assert!(line.base().as_u64() <= addr);
+        prop_assert!(addr - line.base().as_u64() < CACHE_LINE_BYTES);
+        prop_assert_eq!(va.line_offset(), addr % CACHE_LINE_BYTES);
+        for size in PageSize::ALL {
+            prop_assert_eq!(line.vpn(size), va.vpn(size));
+            let vpn = va.vpn(size);
+            prop_assert!(vpn.base(size).as_u64() <= addr);
+            prop_assert!(addr - vpn.base(size).as_u64() < size.bytes());
+            prop_assert_eq!(vpn.first_line(size).base(), vpn.base(size));
+        }
+    }
+
+    /// Alignment helpers: down <= addr <= up, both aligned, and idempotent.
+    #[test]
+    fn alignment_laws(addr in 0u64..(1 << 48), shift in 0u32..21) {
+        let align = 1u64 << shift;
+        let va = VirtAddr::new(addr);
+        let down = va.align_down(align);
+        let up = va.align_up(align);
+        prop_assert!(down <= va && va <= up);
+        prop_assert!(down.is_aligned(align));
+        prop_assert!(up.is_aligned(align));
+        prop_assert_eq!(down.align_down(align), down);
+        prop_assert_eq!(up.align_up(align), up);
+        prop_assert!(up.as_u64() - down.as_u64() <= align);
+    }
+
+    /// LineRange iteration yields exactly `count` lines, strided.
+    #[test]
+    fn line_range_iteration(
+        start in 0u64..(1 << 40),
+        count in 0u32..200,
+        stride in 1u32..100,
+    ) {
+        let r = LineRange::new(LineAddr::new(start), count, stride);
+        let lines: Vec<u64> = r.iter().map(|l| l.as_u64()).collect();
+        prop_assert_eq!(lines.len(), count as usize);
+        for (i, l) in lines.iter().enumerate() {
+            prop_assert_eq!(*l, start + i as u64 * stride as u64);
+        }
+    }
+
+    /// Bandwidth: serialisation time is monotone in bytes and inverse in
+    /// bandwidth.
+    #[test]
+    fn bandwidth_monotonicity(bytes in 0u64..(1 << 32), gbps in 1u32..2000) {
+        let bw = Bandwidth::gb_per_sec(gbps as f64);
+        let t = bw.cycles_for_bytes(bytes);
+        prop_assert!(t >= bytes / gbps as u64);
+        prop_assert!(bw.cycles_for_bytes(bytes + 1) >= t);
+        let faster = Bandwidth::gb_per_sec(gbps as f64 * 2.0);
+        prop_assert!(faster.cycles_for_bytes(bytes) <= t);
+    }
+
+    /// pages_for covers the request exactly.
+    #[test]
+    fn pages_for_covers(bytes in 0u64..(1 << 40)) {
+        for size in PageSize::ALL {
+            let pages = size.pages_for(bytes);
+            prop_assert!(pages * size.bytes() >= bytes);
+            if pages > 0 {
+                prop_assert!((pages - 1) * size.bytes() < bytes);
+            } else {
+                prop_assert_eq!(bytes, 0);
+            }
+        }
+    }
+}

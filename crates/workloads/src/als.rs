@@ -1,0 +1,45 @@
+//! ALS: "matrix factorization algorithm" — all-to-all (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::graph::{GatherPattern, GraphParams, ScatterPattern};
+
+/// Generator parameters.
+///
+/// Alternating least squares: solving for one side's factors requires
+/// gathering the *other* side's factor rows for every rated item — reads
+/// span the whole shared factor array with little temporal locality
+/// (Figure 9: ALS pages are almost all 4-subscriber; §7.2: RDL refetches
+/// the same line repeatedly for ALS). Updates are atomic accumulations
+/// into the GPU's own factor rows, so the GPS write-queue hit rate is 0 %
+/// (Figure 14).
+pub fn params() -> GraphParams {
+    GraphParams {
+        name: "als",
+        value_bytes: 8 * 1024 * 1024,
+        edge_bytes: 24 * 1024 * 1024,
+        edge_lines_per_warp: 8,
+        gathers_per_warp: 12,
+        gather: GatherPattern::All,
+        atomics_per_warp: 1,
+        atomic_warp_percent: 30,
+        scatter: ScatterPattern::Own,
+        compute_per_warp: 1600,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the ALS workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

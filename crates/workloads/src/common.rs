@@ -1,0 +1,94 @@
+//! Shared workload-generation vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// Problem-size profile for a workload build.
+///
+/// The paper runs full applications; we provide three sizes so the same
+/// generators serve unit tests (fast, debug builds), Criterion benches and
+/// the figure harness (release builds):
+///
+/// * `Tiny` — ~1/16 of the paper-scale footprint, 2 iterations.
+/// * `Small` — ~1/4 footprint, 3 iterations.
+/// * `Paper` — full footprint, 1 profiling + 3 steady iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ScaleProfile {
+    /// Unit-test scale.
+    Tiny,
+    /// Bench scale.
+    Small,
+    /// Figure-harness scale.
+    #[default]
+    Paper,
+}
+
+impl ScaleProfile {
+    /// Scales a paper-scale byte count down for smaller profiles (clamped
+    /// to one 64 KiB page).
+    pub fn bytes(self, paper_bytes: u64) -> u64 {
+        let scaled = match self {
+            ScaleProfile::Tiny => paper_bytes / 16,
+            ScaleProfile::Small => paper_bytes / 4,
+            ScaleProfile::Paper => paper_bytes,
+        };
+        scaled.max(64 * 1024)
+    }
+
+    /// Number of application iterations (the first one is the GPS
+    /// profiling iteration).
+    pub fn iterations(self) -> usize {
+        match self {
+            ScaleProfile::Tiny => 2,
+            ScaleProfile::Small => 3,
+            ScaleProfile::Paper => 4,
+        }
+    }
+}
+
+/// Deterministic 64-bit mix used to derive per-warp pseudo-randomness from
+/// warp coordinates (splitmix64 finaliser). Workload traces must be a pure
+/// function of those coordinates so simulations are reproducible.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combines warp coordinates into a seed.
+pub fn warp_seed(gpu: u16, cta: u32, warp: u32, salt: u64) -> u64 {
+    mix((gpu as u64) << 48 ^ (cta as u64) << 16 ^ warp as u64 ^ salt.wrapping_mul(0xABCD_EF01))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_monotone() {
+        let paper = 16 * 1024 * 1024;
+        assert!(ScaleProfile::Tiny.bytes(paper) < ScaleProfile::Small.bytes(paper));
+        assert!(ScaleProfile::Small.bytes(paper) < ScaleProfile::Paper.bytes(paper));
+        assert_eq!(ScaleProfile::Paper.bytes(paper), paper);
+    }
+
+    #[test]
+    fn scaling_clamps_to_a_page() {
+        assert_eq!(ScaleProfile::Tiny.bytes(1000), 64 * 1024);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(1), mix(2));
+        assert_ne!(warp_seed(0, 0, 0, 0), warp_seed(0, 0, 1, 0));
+        assert_ne!(warp_seed(0, 0, 0, 0), warp_seed(1, 0, 0, 0));
+        assert_ne!(warp_seed(0, 0, 0, 1), warp_seed(0, 0, 0, 2));
+    }
+
+    #[test]
+    fn iterations_grow_with_scale() {
+        assert!(ScaleProfile::Tiny.iterations() >= 2);
+        assert!(ScaleProfile::Paper.iterations() > ScaleProfile::Tiny.iterations());
+    }
+}

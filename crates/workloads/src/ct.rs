@@ -1,0 +1,50 @@
+//! CT: "Model Based Iterative Reconstruction algorithm used in CT imaging"
+//! — all-to-all (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::stencil::StencilParams;
+
+/// Generator parameters.
+///
+/// Forward/back-projection: every GPU reads projection samples across the
+/// *entire* volume (all-to-all sharing — Figure 9 shows CT's shared pages
+/// almost all 4-subscriber) but updates only its own voxel slab, touching
+/// each output line twice per sweep. Compute per voxel is high, which is
+/// why bulk-synchronous memcpy "performs well for CT" (§7.1) — the
+/// broadcast is small relative to compute — and GPS mainly adds overlap.
+pub fn params() -> StencilParams {
+    StencilParams {
+        name: "ct",
+        array_bytes: 12 * 1024 * 1024,
+        private_bytes: 12 * 1024 * 1024,
+        halo_lines: 0,
+        compute_per_line: 1600,
+        rewrite: true,
+        rewrite_subchunk: 2,
+        rewrite_pct: 100,
+        rewrite_gap: 2,
+        write_frac: (1, 3),
+        imbalance_pct: 6,
+        skew_lines: 0,
+        sweeps_per_phase: 1,
+        read_all_samples: 24,
+        lines_per_warp: 16,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the CT workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

@@ -1,0 +1,49 @@
+//! Diffusion: "a multi-GPU implementation of 3D Heat Equation and inviscid
+//! Burgers' Equation" — peer-to-peer (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::stencil::StencilParams;
+
+/// Generator parameters.
+///
+/// A 3-D heat/Burgers step: slab decomposition with deeper halos than
+/// Jacobi, and two dependent update passes over each output line per sweep
+/// (operator splitting), giving the GPS remote write queue real coalescing
+/// opportunities (Figure 14 shows Diffusion's hit rate climbing with queue
+/// size).
+pub fn params() -> StencilParams {
+    StencilParams {
+        name: "diffusion",
+        array_bytes: 32 * 1024 * 1024,
+        private_bytes: 32 * 1024 * 1024,
+        halo_lines: 2560,
+        compute_per_line: 380,
+        rewrite: true,
+        rewrite_subchunk: 2,
+        rewrite_pct: 65,
+        rewrite_gap: 2,
+        write_frac: (1, 1),
+        imbalance_pct: 6,
+        skew_lines: 256,
+        sweeps_per_phase: 1,
+        read_all_samples: 0,
+        lines_per_warp: 16,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the Diffusion workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

@@ -1,0 +1,462 @@
+//! Vertex-partitioned irregular-application generator (Pagerank, SSSP,
+//! ALS).
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gps_sim::{KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
+use gps_types::{GpuId, LineAddr, LineRange, PageSize};
+
+use crate::common::{mix, warp_seed, ScaleProfile};
+
+/// Which foreign pages of the shared value array a GPU gathers from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherPattern {
+    /// Reads land in the GPU's own partition plus a boundary *window* of
+    /// its ring neighbours (peer-to-peer communication, e.g. Pagerank on a
+    /// partitioned web graph). The value is the window size as a percent of
+    /// the neighbour partition.
+    NeighborWindow(u32),
+    /// Each (page, gpu) pair is readable with the given percent
+    /// probability (hash-derived, stable): many-to-many communication with
+    /// a mixed subscriber distribution (SSSP).
+    RandomSubset(u32),
+    /// Every GPU reads the whole array (all-to-all: ALS factor matrices).
+    All,
+}
+
+/// Where atomic updates land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterPattern {
+    /// Only into the GPU's own partition (ALS: each GPU owns its factor
+    /// rows).
+    Own,
+    /// Mostly own partition, spilling into ring-neighbour boundary windows
+    /// (Pagerank rank pushes along cut edges).
+    NeighborWindow(u32),
+    /// Uniformly across all partitions (SSSP relaxations).
+    Uniform,
+}
+
+/// Parameters of a graph-family application at paper scale.
+#[derive(Debug, Clone)]
+pub struct GraphParams {
+    /// Application name.
+    pub name: &'static str,
+    /// Bytes of the shared value array (ranks / distances / factors);
+    /// two ping-pong copies are allocated.
+    pub value_bytes: u64,
+    /// *Total* bytes of edge data; partitioned across GPUs (strong
+    /// scaling).
+    pub edge_bytes: u64,
+    /// Contiguous private edge lines streamed per warp.
+    pub edge_lines_per_warp: u32,
+    /// Scattered single-line gathers from the shared array per warp.
+    pub gathers_per_warp: u32,
+    /// Gather placement.
+    pub gather: GatherPattern,
+    /// Atomic updates per atomic-issuing warp.
+    pub atomics_per_warp: u32,
+    /// Percent of warps that issue atomics at all (push-style codes
+    /// accumulate block-locally and commit far fewer atomics than edges).
+    pub atomic_warp_percent: u32,
+    /// Atomic placement.
+    pub scatter: ScatterPattern,
+    /// Arithmetic cycles per warp.
+    pub compute_per_warp: u32,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+}
+
+impl GraphParams {
+    /// Builds the workload for `gpus` GPUs at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal allocation failure.
+    pub fn build(&self, gpus: usize, scale: ScaleProfile) -> Workload {
+        self.build_paged(gpus, scale, PageSize::Standard64K)
+    }
+
+    /// Builds the workload with an explicit page size (the §7.4 page-size
+    /// sensitivity study).
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal allocation failure.
+    pub fn build_paged(&self, gpus: usize, scale: ScaleProfile, page_size: PageSize) -> Workload {
+        assert!(gpus >= 1);
+        let mut b = WorkloadBuilder::new(self.name, page_size, gpus);
+        let value_bytes = scale.bytes(self.value_bytes);
+        let cur = b.alloc_shared(format!("{}_cur", self.name), value_bytes).unwrap();
+        let nxt = b.alloc_shared(format!("{}_nxt", self.name), value_bytes).unwrap();
+        let edge_bytes_per_gpu = (scale.bytes(self.edge_bytes) / gpus as u64).max(64 * 1024);
+        let edges: Vec<_> = (0..gpus)
+            .map(|g| {
+                b.alloc_private(format!("{}_edges{g}", self.name), edge_bytes_per_gpu)
+                    .unwrap()
+            })
+            .collect();
+
+        let total_lines = cur.lines();
+        let part = total_lines / gpus as u64;
+        let edge_lines = edges[0].lines();
+        let warps_per_gpu =
+            (edge_lines / self.edge_lines_per_warp as u64).clamp(1, 1 << 20) as u32;
+        let ctas = warps_per_gpu.div_ceil(self.warps_per_cta);
+
+        // One application iteration = a forward and a backward half-step
+        // (cur -> nxt, then nxt -> cur), each ending at a global barrier,
+        // so the profiling iteration observes both arrays' sharing.
+        for iter in 0..scale.iterations() {
+            for dir in 0..2u64 {
+                let (src, dst) = if dir == 0 {
+                    (cur.base().line(), nxt.base().line())
+                } else {
+                    (nxt.base().line(), cur.base().line())
+                };
+                let mut launches = Vec::new();
+                for (g, edge_alloc) in edges.iter().enumerate() {
+                    let p = self.clone();
+                    let edge_base = edge_alloc.base().line();
+                    let prog = move |ctx: WarpCtx| {
+                        p.warp_program(ctx, src, dst, total_lines, part, warps_per_gpu, edge_base, edge_lines)
+                    };
+                    launches.push(KernelSpec {
+                        name: format!("{}_it{iter}_d{dir}_g{g}", self.name),
+                        gpu: GpuId::new(g as u16),
+                        cta_count: ctas,
+                        warps_per_cta: self.warps_per_cta,
+                        program: Arc::new(prog),
+                    });
+                }
+                b.phase(launches);
+            }
+        }
+        b.build(2).unwrap()
+    }
+
+    /// Whether `gpu` may gather from the page-sized block containing
+    /// `line` (stable across iterations so profiling predicts steady
+    /// state). Offsets are relative to the shared array base.
+    fn may_gather(&self, gpu: u64, gpus: u64, part: u64, line_off: u64) -> bool {
+        let owner = (line_off / part).min(gpus - 1);
+        if owner == gpu {
+            return true;
+        }
+        match self.gather {
+            GatherPattern::NeighborWindow(pct) => {
+                if gpus <= 1 {
+                    return false;
+                }
+                let window = (part * pct as u64 / 100).max(1);
+                let within = line_off - owner * part;
+                // Directional ring windows: a GPU reads the *tail* of its
+                // predecessor's partition and the *head* of its
+                // successor's, so each window page has exactly one remote
+                // reader (Figure 9 shows Jacobi-like apps dominated by
+                // 2-subscriber pages; Pagerank mixes in 3-subscriber pages
+                // where scatter writes overlap).
+                if owner == (gpu + 1) % gpus {
+                    within < window
+                } else if (owner + 1) % gpus == gpu {
+                    within >= part.saturating_sub(window)
+                } else {
+                    false
+                }
+            }
+            GatherPattern::RandomSubset(pct) => {
+                // Page-granular (512 lines per 64 KiB page) stable hash.
+                let page = line_off / 512;
+                mix(page ^ (gpu << 40) ^ 0x5EED) % 100 < pct as u64
+            }
+            GatherPattern::All => true,
+        }
+    }
+
+    fn sample_gather(&self, rng: &mut SmallRng, gpu: u64, gpus: u64, part: u64) -> u64 {
+        // Rejection-sample a line this GPU is allowed to read; fall back to
+        // the own partition after a few tries to bound work.
+        let total = part * gpus;
+        for _ in 0..8 {
+            let cand = rng.gen_range(0..total);
+            if self.may_gather(gpu, gpus, part, cand) {
+                return cand;
+            }
+        }
+        gpu * part + rng.gen_range(0..part)
+    }
+
+    fn sample_scatter(&self, rng: &mut SmallRng, gpu: u64, gpus: u64, part: u64) -> u64 {
+        match self.scatter {
+            ScatterPattern::Own => gpu * part + rng.gen_range(0..part),
+            ScatterPattern::NeighborWindow(pct) => {
+                if gpus > 1 && rng.gen_range(0..100) < 20 {
+                    // A cut edge: push into a ring neighbour's window.
+                    let neighbor = if rng.gen_bool(0.5) {
+                        (gpu + 1) % gpus
+                    } else {
+                        (gpu + gpus - 1) % gpus
+                    };
+                    let window = (part * pct as u64 / 100).max(1);
+                    neighbor * part + rng.gen_range(0..window)
+                } else {
+                    gpu * part + rng.gen_range(0..part)
+                }
+            }
+            ScatterPattern::Uniform => {
+                // Relaxations follow the edges a GPU owns: the reachable
+                // vertex set matches its gather subset, keeping the
+                // many-to-many subscriber mix stable across iterations.
+                let total = part * gpus;
+                for _ in 0..8 {
+                    let cand = rng.gen_range(0..total);
+                    if self.may_gather(gpu, gpus, part, cand) {
+                        return cand;
+                    }
+                }
+                gpu * part + rng.gen_range(0..part)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn warp_program(
+        &self,
+        ctx: WarpCtx,
+        src: LineAddr,
+        dst: LineAddr,
+        _total_lines: u64,
+        part: u64,
+        warps_per_gpu: u32,
+        edge_base: LineAddr,
+        edge_lines: u64,
+    ) -> Vec<WarpInstr> {
+        let w = ctx.global_warp();
+        if w >= warps_per_gpu {
+            return vec![WarpInstr::Compute(1)];
+        }
+        let gpus = ctx.gpu_count as u64;
+        let g = ctx.gpu.index() as u64;
+        let mut rng = SmallRng::seed_from_u64(warp_seed(
+            ctx.gpu.raw(),
+            ctx.cta.raw(),
+            ctx.warp_in_cta,
+            0x6A47,
+        ));
+
+        let mut instrs = Vec::with_capacity(
+            2 + self.gathers_per_warp as usize + self.atomics_per_warp as usize,
+        );
+
+        // Stream this warp's slice of the private edge list.
+        let e_off = (w as u64 * self.edge_lines_per_warp as u64) % edge_lines;
+        let e_n = (self.edge_lines_per_warp as u64).min(edge_lines - e_off);
+        instrs.push(WarpInstr::Load(LineRange::contiguous(
+            edge_base.offset(e_off),
+            e_n as u32,
+        )));
+
+        // Scattered gathers from the shared value array.
+        for _ in 0..self.gathers_per_warp {
+            let line = self.sample_gather(&mut rng, g, gpus, part);
+            instrs.push(WarpInstr::Load(LineRange::single(src.offset(line))));
+        }
+
+        // +-12% per-warp compute jitter: real warps drift out of lockstep.
+        let base = self.compute_per_warp.max(1);
+        let jitter = (warp_seed(ctx.gpu.raw(), ctx.cta.raw(), ctx.warp_in_cta, 0x11)
+            % (base as u64 / 4 + 1)) as u32;
+        instrs.push(WarpInstr::Compute((base - base / 8 + jitter).max(1)));
+
+        // Atomic scatter updates into the destination array. Only a
+        // fraction of warps commit atomics (block-local accumulation).
+        let commits = warp_seed(ctx.gpu.raw(), ctx.cta.raw(), ctx.warp_in_cta, 0xA70) % 100
+            < self.atomic_warp_percent as u64;
+        if commits {
+            for _ in 0..self.atomics_per_warp {
+                let line = self.sample_scatter(&mut rng, g, gpus, part);
+                instrs.push(WarpInstr::Atomic(dst.offset(line)));
+            }
+        }
+        instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(gather: GatherPattern, scatter: ScatterPattern) -> GraphParams {
+        GraphParams {
+            name: "testgraph",
+            value_bytes: 4 * 1024 * 1024,
+            edge_bytes: 8 * 1024 * 1024,
+            edge_lines_per_warp: 8,
+            gathers_per_warp: 4,
+            gather,
+            atomics_per_warp: 2,
+            atomic_warp_percent: 100,
+            scatter,
+            compute_per_warp: 64,
+            warps_per_cta: 4,
+        }
+    }
+
+    fn shared_line_off(instr: &WarpInstr) -> Option<u64> {
+        let shared_base = (1u64 << 32) >> 7;
+        match instr {
+            WarpInstr::Load(r) if r.len() == 1 => {
+                Some(r.start().as_u64().checked_sub(shared_base)?)
+            }
+            WarpInstr::Atomic(l) => Some(l.as_u64().checked_sub(shared_base)?),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let wl = params(GatherPattern::All, ScatterPattern::Own).build(4, ScaleProfile::Tiny);
+        wl.validate().unwrap();
+        assert_eq!(wl.phases.len(), 4, "2 iterations x 2 half-steps");
+        assert_eq!(wl.phases_per_iteration, 2);
+        assert_eq!(wl.phases[0].launches.len(), 4);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let p = params(GatherPattern::RandomSubset(50), ScatterPattern::Uniform);
+        let a = p.build(4, ScaleProfile::Tiny);
+        let c = p.build(4, ScaleProfile::Tiny);
+        let ctx = WarpCtx {
+            gpu: GpuId::new(2),
+            gpu_count: 4,
+            cta: gps_types::CtaId::new(5),
+            cta_count: a.phases[0].launches[2].cta_count,
+            warp_in_cta: 1,
+            warps_per_cta: 4,
+        };
+        assert_eq!(
+            a.phases[0].launches[2].program.warp_instrs(ctx),
+            c.phases[0].launches[2].program.warp_instrs(ctx),
+        );
+    }
+
+    #[test]
+    fn neighbor_window_keeps_gathers_near_the_ring() {
+        let p = params(GatherPattern::NeighborWindow(25), ScatterPattern::Own);
+        let wl = p.build(4, ScaleProfile::Small);
+        let k = &wl.phases[0].launches[1]; // GPU 1
+        let total = ScaleProfile::Small.bytes(p.value_bytes) / 128;
+        let part = total / 4;
+        for cta in 0..k.cta_count.min(50) {
+            let ctx = WarpCtx {
+                gpu: GpuId::new(1),
+                gpu_count: 4,
+                cta: gps_types::CtaId::new(cta),
+                cta_count: k.cta_count,
+                warp_in_cta: 0,
+                warps_per_cta: 4,
+            };
+            for i in k.program.warp_instrs(ctx) {
+                if let Some(off) = shared_line_off(&i) {
+                    if off >= 2 * total {
+                        continue; // second array (atomics handled below)
+                    }
+                    let off = off % total;
+                    let owner = (off / part).min(3);
+                    assert!(
+                        owner == 1 || owner == 0 || owner == 2,
+                        "gather outside ring: owner {owner}"
+                    );
+                    let within = off - owner * part;
+                    if owner == 2 {
+                        // Successor: head window.
+                        assert!(within < part / 4 + 1, "outside window: {within}");
+                    } else if owner == 0 {
+                        // Predecessor: tail window.
+                        assert!(within >= part - part / 4 - 1, "outside window: {within}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pattern_reads_every_partition() {
+        let p = params(GatherPattern::All, ScatterPattern::Own);
+        let wl = p.build(4, ScaleProfile::Small);
+        let total = ScaleProfile::Small.bytes(p.value_bytes) / 128;
+        let part = total / 4;
+        let k = &wl.phases[0].launches[0];
+        let mut touched = [false; 4];
+        for cta in 0..k.cta_count.min(200) {
+            let ctx = WarpCtx {
+                gpu: GpuId::new(0),
+                gpu_count: 4,
+                cta: gps_types::CtaId::new(cta),
+                cta_count: k.cta_count,
+                warp_in_cta: 2,
+                warps_per_cta: 4,
+            };
+            for i in k.program.warp_instrs(ctx) {
+                if let (WarpInstr::Load(r), Some(off)) = (&i, shared_line_off(&i)) {
+                    if r.len() == 1 && off < total {
+                        touched[((off / part).min(3)) as usize] = true;
+                    }
+                }
+            }
+        }
+        assert!(touched.iter().all(|&t| t), "{touched:?}");
+    }
+
+    #[test]
+    fn own_scatter_stays_in_partition() {
+        let p = params(GatherPattern::All, ScatterPattern::Own);
+        let wl = p.build(4, ScaleProfile::Small);
+        let total = ScaleProfile::Small.bytes(p.value_bytes) / 128;
+        let part = total / 4;
+        let k = &wl.phases[0].launches[3];
+        for cta in 0..k.cta_count.min(100) {
+            let ctx = WarpCtx {
+                gpu: GpuId::new(3),
+                gpu_count: 4,
+                cta: gps_types::CtaId::new(cta),
+                cta_count: k.cta_count,
+                warp_in_cta: 1,
+                warps_per_cta: 4,
+            };
+            for i in k.program.warp_instrs(ctx) {
+                if let WarpInstr::Atomic(l) = i {
+                    let shared_base = (1u64 << 32) >> 7;
+                    let off = l.as_u64() - shared_base;
+                    // Atomics target the second (destination) array.
+                    assert!(off >= total, "atomic in src array");
+                    let off = off - total;
+                    assert_eq!((off / part).min(3), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_subset_is_stable_per_page() {
+        let p = params(GatherPattern::RandomSubset(40), ScatterPattern::Uniform);
+        // The same (page, gpu) decision must not flip between calls
+        // (page-aligned partitions, as the real allocator produces).
+        for page in 0..50u64 {
+            let a = p.may_gather(2, 4, 10_240, page * 512 + 7);
+            let b = p.may_gather(2, 4, 10_240, page * 512 + 400);
+            assert_eq!(a, b, "page-granular stability");
+        }
+    }
+
+    #[test]
+    fn single_gpu_build_works() {
+        let wl = params(GatherPattern::NeighborWindow(25), ScatterPattern::Uniform)
+            .build(1, ScaleProfile::Tiny);
+        wl.validate().unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! HIT: "simulating Homogeneous Isotropic Turbulence by solving
+//! Navier-Stokes equations in 3D" — peer-to-peer (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::stencil::StencilParams;
+
+/// Generator parameters.
+///
+/// A pseudo-spectral turbulence step: compute-heavy per line (transforms),
+/// slab decomposition with deep halos and two dependent store passes
+/// (real/imaginary updates) whose rewrites coalesce in the GPS write queue
+/// (Figure 14).
+pub fn params() -> StencilParams {
+    StencilParams {
+        name: "hit",
+        array_bytes: 20 * 1024 * 1024,
+        private_bytes: 20 * 1024 * 1024,
+        halo_lines: 2048,
+        compute_per_line: 660,
+        rewrite: true,
+        rewrite_subchunk: 2,
+        rewrite_pct: 55,
+        rewrite_gap: 2,
+        write_frac: (1, 1),
+        imbalance_pct: 6,
+        skew_lines: 256,
+        sweeps_per_phase: 1,
+        read_all_samples: 0,
+        lines_per_warp: 16,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the HIT workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

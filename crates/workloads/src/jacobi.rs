@@ -1,0 +1,50 @@
+//! Jacobi: "iterative algorithm that solves a diagonally dominant system of
+//! linear equations" — predominant communication: peer-to-peer (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::stencil::StencilParams;
+
+/// Generator parameters.
+///
+/// A block-partitioned relaxation sweep: each GPU updates its slab and
+/// exchanges one-line halos with its neighbours. Every output line is
+/// written exactly once per sweep with unit stride, so all spatial store
+/// locality is captured by the SM coalescer and the GPS write-queue hit
+/// rate is 0 % (§7.4: "Jacobi exhibits a 0% hit rate since all spatial
+/// locality is fully captured in the coalescer internal to the SM").
+pub fn params() -> StencilParams {
+    StencilParams {
+        name: "jacobi",
+        array_bytes: 16 * 1024 * 1024,
+        private_bytes: 16 * 1024 * 1024,
+        halo_lines: 2048,
+        compute_per_line: 550,
+        rewrite: false,
+        rewrite_subchunk: 0,
+        rewrite_pct: 0,
+        rewrite_gap: 0,
+        write_frac: (1, 1),
+        imbalance_pct: 6,
+        skew_lines: 256,
+        sweeps_per_phase: 1,
+        read_all_samples: 0,
+        lines_per_warp: 16,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the Jacobi workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

@@ -1,0 +1,42 @@
+//! The eight-application evaluation suite of the GPS paper (Table 2).
+//!
+//! The paper drives its simulator with NVBit traces of real CUDA
+//! applications; those traces are not redistributable, so this crate
+//! generates *synthetic warp-level traces* with the same timing-relevant
+//! structure: domain partitioning across GPUs, per-page sharing patterns
+//! (Figure 9), plain stores vs atomics (Figure 14), stencil halo exchange
+//! vs scatter/gather communication (Table 2), compute intensity and
+//! iteration structure. See `DESIGN.md` for the substitution argument.
+//!
+//! Two parameterised generators cover the suite:
+//!
+//! * [`stencil`] — block-partitioned iterative grid codes with halo
+//!   exchange and optional all-to-all reads (Jacobi, B2rEqwp, Diffusion,
+//!   HIT, CT).
+//! * [`graph`] — vertex-partitioned irregular codes with gather reads and
+//!   atomic scatter updates (Pagerank, SSSP, ALS).
+//!
+//! Each application module exposes `build(gpus, scale) -> Workload` plus
+//! its Table 2 metadata; [`suite`] enumerates them all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+mod common;
+pub mod graph;
+pub mod stencil;
+pub mod suite;
+
+pub mod als;
+pub mod ct;
+pub mod diffusion;
+pub mod eqwp;
+pub mod hit;
+pub mod jacobi;
+pub mod pagerank;
+pub mod sssp;
+
+pub use characterize::{characterize, Characterization};
+pub use common::ScaleProfile;
+pub use suite::{AppEntry, CommPattern};

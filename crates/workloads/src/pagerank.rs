@@ -1,0 +1,44 @@
+//! Pagerank: "algorithm used by Google Search to rank web pages" —
+//! peer-to-peer (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::graph::{GatherPattern, GraphParams, ScatterPattern};
+
+/// Generator parameters.
+///
+/// A partitioned push-style Pagerank: each GPU streams its private edge
+/// slice, gathers ranks from its own partition plus a boundary window of
+/// its ring neighbours, and pushes contributions with **atomics** — which
+/// the GPS remote write queue never coalesces, giving Pagerank its 0 %
+/// hit rate in Figure 14.
+pub fn params() -> GraphParams {
+    GraphParams {
+        name: "pagerank",
+        value_bytes: 8 * 1024 * 1024,
+        edge_bytes: 24 * 1024 * 1024,
+        edge_lines_per_warp: 8,
+        gathers_per_warp: 5,
+        gather: GatherPattern::NeighborWindow(30),
+        atomics_per_warp: 2,
+        atomic_warp_percent: 35,
+        scatter: ScatterPattern::NeighborWindow(30),
+        compute_per_warp: 1400,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the Pagerank workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

@@ -1,0 +1,43 @@
+//! SSSP: "shortest path computation between every pair of vertices in a
+//! graph" — many-to-many (Table 2).
+
+use gps_sim::Workload;
+
+use crate::common::ScaleProfile;
+use crate::graph::{GatherPattern, GraphParams, ScatterPattern};
+
+/// Generator parameters.
+///
+/// Edge relaxations over an unstructured partitioned graph: gathers land
+/// on a stable random *subset* of foreign pages (many-to-many — Figure 9
+/// shows SSSP with a mixed 2/3/4-subscriber distribution) and distance
+/// updates are atomic min-style operations scattered across partitions.
+pub fn params() -> GraphParams {
+    GraphParams {
+        name: "sssp",
+        value_bytes: 8 * 1024 * 1024,
+        edge_bytes: 24 * 1024 * 1024,
+        edge_lines_per_warp: 8,
+        gathers_per_warp: 5,
+        gather: GatherPattern::RandomSubset(45),
+        atomics_per_warp: 2,
+        atomic_warp_percent: 25,
+        scatter: ScatterPattern::Uniform,
+        compute_per_warp: 1200,
+        warps_per_cta: 4,
+    }
+}
+
+/// Builds the SSSP workload.
+pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
+    params().build(gpus, scale)
+}
+
+/// Builds the workload with an explicit page size (§7.4 sweep).
+pub fn build_paged(
+    gpus: usize,
+    scale: ScaleProfile,
+    page_size: gps_types::PageSize,
+) -> Workload {
+    params().build_paged(gpus, scale, page_size)
+}

@@ -1,0 +1,529 @@
+//! Block-partitioned iterative stencil generator (Jacobi, B2rEqwp,
+//! Diffusion, HIT, CT).
+
+use std::sync::Arc;
+
+use gps_sim::{KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
+use gps_types::{GpuId, LineAddr, LineRange, PageSize, Scope};
+
+use crate::common::{warp_seed, ScaleProfile};
+
+/// Parameters of a stencil-family application at paper scale.
+///
+/// The generator partitions a 1-D line-indexed domain across GPUs (block
+/// decomposition, as the paper's applications do), ping-pongs between two
+/// shared arrays (one application iteration = a forward and a backward
+/// half-step, as in Listing 1), exchanges `halo_lines` with each neighbour
+/// per half-step, and optionally:
+///
+/// * shifts partition boundaries off page alignment (`skew_lines`) so
+///   boundary pages are genuinely false-shared — the §7.5 false-sharing
+///   cost, and the page-thrashing amplifier for Unified Memory;
+/// * gives GPU 0 a slightly larger block (`imbalance_pct`), the load
+///   imbalance that keeps real codes below ideal scaling;
+/// * samples lines across *all* partitions (`read_all_samples > 0`) for
+///   the all-to-all applications (CT);
+/// * writes each output line twice per sweep (`rewrite`) in small
+///   sub-chunks — the temporal store locality behind the non-zero GPS
+///   write-queue hit rates of Figure 14;
+/// * restricts writes to a leading fraction of each partition's warps
+///   (`write_frac`), for applications that update fewer cells than they
+///   read (CT);
+/// * runs multiple sweeps per phase (`sweeps_per_phase`), giving EQWP its
+///   cross-kernel L2 reuse (§7.1).
+#[derive(Debug, Clone)]
+pub struct StencilParams {
+    /// Application name.
+    pub name: &'static str,
+    /// Bytes per shared array (two arrays are allocated) at paper scale.
+    pub array_bytes: u64,
+    /// Per-GPU private bytes (coefficients, scratch) at paper scale.
+    pub private_bytes: u64,
+    /// Halo depth in cache lines exchanged with each neighbour.
+    pub halo_lines: u64,
+    /// Arithmetic cycles per output line.
+    pub compute_per_line: u32,
+    /// Whether each output line is written twice per sweep.
+    pub rewrite: bool,
+    /// When rewriting, lines per sub-chunk (store, short compute, store).
+    pub rewrite_subchunk: u32,
+    /// Dependent-computation cycles between the two stores of a sub-chunk.
+    pub rewrite_gap: u32,
+    /// Percent of sub-chunks that are actually rewritten (the rest are
+    /// written once); controls the asymptotic write-queue hit rate.
+    pub rewrite_pct: u32,
+    /// Numerator/denominator of the leading fraction of each partition's
+    /// warps that write output.
+    pub write_frac: (u32, u32),
+    /// Lines by which partition boundaries are shifted off page alignment.
+    pub skew_lines: u64,
+    /// Extra share of the domain given to GPU 0, in percent of a block.
+    pub imbalance_pct: u32,
+    /// Kernels launched back-to-back per GPU per phase.
+    pub sweeps_per_phase: u32,
+    /// Strided all-partition sample loads per warp (0 = none).
+    pub read_all_samples: u32,
+    /// Output lines per warp.
+    pub lines_per_warp: u32,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+}
+
+/// Resolved partition geometry for one build.
+#[derive(Debug, Clone, Copy)]
+struct Partition {
+    start: u64,
+    end: u64,
+    warps: u32,
+}
+
+impl StencilParams {
+    /// Builds the workload for `gpus` GPUs at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal allocation failure (the footprints involved are
+    /// far below the 49-bit VA space).
+    pub fn build(&self, gpus: usize, scale: ScaleProfile) -> Workload {
+        self.build_paged(gpus, scale, PageSize::Standard64K)
+    }
+
+    /// Partition geometry: block boundaries shifted by `skew_lines` off
+    /// page alignment, with GPU 0 taking `imbalance_pct` extra.
+    fn partitions(&self, gpus: u64, total_lines: u64) -> Vec<Partition> {
+        let base = total_lines / gpus;
+        let extra = (base * self.imbalance_pct as u64 / 100).min(base / 2);
+        let shift = if gpus > 1 {
+            (extra + self.skew_lines).min(base / 2)
+        } else {
+            0
+        };
+        let lpw = self.lines_per_warp as u64;
+        (0..gpus)
+            .map(|g| {
+                let start = if g == 0 { 0 } else { g * base + shift };
+                let end = if g + 1 == gpus {
+                    total_lines
+                } else {
+                    (g + 1) * base + shift
+                };
+                let span = end.saturating_sub(start).max(1);
+                Partition {
+                    start,
+                    end,
+                    warps: span.div_ceil(lpw) as u32,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the workload with an explicit page size (the §7.4 page-size
+    /// sensitivity study).
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal allocation failure.
+    pub fn build_paged(&self, gpus: usize, scale: ScaleProfile, page_size: PageSize) -> Workload {
+        assert!(gpus >= 1);
+        let mut b = WorkloadBuilder::new(self.name, page_size, gpus);
+        let array_bytes = scale.bytes(self.array_bytes);
+        let a = b.alloc_shared(format!("{}_a", self.name), array_bytes).unwrap();
+        let c = b.alloc_shared(format!("{}_b", self.name), array_bytes).unwrap();
+        let privs: Vec<_> = (0..gpus)
+            .map(|g| {
+                b.alloc_private(
+                    format!("{}_priv{g}", self.name),
+                    (scale.bytes(self.private_bytes) / gpus as u64).max(64 * 1024),
+                )
+                .unwrap()
+            })
+            .collect();
+
+        let total_lines = a.lines();
+        // Halo depth scales with the domain so reduced-scale builds keep
+        // the paper-scale boundary-to-interior ratio.
+        let halo = (self.halo_lines * array_bytes / self.array_bytes.max(1)).max(4);
+        let geom = StencilParams {
+            halo_lines: halo,
+            ..self.clone()
+        };
+        let parts = geom.partitions(gpus as u64, total_lines);
+
+        // One application iteration is a forward and a backward relaxation
+        // (Listing 1 launches both `mvmul` directions inside the profiled
+        // loop body), each ending at a global barrier.
+        let iterations = scale.iterations();
+        for iter in 0..iterations {
+            for dir in 0..2u64 {
+                let (src, dst) = if dir == 0 {
+                    (a.base().line(), c.base().line())
+                } else {
+                    (c.base().line(), a.base().line())
+                };
+                let mut launches = Vec::new();
+                for sweep in 0..self.sweeps_per_phase {
+                    for g in 0..gpus {
+                        let p = geom.clone();
+                        let my_parts = parts.clone();
+                        let priv_base = privs[g].base().line();
+                        let priv_lines = privs[g].lines();
+                        let prog = move |ctx: WarpCtx| {
+                            p.warp_program(
+                                ctx, src, dst, total_lines, &my_parts, priv_base, priv_lines,
+                            )
+                        };
+                        launches.push(KernelSpec {
+                            name: format!("{}_it{iter}_d{dir}_s{sweep}_g{g}", self.name),
+                            gpu: GpuId::new(g as u16),
+                            cta_count: parts[g].warps.div_ceil(self.warps_per_cta),
+                            warps_per_cta: self.warps_per_cta,
+                            program: Arc::new(prog),
+                        });
+                    }
+                }
+                b.phase(launches);
+            }
+        }
+        b.build(2).unwrap()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn warp_program(
+        &self,
+        ctx: WarpCtx,
+        src: LineAddr,
+        dst: LineAddr,
+        total_lines: u64,
+        parts: &[Partition],
+        priv_base: LineAddr,
+        priv_lines: u64,
+    ) -> Vec<WarpInstr> {
+        let g = ctx.gpu.index();
+        let part = parts[g];
+        let w = ctx.global_warp();
+        if w >= part.warps {
+            return vec![WarpInstr::Compute(1)];
+        }
+        let lpw = self.lines_per_warp as u64;
+        let s = part.start + w as u64 * lpw;
+        let chunk = lpw.min(part.end.saturating_sub(s)).max(1);
+
+        let mut instrs = Vec::with_capacity(10);
+
+        // Private data (coefficients / geometry tables): streaming reads.
+        if priv_lines > 0 {
+            let off = (w as u64 * lpw) % priv_lines;
+            let n = chunk.min(priv_lines - off).max(1);
+            instrs.push(WarpInstr::Load(LineRange::contiguous(
+                priv_base.offset(off),
+                n as u32,
+            )));
+        }
+
+        // Own chunk of the source array.
+        instrs.push(WarpInstr::Load(LineRange::contiguous(
+            src.offset(s),
+            chunk as u32,
+        )));
+
+        // Halo exchange: the warps nearest each partition boundary read
+        // their mirror chunk from the neighbouring partition (written by
+        // the neighbour last half-step), spreading the demand across as
+        // many warps as the halo is deep.
+        if self.halo_lines > 0 {
+            let halo_warps = (self.halo_lines.div_ceil(lpw) as u32).min(part.warps);
+            if w < halo_warps && g > 0 {
+                let depth = (w as u64 + 1) * lpw;
+                let n = lpw.min(self.halo_lines.saturating_sub(w as u64 * lpw)).max(1);
+                let start = part.start.saturating_sub(depth.min(part.start));
+                instrs.push(WarpInstr::Load(LineRange::contiguous(
+                    src.offset(start),
+                    n as u32,
+                )));
+            }
+            if w + halo_warps >= part.warps && g + 1 < parts.len() {
+                let idx = (w + halo_warps - part.warps) as u64;
+                let start = part.end + idx * lpw;
+                let n = lpw.min(total_lines.saturating_sub(start));
+                if n > 0 {
+                    instrs.push(WarpInstr::Load(LineRange::contiguous(
+                        src.offset(start),
+                        n as u32,
+                    )));
+                }
+            }
+        }
+
+        // All-to-all sampling (CT-style projections): one line per equal
+        // segment of the whole domain, so every GPU touches every
+        // partition.
+        if self.read_all_samples > 0 {
+            let samples = self.read_all_samples as u64;
+            let stride = (total_lines / samples).max(1);
+            let off = warp_seed(ctx.gpu.raw(), ctx.cta.raw(), ctx.warp_in_cta, 7) % stride;
+            instrs.push(WarpInstr::Load(LineRange::new(
+                src.offset(off),
+                samples as u32,
+                stride as u32,
+            )));
+        }
+
+        // The arithmetic separating loads from stores, with a +-12%
+        // per-warp jitter: real warps drift apart instead of running in
+        // lockstep.
+        let base_compute = self.compute_per_line.saturating_mul(chunk as u32).max(1);
+        let jitter = (warp_seed(ctx.gpu.raw(), ctx.cta.raw(), ctx.warp_in_cta, 0x11)
+            % (base_compute as u64 / 4 + 1)) as u32;
+        instrs.push(WarpInstr::Compute(
+            (base_compute - base_compute / 8 + jitter).max(1),
+        ));
+
+        // Output stores: the leading `write_frac` of the partition's warps
+        // write their chunk (a contiguous updated region).
+        let (num, den) = self.write_frac;
+        let is_writer = (w as u64 * den.max(1) as u64) < (part.warps as u64 * num as u64);
+        if is_writer {
+            if self.rewrite {
+                // A fraction of sub-chunks is stored, refined by a short
+                // dependent computation, and stored again: the second pass
+                // coalesces in the GPS remote write queue if the entry
+                // survived the stores other SMs issued in between
+                // (Figure 14). Sub-chunk sizes vary per warp, so reuse
+                // distances span a range and the hit rate climbs gradually
+                // with queue capacity.
+                let seed = warp_seed(ctx.gpu.raw(), ctx.cta.raw(), ctx.warp_in_cta, 0x2E);
+                let sub = ((self.rewrite_subchunk.max(1) as u64 + seed % 5).min(chunk)).max(1);
+                let mut off = 0;
+                let mut k = 0u64;
+                while off < chunk {
+                    let n = sub.min(chunk - off);
+                    let r = LineRange::contiguous(dst.offset(s + off), n as u32);
+                    instrs.push(WarpInstr::Store(r, Scope::Weak));
+                    if (seed.rotate_left(k as u32 + 7)) % 100 < self.rewrite_pct as u64 {
+                        instrs.push(WarpInstr::Compute(self.rewrite_gap.max(1)));
+                        instrs.push(WarpInstr::Store(r, Scope::Weak));
+                    }
+                    off += n;
+                    k += 1;
+                }
+            } else {
+                instrs.push(WarpInstr::Store(
+                    LineRange::contiguous(dst.offset(s), chunk as u32),
+                    Scope::Weak,
+                ));
+            }
+        }
+        instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> StencilParams {
+        StencilParams {
+            name: "teststencil",
+            array_bytes: 4 * 1024 * 1024,
+            private_bytes: 1024 * 1024,
+            halo_lines: 8,
+            compute_per_line: 16,
+            rewrite: true,
+            rewrite_subchunk: 4,
+            rewrite_gap: 32,
+            rewrite_pct: 100,
+            write_frac: (1, 1),
+            skew_lines: 256,
+            imbalance_pct: 6,
+            sweeps_per_phase: 1,
+            read_all_samples: 0,
+            lines_per_warp: 16,
+            warps_per_cta: 4,
+        }
+    }
+
+    fn ctx_for(k: &KernelSpec, gpus: u32, cta: u32, warp: u32) -> WarpCtx {
+        WarpCtx {
+            gpu: k.gpu,
+            gpu_count: gpus,
+            cta: gps_types::CtaId::new(cta),
+            cta_count: k.cta_count,
+            warp_in_cta: warp,
+            warps_per_cta: k.warps_per_cta,
+        }
+    }
+
+    #[test]
+    fn builds_consistent_workload() {
+        let wl = params().build(4, ScaleProfile::Tiny);
+        wl.validate().unwrap();
+        assert_eq!(wl.gpu_count, 4);
+        assert_eq!(wl.phases.len(), 2 * ScaleProfile::Tiny.iterations());
+        assert_eq!(wl.phases_per_iteration, 2);
+        assert_eq!(wl.phases[0].launches.len(), 4);
+        assert_eq!(wl.shared_allocs().count(), 2);
+    }
+
+    #[test]
+    fn partitions_cover_domain_without_overlap() {
+        let p = params();
+        for gpus in [1u64, 2, 4, 16] {
+            let parts = p.partitions(gpus, 32768);
+            assert_eq!(parts[0].start, 0);
+            assert_eq!(parts.last().unwrap().end, 32768);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_makes_boundary_pages_false_shared() {
+        let p = params();
+        let parts = p.partitions(4, 32768);
+        for part in &parts[1..] {
+            assert_ne!(part.start % 512, 0, "boundary must not be page aligned");
+        }
+    }
+
+    #[test]
+    fn imbalance_gives_gpu0_more_lines() {
+        let p = params();
+        let parts = p.partitions(4, 32768);
+        let len0 = parts[0].end - parts[0].start;
+        let len3 = parts[3].end - parts[3].start;
+        assert!(len0 > len3);
+        assert!(len0 as f64 / (len3 as f64) < 1.3, "imbalance is mild");
+    }
+
+    #[test]
+    fn warp_traces_are_deterministic() {
+        let p = params();
+        let wl1 = p.build(2, ScaleProfile::Tiny);
+        let wl2 = p.build(2, ScaleProfile::Tiny);
+        let k1 = &wl1.phases[0].launches[0];
+        let k2 = &wl2.phases[0].launches[0];
+        let ctx = ctx_for(k1, 2, 0, 1);
+        assert_eq!(k1.program.warp_instrs(ctx), k2.program.warp_instrs(ctx));
+    }
+
+    #[test]
+    fn boundary_warps_read_halo() {
+        let p = params();
+        let wl = p.build(2, ScaleProfile::Tiny);
+        let k = &wl.phases[0].launches[1]; // GPU 1's kernel
+        assert_eq!(k.gpu, GpuId::new(1));
+        let instrs = k.program.warp_instrs(ctx_for(k, 2, 0, 0));
+        let loads = instrs
+            .iter()
+            .filter(|i| matches!(i, WarpInstr::Load(_)))
+            .count();
+        // Private + own chunk + halo from GPU 0.
+        assert_eq!(loads, 3, "{instrs:?}");
+    }
+
+    #[test]
+    fn interior_warps_do_not_read_halo() {
+        let p = params();
+        let wl = p.build(2, ScaleProfile::Tiny);
+        let k = &wl.phases[0].launches[0];
+        let instrs = k.program.warp_instrs(ctx_for(k, 2, 1, 1));
+        let loads = instrs
+            .iter()
+            .filter(|i| matches!(i, WarpInstr::Load(_)))
+            .count();
+        assert_eq!(loads, 2, "private + own chunk only: {instrs:?}");
+    }
+
+    #[test]
+    fn rewrite_emits_paired_stores_per_subchunk() {
+        let p = params();
+        let wl = p.build(1, ScaleProfile::Tiny);
+        let k = &wl.phases[0].launches[0];
+        let stores: Vec<_> = k
+            .program
+            .warp_instrs(ctx_for(k, 1, 0, 0))
+            .into_iter()
+            .filter_map(|i| match i {
+                WarpInstr::Store(r, _) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert!(stores.len() >= 2 && stores.len() % 2 == 0);
+        for pair in stores.chunks(2) {
+            assert_eq!(pair[0], pair[1], "sub-chunk stored twice");
+        }
+    }
+
+    #[test]
+    fn write_fraction_limits_writing_warps() {
+        let mut p = params();
+        p.write_frac = (1, 2);
+        p.rewrite = false;
+        let wl = p.build(1, ScaleProfile::Tiny);
+        let k = &wl.phases[0].launches[0];
+        let total_warps = k.cta_count * k.warps_per_cta;
+        let mut writers = 0;
+        for cta in 0..k.cta_count {
+            for warp in 0..k.warps_per_cta {
+                let has_store = k
+                    .program
+                    .warp_instrs(ctx_for(k, 1, cta, warp))
+                    .iter()
+                    .any(|i| matches!(i, WarpInstr::Store(..)));
+                if has_store {
+                    writers += 1;
+                }
+            }
+        }
+        let frac = writers as f64 / total_warps as f64;
+        assert!((0.40..=0.60).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn ping_pong_alternates_arrays() {
+        let p = params();
+        let wl = p.build(1, ScaleProfile::Tiny);
+        let store_target = |phase: usize| -> u64 {
+            let k = &wl.phases[phase].launches[0];
+            k.program
+                .warp_instrs(ctx_for(k, 1, 0, 0))
+                .iter()
+                .find_map(|i| match i {
+                    WarpInstr::Store(r, _) => Some(r.start().as_u64()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_ne!(store_target(0), store_target(1), "dst alternates");
+        assert_eq!(store_target(0), store_target(2), "period two");
+    }
+
+    #[test]
+    fn read_all_sampling_touches_every_partition() {
+        let mut p = params();
+        p.read_all_samples = 8;
+        p.skew_lines = 0;
+        p.imbalance_pct = 0;
+        let wl = p.build(4, ScaleProfile::Small);
+        let k = &wl.phases[0].launches[0];
+        let shared_base = 1u64 << 32 >> 7;
+        let total = ScaleProfile::Small.bytes(p.array_bytes) / 128;
+        let part = total / 4;
+        let mut partitions_touched = [false; 4];
+        for i in k.program.warp_instrs(ctx_for(k, 4, 2, 3)) {
+            if let WarpInstr::Load(r) = i {
+                for line in r {
+                    let off = line.as_u64().saturating_sub(shared_base);
+                    if off < total {
+                        partitions_touched[(off / part).min(3) as usize] = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            partitions_touched.iter().all(|&t| t),
+            "{partitions_touched:?}"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! The application suite index (Table 2).
+
+use std::fmt;
+
+use gps_sim::Workload;
+use gps_types::PageSize;
+
+use crate::common::ScaleProfile;
+
+/// Predominant communication pattern (the Table 2 column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommPattern {
+    /// Boundary exchange with ring neighbours.
+    PeerToPeer,
+    /// Scattered communication with varying partner subsets.
+    ManyToMany,
+    /// Every GPU consumes every other GPU's output.
+    AllToAll,
+}
+
+impl fmt::Display for CommPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommPattern::PeerToPeer => write!(f, "Peer-to-peer"),
+            CommPattern::ManyToMany => write!(f, "Many-to-many"),
+            CommPattern::AllToAll => write!(f, "All-to-all"),
+        }
+    }
+}
+
+/// One application of the suite.
+pub struct AppEntry {
+    /// Application name as printed in the paper's tables/figures.
+    pub name: &'static str,
+    /// One-line description (Table 2).
+    pub description: &'static str,
+    /// Predominant communication pattern (Table 2).
+    pub pattern: CommPattern,
+    /// Workload builder.
+    pub build: fn(usize, ScaleProfile) -> Workload,
+    /// Workload builder with explicit page size (§7.4 sweep).
+    pub build_paged: fn(usize, ScaleProfile, PageSize) -> Workload,
+}
+
+impl fmt::Debug for AppEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppEntry")
+            .field("name", &self.name)
+            .field("pattern", &self.pattern)
+            .finish()
+    }
+}
+
+/// The eight applications of Table 2, in the paper's row order.
+pub fn all() -> Vec<AppEntry> {
+    vec![
+        AppEntry {
+            name: "jacobi",
+            description:
+                "Iterative algorithm that solves a diagonally dominant system of linear equations",
+            pattern: CommPattern::PeerToPeer,
+            build: crate::jacobi::build,
+            build_paged: crate::jacobi::build_paged,
+        },
+        AppEntry {
+            name: "pagerank",
+            description:
+                "Algorithm used by Google Search to rank web pages in their search engine results",
+            pattern: CommPattern::PeerToPeer,
+            build: crate::pagerank::build,
+            build_paged: crate::pagerank::build_paged,
+        },
+        AppEntry {
+            name: "sssp",
+            description: "Shortest path computation between every pair of vertices in a graph",
+            pattern: CommPattern::ManyToMany,
+            build: crate::sssp::build,
+            build_paged: crate::sssp::build_paged,
+        },
+        AppEntry {
+            name: "als",
+            description: "Matrix factorization algorithm",
+            pattern: CommPattern::AllToAll,
+            build: crate::als::build,
+            build_paged: crate::als::build_paged,
+        },
+        AppEntry {
+            name: "ct",
+            description: "Model Based Iterative Reconstruction algorithm used in CT imaging",
+            pattern: CommPattern::AllToAll,
+            build: crate::ct::build,
+            build_paged: crate::ct::build_paged,
+        },
+        AppEntry {
+            name: "eqwp",
+            description:
+                "3D earthquake wave-propagation model simulation using 4-order finite difference method",
+            pattern: CommPattern::PeerToPeer,
+            build: crate::eqwp::build,
+            build_paged: crate::eqwp::build_paged,
+        },
+        AppEntry {
+            name: "diffusion",
+            description:
+                "A multi-GPU implementation of 3D Heat Equation and inviscid Burgers' Equation",
+            pattern: CommPattern::PeerToPeer,
+            build: crate::diffusion::build,
+            build_paged: crate::diffusion::build_paged,
+        },
+        AppEntry {
+            name: "hit",
+            description:
+                "Simulating Homogeneous Isotropic Turbulence by solving Navier-Stokes equations in 3D",
+            pattern: CommPattern::PeerToPeer,
+            build: crate::hit::build,
+            build_paged: crate::hit::build_paged,
+        },
+    ]
+}
+
+/// Looks an application up by name (case-insensitive).
+pub fn by_name(name: &str) -> Option<AppEntry> {
+    all()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_apps_in_table2_order() {
+        let apps = all();
+        assert_eq!(apps.len(), 8);
+        assert_eq!(apps[0].name, "jacobi");
+        assert_eq!(apps[4].name, "ct");
+        assert_eq!(apps[7].name, "hit");
+    }
+
+    #[test]
+    fn every_app_builds_for_1_2_and_4_gpus() {
+        for app in all() {
+            for gpus in [1usize, 2, 4] {
+                let wl = (app.build)(gpus, ScaleProfile::Tiny);
+                wl.validate().unwrap();
+                assert_eq!(wl.gpu_count, gpus, "{}", app.name);
+                assert!(wl.total_warps() > 0, "{}", app.name);
+                assert!(wl.shared_bytes() > 0, "{}", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Jacobi").is_some());
+        assert!(by_name("EQWP").is_some());
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn patterns_match_table2() {
+        let patterns: Vec<CommPattern> = all().iter().map(|a| a.pattern).collect();
+        assert_eq!(patterns[3], CommPattern::AllToAll); // ALS
+        assert_eq!(patterns[4], CommPattern::AllToAll); // CT
+        assert_eq!(patterns[2], CommPattern::ManyToMany); // SSSP
+        assert_eq!(patterns[0], CommPattern::PeerToPeer); // Jacobi
+    }
+}

@@ -1,0 +1,55 @@
+//! Strong-scaling study of an iterative stencil solver (the workload class
+//! the paper's introduction motivates): how far does each memory-management
+//! paradigm scale a Jacobi solve across 1-8 GPUs?
+//!
+//! Run with: `cargo run --release --example jacobi_scaling`
+
+use gps::interconnect::LinkGen;
+use gps::paradigms::{run_paradigm, Paradigm};
+use gps::sim::SimReport;
+use gps::workloads::{jacobi, ScaleProfile};
+
+fn steady(report: &SimReport, ppi: usize) -> f64 {
+    let ends = &report.phase_ends;
+    let iters = ends.len() / ppi;
+    if iters <= 1 {
+        return report.total_cycles.as_u64() as f64;
+    }
+    (report.total_cycles.as_u64() - ends[ppi - 1].as_u64()) as f64 / (iters - 1) as f64
+}
+
+fn main() {
+    let scale = ScaleProfile::Small;
+    let link = LinkGen::Pcie3;
+
+    let base_wl = jacobi::build(1, scale);
+    let base = run_paradigm(Paradigm::InfiniteBw, &base_wl, 1, link);
+    let t1 = steady(&base, base_wl.phases_per_iteration);
+
+    println!("Jacobi strong scaling over PCIe 3.0 (speedup vs 1 GPU):");
+    println!("{:<14}{:>8}{:>8}{:>8}", "paradigm", "2 GPU", "4 GPU", "8 GPU");
+    for paradigm in [
+        Paradigm::Um,
+        Paradigm::UmHints,
+        Paradigm::Rdl,
+        Paradigm::Memcpy,
+        Paradigm::Gps,
+        Paradigm::InfiniteBw,
+    ] {
+        print!("{:<14}", paradigm.to_string());
+        for gpus in [2usize, 4, 8] {
+            let wl = jacobi::build(gpus, scale);
+            let report = run_paradigm(paradigm, &wl, gpus, link);
+            let s = t1 / steady(&report, wl.phases_per_iteration);
+            print!("{s:>8.2}");
+        }
+        println!();
+    }
+
+    println!();
+    println!("Things to notice (the paper's §7.1 story):");
+    println!(" * UM loses to a single GPU: halo pages fault back and forth.");
+    println!(" * memcpy pays a bulk-synchronous halo broadcast at every barrier.");
+    println!(" * GPS tracks halo subscribers and broadcasts stores proactively,");
+    println!("   landing close to the infinite-bandwidth bound.");
+}

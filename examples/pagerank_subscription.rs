@@ -1,0 +1,71 @@
+//! Subscription tracking on an irregular graph workload: what does the GPS
+//! access tracking unit buy over blind all-to-all replication?
+//!
+//! Reproduces the Figure 9 + Figure 11 story on Pagerank: the profiling
+//! iteration discovers which rank pages each GPU actually gathers from,
+//! unsubscribes the rest, and cuts both the broadcast traffic and the
+//! steady-state time.
+//!
+//! Run with: `cargo run --release --example pagerank_subscription`
+
+use gps::interconnect::LinkGen;
+use gps::paradigms::{run_paradigm, Paradigm};
+use gps::sim::SimReport;
+use gps::workloads::{pagerank, ScaleProfile};
+
+fn steady_cycles(report: &SimReport, ppi: usize) -> f64 {
+    let ends = &report.phase_ends;
+    let iters = ends.len() / ppi;
+    if iters <= 1 {
+        return report.total_cycles.as_u64() as f64;
+    }
+    (report.total_cycles.as_u64() - ends[ppi - 1].as_u64()) as f64 / (iters - 1) as f64
+}
+
+fn steady_traffic(report: &SimReport, ppi: usize) -> f64 {
+    let t = &report.phase_traffic;
+    let iters = t.len() / ppi;
+    if iters <= 1 {
+        return report.interconnect_bytes as f64;
+    }
+    (report.interconnect_bytes - t[ppi - 1]) as f64 / (iters - 1) as f64
+}
+
+fn main() {
+    let gpus = 4;
+    let scale = ScaleProfile::Small;
+    let wl = pagerank::build(gpus, scale);
+    let base_wl = pagerank::build(1, scale);
+    let base = run_paradigm(Paradigm::InfiniteBw, &base_wl, 1, LinkGen::Pcie3);
+    let t1 = steady_cycles(&base, base_wl.phases_per_iteration);
+
+    println!("Pagerank on {gpus} GPUs (PCIe 3.0):\n");
+    for paradigm in [Paradigm::GpsNoSubscription, Paradigm::Gps] {
+        let report = run_paradigm(paradigm, &wl, gpus, LinkGen::Pcie3);
+        let speedup = t1 / steady_cycles(&report, wl.phases_per_iteration);
+        let traffic = steady_traffic(&report, wl.phases_per_iteration);
+        println!("{paradigm}:");
+        println!("  speedup over 1 GPU          {speedup:>6.2}x");
+        println!("  steady traffic / iteration  {:>6.2} MiB", traffic / (1 << 20) as f64);
+        if let Some(pruned) = report.metric("pruned_subscriptions") {
+            println!("  pruned subscriptions        {pruned:>6.0}");
+        }
+        // The Figure 9 view: how many subscribers do shared pages keep?
+        let count = |k: usize| {
+            report
+                .metric(&format!("pages_{k}_subscribers"))
+                .unwrap_or(0.0)
+        };
+        let shared: f64 = (2..=gpus).map(count).sum();
+        if shared > 0.0 {
+            print!("  shared-page subscribers    ");
+            for k in 2..=gpus {
+                print!(" {k}-sub {:>4.1}%", 100.0 * count(k) / shared);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("Subscription tracking prunes the pages a GPU never gathers from,");
+    println!("so rank updates broadcast only along the graph's real cut edges.");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: the GPS programming model in a few lines.
+//!
+//! Mirrors Listing 1 of the paper at API level — allocate a region with
+//! `cudaMallocGPS` semantics, profile one iteration, let GPS prune
+//! subscriptions, and watch stores coalesce and broadcast — then runs a
+//! small end-to-end simulation comparing GPS against Unified Memory.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gps::core::{GpsConfig, GpsStore, GpsSystem};
+use gps::interconnect::{Fabric, FabricConfig, LinkGen};
+use gps::paradigms::{run_paradigm, run_single_gpu_baseline, Paradigm};
+use gps::types::{Cycle, GpuId, PageSize, Scope};
+use gps::workloads::{jacobi, ScaleProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // Part 1: drive the GPS hardware model directly.
+    // ---------------------------------------------------------------
+    let gpus = 4;
+    let mut sys = GpsSystem::new(gpus, PageSize::Standard64K, GpsConfig::paper())?;
+    let mut fabric = Fabric::new(FabricConfig::new(gpus, LinkGen::Pcie3));
+
+    // cudaMallocGPS: all four GPUs are tentatively subscribed.
+    let region = sys.malloc_gps(4 * 64 * 1024)?; // four pages
+    println!("allocated {} bytes of GPS memory", region.bytes());
+
+    // cuGPSTrackingStart: iteration 0 profiles the access pattern.
+    sys.tracking_start()?;
+    // GPU 0 touches pages 0 and 1; GPU 1 touches pages 1 and 2; page 3 is
+    // never touched. (The simulator feeds these from last-level TLB misses;
+    // here we stand in for it.)
+    let vpn = |i: u64| region.base().vpn(PageSize::Standard64K).offset(i);
+    sys.tlb_miss(GpuId::new(0), vpn(0));
+    sys.tlb_miss(GpuId::new(0), vpn(1));
+    sys.tlb_miss(GpuId::new(1), vpn(1));
+    sys.tlb_miss(GpuId::new(1), vpn(2));
+    let pruned = sys.tracking_stop()?;
+    println!("profiling pruned {pruned} subscriptions");
+    println!("subscriber histogram (Figure 9 data): {:?}", sys.subscriber_histogram());
+
+    // Stores to the shared page broadcast to its one remote subscriber —
+    // and coalesce first: 100 stores to one line cross the fabric once.
+    let line = region.base().line().offset(512); // first line of page 1
+    for _ in 0..100 {
+        let route = sys.store(GpuId::new(0), line, Scope::Weak, Cycle::ZERO, &mut fabric);
+        assert_eq!(route, GpsStore::Replicated);
+    }
+    let done = sys.flush(GpuId::new(0), Cycle::ZERO, &mut fabric);
+    println!(
+        "100 coalesced stores moved {} bytes, visible at {}",
+        fabric.counters().total_bytes(),
+        done
+    );
+
+    // ---------------------------------------------------------------
+    // Part 2: end-to-end — a small Jacobi solve under GPS vs UM.
+    // ---------------------------------------------------------------
+    let scale = ScaleProfile::Small;
+    let base = run_single_gpu_baseline(&jacobi::build(1, scale));
+    let baseline_steady = gps_steady(&base, 2);
+    println!("\n4-GPU Jacobi speedup over 1 GPU (PCIe 3.0):");
+    for paradigm in [Paradigm::Um, Paradigm::Gps, Paradigm::InfiniteBw] {
+        let wl = jacobi::build(4, scale);
+        let report = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3);
+        let steady = gps_steady(&report, wl.phases_per_iteration);
+        println!(
+            "  {paradigm:<12} {:>5.2}x   (interconnect traffic {} MiB)",
+            baseline_steady / steady,
+            report.interconnect_bytes >> 20
+        );
+    }
+    Ok(())
+}
+
+/// Steady-state cycles per iteration (excludes the profiling iteration).
+fn gps_steady(report: &gps::sim::SimReport, phases_per_iter: usize) -> f64 {
+    let ends = &report.phase_ends;
+    let iters = ends.len() / phases_per_iter;
+    if iters <= 1 {
+        return report.total_cycles.as_u64() as f64;
+    }
+    let iter0 = ends[phases_per_iter - 1].as_u64();
+    (report.total_cycles.as_u64() - iter0) as f64 / (iters - 1) as f64
+}

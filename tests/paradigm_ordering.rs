@@ -1,0 +1,137 @@
+//! Cross-crate integration: the qualitative orderings the paper's
+//! evaluation (§7) rests on must hold for every application at test scale.
+
+use gps::interconnect::LinkGen;
+use gps::paradigms::{run_paradigm, Paradigm};
+use gps::sim::SimReport;
+use gps::workloads::{suite, ScaleProfile};
+
+fn steady(report: &SimReport, ppi: usize) -> f64 {
+    let ends = &report.phase_ends;
+    let iters = ends.len() / ppi;
+    if iters <= 1 {
+        return report.total_cycles.as_u64() as f64;
+    }
+    (report.total_cycles.as_u64() - ends[ppi - 1].as_u64()) as f64 / (iters - 1) as f64
+}
+
+fn run(app: &suite::AppEntry, paradigm: Paradigm, gpus: usize) -> f64 {
+    let wl = (app.build)(gpus, ScaleProfile::Tiny);
+    let report = run_paradigm(paradigm, &wl, gpus, LinkGen::Pcie3);
+    steady(&report, wl.phases_per_iteration)
+}
+
+#[test]
+fn infinite_bandwidth_is_the_fastest_paradigm_everywhere() {
+    for app in suite::all() {
+        let inf = run(&app, Paradigm::InfiniteBw, 4);
+        for paradigm in [
+            Paradigm::Um,
+            Paradigm::UmHints,
+            Paradigm::Rdl,
+            Paradigm::Memcpy,
+            Paradigm::Gps,
+        ] {
+            let t = run(&app, paradigm, 4);
+            assert!(
+                t >= inf * 0.999,
+                "{}: {paradigm} ({t}) beat infinite bandwidth ({inf})",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn gps_beats_unified_memory_everywhere() {
+    for app in suite::all() {
+        let um = run(&app, Paradigm::Um, 4);
+        let gps = run(&app, Paradigm::Gps, 4);
+        assert!(
+            gps < um,
+            "{}: GPS ({gps}) must beat UM ({um})",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn subscription_tracking_never_hurts() {
+    // Figure 11: GPS with subscription is at least as fast as without
+    // (identical for the all-to-all apps ALS and CT).
+    for app in suite::all() {
+        let with = run(&app, Paradigm::Gps, 4);
+        let without = run(&app, Paradigm::GpsNoSubscription, 4);
+        // All-to-all apps (ALS, CT) are essentially unchanged; allow a few
+        // percent of noise from remote fallbacks on sparsely-touched pages.
+        assert!(
+            with <= without * 1.05,
+            "{}: subscription ({with}) should not lose to all-to-all ({without})",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn um_suffers_most_on_scatter_heavy_apps() {
+    // §7.1: UM thrashing is worst for the many-to-many / all-to-all apps.
+    let sssp = suite::by_name("sssp").unwrap();
+    let jacobi = suite::by_name("jacobi").unwrap();
+    let sssp_ratio = run(&sssp, Paradigm::Um, 4) / run(&sssp, Paradigm::InfiniteBw, 4);
+    let jacobi_ratio = run(&jacobi, Paradigm::Um, 4) / run(&jacobi, Paradigm::InfiniteBw, 4);
+    assert!(
+        sssp_ratio > jacobi_ratio,
+        "UM should hurt SSSP ({sssp_ratio}) more than Jacobi ({jacobi_ratio})"
+    );
+}
+
+#[test]
+fn faster_interconnects_help_memcpy() {
+    // Figure 1/13: the memcpy paradigm speeds up monotonically with link
+    // bandwidth.
+    let app = suite::by_name("diffusion").unwrap();
+    let wl = (app.build)(4, ScaleProfile::Tiny);
+    let mut last = f64::INFINITY;
+    for link in [LinkGen::Pcie3, LinkGen::Pcie6, LinkGen::Infinite] {
+        let report = run_paradigm(Paradigm::Memcpy, &wl, 4, link);
+        let t = steady(&report, wl.phases_per_iteration);
+        assert!(
+            t <= last * 1.001,
+            "memcpy must not slow down on a faster link ({link:?}: {t} vs {last})"
+        );
+        last = t;
+    }
+}
+
+#[test]
+fn sixteen_gpu_gps_scales_beyond_four_gpu_gps() {
+    // Figure 12 directionality at tiny scale: more GPUs with a fast link
+    // must not be slower per iteration for GPS.
+    let app = suite::by_name("als").unwrap();
+    let wl4 = (app.build)(4, ScaleProfile::Small);
+    let wl16 = (app.build)(16, ScaleProfile::Small);
+    let t4 = steady(
+        &run_paradigm(Paradigm::Gps, &wl4, 4, LinkGen::Pcie6),
+        wl4.phases_per_iteration,
+    );
+    let t16 = steady(
+        &run_paradigm(Paradigm::Gps, &wl16, 16, LinkGen::Pcie6),
+        wl16.phases_per_iteration,
+    );
+    assert!(
+        t16 < t4,
+        "16-GPU GPS ({t16}) should outpace 4-GPU GPS ({t4}) on PCIe 6.0"
+    );
+}
+
+#[test]
+fn reports_expose_policy_metrics() {
+    let app = suite::by_name("ct").unwrap();
+    let wl = (app.build)(4, ScaleProfile::Tiny);
+    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3);
+    assert!(report.metric("rwq_hit_rate").is_some());
+    assert!(report.metric("gps_tlb_hit_rate").unwrap() > 0.9);
+    // CT is all-to-all: its shared pages keep all four subscribers.
+    assert!(report.metric("pages_4_subscribers").unwrap() > 0.0);
+    assert_eq!(report.metric("pages_2_subscribers").unwrap(), 0.0);
+}

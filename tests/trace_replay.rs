@@ -1,0 +1,62 @@
+//! Cross-crate integration: recorded traces replay to identical
+//! simulation results under every paradigm.
+
+use gps::interconnect::LinkGen;
+use gps::paradigms::{run_paradigm, Paradigm};
+use gps::sim::Trace;
+use gps::workloads::{suite, ScaleProfile};
+
+#[test]
+fn replayed_trace_reproduces_simulation_exactly() {
+    let app = suite::by_name("jacobi").unwrap();
+    let wl = (app.build)(2, ScaleProfile::Tiny);
+    let trace = Trace::record(&wl);
+    let replayed = trace.replay("jacobi-replay").unwrap();
+
+    for paradigm in [Paradigm::Gps, Paradigm::Um, Paradigm::Memcpy] {
+        let original = run_paradigm(paradigm, &wl, 2, LinkGen::Pcie3);
+        let from_trace = run_paradigm(paradigm, &replayed, 2, LinkGen::Pcie3);
+        assert_eq!(
+            original.total_cycles, from_trace.total_cycles,
+            "{paradigm}: replay diverged in time"
+        );
+        assert_eq!(
+            original.interconnect_bytes, from_trace.interconnect_bytes,
+            "{paradigm}: replay diverged in traffic"
+        );
+        assert_eq!(original.phase_ends, from_trace.phase_ends);
+        assert_eq!(
+            original.per_gpu[0].instructions,
+            from_trace.per_gpu[0].instructions
+        );
+    }
+}
+
+#[test]
+fn traces_roundtrip_through_files() {
+    let app = suite::by_name("pagerank").unwrap();
+    let wl = (app.build)(2, ScaleProfile::Tiny);
+    let trace = Trace::record(&wl);
+
+    let dir = std::env::temp_dir().join("gps-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pagerank.gpstrace");
+    std::fs::write(&path, trace.as_bytes()).unwrap();
+
+    let loaded = Trace::from_bytes(std::fs::read(&path).unwrap());
+    let replayed = loaded.replay("from-file").unwrap();
+    let a = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3);
+    let b = run_paradigm(Paradigm::Gps, &replayed, 2, LinkGen::Pcie3);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_size_is_reasonable() {
+    let app = suite::by_name("sssp").unwrap();
+    let wl = (app.build)(2, ScaleProfile::Tiny);
+    let trace = Trace::record(&wl);
+    // A tiny workload's trace should be well under 32 MiB and non-trivial.
+    assert!(trace.len() > 1024, "suspiciously small: {}", trace.len());
+    assert!(trace.len() < 32 << 20, "suspiciously large: {}", trace.len());
+}
