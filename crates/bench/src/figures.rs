@@ -80,7 +80,14 @@ impl Figure {
             .chain([9])
             .max()
             .unwrap_or(9);
-        let col_w = self.columns.iter().map(|c| c.len()).chain([9]).max().unwrap_or(9) + 2;
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9)
+            + 2;
         let _ = write!(out, "{:label_w$}", "");
         for c in &self.columns {
             let _ = write!(out, "{c:>col_w$}");
@@ -182,10 +189,7 @@ pub fn table1() -> String {
         "Remote write queue entry size",
         format!("{} bytes", c.rwq_entry_bytes),
     );
-    row(
-        "GPS-TLB",
-        format!("{}-way set associative", c.gps_tlb.ways),
-    );
+    row("GPS-TLB", format!("{}-way set associative", c.gps_tlb.ways));
     row("GPS-TLB size", format!("{} entries", c.gps_tlb.entries()));
     row("Virtual address", "49 bits".into());
     row("Physical address", "47 bits".into());
@@ -199,8 +203,8 @@ pub fn table2() -> String {
     let _ = writeln!(out, "== Table 2: applications under study ==");
     let _ = writeln!(
         out,
-        "{:<10} {:<14} {:>10} {:>9} {:>9}  {}",
-        "app", "pattern", "cy/line", "atomic%", "dom.deg", "description"
+        "{:<10} {:<14} {:>10} {:>9} {:>9}  description",
+        "app", "pattern", "cy/line", "atomic%", "dom.deg"
     );
     for app in suite::all() {
         let c = gps_workloads::characterize(&(app.build)(4, ScaleProfile::Tiny));
@@ -335,7 +339,9 @@ pub fn fig10(scale: ScaleProfile) -> Figure {
         .enumerate()
         .map(|(ai, app)| {
             let traffic: Vec<f64> = (0..paradigms.len())
-                .map(|ci| steady_traffic_per_iteration(&results[ai * paradigms.len() + ci].report, ppi))
+                .map(|ci| {
+                    steady_traffic_per_iteration(&results[ai * paradigms.len() + ci].report, ppi)
+                })
                 .collect();
             let memcpy = traffic[3].max(1.0);
             (
@@ -366,7 +372,11 @@ pub fn fig11(scale: ScaleProfile) -> Figure {
                 Paradigm::GpsNoSubscription,
                 LinkGen::Pcie3,
             ),
-            ("GPS with subscription".into(), Paradigm::Gps, LinkGen::Pcie3),
+            (
+                "GPS with subscription".into(),
+                Paradigm::Gps,
+                LinkGen::Pcie3,
+            ),
         ],
         4,
         scale,
@@ -600,7 +610,12 @@ pub fn profiling_mode(scale: ScaleProfile) -> Figure {
 /// platforms, applied to the Figure 13 sweep).
 pub fn nvlink_sweep(scale: ScaleProfile) -> Figure {
     let mut rows = Vec::new();
-    for link in [LinkGen::Pcie3, LinkGen::NvLink1, LinkGen::NvLink2, LinkGen::NvLink3] {
+    for link in [
+        LinkGen::Pcie3,
+        LinkGen::NvLink1,
+        LinkGen::NvLink2,
+        LinkGen::NvLink3,
+    ] {
         let fig = speedup_figure(
             "inner",
             Paradigm::FIGURE8
@@ -693,14 +708,10 @@ pub fn topology_comparison(scale: ScaleProfile) -> Figure {
                     let mut config = gps_sim::SimConfig::gv100_system(4);
                     config.page_size = workload.page_size;
                     config.topology = topo;
-                    let report = gps_sim::Engine::new(
-                        config,
-                        LinkGen::NvLink1,
-                        &workload,
-                        &mut policy,
-                    )
-                    .expect("consistent build")
-                    .run();
+                    let report =
+                        gps_sim::Engine::new(config, LinkGen::NvLink1, &workload, &mut policy)
+                            .expect("consistent build")
+                            .run();
                     crate::runner::steady_cycles_per_iteration(
                         &report,
                         workload.phases_per_iteration,
@@ -720,8 +731,7 @@ pub fn topology_comparison(scale: ScaleProfile) -> Figure {
         })
         .collect();
     Figure {
-        title: "Extension: GPS speedup, central switch vs ring topology (4 GPUs, NVLink 1)"
-            .into(),
+        title: "Extension: GPS speedup, central switch vs ring topology (4 GPUs, NVLink 1)".into(),
         columns: vec!["Switch".into(), "Ring".into()],
         rows,
     }
@@ -780,10 +790,7 @@ mod tests {
         Figure {
             title: "t".into(),
             columns: vec!["a".into(), "b".into()],
-            rows: vec![
-                ("x".into(), vec![1.0, 2.0]),
-                ("y".into(), vec![3.0, 4.0]),
-            ],
+            rows: vec![("x".into(), vec![1.0, 2.0]), ("y".into(), vec![3.0, 4.0])],
         }
     }
 

@@ -1,10 +1,11 @@
 //! Figure/table reproduction harness for the GPS evaluation (§7).
 //!
-//! [`runner`] provides the measurement machinery (steady-state timing,
-//! speedup-vs-one-GPU, parallel sweeps over applications and paradigms);
-//! [`figures`] renders each table and figure of the paper as text, in the
-//! same rows/series the paper reports. The `figures` binary dispatches on
-//! a figure id (`fig1`, `fig8`, ..., `table1`, `tlb`, `pagesize`, `all`).
+//! [`runner`] re-exports the measurement machinery from `gps-harness`
+//! (steady-state timing, speedup-vs-one-GPU, parallel sweeps over
+//! applications and paradigms); [`figures`] renders each table and figure
+//! of the paper as text, in the same rows/series the paper reports. The
+//! `figures` binary dispatches on a figure id (`fig1`, `fig8`, ...,
+//! `table1`, `tlb`, `pagesize`, `all`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,241 +1,12 @@
-//! Measurement machinery: steady-state timing, speedups, parallel sweeps.
+//! Measurement machinery, re-exported from [`gps_harness`].
+//!
+//! The steady-state timing, speedup and sweep primitives used to live
+//! here; they moved into the `gps-harness` orchestration crate so that
+//! both the figure harness and the `gps-run` CLI share one implementation.
+//! This module keeps the historical `gps_bench::runner::*` paths working.
 
-use gps_interconnect::LinkGen;
-use gps_paradigms::{run_paradigm, Paradigm};
-use gps_sim::{Engine, MemoryPolicy, SimConfig, SimReport};
-use gps_workloads::{suite::AppEntry, ScaleProfile};
-
-/// One simulation request.
-#[derive(Debug, Clone, Copy)]
-pub struct RunSpec {
-    /// Paradigm to run.
-    pub paradigm: Paradigm,
-    /// GPU count.
-    pub gpus: usize,
-    /// Interconnect.
-    pub link: LinkGen,
-    /// Problem scale.
-    pub scale: ScaleProfile,
-}
-
-/// A finished measurement: the report plus derived steady-state timing.
-#[derive(Debug, Clone)]
-pub struct Measurement {
-    /// Application name.
-    pub app: &'static str,
-    /// The run that produced it.
-    pub spec: RunSpec,
-    /// Raw simulator output.
-    pub report: SimReport,
-    /// Steady-state cycles per application iteration (excluding the first
-    /// iteration, which GPS spends profiling and UM spends first-touching).
-    pub steady_cycles: f64,
-}
-
-/// Steady-state cycles per iteration: total time past the end of iteration
-/// 0, divided by the remaining iteration count.
-///
-/// The paper's applications run long iteration counts, amortising one-time
-/// effects (GPS's all-to-all profiling iteration, UM first-touch
-/// placement); our workloads run 2–4 iterations, so the harness reports the
-/// per-iteration steady state directly. Falls back to total time for
-/// single-iteration runs.
-pub fn steady_cycles_per_iteration(report: &SimReport, phases_per_iteration: usize) -> f64 {
-    let ends = &report.phase_ends;
-    let ppi = phases_per_iteration.max(1);
-    let iterations = ends.len() / ppi;
-    if iterations <= 1 {
-        return report.total_cycles.as_u64() as f64;
-    }
-    let iter0_end = ends[ppi - 1].as_u64();
-    (report.total_cycles.as_u64() - iter0_end) as f64 / (iterations - 1) as f64
-}
-
-/// Runs one application under one spec.
-pub fn measure(app: &AppEntry, spec: RunSpec) -> Measurement {
-    let workload = (app.build)(spec.gpus, spec.scale);
-    let report = run_paradigm(spec.paradigm, &workload, spec.gpus, spec.link);
-    let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
-    Measurement {
-        app: app.name,
-        spec,
-        report,
-        steady_cycles: steady,
-    }
-}
-
-/// Runs one application with a caller-supplied policy (custom GPS
-/// configurations, sweeps).
-pub fn measure_with_policy(
-    app: &AppEntry,
-    spec: RunSpec,
-    policy: &mut dyn MemoryPolicy,
-) -> Measurement {
-    let workload = (app.build)(spec.gpus, spec.scale);
-    let mut config = SimConfig::gv100_system(spec.gpus);
-    config.page_size = workload.page_size;
-    let report = Engine::new(config, spec.link, &workload, policy)
-        .expect("workload/machine mismatch")
-        .run();
-    let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
-    Measurement {
-        app: app.name,
-        spec,
-        report,
-        steady_cycles: steady,
-    }
-}
-
-/// The single-GPU baseline: the application partitioned for one GPU, all
-/// accesses local.
-pub fn baseline(app: &AppEntry, scale: ScaleProfile) -> Measurement {
-    measure(
-        app,
-        RunSpec {
-            paradigm: Paradigm::InfiniteBw,
-            gpus: 1,
-            link: LinkGen::Pcie3,
-            scale,
-        },
-    )
-}
-
-/// Steady-state speedup of `m` relative to `base`.
-pub fn speedup(m: &Measurement, base: &Measurement) -> f64 {
-    base.steady_cycles / m.steady_cycles
-}
-
-/// Steady-state interconnect bytes per iteration (traffic past the end of
-/// iteration 0, divided by the remaining iteration count).
-pub fn steady_traffic_per_iteration(report: &SimReport, phases_per_iteration: usize) -> f64 {
-    let traffic = &report.phase_traffic;
-    let ppi = phases_per_iteration.max(1);
-    let iterations = traffic.len() / ppi;
-    if iterations <= 1 {
-        return report.interconnect_bytes as f64;
-    }
-    let iter0 = traffic[ppi - 1];
-    (report.interconnect_bytes - iter0) as f64 / (iterations - 1) as f64
-}
-
-/// Geometric mean of positive values.
-pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let ln_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (ln_sum / values.len() as f64).exp()
-}
-
-/// Runs `jobs` closures in parallel (one OS thread per job, bounded by the
-/// host's parallelism) and returns the results in order.
-pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let n = jobs.len();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<(usize, F)> = jobs.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(jobs);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..parallelism.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
-                match job {
-                    Some((i, f)) => {
-                        let out = f();
-                        results_mutex.lock()[i] = Some(out);
-                    }
-                    None => break,
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    results
-        .into_iter()
-        .map(|r| r.expect("job executed"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gps_types::Cycle;
-
-    fn report(ends: Vec<u64>) -> SimReport {
-        SimReport {
-            workload: "w".into(),
-            policy: "p".into(),
-            gpu_count: 1,
-            link: "pcie3".into(),
-            total_cycles: Cycle::new(*ends.last().unwrap_or(&0)),
-            phase_ends: ends.into_iter().map(Cycle::new).collect(),
-            phase_traffic: vec![],
-            interconnect_bytes: 0,
-            interconnect_transfers: 0,
-            per_gpu: vec![],
-            policy_metrics: vec![],
-        }
-    }
-
-    #[test]
-    fn steady_state_excludes_iteration_zero() {
-        // 4 iterations of 1 phase each: iter0 is slow (profiling), the
-        // rest take 100 each.
-        let r = report(vec![1000, 1100, 1200, 1300]);
-        assert!((steady_cycles_per_iteration(&r, 1) - 100.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn steady_state_handles_multi_phase_iterations() {
-        // 2 iterations x 2 phases.
-        let r = report(vec![500, 1000, 1200, 1400]);
-        assert!((steady_cycles_per_iteration(&r, 2) - 400.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn single_iteration_falls_back_to_total() {
-        let r = report(vec![700]);
-        assert!((steady_cycles_per_iteration(&r, 1) - 700.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn geomean_of_identical_values() {
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geomean(&[]), 0.0);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
-            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
-            .collect();
-        let out = parallel_map(jobs);
-        assert_eq!(out, (0..20usize).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn measure_runs_a_tiny_app_end_to_end() {
-        let app = gps_workloads::suite::by_name("jacobi").unwrap();
-        let m = measure(
-            &app,
-            RunSpec {
-                paradigm: Paradigm::Gps,
-                gpus: 2,
-                link: LinkGen::Pcie3,
-                scale: ScaleProfile::Tiny,
-            },
-        );
-        assert!(m.steady_cycles > 0.0);
-        assert_eq!(m.report.gpu_count, 2);
-    }
-}
+pub use gps_harness::pool::parallel_map;
+pub use gps_harness::runner::{
+    baseline, geomean, measure, measure_with_policy, speedup, steady_cycles_per_iteration,
+    steady_traffic_per_iteration, Measurement, RunSpec,
+};

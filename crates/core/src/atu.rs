@@ -74,9 +74,7 @@ impl AccessTrackingUnit {
 
     /// Whether `gpu` touched `vpn` during the (last) profiling phase.
     pub fn accessed(&self, gpu: GpuId, vpn: Vpn) -> bool {
-        self.bitmaps
-            .get(gpu.index())
-            .is_some_and(|bm| bm.get(vpn))
+        self.bitmaps.get(gpu.index()).is_some_and(|bm| bm.get(vpn))
     }
 
     /// The pages `gpu` never touched, ascending — the unsubscription

@@ -8,8 +8,6 @@
 //! space at 64 KB pages), and a single re-purposed PTE bit. This module
 //! reproduces that arithmetic for any system configuration.
 
-use serde::{Deserialize, Serialize};
-
 use gps_mem::GpsPte;
 use gps_types::PageSize;
 #[cfg(test)]
@@ -20,7 +18,7 @@ use crate::config::GpsConfig;
 /// Address-width parameters of the paper's GP100-style MMU encoding
 /// (§5.2: "for a Virtual Page Number (VPN) size of 33 bits and Physical
 /// Page Number (PPN) size of 31 bits").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MmuWidths {
     /// Virtual page number bits.
     pub vpn_bits: u32,
@@ -48,7 +46,7 @@ impl MmuWidths {
 }
 
 /// Per-GPU hardware budget of the GPS extensions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareBudget {
     /// SRAM for the remote write queue, in bytes.
     pub rwq_sram_bytes: u64,

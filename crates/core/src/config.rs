@@ -1,12 +1,10 @@
 //! GPS hardware-unit configuration (Table 1, "GPS Structures").
 
-use serde::{Deserialize, Serialize};
-
 use gps_mem::TlbConfig;
 use gps_types::{GpsError, Latency, Result};
 
 /// How automatic subscription profiling captures sharers (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProfilingMode {
     /// "Indiscriminate all-to-all subscription followed by an
     /// unsubscription phase" — the implementation the paper evaluates
@@ -25,7 +23,7 @@ pub enum ProfilingMode {
 /// Defaults reproduce Table 1's "GPS Structures" block: a 512-entry remote
 /// write queue with 135-byte entries (≈68 KB of SRAM, §5.2) drained at a
 /// high watermark of capacity − 1, and a 32-entry, 8-way GPS-TLB.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpsConfig {
     /// Remote write queue capacity in cache-line entries (Table 1: 512).
     pub rwq_entries: usize,

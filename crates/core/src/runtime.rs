@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use gps_mem::{FrameAllocator, GpsPageTable, GpsPte, VaRange, VaSpace};
 use gps_types::{GpsError, GpuId, PageSize, Result, Vpn, GIB};
 
@@ -11,7 +9,7 @@ use crate::atu::AccessTrackingUnit;
 
 /// How subscriptions of an allocation are managed (§4: the optional
 /// `manual` parameter of `cudaMallocGPS`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocationKind {
     /// GPS manages subscriptions automatically: all GPUs are tentatively
     /// subscribed at allocation (subscribed-by-default profiling) and
@@ -23,7 +21,7 @@ pub enum AllocationKind {
 }
 
 /// The two new `cuMemAdvise` hints GPS adds (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemAdvise {
     /// `CU_MEM_ADVISE_GPS_SUBSCRIBE`: back the region with physical memory
     /// on the given GPU and add it to the subscriber set.
@@ -34,7 +32,7 @@ pub enum MemAdvise {
 }
 
 /// Driver-visible state of one GPS page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageState {
     /// The GPS bit of the conventional PTE: set when stores must be
     /// forwarded to the GPS unit (i.e. the page has remote subscribers).
@@ -382,10 +380,7 @@ impl GpsRuntime {
                     if atu.accessed(gpu, vpn) {
                         continue;
                     }
-                    let is_sub = self
-                        .table
-                        .entry(vpn)
-                        .is_some_and(|e| e.is_subscriber(gpu));
+                    let is_sub = self.table.entry(vpn).is_some_and(|e| e.is_subscriber(gpu));
                     if !is_sub {
                         continue;
                     }
@@ -501,9 +496,7 @@ impl GpsRuntime {
 
     /// Whether `gpu` holds a local replica of `vpn`.
     pub fn is_subscriber(&self, gpu: GpuId, vpn: Vpn) -> bool {
-        self.table
-            .entry(vpn)
-            .is_some_and(|e| e.is_subscriber(gpu))
+        self.table.entry(vpn).is_some_and(|e| e.is_subscriber(gpu))
     }
 
     /// A GPU that can serve remote accesses to `vpn`: the collapse target
@@ -596,14 +589,10 @@ mod tests {
     fn free_releases_all_frames() {
         let mut rt = rt();
         let r = rt.malloc_gps(4 * 65536, AllocationKind::Automatic).unwrap();
-        let used_before: u64 = (0..4)
-            .map(|g| 16 * GIB / 65536 - free_frames(&rt, g))
-            .sum();
+        let used_before: u64 = (0..4).map(|g| 16 * GIB / 65536 - free_frames(&rt, g)).sum();
         assert_eq!(used_before, 16);
         rt.free(&r).unwrap();
-        let used_after: u64 = (0..4)
-            .map(|g| 16 * GIB / 65536 - free_frames(&rt, g))
-            .sum();
+        let used_after: u64 = (0..4).map(|g| 16 * GIB / 65536 - free_frames(&rt, g)).sum();
         assert_eq!(used_after, 0);
         assert!(rt.free(&r).is_err(), "double free rejected");
     }

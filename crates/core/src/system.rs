@@ -337,12 +337,12 @@ impl GpsSystem {
     /// transfer per remote subscriber (W5–W6 of Figure 7).
     fn drain_line(&mut self, gpu: GpuId, line: LineAddr, now: Cycle, fabric: &mut Fabric) {
         let vpn = line.vpn(self.runtime.page_size());
-        let (entry, translated_at) = self.tlb[gpu.index()].translate(vpn, self.runtime.table(), now);
+        let (entry, translated_at) =
+            self.tlb[gpu.index()].translate(vpn, self.runtime.table(), now);
         let Some(entry) = entry else { return };
         for (dst, _) in entry.remote_replicas(gpu) {
             if let Ok(t) = fabric.transfer(gpu, dst, CACHE_LINE_BYTES, translated_at) {
-                self.last_arrival[gpu.index()] =
-                    self.last_arrival[gpu.index()].max(t.arrived);
+                self.last_arrival[gpu.index()] = self.last_arrival[gpu.index()].max(t.arrived);
             }
         }
     }
@@ -501,7 +501,7 @@ mod tests {
     }
 
     #[test]
-    fn ablation_keeps_all_to_all(){
+    fn ablation_keeps_all_to_all() {
         let (mut sys, mut fabric) = system();
         sys.set_subscription_enabled(false);
         let r = sys.malloc_gps(65536).unwrap();
@@ -616,7 +616,10 @@ mod tests {
         let mut cfg = GpsConfig::paper();
         cfg.profiling = ProfilingMode::UnsubscribedByDefault;
         let mut sys = GpsSystem::new(2, PageSize::Standard64K, cfg).unwrap();
-        let r = sys.runtime_mut().malloc_gps(65536, AllocationKind::Manual).unwrap();
+        let r = sys
+            .runtime_mut()
+            .malloc_gps(65536, AllocationKind::Manual)
+            .unwrap();
         let vpn = r.base().vpn(PageSize::Standard64K);
         sys.tracking_start().unwrap();
         // G1 is not subscribed (manual alloc backs G0 only); its first read

@@ -1,0 +1,311 @@
+//! `gps-run` — the sweep CLI of the GPS experiment harness.
+//!
+//! ```text
+//! gps-run sweep  [flags]   expand a sweep, skip completed runs, execute the rest
+//! gps-run resume [flags]   alias of sweep that refuses --fresh (resume-only)
+//! gps-run report [flags]   print the result store as a table or CSV
+//! ```
+//!
+//! Run `gps-run help` for the flag reference.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gps_harness::store::{ResultStore, RunStatus};
+use gps_harness::sweep::{run_sweep, SweepOptions, SweepSpec};
+use gps_interconnect::LinkGen;
+use gps_paradigms::Paradigm;
+use gps_workloads::{suite, ScaleProfile};
+
+const USAGE: &str = "\
+gps-run — resumable parallel sweeps over the GPS evaluation space
+
+USAGE:
+    gps-run <sweep|resume|report|help> [flags]
+
+SWEEP / RESUME FLAGS:
+    --store <path>        result store (JSON lines), default results/store.jsonl
+    --apps <a,b,..|all>   applications, default all
+    --paradigms <p,..|figure8|all>
+                          paradigms, default figure8
+    --gpus <n,..>         GPU counts, default 4
+    --links <l,..|pcie>   interconnects, default pcie3 (pcie = the PCIe sweep)
+    --scales <s,..>       problem scales (tiny|small|paper), default tiny
+    --paper               shorthand for the full paper suite
+                          (all apps, figure8, 4+16 GPUs, PCIe sweep, paper scale)
+    --workers <n>         worker threads, default = host parallelism
+    --retries <n>         extra attempts before quarantine, default 1
+    --max-jobs <n>        stop after launching n jobs (interrupt simulation)
+    --inject-panic <app>  make runs of <app> panic (quarantine testing);
+                          may be repeated
+    --fresh               delete the store first (sweep only)
+    --quiet               suppress per-run progress output
+
+REPORT FLAGS:
+    --store <path>        result store to read
+    --csv                 emit CSV instead of an aligned table
+";
+
+struct ParsedArgs {
+    store: PathBuf,
+    spec: SweepSpec,
+    opts: SweepOptions,
+    fresh: bool,
+    csv: bool,
+}
+
+fn split_list(value: &str) -> impl Iterator<Item = &str> {
+    value.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
+    let mut parsed = ParsedArgs {
+        store: PathBuf::from("results/store.jsonl"),
+        spec: SweepSpec::smoke(),
+        opts: SweepOptions {
+            log: true,
+            ..SweepOptions::default()
+        },
+        fresh: false,
+        csv: false,
+    };
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--store" => parsed.store = PathBuf::from(value()?),
+            "--apps" => {
+                let v = value()?;
+                parsed.spec.apps = if v == "all" {
+                    suite::all().iter().map(|a| a.name.to_owned()).collect()
+                } else {
+                    split_list(v).map(str::to_owned).collect()
+                };
+            }
+            "--paradigms" => {
+                let v = value()?;
+                parsed.spec.paradigms = match v {
+                    "figure8" => Paradigm::FIGURE8.to_vec(),
+                    "all" => {
+                        let mut p = Paradigm::FIGURE8.to_vec();
+                        p.push(Paradigm::GpsNoSubscription);
+                        p
+                    }
+                    list => split_list(list)
+                        .map(|s| s.parse::<Paradigm>().map_err(|e| e.to_string()))
+                        .collect::<Result<_, _>>()?,
+                };
+            }
+            "--gpus" => {
+                parsed.spec.gpu_counts = split_list(value()?)
+                    .map(|s| s.parse::<usize>().map_err(|e| format!("--gpus: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--links" => {
+                let v = value()?;
+                parsed.spec.links = if v == "pcie" {
+                    LinkGen::PCIE_SWEEP.to_vec()
+                } else {
+                    split_list(v)
+                        .map(|s| s.parse::<LinkGen>().map_err(|e| e.to_string()))
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "--scales" => {
+                parsed.spec.scales = split_list(value()?)
+                    .map(|s| s.parse::<ScaleProfile>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--paper" => parsed.spec = SweepSpec::paper_suite(),
+            "--workers" => {
+                parsed.opts.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--retries" => {
+                parsed.opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--max-jobs" => {
+                parsed.opts.max_jobs =
+                    Some(value()?.parse().map_err(|e| format!("--max-jobs: {e}"))?);
+            }
+            "--inject-panic" => parsed.opts.inject_panic.push(value()?.to_owned()),
+            "--fresh" => {
+                if is_resume {
+                    return Err("resume cannot take --fresh (use sweep)".to_owned());
+                }
+                parsed.fresh = true;
+            }
+            "--quiet" => parsed.opts.log = false,
+            "--csv" => parsed.csv = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_sweep(args: &[String], is_resume: bool) -> Result<(), String> {
+    let parsed = parse_args(args, is_resume)?;
+    if parsed.fresh && parsed.store.exists() {
+        std::fs::remove_file(&parsed.store).map_err(|e| format!("--fresh: {e}"))?;
+    }
+    let outcome = run_sweep(&parsed.spec, &parsed.store, &parsed.opts)
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    println!(
+        "executed {} (skipped {} cached, {} pending), quarantined {}, store {} ({} records{})",
+        outcome.executed,
+        outcome.skipped,
+        outcome.pending,
+        outcome.quarantined,
+        parsed.store.display(),
+        outcome.records.len(),
+        if outcome.corrupt_lines > 0 {
+            format!(", {} torn lines dropped", outcome.corrupt_lines)
+        } else {
+            String::new()
+        },
+    );
+    let quarantined: Vec<_> = outcome
+        .records
+        .iter()
+        .filter(|r| r.status == RunStatus::Quarantined)
+        .collect();
+    if !quarantined.is_empty() {
+        println!("quarantined runs:");
+        for r in &quarantined {
+            println!(
+                "  {} {}/{}/{}gpu/{}/{} after {} attempts: {}",
+                r.key,
+                r.app,
+                r.paradigm,
+                r.gpus,
+                r.link,
+                r.scale,
+                r.attempts,
+                r.error.as_deref().unwrap_or("?"),
+            );
+        }
+        return Err(format!("{} runs quarantined", quarantined.len()));
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    use std::fmt::Write as _;
+
+    let parsed = parse_args(args, false)?;
+    let (mut records, corrupt) =
+        ResultStore::load_latest(&parsed.store).map_err(|e| format!("load: {e}"))?;
+    records.sort_by(|a, b| {
+        (&a.app, &a.scale, a.gpus, &a.link, &a.paradigm).cmp(&(
+            &b.app,
+            &b.scale,
+            b.gpus,
+            &b.link,
+            &b.paradigm,
+        ))
+    });
+    let mut out = String::new();
+    if parsed.csv {
+        out.push_str(
+            "key,app,paradigm,gpus,link,scale,status,attempts,wall_ms,steady_cycles,total_cycles,interconnect_bytes,interconnect_transfers\n",
+        );
+        for r in &records {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+                r.key,
+                r.app,
+                r.paradigm,
+                r.gpus,
+                r.link,
+                r.scale,
+                r.status.as_str(),
+                r.attempts,
+                r.wall_ms,
+                r.steady_cycles,
+                r.total_cycles,
+                r.interconnect_bytes,
+                r.interconnect_transfers,
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<12} {:>4} {:<8} {:<6} {:<11} {:>14} {:>16} {:>9}",
+            "app",
+            "paradigm",
+            "gpus",
+            "link",
+            "scale",
+            "status",
+            "steady_cyc",
+            "link_bytes",
+            "wall_ms"
+        );
+        for r in &records {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<12} {:>4} {:<8} {:<6} {:<11} {:>14.1} {:>16} {:>9.1}",
+                r.app,
+                r.paradigm,
+                r.gpus,
+                r.link,
+                r.scale,
+                r.status.as_str(),
+                r.steady_cycles,
+                r.interconnect_bytes,
+                r.wall_ms,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} records ({} quarantined{})",
+            records.len(),
+            records
+                .iter()
+                .filter(|r| r.status == RunStatus::Quarantined)
+                .count(),
+            if corrupt > 0 {
+                format!(", {corrupt} torn lines dropped")
+            } else {
+                String::new()
+            },
+        );
+    }
+    // One buffered write; a closed pipe (report | head) is not an error.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "sweep" => cmd_sweep(rest, false),
+        "resume" => cmd_sweep(rest, true),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gps-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

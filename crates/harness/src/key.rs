@@ -1,0 +1,123 @@
+//! Content-addressed run keys.
+//!
+//! Every run in a sweep is identified by a stable 128-bit hash of
+//! everything that determines its result: the application name, the
+//! [`RunSpec`] (paradigm, GPU count, link, scale) and the full
+//! [`SimConfig`] of the simulated machine. The key is the address of the
+//! run in the result store: a sweep resumes by skipping keys that already
+//! have a completed record, and a config change (say, a different L2 size)
+//! changes every affected key, so stale results can never be replayed as
+//! fresh ones.
+//!
+//! [`RunSpec`]: crate::RunSpec
+//! [`SimConfig`]: gps_sim::SimConfig
+
+use gps_sim::SimConfig;
+
+use crate::runner::RunSpec;
+
+/// Bump when the canonical encoding below changes shape, so old stores
+/// are invalidated rather than silently misread.
+const KEY_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical byte encoding a run key hashes: key version, app, spec
+/// labels, and the debug rendering of the machine configuration (stable
+/// for a given field set; any config change perturbs it).
+fn canonical(app: &str, spec: RunSpec, config: &SimConfig) -> String {
+    format!(
+        "v{KEY_VERSION}|app={app}|paradigm={}|gpus={}|link={}|scale={}|config={config:?}",
+        spec.paradigm.label(),
+        spec.gpus,
+        spec.link.label(),
+        spec.scale.label(),
+    )
+}
+
+/// Computes the content-addressed key of one run as 32 lowercase hex
+/// digits (two independently seeded 64-bit FNV-1a lanes).
+pub fn run_key(app: &str, spec: RunSpec, config: &SimConfig) -> String {
+    let payload = canonical(app, spec, config);
+    let lo = fnv1a(FNV_OFFSET, payload.as_bytes());
+    // Second lane: different seed, walked over the same bytes, decorrelated
+    // by folding the first lane in.
+    let hi = fnv1a(
+        FNV_OFFSET ^ lo.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15,
+        payload.as_bytes(),
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// The key of the machine a [`RunSpec`] implies (the GV100 system of the
+/// paper at the spec's GPU count, with the workload's page size applied by
+/// the runner).
+pub fn run_key_default_machine(app: &str, spec: RunSpec) -> String {
+    run_key(app, spec, &SimConfig::gv100_system(spec.gpus))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_interconnect::LinkGen;
+    use gps_paradigms::Paradigm;
+    use gps_workloads::ScaleProfile;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            paradigm: Paradigm::Gps,
+            gpus: 4,
+            link: LinkGen::Pcie3,
+            scale: ScaleProfile::Tiny,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_well_formed() {
+        let a = run_key_default_machine("jacobi", spec());
+        let b = run_key_default_machine("jacobi", spec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn every_spec_dimension_perturbs_the_key() {
+        let base = run_key_default_machine("jacobi", spec());
+        assert_ne!(base, run_key_default_machine("pagerank", spec()));
+
+        let mut s = spec();
+        s.paradigm = Paradigm::Um;
+        assert_ne!(base, run_key_default_machine("jacobi", s));
+
+        let mut s = spec();
+        s.gpus = 16;
+        assert_ne!(base, run_key_default_machine("jacobi", s));
+
+        let mut s = spec();
+        s.link = LinkGen::Pcie6;
+        assert_ne!(base, run_key_default_machine("jacobi", s));
+
+        let mut s = spec();
+        s.scale = ScaleProfile::Small;
+        assert_ne!(base, run_key_default_machine("jacobi", s));
+    }
+
+    #[test]
+    fn machine_config_perturbs_the_key() {
+        let mut config = gps_sim::SimConfig::gv100_system(4);
+        let base = run_key("jacobi", spec(), &config);
+        config.gpu.l2_bytes *= 2;
+        assert_ne!(base, run_key("jacobi", spec(), &config));
+    }
+}

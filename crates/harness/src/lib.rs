@@ -1,0 +1,42 @@
+//! # gps-harness — resumable, failure-isolated experiment orchestration
+//!
+//! The evaluation of the GPS paper (MICRO '21) is a large cross product:
+//! applications × memory paradigms × GPU counts × interconnect generations
+//! × problem scales. This crate turns such a sweep into a deterministic,
+//! restartable batch job:
+//!
+//! - **Content-addressed runs** ([`key`]): every run is identified by a
+//!   stable hash of everything that determines its result, so a result
+//!   store never serves stale data after a config change.
+//! - **Durable results** ([`store`]): each finished run is appended to a
+//!   JSON-lines store and flushed immediately; a torn trailing line from a
+//!   killed process is tolerated on load.
+//! - **Resume** ([`sweep`]): a sweep subtracts completed keys from its job
+//!   set before executing — interrupting and re-invoking a sweep only pays
+//!   for what has not finished.
+//! - **Failure isolation** ([`pool`]): each run executes under
+//!   `catch_unwind` with bounded retries; a panicking configuration is
+//!   quarantined and reported, never aborting sibling jobs.
+//!
+//! The `gps-run` binary exposes this as a CLI (`sweep`, `resume`,
+//! `report`); the `gps-bench` crate builds the paper's figures on top of
+//! the same machinery.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod key;
+pub mod pool;
+pub mod runner;
+pub mod store;
+pub mod sweep;
+
+pub use json::Json;
+pub use key::{run_key, run_key_default_machine};
+pub use pool::{parallel_map, run_jobs, JobResult};
+pub use runner::{
+    baseline, geomean, measure, measure_with_policy, speedup, steady_cycles_per_iteration,
+    steady_traffic_per_iteration, Measurement, RunSpec,
+};
+pub use store::{ResultStore, RunRecord, RunStatus, STORE_VERSION};
+pub use sweep::{run_sweep, RunUnit, SweepOptions, SweepOutcome, SweepSpec};

@@ -1,0 +1,396 @@
+//! The on-disk, JSON-lines result store.
+//!
+//! One line per completed run. Records are appended (and the file
+//! flushed) the moment a run finishes, so a sweep killed at any point
+//! loses at most the in-flight runs; a torn final line — the crash window
+//! is one `write` — is detected by the parser and dropped on load, which
+//! is exactly the resume semantics the sweep wants: anything not fully
+//! persisted is simply re-run.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// Schema version stamped on every record.
+pub const STORE_VERSION: u32 = 1;
+
+/// Completion status of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run finished and its metrics are valid.
+    Ok,
+    /// Every attempt panicked; the record carries the panic message and no
+    /// metrics.
+    Quarantined,
+}
+
+impl RunStatus {
+    /// Short machine-friendly label (`ok` / `quarantined`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One persisted run result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Content-addressed run key ([`crate::key::run_key`]).
+    pub key: String,
+    /// Application name.
+    pub app: String,
+    /// Paradigm label (`gps`, `um`, ...).
+    pub paradigm: String,
+    /// GPU count.
+    pub gpus: u64,
+    /// Interconnect label (`pcie3`, ...).
+    pub link: String,
+    /// Scale label (`tiny`/`small`/`paper`).
+    pub scale: String,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Attempts consumed (1 = succeeded first try).
+    pub attempts: u32,
+    /// Wall-clock milliseconds of the successful attempt (non-deterministic;
+    /// excluded from store-equality comparisons).
+    pub wall_ms: f64,
+    /// Steady-state cycles per iteration.
+    pub steady_cycles: f64,
+    /// End-to-end simulated cycles.
+    pub total_cycles: u64,
+    /// Total bytes over the inter-GPU fabric.
+    pub interconnect_bytes: u64,
+    /// Discrete fabric transfers.
+    pub interconnect_transfers: u64,
+    /// Paradigm-specific metrics.
+    pub metrics: Vec<(String, f64)>,
+    /// Panic message for quarantined runs.
+    pub error: Option<String>,
+}
+
+impl RunRecord {
+    /// Serialises the record as one JSON line (no newline).
+    pub fn to_json(&self) -> String {
+        let mut members = vec![
+            ("v".to_owned(), Json::Num(STORE_VERSION as f64)),
+            ("key".to_owned(), Json::Str(self.key.clone())),
+            ("app".to_owned(), Json::Str(self.app.clone())),
+            ("paradigm".to_owned(), Json::Str(self.paradigm.clone())),
+            ("gpus".to_owned(), Json::Num(self.gpus as f64)),
+            ("link".to_owned(), Json::Str(self.link.clone())),
+            ("scale".to_owned(), Json::Str(self.scale.clone())),
+            (
+                "status".to_owned(),
+                Json::Str(self.status.as_str().to_owned()),
+            ),
+            ("attempts".to_owned(), Json::Num(self.attempts as f64)),
+            ("wall_ms".to_owned(), Json::Num(self.wall_ms)),
+            ("steady_cycles".to_owned(), Json::Num(self.steady_cycles)),
+            (
+                "total_cycles".to_owned(),
+                Json::Num(self.total_cycles as f64),
+            ),
+            (
+                "interconnect_bytes".to_owned(),
+                Json::Num(self.interconnect_bytes as f64),
+            ),
+            (
+                "interconnect_transfers".to_owned(),
+                Json::Num(self.interconnect_transfers as f64),
+            ),
+            (
+                "metrics".to_owned(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(e) = &self.error {
+            members.push(("error".to_owned(), Json::Str(e.clone())));
+        }
+        Json::Obj(members).emit()
+    }
+
+    /// Parses one stored line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (used by the
+    /// loader to drop torn trailing lines).
+    pub fn from_json(line: &str) -> Result<RunRecord, String> {
+        let v = Json::parse(line)?;
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let int_field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field {k:?}"))
+        };
+        if int_field("v")? != STORE_VERSION as u64 {
+            return Err("unsupported store version".to_owned());
+        }
+        let status = match str_field("status")?.as_str() {
+            "ok" => RunStatus::Ok,
+            "quarantined" => RunStatus::Quarantined,
+            other => return Err(format!("unknown status {other:?}")),
+        };
+        let metrics = match v.get("metrics") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(k, val)| {
+                    val.as_f64()
+                        .map(|f| (k.clone(), f))
+                        .ok_or_else(|| format!("non-numeric metric {k:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing metrics object".to_owned()),
+        };
+        Ok(RunRecord {
+            key: str_field("key")?,
+            app: str_field("app")?,
+            paradigm: str_field("paradigm")?,
+            gpus: int_field("gpus")?,
+            link: str_field("link")?,
+            scale: str_field("scale")?,
+            status,
+            attempts: int_field("attempts")? as u32,
+            wall_ms: num_field("wall_ms")?,
+            steady_cycles: num_field("steady_cycles")?,
+            total_cycles: int_field("total_cycles")?,
+            interconnect_bytes: int_field("interconnect_bytes")?,
+            interconnect_transfers: int_field("interconnect_transfers")?,
+            metrics,
+            error: v.get("error").and_then(Json::as_str).map(str::to_owned),
+        })
+    }
+
+    /// The deterministic identity of a record: everything except wall-clock
+    /// time and (for quarantined runs) the panic backtrace wording, which
+    /// may embed addresses. Two sweeps over the same configs must agree on
+    /// this projection — the determinism tests compare it.
+    pub fn deterministic_fields(&self) -> impl PartialEq + std::fmt::Debug + '_ {
+        (
+            &self.key,
+            &self.app,
+            &self.paradigm,
+            self.gpus,
+            &self.link,
+            &self.scale,
+            self.status,
+            (
+                self.steady_cycles.to_bits(),
+                self.total_cycles,
+                self.interconnect_bytes,
+                self.interconnect_transfers,
+            ),
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_bits()))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// An append-only JSON-lines store of [`RunRecord`]s.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_append(path: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(ResultStore {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS, so a kill after this
+    /// call cannot lose the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, record: &RunRecord) -> std::io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Loads every well-formed record from `path`; a missing file is an
+    /// empty store. Torn or corrupt lines are skipped (counted in the
+    /// second return value) rather than fatal — the partial-write crash
+    /// window of an interrupted sweep lands here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than "not found".
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<(Vec<RunRecord>, usize)> {
+        let text = match std::fs::read_to_string(path.as_ref()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e),
+        };
+        let mut records = Vec::new();
+        let mut corrupt = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match RunRecord::from_json(line) {
+                Ok(r) => records.push(r),
+                Err(_) => corrupt += 1,
+            }
+        }
+        Ok((records, corrupt))
+    }
+
+    /// Loads the store and keeps only the *latest* record per key (a
+    /// resumed sweep may re-run quarantined keys, appending a newer
+    /// verdict).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn load_latest(path: impl AsRef<Path>) -> std::io::Result<(Vec<RunRecord>, usize)> {
+        let (records, corrupt) = Self::load(path)?;
+        let mut by_key: BTreeMap<String, RunRecord> = BTreeMap::new();
+        for r in records {
+            by_key.insert(r.key.clone(), r);
+        }
+        Ok((by_key.into_values().collect(), corrupt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str, status: RunStatus) -> RunRecord {
+        RunRecord {
+            key: key.to_owned(),
+            app: "jacobi".into(),
+            paradigm: "gps".into(),
+            gpus: 4,
+            link: "pcie3".into(),
+            scale: "tiny".into(),
+            status,
+            attempts: 1,
+            wall_ms: 12.5,
+            steady_cycles: 1234.5,
+            total_cycles: 99999,
+            interconnect_bytes: 4096,
+            interconnect_transfers: 7,
+            metrics: vec![("rwq_hit_rate".into(), 0.75)],
+            error: match status {
+                RunStatus::Ok => None,
+                RunStatus::Quarantined => Some("panic: boom".into()),
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "gps-store-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        for status in [RunStatus::Ok, RunStatus::Quarantined] {
+            let r = sample("k1", status);
+            let line = r.to_json();
+            assert_eq!(RunRecord::from_json(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn append_then_load() {
+        let path = temp_path("append");
+        let mut store = ResultStore::open_append(&path).unwrap();
+        store.append(&sample("a", RunStatus::Ok)).unwrap();
+        store.append(&sample("b", RunStatus::Quarantined)).unwrap();
+        drop(store);
+        let (records, corrupt) = ResultStore::load(&path).unwrap();
+        assert_eq!(corrupt, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].key, "a");
+        assert_eq!(records[1].status, RunStatus::Quarantined);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let path = temp_path("torn");
+        let mut store = ResultStore::open_append(&path).unwrap();
+        store.append(&sample("a", RunStatus::Ok)).unwrap();
+        drop(store);
+        // Simulate a crash mid-write: append half a record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":1,\"key\":\"b\",\"app\":").unwrap();
+        drop(f);
+        let (records, corrupt) = ResultStore::load(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(corrupt, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_latest_dedups_by_key() {
+        let path = temp_path("latest");
+        let mut store = ResultStore::open_append(&path).unwrap();
+        store.append(&sample("a", RunStatus::Quarantined)).unwrap();
+        store.append(&sample("a", RunStatus::Ok)).unwrap();
+        drop(store);
+        let (records, _) = ResultStore::load_latest(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].status, RunStatus::Ok);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_store_is_empty() {
+        let (records, corrupt) = ResultStore::load(temp_path("missing-never-created")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(corrupt, 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Sweep expansion, resumable execution and reporting.
+//!
+//! A [`SweepSpec`] is the cross product the paper's evaluation runs —
+//! applications × paradigms × GPU counts × interconnects × scales.
+//! [`run_sweep`] turns it into a job set, subtracts everything the result
+//! store already has a completed record for (the *resume* path: run keys
+//! are content-addressed, so a completed key can be skipped soundly),
+//! executes the rest on the worker pool with panic quarantine, and
+//! appends each result to the store the moment it finishes.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gps_interconnect::LinkGen;
+use gps_paradigms::Paradigm;
+use gps_workloads::{suite, ScaleProfile};
+
+use crate::key::run_key_default_machine;
+use crate::pool::{run_jobs, JobResult};
+use crate::runner::{measure, steady_traffic_per_iteration, Measurement, RunSpec};
+use crate::store::{ResultStore, RunRecord, RunStatus};
+
+/// The cross product a sweep executes.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Application names (must exist in [`gps_workloads::suite`]).
+    pub apps: Vec<String>,
+    /// Paradigms to run.
+    pub paradigms: Vec<Paradigm>,
+    /// GPU counts.
+    pub gpu_counts: Vec<usize>,
+    /// Interconnect generations.
+    pub links: Vec<LinkGen>,
+    /// Problem scales.
+    pub scales: Vec<ScaleProfile>,
+}
+
+impl SweepSpec {
+    /// The full paper suite: 8 applications × the 6 Figure-8 paradigms ×
+    /// {4, 16} GPUs × PCIe 3.0–6.0 at paper scale (Figures 11–15).
+    pub fn paper_suite() -> SweepSpec {
+        SweepSpec {
+            apps: suite::all().iter().map(|a| a.name.to_owned()).collect(),
+            paradigms: Paradigm::FIGURE8.to_vec(),
+            gpu_counts: vec![4, 16],
+            links: LinkGen::PCIE_SWEEP.to_vec(),
+            scales: vec![ScaleProfile::Paper],
+        }
+    }
+
+    /// A tiny smoke sweep (all apps, all Figure-8 paradigms, 4 GPUs,
+    /// PCIe 3.0, tiny scale) — the default of `gps-run sweep`.
+    pub fn smoke() -> SweepSpec {
+        SweepSpec {
+            apps: suite::all().iter().map(|a| a.name.to_owned()).collect(),
+            paradigms: Paradigm::FIGURE8.to_vec(),
+            gpu_counts: vec![4],
+            links: vec![LinkGen::Pcie3],
+            scales: vec![ScaleProfile::Tiny],
+        }
+    }
+
+    /// Expands the cross product into run units in a deterministic order
+    /// (apps outermost, scales innermost), validating application names.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown application name.
+    pub fn units(&self) -> Result<Vec<RunUnit>, String> {
+        let mut units = Vec::new();
+        for app in &self.apps {
+            if suite::by_name(app).is_none() {
+                return Err(format!("unknown application {app:?}"));
+            }
+            for &paradigm in &self.paradigms {
+                for &gpus in &self.gpu_counts {
+                    for &link in &self.links {
+                        for &scale in &self.scales {
+                            let spec = RunSpec {
+                                paradigm,
+                                gpus,
+                                link,
+                                scale,
+                            };
+                            units.push(RunUnit {
+                                key: run_key_default_machine(app, spec),
+                                app: app.clone(),
+                                spec,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(units)
+    }
+}
+
+/// One expanded job of a sweep.
+#[derive(Debug, Clone)]
+pub struct RunUnit {
+    /// Content-addressed run key.
+    pub key: String,
+    /// Application name.
+    pub app: String,
+    /// The simulation request.
+    pub spec: RunSpec,
+}
+
+impl RunUnit {
+    /// `app/paradigm/gpus/link/scale`, the human-facing run label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}gpu/{}/{}",
+            self.app,
+            self.spec.paradigm.label(),
+            self.spec.gpus,
+            self.spec.link.label(),
+            self.spec.scale.label()
+        )
+    }
+}
+
+/// Execution knobs of one sweep invocation.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (0 = host parallelism).
+    pub workers: usize,
+    /// Extra attempts per panicking run before quarantine.
+    pub retries: u32,
+    /// Stop after launching at most this many jobs (used to simulate and
+    /// test interrupted sweeps; remaining jobs stay pending for resume).
+    pub max_jobs: Option<usize>,
+    /// Applications whose runs deliberately panic (failure injection for
+    /// quarantine testing).
+    pub inject_panic: Vec<String>,
+    /// Emit per-run log lines and a live progress line to stderr.
+    pub log: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            retries: 1,
+            max_jobs: None,
+            inject_panic: Vec::new(),
+            log: false,
+        }
+    }
+}
+
+/// The outcome of one sweep invocation.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The merged store view after this invocation: latest record per key,
+    /// sorted by key (deterministic regardless of worker count or
+    /// completion order).
+    pub records: Vec<RunRecord>,
+    /// Jobs executed by this invocation.
+    pub executed: usize,
+    /// Jobs skipped because the store already had a completed record
+    /// (run-key cache hits).
+    pub skipped: usize,
+    /// Jobs left pending (`max_jobs` cut the queue short).
+    pub pending: usize,
+    /// Jobs quarantined by this invocation.
+    pub quarantined: usize,
+    /// Corrupt (torn) store lines dropped on load.
+    pub corrupt_lines: usize,
+}
+
+fn ok_record(unit: &RunUnit, m: &Measurement, attempts: u32, wall_ms: f64) -> RunRecord {
+    RunRecord {
+        key: unit.key.clone(),
+        app: unit.app.clone(),
+        paradigm: unit.spec.paradigm.label().to_owned(),
+        gpus: unit.spec.gpus as u64,
+        link: unit.spec.link.label().to_owned(),
+        scale: unit.spec.scale.label().to_owned(),
+        status: RunStatus::Ok,
+        attempts,
+        wall_ms,
+        steady_cycles: m.steady_cycles,
+        total_cycles: m.report.total_cycles.as_u64(),
+        interconnect_bytes: m.report.interconnect_bytes,
+        interconnect_transfers: m.report.interconnect_transfers,
+        metrics: {
+            let mut metrics = m.report.policy_metrics.clone();
+            metrics.push((
+                "steady_traffic_per_iteration".to_owned(),
+                steady_traffic_per_iteration(&m.report, m.phases_per_iteration),
+            ));
+            metrics
+        },
+        error: None,
+    }
+}
+
+fn quarantine_record(unit: &RunUnit, attempts: u32, error: &str) -> RunRecord {
+    RunRecord {
+        key: unit.key.clone(),
+        app: unit.app.clone(),
+        paradigm: unit.spec.paradigm.label().to_owned(),
+        gpus: unit.spec.gpus as u64,
+        link: unit.spec.link.label().to_owned(),
+        scale: unit.spec.scale.label().to_owned(),
+        status: RunStatus::Quarantined,
+        attempts,
+        wall_ms: 0.0,
+        steady_cycles: 0.0,
+        total_cycles: 0,
+        interconnect_bytes: 0,
+        interconnect_transfers: 0,
+        metrics: Vec::new(),
+        error: Some(error.to_owned()),
+    }
+}
+
+/// Runs (or resumes) `spec` against the store at `store_path`.
+///
+/// Completed keys already in the store are skipped — each skip is logged as
+/// a `cache hit` when `opts.log` is set. Quarantined keys are re-attempted
+/// (a later record for the same key supersedes the earlier one on load).
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for unknown application names; propagates store
+/// I/O errors. Individual run panics are *not* errors — they quarantine.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    store_path: &Path,
+    opts: &SweepOptions,
+) -> std::io::Result<SweepOutcome> {
+    let to_io = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
+    let units = spec.units().map_err(to_io)?;
+
+    let (existing, corrupt_lines) = ResultStore::load_latest(store_path)?;
+    let done: std::collections::BTreeSet<&str> = existing
+        .iter()
+        .filter(|r| r.status == RunStatus::Ok)
+        .map(|r| r.key.as_str())
+        .collect();
+
+    let mut pending_units = Vec::new();
+    let mut skipped = 0usize;
+    for unit in units {
+        if done.contains(unit.key.as_str()) {
+            skipped += 1;
+            if opts.log {
+                eprintln!("[gps-run] cache hit {} {}", unit.key, unit.label());
+            }
+        } else {
+            pending_units.push(unit);
+        }
+    }
+
+    let total_pending = pending_units.len();
+    let cut = opts.max_jobs.unwrap_or(total_pending).min(total_pending);
+    let pending = total_pending - cut;
+    pending_units.truncate(cut);
+
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        opts.workers
+    };
+
+    let store = Mutex::new(ResultStore::open_append(store_path)?);
+    let started = Instant::now();
+    let progress = Mutex::new((0usize, 0usize)); // (finished, quarantined)
+
+    let results = run_jobs(
+        &pending_units,
+        workers,
+        opts.retries,
+        |unit: &RunUnit| {
+            if opts.inject_panic.iter().any(|a| a == &unit.app) {
+                panic!("injected failure for {}", unit.label());
+            }
+            let app = suite::by_name(&unit.app).expect("validated");
+            let begun = Instant::now();
+            let m = measure(&app, unit.spec);
+            (m, begun.elapsed().as_secs_f64() * 1e3)
+        },
+        |i, result| {
+            let unit = &pending_units[i];
+            let (record, quarantined) = match result {
+                JobResult::Ok {
+                    value: (m, wall_ms),
+                    attempts,
+                } => (ok_record(unit, m, *attempts, *wall_ms), false),
+                JobResult::Quarantined { attempts, error } => {
+                    (quarantine_record(unit, *attempts, error), true)
+                }
+            };
+            store
+                .lock()
+                .expect("store lock")
+                .append(&record)
+                .expect("result store append");
+            let mut p = progress.lock().expect("progress lock");
+            p.0 += 1;
+            p.1 += quarantined as usize;
+            if opts.log {
+                let elapsed = started.elapsed().as_secs_f64();
+                let done_count = p.0;
+                let rate = done_count as f64 / elapsed.max(1e-9);
+                eprint!(
+                    "\r[gps-run] {done_count}/{} done, {} quarantined, {skipped} cached, {elapsed:.1}s ({rate:.2} runs/s) ",
+                    pending_units.len(),
+                    p.1,
+                );
+                if quarantined {
+                    eprintln!();
+                    eprintln!("[gps-run] quarantined {} {}", unit.key, unit.label());
+                }
+                std::io::stderr().flush().ok();
+            }
+        },
+    );
+    if opts.log && !pending_units.is_empty() {
+        eprintln!();
+    }
+
+    let quarantined = results
+        .iter()
+        .filter(|r| matches!(r, JobResult::Quarantined { .. }))
+        .count();
+
+    drop(store);
+    let (mut records, corrupt_after) = ResultStore::load_latest(store_path)?;
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+
+    Ok(SweepOutcome {
+        records,
+        executed: results.len(),
+        skipped,
+        pending,
+        quarantined,
+        corrupt_lines: corrupt_lines.max(corrupt_after),
+    })
+}

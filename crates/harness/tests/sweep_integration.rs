@@ -1,0 +1,151 @@
+//! End-to-end tests of the sweep orchestrator: worker-count determinism,
+//! interrupt-and-resume equivalence, and panic quarantine.
+
+use std::path::PathBuf;
+
+use gps_harness::store::{ResultStore, RunStatus};
+use gps_harness::sweep::{run_sweep, SweepOptions, SweepSpec};
+use gps_interconnect::LinkGen;
+use gps_paradigms::Paradigm;
+use gps_workloads::ScaleProfile;
+
+fn temp_store(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "gps-sweep-test-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        apps: vec!["jacobi".into(), "pagerank".into()],
+        paradigms: vec![Paradigm::Gps, Paradigm::Um],
+        gpu_counts: vec![2],
+        links: vec![LinkGen::Pcie3],
+        scales: vec![ScaleProfile::Tiny],
+    }
+}
+
+fn quiet(workers: usize) -> SweepOptions {
+    SweepOptions {
+        workers,
+        retries: 1,
+        max_jobs: None,
+        inject_panic: Vec::new(),
+        log: false,
+    }
+}
+
+/// Projects the store-independent identity of a record set (wall-clock
+/// excluded) for cross-sweep comparison.
+fn fingerprint(records: &[gps_harness::RunRecord]) -> Vec<String> {
+    records
+        .iter()
+        .map(|r| format!("{:?}", r.deterministic_fields()))
+        .collect()
+}
+
+#[test]
+fn one_worker_and_many_workers_agree() {
+    let store1 = temp_store("w1");
+    let store4 = temp_store("w4");
+    let spec = small_spec();
+
+    let a = run_sweep(&spec, &store1, &quiet(1)).unwrap();
+    let b = run_sweep(&spec, &store4, &quiet(4)).unwrap();
+
+    assert_eq!(a.executed, 4);
+    assert_eq!(b.executed, 4);
+    assert_eq!(fingerprint(&a.records), fingerprint(&b.records));
+
+    std::fs::remove_file(&store1).ok();
+    std::fs::remove_file(&store4).ok();
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_matches_uninterrupted() {
+    let interrupted = temp_store("interrupted");
+    let straight = temp_store("straight");
+    let spec = small_spec();
+
+    // Simulate a sweep killed after 2 of 4 jobs.
+    let first = run_sweep(
+        &spec,
+        &interrupted,
+        &SweepOptions {
+            max_jobs: Some(2),
+            ..quiet(2)
+        },
+    )
+    .unwrap();
+    assert_eq!(first.executed, 2);
+    assert_eq!(first.pending, 2);
+
+    // Resume: the completed keys must be skipped, only the rest executed.
+    let resumed = run_sweep(&spec, &interrupted, &quiet(2)).unwrap();
+    assert_eq!(resumed.skipped, 2, "completed runs must be cache hits");
+    assert_eq!(resumed.executed, 2);
+    assert_eq!(resumed.pending, 0);
+
+    let uninterrupted = run_sweep(&spec, &straight, &quiet(2)).unwrap();
+    assert_eq!(
+        fingerprint(&resumed.records),
+        fingerprint(&uninterrupted.records),
+        "resumed store diverged from an uninterrupted sweep"
+    );
+
+    // A third invocation has nothing left to do.
+    let noop = run_sweep(&spec, &interrupted, &quiet(2)).unwrap();
+    assert_eq!(noop.executed, 0);
+    assert_eq!(noop.skipped, 4);
+
+    std::fs::remove_file(&interrupted).ok();
+    std::fs::remove_file(&straight).ok();
+}
+
+#[test]
+fn injected_panics_quarantine_without_aborting_siblings() {
+    let store = temp_store("quarantine");
+    let spec = small_spec();
+
+    let outcome = run_sweep(
+        &spec,
+        &store,
+        &SweepOptions {
+            inject_panic: vec!["jacobi".into()],
+            retries: 1,
+            ..quiet(2)
+        },
+    )
+    .unwrap();
+
+    // Both jacobi runs quarantined after 1 try + 1 retry; both pagerank
+    // runs unaffected.
+    assert_eq!(outcome.executed, 4);
+    assert_eq!(outcome.quarantined, 2);
+    for r in &outcome.records {
+        if r.app == "jacobi" {
+            assert_eq!(r.status, RunStatus::Quarantined);
+            assert_eq!(r.attempts, 2);
+            assert!(r.error.as_deref().unwrap().contains("injected failure"));
+        } else {
+            assert_eq!(r.status, RunStatus::Ok);
+            assert!(r.steady_cycles > 0.0);
+        }
+    }
+
+    // Resuming without injection re-runs exactly the quarantined keys and
+    // heals the store.
+    let healed = run_sweep(&spec, &store, &quiet(2)).unwrap();
+    assert_eq!(healed.skipped, 2, "healthy runs stay cached");
+    assert_eq!(healed.executed, 2, "quarantined keys are re-attempted");
+    assert!(healed.records.iter().all(|r| r.status == RunStatus::Ok));
+
+    // The raw store keeps the full history; the latest view hides it.
+    let (all, _) = ResultStore::load(&store).unwrap();
+    assert_eq!(all.len(), 6, "2 quarantine records + 4 ok records");
+
+    std::fs::remove_file(&store).ok();
+}

@@ -1,7 +1,5 @@
 //! Traffic accounting behind Figure 10.
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::GpuId;
 
 /// Per-pair and aggregate byte counters for inter-GPU traffic.
@@ -21,7 +19,7 @@ use gps_types::GpuId;
 /// assert_eq!(tc.pair_bytes(GpuId::new(0), GpuId::new(1)), 128);
 /// assert_eq!(tc.egress_bytes(GpuId::new(1)), 64);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficCounters {
     gpu_count: usize,
     /// Row-major `gpu_count x gpu_count` matrix, `[src][dst]`.

@@ -7,7 +7,7 @@ use crate::resource::BandwidthResource;
 use crate::spec::LinkGen;
 
 /// Physical arrangement of the inter-GPU links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Topology {
     /// A non-blocking central switch (PCIe switch / NVSwitch): every GPU
     /// owns one ingress and one egress link; any pair communicates in one
@@ -109,8 +109,12 @@ impl Fabric {
             ingress: (0..config.gpu_count)
                 .map(|_| BandwidthResource::new(bw))
                 .collect(),
-            cw: (0..ring_links).map(|_| BandwidthResource::new(bw)).collect(),
-            ccw: (0..ring_links).map(|_| BandwidthResource::new(bw)).collect(),
+            cw: (0..ring_links)
+                .map(|_| BandwidthResource::new(bw))
+                .collect(),
+            ccw: (0..ring_links)
+                .map(|_| BandwidthResource::new(bw))
+                .collect(),
             counters: TrafficCounters::new(config.gpu_count),
         }
     }
@@ -164,8 +168,7 @@ impl Fabric {
                 // egress queues with credit-based flow control mean a busy
                 // destination does not block the source link for other
                 // destinations.
-                let (egress_start, _egress_end) =
-                    self.egress[src.index()].book_from(bytes, now);
+                let (egress_start, _egress_end) = self.egress[src.index()].book_from(bytes, now);
                 let (_, ingress_end) = self.ingress[dst.index()].book_from(bytes, egress_start);
                 self.counters.record(src, dst, bytes);
                 Ok(Transfer {
@@ -191,8 +194,7 @@ impl Fabric {
                         end
                     } else {
                         node = (node + n - 1) % n;
-                        let end = self.ccw[(node + 1) % n].book(bytes, at);
-                        end
+                        self.ccw[(node + 1) % n].book(bytes, at)
                     } + self.config.link.latency();
                 }
                 self.counters.record(src, dst, bytes);
@@ -300,9 +302,7 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone_but_source() {
         let mut f = pcie3_4gpu();
-        let latest = f
-            .broadcast(G0, GpuId::all(4), 130, Cycle::ZERO)
-            .unwrap();
+        let latest = f.broadcast(G0, GpuId::all(4), 130, Cycle::ZERO).unwrap();
         assert_eq!(f.counters().total_bytes(), 3 * 130);
         assert_eq!(f.counters().pair_bytes(G0, G0), 0);
         // Three serialised sends on G0's egress: 10 cy each + latency.

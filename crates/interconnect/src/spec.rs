@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::{Bandwidth, GpsError, Latency};
 
 /// An inter-GPU interconnect generation.
@@ -21,7 +19,7 @@ use gps_types::{Bandwidth, GpsError, Latency};
 /// assert!(LinkGen::Infinite.bandwidth().is_infinite());
 /// assert!(LinkGen::NvLink3.bandwidth() > LinkGen::Pcie6.bandwidth());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkGen {
     /// PCIe 3.0 x16: ~13 GB/s effective per direction.
     Pcie3,
@@ -132,7 +130,7 @@ impl FromStr for LinkGen {
 
 /// One row of the Figure 3 platform table: aggregate local HBM bandwidth vs
 /// aggregate remote (inter-GPU) bandwidth per GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlatformSpec {
     /// Platform / GPU / interconnect label as printed in Figure 3.
     pub name: &'static str,

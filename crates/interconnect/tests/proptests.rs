@@ -1,95 +1,103 @@
-//! Property-based tests of the interconnect fabric.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Randomised (deterministically seeded) tests of the interconnect fabric.
 
 use gps_interconnect::{BandwidthResource, Fabric, FabricConfig, LinkGen};
+use gps_types::rng::SmallRng;
 use gps_types::{Bandwidth, Cycle, GpuId};
 
-proptest! {
-    /// Bandwidth bookings are monotone (FIFO), conserve bytes, and never
-    /// finish before `now + bytes/bw`.
-    #[test]
-    fn resource_bookings_are_monotone_and_lower_bounded(
-        requests in vec((1u64..10_000, 0u64..100_000), 1..100),
-    ) {
+/// Bandwidth bookings are monotone (FIFO), conserve bytes, and never
+/// finish before `now + bytes/bw`.
+#[test]
+fn resource_bookings_are_monotone_and_lower_bounded() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    for _ in 0..50 {
         let bw = Bandwidth::gb_per_sec(13.0);
         let mut r = BandwidthResource::new(bw);
         let mut last_end = Cycle::ZERO;
         let mut total = 0u64;
-        for (bytes, now) in requests {
+        for _ in 0..rng.gen_range(1..100) {
+            let bytes = rng.gen_range(1..10_000);
+            let now = rng.gen_range(0..100_000);
             let end = r.book(bytes, Cycle::new(now));
-            prop_assert!(end >= last_end, "FIFO order violated");
-            prop_assert!(
+            assert!(end >= last_end, "FIFO order violated");
+            assert!(
                 end.as_u64() >= now + bytes / 13,
                 "finished faster than line rate"
             );
             last_end = end;
             total += bytes;
         }
-        prop_assert_eq!(r.total_bytes(), total);
+        assert_eq!(r.total_bytes(), total);
         // Busy time equals total bytes / bandwidth (within rounding).
         let expect = total as f64 / 13.0;
-        prop_assert!((r.busy_cycles() as f64 - expect).abs() <= 1.0 + expect * 1e-9);
+        assert!((r.busy_cycles() as f64 - expect).abs() <= 1.0 + expect * 1e-9);
     }
+}
 
-    /// Fabric transfers conserve bytes in the counters, and arrivals
-    /// respect both serialisation and latency lower bounds.
-    #[test]
-    fn fabric_conserves_bytes_and_bounds_arrivals(
-        transfers in vec((0u16..4, 0u16..4, 1u64..50_000, 0u64..1_000_000), 1..150),
-    ) {
+/// Fabric transfers conserve bytes in the counters, and arrivals respect
+/// both serialisation and latency lower bounds.
+#[test]
+fn fabric_conserves_bytes_and_bounds_arrivals() {
+    let mut rng = SmallRng::seed_from_u64(22);
+    for _ in 0..40 {
         let mut fabric = Fabric::new(FabricConfig::new(4, LinkGen::Pcie3));
         let mut total = 0u64;
         let latency = LinkGen::Pcie3.latency().as_u64();
-        for (src, dst, bytes, now) in transfers {
-            let (src, dst) = (GpuId::new(src), GpuId::new(dst));
+        for _ in 0..rng.gen_range(1..150) {
+            let src = GpuId::new(rng.gen_range(0..4) as u16);
+            let dst = GpuId::new(rng.gen_range(0..4) as u16);
+            let bytes = rng.gen_range(1..50_000);
+            let now = rng.gen_range(0..1_000_000);
             match fabric.transfer(src, dst, bytes, Cycle::new(now)) {
                 Ok(t) => {
-                    prop_assert_ne!(src, dst);
+                    assert_ne!(src, dst);
                     total += bytes;
-                    prop_assert!(
+                    assert!(
                         t.arrived.as_u64() >= now + bytes / 13 + latency,
                         "arrival beats physics"
                     );
-                    prop_assert!(t.arrived >= t.departed);
+                    assert!(t.arrived >= t.departed);
                 }
-                Err(_) => prop_assert_eq!(src, dst),
+                Err(_) => assert_eq!(src, dst),
             }
         }
-        prop_assert_eq!(fabric.counters().total_bytes(), total);
+        assert_eq!(fabric.counters().total_bytes(), total);
         // Per-pair counters sum to the total.
         let sum: u64 = (0..4)
             .map(|g| fabric.counters().egress_bytes(GpuId::new(g)))
             .sum();
-        prop_assert_eq!(sum, total);
+        assert_eq!(sum, total);
         let sum_in: u64 = (0..4)
             .map(|g| fabric.counters().ingress_bytes(GpuId::new(g)))
             .sum();
-        prop_assert_eq!(sum_in, total);
+        assert_eq!(sum_in, total);
     }
+}
 
-    /// An infinite fabric never delays beyond its (zero) latency.
-    #[test]
-    fn infinite_fabric_is_instant(
-        transfers in vec((1u64..1 << 30, 0u64..1_000_000), 1..50),
-    ) {
+/// An infinite fabric never delays beyond its (zero) latency.
+#[test]
+fn infinite_fabric_is_instant() {
+    let mut rng = SmallRng::seed_from_u64(23);
+    for _ in 0..20 {
         let mut fabric = Fabric::new(FabricConfig::new(2, LinkGen::Infinite));
-        for (bytes, now) in transfers {
+        for _ in 0..rng.gen_range(1..50) {
+            let bytes = rng.gen_range(1..1 << 30);
+            let now = rng.gen_range(0..1_000_000);
             let t = fabric
                 .transfer(GpuId::new(0), GpuId::new(1), bytes, Cycle::new(now))
                 .unwrap();
-            prop_assert_eq!(t.arrived, Cycle::new(now));
+            assert_eq!(t.arrived, Cycle::new(now));
         }
     }
+}
 
-    /// Broadcast = sum of unicasts in the counters, and the returned time
-    /// dominates every individual arrival.
-    #[test]
-    fn broadcast_matches_unicasts(
-        bytes in 1u64..100_000,
-        now in 0u64..1_000_000,
-    ) {
+/// Broadcast = sum of unicasts in the counters, and the returned time
+/// dominates every individual arrival.
+#[test]
+fn broadcast_matches_unicasts() {
+    let mut rng = SmallRng::seed_from_u64(24);
+    for _ in 0..100 {
+        let bytes = rng.gen_range(1..100_000);
+        let now = rng.gen_range(0..1_000_000);
         let mut f1 = Fabric::new(FabricConfig::new(4, LinkGen::Pcie4));
         let latest = f1
             .broadcast(GpuId::new(0), GpuId::all(4), bytes, Cycle::new(now))
@@ -102,8 +110,8 @@ proptest! {
                 .unwrap();
             max_arrival = max_arrival.max(t.arrived);
         }
-        prop_assert_eq!(latest, max_arrival);
-        prop_assert_eq!(f1.counters().total_bytes(), f2.counters().total_bytes());
-        prop_assert_eq!(f1.counters().total_bytes(), 3 * bytes);
+        assert_eq!(latest, max_arrival);
+        assert_eq!(f1.counters().total_bytes(), f2.counters().total_bytes());
+        assert_eq!(f1.counters().total_bytes(), 3 * bytes);
     }
 }

@@ -99,19 +99,16 @@ impl AccessBitmap {
     pub fn iter_set(&self) -> impl Iterator<Item = Vpn> + '_ {
         let base = self.first_vpn.as_u64();
         let pages = self.pages;
-        self.words
-            .iter()
-            .enumerate()
-            .flat_map(move |(wi, &word)| {
-                (0..64).filter_map(move |b| {
-                    let off = wi as u64 * 64 + b;
-                    if off < pages && word & (1u64 << b) != 0 {
-                        Some(Vpn::new(base + off))
-                    } else {
-                        None
-                    }
-                })
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            (0..64).filter_map(move |b| {
+                let off = wi as u64 * 64 + b;
+                if off < pages && word & (1u64 << b) != 0 {
+                    Some(Vpn::new(base + off))
+                } else {
+                    None
+                }
             })
+        })
     }
 
     /// Iterates over the VPNs whose bits are clear (pages never touched

@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::{GpsError, GpuId, Ppn, Result, Vpn};
 
 /// A wide GPS page-table entry: the physical page address of every
@@ -12,7 +10,7 @@ use gps_types::{GpsError, GpuId, Ppn, Result, Vpn};
 /// The paper sizes the entry at GPU initialisation based on GPU count; with
 /// 64 KB pages, a 33-bit VPN and 31-bit PPNs, a 4-GPU entry is 126 bits.
 /// [`GpsPte::bits`] reproduces that arithmetic.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GpsPte {
     /// `(subscriber, local replica frame)` pairs, kept sorted by GPU id.
     replicas: Vec<(GpuId, Ppn)>,
@@ -142,7 +140,10 @@ impl GpsPageTable {
     ///   paper requires at least one subscriber to survive (§4).
     /// * [`GpsError::Subscription`] if `gpu` does not subscribe to `vpn`.
     pub fn unsubscribe(&mut self, vpn: Vpn, gpu: GpuId) -> Result<Ppn> {
-        let entry = self.entries.get_mut(&vpn).ok_or(GpsError::Unmapped { vpn })?;
+        let entry = self
+            .entries
+            .get_mut(&vpn)
+            .ok_or(GpsError::Unmapped { vpn })?;
         if !entry.is_subscriber(gpu) {
             return Err(GpsError::Subscription {
                 reason: format!("{gpu} does not subscribe to {vpn}"),
@@ -212,10 +213,7 @@ mod tests {
             e.add_replica(GpuId::new(g), Ppn::new(g as u64));
         }
         let remotes: Vec<_> = e.remote_replicas(GpuId::new(1)).map(|(g, _)| g).collect();
-        assert_eq!(
-            remotes,
-            vec![GpuId::new(0), GpuId::new(2), GpuId::new(3)]
-        );
+        assert_eq!(remotes, vec![GpuId::new(0), GpuId::new(2), GpuId::new(3)]);
     }
 
     #[test]
@@ -253,7 +251,10 @@ mod tests {
         let mut t = GpsPageTable::new();
         t.subscribe(Vpn::new(5), GpuId::new(0), Ppn::new(7));
         t.subscribe(Vpn::new(5), GpuId::new(1), Ppn::new(8));
-        assert_eq!(t.unsubscribe(Vpn::new(5), GpuId::new(0)).unwrap(), Ppn::new(7));
+        assert_eq!(
+            t.unsubscribe(Vpn::new(5), GpuId::new(0)).unwrap(),
+            Ppn::new(7)
+        );
         assert_eq!(t.entry(Vpn::new(5)).unwrap().subscriber_count(), 1);
     }
 

@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::{GpsError, GpuId, PageSize, Ppn, Result, Vpn};
 
 /// A conventional page table entry, extended with the single re-purposed
@@ -14,7 +12,7 @@ use gps_types::{GpsError, GpuId, PageSize, Ppn, Result, Vpn};
 /// subscribes to the page, or to a remote subscriber's physical memory when
 /// it does not. The GPS bit tells store hardware to also forward the write
 /// to the GPS unit for replication.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pte {
     /// The GPU whose physical memory backs this translation.
     pub location: GpuId,
@@ -222,7 +220,8 @@ mod tests {
     fn redirect_moves_backing_store() {
         let mut pt = table();
         pt.map(Vpn::new(4), Pte::gps(GpuId::new(0), Ppn::new(10)));
-        pt.redirect(Vpn::new(4), GpuId::new(3), Ppn::new(20)).unwrap();
+        pt.redirect(Vpn::new(4), GpuId::new(3), Ppn::new(20))
+            .unwrap();
         let pte = pt.translate(Vpn::new(4)).unwrap();
         assert_eq!(pte.location, GpuId::new(3));
         assert_eq!(pte.ppn, Ppn::new(20));

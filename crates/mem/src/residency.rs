@@ -158,8 +158,7 @@ impl ResidencyMap {
                     let from = state.owner;
                     // The writer's own stale replica (if any) is upgraded,
                     // not shot down; every other copy is invalidated.
-                    let invalidated =
-                        1 + state.readers.iter().filter(|&&r| r != gpu).count();
+                    let invalidated = 1 + state.readers.iter().filter(|&&r| r != gpu).count();
                     state.owner = gpu;
                     state.readers.clear();
                     CollapseOutcome::Migrated { from, invalidated }
@@ -232,7 +231,10 @@ mod tests {
         m.place(P, G0);
         m.read_duplicate(P, G1);
         m.read_duplicate(P, G2);
-        assert_eq!(m.write(P, G0), CollapseOutcome::Collapsed { invalidated: 2 });
+        assert_eq!(
+            m.write(P, G0),
+            CollapseOutcome::Collapsed { invalidated: 2 }
+        );
         assert_eq!(m.state(P).unwrap().copies(), 1);
     }
 

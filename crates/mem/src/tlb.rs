@@ -1,7 +1,5 @@
 //! A generic set-associative, LRU translation lookaside buffer.
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::{GpsError, Result, Vpn};
 
 /// Geometry of a [`Tlb`].
@@ -10,7 +8,7 @@ use gps_types::{GpsError, Result, Vpn};
 /// (i.e. 4 sets); [`TlbConfig::gps_tlb`] builds exactly that. The
 /// conventional last-level GPU TLB is much larger
 /// ([`TlbConfig::conventional_l2_tlb`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of sets; must be a power of two.
     pub sets: usize,
@@ -27,10 +25,7 @@ impl TlbConfig {
     /// A conventional last-level GPU TLB (thousands of entries; the paper
     /// cites GPU last-level TLBs "sized to provide full coverage").
     pub const fn conventional_l2_tlb() -> Self {
-        Self {
-            sets: 512,
-            ways: 8,
-        }
+        Self { sets: 512, ways: 8 }
     }
 
     /// Total entry count.
@@ -179,7 +174,10 @@ impl<T> Tlb<T> {
     /// Checks for `vpn` without disturbing recency or counters.
     pub fn peek(&self, vpn: Vpn) -> Option<&T> {
         let set = self.set_index(vpn);
-        self.sets[set].iter().find(|e| e.vpn == vpn).map(|e| &e.payload)
+        self.sets[set]
+            .iter()
+            .find(|e| e.vpn == vpn)
+            .map(|e| &e.payload)
     }
 
     /// Inserts (or refreshes) the translation for `vpn`, evicting the
@@ -284,7 +282,7 @@ mod tests {
         tlb.insert(Vpn::new(2), 2); // set 0
         tlb.insert(Vpn::new(1), 1); // set 1
         tlb.insert(Vpn::new(3), 3); // set 1
-        // All four fit: 2 sets x 2 ways.
+                                    // All four fit: 2 sets x 2 ways.
         assert_eq!(tlb.len(), 4);
     }
 

@@ -1,7 +1,5 @@
 //! Allocation of ranges in the shared multi-GPU virtual address space.
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::{GpsError, LineAddr, PageSize, Result, VirtAddr, Vpn, CACHE_LINE_BYTES};
 
 /// A contiguous, page-aligned range of virtual addresses returned by
@@ -18,7 +16,7 @@ use gps_types::{GpsError, LineAddr, PageSize, Result, VirtAddr, Vpn, CACHE_LINE_
 /// assert!(r.contains(r.base()));
 /// # Ok::<(), gps_types::GpsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VaRange {
     base: VirtAddr,
     bytes: u64,

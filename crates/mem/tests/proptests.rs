@@ -1,126 +1,134 @@
-//! Property-based tests of the memory substrate.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Randomised (deterministically seeded) tests of the memory substrate.
+//! Each test replays scripted operation sequences generated from a fixed
+//! seed against a simple reference model.
 
 use gps_mem::{
     AccessBitmap, FrameAllocator, GpsPageTable, PageTable, Pte, ResidencyMap, Tlb, TlbConfig,
     VaSpace,
 };
+use gps_types::rng::SmallRng;
 use gps_types::{GpuId, PageSize, Ppn, VirtAddr, Vpn};
 
-proptest! {
-    /// VA allocations never overlap and are always page-aligned.
-    #[test]
-    fn va_allocations_are_disjoint_and_aligned(
-        sizes in vec(1u64..4 * 1024 * 1024, 1..40),
-    ) {
+/// VA allocations never overlap and are always page-aligned.
+#[test]
+fn va_allocations_are_disjoint_and_aligned() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for _ in 0..30 {
         let mut space = VaSpace::new(PageSize::Standard64K);
         let mut ranges = Vec::new();
-        for bytes in sizes {
+        for _ in 0..rng.gen_range(1..40) {
+            let bytes = rng.gen_range(1..4 * 1024 * 1024);
             let r = space.allocate(bytes).unwrap();
-            prop_assert!(r.base().is_aligned(65536));
-            prop_assert!(r.bytes() >= bytes);
-            prop_assert!(r.bytes().is_multiple_of(65536));
+            assert!(r.base().is_aligned(65536));
+            assert!(r.bytes() >= bytes);
+            assert!(r.bytes().is_multiple_of(65536));
             for prev in &ranges {
-                prop_assert!(disjoint(prev, &r));
+                assert!(disjoint(prev, &r));
             }
             ranges.push(r);
         }
         // Every byte belongs to at most one range.
         for r in &ranges {
-            prop_assert_eq!(space.range_of(r.base()), Some(r));
+            assert_eq!(space.range_of(r.base()), Some(r));
         }
     }
+}
 
-    /// Page-table map/unmap behaves like a map.
-    #[test]
-    fn page_table_matches_reference_model(
-        ops in vec((0u64..128, 0u64..1 << 20, prop::bool::ANY), 1..200),
-    ) {
+/// Page-table map/unmap behaves like a map.
+#[test]
+fn page_table_matches_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    for _ in 0..30 {
         let mut pt = PageTable::new(GpuId::new(0), PageSize::Standard64K);
         let mut model = std::collections::HashMap::new();
-        for (vpn, ppn, unmap) in ops {
-            let vpn = Vpn::new(vpn);
-            if unmap {
-                prop_assert_eq!(pt.unmap(vpn), model.remove(&vpn));
+        for _ in 0..rng.gen_range(1..200) {
+            let vpn = Vpn::new(rng.gen_range(0..128));
+            let ppn = rng.gen_range(0..1 << 20);
+            if rng.gen_bool(0.5) {
+                assert_eq!(pt.unmap(vpn), model.remove(&vpn));
             } else {
                 let pte = Pte::conventional(GpuId::new(0), Ppn::new(ppn));
-                prop_assert_eq!(pt.map(vpn, pte), model.insert(vpn, pte));
+                assert_eq!(pt.map(vpn, pte), model.insert(vpn, pte));
             }
-            prop_assert_eq!(pt.len(), model.len());
+            assert_eq!(pt.len(), model.len());
         }
         for (vpn, pte) in &model {
-            prop_assert_eq!(pt.translate(*vpn), Some(*pte));
+            assert_eq!(pt.translate(*vpn), Some(*pte));
         }
     }
+}
 
-    /// The TLB is a strict subset of what was inserted, never exceeds its
-    /// capacity, and always contains the most recently inserted entry.
-    #[test]
-    fn tlb_capacity_and_recency(
-        inserts in vec(0u64..4096, 1..300),
-    ) {
+/// The TLB is a strict subset of what was inserted, never exceeds its
+/// capacity, and always contains the most recently inserted entry.
+#[test]
+fn tlb_capacity_and_recency() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    for _ in 0..30 {
         let cfg = TlbConfig { sets: 8, ways: 4 };
         let mut tlb: Tlb<u64> = Tlb::new(cfg);
         let mut inserted = std::collections::HashSet::new();
-        for (i, vpn) in inserts.iter().enumerate() {
-            tlb.insert(Vpn::new(*vpn), i as u64);
-            inserted.insert(*vpn);
-            prop_assert!(tlb.len() <= cfg.entries());
+        for i in 0..rng.gen_range(1..300) {
+            let vpn = rng.gen_range(0..4096);
+            tlb.insert(Vpn::new(vpn), i);
+            inserted.insert(vpn);
+            assert!(tlb.len() <= cfg.entries());
             // The just-inserted entry must be resident with the new payload.
-            prop_assert_eq!(tlb.peek(Vpn::new(*vpn)), Some(&(i as u64)));
+            assert_eq!(tlb.peek(Vpn::new(vpn)), Some(&i));
         }
         // Nothing resident that was never inserted.
         for vpn in 0u64..4096 {
             if tlb.peek(Vpn::new(vpn)).is_some() {
-                prop_assert!(inserted.contains(&vpn));
+                assert!(inserted.contains(&vpn));
             }
         }
     }
+}
 
-    /// Frame allocator never double-allocates and frees restore capacity.
-    #[test]
-    fn frame_allocator_is_sound(
-        script in vec(prop::bool::ANY, 1..300),
-    ) {
+/// Frame allocator never double-allocates and frees restore capacity.
+#[test]
+fn frame_allocator_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(14);
+    for _ in 0..30 {
         let mut fa = FrameAllocator::new(GpuId::new(0), 64 * 65536, PageSize::Standard64K);
         let mut live = std::collections::HashSet::new();
-        for do_alloc in script {
-            if do_alloc || live.is_empty() {
+        for _ in 0..rng.gen_range(1..300) {
+            if rng.gen_bool(0.5) || live.is_empty() {
                 match fa.allocate() {
-                    Ok(ppn) => prop_assert!(live.insert(ppn), "double allocation"),
-                    Err(_) => prop_assert_eq!(live.len() as u64, fa.total_pages()),
+                    Ok(ppn) => assert!(live.insert(ppn), "double allocation"),
+                    Err(_) => assert_eq!(live.len() as u64, fa.total_pages()),
                 }
             } else {
                 let &ppn = live.iter().next().unwrap();
                 live.remove(&ppn);
                 fa.free(ppn);
             }
-            prop_assert_eq!(fa.allocated_pages() as usize, live.len());
+            assert_eq!(fa.allocated_pages() as usize, live.len());
         }
     }
+}
 
-    /// GPS page table: subscriber sets match a reference model and the
-    /// last-subscriber invariant holds under arbitrary scripts.
-    #[test]
-    fn gps_page_table_invariants(
-        ops in vec((0u64..32, 0u16..4, prop::bool::ANY), 1..300),
-    ) {
+/// GPS page table: subscriber sets match a reference model and the
+/// last-subscriber invariant holds under arbitrary scripts.
+#[test]
+fn gps_page_table_invariants() {
+    let mut rng = SmallRng::seed_from_u64(15);
+    for _ in 0..30 {
         let mut table = GpsPageTable::new();
         let mut model: std::collections::HashMap<u64, std::collections::BTreeSet<u16>> =
             std::collections::HashMap::new();
-        for (vpn, gpu, unsub) in ops {
+        for _ in 0..rng.gen_range(1..300) {
+            let vpn = rng.gen_range(0..32);
+            let gpu = rng.gen_range(0..4) as u16;
             let v = Vpn::new(vpn);
             let g = GpuId::new(gpu);
-            if unsub {
+            if rng.gen_bool(0.5) {
                 let res = table.unsubscribe(v, g);
                 let entry = model.entry(vpn).or_default();
                 if entry.contains(&gpu) && entry.len() > 1 {
-                    prop_assert!(res.is_ok());
+                    assert!(res.is_ok());
                     entry.remove(&gpu);
                 } else {
-                    prop_assert!(res.is_err());
+                    assert!(res.is_err());
                 }
             } else {
                 table.subscribe(v, g, Ppn::new(vpn));
@@ -128,60 +136,60 @@ proptest! {
             }
             // Invariant: every page that exists has >= 1 subscriber.
             if let Some(e) = table.entry(v) {
-                prop_assert!(e.subscriber_count() >= 1);
+                assert!(e.subscriber_count() >= 1);
                 let got: Vec<u16> = e.subscribers().map(|g| g.raw()).collect();
                 let want: Vec<u16> = model[&vpn].iter().copied().collect();
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want);
             }
         }
     }
+}
 
-    /// Access bitmap: set/get matches a reference set, count matches.
-    #[test]
-    fn bitmap_matches_reference(
-        base in 0u64..1000,
-        pages in 1u64..300,
-        touches in vec(0u64..1500, 0..200),
-    ) {
+/// Access bitmap: set/get matches a reference set, count matches.
+#[test]
+fn bitmap_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(16);
+    for _ in 0..50 {
+        let base = rng.gen_range(0..1000);
+        let pages = rng.gen_range(1..300);
         let mut bm = AccessBitmap::new(Vpn::new(base), pages);
         let mut model = std::collections::BTreeSet::new();
-        for t in touches {
+        for _ in 0..rng.gen_range(0..200) {
+            let t = rng.gen_range(0..1500);
             bm.set(Vpn::new(t));
             if t >= base && t < base + pages {
                 model.insert(t);
             }
         }
-        prop_assert_eq!(bm.count_set(), model.len() as u64);
+        assert_eq!(bm.count_set(), model.len() as u64);
         let got: Vec<u64> = bm.iter_set().map(|v| v.as_u64()).collect();
         let want: Vec<u64> = model.iter().copied().collect();
-        prop_assert_eq!(got, want);
-        prop_assert_eq!(
-            bm.iter_clear().count() as u64,
-            pages - model.len() as u64
-        );
+        assert_eq!(got, want);
+        assert_eq!(bm.iter_clear().count() as u64, pages - model.len() as u64);
     }
+}
 
-    /// UM residency: exactly one owner at all times; a writer always ends
-    /// up owning the page; readable_by(owner) always holds.
-    #[test]
-    fn residency_owner_is_unique_and_writers_own(
-        ops in vec((0u64..16, 0u16..4, prop::bool::ANY), 1..200),
-    ) {
+/// UM residency: exactly one owner at all times; a writer always ends up
+/// owning the page; readable_by(owner) always holds.
+#[test]
+fn residency_owner_is_unique_and_writers_own() {
+    let mut rng = SmallRng::seed_from_u64(17);
+    for _ in 0..30 {
         let mut m = ResidencyMap::new();
-        for (vpn, gpu, write) in ops {
-            let v = Vpn::new(vpn);
-            let g = GpuId::new(gpu);
-            if write {
+        for _ in 0..rng.gen_range(1..200) {
+            let v = Vpn::new(rng.gen_range(0..16));
+            let g = GpuId::new(rng.gen_range(0..4) as u16);
+            if rng.gen_bool(0.5) {
                 m.write(v, g);
-                prop_assert_eq!(m.state(v).unwrap().owner, g);
+                assert_eq!(m.state(v).unwrap().owner, g);
             } else {
                 m.read_migrate(v, g);
-                prop_assert!(m.state(v).unwrap().readable_by(g));
+                assert!(m.state(v).unwrap().readable_by(g));
             }
             let s = m.state(v).unwrap();
-            prop_assert!(s.readable_by(s.owner));
+            assert!(s.readable_by(s.owner));
             // Owner never appears in its own reader list.
-            prop_assert!(!s.readers.contains(&s.owner));
+            assert!(!s.readers.contains(&s.owner));
         }
     }
 }

@@ -3,12 +3,10 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use gps_types::{GpsError, Latency};
 
 /// The paradigms compared throughout the evaluation (Figures 1, 8, 10-13).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Paradigm {
     /// Unified Memory without hints: fault-based migration.
     Um,
@@ -91,7 +89,7 @@ impl FromStr for Paradigm {
 /// GPU page-fault servicing is tens of microseconds (§2.1: "the page fault
 /// handling overheads are often performance prohibitive"); TLB shootdowns
 /// for collapsing replicated pages are cheaper but far from free (§7.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultCosts {
     /// Fixed cost of servicing one GPU page fault (driver round trip,
     /// unmap, remap), excluding the data transfer.

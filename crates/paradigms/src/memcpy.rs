@@ -158,14 +158,18 @@ mod tests {
             gpu: G0,
             cta_count: 1,
             warps_per_cta: 1,
-            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| vec![gps_sim::WarpInstr::Compute(1)]),
+            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| {
+                vec![gps_sim::WarpInstr::Compute(1)]
+            }),
         }]);
         b.phase(vec![gps_sim::KernelSpec {
             name: "k2".into(),
             gpu: G0,
             cta_count: 1,
             warps_per_cta: 1,
-            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| vec![gps_sim::WarpInstr::Compute(1)]),
+            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| {
+                vec![gps_sim::WarpInstr::Compute(1)]
+            }),
         }]);
         let wl = b.build(1).unwrap();
         let mut p = MemcpyPolicy::new();
@@ -197,7 +201,11 @@ mod tests {
             p.route_store(G0, sline(0), Scope::Weak, &mut c),
             StoreRoute::Local
         );
-        assert_eq!(c.fabric.counters().total_bytes(), 0, "no kernel-time traffic");
+        assert_eq!(
+            c.fabric.counters().total_bytes(),
+            0,
+            "no kernel-time traffic"
+        );
     }
 
     #[test]

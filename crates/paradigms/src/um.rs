@@ -52,13 +52,7 @@ impl UmPolicy {
 
     /// Books the fault-plus-migration for `vpn` moving from `from` to
     /// `gpu`; returns when the warp may retry.
-    fn fault(
-        &mut self,
-        gpu: GpuId,
-        vpn: Vpn,
-        from: Option<GpuId>,
-        ctx: &mut MemCtx<'_>,
-    ) -> Cycle {
+    fn fault(&mut self, gpu: GpuId, vpn: Vpn, from: Option<GpuId>, ctx: &mut MemCtx<'_>) -> Cycle {
         if let Some(&ready) = self.inflight.get(&vpn) {
             if ready > ctx.now {
                 // Piggyback on the in-flight migration.
@@ -172,7 +166,9 @@ mod tests {
             gpu: GpuId::new(0),
             cta_count: 1,
             warps_per_cta: 1,
-            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| vec![gps_sim::WarpInstr::Compute(1)]),
+            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| {
+                vec![gps_sim::WarpInstr::Compute(1)]
+            }),
         }]);
         let wl = b.build(1).unwrap();
         let mut p = UmPolicy::new();

@@ -250,7 +250,9 @@ mod tests {
             gpu: G0,
             cta_count: 1,
             warps_per_cta: 1,
-            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| vec![gps_sim::WarpInstr::Compute(1)]),
+            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| {
+                vec![gps_sim::WarpInstr::Compute(1)]
+            }),
         }
     }
 

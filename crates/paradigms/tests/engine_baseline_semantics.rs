@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use gps_interconnect::LinkGen;
 use gps_paradigms::{make_policy, Paradigm};
-use gps_sim::{Engine, KernelSpec, SimConfig, SimReport, WarpCtx, WarpInstr, Workload,
-              WorkloadBuilder};
+use gps_sim::{
+    Engine, KernelSpec, SimConfig, SimReport, WarpCtx, WarpInstr, Workload, WorkloadBuilder,
+};
 use gps_types::{GpuId, LineRange, PageSize};
 
 fn kernel(
@@ -31,7 +32,10 @@ fn producer_consumer(iters: usize) -> (Workload, gps_mem::VaRange) {
     let line = d.base().line();
     for _ in 0..iters {
         b.phase(vec![kernel(0, move |_: WarpCtx| {
-            vec![WarpInstr::Store(LineRange::contiguous(line, 64), gps_types::Scope::Weak)]
+            vec![WarpInstr::Store(
+                LineRange::contiguous(line, 64),
+                gps_types::Scope::Weak,
+            )]
         })]);
         b.phase(vec![kernel(1, move |_: WarpCtx| {
             vec![WarpInstr::Load(LineRange::contiguous(line, 64))]
@@ -42,9 +46,14 @@ fn producer_consumer(iters: usize) -> (Workload, gps_mem::VaRange) {
 
 fn run(paradigm: Paradigm, wl: &Workload) -> SimReport {
     let mut policy = make_policy(paradigm);
-    Engine::new(SimConfig::gv100_system(2), LinkGen::Pcie3, wl, policy.as_mut())
-        .unwrap()
-        .run()
+    Engine::new(
+        SimConfig::gv100_system(2),
+        LinkGen::Pcie3,
+        wl,
+        policy.as_mut(),
+    )
+    .unwrap()
+    .run()
 }
 
 #[test]

@@ -1,7 +1,5 @@
 //! Machine and timing configuration (Table 1 plus timing constants).
 
-use serde::{Deserialize, Serialize};
-
 use gps_interconnect::Topology;
 use gps_types::{Bandwidth, GpsError, Latency, PageSize, Result, GIB, KIB, MIB};
 
@@ -12,7 +10,7 @@ use gps_types::{Bandwidth, GpsError, Latency, PageSize, Result, GIB, KIB, MIB};
 /// 16 GB of global memory — augmented with the timing constants a
 /// system-level simulator needs (latencies, DRAM bandwidth, launch
 /// overheads), chosen to match public V100 microbenchmark numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Streaming multiprocessors per GPU (Table 1: 80).
     pub sms: usize,
@@ -144,7 +142,7 @@ impl Default for GpuConfig {
 /// Full simulation configuration: the machine an [`Engine`] models.
 ///
 /// [`Engine`]: crate::Engine
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Number of GPUs.
     pub gpu_count: usize,

@@ -29,9 +29,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use gps_interconnect::{Fabric, FabricConfig, LinkGen};
 use gps_mem::{Tlb, TlbConfig};
-use gps_types::{
-    Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES,
-};
+use gps_types::{Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES};
 
 use crate::cache::{Cache, CacheConfig, Lookup};
 use crate::config::SimConfig;
@@ -514,7 +512,15 @@ impl<'a> Engine<'a> {
                 for (i, line) in range.iter().enumerate() {
                     let t = Cycle::new(issue.as_u64() + i as u64);
                     let arrival = Self::load_line(
-                        self.policy, gcfg, page_size, gpus, fabric, g, w.sm, line, t,
+                        self.policy,
+                        gcfg,
+                        page_size,
+                        gpus,
+                        fabric,
+                        g,
+                        w.sm,
+                        line,
+                        t,
                     );
                     ready = ready.max(arrival);
                 }
@@ -527,7 +533,16 @@ impl<'a> Engine<'a> {
                 for (i, line) in range.iter().enumerate() {
                     let t = Cycle::new(issue.as_u64() + i as u64);
                     if let Some(stall) = Self::store_line(
-                        self.policy, gcfg, page_size, gpus, fabric, g, w.sm, line, scope, t,
+                        self.policy,
+                        gcfg,
+                        page_size,
+                        gpus,
+                        fabric,
+                        g,
+                        w.sm,
+                        line,
+                        scope,
+                        t,
                         false,
                     ) {
                         ready = ready.max(stall);
@@ -540,7 +555,16 @@ impl<'a> Engine<'a> {
                 gpus[g].sm_issue[w.sm] = Cycle::new(issue.as_u64() + 1);
                 let mut ready = Cycle::new(issue.as_u64() + 1);
                 if let Some(stall) = Self::store_line(
-                    self.policy, gcfg, page_size, gpus, fabric, g, w.sm, line, Scope::Gpu, issue,
+                    self.policy,
+                    gcfg,
+                    page_size,
+                    gpus,
+                    fabric,
+                    g,
+                    w.sm,
+                    line,
+                    Scope::Gpu,
+                    issue,
                     true,
                 ) {
                     ready = ready.max(stall);
@@ -727,10 +751,7 @@ impl<'a> Engine<'a> {
 
     /// Write-validate L2 store path.
     fn l2_write(gpus: &mut [GpuState], g: usize, line: LineAddr, home: GpuId, t: Cycle) {
-        if let Lookup::Miss {
-            evicted: Some(e),
-        } = gpus[g].l2.access_write(line, home)
-        {
+        if let Lookup::Miss { evicted: Some(e) } = gpus[g].l2.access_write(line, home) {
             if e.dirty {
                 gpus[g].dram.write(CACHE_LINE_BYTES, t);
             }

@@ -1,13 +1,11 @@
 //! Simulation results.
 
-use serde::{Deserialize, Serialize};
-
 use gps_interconnect::TrafficCounters;
 use gps_types::Cycle;
 
-/// Serialisable TLB hit/miss counters (mirrors `gps_mem::TlbStats`, which
-/// deliberately stays serde-free).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+/// Plain-data TLB hit/miss counters (mirrors `gps_mem::TlbStats` as a
+/// copyable report value).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbCounts {
     /// Lookups that hit.
     pub hits: u64,
@@ -28,7 +26,7 @@ impl TlbCounts {
 }
 
 /// Per-GPU statistics of one simulation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GpuReport {
     /// Aggregate L1 hits/misses across the GPU's SMs.
     pub l1_hits: u64,
@@ -78,7 +76,11 @@ fn rate(hits: u64, misses: u64) -> f64 {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field (f64 metrics by IEEE equality), which
+/// is what the trace round-trip and determinism tests rely on: two runs of
+/// the same deterministic simulation must produce *bit-identical* reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,
@@ -231,15 +233,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn debug_rendering_includes_policy_metrics() {
         let r = report(42);
-        let json = serde_json_like(&r);
-        assert!(json.contains("rwq_hit_rate"));
-    }
-
-    // serde_json is not a dependency; exercise Serialize via the debug
-    // formatter of the serde data model using a tiny shim.
-    fn serde_json_like(r: &SimReport) -> String {
-        format!("{r:?}")
+        assert!(format!("{r:?}").contains("rwq_hit_rate"));
     }
 }

@@ -30,12 +30,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use gps_mem::VaRange;
-use gps_types::{
-    GpsError, GpuId, LineAddr, LineRange, PageSize, Result, Scope, VirtAddr,
-};
+use gps_types::{GpsError, GpuId, LineAddr, LineRange, PageSize, Result, Scope, VirtAddr};
 
 use crate::instr::{WarpCtx, WarpInstr, WarpProgram};
 use crate::workload::{AllocSpec, KernelSpec, Phase, Workload};
@@ -69,7 +65,31 @@ const VERSION: u32 = 1;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Trace {
-    bytes: Bytes,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// A little-endian reader over a byte slice; every accessor returns `None`
+/// on underrun instead of panicking, so truncated traces parse cleanly
+/// into errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
 }
 
 impl Trace {
@@ -80,29 +100,29 @@ impl Trace {
     /// the result is independent of the generator closures that produced
     /// it.
     pub fn record(workload: &Workload) -> Trace {
-        let mut buf = BytesMut::with_capacity(1 << 20);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u32_le(workload.gpu_count as u32);
-        buf.put_u8(page_size_tag(workload.page_size));
-        buf.put_u32_le(workload.phases_per_iteration as u32);
+        let mut buf = Vec::with_capacity(1 << 20);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(workload.gpu_count as u32).to_le_bytes());
+        buf.push(page_size_tag(workload.page_size));
+        buf.extend_from_slice(&(workload.phases_per_iteration as u32).to_le_bytes());
 
-        buf.put_u32_le(workload.allocs.len() as u32);
+        buf.extend_from_slice(&(workload.allocs.len() as u32).to_le_bytes());
         for alloc in &workload.allocs {
             put_str(&mut buf, &alloc.name);
-            buf.put_u64_le(alloc.range.base().as_u64());
-            buf.put_u64_le(alloc.range.bytes());
-            buf.put_u8(alloc.shared as u8);
+            buf.extend_from_slice(&alloc.range.base().as_u64().to_le_bytes());
+            buf.extend_from_slice(&alloc.range.bytes().to_le_bytes());
+            buf.push(alloc.shared as u8);
         }
 
-        buf.put_u32_le(workload.phases.len() as u32);
+        buf.extend_from_slice(&(workload.phases.len() as u32).to_le_bytes());
         for phase in &workload.phases {
-            buf.put_u32_le(phase.launches.len() as u32);
+            buf.extend_from_slice(&(phase.launches.len() as u32).to_le_bytes());
             for k in &phase.launches {
                 put_str(&mut buf, &k.name);
-                buf.put_u16_le(k.gpu.raw());
-                buf.put_u32_le(k.cta_count);
-                buf.put_u32_le(k.warps_per_cta);
+                buf.extend_from_slice(&k.gpu.raw().to_le_bytes());
+                buf.extend_from_slice(&k.cta_count.to_le_bytes());
+                buf.extend_from_slice(&k.warps_per_cta.to_le_bytes());
                 for cta in 0..k.cta_count {
                     for warp in 0..k.warps_per_cta {
                         let ctx = WarpCtx {
@@ -114,7 +134,7 @@ impl Trace {
                             warps_per_cta: k.warps_per_cta,
                         };
                         let instrs = k.program.warp_instrs(ctx);
-                        buf.put_u32_le(instrs.len() as u32);
+                        buf.extend_from_slice(&(instrs.len() as u32).to_le_bytes());
                         for i in &instrs {
                             put_instr(&mut buf, i);
                         }
@@ -123,7 +143,7 @@ impl Trace {
             }
         }
         Trace {
-            bytes: buf.freeze(),
+            bytes: Arc::new(buf),
         }
     }
 
@@ -133,9 +153,9 @@ impl Trace {
     }
 
     /// Wraps serialised bytes produced by [`Trace::record`].
-    pub fn from_bytes(bytes: impl Into<Bytes>) -> Trace {
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Trace {
         Trace {
-            bytes: bytes.into(),
+            bytes: Arc::new(bytes.into()),
         }
     }
 
@@ -156,13 +176,13 @@ impl Trace {
     /// Returns [`GpsError::Parse`] on malformed input and propagates
     /// workload validation failures.
     pub fn replay(&self, name: impl Into<String>) -> Result<Workload> {
-        let mut buf = self.bytes.clone();
+        let mut buf = Cursor::new(&self.bytes);
         let fail = |what: &'static str| GpsError::Parse {
             what,
             input: "trace".to_owned(),
         };
 
-        if buf.remaining() < 8 || &buf.copy_to_bytes(8)[..] != MAGIC {
+        if buf.take(8) != Some(&MAGIC[..]) {
             return Err(fail("trace magic"));
         }
         if read_u32(&mut buf).ok_or(fail("version"))? != VERSION {
@@ -295,68 +315,68 @@ fn scope_from_tag(t: u8) -> Option<Scope> {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_instr(buf: &mut BytesMut, i: &WarpInstr) {
+fn put_instr(buf: &mut Vec<u8>, i: &WarpInstr) {
     match *i {
         WarpInstr::Compute(c) => {
-            buf.put_u8(0);
-            buf.put_u32_le(c);
+            buf.push(0);
+            buf.extend_from_slice(&c.to_le_bytes());
         }
         WarpInstr::Load(r) => {
-            buf.put_u8(1);
+            buf.push(1);
             put_range(buf, r);
         }
         WarpInstr::Store(r, scope) => {
-            buf.put_u8(2);
+            buf.push(2);
             put_range(buf, r);
-            buf.put_u8(scope_tag(scope));
+            buf.push(scope_tag(scope));
         }
         WarpInstr::Atomic(line) => {
-            buf.put_u8(3);
-            buf.put_u64_le(line.as_u64());
+            buf.push(3);
+            buf.extend_from_slice(&line.as_u64().to_le_bytes());
         }
         WarpInstr::Fence(scope) => {
-            buf.put_u8(4);
-            buf.put_u8(scope_tag(scope));
+            buf.push(4);
+            buf.push(scope_tag(scope));
         }
     }
 }
 
-fn put_range(buf: &mut BytesMut, r: LineRange) {
-    buf.put_u64_le(r.start().as_u64());
-    buf.put_u32_le(r.len());
-    buf.put_u32_le(r.stride());
+fn put_range(buf: &mut Vec<u8>, r: LineRange) {
+    buf.extend_from_slice(&r.start().as_u64().to_le_bytes());
+    buf.extend_from_slice(&r.len().to_le_bytes());
+    buf.extend_from_slice(&r.stride().to_le_bytes());
 }
 
-fn read_u8(buf: &mut Bytes) -> Option<u8> {
-    (buf.remaining() >= 1).then(|| buf.get_u8())
+fn read_u8(buf: &mut Cursor<'_>) -> Option<u8> {
+    buf.take(1).map(|b| b[0])
 }
 
-fn read_u16(buf: &mut Bytes) -> Option<u16> {
-    (buf.remaining() >= 2).then(|| buf.get_u16_le())
+fn read_u16(buf: &mut Cursor<'_>) -> Option<u16> {
+    buf.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
 }
 
-fn read_u32(buf: &mut Bytes) -> Option<u32> {
-    (buf.remaining() >= 4).then(|| buf.get_u32_le())
+fn read_u32(buf: &mut Cursor<'_>) -> Option<u32> {
+    buf.take(4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
 }
 
-fn read_u64(buf: &mut Bytes) -> Option<u64> {
-    (buf.remaining() >= 8).then(|| buf.get_u64_le())
+fn read_u64(buf: &mut Cursor<'_>) -> Option<u64> {
+    buf.take(8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
 }
 
-fn read_str(buf: &mut Bytes) -> Option<String> {
+fn read_str(buf: &mut Cursor<'_>) -> Option<String> {
     let len = read_u32(buf)? as usize;
-    if buf.remaining() < len {
-        return None;
-    }
-    String::from_utf8(buf.copy_to_bytes(len).to_vec()).ok()
+    let raw = buf.take(len)?;
+    String::from_utf8(raw.to_vec()).ok()
 }
 
-fn read_range(buf: &mut Bytes) -> Option<LineRange> {
+fn read_range(buf: &mut Cursor<'_>) -> Option<LineRange> {
     let start = read_u64(buf)?;
     let count = read_u32(buf)?;
     let stride = read_u32(buf)?;
@@ -366,7 +386,7 @@ fn read_range(buf: &mut Bytes) -> Option<LineRange> {
     Some(LineRange::new(LineAddr::new(start), count, stride.max(1)))
 }
 
-fn read_instr(buf: &mut Bytes) -> Option<WarpInstr> {
+fn read_instr(buf: &mut Cursor<'_>) -> Option<WarpInstr> {
     match read_u8(buf)? {
         0 => Some(WarpInstr::Compute(read_u32(buf)?)),
         1 => Some(WarpInstr::Load(read_range(buf)?)),
@@ -478,7 +498,9 @@ mod tests {
     #[test]
     fn malformed_traces_are_rejected() {
         assert!(Trace::from_bytes(vec![]).replay("x").is_err());
-        assert!(Trace::from_bytes(b"NOTATRACE".to_vec()).replay("x").is_err());
+        assert!(Trace::from_bytes(b"NOTATRACE".to_vec())
+            .replay("x")
+            .is_err());
         // Truncated mid-stream.
         let wl = sample_workload();
         let full = Trace::record(&wl);

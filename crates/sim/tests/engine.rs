@@ -9,7 +9,12 @@ use gps_sim::{
 };
 use gps_types::{Cycle, GpuId, LineRange, PageSize, Scope};
 
-fn kernel(gpu: u16, ctas: u32, warps: u32, prog: impl gps_sim::WarpProgram + 'static) -> KernelSpec {
+fn kernel(
+    gpu: u16,
+    ctas: u32,
+    warps: u32,
+    prog: impl gps_sim::WarpProgram + 'static,
+) -> KernelSpec {
     KernelSpec {
         name: format!("k{gpu}"),
         gpu: GpuId::new(gpu),
@@ -30,34 +35,27 @@ fn run(workload: &Workload, gpus: usize, link: LinkGen) -> gps_sim::SimReport {
 /// lines.
 fn streaming_workload(gpus: usize, ctas_per_gpu: u32) -> Workload {
     let mut b = WorkloadBuilder::new("stream", PageSize::Standard64K, gpus);
-    let data = b
-        .alloc_shared("data", 64 * 1024 * 1024)
-        .unwrap();
+    let data = b.alloc_shared("data", 64 * 1024 * 1024).unwrap();
     let base = data.base().line();
     for phase in 0..2 {
         let _ = phase;
         let mut launches = Vec::new();
         for g in 0..gpus {
             let lines_per_warp = 32u64;
-            launches.push(kernel(
-                g as u16,
-                ctas_per_gpu,
-                4,
-                move |ctx: WarpCtx| {
-                    let warp = ctx.global_warp() as u64;
-                    let gpu = ctx.gpu.index() as u64;
-                    let offset = (gpu * 1_000_000 + warp * lines_per_warp) % (512 * 1024 - 64);
-                    let start = base.offset(offset);
-                    vec![
-                        WarpInstr::Load(LineRange::contiguous(start, lines_per_warp as u32)),
-                        WarpInstr::Compute(64),
-                        WarpInstr::Store(
-                            LineRange::contiguous(start, lines_per_warp as u32),
-                            Scope::Weak,
-                        ),
-                    ]
-                },
-            ));
+            launches.push(kernel(g as u16, ctas_per_gpu, 4, move |ctx: WarpCtx| {
+                let warp = ctx.global_warp() as u64;
+                let gpu = ctx.gpu.index() as u64;
+                let offset = (gpu * 1_000_000 + warp * lines_per_warp) % (512 * 1024 - 64);
+                let start = base.offset(offset);
+                vec![
+                    WarpInstr::Load(LineRange::contiguous(start, lines_per_warp as u32)),
+                    WarpInstr::Compute(64),
+                    WarpInstr::Store(
+                        LineRange::contiguous(start, lines_per_warp as u32),
+                        Scope::Weak,
+                    ),
+                ]
+            }));
         }
         b.phase(launches);
     }
@@ -156,7 +154,9 @@ fn engine_rejects_mismatched_gpu_count() {
 fn engine_rejects_mismatched_page_size() {
     let mut b = WorkloadBuilder::new("p4k", PageSize::Small4K, 1);
     b.alloc_shared("d", 4096).unwrap();
-    b.phase(vec![kernel(0, 1, 1, |_: WarpCtx| vec![WarpInstr::Compute(1)])]);
+    b.phase(vec![kernel(0, 1, 1, |_: WarpCtx| {
+        vec![WarpInstr::Compute(1)]
+    })]);
     let wl = b.build(1).unwrap();
     let mut policy = AllLocalPolicy::new();
     let err = Engine::new(SimConfig::gv100_system(1), LinkGen::Pcie3, &wl, &mut policy);
@@ -171,7 +171,12 @@ impl MemoryPolicy for AlwaysRemote {
     fn name(&self) -> &'static str {
         "always-remote"
     }
-    fn route_load(&mut self, gpu: GpuId, _line: gps_types::LineAddr, _ctx: &mut MemCtx<'_>) -> LoadRoute {
+    fn route_load(
+        &mut self,
+        gpu: GpuId,
+        _line: gps_types::LineAddr,
+        _ctx: &mut MemCtx<'_>,
+    ) -> LoadRoute {
         LoadRoute::Remote {
             from: GpuId::new((gpu.index() as u16 + 1) % 2),
         }
@@ -256,7 +261,12 @@ fn fences_invoke_policy() {
         fn name(&self) -> &'static str {
             "fence-counter"
         }
-        fn route_load(&mut self, _: GpuId, _: gps_types::LineAddr, _: &mut MemCtx<'_>) -> LoadRoute {
+        fn route_load(
+            &mut self,
+            _: GpuId,
+            _: gps_types::LineAddr,
+            _: &mut MemCtx<'_>,
+        ) -> LoadRoute {
             LoadRoute::Local
         }
         fn route_store(
@@ -297,7 +307,12 @@ fn atomics_follow_the_atomic_route() {
         fn name(&self) -> &'static str {
             "atomic-counter"
         }
-        fn route_load(&mut self, _: GpuId, _: gps_types::LineAddr, _: &mut MemCtx<'_>) -> LoadRoute {
+        fn route_load(
+            &mut self,
+            _: GpuId,
+            _: gps_types::LineAddr,
+            _: &mut MemCtx<'_>,
+        ) -> LoadRoute {
             LoadRoute::Local
         }
         fn route_store(
@@ -346,7 +361,12 @@ fn stall_then_local_delays_the_warp() {
         fn name(&self) -> &'static str {
             "fault-once"
         }
-        fn route_load(&mut self, _: GpuId, _: gps_types::LineAddr, ctx: &mut MemCtx<'_>) -> LoadRoute {
+        fn route_load(
+            &mut self,
+            _: GpuId,
+            _: gps_types::LineAddr,
+            ctx: &mut MemCtx<'_>,
+        ) -> LoadRoute {
             if self.faulted {
                 LoadRoute::Local
             } else {
@@ -376,9 +396,14 @@ fn stall_then_local_delays_the_warp() {
     let wl = b.build(1).unwrap();
 
     let mut faulting = FaultOnce { faulted: false };
-    let r_fault = Engine::new(SimConfig::gv100_system(1), LinkGen::Pcie3, &wl, &mut faulting)
-        .unwrap()
-        .run();
+    let r_fault = Engine::new(
+        SimConfig::gv100_system(1),
+        LinkGen::Pcie3,
+        &wl,
+        &mut faulting,
+    )
+    .unwrap()
+    .run();
     let mut clean = AllLocalPolicy::new();
     let r_clean = Engine::new(SimConfig::gv100_system(1), LinkGen::Pcie3, &wl, &mut clean)
         .unwrap()
@@ -402,7 +427,12 @@ fn tlb_misses_reach_the_policy_once_per_page() {
         fn name(&self) -> &'static str {
             "tlb-spy"
         }
-        fn route_load(&mut self, _: GpuId, _: gps_types::LineAddr, _: &mut MemCtx<'_>) -> LoadRoute {
+        fn route_load(
+            &mut self,
+            _: GpuId,
+            _: gps_types::LineAddr,
+            _: &mut MemCtx<'_>,
+        ) -> LoadRoute {
             LoadRoute::Local
         }
         fn route_store(
@@ -466,8 +496,7 @@ fn cta_waves_respect_residency_limits() {
     };
     let one_wave = run(&build(500), 1, LinkGen::Pcie3);
     let four_waves = run(&build(2000), 1, LinkGen::Pcie3);
-    let ratio =
-        four_waves.total_cycles.as_u64() as f64 / one_wave.total_cycles.as_u64() as f64;
+    let ratio = four_waves.total_cycles.as_u64() as f64 / one_wave.total_cycles.as_u64() as f64;
     assert!(ratio > 3.0, "expected ~4x the issue work, got {ratio}");
 }
 

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::page::PageSize;
 
 /// Cache block size in bytes (Table 1: 128 bytes).
@@ -18,7 +16,6 @@ macro_rules! byte_addr {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(u64);
 
@@ -171,9 +168,7 @@ impl PhysAddr {
 ///
 /// The GPS remote write queue is virtually addressed at cache-block
 /// granularity (§5.2), so line indices are the unit of coalescing.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -227,9 +222,7 @@ impl From<LineAddr> for u64 {
 }
 
 /// A virtual page number: a [`VirtAddr`] shifted right by the page shift.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Vpn(u64);
 
 impl Vpn {
@@ -271,9 +264,7 @@ impl fmt::Display for Vpn {
 }
 
 /// A physical page number: a [`PhysAddr`] shifted right by the page shift.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ppn(u64);
 
 impl Ppn {
@@ -380,9 +371,6 @@ mod tests {
 
     #[test]
     fn ppn_base() {
-        assert_eq!(
-            Ppn::new(7).base(PageSize::Standard64K).as_u64(),
-            7 * 65536
-        );
+        assert_eq!(Ppn::new(7).base(PageSize::Standard64K).as_u64(), 7 * 65536);
     }
 }

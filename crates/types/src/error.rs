@@ -97,10 +97,16 @@ impl fmt::Display for GpsError {
             }
             GpsError::Unmapped { vpn } => write!(f, "{vpn} is not mapped by any allocation"),
             GpsError::OutOfMemory { gpu, requested } => {
-                write!(f, "{gpu} is out of physical memory ({requested} bytes requested)")
+                write!(
+                    f,
+                    "{gpu} is out of physical memory ({requested} bytes requested)"
+                )
             }
             GpsError::OutOfAddressSpace { requested } => {
-                write!(f, "virtual address space exhausted ({requested} bytes requested)")
+                write!(
+                    f,
+                    "virtual address space exhausted ({requested} bytes requested)"
+                )
             }
             GpsError::InvalidRange { reason } => write!(f, "invalid range: {reason}"),
             GpsError::Subscription { reason } => write!(f, "subscription error: {reason}"),

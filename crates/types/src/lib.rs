@@ -11,8 +11,8 @@
 //! ([`Cycle`], [`Bandwidth`], [`Latency`]).
 //!
 //! Everything here is a plain data type: cheap to copy, `Send + Sync`,
-//! totally ordered where that is meaningful, and serialisable so that
-//! experiment results can be persisted by the benchmark harness.
+//! and totally ordered where that is meaningful, so experiment results
+//! built from them can be persisted by the harness.
 //!
 //! # Example
 //!
@@ -34,6 +34,7 @@ mod error;
 mod ids;
 mod mem_op;
 mod page;
+pub mod rng;
 mod scope;
 mod units;
 

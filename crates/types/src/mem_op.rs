@@ -3,12 +3,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::LineAddr;
 
 /// The kind of a coalesced memory access observed by a memory policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A read of one cache line.
     Load,
@@ -53,7 +51,7 @@ impl fmt::Display for AccessKind {
 /// assert_eq!(lines, vec![100, 102, 104, 106]);
 /// assert_eq!(r.len(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LineRange {
     start: LineAddr,
     count: u32,

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::GpsError;
 
 /// The three page sizes evaluated in the paper's page-size sensitivity study.
@@ -20,9 +18,7 @@ use crate::error::GpsError;
 /// assert_eq!(PageSize::Standard64K.lines(), 512);
 /// assert_eq!(PageSize::default(), PageSize::Standard64K);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum PageSize {
     /// 4 KiB pages: least false sharing, most TLB pressure.
     Small4K,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The scope of a memory access or fence, following the NVIDIA PTX memory
 /// consistency model.
 ///
@@ -23,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Scope::Sys.is_coalescable());
 /// assert!(Scope::Sys >= Scope::Gpu);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Scope {
     /// A weak access: no ordering or visibility requirement beyond
     /// same-address, same-thread rules.

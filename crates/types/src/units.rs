@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// One kibibyte.
 pub const KIB: u64 = 1024;
 /// One mebibyte.
@@ -20,9 +18,7 @@ pub const GIB: u64 = 1024 * MIB;
 pub const CYCLES_PER_SECOND: u64 = 1_000_000_000;
 
 /// A point in simulated time, measured in model cycles (1 cycle = 1 ns).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -101,9 +97,7 @@ impl From<Cycle> for u64 {
 }
 
 /// A duration, measured in model cycles (1 cycle = 1 ns).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Latency(u64);
 
 impl Latency {
@@ -181,7 +175,7 @@ impl From<u64> for Latency {
 /// // Transferring 1600 bytes takes 100 cycles at 16 B/cy.
 /// assert_eq!(bw.cycles_for_bytes(1600), 100);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {

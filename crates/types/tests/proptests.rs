@@ -1,81 +1,104 @@
-//! Property-based tests of the address/page arithmetic.
+//! Randomised (deterministically seeded) tests of the address/page
+//! arithmetic. Each test sweeps a few hundred generated cases from a fixed
+//! seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
-
+use gps_types::rng::SmallRng;
 use gps_types::{Bandwidth, LineAddr, LineRange, PageSize, VirtAddr, CACHE_LINE_BYTES};
 
-proptest! {
-    /// Byte -> line -> page decomposition is consistent for every page
-    /// size: the page of the line equals the page of the byte, and line
-    /// bases round-trip.
-    #[test]
-    fn address_decomposition_is_consistent(addr in 0u64..(1 << 49)) {
+/// Byte -> line -> page decomposition is consistent for every page size:
+/// the page of the line equals the page of the byte, and line bases
+/// round-trip.
+#[test]
+fn address_decomposition_is_consistent() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for _ in 0..400 {
+        let addr = rng.gen_range(0..1 << 49);
         let va = VirtAddr::new(addr);
         let line = va.line();
-        prop_assert!(line.base().as_u64() <= addr);
-        prop_assert!(addr - line.base().as_u64() < CACHE_LINE_BYTES);
-        prop_assert_eq!(va.line_offset(), addr % CACHE_LINE_BYTES);
+        assert!(line.base().as_u64() <= addr);
+        assert!(addr - line.base().as_u64() < CACHE_LINE_BYTES);
+        assert_eq!(va.line_offset(), addr % CACHE_LINE_BYTES);
         for size in PageSize::ALL {
-            prop_assert_eq!(line.vpn(size), va.vpn(size));
+            assert_eq!(line.vpn(size), va.vpn(size));
             let vpn = va.vpn(size);
-            prop_assert!(vpn.base(size).as_u64() <= addr);
-            prop_assert!(addr - vpn.base(size).as_u64() < size.bytes());
-            prop_assert_eq!(vpn.first_line(size).base(), vpn.base(size));
+            assert!(vpn.base(size).as_u64() <= addr);
+            assert!(addr - vpn.base(size).as_u64() < size.bytes());
+            assert_eq!(vpn.first_line(size).base(), vpn.base(size));
         }
     }
+}
 
-    /// Alignment helpers: down <= addr <= up, both aligned, and idempotent.
-    #[test]
-    fn alignment_laws(addr in 0u64..(1 << 48), shift in 0u32..21) {
-        let align = 1u64 << shift;
+/// Alignment helpers: down <= addr <= up, both aligned, and idempotent.
+#[test]
+fn alignment_laws() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    for _ in 0..400 {
+        let addr = rng.gen_range(0..1 << 48);
+        let align = 1u64 << rng.gen_range(0..21);
         let va = VirtAddr::new(addr);
         let down = va.align_down(align);
         let up = va.align_up(align);
-        prop_assert!(down <= va && va <= up);
-        prop_assert!(down.is_aligned(align));
-        prop_assert!(up.is_aligned(align));
-        prop_assert_eq!(down.align_down(align), down);
-        prop_assert_eq!(up.align_up(align), up);
-        prop_assert!(up.as_u64() - down.as_u64() <= align);
+        assert!(down <= va && va <= up);
+        assert!(down.is_aligned(align));
+        assert!(up.is_aligned(align));
+        assert_eq!(down.align_down(align), down);
+        assert_eq!(up.align_up(align), up);
+        assert!(up.as_u64() - down.as_u64() <= align);
     }
+}
 
-    /// LineRange iteration yields exactly `count` lines, strided.
-    #[test]
-    fn line_range_iteration(
-        start in 0u64..(1 << 40),
-        count in 0u32..200,
-        stride in 1u32..100,
-    ) {
+/// LineRange iteration yields exactly `count` lines, strided.
+#[test]
+fn line_range_iteration() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let start = rng.gen_range(0..1 << 40);
+        let count = rng.gen_range(0..200) as u32;
+        let stride = rng.gen_range(1..100) as u32;
         let r = LineRange::new(LineAddr::new(start), count, stride);
         let lines: Vec<u64> = r.iter().map(|l| l.as_u64()).collect();
-        prop_assert_eq!(lines.len(), count as usize);
+        assert_eq!(lines.len(), count as usize);
         for (i, l) in lines.iter().enumerate() {
-            prop_assert_eq!(*l, start + i as u64 * stride as u64);
+            assert_eq!(*l, start + i as u64 * stride as u64);
         }
     }
+}
 
-    /// Bandwidth: serialisation time is monotone in bytes and inverse in
-    /// bandwidth.
-    #[test]
-    fn bandwidth_monotonicity(bytes in 0u64..(1 << 32), gbps in 1u32..2000) {
+/// Bandwidth: serialisation time is monotone in bytes and inverse in
+/// bandwidth.
+#[test]
+fn bandwidth_monotonicity() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..300 {
+        let bytes = rng.gen_range(0..1 << 32);
+        let gbps = rng.gen_range(1..2000);
         let bw = Bandwidth::gb_per_sec(gbps as f64);
         let t = bw.cycles_for_bytes(bytes);
-        prop_assert!(t >= bytes / gbps as u64);
-        prop_assert!(bw.cycles_for_bytes(bytes + 1) >= t);
+        assert!(t >= bytes / gbps);
+        assert!(bw.cycles_for_bytes(bytes + 1) >= t);
         let faster = Bandwidth::gb_per_sec(gbps as f64 * 2.0);
-        prop_assert!(faster.cycles_for_bytes(bytes) <= t);
+        assert!(faster.cycles_for_bytes(bytes) <= t);
     }
+}
 
-    /// pages_for covers the request exactly.
-    #[test]
-    fn pages_for_covers(bytes in 0u64..(1 << 40)) {
+/// pages_for covers the request exactly.
+#[test]
+fn pages_for_covers() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    for case in 0..300 {
+        // Make sure the zero edge case is always in the sample.
+        let bytes = if case == 0 {
+            0
+        } else {
+            rng.gen_range(0..1 << 40)
+        };
         for size in PageSize::ALL {
             let pages = size.pages_for(bytes);
-            prop_assert!(pages * size.bytes() >= bytes);
+            assert!(pages * size.bytes() >= bytes);
             if pages > 0 {
-                prop_assert!((pages - 1) * size.bytes() < bytes);
+                assert!((pages - 1) * size.bytes() < bytes);
             } else {
-                prop_assert_eq!(bytes, 0);
+                assert_eq!(bytes, 0);
             }
         }
     }

@@ -218,12 +218,7 @@ mod tests {
     fn single_gpu_builds_share_nothing() {
         for app in suite::all() {
             let c = characterize(&(app.build)(1, ScaleProfile::Tiny));
-            assert_eq!(
-                c.multi_gpu_pages(),
-                0,
-                "{}: one GPU cannot share",
-                app.name
-            );
+            assert_eq!(c.multi_gpu_pages(), 0, "{}: one GPU cannot share", app.name);
             assert!(c.instructions > 0);
         }
     }

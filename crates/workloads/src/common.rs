@@ -1,17 +1,15 @@
 //! Shared workload-generation vocabulary.
 
-use serde::{Deserialize, Serialize};
-
 /// Problem-size profile for a workload build.
 ///
 /// The paper runs full applications; we provide three sizes so the same
-/// generators serve unit tests (fast, debug builds), Criterion benches and
-/// the figure harness (release builds):
+/// generators serve unit tests (fast, debug builds) and the sweep/figure
+/// harnesses (release builds):
 ///
 /// * `Tiny` — ~1/16 of the paper-scale footprint, 2 iterations.
 /// * `Small` — ~1/4 footprint, 3 iterations.
 /// * `Paper` — full footprint, 1 profiling + 3 steady iterations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScaleProfile {
     /// Unit-test scale.
     Tiny,
@@ -41,6 +39,31 @@ impl ScaleProfile {
             ScaleProfile::Tiny => 2,
             ScaleProfile::Small => 3,
             ScaleProfile::Paper => 4,
+        }
+    }
+
+    /// Short machine-friendly name (used in result stores and CLIs).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleProfile::Tiny => "tiny",
+            ScaleProfile::Small => "small",
+            ScaleProfile::Paper => "paper",
+        }
+    }
+}
+
+impl std::str::FromStr for ScaleProfile {
+    type Err = gps_types::GpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(ScaleProfile::Tiny),
+            "small" => Ok(ScaleProfile::Small),
+            "paper" => Ok(ScaleProfile::Paper),
+            other => Err(gps_types::GpsError::Parse {
+                what: "scale profile",
+                input: other.to_owned(),
+            }),
         }
     }
 }

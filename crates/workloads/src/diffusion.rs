@@ -40,10 +40,6 @@ pub fn build(gpus: usize, scale: ScaleProfile) -> Workload {
 }
 
 /// Builds the workload with an explicit page size (§7.4 sweep).
-pub fn build_paged(
-    gpus: usize,
-    scale: ScaleProfile,
-    page_size: gps_types::PageSize,
-) -> Workload {
+pub fn build_paged(gpus: usize, scale: ScaleProfile, page_size: gps_types::PageSize) -> Workload {
     params().build_paged(gpus, scale, page_size)
 }

@@ -3,8 +3,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gps_types::rng::SmallRng;
 
 use gps_sim::{KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
 use gps_types::{GpuId, LineAddr, LineRange, PageSize};
@@ -90,8 +89,12 @@ impl GraphParams {
         assert!(gpus >= 1);
         let mut b = WorkloadBuilder::new(self.name, page_size, gpus);
         let value_bytes = scale.bytes(self.value_bytes);
-        let cur = b.alloc_shared(format!("{}_cur", self.name), value_bytes).unwrap();
-        let nxt = b.alloc_shared(format!("{}_nxt", self.name), value_bytes).unwrap();
+        let cur = b
+            .alloc_shared(format!("{}_cur", self.name), value_bytes)
+            .unwrap();
+        let nxt = b
+            .alloc_shared(format!("{}_nxt", self.name), value_bytes)
+            .unwrap();
         let edge_bytes_per_gpu = (scale.bytes(self.edge_bytes) / gpus as u64).max(64 * 1024);
         let edges: Vec<_> = (0..gpus)
             .map(|g| {
@@ -103,8 +106,7 @@ impl GraphParams {
         let total_lines = cur.lines();
         let part = total_lines / gpus as u64;
         let edge_lines = edges[0].lines();
-        let warps_per_gpu =
-            (edge_lines / self.edge_lines_per_warp as u64).clamp(1, 1 << 20) as u32;
+        let warps_per_gpu = (edge_lines / self.edge_lines_per_warp as u64).clamp(1, 1 << 20) as u32;
         let ctas = warps_per_gpu.div_ceil(self.warps_per_cta);
 
         // One application iteration = a forward and a backward half-step
@@ -122,7 +124,16 @@ impl GraphParams {
                     let p = self.clone();
                     let edge_base = edge_alloc.base().line();
                     let prog = move |ctx: WarpCtx| {
-                        p.warp_program(ctx, src, dst, total_lines, part, warps_per_gpu, edge_base, edge_lines)
+                        p.warp_program(
+                            ctx,
+                            src,
+                            dst,
+                            total_lines,
+                            part,
+                            warps_per_gpu,
+                            edge_base,
+                            edge_lines,
+                        )
                     };
                     launches.push(KernelSpec {
                         name: format!("{}_it{iter}_d{dir}_g{g}", self.name),
@@ -247,9 +258,8 @@ impl GraphParams {
             0x6A47,
         ));
 
-        let mut instrs = Vec::with_capacity(
-            2 + self.gathers_per_warp as usize + self.atomics_per_warp as usize,
-        );
+        let mut instrs =
+            Vec::with_capacity(2 + self.gathers_per_warp as usize + self.atomics_per_warp as usize);
 
         // Stream this warp's slice of the private edge list.
         let e_off = (w as u64 * self.edge_lines_per_warp as u64) % edge_lines;

@@ -127,8 +127,12 @@ impl StencilParams {
         assert!(gpus >= 1);
         let mut b = WorkloadBuilder::new(self.name, page_size, gpus);
         let array_bytes = scale.bytes(self.array_bytes);
-        let a = b.alloc_shared(format!("{}_a", self.name), array_bytes).unwrap();
-        let c = b.alloc_shared(format!("{}_b", self.name), array_bytes).unwrap();
+        let a = b
+            .alloc_shared(format!("{}_a", self.name), array_bytes)
+            .unwrap();
+        let c = b
+            .alloc_shared(format!("{}_b", self.name), array_bytes)
+            .unwrap();
         let privs: Vec<_> = (0..gpus)
             .map(|g| {
                 b.alloc_private(
@@ -169,7 +173,13 @@ impl StencilParams {
                         let priv_lines = privs[g].lines();
                         let prog = move |ctx: WarpCtx| {
                             p.warp_program(
-                                ctx, src, dst, total_lines, &my_parts, priv_base, priv_lines,
+                                ctx,
+                                src,
+                                dst,
+                                total_lines,
+                                &my_parts,
+                                priv_base,
+                                priv_lines,
                             )
                         };
                         launches.push(KernelSpec {
@@ -234,7 +244,9 @@ impl StencilParams {
             let halo_warps = (self.halo_lines.div_ceil(lpw) as u32).min(part.warps);
             if w < halo_warps && g > 0 {
                 let depth = (w as u64 + 1) * lpw;
-                let n = lpw.min(self.halo_lines.saturating_sub(w as u64 * lpw)).max(1);
+                let n = lpw
+                    .min(self.halo_lines.saturating_sub(w as u64 * lpw))
+                    .max(1);
                 let start = part.start.saturating_sub(depth.min(part.start));
                 instrs.push(WarpInstr::Load(LineRange::contiguous(
                     src.offset(start),

@@ -27,7 +27,10 @@ fn main() {
     let t1 = steady(&base, base_wl.phases_per_iteration);
 
     println!("Jacobi strong scaling over PCIe 3.0 (speedup vs 1 GPU):");
-    println!("{:<14}{:>8}{:>8}{:>8}", "paradigm", "2 GPU", "4 GPU", "8 GPU");
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}",
+        "paradigm", "2 GPU", "4 GPU", "8 GPU"
+    );
     for paradigm in [
         Paradigm::Um,
         Paradigm::UmHints,

@@ -46,7 +46,10 @@ fn main() {
         let traffic = steady_traffic(&report, wl.phases_per_iteration);
         println!("{paradigm}:");
         println!("  speedup over 1 GPU          {speedup:>6.2}x");
-        println!("  steady traffic / iteration  {:>6.2} MiB", traffic / (1 << 20) as f64);
+        println!(
+            "  steady traffic / iteration  {:>6.2} MiB",
+            traffic / (1 << 20) as f64
+        );
         if let Some(pruned) = report.metric("pruned_subscriptions") {
             println!("  pruned subscriptions        {pruned:>6.0}");
         }

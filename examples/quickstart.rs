@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.tlb_miss(GpuId::new(1), vpn(2));
     let pruned = sys.tracking_stop()?;
     println!("profiling pruned {pruned} subscriptions");
-    println!("subscriber histogram (Figure 9 data): {:?}", sys.subscriber_histogram());
+    println!(
+        "subscriber histogram (Figure 9 data): {:?}",
+        sys.subscriber_histogram()
+    );
 
     // Stores to the shared page broadcast to its one remote subscriber —
     // and coalesce first: 100 stores to one line cross the fabric once.

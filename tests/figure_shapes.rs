@@ -100,10 +100,7 @@ fn fig14_zero_rows_and_rising_rows() {
         let at512 = fig.value(app, "512").unwrap();
         assert_eq!(at0, 0.0);
         assert!(at512 > 0.0, "{app} must coalesce at 512 entries");
-        assert!(
-            at512 >= at32,
-            "{app}: hit rate must not fall with capacity"
-        );
+        assert!(at512 >= at32, "{app}: hit rate must not fall with capacity");
     }
 }
 
@@ -146,7 +143,16 @@ fn table_renderers_contain_the_key_rows() {
     assert!(t1.contains("135 bytes"));
     assert!(t1.contains("49 bits"));
     let t2 = figures::table2();
-    for app in ["jacobi", "pagerank", "sssp", "als", "ct", "eqwp", "diffusion", "hit"] {
+    for app in [
+        "jacobi",
+        "pagerank",
+        "sssp",
+        "als",
+        "ct",
+        "eqwp",
+        "diffusion",
+        "hit",
+    ] {
         assert!(t2.contains(app), "{app} missing from Table 2");
     }
     // Figure rendering produces an aligned table with all rows.

@@ -47,11 +47,7 @@ fn gps_beats_unified_memory_everywhere() {
     for app in suite::all() {
         let um = run(&app, Paradigm::Um, 4);
         let gps = run(&app, Paradigm::Gps, 4);
-        assert!(
-            gps < um,
-            "{}: GPS ({gps}) must beat UM ({um})",
-            app.name
-        );
+        assert!(gps < um, "{}: GPS ({gps}) must beat UM ({um})", app.name);
     }
 }
 

@@ -51,6 +51,25 @@ fn traces_roundtrip_through_files() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The full round trip — record, serialise to bytes, deserialise, replay —
+/// must reproduce the live run's [`gps::sim::SimReport`] bit-identically
+/// under every paradigm (replaying under the workload's own name, so even
+/// the report labels match).
+#[test]
+fn serialised_trace_replays_to_bit_identical_report() {
+    for app_name in ["jacobi", "pagerank", "sssp"] {
+        let app = suite::by_name(app_name).unwrap();
+        let wl = (app.build)(2, ScaleProfile::Tiny);
+        let bytes = Trace::record(&wl).as_bytes().to_vec();
+        let replayed = Trace::from_bytes(bytes).replay(&wl.name).unwrap();
+        for paradigm in Paradigm::FIGURE8 {
+            let live = run_paradigm(paradigm, &wl, 2, LinkGen::Pcie3);
+            let from_trace = run_paradigm(paradigm, &replayed, 2, LinkGen::Pcie3);
+            assert_eq!(live, from_trace, "{app_name}/{paradigm}: report diverged");
+        }
+    }
+}
+
 #[test]
 fn trace_size_is_reasonable() {
     let app = suite::by_name("sssp").unwrap();
@@ -58,5 +77,9 @@ fn trace_size_is_reasonable() {
     let trace = Trace::record(&wl);
     // A tiny workload's trace should be well under 32 MiB and non-trivial.
     assert!(trace.len() > 1024, "suspiciously small: {}", trace.len());
-    assert!(trace.len() < 32 << 20, "suspiciously large: {}", trace.len());
+    assert!(
+        trace.len() < 32 << 20,
+        "suspiciously large: {}",
+        trace.len()
+    );
 }
