@@ -401,6 +401,12 @@ impl GpsSystem {
         self.rwq[gpu.index()].stats()
     }
 
+    /// Lines currently buffered in `gpu`'s remote write queue (telemetry
+    /// occupancy gauge).
+    pub fn rwq_len(&self, gpu: GpuId) -> usize {
+        self.rwq[gpu.index()].len()
+    }
+
     /// Atomics broadcast uncoalesced so far.
     pub fn atomic_broadcasts(&self) -> u64 {
         self.atomic_broadcasts

@@ -1,9 +1,11 @@
 //! `gps-run` — the sweep CLI of the GPS experiment harness.
 //!
 //! ```text
-//! gps-run sweep  [flags]   expand a sweep, skip completed runs, execute the rest
-//! gps-run resume [flags]   alias of sweep that refuses --fresh (resume-only)
-//! gps-run report [flags]   print the result store as a table or CSV
+//! gps-run sweep    [flags]     expand a sweep, skip completed runs, execute the rest
+//! gps-run resume   [flags]     alias of sweep that refuses --fresh (resume-only)
+//! gps-run report   [flags]     print the result store as a table or CSV
+//! gps-run timeline <run-key>   reconstruct a run's cycle-resolved Chrome trace
+//! gps-run gc       [flags]     compact the store to the latest record per key
 //! ```
 //!
 //! Run `gps-run help` for the flag reference.
@@ -21,7 +23,7 @@ const USAGE: &str = "\
 gps-run — resumable parallel sweeps over the GPS evaluation space
 
 USAGE:
-    gps-run <sweep|resume|report|help> [flags]
+    gps-run <sweep|resume|report|timeline|gc|help> [flags]
 
 SWEEP / RESUME FLAGS:
     --store <path>        result store (JSON lines), default results/store.jsonl
@@ -40,10 +42,21 @@ SWEEP / RESUME FLAGS:
                           may be repeated
     --fresh               delete the store first (sweep only)
     --quiet               suppress per-run progress output
+    --telemetry <dir>     record cycle-resolved telemetry per executed run and
+                          write <key>.trace.json + <key>.phases.txt into <dir>
 
 REPORT FLAGS:
     --store <path>        result store to read
     --csv                 emit CSV instead of an aligned table
+
+TIMELINE (gps-run timeline <run-key> [flags]):
+    re-runs the stored run (deterministic, content-addressed) with probes on
+    and exports a Chrome trace; <run-key> may be a unique key prefix
+    --store <path>        result store to look the key up in
+    --out <dir>           output directory, default results/telemetry
+
+GC FLAGS:
+    --store <path>        store to compact (latest record per key, sorted)
 ";
 
 struct ParsedArgs {
@@ -133,6 +146,7 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                     Some(value()?.parse().map_err(|e| format!("--max-jobs: {e}"))?);
             }
             "--inject-panic" => parsed.opts.inject_panic.push(value()?.to_owned()),
+            "--telemetry" => parsed.opts.telemetry_dir = Some(PathBuf::from(value()?)),
             "--fresh" => {
                 if is_resume {
                     return Err("resume cannot take --fresh (use sweep)".to_owned());
@@ -282,6 +296,60 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_timeline(args: &[String]) -> Result<(), String> {
+    let mut store = PathBuf::from("results/store.jsonl");
+    let mut out = PathBuf::from("results/telemetry");
+    let mut key: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--store" => store = PathBuf::from(value()?),
+            "--out" => out = PathBuf::from(value()?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            k if key.is_none() => key = Some(k.to_owned()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let key = key.ok_or("timeline requires a run key (or unique key prefix)")?;
+    let tl = gps_harness::timeline(&store, &key, &out)?;
+    println!("reconstructed {} ({})", tl.key, tl.label);
+    println!(
+        "trace   {} ({} events: {} spans, {} counter samples, {} instants)",
+        tl.paths.trace.display(),
+        tl.stats.events,
+        tl.stats.complete,
+        tl.stats.counters,
+        tl.stats.instants,
+    );
+    println!("phases  {}", tl.paths.phases.display());
+    print!("{}", tl.breakdown);
+    Ok(())
+}
+
+fn cmd_gc(args: &[String]) -> Result<(), String> {
+    let mut store = PathBuf::from("results/store.jsonl");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => {
+                store = PathBuf::from(it.next().ok_or("--store requires a value")?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let (kept, dropped) = ResultStore::compact(&store).map_err(|e| format!("compact: {e}"))?;
+    println!(
+        "compacted {}: kept {kept} records, dropped {dropped} superseded lines",
+        store.display()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -295,6 +363,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest, false),
         "resume" => cmd_sweep(rest, true),
         "report" => cmd_report(rest),
+        "timeline" => cmd_timeline(rest),
+        "gc" => cmd_gc(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -24,19 +24,26 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
 pub mod key;
 pub mod pool;
 pub mod runner;
 pub mod store;
 pub mod sweep;
+pub mod telemetry;
 
-pub use json::Json;
+/// The shared JSON codec (hoisted to `gps-types`; re-exported here for
+/// compatibility with earlier harness versions).
+pub use gps_types::json;
+pub use gps_types::Json;
 pub use key::{run_key, run_key_default_machine};
 pub use pool::{parallel_map, run_jobs, JobResult};
 pub use runner::{
-    baseline, geomean, measure, measure_with_policy, speedup, steady_cycles_per_iteration,
-    steady_traffic_per_iteration, Measurement, RunSpec,
+    baseline, geomean, measure, measure_probed, measure_with_policy, speedup,
+    steady_cycles_per_iteration, steady_traffic_per_iteration, Measurement, RunSpec,
 };
 pub use store::{ResultStore, RunRecord, RunStatus, STORE_VERSION};
 pub use sweep::{run_sweep, RunUnit, SweepOptions, SweepOutcome, SweepSpec};
+pub use telemetry::{
+    recording_probe, timeline, validate_chrome_trace, write_run_telemetry, TelemetryPaths,
+    TimelineOutput, TraceStats,
+};

@@ -7,7 +7,8 @@
 //! and the run-key cache relies on it for soundness.
 
 use gps_interconnect::LinkGen;
-use gps_paradigms::{run_paradigm, Paradigm};
+use gps_obs::ProbeHandle;
+use gps_paradigms::{run_paradigm_probed, Paradigm};
 use gps_sim::{Engine, MemoryPolicy, SimConfig, SimReport};
 use gps_workloads::{suite::AppEntry, ScaleProfile};
 
@@ -62,8 +63,15 @@ pub fn steady_cycles_per_iteration(report: &SimReport, phases_per_iteration: usi
 
 /// Runs one application under one spec.
 pub fn measure(app: &AppEntry, spec: RunSpec) -> Measurement {
+    measure_probed(app, spec, ProbeHandle::disabled())
+}
+
+/// [`measure`] with a telemetry probe threaded through the simulation.
+/// The probe only observes — the returned [`Measurement`] is bit-identical
+/// to the unprobed one; harvest the recording with [`ProbeHandle::finish`].
+pub fn measure_probed(app: &AppEntry, spec: RunSpec, probe: ProbeHandle) -> Measurement {
     let workload = (app.build)(spec.gpus, spec.scale);
-    let report = run_paradigm(spec.paradigm, &workload, spec.gpus, spec.link);
+    let report = run_paradigm_probed(spec.paradigm, &workload, spec.gpus, spec.link, probe);
     let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
     Measurement {
         app: app.name,

@@ -296,6 +296,42 @@ impl ResultStore {
         }
         Ok((by_key.into_values().collect(), corrupt))
     }
+
+    /// Compacts the store in place (`gps-run gc`): keeps only the latest
+    /// record per key — superseded quarantine verdicts, re-runs and corrupt
+    /// lines are dropped — sorted by key. The rewrite goes through a
+    /// temporary file in the same directory followed by a rename, so a
+    /// crash mid-compaction leaves the original store intact.
+    ///
+    /// Returns `(kept, dropped)` line counts. A missing store compacts to
+    /// `(0, 0)` without creating a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn compact(path: impl AsRef<Path>) -> std::io::Result<(usize, usize)> {
+        let path = path.as_ref();
+        let total_lines = match std::fs::read_to_string(path) {
+            Ok(t) => t.lines().filter(|l| !l.trim().is_empty()).count(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+            Err(e) => return Err(e),
+        };
+        // load_latest returns BTreeMap order, i.e. already sorted by key.
+        let (records, _corrupt) = Self::load_latest(path)?;
+        let tmp = path.with_extension("jsonl.compact-tmp");
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            for r in &records {
+                let mut line = r.to_json();
+                line.push('\n');
+                w.write_all(line.as_bytes())?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok((records.len(), total_lines - records.len()))
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +421,42 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].status, RunStatus::Ok);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_keeps_latest_per_key_sorted() {
+        let path = temp_path("compact");
+        let mut store = ResultStore::open_append(&path).unwrap();
+        store.append(&sample("b", RunStatus::Ok)).unwrap();
+        store.append(&sample("a", RunStatus::Quarantined)).unwrap();
+        store.append(&sample("a", RunStatus::Ok)).unwrap();
+        drop(store);
+        // Torn trailing line from a crashed sweep.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":1,\"key\":\"c\"").unwrap();
+        drop(f);
+
+        let (kept, dropped) = ResultStore::compact(&path).unwrap();
+        assert_eq!((kept, dropped), (2, 2));
+        let (records, corrupt) = ResultStore::load(&path).unwrap();
+        assert_eq!(corrupt, 0, "compacted store has no corrupt lines");
+        assert_eq!(
+            records.iter().map(|r| r.key.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"],
+            "sorted by key"
+        );
+        assert_eq!(records[0].status, RunStatus::Ok, "latest verdict wins");
+
+        // Idempotent: a second pass drops nothing.
+        assert_eq!(ResultStore::compact(&path).unwrap(), (2, 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_missing_store_is_noop() {
+        let path = temp_path("compact-missing");
+        assert_eq!(ResultStore::compact(&path).unwrap(), (0, 0));
+        assert!(!path.exists());
     }
 
     #[test]

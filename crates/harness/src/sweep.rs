@@ -9,18 +9,20 @@
 //! appends each result to the store the moment it finishes.
 
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use gps_interconnect::LinkGen;
+use gps_obs::ProbeHandle;
 use gps_paradigms::Paradigm;
 use gps_workloads::{suite, ScaleProfile};
 
 use crate::key::run_key_default_machine;
 use crate::pool::{run_jobs, JobResult};
-use crate::runner::{measure, steady_traffic_per_iteration, Measurement, RunSpec};
+use crate::runner::{measure_probed, steady_traffic_per_iteration, Measurement, RunSpec};
 use crate::store::{ResultStore, RunRecord, RunStatus};
+use crate::telemetry;
 
 /// The cross product a sweep executes.
 #[derive(Debug, Clone)]
@@ -138,6 +140,11 @@ pub struct SweepOptions {
     pub inject_panic: Vec<String>,
     /// Emit per-run log lines and a live progress line to stderr.
     pub log: bool,
+    /// When set, record cycle-resolved telemetry for every executed run and
+    /// write `<key>.trace.json` (Chrome trace) plus `<key>.phases.txt`
+    /// (per-phase counter breakdown) into this directory. Probes only
+    /// observe, so the stored results are identical with or without it.
+    pub telemetry_dir: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
@@ -148,6 +155,7 @@ impl Default for SweepOptions {
             max_jobs: None,
             inject_panic: Vec::new(),
             log: false,
+            telemetry_dir: None,
         }
     }
 }
@@ -237,6 +245,10 @@ pub fn run_sweep(
     let to_io = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
     let units = spec.units().map_err(to_io)?;
 
+    if let Some(dir) = &opts.telemetry_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
     let (existing, corrupt_lines) = ResultStore::load_latest(store_path)?;
     let done: std::collections::BTreeSet<&str> = existing
         .iter()
@@ -284,8 +296,20 @@ pub fn run_sweep(
             }
             let app = suite::by_name(&unit.app).expect("validated");
             let begun = Instant::now();
-            let m = measure(&app, unit.spec);
-            (m, begun.elapsed().as_secs_f64() * 1e3)
+            let probe = match &opts.telemetry_dir {
+                Some(_) => telemetry::recording_probe(),
+                None => ProbeHandle::disabled(),
+            };
+            let m = measure_probed(&app, unit.spec, probe.clone());
+            let wall_ms = begun.elapsed().as_secs_f64() * 1e3;
+            if let (Some(dir), Some(recording)) = (&opts.telemetry_dir, probe.finish()) {
+                // Telemetry is a side artifact: a write failure must not
+                // quarantine an otherwise healthy run.
+                if let Err(e) = telemetry::write_run_telemetry(dir, &unit.key, &recording) {
+                    eprintln!("[gps-run] telemetry write failed for {}: {e}", unit.key);
+                }
+            }
+            (m, wall_ms)
         },
         |i, result| {
             let unit = &pending_units[i];

@@ -32,9 +32,7 @@ fn quiet(workers: usize) -> SweepOptions {
     SweepOptions {
         workers,
         retries: 1,
-        max_jobs: None,
-        inject_panic: Vec::new(),
-        log: false,
+        ..SweepOptions::default()
     }
 }
 

@@ -1,5 +1,6 @@
 //! The switch-attached multi-GPU fabric.
 
+use gps_obs::{ProbeHandle, Track};
 use gps_types::{Cycle, GpsError, GpuId, Result};
 
 use crate::counters::TrafficCounters;
@@ -90,6 +91,7 @@ pub struct Fabric {
     cw: Vec<BandwidthResource>,
     ccw: Vec<BandwidthResource>,
     counters: TrafficCounters,
+    probe: ProbeHandle,
 }
 
 impl Fabric {
@@ -116,7 +118,15 @@ impl Fabric {
                 .map(|_| BandwidthResource::new(bw))
                 .collect(),
             counters: TrafficCounters::new(config.gpu_count),
+            probe: ProbeHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry probe: every transfer emits
+    /// `link_egress_bytes` on the source GPU's track and
+    /// `link_ingress_bytes` on the destination's.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// The fabric configuration.
@@ -132,6 +142,14 @@ impl Fabric {
     /// Traffic counters accumulated so far.
     pub fn counters(&self) -> &TrafficCounters {
         &self.counters
+    }
+
+    fn emit_transfer(&self, src: GpuId, dst: GpuId, bytes: u64, now: Cycle) {
+        let bytes = bytes as f64;
+        self.probe
+            .counter(Track::gpu(src.index()), "link_egress_bytes", now, bytes);
+        self.probe
+            .counter(Track::gpu(dst.index()), "link_ingress_bytes", now, bytes);
     }
 
     fn check(&self, gpu: GpuId) -> Result<()> {
@@ -171,6 +189,7 @@ impl Fabric {
                 let (egress_start, _egress_end) = self.egress[src.index()].book_from(bytes, now);
                 let (_, ingress_end) = self.ingress[dst.index()].book_from(bytes, egress_start);
                 self.counters.record(src, dst, bytes);
+                self.emit_transfer(src, dst, bytes, now);
                 Ok(Transfer {
                     departed: ingress_end,
                     arrived: ingress_end + self.config.link.latency(),
@@ -198,6 +217,7 @@ impl Fabric {
                     } + self.config.link.latency();
                 }
                 self.counters.record(src, dst, bytes);
+                self.emit_transfer(src, dst, bytes, now);
                 Ok(Transfer {
                     departed: at,
                     arrived: at,

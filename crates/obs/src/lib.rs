@@ -1,0 +1,38 @@
+//! `gps-obs`: cycle-resolved telemetry for the GPS simulator.
+//!
+//! The simulator's [`SimReport`](../gps_sim) aggregates are end-of-run
+//! totals; this crate adds the *time axis*. Instrumented components hold a
+//! clonable [`ProbeHandle`] and emit four kinds of signal:
+//!
+//! * **counters** — cycle-bucketed accumulations ([`TimeSeries`]): bytes
+//!   per link, RWQ stores/coalesces, TLB hits/misses;
+//! * **gauges** — sampled levels: RWQ occupancy;
+//! * **spans** — `[start, end)` intervals in a bounded [`EventRing`]:
+//!   kernels, phases, drains;
+//! * **instants** — point events: barriers.
+//!
+//! Disabled (the default), a handle is a `None` and every emission is one
+//! predictable branch — no recorder, lock or allocation exists. Probes
+//! observe copies of already-computed values and never feed back into the
+//! simulation, so enabling one cannot change a `SimReport`.
+//!
+//! A finished recording ([`Telemetry`]) exports as a Chrome trace-event
+//! document ([`chrome_trace`], loadable in `chrome://tracing` / Perfetto)
+//! or a per-phase text breakdown ([`phase_breakdown`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod probe;
+pub mod recorder;
+pub mod ring;
+pub mod series;
+
+pub use export::{chrome_trace, phase_breakdown};
+pub use probe::{NoopProbe, Probe, ProbeHandle, Track};
+pub use recorder::{
+    Recorder, SeriesData, SeriesKind, Telemetry, DEFAULT_BUCKET_CYCLES, DEFAULT_SPAN_CAPACITY,
+};
+pub use ring::{EventRing, SpanEvent};
+pub use series::TimeSeries;

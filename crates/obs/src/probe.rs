@@ -1,0 +1,205 @@
+//! The probe sink interface and the shared, clonable [`ProbeHandle`].
+
+use std::sync::{Arc, Mutex};
+
+use gps_types::Cycle;
+
+use crate::recorder::{Recorder, Telemetry};
+
+/// A row of the timeline: the whole system, or one GPU.
+///
+/// Tracks map to Chrome trace-event *processes*, so every GPU gets its own
+/// swimlane in `chrome://tracing`/Perfetto and per-GPU series with the same
+/// name (`"dram_read_bytes"` on every GPU) stay distinguishable without
+/// allocating per-GPU metric names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track(u32);
+
+impl Track {
+    /// The system-wide track (phase spans, barriers).
+    pub const SYSTEM: Track = Track(0);
+
+    /// The track of GPU `index`.
+    pub const fn gpu(index: usize) -> Track {
+        Track(1 + index as u32)
+    }
+
+    /// Stable numeric id (Chrome trace `pid`).
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Human-readable row label (`system`, `gpu0`, `gpu1`, ...).
+    pub fn label(self) -> String {
+        if self.0 == 0 {
+            "system".to_owned()
+        } else {
+            format!("gpu{}", self.0 - 1)
+        }
+    }
+}
+
+/// A telemetry sink. Every method has a no-op default, so a sink only
+/// implements the signals it cares about; [`NoopProbe`] implements none and
+/// compiles down to nothing.
+///
+/// Determinism contract: probes *observe* the simulation and must never
+/// feed back into it — the instrumented components call sinks with copies
+/// of already-computed values and ignore any sink state. Enabling a probe
+/// therefore cannot perturb a `SimReport`.
+pub trait Probe: Send {
+    /// Adds `delta` to the cycle-bucketed counter series `name` on `track`
+    /// at time `now` (monotone accumulations: bytes moved, misses taken).
+    fn counter(&mut self, track: Track, name: &'static str, now: Cycle, delta: f64) {
+        let _ = (track, name, now, delta);
+    }
+
+    /// Samples the instantaneous level `value` of gauge series `name`
+    /// (occupancies, queue depths); the last sample per bucket wins.
+    fn gauge(&mut self, track: Track, name: &'static str, now: Cycle, value: f64) {
+        let _ = (track, name, now, value);
+    }
+
+    /// Records a completed span `[start, end)` (kernels, phases, drains).
+    fn span(&mut self, track: Track, name: &str, cat: &'static str, start: Cycle, end: Cycle) {
+        let _ = (track, name, cat, start, end);
+    }
+
+    /// Records a point event (barriers, collapses).
+    fn instant(&mut self, track: Track, name: &'static str, now: Cycle) {
+        let _ = (track, name, now);
+    }
+}
+
+/// The do-nothing sink: every hook inherits the empty default body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// A clonable handle that instrumented components hold.
+///
+/// Disabled (the default) it is `None` inside: every emission is a single
+/// predictable branch and no recorder, lock or allocation exists anywhere —
+/// the price of having telemetry compiled in is one null check per probe
+/// site. Enabled, all clones share one [`Recorder`] behind a mutex (a run
+/// is single-threaded; the lock is uncontended and exists only to keep the
+/// handle `Send` for the harness worker pool).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeHandle(Option<Arc<Mutex<Recorder>>>);
+
+impl ProbeHandle {
+    /// The disabled handle: all emissions are no-ops.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A recording handle with the given bucket width and span capacity.
+    pub fn recording(bucket_cycles: u64, span_capacity: usize) -> Self {
+        Self(Some(Arc::new(Mutex::new(Recorder::new(
+            bucket_cycles,
+            span_capacity,
+        )))))
+    }
+
+    /// Whether emissions are recorded. Use to skip *preparing* expensive
+    /// arguments (formatting names, diffing stats) — the emission methods
+    /// already check internally.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Forwards to [`Probe::counter`] when enabled.
+    #[inline]
+    pub fn counter(&self, track: Track, name: &'static str, now: Cycle, delta: f64) {
+        if let Some(r) = &self.0 {
+            r.lock()
+                .expect("recorder lock")
+                .counter(track, name, now, delta);
+        }
+    }
+
+    /// Forwards to [`Probe::gauge`] when enabled.
+    #[inline]
+    pub fn gauge(&self, track: Track, name: &'static str, now: Cycle, value: f64) {
+        if let Some(r) = &self.0 {
+            r.lock()
+                .expect("recorder lock")
+                .gauge(track, name, now, value);
+        }
+    }
+
+    /// Forwards to [`Probe::span`] when enabled.
+    #[inline]
+    pub fn span(&self, track: Track, name: &str, cat: &'static str, start: Cycle, end: Cycle) {
+        if let Some(r) = &self.0 {
+            r.lock()
+                .expect("recorder lock")
+                .span(track, name, cat, start, end);
+        }
+    }
+
+    /// Forwards to [`Probe::instant`] when enabled.
+    #[inline]
+    pub fn instant(&self, track: Track, name: &'static str, now: Cycle) {
+        if let Some(r) = &self.0 {
+            r.lock().expect("recorder lock").instant(track, name, now);
+        }
+    }
+
+    /// Extracts everything recorded so far, resetting the shared recorder.
+    /// Returns `None` for a disabled handle.
+    pub fn finish(&self) -> Option<Telemetry> {
+        self.0.as_ref().map(|r| {
+            let mut guard = r.lock().expect("recorder lock");
+            guard.take().finish()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_are_stable_and_labelled() {
+        assert_eq!(Track::SYSTEM.id(), 0);
+        assert_eq!(Track::gpu(0).id(), 1);
+        assert_eq!(Track::gpu(3).label(), "gpu3");
+        assert_eq!(Track::SYSTEM.label(), "system");
+        assert!(Track::gpu(0) > Track::SYSTEM);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let h = ProbeHandle::disabled();
+        assert!(!h.is_enabled());
+        h.counter(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
+        h.span(Track::SYSTEM, "s", "cat", Cycle::ZERO, Cycle::new(5));
+        assert!(h.finish().is_none());
+    }
+
+    #[test]
+    fn noop_probe_accepts_everything() {
+        let mut p = NoopProbe;
+        p.counter(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
+        p.gauge(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
+        p.span(Track::SYSTEM, "s", "c", Cycle::ZERO, Cycle::ZERO);
+        p.instant(Track::SYSTEM, "i", Cycle::ZERO);
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let h = ProbeHandle::recording(100, 16);
+        let h2 = h.clone();
+        h.counter(Track::SYSTEM, "bytes", Cycle::new(50), 1.0);
+        h2.counter(Track::SYSTEM, "bytes", Cycle::new(150), 2.0);
+        let t = h.finish().unwrap();
+        assert_eq!(t.counters.len(), 1);
+        assert_eq!(t.counters[0].series.total(), 3.0);
+        // finish() resets: a second finish sees an empty recorder.
+        let t2 = h2.finish().unwrap();
+        assert!(t2.counters.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The in-memory recorder and the finished [`Telemetry`] bundle.
+
+use std::collections::BTreeMap;
+
+use gps_types::Cycle;
+
+use crate::probe::{Probe, Track};
+use crate::ring::{EventRing, SpanEvent};
+use crate::series::TimeSeries;
+
+/// Default counter/gauge bucket width: 4096 cycles keeps even paper-scale
+/// runs (tens of millions of cycles) to a few thousand buckets per series.
+pub const DEFAULT_BUCKET_CYCLES: u64 = 4096;
+
+/// Default span-ring capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// Whether a series accumulated deltas or sampled levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Per-bucket sums of deltas ([`Probe::counter`]).
+    Counter,
+    /// Last level sampled per bucket ([`Probe::gauge`]).
+    Gauge,
+}
+
+/// One named, track-scoped series of a finished recording.
+#[derive(Debug, Clone)]
+pub struct SeriesData {
+    /// Timeline row.
+    pub track: Track,
+    /// Metric name.
+    pub name: &'static str,
+    /// Counter or gauge.
+    pub kind: SeriesKind,
+    /// The bucketed samples.
+    pub series: TimeSeries,
+}
+
+/// Everything one recording captured, ready for export.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Bucket width of every series.
+    pub bucket_cycles: u64,
+    /// Counter series, ordered by `(track, name)`.
+    pub counters: Vec<SeriesData>,
+    /// Gauge series, ordered by `(track, name)`.
+    pub gauges: Vec<SeriesData>,
+    /// Spans and instants, oldest first.
+    pub spans: Vec<SpanEvent>,
+    /// Spans evicted from the bounded ring (0 = complete).
+    pub dropped_spans: u64,
+}
+
+impl Telemetry {
+    /// All series, counters then gauges.
+    pub fn all_series(&self) -> impl Iterator<Item = &SeriesData> {
+        self.counters.iter().chain(self.gauges.iter())
+    }
+
+    /// The counter series `name` on `track`, if recorded.
+    pub fn counter(&self, track: Track, name: &str) -> Option<&TimeSeries> {
+        self.counters
+            .iter()
+            .find(|s| s.track == track && s.name == name)
+            .map(|s| &s.series)
+    }
+
+    /// The gauge series `name` on `track`, if recorded.
+    pub fn gauge(&self, track: Track, name: &str) -> Option<&TimeSeries> {
+        self.gauges
+            .iter()
+            .find(|s| s.track == track && s.name == name)
+            .map(|s| &s.series)
+    }
+
+    /// Spans of category `cat`, in recorded order.
+    pub fn spans_of<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a SpanEvent> + 'a {
+        self.spans.iter().filter(move |s| s.cat == cat)
+    }
+}
+
+/// The standard [`Probe`] implementation: bucketed series per
+/// `(track, name)` plus a bounded span ring.
+///
+/// Series keys are `BTreeMap`-ordered, so a finished [`Telemetry`] is
+/// deterministic for a deterministic simulation regardless of insertion
+/// order.
+#[derive(Debug)]
+pub struct Recorder {
+    bucket_cycles: u64,
+    span_capacity: usize,
+    counters: BTreeMap<(Track, &'static str), TimeSeries>,
+    gauges: BTreeMap<(Track, &'static str), TimeSeries>,
+    ring: EventRing,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new(bucket_cycles: u64, span_capacity: usize) -> Self {
+        Self {
+            bucket_cycles,
+            span_capacity,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            ring: EventRing::new(span_capacity),
+        }
+    }
+
+    /// Replaces `self` with an empty recorder of the same shape and
+    /// returns the previous contents.
+    pub fn take(&mut self) -> Recorder {
+        std::mem::replace(self, Recorder::new(self.bucket_cycles, self.span_capacity))
+    }
+
+    /// Finishes the recording into an exportable [`Telemetry`].
+    pub fn finish(self) -> Telemetry {
+        let pack = |map: BTreeMap<(Track, &'static str), TimeSeries>, kind| {
+            map.into_iter()
+                .map(|((track, name), series)| SeriesData {
+                    track,
+                    name,
+                    kind,
+                    series,
+                })
+                .collect()
+        };
+        Telemetry {
+            bucket_cycles: self.bucket_cycles,
+            counters: pack(self.counters, SeriesKind::Counter),
+            gauges: pack(self.gauges, SeriesKind::Gauge),
+            dropped_spans: self.ring.dropped(),
+            spans: self.ring.into_events(),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_BUCKET_CYCLES, DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl Probe for Recorder {
+    fn counter(&mut self, track: Track, name: &'static str, now: Cycle, delta: f64) {
+        let width = self.bucket_cycles;
+        self.counters
+            .entry((track, name))
+            .or_insert_with(|| TimeSeries::new(width))
+            .add(now, delta);
+    }
+
+    fn gauge(&mut self, track: Track, name: &'static str, now: Cycle, value: f64) {
+        let width = self.bucket_cycles;
+        self.gauges
+            .entry((track, name))
+            .or_insert_with(|| TimeSeries::new(width))
+            .sample(now, value);
+    }
+
+    fn span(&mut self, track: Track, name: &str, cat: &'static str, start: Cycle, end: Cycle) {
+        self.ring.push(SpanEvent {
+            track,
+            name: name.to_owned(),
+            cat,
+            start,
+            end,
+        });
+    }
+
+    fn instant(&mut self, track: Track, name: &'static str, now: Cycle) {
+        self.ring.push(SpanEvent {
+            track,
+            name: name.to_owned(),
+            cat: "mark",
+            start: now,
+            end: now,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_keyed_by_track_and_name() {
+        let mut r = Recorder::new(100, 8);
+        r.counter(Track::gpu(1), "bytes", Cycle::ZERO, 1.0);
+        r.counter(Track::gpu(0), "bytes", Cycle::ZERO, 2.0);
+        r.counter(Track::gpu(0), "bytes", Cycle::new(50), 3.0);
+        r.gauge(Track::gpu(0), "occ", Cycle::ZERO, 4.0);
+        let t = r.finish();
+        assert_eq!(t.counters.len(), 2);
+        // BTreeMap order: gpu0 before gpu1.
+        assert_eq!(t.counters[0].track, Track::gpu(0));
+        assert_eq!(t.counters[0].series.total(), 5.0);
+        assert_eq!(t.counter(Track::gpu(1), "bytes").unwrap().total(), 1.0);
+        assert_eq!(t.gauge(Track::gpu(0), "occ").unwrap().bucket(0), 4.0);
+        assert!(t.counter(Track::gpu(2), "bytes").is_none());
+    }
+
+    #[test]
+    fn spans_and_instants_share_the_ring() {
+        let mut r = Recorder::new(100, 8);
+        r.span(
+            Track::SYSTEM,
+            "phase 0",
+            "phase",
+            Cycle::ZERO,
+            Cycle::new(10),
+        );
+        r.instant(Track::SYSTEM, "barrier", Cycle::new(10));
+        let t = r.finish();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans_of("phase").count(), 1);
+        assert_eq!(t.spans_of("mark").next().unwrap().duration(), 0);
+        assert_eq!(t.dropped_spans, 0);
+    }
+
+    #[test]
+    fn take_resets_in_place() {
+        let mut r = Recorder::new(100, 8);
+        r.counter(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
+        let old = r.take();
+        assert_eq!(old.finish().counters.len(), 1);
+        assert!(r.take().finish().counters.is_empty());
+    }
+}

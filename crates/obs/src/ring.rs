@@ -1,0 +1,131 @@
+//! A bounded ring buffer of span events.
+
+use std::collections::VecDeque;
+
+use gps_types::Cycle;
+
+use crate::probe::Track;
+
+/// One completed span (or a zero-length instant event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Timeline row.
+    pub track: Track,
+    /// Display name (kernel name, `phase 3`, ...).
+    pub name: String,
+    /// Category (`kernel`, `phase`, `gps`, `mark`).
+    pub cat: &'static str,
+    /// Span start.
+    pub start: Cycle,
+    /// Span end (`== start` for instants).
+    pub end: Cycle,
+}
+
+impl SpanEvent {
+    /// Span duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end.as_u64().saturating_sub(self.start.as_u64())
+    }
+}
+
+/// A bounded event buffer: when full, the **oldest** event is dropped so
+/// the tail of a long run (usually what a timeline investigation is after)
+/// survives; the drop count is reported so truncation is never silent.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates an empty ring holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if at capacity (a
+    /// zero-capacity ring drops everything).
+    pub fn push(&mut self, event: SpanEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or rejected) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring into its events, oldest first.
+    pub fn into_events(self) -> Vec<SpanEvent> {
+        self.events.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> SpanEvent {
+        SpanEvent {
+            track: Track::SYSTEM,
+            name: format!("e{n}"),
+            cat: "test",
+            start: Cycle::new(n),
+            end: Cycle::new(n + 1),
+        }
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut r = EventRing::new(2);
+        for n in 0..5 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let names: Vec<_> = r.into_events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e3", "e4"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = EventRing::new(0);
+        r.push(ev(0));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let e = SpanEvent {
+            track: Track::SYSTEM,
+            name: "x".into(),
+            cat: "test",
+            start: Cycle::new(10),
+            end: Cycle::new(10),
+        };
+        assert_eq!(e.duration(), 0);
+    }
+}

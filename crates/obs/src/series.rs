@@ -1,0 +1,180 @@
+//! Cycle-bucketed time series.
+
+use gps_types::Cycle;
+
+/// A dense, cycle-bucketed series of `f64` samples.
+///
+/// Simulated time is divided into fixed-width buckets of `bucket_cycles`;
+/// the vector grows on demand to cover the latest sample, so memory is
+/// proportional to simulated time / bucket width regardless of event rate.
+/// Two accumulation modes share the storage:
+///
+/// * [`add`](TimeSeries::add) — counters: deltas within a bucket sum.
+/// * [`sample`](TimeSeries::sample) — gauges: the last level per bucket
+///   wins.
+///
+/// ```
+/// use gps_obs::TimeSeries;
+/// use gps_types::Cycle;
+///
+/// let mut s = TimeSeries::new(100);
+/// s.add(Cycle::new(10), 1.0);
+/// s.add(Cycle::new(90), 2.0);
+/// s.add(Cycle::new(150), 4.0);
+/// assert_eq!(s.bucket(0), 3.0);
+/// assert_eq!(s.bucket(1), 4.0);
+/// assert_eq!(s.total(), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    bucket_cycles: u64,
+    buckets: Vec<f64>,
+    total: f64,
+    samples: u64,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_cycles` is zero.
+    pub fn new(bucket_cycles: u64) -> Self {
+        assert!(bucket_cycles > 0, "bucket width must be positive");
+        Self {
+            bucket_cycles,
+            buckets: Vec::new(),
+            total: 0.0,
+            samples: 0,
+        }
+    }
+
+    fn index(&mut self, now: Cycle) -> usize {
+        let idx = (now.as_u64() / self.bucket_cycles) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        idx
+    }
+
+    /// Adds `delta` to the bucket containing `now` (counter mode).
+    pub fn add(&mut self, now: Cycle, delta: f64) {
+        let idx = self.index(now);
+        self.buckets[idx] += delta;
+        self.total += delta;
+        self.samples += 1;
+    }
+
+    /// Overwrites the bucket containing `now` with `value` (gauge mode:
+    /// last sample per bucket wins).
+    pub fn sample(&mut self, now: Cycle, value: f64) {
+        let idx = self.index(now);
+        self.buckets[idx] = value;
+        self.samples += 1;
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// Number of buckets covered (up to the latest sample).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Value of bucket `idx` (zero for never-touched buckets in range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket(&self, idx: usize) -> f64 {
+        self.buckets[idx]
+    }
+
+    /// Sum of all deltas ever added (counter mode; meaningless for gauges).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Emissions recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Iterates `(bucket_start, value)` over non-zero buckets.
+    pub fn points(&self) -> impl Iterator<Item = (Cycle, f64)> + '_ {
+        let width = self.bucket_cycles;
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(move |(i, &v)| (Cycle::new(i as u64 * width), v))
+    }
+
+    /// Sum of bucket values whose bucket start lies in `[start, end)` —
+    /// the per-phase aggregation used by the text breakdown. Boundary
+    /// buckets attribute to the phase containing their start.
+    pub fn sum_range(&self, start: Cycle, end: Cycle) -> f64 {
+        self.points()
+            .filter(|&(t, _)| t >= start && t < end)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_bucket() {
+        let mut s = TimeSeries::new(10);
+        s.add(Cycle::new(0), 1.0);
+        s.add(Cycle::new(9), 1.0);
+        s.add(Cycle::new(10), 5.0);
+        assert_eq!(s.bucket(0), 2.0);
+        assert_eq!(s.bucket(1), 5.0);
+        assert_eq!(s.total(), 7.0);
+        assert_eq!(s.samples(), 3);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn gauges_keep_last_sample() {
+        let mut s = TimeSeries::new(10);
+        s.sample(Cycle::new(3), 7.0);
+        s.sample(Cycle::new(8), 2.0);
+        assert_eq!(s.bucket(0), 2.0);
+    }
+
+    #[test]
+    fn sparse_series_grow_on_demand() {
+        let mut s = TimeSeries::new(100);
+        s.add(Cycle::new(10_000), 1.0);
+        assert_eq!(s.len(), 101);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![(Cycle::new(10_000), 1.0)]);
+    }
+
+    #[test]
+    fn range_sum_is_half_open() {
+        let mut s = TimeSeries::new(10);
+        for t in [0u64, 10, 20, 30] {
+            s.add(Cycle::new(t), 1.0);
+        }
+        assert_eq!(s.sum_range(Cycle::new(10), Cycle::new(30)), 2.0);
+        assert_eq!(s.sum_range(Cycle::ZERO, Cycle::new(40)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The GPS paradigm: wiring [`GpsSystem`] into the simulator.
 
 use gps_core::{GpsConfig, GpsLoad, GpsStore, GpsSystem};
+use gps_obs::{ProbeHandle, Track};
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SimConfig, StoreRoute, Workload};
 use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
 
@@ -26,6 +27,7 @@ pub struct GpsPolicy {
     phases_per_iter: usize,
     profiled: bool,
     pruned: usize,
+    probe: ProbeHandle,
 }
 
 impl GpsPolicy {
@@ -45,6 +47,7 @@ impl GpsPolicy {
             phases_per_iter: 1,
             profiled: false,
             pruned: 0,
+            probe: ProbeHandle::disabled(),
         }
     }
 
@@ -64,6 +67,31 @@ impl GpsPolicy {
     fn sys_mut(&mut self) -> &mut GpsSystem {
         self.sys.as_mut().expect("policy used before init")
     }
+
+    /// Emits the RWQ telemetry for one store/atomic on `gpu`: the stats
+    /// delta across the operation (stores presented, coalescing hits) plus
+    /// the resulting queue depth. Only called when a probe is attached;
+    /// pure observation, never fed back into routing.
+    fn emit_rwq_delta(&self, gpu: GpuId, before: gps_core::RwqStats, now: Cycle) {
+        let sys = self.sys.as_ref().expect("policy used before init");
+        let after = sys.rwq_stats(gpu);
+        let presented = (after.hits + after.inserts + after.bypasses)
+            - (before.hits + before.inserts + before.bypasses);
+        if presented == 0 {
+            return; // non-GPS page: the queue never saw the store
+        }
+        let track = Track::gpu(gpu.index());
+        self.probe
+            .counter(track, "rwq_stores", now, presented as f64);
+        self.probe.counter(
+            track,
+            "rwq_coalesced",
+            now,
+            (after.hits - before.hits) as f64,
+        );
+        self.probe
+            .gauge(track, "rwq_occupancy", now, sys.rwq_len(gpu) as f64);
+    }
 }
 
 impl Default for GpsPolicy {
@@ -79,6 +107,10 @@ impl MemoryPolicy for GpsPolicy {
         } else {
             "gps-nosub"
         }
+    }
+
+    fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn init(&mut self, workload: &Workload, config: &SimConfig) {
@@ -117,30 +149,53 @@ impl MemoryPolicy for GpsPolicy {
         scope: Scope,
         ctx: &mut MemCtx<'_>,
     ) -> StoreRoute {
-        match self.sys_mut().store(gpu, line, scope, ctx.now, ctx.fabric) {
+        let before = self
+            .probe
+            .is_enabled()
+            .then(|| self.sys_mut().rwq_stats(gpu));
+        let route = match self.sys_mut().store(gpu, line, scope, ctx.now, ctx.fabric) {
             GpsStore::Local => StoreRoute::Local,
             GpsStore::RemoteOwner { to } => StoreRoute::Remote { to },
             GpsStore::Replicated => StoreRoute::LocalReplicated,
             GpsStore::CollapseStall { ready } => StoreRoute::StallThenLocal { ready },
+        };
+        if let Some(before) = before {
+            self.emit_rwq_delta(gpu, before, ctx.now);
         }
+        route
     }
 
     fn route_atomic(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> StoreRoute {
-        match self.sys_mut().atomic(gpu, line, ctx.now, ctx.fabric) {
+        let before = self
+            .probe
+            .is_enabled()
+            .then(|| self.sys_mut().rwq_stats(gpu));
+        let route = match self.sys_mut().atomic(gpu, line, ctx.now, ctx.fabric) {
             GpsStore::Local => StoreRoute::Local,
             GpsStore::RemoteOwner { to } => StoreRoute::Remote { to },
             GpsStore::Replicated => StoreRoute::LocalReplicated,
             GpsStore::CollapseStall { ready } => StoreRoute::StallThenLocal { ready },
+        };
+        if let Some(before) = before {
+            self.emit_rwq_delta(gpu, before, ctx.now);
         }
+        route
     }
 
-    fn on_tlb_miss(&mut self, gpu: GpuId, vpn: Vpn, _ctx: &mut MemCtx<'_>) {
+    fn on_tlb_miss(&mut self, gpu: GpuId, vpn: Vpn, ctx: &mut MemCtx<'_>) {
+        self.probe
+            .counter(Track::gpu(gpu.index()), "atu_tlb_miss", ctx.now, 1.0);
         self.sys_mut().tlb_miss(gpu, vpn);
     }
 
     fn on_fence(&mut self, gpu: GpuId, scope: Scope, ctx: &mut MemCtx<'_>) -> Cycle {
         if scope.drains_write_queue() {
-            self.sys_mut().flush(gpu, ctx.now, ctx.fabric)
+            let done = self.sys_mut().flush(gpu, ctx.now, ctx.fabric);
+            if done > ctx.now {
+                self.probe
+                    .span(Track::gpu(gpu.index()), "rwq_drain", "gps", ctx.now, done);
+            }
+            done
         } else {
             ctx.now
         }
@@ -148,7 +203,12 @@ impl MemoryPolicy for GpsPolicy {
 
     fn on_kernel_end(&mut self, gpu: GpuId, ctx: &mut MemCtx<'_>) -> Cycle {
         // The implicit release at the end of every grid (§3.3).
-        self.sys_mut().flush(gpu, ctx.now, ctx.fabric)
+        let done = self.sys_mut().flush(gpu, ctx.now, ctx.fabric);
+        if done > ctx.now {
+            self.probe
+                .span(Track::gpu(gpu.index()), "rwq_drain", "gps", ctx.now, done);
+        }
+        done
     }
 
     fn on_phase_end(&mut self, phase_idx: usize, ctx: &mut MemCtx<'_>) -> Cycle {
@@ -156,6 +216,7 @@ impl MemoryPolicy for GpsPolicy {
             // cuGPSTrackingStop at the end of iteration 0 (Listing 1).
             self.pruned = self.sys_mut().tracking_stop().expect("tracking active");
             self.profiled = true;
+            self.probe.instant(Track::SYSTEM, "tracking_stop", ctx.now);
         }
         ctx.now
     }

@@ -48,6 +48,7 @@ pub use um::UmPolicy;
 pub use um_hints::UmHintsPolicy;
 
 use gps_interconnect::LinkGen;
+use gps_obs::ProbeHandle;
 use gps_sim::{Engine, MemoryPolicy, SimConfig, SimReport, Workload};
 
 /// Builds the policy object for `paradigm`. The engine initialises the
@@ -88,6 +89,24 @@ pub fn run_paradigm(
     gpu_count: usize,
     link: LinkGen,
 ) -> SimReport {
+    run_paradigm_probed(paradigm, workload, gpu_count, link, ProbeHandle::disabled())
+}
+
+/// [`run_paradigm`] with a telemetry probe attached to the engine, the
+/// fabric, every DRAM model and the policy. Probes only observe: for any
+/// `probe`, the returned report is bit-identical to the unprobed run's.
+/// Harvest the recording afterwards with [`ProbeHandle::finish`].
+///
+/// # Panics
+///
+/// Panics if the workload is inconsistent with the machine.
+pub fn run_paradigm_probed(
+    paradigm: Paradigm,
+    workload: &Workload,
+    gpu_count: usize,
+    link: LinkGen,
+    probe: ProbeHandle,
+) -> SimReport {
     let mut config = SimConfig::gv100_system(gpu_count);
     config.page_size = workload.page_size;
     let mut policy = make_policy(paradigm);
@@ -98,6 +117,7 @@ pub fn run_paradigm(
     };
     Engine::new(config, link, workload, policy.as_mut())
         .expect("workload/machine mismatch")
+        .with_probe(probe)
         .run()
 }
 

@@ -1,0 +1,51 @@
+//! Structural invariants every [`SimReport`] must satisfy, checked across
+//! the whole paper suite and all Figure-8 paradigms at tiny scale.
+//!
+//! These are the invariants downstream consumers assume without checking:
+//! the harness indexes `phase_traffic` and `phase_ends` in lockstep when it
+//! derives steady-state metrics, and the telemetry exporter treats the
+//! cumulative traffic curve as monotone.
+
+use gps_interconnect::LinkGen;
+use gps_paradigms::{run_paradigm, Paradigm};
+use gps_sim::SimReport;
+use gps_workloads::{suite, ScaleProfile};
+
+fn check(report: &SimReport, label: &str) {
+    assert_eq!(
+        report.phase_ends.len(),
+        report.phase_traffic.len(),
+        "{label}: phase_ends and phase_traffic must be indexed in lockstep"
+    );
+    assert!(
+        report.phase_ends.windows(2).all(|w| w[0] <= w[1]),
+        "{label}: phase barrier times must be non-decreasing"
+    );
+    assert!(
+        report.phase_traffic.windows(2).all(|w| w[0] <= w[1]),
+        "{label}: cumulative phase traffic must be non-decreasing"
+    );
+    assert_eq!(
+        report.phase_traffic.last().copied().unwrap_or(0),
+        report.interconnect_bytes,
+        "{label}: traffic at the last barrier must equal total interconnect bytes"
+    );
+    assert!(
+        report
+            .phase_ends
+            .last()
+            .is_none_or(|&end| end <= report.total_cycles),
+        "{label}: no phase can end after the run"
+    );
+}
+
+#[test]
+fn every_report_of_the_paper_suite_is_well_formed() {
+    for app in suite::all() {
+        let workload = (app.build)(2, ScaleProfile::Tiny);
+        for paradigm in Paradigm::FIGURE8 {
+            let report = run_paradigm(paradigm, &workload, 2, LinkGen::Pcie3);
+            check(&report, &format!("{}/{}", app.name, paradigm.label()));
+        }
+    }
+}

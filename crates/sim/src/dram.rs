@@ -1,6 +1,7 @@
 //! Device-memory (HBM) timing model.
 
 use gps_interconnect::BandwidthResource;
+use gps_obs::{ProbeHandle, Track};
 use gps_types::{Bandwidth, Cycle, Latency};
 
 /// One GPU's device memory: a bandwidth resource plus a fixed access
@@ -28,6 +29,8 @@ pub struct DramModel {
     latency: Latency,
     read_bytes: u64,
     write_bytes: u64,
+    probe: ProbeHandle,
+    track: Track,
 }
 
 impl DramModel {
@@ -38,19 +41,32 @@ impl DramModel {
             latency,
             read_bytes: 0,
             write_bytes: 0,
+            probe: ProbeHandle::disabled(),
+            track: Track::SYSTEM,
         }
+    }
+
+    /// Attaches a telemetry probe: reads and writes emit
+    /// `dram_read_bytes` / `dram_write_bytes` counters on `track`.
+    pub fn set_probe(&mut self, probe: ProbeHandle, track: Track) {
+        self.probe = probe;
+        self.track = track;
     }
 
     /// Books a read of `bytes` issued at `now`; returns when the data is
     /// available.
     pub fn read(&mut self, bytes: u64, now: Cycle) -> Cycle {
         self.read_bytes += bytes;
+        self.probe
+            .counter(self.track, "dram_read_bytes", now, bytes as f64);
         self.channel.book(bytes, now) + self.latency
     }
 
     /// Books a write of `bytes` issued at `now` (fire-and-forget).
     pub fn write(&mut self, bytes: u64, now: Cycle) {
         self.write_bytes += bytes;
+        self.probe
+            .counter(self.track, "dram_write_bytes", now, bytes as f64);
         let _ = self.channel.book(bytes, now);
     }
 

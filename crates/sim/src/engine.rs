@@ -29,6 +29,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use gps_interconnect::{Fabric, FabricConfig, LinkGen};
 use gps_mem::{Tlb, TlbConfig};
+use gps_obs::{ProbeHandle, Track};
 use gps_types::{Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES};
 
 use crate::cache::{Cache, CacheConfig, Lookup};
@@ -72,6 +73,7 @@ pub struct Engine<'a> {
     link: LinkGen,
     workload: &'a Workload,
     policy: &'a mut dyn MemoryPolicy,
+    probe: ProbeHandle,
 }
 
 struct GpuState {
@@ -108,6 +110,8 @@ struct KernelRun {
     cta_live: Vec<u32>,
     /// Warps still running across the grid.
     live_warps: u64,
+    /// Launch time (telemetry kernel-span start).
+    started: Cycle,
     /// Latest warp completion seen so far.
     last_done: Cycle,
     /// Round-robin SM cursor for CTA placement.
@@ -151,7 +155,18 @@ impl<'a> Engine<'a> {
             link,
             workload,
             policy,
+            probe: ProbeHandle::disabled(),
         })
+    }
+
+    /// Attaches a telemetry probe for this run. The handle is cloned into
+    /// the fabric, every GPU's DRAM model and the policy, so one recorder
+    /// sees the whole machine. Probes only observe — a probed run produces
+    /// a bit-identical [`SimReport`] to an unprobed one.
+    #[must_use]
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Runs the workload to completion.
@@ -182,7 +197,12 @@ impl<'a> Engine<'a> {
             .collect();
         let mut fabric =
             Fabric::new(FabricConfig::new(gc, self.link).with_topology(self.config.topology));
+        fabric.set_probe(self.probe.clone());
+        for (g, gpu) in gpus.iter_mut().enumerate() {
+            gpu.dram.set_probe(self.probe.clone(), Track::gpu(g));
+        }
 
+        self.policy.attach_probe(self.probe.clone());
         self.policy.init(self.workload, &self.config);
 
         let mut warps: Vec<Warp> = Vec::new();
@@ -204,6 +224,7 @@ impl<'a> Engine<'a> {
                 let gate = self.policy.on_phase_start(phase_idx, &mut ctx);
                 phase_start = phase_start.max(gate);
             }
+            let phase_began = phase_start;
 
             // Per-GPU launch queues for this phase.
             let mut queues: Vec<VecDeque<KernelSpec>> = (0..gc)
@@ -284,6 +305,13 @@ impl<'a> Engine<'a> {
                 if kernel_finished {
                     let run = running[g].take().expect("just observed");
                     gpus[g].kernels_done += 1;
+                    self.probe.span(
+                        Track::gpu(g),
+                        &run.spec.name,
+                        "kernel",
+                        run.started,
+                        run.last_done,
+                    );
                     // Grid-end implicit release: L1s drop everything, the
                     // L2 drops peer-homed lines, the policy drains.
                     for l1 in &mut gpus[g].l1[..] {
@@ -321,6 +349,7 @@ impl<'a> Engine<'a> {
                 .map(|d| d.expect("phase drained with running GPU"))
                 .max()
                 .unwrap_or(phase_start);
+            self.probe.instant(Track::SYSTEM, "barrier", barrier);
             let release = {
                 let mut ctx = MemCtx {
                     now: barrier,
@@ -329,6 +358,15 @@ impl<'a> Engine<'a> {
                 };
                 self.policy.on_phase_end(phase_idx, &mut ctx)
             };
+            if self.probe.is_enabled() {
+                self.probe.span(
+                    Track::SYSTEM,
+                    &format!("phase {phase_idx}"),
+                    "phase",
+                    phase_began,
+                    release,
+                );
+            }
             phase_ends.push(release);
             phase_traffic.push(fabric.counters().total_bytes());
             phase_start = release + gpu_cfg.phase_sync_overhead;
@@ -390,6 +428,7 @@ impl<'a> Engine<'a> {
             next_cta: 0,
             cta_live: vec![0; spec.cta_count as usize],
             live_warps: 0,
+            started: at,
             last_done: at,
             sm_cursor: 0,
             sm_resident: vec![0; gpu_cfg.sms],
@@ -513,6 +552,7 @@ impl<'a> Engine<'a> {
                     let t = Cycle::new(issue.as_u64() + i as u64);
                     let arrival = Self::load_line(
                         self.policy,
+                        &self.probe,
                         gcfg,
                         page_size,
                         gpus,
@@ -534,6 +574,7 @@ impl<'a> Engine<'a> {
                     let t = Cycle::new(issue.as_u64() + i as u64);
                     if let Some(stall) = Self::store_line(
                         self.policy,
+                        &self.probe,
                         gcfg,
                         page_size,
                         gpus,
@@ -556,6 +597,7 @@ impl<'a> Engine<'a> {
                 let mut ready = Cycle::new(issue.as_u64() + 1);
                 if let Some(stall) = Self::store_line(
                     self.policy,
+                    &self.probe,
                     gcfg,
                     page_size,
                     gpus,
@@ -591,6 +633,7 @@ impl<'a> Engine<'a> {
     #[allow(clippy::too_many_arguments)]
     fn translate(
         policy: &mut dyn MemoryPolicy,
+        probe: &ProbeHandle,
         gcfg: &crate::config::GpuConfig,
         page_size: gps_types::PageSize,
         gpus: &mut [GpuState],
@@ -601,8 +644,10 @@ impl<'a> Engine<'a> {
     ) -> Cycle {
         let vpn = line.vpn(page_size);
         if gpus[g].tlb.lookup(vpn).is_some() {
+            probe.counter(Track::gpu(g), "tlb_hit", t, 1.0);
             t
         } else {
+            probe.counter(Track::gpu(g), "tlb_miss", t, 1.0);
             gpus[g].tlb.insert(vpn, ());
             let mut ctx = MemCtx {
                 now: t,
@@ -621,6 +666,7 @@ impl<'a> Engine<'a> {
     #[allow(clippy::too_many_arguments)]
     fn load_line(
         policy: &mut dyn MemoryPolicy,
+        probe: &ProbeHandle,
         gcfg: crate::config::GpuConfig,
         page_size: gps_types::PageSize,
         gpus: &mut [GpuState],
@@ -638,7 +684,7 @@ impl<'a> Engine<'a> {
         }
         gpus[g].l1_misses += 1;
 
-        let t = Self::translate(policy, &gcfg, page_size, gpus, fabric, g, line, t);
+        let t = Self::translate(policy, probe, &gcfg, page_size, gpus, fabric, g, line, t);
         let route = {
             let mut ctx = MemCtx {
                 now: t,
@@ -704,6 +750,7 @@ impl<'a> Engine<'a> {
     #[allow(clippy::too_many_arguments)]
     fn store_line(
         policy: &mut dyn MemoryPolicy,
+        probe: &ProbeHandle,
         gcfg: crate::config::GpuConfig,
         page_size: gps_types::PageSize,
         gpus: &mut [GpuState],
@@ -716,7 +763,7 @@ impl<'a> Engine<'a> {
         atomic: bool,
     ) -> Option<Cycle> {
         let gpu_id = GpuId::new(g as u16);
-        let t = Self::translate(policy, &gcfg, page_size, gpus, fabric, g, line, t);
+        let t = Self::translate(policy, probe, &gcfg, page_size, gpus, fabric, g, line, t);
         let route = {
             let mut ctx = MemCtx {
                 now: t,

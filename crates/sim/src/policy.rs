@@ -1,6 +1,7 @@
 //! The memory-policy interface: how paradigms observe and route accesses.
 
 use gps_interconnect::Fabric;
+use gps_obs::ProbeHandle;
 use gps_types::{Cycle, GpuId, LineAddr, PageSize, Scope, Vpn};
 
 use crate::config::SimConfig;
@@ -85,6 +86,16 @@ pub trait MemoryPolicy {
     /// Called once before simulation with the workload and machine.
     fn init(&mut self, workload: &Workload, config: &SimConfig) {
         let _ = (workload, config);
+    }
+
+    /// Hands the policy the run's telemetry probe (before [`init`]).
+    /// Policies that emit paradigm-internal series (e.g. GPS RWQ occupancy)
+    /// keep the handle; the default discards it. Probes must only observe —
+    /// routing decisions may not depend on the probe in any way.
+    ///
+    /// [`init`]: MemoryPolicy::init
+    fn attach_probe(&mut self, probe: ProbeHandle) {
+        let _ = probe;
     }
 
     /// Routes one coalesced load of `line` by `gpu`.

@@ -16,12 +16,7 @@ pub struct TlbCounts {
 impl TlbCounts {
     /// Hit rate in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
-        let t = self.hits + self.misses;
-        if t == 0 {
-            0.0
-        } else {
-            self.hits as f64 / t as f64
-        }
+        rate(self.hits, self.misses)
     }
 }
 

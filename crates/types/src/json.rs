@@ -1,11 +1,12 @@
 //! A minimal JSON value model, emitter and parser.
 //!
-//! The result store is JSON-lines, but the workspace builds fully offline
-//! with no third-party crates, so the harness carries its own ~200-line
-//! JSON implementation. It supports exactly what the store needs: objects,
-//! arrays, strings with escapes, finite numbers, booleans and null.
-//! Numbers are held as `f64`; every count the store persists fits in the
-//! 53-bit exact-integer range with room to spare.
+//! The workspace builds fully offline with no third-party crates, so it
+//! carries its own ~200-line JSON implementation, shared by the harness
+//! result store (JSON-lines records) and the `gps-obs` telemetry exporter
+//! (Chrome trace-event files). It supports exactly what those need:
+//! objects, arrays, strings with escapes, finite numbers, booleans and
+//! null. Numbers are held as `f64`; every count the store persists fits in
+//! the 53-bit exact-integer range with room to spare.
 
 use std::fmt::Write as _;
 

@@ -7,8 +7,10 @@
 //! ([`VirtAddr`], [`PhysAddr`]) with their line- and page-granular
 //! counterparts ([`LineAddr`], [`Vpn`], [`Ppn`]), the page-size menu studied
 //! by the paper ([`PageSize`]), the PTX-style memory-operation scope
-//! ([`Scope`]), and the time/bandwidth units used by the timing models
-//! ([`Cycle`], [`Bandwidth`], [`Latency`]).
+//! ([`Scope`]), the time/bandwidth units used by the timing models
+//! ([`Cycle`], [`Bandwidth`], [`Latency`]), and the dependency-free JSON
+//! codec ([`Json`]) shared by the harness result store and the telemetry
+//! exporter.
 //!
 //! Everything here is a plain data type: cheap to copy, `Send + Sync`,
 //! and totally ordered where that is meaningful, so experiment results
@@ -32,6 +34,7 @@
 mod addr;
 mod error;
 mod ids;
+pub mod json;
 mod mem_op;
 mod page;
 pub mod rng;
@@ -41,6 +44,7 @@ mod units;
 pub use addr::{LineAddr, PhysAddr, Ppn, VirtAddr, Vpn, CACHE_LINE_BYTES, CACHE_LINE_SHIFT};
 pub use error::GpsError;
 pub use ids::{CtaId, GpuId, KernelId, SmId, StreamId, WarpId};
+pub use json::Json;
 pub use mem_op::{AccessKind, LineRange};
 pub use page::PageSize;
 pub use scope::Scope;

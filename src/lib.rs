@@ -10,6 +10,8 @@
 //!   wide GPS page table, VA-space allocation, access bitmaps.
 //! * [`interconnect`] — PCIe/NVLink fabric models and traffic accounting.
 //! * [`sim`] — the trace-driven multi-GPU timing simulator.
+//! * [`obs`] — cycle-resolved telemetry: probes, time series, span
+//!   tracing, Chrome-trace export.
 //! * [`core`] — the GPS hardware units ([`core::RemoteWriteQueue`],
 //!   [`core::GpsTlb`], [`core::AccessTrackingUnit`]) and the
 //!   `cudaMallocGPS`-style runtime ([`core::GpsRuntime`],
@@ -36,6 +38,7 @@
 pub use gps_core as core;
 pub use gps_interconnect as interconnect;
 pub use gps_mem as mem;
+pub use gps_obs as obs;
 pub use gps_paradigms as paradigms;
 pub use gps_sim as sim;
 pub use gps_types as types;
