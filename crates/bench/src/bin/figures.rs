@@ -5,12 +5,17 @@
 //! `fig14`, `tlb`, `pagesize`, or `all`; extensions/ablations beyond the
 //! paper: `watermark`, `profiling`, `nvlink`, `scaling`, or `extras` for
 //! all four. `[scale]` is `tiny`, `small` or `paper` (default `paper`).
+//! With `--store <path>` the default-machine figures run through the
+//! `gps-harness` result store: completed runs (from earlier figure
+//! invocations or `gps-run sweep`) are reused, fresh ones are appended, so
+//! an interrupted regeneration resumes where it stopped.
 
 use gps_bench::figures;
+use gps_bench::figures::FigureCtx;
 use gps_workloads::ScaleProfile;
 
 const USAGE: &str = "\
-usage: figures <id> [scale] [--csv]
+usage: figures <id> [scale] [--csv] [--store <path>]
 
 Regenerates the tables and figures of the GPS paper (MICRO 2021).
 
@@ -19,6 +24,10 @@ Regenerates the tables and figures of the GPS paper (MICRO 2021).
            ablations/extensions: watermark profiling nvlink scaling topology extras
   [scale]  tiny | small | paper (default: paper)
   --csv    emit CSV instead of an aligned text table (figures only)
+  --store <path>
+           resume from (and append to) a gps-run result store: completed
+           default-machine runs are content-addressed cache hits, only the
+           missing ones simulate (custom-policy ablations always rerun)
 ";
 
 fn emit(fig: gps_bench::figures::Figure, csv: bool) {
@@ -37,6 +46,16 @@ fn main() {
     } else {
         false
     };
+    let ctx = if let Some(pos) = args.iter().position(|a| a == "--store") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--store needs a path\n{USAGE}");
+            std::process::exit(2);
+        }
+        FigureCtx::with_store(args.remove(pos))
+    } else {
+        FigureCtx::in_memory()
+    };
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
         return;
@@ -51,28 +70,28 @@ fn main() {
     match id {
         "table1" => println!("{}", figures::table1()),
         "table2" => println!("{}", figures::table2()),
-        "fig1" => emit(figures::fig1(scale), csv),
+        "fig1" => emit(figures::fig1(&ctx, scale), csv),
         "fig3" => emit(figures::fig3(), csv),
-        "fig8" => emit(figures::fig8(scale), csv),
-        "fig9" => emit(figures::fig9(scale), csv),
-        "fig10" => emit(figures::fig10(scale), csv),
-        "fig11" => emit(figures::fig11(scale), csv),
-        "fig12" => emit(figures::fig12(scale), csv),
-        "fig13" => emit(figures::fig13(scale), csv),
+        "fig8" => emit(figures::fig8(&ctx, scale), csv),
+        "fig9" => emit(figures::fig9(&ctx, scale), csv),
+        "fig10" => emit(figures::fig10(&ctx, scale), csv),
+        "fig11" => emit(figures::fig11(&ctx, scale), csv),
+        "fig12" => emit(figures::fig12(&ctx, scale), csv),
+        "fig13" => emit(figures::fig13(&ctx, scale), csv),
         "fig14" => emit(figures::fig14(scale), csv),
         "tlb" => emit(figures::gps_tlb_sensitivity(scale), csv),
         "pagesize" => emit(figures::page_size_sensitivity(scale), csv),
         "watermark" => emit(figures::watermark_sensitivity(scale), csv),
         "profiling" => emit(figures::profiling_mode(scale), csv),
-        "nvlink" => emit(figures::nvlink_sweep(scale), csv),
-        "scaling" => emit(figures::scaling_curve(scale), csv),
+        "nvlink" => emit(figures::nvlink_sweep(&ctx, scale), csv),
+        "scaling" => emit(figures::scaling_curve(&ctx, scale), csv),
         "topology" => emit(figures::topology_comparison(scale), csv),
         "extras" => {
             for f in [
                 figures::watermark_sensitivity(scale),
                 figures::profiling_mode(scale),
-                figures::nvlink_sweep(scale),
-                figures::scaling_curve(scale),
+                figures::nvlink_sweep(&ctx, scale),
+                figures::scaling_curve(&ctx, scale),
                 figures::topology_comparison(scale),
             ] {
                 println!("{}", f.render());
@@ -83,13 +102,13 @@ fn main() {
             println!("{}", figures::table2());
             println!("{}", figures::fig3().render());
             for f in [
-                figures::fig1(scale),
-                figures::fig8(scale),
-                figures::fig9(scale),
-                figures::fig10(scale),
-                figures::fig11(scale),
-                figures::fig12(scale),
-                figures::fig13(scale),
+                figures::fig1(&ctx, scale),
+                figures::fig8(&ctx, scale),
+                figures::fig9(&ctx, scale),
+                figures::fig10(&ctx, scale),
+                figures::fig11(&ctx, scale),
+                figures::fig12(&ctx, scale),
+                figures::fig13(&ctx, scale),
                 figures::fig14(scale),
                 figures::gps_tlb_sensitivity(scale),
                 figures::page_size_sensitivity(scale),

@@ -3,10 +3,25 @@
 //! Every function regenerates the rows/series of one table or figure and
 //! returns them as a [`Figure`] so integration tests can assert the
 //! *shapes* (who wins, rough factors, crossovers) without parsing text.
+//!
+//! Figures that run the default machine — the speedup tables (1, 8, 11,
+//! 12, 13), fig9/fig10, and the link/scaling sweeps — execute through
+//! [`gps_harness::run_units`] when their [`FigureCtx`] carries a
+//! result-store path: runs are content-addressed, completed keys are cache
+//! hits, so an interrupted or repeated regeneration only simulates what is
+//! missing, and a store shared with `gps-run sweep` reuses its results.
+//! Figures that need a custom policy or machine configuration (fig14 and
+//! the TLB/watermark/profiling/topology/page-size ablations) fall outside
+//! the run-key space and always execute in memory.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use gps_core::GpsConfig;
+use gps_harness::{
+    run_key_default_machine, run_units, RunRecord, RunStatus, RunUnit, SweepOptions,
+};
 use gps_interconnect::{LinkGen, PLATFORMS};
 use gps_paradigms::{GpsPolicy, Paradigm};
 use gps_sim::GpuConfig;
@@ -14,8 +29,8 @@ use gps_types::PageSize;
 use gps_workloads::{suite, ScaleProfile};
 
 use crate::runner::{
-    baseline, geomean, measure, measure_with_policy, parallel_map, speedup,
-    steady_traffic_per_iteration, Measurement, RunSpec,
+    baseline, geomean, measure, measure_with_policy, parallel_map, steady_traffic_per_iteration,
+    Measurement, RunSpec,
 };
 
 /// One reproduced figure: a label per series column and one row per
@@ -113,35 +128,155 @@ fn spec(paradigm: Paradigm, gpus: usize, link: LinkGen, scale: ScaleProfile) -> 
     }
 }
 
+/// Execution context of the figure runners.
+#[derive(Debug, Clone, Default)]
+pub struct FigureCtx {
+    /// When set, default-machine runs execute through
+    /// [`gps_harness::run_units`] against the JSON-lines result store at
+    /// this path: completed run keys are skipped (resume) and fresh
+    /// results are appended as they finish.
+    pub store: Option<PathBuf>,
+}
+
+impl FigureCtx {
+    /// Run every simulation in memory (no store, no resume).
+    pub fn in_memory() -> FigureCtx {
+        FigureCtx { store: None }
+    }
+
+    /// Resume from (and append to) the result store at `path`.
+    pub fn with_store(path: impl Into<PathBuf>) -> FigureCtx {
+        FigureCtx {
+            store: Some(path.into()),
+        }
+    }
+}
+
+/// The slice of one run the figure math consumes — distilled from an
+/// in-memory [`Measurement`] or read back from a stored [`RunRecord`];
+/// identical either way (the JSON codec round-trips `f64` exactly).
+struct FigRun {
+    steady_cycles: f64,
+    metrics: Vec<(String, f64)>,
+}
+
+impl FigRun {
+    fn metric(&self, name: &str) -> f64 {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    fn steady_traffic(&self) -> f64 {
+        self.metric("steady_traffic_per_iteration")
+    }
+}
+
+/// Mirrors what the sweep executor stores per run ([`RunRecord::metrics`]),
+/// so both execution paths feed the figure math the same numbers.
+fn fig_run(m: &Measurement) -> FigRun {
+    let mut metrics = m.report.policy_metrics.clone();
+    metrics.push((
+        "steady_traffic_per_iteration".to_owned(),
+        steady_traffic_per_iteration(&m.report, m.phases_per_iteration),
+    ));
+    FigRun {
+        steady_cycles: m.steady_cycles,
+        metrics,
+    }
+}
+
+/// The single-GPU run every speedup is normalised to (same spec as
+/// [`baseline`]).
+fn baseline_spec(scale: ScaleProfile) -> RunSpec {
+    spec(Paradigm::InfiniteBw, 1, LinkGen::Pcie3, scale)
+}
+
+/// Executes `jobs` (application name × default-machine spec) and returns
+/// one [`FigRun`] per job, in order.
+///
+/// Without a store this is a plain [`parallel_map`] over [`measure`]. With
+/// one, the jobs become deduplicated [`RunUnit`]s handed to [`run_units`],
+/// which skips keys the store has already completed and appends the rest —
+/// repeated regeneration, and figures sharing runs (the per-link sweeps
+/// share their baselines), only simulate what is missing. A quarantined
+/// run panics: figure math cannot proceed on a placeholder record.
+fn run_default_machine(ctx: &FigureCtx, jobs: &[(&'static str, RunSpec)]) -> Vec<FigRun> {
+    let Some(store) = &ctx.store else {
+        return parallel_map(
+            jobs.iter()
+                .map(|&(name, s)| {
+                    let app = suite::by_name(name).expect("known app");
+                    move || fig_run(&measure(&app, s))
+                })
+                .collect(),
+        );
+    };
+
+    let mut units = Vec::new();
+    let mut seen = BTreeSet::new();
+    for &(name, s) in jobs {
+        let key = run_key_default_machine(name, s);
+        if seen.insert(key.clone()) {
+            units.push(RunUnit {
+                key,
+                app: name.to_owned(),
+                spec: s,
+            });
+        }
+    }
+    let outcome =
+        run_units(units, store, &SweepOptions::default()).expect("figure result store I/O");
+    let by_key: BTreeMap<&str, &RunRecord> = outcome
+        .records
+        .iter()
+        .map(|r| (r.key.as_str(), r))
+        .collect();
+    jobs.iter()
+        .map(|&(name, s)| {
+            let key = run_key_default_machine(name, s);
+            let r = by_key
+                .get(key.as_str())
+                .unwrap_or_else(|| panic!("result store is missing run {key}"));
+            assert!(
+                r.status == RunStatus::Ok,
+                "figure run quarantined: {} ({})",
+                r.key,
+                r.error.as_deref().unwrap_or("unknown error"),
+            );
+            FigRun {
+                steady_cycles: r.steady_cycles,
+                metrics: r.metrics.clone(),
+            }
+        })
+        .collect()
+}
+
 /// Speedup table over the application suite: one row per app plus a
 /// geomean row, one column per `(paradigm, link)` pair.
 fn speedup_figure(
+    ctx: &FigureCtx,
     title: &str,
     columns: Vec<(String, Paradigm, LinkGen)>,
     gpus: usize,
     scale: ScaleProfile,
 ) -> Figure {
     let apps = suite::all();
-    // Baselines in parallel, then the grid in parallel.
-    let bases: Vec<Measurement> = parallel_map(
-        apps.iter()
-            .map(|app| {
-                let app = suite::by_name(app.name).expect("known app");
-                move || baseline(&app, scale)
-            })
-            .collect(),
-    );
-    let jobs: Vec<_> = apps
+    // Baselines first, then the grid, as one job list — a store-backed
+    // regeneration resolves all of it in a single `run_units` invocation.
+    let mut jobs: Vec<(&'static str, RunSpec)> = apps
         .iter()
-        .flat_map(|app| {
-            columns.iter().map(move |(_, paradigm, link)| {
-                let app = suite::by_name(app.name).expect("known app");
-                let s = spec(*paradigm, gpus, *link, scale);
-                move || measure(&app, s)
-            })
-        })
+        .map(|app| (app.name, baseline_spec(scale)))
         .collect();
-    let results = parallel_map(jobs);
+    for app in &apps {
+        for (_, paradigm, link) in &columns {
+            jobs.push((app.name, spec(*paradigm, gpus, *link, scale)));
+        }
+    }
+    let runs = run_default_machine(ctx, &jobs);
+    let (bases, grid) = runs.split_at(apps.len());
 
     let ncols = columns.len();
     let mut rows = Vec::new();
@@ -149,8 +284,7 @@ fn speedup_figure(
     for (ai, app) in apps.iter().enumerate() {
         let mut vals = Vec::with_capacity(ncols);
         for ci in 0..ncols {
-            let m = &results[ai * ncols + ci];
-            let s = speedup(m, &bases[ai]);
+            let s = bases[ai].steady_cycles / grid[ai * ncols + ci].steady_cycles;
             per_column[ci].push(s);
             vals.push(s);
         }
@@ -225,8 +359,9 @@ pub fn table2() -> String {
 /// Figure 1: 4-GPU strong scaling of the bulk-synchronous (memcpy)
 /// programming style under PCIe 3.0, projected PCIe 6.0 and an infinite
 /// interconnect.
-pub fn fig1(scale: ScaleProfile) -> Figure {
+pub fn fig1(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     speedup_figure(
+        ctx,
         "Figure 1: 4-GPU scaling vs interconnect (memcpy programming model)",
         vec![
             ("PCIe3.0".into(), Paradigm::Memcpy, LinkGen::Pcie3),
@@ -256,8 +391,9 @@ pub fn fig3() -> Figure {
 }
 
 /// Figure 8: 4-GPU speedup of every paradigm over one GPU (PCIe 3.0).
-pub fn fig8(scale: ScaleProfile) -> Figure {
+pub fn fig8(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     speedup_figure(
+        ctx,
         "Figure 8: 4-GPU speedup of different paradigms (PCIe 3.0)",
         Paradigm::FIGURE8
             .iter()
@@ -270,24 +406,18 @@ pub fn fig8(scale: ScaleProfile) -> Figure {
 
 /// Figure 9: subscriber distribution of shared GPS pages (percent of
 /// multi-subscriber pages with 2, 3 and 4 subscribers) on 4 GPUs.
-pub fn fig9(scale: ScaleProfile) -> Figure {
+pub fn fig9(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     let apps = suite::all();
-    let results = parallel_map(
-        apps.iter()
-            .map(|app| {
-                let app = suite::by_name(app.name).expect("known app");
-                move || measure(&app, spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale))
-            })
-            .collect(),
-    );
-    let rows = results
+    let jobs: Vec<(&'static str, RunSpec)> = apps
         .iter()
-        .map(|m| {
-            let count = |k: usize| {
-                m.report
-                    .metric(&format!("pages_{k}_subscribers"))
-                    .unwrap_or(0.0)
-            };
+        .map(|app| (app.name, spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale)))
+        .collect();
+    let runs = run_default_machine(ctx, &jobs);
+    let rows = apps
+        .iter()
+        .zip(&runs)
+        .map(|(app, run)| {
+            let count = |k: usize| run.metric(&format!("pages_{k}_subscribers"));
             let shared: f64 = (2..=4).map(count).sum();
             let pct = |k: usize| {
                 if shared > 0.0 {
@@ -296,7 +426,7 @@ pub fn fig9(scale: ScaleProfile) -> Figure {
                     0.0
                 }
             };
-            (m.app.to_owned(), vec![pct(4), pct(3), pct(2)])
+            (app.name.to_owned(), vec![pct(4), pct(3), pct(2)])
         })
         .collect();
     Figure {
@@ -313,7 +443,7 @@ pub fn fig9(scale: ScaleProfile) -> Figure {
 
 /// Figure 10: steady-state interconnect traffic per iteration, normalised
 /// to the memcpy paradigm (4 GPUs, PCIe 3.0).
-pub fn fig10(scale: ScaleProfile) -> Figure {
+pub fn fig10(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     let apps = suite::all();
     let paradigms = [
         Paradigm::Um,
@@ -322,26 +452,21 @@ pub fn fig10(scale: ScaleProfile) -> Figure {
         Paradigm::Memcpy,
         Paradigm::Gps,
     ];
-    let jobs: Vec<_> = apps
+    let jobs: Vec<(&'static str, RunSpec)> = apps
         .iter()
         .flat_map(|app| {
-            paradigms.iter().map(move |p| {
-                let app = suite::by_name(app.name).expect("known app");
-                let s = spec(*p, 4, LinkGen::Pcie3, scale);
-                move || measure(&app, s)
-            })
+            paradigms
+                .iter()
+                .map(move |&p| (app.name, spec(p, 4, LinkGen::Pcie3, scale)))
         })
         .collect();
-    let results = parallel_map(jobs);
-    let ppi = 1; // all suite workloads use one phase per iteration
+    let runs = run_default_machine(ctx, &jobs);
     let rows = apps
         .iter()
         .enumerate()
         .map(|(ai, app)| {
             let traffic: Vec<f64> = (0..paradigms.len())
-                .map(|ci| {
-                    steady_traffic_per_iteration(&results[ai * paradigms.len() + ci].report, ppi)
-                })
+                .map(|ci| runs[ai * paradigms.len() + ci].steady_traffic())
                 .collect();
             let memcpy = traffic[3].max(1.0);
             (
@@ -363,8 +488,9 @@ pub fn fig10(scale: ScaleProfile) -> Figure {
 }
 
 /// Figure 11: GPS with vs without subscription tracking (4 GPUs, PCIe 3.0).
-pub fn fig11(scale: ScaleProfile) -> Figure {
+pub fn fig11(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     speedup_figure(
+        ctx,
         "Figure 11: performance sensitivity to subscription (4 GPUs, PCIe 3.0)",
         vec![
             (
@@ -384,8 +510,9 @@ pub fn fig11(scale: ScaleProfile) -> Figure {
 }
 
 /// Figure 12: 16-GPU speedups under projected PCIe 6.0.
-pub fn fig12(scale: ScaleProfile) -> Figure {
+pub fn fig12(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     speedup_figure(
+        ctx,
         "Figure 12: 16-GPU performance of different paradigms (PCIe 6.0 projected)",
         Paradigm::FIGURE8
             .iter()
@@ -398,10 +525,11 @@ pub fn fig12(scale: ScaleProfile) -> Figure {
 
 /// Figure 13: geomean 4-GPU speedup per paradigm as the interconnect
 /// improves from PCIe 3.0 to projected PCIe 6.0.
-pub fn fig13(scale: ScaleProfile) -> Figure {
+pub fn fig13(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     let mut rows = Vec::new();
     for link in LinkGen::PCIE_SWEEP {
         let fig = speedup_figure(
+            ctx,
             "inner",
             Paradigm::FIGURE8
                 .iter()
@@ -608,7 +736,7 @@ pub fn profiling_mode(scale: ScaleProfile) -> Figure {
 
 /// Extension: geomean speedups on NVLink-class fabrics (Figure 3's
 /// platforms, applied to the Figure 13 sweep).
-pub fn nvlink_sweep(scale: ScaleProfile) -> Figure {
+pub fn nvlink_sweep(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     let mut rows = Vec::new();
     for link in [
         LinkGen::Pcie3,
@@ -617,6 +745,7 @@ pub fn nvlink_sweep(scale: ScaleProfile) -> Figure {
         LinkGen::NvLink3,
     ] {
         let fig = speedup_figure(
+            ctx,
             "inner",
             Paradigm::FIGURE8
                 .iter()
@@ -637,30 +766,23 @@ pub fn nvlink_sweep(scale: ScaleProfile) -> Figure {
 
 /// Extension: GPS strong-scaling curve across GPU counts (PCIe 6.0),
 /// interpolating between the paper's 4-GPU and 16-GPU systems.
-pub fn scaling_curve(scale: ScaleProfile) -> Figure {
+pub fn scaling_curve(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     let counts = [2usize, 4, 8, 16];
     let paradigms = [Paradigm::Memcpy, Paradigm::Gps, Paradigm::InfiniteBw];
     let apps = suite::all();
-    let bases: Vec<Measurement> = parallel_map(
-        apps.iter()
-            .map(|app| {
-                let app = suite::by_name(app.name).expect("known app");
-                move || baseline(&app, scale)
-            })
-            .collect(),
-    );
-    let jobs: Vec<_> = counts
+    let mut jobs: Vec<(&'static str, RunSpec)> = apps
         .iter()
-        .flat_map(|&gpus| {
-            paradigms.iter().flat_map(move |&p| {
-                suite::all().into_iter().map(move |app| {
-                    let app = suite::by_name(app.name).expect("known app");
-                    move || measure(&app, spec(p, gpus, LinkGen::Pcie6, scale))
-                })
-            })
-        })
+        .map(|app| (app.name, baseline_spec(scale)))
         .collect();
-    let results = parallel_map(jobs);
+    for &gpus in &counts {
+        for &p in &paradigms {
+            for app in &apps {
+                jobs.push((app.name, spec(p, gpus, LinkGen::Pcie6, scale)));
+            }
+        }
+    }
+    let runs = run_default_machine(ctx, &jobs);
+    let (bases, grid) = runs.split_at(apps.len());
     let napps = apps.len();
     let mut rows = Vec::new();
     for (ci, &gpus) in counts.iter().enumerate() {
@@ -668,7 +790,7 @@ pub fn scaling_curve(scale: ScaleProfile) -> Figure {
         for (pi, _) in paradigms.iter().enumerate() {
             let start = ci * paradigms.len() * napps + pi * napps;
             let speedups: Vec<f64> = (0..napps)
-                .map(|ai| speedup(&results[start + ai], &bases[ai]))
+                .map(|ai| bases[ai].steady_cycles / grid[start + ai].steady_cycles)
                 .collect();
             geo.push(geomean(&speedups));
         }

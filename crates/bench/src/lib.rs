@@ -5,7 +5,9 @@
 //! applications and paradigms); [`figures`] renders each table and figure
 //! of the paper as text, in the same rows/series the paper reports. The
 //! `figures` binary dispatches on a figure id (`fig1`, `fig8`, ...,
-//! `table1`, `tlb`, `pagesize`, `all`).
+//! `table1`, `tlb`, `pagesize`, `all`); with `--store <path>` the
+//! default-machine figures resume from a `gps-harness` result store
+//! instead of rerunning every simulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,4 +15,5 @@
 pub mod figures;
 pub mod runner;
 
+pub use figures::FigureCtx;
 pub use runner::{measure, steady_cycles_per_iteration, Measurement, RunSpec};

@@ -1,0 +1,615 @@
+//! `gps-run bench` — the streaming-pipeline micro-suite.
+//!
+//! A fixed set of benchmark cases that quantify what the streaming warp
+//! pipeline buys over the materialised baseline, at three scales:
+//!
+//! * **trace-replay cases** — a replay-bound micro workload (many short
+//!   warps, single-line accesses) is recorded once, then simulated three
+//!   ways: `Trace::replay_materialised` (the pre-streaming behaviour: one
+//!   `Vec<WarpInstr>` per warp, cloned at every spawn),
+//!   [`Trace::replay`] (zero-copy cursors over the shared trace bytes),
+//!   and `replay` with the overlapped expansion pipeline enabled. All
+//!   three must produce bit-identical [`SimReport`]s — the bench *fails*
+//!   if they diverge.
+//! * **synthetic cases** — a suite application run from its generator
+//!   closures at pipeline depth 0 vs. depth N, measuring what overlapped
+//!   expansion contributes when warp programs are computed, not decoded.
+//!
+//! Results are written to `BENCH_sim.json` (wall-clock milliseconds and
+//! peak RSS per leg). The schema is versioned and checked by CI; the
+//! timings themselves are host-dependent and are *not* gated there.
+//!
+//! [`Trace::replay`]: gps_sim::Trace::replay
+//! [`SimReport`]: gps_sim::SimReport
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gps_interconnect::LinkGen;
+use gps_sim::{
+    AllLocalPolicy, Engine, KernelSpec, SimConfig, SimReport, Trace, WarpCtx, WarpInstr, Workload,
+    WorkloadBuilder,
+};
+use gps_types::{GpuId, Json, PageSize};
+use gps_workloads::{suite, ScaleProfile};
+
+/// Bump when the shape of `BENCH_sim.json` changes; CI greps for this.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Pipeline depth used for the pipelined legs when the caller does not
+/// override it (CTAs of pre-expanded warp streams buffered per kernel).
+pub const DEFAULT_BENCH_DEPTH: usize = 4;
+
+/// Options for [`run_bench`].
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Run the reduced suite (small cases only, one repetition) — used by
+    /// the CI schema smoke test.
+    pub quick: bool,
+    /// Pipeline depth for the pipelined legs.
+    pub pipeline_depth: usize,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            pipeline_depth: DEFAULT_BENCH_DEPTH,
+            out: PathBuf::from("BENCH_sim.json"),
+        }
+    }
+}
+
+/// One timed execution.
+#[derive(Debug, Clone)]
+pub struct BenchLeg {
+    /// Leg label (`materialised`, `streaming`, `streaming_pipelined`, ...).
+    pub mode: &'static str,
+    /// Pipeline depth the leg ran at.
+    pub depth: usize,
+    /// Best-of-reps wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Peak RSS in KiB after the leg (`VmHWM`; 0 if unreadable).
+    pub peak_rss_kb: u64,
+    /// Simulated cycles of the report (identical across legs of a case).
+    pub total_cycles: u64,
+}
+
+/// One benchmark case: several legs over the same simulation.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Case name (`replay_paper_4gpu`, ...).
+    pub name: String,
+    /// `trace_replay` or `synthetic`.
+    pub kind: &'static str,
+    /// GPU count.
+    pub gpus: usize,
+    /// Total warps simulated.
+    pub total_warps: u64,
+    /// Serialised trace size (0 for synthetic cases).
+    pub trace_bytes: u64,
+    /// Repetitions per leg (wall time is the minimum).
+    pub reps: u32,
+    /// The timed legs.
+    pub legs: Vec<BenchLeg>,
+    /// Whether every leg produced a bit-identical report.
+    pub reports_identical: bool,
+}
+
+impl BenchCase {
+    fn leg_wall(&self, mode: &str) -> Option<f64> {
+        self.legs.iter().find(|l| l.mode == mode).map(|l| l.wall_ms)
+    }
+
+    /// Wall-clock speedup of the streaming leg over the materialised one
+    /// (trace-replay cases only).
+    pub fn speedup_streaming(&self) -> Option<f64> {
+        Some(self.leg_wall("materialised")? / self.leg_wall("streaming")?)
+    }
+
+    /// Wall-clock speedup of the pipelined streaming leg over the
+    /// materialised one (trace-replay cases only).
+    pub fn speedup_pipelined(&self) -> Option<f64> {
+        Some(self.leg_wall("materialised")? / self.leg_wall("streaming_pipelined")?)
+    }
+}
+
+/// The full suite result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Whether the reduced suite ran.
+    pub quick: bool,
+    /// Depth of the pipelined legs.
+    pub pipeline_depth: usize,
+    /// Whether `/proc/self/clear_refs` accepted a peak-RSS reset (when it
+    /// does not, `VmHWM` is monotone across legs and only the first leg's
+    /// reading is a true per-leg peak).
+    pub rss_reset_supported: bool,
+    /// The cases, in execution order.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Renders the report as the `BENCH_sim.json` document.
+    pub fn to_json(&self) -> Json {
+        let cases = self
+            .cases
+            .iter()
+            .map(|c| {
+                let legs = c
+                    .legs
+                    .iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("mode".into(), Json::Str(l.mode.into())),
+                            ("depth".into(), Json::Num(l.depth as f64)),
+                            ("wall_ms".into(), Json::Num(l.wall_ms)),
+                            ("peak_rss_kb".into(), Json::Num(l.peak_rss_kb as f64)),
+                            ("total_cycles".into(), Json::Num(l.total_cycles as f64)),
+                        ])
+                    })
+                    .collect();
+                let mut fields = vec![
+                    ("name".into(), Json::Str(c.name.clone())),
+                    ("kind".into(), Json::Str(c.kind.into())),
+                    ("gpus".into(), Json::Num(c.gpus as f64)),
+                    ("total_warps".into(), Json::Num(c.total_warps as f64)),
+                    ("trace_bytes".into(), Json::Num(c.trace_bytes as f64)),
+                    ("reps".into(), Json::Num(f64::from(c.reps))),
+                    ("legs".into(), Json::Arr(legs)),
+                    ("reports_identical".into(), Json::Bool(c.reports_identical)),
+                ];
+                if let Some(s) = c.speedup_streaming() {
+                    fields.push(("speedup_streaming".into(), Json::Num(round3(s))));
+                }
+                if let Some(s) = c.speedup_pipelined() {
+                    fields.push(("speedup_pipelined".into(), Json::Num(round3(s))));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(BENCH_SCHEMA_VERSION as f64),
+            ),
+            (
+                "bench".into(),
+                Json::Str("gps streaming-pipeline micro-suite".into()),
+            ),
+            ("quick".into(), Json::Bool(self.quick)),
+            (
+                "pipeline_depth".into(),
+                Json::Num(self.pipeline_depth as f64),
+            ),
+            (
+                "rss_reset_supported".into(),
+                Json::Bool(self.rss_reset_supported),
+            ),
+            ("cases".into(), Json::Arr(cases)),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Peak resident set (`VmHWM`) in KiB, 0 when `/proc` is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Attempts to reset the peak-RSS watermark so each leg reads its own peak
+/// (`echo 5 > /proc/self/clear_refs`; not supported on every kernel).
+fn try_reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// The replay-bound micro workload: `gpus × ctas_per_gpu × warps_per_cta`
+/// warps, each issuing a *single* instruction — alternating between a
+/// compute and a single-line load on a small cache-hot per-GPU window of
+/// a shared array. Millions of one-instruction warps put the per-warp
+/// fixed costs (decode, allocation, copy at every spawn) in the
+/// numerator: the case measures trace expansion, not the memory system,
+/// which is precisely what the streaming pipeline optimises.
+fn replay_micro(gpus: usize, ctas_per_gpu: u32, warps_per_cta: u32) -> Workload {
+    // Each GPU cycles through a window that fits its L1/L2, so almost
+    // every access hits and the per-instruction simulation cost stays
+    // near its floor.
+    const WINDOW_LINES: u64 = 256;
+    let mut b = WorkloadBuilder::new("replay_micro", PageSize::Standard64K, gpus);
+    let data = b
+        .alloc_shared("data", gpus as u64 * WINDOW_LINES * 128)
+        .expect("micro allocation");
+    let launches = (0..gpus)
+        .map(|g| {
+            let base = data.line_at(g as u64 * WINDOW_LINES);
+            KernelSpec {
+                name: format!("micro{g}"),
+                gpu: GpuId::new(g as u16),
+                cta_count: ctas_per_gpu,
+                warps_per_cta,
+                program: Arc::new(move |ctx: WarpCtx| {
+                    let w = ctx.global_warp() as u64;
+                    vec![if w.is_multiple_of(2) {
+                        WarpInstr::Compute(4 + (w % 13) as u32)
+                    } else {
+                        WarpInstr::load1(base.offset(w % WINDOW_LINES))
+                    }]
+                }),
+            }
+        })
+        .collect();
+    b.phase(launches);
+    b.build(1).expect("micro workload validates")
+}
+
+/// Simulates `workload` under the all-local policy at the given pipeline
+/// depth (the bench isolates trace expansion from paradigm behaviour).
+fn simulate(workload: &Workload, depth: usize) -> SimReport {
+    let mut config = SimConfig::gv100_system(workload.gpu_count).with_stream_pipeline_depth(depth);
+    config.page_size = workload.page_size;
+    let mut policy = AllLocalPolicy::new();
+    Engine::new(config, LinkGen::Pcie3, workload, &mut policy)
+        .expect("bench workload/machine mismatch")
+        .run()
+}
+
+/// One leg description: how to rebuild the workload and at what depth to
+/// simulate it.
+struct LegSpec<'a> {
+    mode: &'static str,
+    depth: usize,
+    build: Box<dyn Fn() -> Workload + 'a>,
+}
+
+/// Times every leg `reps` times in *interleaved rounds* (leg A, leg B,
+/// ..., then again), taking each leg's minimum. Interleaving matters on
+/// shared hosts: a noisy burst that lands inside one round slows every
+/// leg of that round equally instead of poisoning one leg's entire
+/// sample, so the min-of-rounds ratio reflects the structural difference.
+fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) {
+    let mut walls = vec![f64::INFINITY; legs.len()];
+    let mut rss = vec![0u64; legs.len()];
+    let mut reports: Vec<Option<SimReport>> = legs.iter().map(|_| None).collect();
+    for _ in 0..reps.max(1) {
+        for (i, leg) in legs.iter().enumerate() {
+            try_reset_peak_rss();
+            let start = Instant::now();
+            let wl = (leg.build)();
+            let r = simulate(&wl, leg.depth);
+            drop(wl);
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            walls[i] = walls[i].min(wall);
+            rss[i] = rss[i].max(peak_rss_kb());
+            reports[i] = Some(r);
+        }
+    }
+    let reports: Vec<SimReport> = reports
+        .into_iter()
+        .map(|r| r.expect("at least one round ran"))
+        .collect();
+    let bench_legs = legs
+        .iter()
+        .enumerate()
+        .map(|(i, leg)| BenchLeg {
+            mode: leg.mode,
+            depth: leg.depth,
+            wall_ms: walls[i],
+            peak_rss_kb: rss[i],
+            total_cycles: reports[i].total_cycles.as_u64(),
+        })
+        .collect();
+    (bench_legs, reports)
+}
+
+fn reports_identical(reports: &[SimReport]) -> bool {
+    let Some((first, rest)) = reports.split_first() else {
+        return true;
+    };
+    let canon = format!("{first:?}");
+    rest.iter().all(|r| format!("{r:?}") == canon)
+}
+
+fn trace_replay_case(
+    name: &str,
+    gpus: usize,
+    ctas_per_gpu: u32,
+    warps_per_cta: u32,
+    reps: u32,
+    depth: usize,
+    log: bool,
+) -> BenchCase {
+    let workload = replay_micro(gpus, ctas_per_gpu, warps_per_cta);
+    let total_warps = workload.total_warps();
+    let trace = Trace::record(&workload);
+    drop(workload);
+    let trace_bytes = trace.len() as u64;
+    if log {
+        println!("[bench] {name}: {total_warps} warps, {trace_bytes} trace bytes");
+    }
+
+    // Streaming legs come first in each round: without a peak-RSS reset
+    // `VmHWM` is monotone, and this order keeps the streaming numbers
+    // untainted by the materialised leg's larger footprint.
+    let legs = [
+        LegSpec {
+            mode: "streaming",
+            depth: 0,
+            build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
+        },
+        LegSpec {
+            mode: "streaming_pipelined",
+            depth,
+            build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
+        },
+        LegSpec {
+            mode: "materialised",
+            depth: 0,
+            build: Box::new(|| {
+                trace
+                    .replay_materialised("bench")
+                    .expect("recorded trace replays")
+            }),
+        },
+    ];
+    let (timed, reports) = run_legs(&legs, reps);
+
+    let case = BenchCase {
+        name: name.to_owned(),
+        kind: "trace_replay",
+        gpus,
+        total_warps,
+        trace_bytes,
+        reps,
+        legs: timed,
+        reports_identical: reports_identical(&reports),
+    };
+    if log {
+        println!(
+            "[bench] {name}: streaming {:.1} ms, pipelined {:.1} ms, materialised {:.1} ms \
+             (speedup {:.2}x / {:.2}x, identical: {})",
+            case.leg_wall("streaming").unwrap_or(0.0),
+            case.leg_wall("streaming_pipelined").unwrap_or(0.0),
+            case.leg_wall("materialised").unwrap_or(0.0),
+            case.speedup_streaming().unwrap_or(0.0),
+            case.speedup_pipelined().unwrap_or(0.0),
+            case.reports_identical,
+        );
+    }
+    case
+}
+
+fn synthetic_case(
+    name: &str,
+    app: &str,
+    gpus: usize,
+    scale: ScaleProfile,
+    reps: u32,
+    depth: usize,
+    log: bool,
+) -> BenchCase {
+    let entry = suite::by_name(app).expect("suite application exists");
+    let total_warps = (entry.build)(gpus, scale).total_warps();
+    let legs = [
+        LegSpec {
+            mode: "generator",
+            depth: 0,
+            build: Box::new(move || (entry.build)(gpus, scale)),
+        },
+        LegSpec {
+            mode: "generator_pipelined",
+            depth,
+            build: Box::new(move || (entry.build)(gpus, scale)),
+        },
+    ];
+    let (timed, reports) = run_legs(&legs, reps);
+    let case = BenchCase {
+        name: name.to_owned(),
+        kind: "synthetic",
+        gpus,
+        total_warps,
+        trace_bytes: 0,
+        reps,
+        legs: timed,
+        reports_identical: reports_identical(&reports),
+    };
+    if log {
+        println!(
+            "[bench] {name}: generator {:.1} ms, pipelined {:.1} ms (identical: {})",
+            case.leg_wall("generator").unwrap_or(0.0),
+            case.leg_wall("generator_pipelined").unwrap_or(0.0),
+            case.reports_identical,
+        );
+    }
+    case
+}
+
+/// Runs the micro-suite and writes `BENCH_sim.json` to `opts.out`.
+///
+/// # Errors
+///
+/// Fails if any case's legs produce diverging [`SimReport`]s (a
+/// correctness bug, not a measurement artefact) or the report cannot be
+/// written.
+pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchReport> {
+    run_bench_logged(opts, true)
+}
+
+/// [`run_bench`] with progress printing controlled (tests run silent).
+///
+/// # Errors
+///
+/// Same contract as [`run_bench`].
+pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<BenchReport> {
+    let depth = if opts.pipeline_depth == 0 {
+        DEFAULT_BENCH_DEPTH
+    } else {
+        opts.pipeline_depth
+    };
+    let rss_reset_supported = try_reset_peak_rss();
+
+    let mut cases = Vec::new();
+    if opts.quick {
+        cases.push(trace_replay_case(
+            "replay_small_1gpu",
+            1,
+            512,
+            2,
+            1,
+            depth,
+            log,
+        ));
+        cases.push(synthetic_case(
+            "synthetic_jacobi_2gpu",
+            "jacobi",
+            2,
+            ScaleProfile::Tiny,
+            1,
+            depth,
+            log,
+        ));
+    } else {
+        cases.push(trace_replay_case(
+            "replay_small_1gpu",
+            1,
+            512,
+            2,
+            3,
+            depth,
+            log,
+        ));
+        cases.push(trace_replay_case(
+            "replay_medium_2gpu",
+            2,
+            4096,
+            4,
+            2,
+            depth,
+            log,
+        ));
+        cases.push(trace_replay_case(
+            "replay_paper_4gpu",
+            4,
+            32768,
+            8,
+            3,
+            depth,
+            log,
+        ));
+        cases.push(synthetic_case(
+            "synthetic_jacobi_4gpu",
+            "jacobi",
+            4,
+            ScaleProfile::Small,
+            1,
+            depth,
+            log,
+        ));
+    }
+
+    if let Some(bad) = cases.iter().find(|c| !c.reports_identical) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "bench case {} produced diverging SimReports across legs",
+                bad.name
+            ),
+        ));
+    }
+
+    let report = BenchReport {
+        quick: opts.quick,
+        pipeline_depth: depth,
+        rss_reset_supported,
+        cases,
+    };
+    write_bench_json(&report, &opts.out)?;
+    if log {
+        println!("[bench] wrote {}", opts.out.display());
+    }
+    Ok(report)
+}
+
+fn write_bench_json(report: &BenchReport, out: &Path) -> std::io::Result<()> {
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(out, report.to_json().emit() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_workload_validates_and_scales() {
+        let wl = replay_micro(2, 8, 2);
+        assert_eq!(wl.gpu_count, 2);
+        assert_eq!(wl.total_warps(), 32);
+        let r = simulate(&wl, 0);
+        assert_eq!(r.gpu_count, 2);
+        assert!(r.total_cycles.as_u64() > 0);
+    }
+
+    #[test]
+    fn quick_bench_writes_versioned_schema() {
+        let dir = std::env::temp_dir().join(format!("gps_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_sim.json");
+        let opts = BenchOptions {
+            quick: true,
+            pipeline_depth: 2,
+            out: out.clone(),
+        };
+        let report = run_bench_logged(&opts, false).expect("quick bench runs");
+        assert!(report.cases.iter().all(|c| c.reports_identical));
+
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        let cases = doc.get("cases").and_then(Json::as_arr).expect("cases");
+        assert!(!cases.is_empty());
+        for case in cases {
+            for key in ["name", "kind", "gpus", "legs", "reports_identical"] {
+                assert!(case.get(key).is_some(), "case missing {key}");
+            }
+            for leg in case.get("legs").and_then(Json::as_arr).unwrap() {
+                for key in ["mode", "depth", "wall_ms", "peak_rss_kb", "total_cycles"] {
+                    assert!(leg.get(key).is_some(), "leg missing {key}");
+                }
+            }
+        }
+        let replay = cases
+            .iter()
+            .find(|c| c.get("kind").and_then(Json::as_str) == Some("trace_replay"))
+            .expect("a trace_replay case");
+        assert!(replay.get("speedup_streaming").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_report_check_spots_divergence() {
+        let wl = replay_micro(1, 4, 2);
+        let a = simulate(&wl, 0);
+        let mut b = simulate(&wl, 0);
+        assert!(reports_identical(&[a.clone(), b.clone()]));
+        b.interconnect_bytes += 1;
+        assert!(!reports_identical(&[a, b]));
+    }
+}

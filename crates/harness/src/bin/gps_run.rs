@@ -5,6 +5,7 @@
 //! gps-run resume   [flags]     alias of sweep that refuses --fresh (resume-only)
 //! gps-run report   [flags]     print the result store as a table or CSV
 //! gps-run timeline <run-key>   reconstruct a run's cycle-resolved Chrome trace
+//! gps-run bench    [flags]     run the streaming-pipeline micro-suite
 //! gps-run gc       [flags]     compact the store to the latest record per key
 //! ```
 //!
@@ -13,6 +14,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use gps_harness::bench::{BenchOptions, DEFAULT_BENCH_DEPTH};
 use gps_harness::store::{ResultStore, RunStatus};
 use gps_harness::sweep::{run_sweep, SweepOptions, SweepSpec};
 use gps_interconnect::LinkGen;
@@ -23,7 +25,7 @@ const USAGE: &str = "\
 gps-run — resumable parallel sweeps over the GPS evaluation space
 
 USAGE:
-    gps-run <sweep|resume|report|timeline|gc|help> [flags]
+    gps-run <sweep|resume|report|timeline|bench|gc|help> [flags]
 
 SWEEP / RESUME FLAGS:
     --store <path>        result store (JSON lines), default results/store.jsonl
@@ -44,6 +46,8 @@ SWEEP / RESUME FLAGS:
     --quiet               suppress per-run progress output
     --telemetry <dir>     record cycle-resolved telemetry per executed run and
                           write <key>.trace.json + <key>.phases.txt into <dir>
+    --pipeline-depth <n>  overlapped trace-expansion depth (CTAs buffered per
+                          kernel); wall-clock only, results are bit-identical
 
 REPORT FLAGS:
     --store <path>        result store to read
@@ -54,6 +58,14 @@ TIMELINE (gps-run timeline <run-key> [flags]):
     and exports a Chrome trace; <run-key> may be a unique key prefix
     --store <path>        result store to look the key up in
     --out <dir>           output directory, default results/telemetry
+
+BENCH FLAGS:
+    runs the fixed streaming-pipeline micro-suite (trace replay materialised
+    vs streaming vs pipelined, plus a synthetic generator case) and writes
+    wall-clock + peak-RSS results as JSON
+    --out <path>          output file, default BENCH_sim.json
+    --quick               reduced suite (small cases, 1 rep) for CI smoke
+    --pipeline-depth <n>  depth for the pipelined legs, default 4
 
 GC FLAGS:
     --store <path>        store to compact (latest record per key, sorted)
@@ -147,6 +159,11 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
             }
             "--inject-panic" => parsed.opts.inject_panic.push(value()?.to_owned()),
             "--telemetry" => parsed.opts.telemetry_dir = Some(PathBuf::from(value()?)),
+            "--pipeline-depth" => {
+                parsed.opts.pipeline_depth = value()?
+                    .parse()
+                    .map_err(|e| format!("--pipeline-depth: {e}"))?;
+            }
             "--fresh" => {
                 if is_resume {
                     return Err("resume cannot take --fresh (use sweep)".to_owned());
@@ -331,6 +348,41 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut opts = BenchOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = PathBuf::from(value()?),
+            "--quick" => opts.quick = true,
+            "--pipeline-depth" => {
+                opts.pipeline_depth = value()?
+                    .parse()
+                    .map_err(|e| format!("--pipeline-depth: {e}"))?;
+                if opts.pipeline_depth == 0 {
+                    opts.pipeline_depth = DEFAULT_BENCH_DEPTH;
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let report = gps_harness::run_bench(&opts).map_err(|e| format!("bench failed: {e}"))?;
+    for case in &report.cases {
+        if let (Some(s), Some(p)) = (case.speedup_streaming(), case.speedup_pipelined()) {
+            println!(
+                "{:<22} streaming {s:.2}x, pipelined {p:.2}x over materialised",
+                case.name
+            );
+        }
+    }
+    Ok(())
+}
+
 fn cmd_gc(args: &[String]) -> Result<(), String> {
     let mut store = PathBuf::from("results/store.jsonl");
     let mut it = args.iter();
@@ -364,6 +416,7 @@ fn main() -> ExitCode {
         "resume" => cmd_sweep(rest, true),
         "report" => cmd_report(rest),
         "timeline" => cmd_timeline(rest),
+        "bench" => cmd_bench(rest),
         "gc" => cmd_gc(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

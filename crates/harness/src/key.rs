@@ -36,6 +36,12 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
 /// labels, and the debug rendering of the machine configuration (stable
 /// for a given field set; any config change perturbs it).
 fn canonical(app: &str, spec: RunSpec, config: &SimConfig) -> String {
+    // `stream_pipeline_depth` is a host-side wall-clock knob — any depth
+    // produces a bit-identical SimReport (enforced by test) — so it is
+    // normalised out: results computed at different depths share a key.
+    let mut config = *config;
+    config.stream_pipeline_depth = 0;
+    let config = &config;
     format!(
         "v{KEY_VERSION}|app={app}|paradigm={}|gpus={}|link={}|scale={}|config={config:?}",
         spec.paradigm.label(),
@@ -119,5 +125,19 @@ mod tests {
         let base = run_key("jacobi", spec(), &config);
         config.gpu.l2_bytes *= 2;
         assert_ne!(base, run_key("jacobi", spec(), &config));
+    }
+
+    #[test]
+    fn pipeline_depth_never_perturbs_the_key() {
+        // Depth changes host wall-clock only, never the SimReport, so runs
+        // at any depth must resolve to the same store entry.
+        let config = gps_sim::SimConfig::gv100_system(4);
+        let base = run_key("jacobi", spec(), &config);
+        for depth in [1, 4, 64] {
+            assert_eq!(
+                base,
+                run_key("jacobi", spec(), &config.with_stream_pipeline_depth(depth))
+            );
+        }
     }
 }

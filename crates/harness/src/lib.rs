@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod key;
 pub mod pool;
 pub mod runner;
@@ -33,16 +34,18 @@ pub mod telemetry;
 
 /// The shared JSON codec (hoisted to `gps-types`; re-exported here for
 /// compatibility with earlier harness versions).
+pub use bench::{run_bench, BenchCase, BenchLeg, BenchOptions, BenchReport, BENCH_SCHEMA_VERSION};
 pub use gps_types::json;
 pub use gps_types::Json;
 pub use key::{run_key, run_key_default_machine};
 pub use pool::{parallel_map, run_jobs, JobResult};
 pub use runner::{
-    baseline, geomean, measure, measure_probed, measure_with_policy, speedup,
-    steady_cycles_per_iteration, steady_traffic_per_iteration, Measurement, RunSpec,
+    baseline, geomean, measure, measure_full, measure_pipelined, measure_probed,
+    measure_with_policy, speedup, steady_cycles_per_iteration, steady_traffic_per_iteration,
+    Measurement, RunSpec,
 };
 pub use store::{ResultStore, RunRecord, RunStatus, STORE_VERSION};
-pub use sweep::{run_sweep, RunUnit, SweepOptions, SweepOutcome, SweepSpec};
+pub use sweep::{run_sweep, run_units, RunUnit, SweepOptions, SweepOutcome, SweepSpec};
 pub use telemetry::{
     recording_probe, timeline, validate_chrome_trace, write_run_telemetry, TelemetryPaths,
     TimelineOutput, TraceStats,

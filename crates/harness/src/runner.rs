@@ -8,7 +8,7 @@
 
 use gps_interconnect::LinkGen;
 use gps_obs::ProbeHandle;
-use gps_paradigms::{run_paradigm_probed, Paradigm};
+use gps_paradigms::{run_paradigm_configured, Paradigm};
 use gps_sim::{Engine, MemoryPolicy, SimConfig, SimReport};
 use gps_workloads::{suite::AppEntry, ScaleProfile};
 
@@ -63,15 +63,35 @@ pub fn steady_cycles_per_iteration(report: &SimReport, phases_per_iteration: usi
 
 /// Runs one application under one spec.
 pub fn measure(app: &AppEntry, spec: RunSpec) -> Measurement {
-    measure_probed(app, spec, ProbeHandle::disabled())
+    measure_full(app, spec, 0, ProbeHandle::disabled())
 }
 
 /// [`measure`] with a telemetry probe threaded through the simulation.
 /// The probe only observes — the returned [`Measurement`] is bit-identical
 /// to the unprobed one; harvest the recording with [`ProbeHandle::finish`].
 pub fn measure_probed(app: &AppEntry, spec: RunSpec, probe: ProbeHandle) -> Measurement {
+    measure_full(app, spec, 0, probe)
+}
+
+/// [`measure`] with the overlapped trace-expansion pipeline enabled at the
+/// given depth. A wall-clock knob only: the returned [`Measurement`] is
+/// bit-identical to [`measure`]'s, warp expansion just happens on producer
+/// threads ahead of the simulation.
+pub fn measure_pipelined(app: &AppEntry, spec: RunSpec, pipeline_depth: usize) -> Measurement {
+    measure_full(app, spec, pipeline_depth, ProbeHandle::disabled())
+}
+
+/// The general form: probe and pipeline depth together (what the sweep
+/// executor calls). Neither knob affects the [`Measurement`].
+pub fn measure_full(
+    app: &AppEntry,
+    spec: RunSpec,
+    pipeline_depth: usize,
+    probe: ProbeHandle,
+) -> Measurement {
     let workload = (app.build)(spec.gpus, spec.scale);
-    let report = run_paradigm_probed(spec.paradigm, &workload, spec.gpus, spec.link, probe);
+    let config = SimConfig::gv100_system(spec.gpus).with_stream_pipeline_depth(pipeline_depth);
+    let report = run_paradigm_configured(spec.paradigm, &workload, config, spec.link, probe);
     let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
     Measurement {
         app: app.name,

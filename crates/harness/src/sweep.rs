@@ -20,7 +20,7 @@ use gps_workloads::{suite, ScaleProfile};
 
 use crate::key::run_key_default_machine;
 use crate::pool::{run_jobs, JobResult};
-use crate::runner::{measure_probed, steady_traffic_per_iteration, Measurement, RunSpec};
+use crate::runner::{measure_full, steady_traffic_per_iteration, Measurement, RunSpec};
 use crate::store::{ResultStore, RunRecord, RunStatus};
 use crate::telemetry;
 
@@ -145,6 +145,10 @@ pub struct SweepOptions {
     /// (per-phase counter breakdown) into this directory. Probes only
     /// observe, so the stored results are identical with or without it.
     pub telemetry_dir: Option<PathBuf>,
+    /// Overlapped trace-expansion pipeline depth passed to every run
+    /// ([`gps_sim::SimConfig::stream_pipeline_depth`]). Wall-clock knob
+    /// only: results and run keys are identical at any depth.
+    pub pipeline_depth: usize,
 }
 
 impl Default for SweepOptions {
@@ -156,6 +160,7 @@ impl Default for SweepOptions {
             inject_panic: Vec::new(),
             log: false,
             telemetry_dir: None,
+            pipeline_depth: 0,
         }
     }
 }
@@ -244,7 +249,23 @@ pub fn run_sweep(
 ) -> std::io::Result<SweepOutcome> {
     let to_io = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
     let units = spec.units().map_err(to_io)?;
+    run_units(units, store_path, opts)
+}
 
+/// Executes an explicit list of [`RunUnit`]s against the store — the engine
+/// underneath [`run_sweep`], exposed so other producers of run units (the
+/// figure functions, ad-hoc job lists) get the same resume/quarantine/store
+/// machinery without going through a cross-product [`SweepSpec`].
+///
+/// # Errors
+///
+/// Propagates store I/O errors. Individual run panics are *not* errors —
+/// they quarantine.
+pub fn run_units(
+    units: Vec<RunUnit>,
+    store_path: &Path,
+    opts: &SweepOptions,
+) -> std::io::Result<SweepOutcome> {
     if let Some(dir) = &opts.telemetry_dir {
         std::fs::create_dir_all(dir)?;
     }
@@ -300,7 +321,7 @@ pub fn run_sweep(
                 Some(_) => telemetry::recording_probe(),
                 None => ProbeHandle::disabled(),
             };
-            let m = measure_probed(&app, unit.spec, probe.clone());
+            let m = measure_full(&app, unit.spec, opts.pipeline_depth, probe.clone());
             let wall_ms = begun.elapsed().as_secs_f64() * 1e3;
             if let (Some(dir), Some(recording)) = (&opts.telemetry_dir, probe.finish()) {
                 // Telemetry is a side artifact: a write failure must not

@@ -107,7 +107,31 @@ pub fn run_paradigm_probed(
     link: LinkGen,
     probe: ProbeHandle,
 ) -> SimReport {
-    let mut config = SimConfig::gv100_system(gpu_count);
+    run_paradigm_configured(
+        paradigm,
+        workload,
+        SimConfig::gv100_system(gpu_count),
+        link,
+        probe,
+    )
+}
+
+/// [`run_paradigm_probed`] against an explicit machine configuration (the
+/// workload's page size is applied on top). This is how the harness passes
+/// host-side knobs such as [`SimConfig::stream_pipeline_depth`] — which
+/// changes wall-clock time but never the report — alongside genuine machine
+/// parameters.
+///
+/// # Panics
+///
+/// Panics if the workload is inconsistent with the machine.
+pub fn run_paradigm_configured(
+    paradigm: Paradigm,
+    workload: &Workload,
+    mut config: SimConfig,
+    link: LinkGen,
+    probe: ProbeHandle,
+) -> SimReport {
     config.page_size = workload.page_size;
     let mut policy = make_policy(paradigm);
     let link = if paradigm == Paradigm::InfiniteBw {

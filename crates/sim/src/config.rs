@@ -153,6 +153,13 @@ pub struct SimConfig {
     /// Inter-GPU link arrangement (central switch by default, as in the
     /// paper's evaluated systems).
     pub topology: Topology,
+    /// Depth of the overlapped trace-expansion pipeline: how many CTAs a
+    /// producer thread may pre-expand ahead of the simulation. `0` (the
+    /// default) expands CTAs inline on the simulation thread. Any depth
+    /// produces a bit-identical [`SimReport`](crate::SimReport) — this is a
+    /// host-side wall-clock knob, not a simulated-machine parameter, and it
+    /// is excluded from harness run keys for that reason.
+    pub stream_pipeline_depth: usize,
 }
 
 impl SimConfig {
@@ -163,7 +170,15 @@ impl SimConfig {
             gpu: GpuConfig::gv100(),
             page_size: PageSize::Standard64K,
             topology: Topology::default(),
+            stream_pipeline_depth: 0,
         }
+    }
+
+    /// Sets the overlapped-expansion pipeline depth.
+    #[must_use]
+    pub fn with_stream_pipeline_depth(mut self, depth: usize) -> Self {
+        self.stream_pipeline_depth = depth;
+        self
     }
 
     /// Validates the configuration.

@@ -32,13 +32,25 @@ use gps_mem::{Tlb, TlbConfig};
 use gps_obs::{ProbeHandle, Track};
 use gps_types::{Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES};
 
+use std::sync::Arc;
+
 use crate::cache::{Cache, CacheConfig, Lookup};
 use crate::config::SimConfig;
 use crate::dram::DramModel;
-use crate::instr::{WarpCtx, WarpInstr};
+use crate::instr::{WarpInstr, WarpStream};
+use crate::pipeline::{expand_cta, BufferArena, CtaPrefetcher};
 use crate::policy::{LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
 use crate::stats::{GpuReport, SimReport, TlbCounts};
 use crate::workload::{KernelSpec, Workload};
+
+/// Grids smaller than this run without a prefetch producer even when
+/// [`SimConfig::stream_pipeline_depth`] is non-zero: for tiny kernels the
+/// cost of spawning a worker thread exceeds the expansion it would hide.
+const PREFETCH_MIN_WARPS: u64 = 1024;
+
+/// Retired instruction buffers are returned to the arena in batches of
+/// this size (one lock acquisition per batch instead of per warp).
+const RECYCLE_FLUSH: usize = 256;
 
 /// Replays one workload under one memory policy.
 ///
@@ -96,8 +108,10 @@ struct Warp {
     gpu: usize,
     sm: usize,
     cta: u32,
-    instrs: Vec<WarpInstr>,
-    pc: usize,
+    /// Remaining instructions. The stream subsumes the old `instrs`/`pc`
+    /// pair: an owned stream carries its cursor, a replay stream decodes
+    /// straight from the shared trace bytes.
+    stream: WarpStream,
     ready: Cycle,
 }
 
@@ -118,6 +132,32 @@ struct KernelRun {
     sm_cursor: usize,
     /// Resident CTAs per SM.
     sm_resident: Vec<u32>,
+    /// Producer pre-expanding upcoming CTAs' warp streams
+    /// ([`SimConfig::stream_pipeline_depth`] > 0 and the grid is large
+    /// enough). `None` expands inline at launch.
+    prefetch: Option<CtaPrefetcher>,
+}
+
+impl KernelRun {
+    /// Streams for CTA `cta_idx` — from the prefetch producer when one is
+    /// running, expanded inline otherwise. Both paths walk CTAs in grid
+    /// order and generate streams purely from warp coordinates, so the
+    /// choice never affects simulated timing.
+    fn cta_streams(&mut self, gpu: usize, gpu_count: u32, arena: &BufferArena) -> Vec<WarpStream> {
+        let cta_idx = self.next_cta - 1; // caller just claimed this index
+        match &mut self.prefetch {
+            Some(pf) => pf.take(cta_idx),
+            None => expand_cta(
+                self.spec.program.as_ref(),
+                arena,
+                GpuId::new(gpu as u16),
+                gpu_count,
+                cta_idx,
+                self.spec.cta_count,
+                self.spec.warps_per_cta,
+            ),
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -209,6 +249,13 @@ impl<'a> Engine<'a> {
         let mut free_slots: Vec<usize> = Vec::new();
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
+        // One buffer pool per run: retired warps' instruction buffers are
+        // recycled into the warps spawned next (shared with any prefetch
+        // producer threads). Retired buffers are stashed locally and
+        // flushed in batches — per-warp arena traffic would contend the
+        // pool lock against prefetch producers.
+        let arena = BufferArena::new();
+        let mut retired: Vec<Vec<WarpInstr>> = Vec::new();
 
         let mut phase_ends: Vec<Cycle> = Vec::new();
         let mut phase_traffic: Vec<u64> = Vec::new();
@@ -240,6 +287,7 @@ impl<'a> Engine<'a> {
                         g,
                         spec,
                         at,
+                        &arena,
                         &mut warps,
                         &mut free_slots,
                         &mut heap,
@@ -256,20 +304,27 @@ impl<'a> Engine<'a> {
                 let g = warps[slot].gpu;
                 self.step_warp(slot, &mut warps, &mut gpus, &mut fabric);
 
-                let finished = warps[slot].pc >= warps[slot].instrs.len();
-                if !finished {
+                if !warps[slot].stream.is_exhausted() {
                     seq += 1;
                     heap.push(Reverse((warps[slot].ready.as_u64(), seq, slot)));
                     continue;
                 }
 
-                // Warp retired.
+                // Warp retired: the slot frees and its buffer (if any)
+                // returns to the arena for the next spawned warp.
                 let done_at = warps[slot].ready;
                 let cta = warps[slot].cta;
                 let sm = warps[slot].sm;
                 gpus[g].warps_done += 1;
                 free_slots.push(slot);
-                warps[slot].instrs = Vec::new();
+                let stream =
+                    std::mem::replace(&mut warps[slot].stream, WarpStream::owned(Vec::new()));
+                if let Some(buf) = stream.into_buffer() {
+                    retired.push(buf);
+                    if retired.len() >= RECYCLE_FLUSH {
+                        arena.put_n(&mut retired);
+                    }
+                }
 
                 let kernel_finished = {
                     let run = running[g].as_mut().expect("warp without kernel");
@@ -284,14 +339,14 @@ impl<'a> Engine<'a> {
                             run.next_cta += 1;
                             run.sm_resident[sm] += 1;
                             run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
-                            let spec = run.spec.clone();
+                            let streams =
+                                run.cta_streams(g, self.workload.gpu_count as u32, &arena);
                             Self::spawn_cta(
-                                self.workload.gpu_count as u32,
                                 g,
                                 sm,
-                                &spec,
                                 cta_idx,
                                 done_at,
+                                streams,
                                 &mut warps,
                                 &mut free_slots,
                                 &mut heap,
@@ -332,6 +387,7 @@ impl<'a> Engine<'a> {
                             g,
                             spec,
                             at,
+                            &arena,
                             &mut warps,
                             &mut free_slots,
                             &mut heap,
@@ -417,13 +473,29 @@ impl<'a> Engine<'a> {
         gpu: usize,
         spec: KernelSpec,
         at: Cycle,
+        arena: &BufferArena,
         warps: &mut Vec<Warp>,
         free_slots: &mut Vec<usize>,
         heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
         seq: &mut u64,
     ) -> KernelRun {
         let gpu_cfg = self.config.gpu;
+        let gpu_count = self.workload.gpu_count as u32;
         let slots_per_sm = gpu_cfg.cta_slots_per_sm(spec.warps_per_cta);
+        let depth = self.config.stream_pipeline_depth;
+        let prefetch = if depth > 0 && spec.total_warps() >= PREFETCH_MIN_WARPS {
+            Some(CtaPrefetcher::spawn(
+                Arc::clone(&spec.program),
+                arena.clone(),
+                GpuId::new(gpu as u16),
+                gpu_count,
+                spec.cta_count,
+                spec.warps_per_cta,
+                depth,
+            ))
+        } else {
+            None
+        };
         let mut run = KernelRun {
             next_cta: 0,
             cta_live: vec![0; spec.cta_count as usize],
@@ -432,6 +504,7 @@ impl<'a> Engine<'a> {
             last_done: at,
             sm_cursor: 0,
             sm_resident: vec![0; gpu_cfg.sms],
+            prefetch,
             spec,
         };
         run.live_warps = run.spec.total_warps() as u64;
@@ -451,52 +524,34 @@ impl<'a> Engine<'a> {
             run.sm_cursor = (sm + 1) % gpu_cfg.sms;
             run.sm_resident[sm] += 1;
             run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
-            Self::spawn_cta(
-                self.workload.gpu_count as u32,
-                gpu,
-                sm,
-                &run.spec,
-                cta_idx,
-                at,
-                warps,
-                free_slots,
-                heap,
-                seq,
-            );
+            let streams = run.cta_streams(gpu, gpu_count, arena);
+            Self::spawn_cta(gpu, sm, cta_idx, at, streams, warps, free_slots, heap, seq);
         }
         run
     }
 
-    /// Materialises the warps of one CTA and schedules them.
+    /// Schedules the warps of one CTA from their pre-built streams.
     #[allow(clippy::too_many_arguments)]
     fn spawn_cta(
-        gpu_count: u32,
         gpu: usize,
         sm: usize,
-        spec: &KernelSpec,
         cta_idx: u32,
         at: Cycle,
+        streams: Vec<WarpStream>,
         warps: &mut Vec<Warp>,
         free_slots: &mut Vec<usize>,
         heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
         seq: &mut u64,
     ) {
-        for w in 0..spec.warps_per_cta {
-            let ctx = WarpCtx {
-                gpu: GpuId::new(gpu as u16),
-                gpu_count,
-                cta: gps_types::CtaId::new(cta_idx),
-                cta_count: spec.cta_count,
-                warp_in_cta: w,
-                warps_per_cta: spec.warps_per_cta,
-            };
-            let instrs = spec.program.warp_instrs(ctx);
+        for mut stream in streams {
+            // Degenerate empty warp: give it a single no-op so the retire
+            // bookkeeping path still sees it.
+            stream.ensure_nonempty();
             let warp = Warp {
                 gpu,
                 sm,
                 cta: cta_idx,
-                instrs,
-                pc: 0,
+                stream,
                 ready: at,
             };
             let slot = match free_slots.pop() {
@@ -509,11 +564,6 @@ impl<'a> Engine<'a> {
                     warps.len() - 1
                 }
             };
-            if warps[slot].instrs.is_empty() {
-                // Degenerate empty warp: retire immediately by giving it a
-                // single no-op so the bookkeeping path sees it.
-                warps[slot].instrs.push(WarpInstr::Compute(0));
-            }
             *seq += 1;
             heap.push(Reverse((at.as_u64(), *seq, slot)));
         }
@@ -528,7 +578,7 @@ impl<'a> Engine<'a> {
         fabric: &mut Fabric,
     ) {
         let w = &mut warps[slot];
-        let instr = w.instrs[w.pc];
+        let instr = w.stream.next().expect("stepped an exhausted warp");
         let gcfg = self.config.gpu;
         let page_size = self.config.page_size;
         let g = w.gpu;
@@ -625,7 +675,6 @@ impl<'a> Engine<'a> {
                 w.ready = done.max(Cycle::new(issue.as_u64() + 1));
             }
         }
-        w.pc += 1;
     }
 
     /// Translates `vpn`, charging a walk on a miss; returns the time

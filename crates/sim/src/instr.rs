@@ -5,6 +5,9 @@ use std::sync::Arc;
 
 use gps_types::{CtaId, GpuId, LineAddr, LineRange, Scope};
 
+use crate::pipeline::BufferArena;
+use crate::trace::TraceCursor;
+
 /// One warp-level instruction, *after* the SM memory coalescer.
 ///
 /// The paper drives NVAS with SASS-level traces; the timing-relevant
@@ -97,15 +100,136 @@ impl WarpCtx {
     }
 }
 
+/// A stream of [`WarpInstr`]s for one warp — the engine's unit of
+/// instruction supply.
+///
+/// Historically every warp owned a freshly allocated `Vec<WarpInstr>`;
+/// a `WarpStream` decouples "where the instructions live" from "the warp is
+/// executing them" so the engine can run warps off pooled buffers
+/// ([`WarpStream::Owned`]) or decode them lazily straight out of shared
+/// trace bytes ([`WarpStream::Replay`]) without materialising a vector at
+/// all.
+#[derive(Debug)]
+pub enum WarpStream {
+    /// Instructions materialised into a buffer, typically borrowed from a
+    /// [`BufferArena`] and returned to it via [`WarpStream::recycle`] when
+    /// the warp retires.
+    Owned {
+        /// The instruction buffer.
+        buf: Vec<WarpInstr>,
+        /// Index of the next instruction to yield.
+        pos: usize,
+    },
+    /// A zero-copy cursor decoding instructions directly out of the shared
+    /// `Arc<Vec<u8>>` bytes of a recorded [`Trace`](crate::Trace).
+    Replay(TraceCursor),
+}
+
+impl WarpStream {
+    /// Wraps a materialised instruction buffer.
+    pub fn owned(buf: Vec<WarpInstr>) -> Self {
+        WarpStream::Owned { buf, pos: 0 }
+    }
+
+    /// True once every instruction has been yielded.
+    pub fn is_exhausted(&self) -> bool {
+        match self {
+            WarpStream::Owned { buf, pos } => *pos >= buf.len(),
+            WarpStream::Replay(cursor) => cursor.is_exhausted(),
+        }
+    }
+
+    /// Replaces an empty stream with a single trivial `Compute(0)` so every
+    /// launched warp executes at least one instruction (the engine's
+    /// longstanding convention for degenerate warps).
+    pub(crate) fn ensure_nonempty(&mut self) {
+        if let WarpStream::Owned { buf, pos } = self {
+            if buf.is_empty() {
+                buf.push(WarpInstr::Compute(0));
+                *pos = 0;
+                return;
+            }
+        }
+        if self.is_exhausted() {
+            *self = WarpStream::owned(vec![WarpInstr::Compute(0)]);
+        }
+    }
+
+    /// Consumes the stream, returning an owned buffer to `arena` for reuse.
+    /// Replay cursors hold no buffer and are simply dropped.
+    pub fn recycle(self, arena: &BufferArena) {
+        if let Some(buf) = self.into_buffer() {
+            arena.put(buf);
+        }
+    }
+
+    /// Consumes the stream, extracting its owned buffer if it has one (the
+    /// engine stashes retired buffers and returns them to the arena in
+    /// batches, keeping arena lock traffic off the per-warp path).
+    pub(crate) fn into_buffer(self) -> Option<Vec<WarpInstr>> {
+        match self {
+            WarpStream::Owned { buf, .. } => Some(buf),
+            WarpStream::Replay(_) => None,
+        }
+    }
+}
+
+/// Yields the warp's instructions in issue order; `None` when exhausted.
+/// Never panics: a replay cursor over malformed bytes ends the stream
+/// instead (recorded traces are validated up front by
+/// [`Trace::replay`](crate::Trace::replay), so this only matters for
+/// cursors constructed over corrupt input).
+impl Iterator for WarpStream {
+    type Item = WarpInstr;
+
+    fn next(&mut self) -> Option<WarpInstr> {
+        match self {
+            WarpStream::Owned { buf, pos } => {
+                let instr = buf.get(*pos).copied()?;
+                *pos += 1;
+                Some(instr)
+            }
+            WarpStream::Replay(cursor) => cursor.next(),
+        }
+    }
+}
+
 /// Generates the instruction trace of each warp of a kernel.
 ///
 /// Implementations must be deterministic in `ctx` — the simulator may
 /// regenerate a warp's trace and two simulations of the same workload must
 /// agree cycle-for-cycle. Workload generators seed any pseudo-randomness
 /// from the warp coordinates.
+///
+/// Only [`warp_instrs`](WarpProgram::warp_instrs) is required. Programs on
+/// the hot path can additionally override
+/// [`fill_warp`](WarpProgram::fill_warp) (write into a caller-supplied
+/// buffer, enabling allocation-free pooling — see [`FillProgram`]) or
+/// [`warp_stream`](WarpProgram::warp_stream) (hand back a custom stream,
+/// which is how recorded traces splice in zero-copy cursors).
 pub trait WarpProgram: Send + Sync {
     /// Produces the full instruction list for the warp at `ctx`.
     fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr>;
+
+    /// Writes the warp's instructions into `out` (cleared first). The
+    /// default delegates to [`warp_instrs`](WarpProgram::warp_instrs) and
+    /// copies, preserving `out`'s capacity so pooled buffers stay warm;
+    /// fill-style implementations override this to skip the intermediate
+    /// vector entirely.
+    fn fill_warp(&self, ctx: WarpCtx, out: &mut Vec<WarpInstr>) {
+        out.clear();
+        out.extend_from_slice(&self.warp_instrs(ctx));
+    }
+
+    /// Produces the warp's instruction stream, borrowing any needed buffer
+    /// from `arena`. The default fills a pooled buffer via
+    /// [`fill_warp`](WarpProgram::fill_warp); recorded traces override this
+    /// to return a zero-copy [`WarpStream::Replay`] cursor.
+    fn warp_stream(&self, ctx: WarpCtx, arena: &BufferArena) -> WarpStream {
+        let mut buf = arena.take();
+        self.fill_warp(ctx, &mut buf);
+        WarpStream::owned(buf)
+    }
 
     /// Short label for debugging and reports.
     fn label(&self) -> &str {
@@ -127,8 +251,66 @@ impl WarpProgram for Arc<dyn WarpProgram> {
         (**self).warp_instrs(ctx)
     }
 
+    fn fill_warp(&self, ctx: WarpCtx, out: &mut Vec<WarpInstr>) {
+        (**self).fill_warp(ctx, out)
+    }
+
+    fn warp_stream(&self, ctx: WarpCtx, arena: &BufferArena) -> WarpStream {
+        (**self).warp_stream(ctx, arena)
+    }
+
     fn label(&self) -> &str {
         (**self).label()
+    }
+}
+
+/// A [`WarpProgram`] built from a fill-style closure
+/// `Fn(WarpCtx, &mut Vec<WarpInstr>)`.
+///
+/// Fill-style generators append into a caller-supplied buffer instead of
+/// returning a fresh `Vec`, which lets the engine's [`BufferArena`] recycle
+/// one allocation across every warp a program ever launches. The workload
+/// generators in `gps-workloads` are all expressed this way.
+pub struct FillProgram<F> {
+    fill: F,
+    label: &'static str,
+}
+
+impl<F> FillProgram<F>
+where
+    F: Fn(WarpCtx, &mut Vec<WarpInstr>) + Send + Sync,
+{
+    /// Wraps `fill` with the default `"kernel"` label.
+    pub fn new(fill: F) -> Self {
+        Self {
+            fill,
+            label: "kernel",
+        }
+    }
+
+    /// Wraps `fill` with a custom label.
+    pub fn with_label(fill: F, label: &'static str) -> Self {
+        Self { fill, label }
+    }
+}
+
+impl<F> WarpProgram for FillProgram<F>
+where
+    F: Fn(WarpCtx, &mut Vec<WarpInstr>) + Send + Sync,
+{
+    fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr> {
+        let mut out = Vec::new();
+        (self.fill)(ctx, &mut out);
+        out
+    }
+
+    fn fill_warp(&self, ctx: WarpCtx, out: &mut Vec<WarpInstr>) {
+        out.clear();
+        (self.fill)(ctx, out);
+    }
+
+    fn label(&self) -> &str {
+        self.label
     }
 }
 
@@ -181,5 +363,72 @@ mod tests {
     fn display_is_readable() {
         assert_eq!(WarpInstr::Compute(3).to_string(), "compute(3)");
         assert_eq!(WarpInstr::Fence(Scope::Sys).to_string(), "fence.sys");
+    }
+
+    fn ctx0() -> WarpCtx {
+        WarpCtx {
+            gpu: GpuId::new(0),
+            gpu_count: 1,
+            cta: CtaId::new(0),
+            cta_count: 1,
+            warp_in_cta: 0,
+            warps_per_cta: 1,
+        }
+    }
+
+    #[test]
+    fn owned_stream_yields_in_order_and_exhausts() {
+        let mut s = WarpStream::owned(vec![WarpInstr::Compute(1), WarpInstr::Compute(2)]);
+        assert!(!s.is_exhausted());
+        assert_eq!(s.next(), Some(WarpInstr::Compute(1)));
+        assert_eq!(s.next(), Some(WarpInstr::Compute(2)));
+        assert!(s.is_exhausted());
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn empty_streams_gain_a_trivial_instruction() {
+        let mut s = WarpStream::owned(Vec::new());
+        s.ensure_nonempty();
+        assert_eq!(s.next(), Some(WarpInstr::Compute(0)));
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn default_warp_stream_uses_the_arena() {
+        let arena = BufferArena::new();
+        let prog = |_ctx: WarpCtx| vec![WarpInstr::Compute(7)];
+        let mut s = prog.warp_stream(ctx0(), &arena);
+        assert_eq!(s.next(), Some(WarpInstr::Compute(7)));
+        assert_eq!(s.next(), None);
+        s.recycle(&arena);
+        assert_eq!(arena.pooled(), 1);
+        // The next stream reuses the pooled buffer.
+        let s2 = prog.warp_stream(ctx0(), &arena);
+        assert_eq!(arena.pooled(), 0);
+        s2.recycle(&arena);
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn fill_programs_match_their_vec_form() {
+        let fill = FillProgram::with_label(
+            |ctx: WarpCtx, out: &mut Vec<WarpInstr>| {
+                out.push(WarpInstr::Compute(ctx.warp_in_cta + 1));
+                out.push(WarpInstr::load1(LineAddr::new(3)));
+            },
+            "fill-test",
+        );
+        assert_eq!(
+            fill.warp_instrs(ctx0()),
+            vec![WarpInstr::Compute(1), WarpInstr::load1(LineAddr::new(3))]
+        );
+        let mut out = vec![WarpInstr::Fence(Scope::Sys)]; // stale content is cleared
+        fill.fill_warp(ctx0(), &mut out);
+        assert_eq!(
+            out,
+            vec![WarpInstr::Compute(1), WarpInstr::load1(LineAddr::new(3))]
+        );
+        assert_eq!(fill.label(), "fill-test");
     }
 }

@@ -35,6 +35,7 @@ mod config;
 mod dram;
 mod engine;
 mod instr;
+mod pipeline;
 mod policy;
 mod stats;
 mod trace;
@@ -44,8 +45,9 @@ pub use cache::{Cache, CacheConfig, CacheStats, Evicted, Lookup};
 pub use config::{GpuConfig, SimConfig};
 pub use dram::DramModel;
 pub use engine::Engine;
-pub use instr::{WarpCtx, WarpInstr, WarpProgram};
+pub use instr::{FillProgram, WarpCtx, WarpInstr, WarpProgram, WarpStream};
+pub use pipeline::{BoundedQueue, BufferArena};
 pub use policy::{AllLocalPolicy, LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
 pub use stats::{GpuReport, SimReport, TlbCounts};
-pub use trace::Trace;
+pub use trace::{Trace, TraceCursor};
 pub use workload::{AllocSpec, KernelSpec, Phase, SharedIndex, Workload, WorkloadBuilder};

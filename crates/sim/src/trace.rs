@@ -33,7 +33,8 @@ use std::sync::Arc;
 use gps_mem::VaRange;
 use gps_types::{GpsError, GpuId, LineAddr, LineRange, PageSize, Result, Scope, VirtAddr};
 
-use crate::instr::{WarpCtx, WarpInstr, WarpProgram};
+use crate::instr::{WarpCtx, WarpInstr, WarpProgram, WarpStream};
+use crate::pipeline::BufferArena;
 use crate::workload::{AllocSpec, KernelSpec, Phase, Workload};
 
 const MAGIC: &[u8; 8] = b"GPSTRACE";
@@ -171,11 +172,38 @@ impl Trace {
 
     /// Reconstructs a [`Workload`] that replays the recorded streams.
     ///
+    /// This is the *streaming* path: the trace is validated up front with a
+    /// cheap skip-scan that records each warp's byte offset, and warps
+    /// decode their instructions lazily through zero-copy
+    /// [`TraceCursor`]s over the shared trace bytes — no per-warp
+    /// `Vec<WarpInstr>` is ever materialised. The skip-scan performs the
+    /// exact same checks as a full decode (tag dispatch, bounds, scope
+    /// tags, stride rule), so a trace that validates here can never fail to
+    /// decode later.
+    ///
     /// # Errors
     ///
     /// Returns [`GpsError::Parse`] on malformed input and propagates
     /// workload validation failures.
     pub fn replay(&self, name: impl Into<String>) -> Result<Workload> {
+        self.replay_impl(name.into(), false)
+    }
+
+    /// Reconstructs a [`Workload`] that replays from fully materialised
+    /// per-warp instruction vectors (the pre-streaming behaviour).
+    ///
+    /// Kept as the baseline for `gps-run bench` and as the differential
+    /// oracle for the streaming path's bit-identical-`SimReport` tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Parse`] on malformed input and propagates
+    /// workload validation failures.
+    pub fn replay_materialised(&self, name: impl Into<String>) -> Result<Workload> {
+        self.replay_impl(name.into(), true)
+    }
+
+    fn replay_impl(&self, name: String, materialise: bool) -> Result<Workload> {
         let mut buf = Cursor::new(&self.bytes);
         let fail = |what: &'static str| GpsError::Parse {
             what,
@@ -218,31 +246,50 @@ impl Trace {
                 let cta_count = read_u32(&mut buf).ok_or(fail("cta count"))?;
                 let warps_per_cta = read_u32(&mut buf).ok_or(fail("warps per cta"))?;
                 let total = cta_count as usize * warps_per_cta as usize;
-                let mut warps = Vec::with_capacity(total);
-                for _ in 0..total {
-                    let n = read_u32(&mut buf).ok_or(fail("instr count"))?;
-                    let mut instrs = Vec::with_capacity(n as usize);
-                    for _ in 0..n {
-                        instrs.push(read_instr(&mut buf).ok_or(fail("instr"))?);
+                let program: Arc<dyn WarpProgram> = if materialise {
+                    let mut warps = Vec::with_capacity(total);
+                    for _ in 0..total {
+                        let n = read_u32(&mut buf).ok_or(fail("instr count"))?;
+                        let mut instrs = Vec::with_capacity(n as usize);
+                        for _ in 0..n {
+                            instrs.push(read_instr(&mut buf).ok_or(fail("instr"))?);
+                        }
+                        warps.push(instrs);
                     }
-                    warps.push(instrs);
-                }
+                    Arc::new(RecordedProgram {
+                        warps: Arc::new(warps),
+                        warps_per_cta,
+                    })
+                } else {
+                    // Skip-scan: validate each instruction and remember only
+                    // where each warp's stream starts.
+                    let mut warps = Vec::with_capacity(total);
+                    for _ in 0..total {
+                        let n = read_u32(&mut buf).ok_or(fail("instr count"))?;
+                        warps.push((buf.pos as u64, n));
+                        for _ in 0..n {
+                            skip_instr(&mut buf).ok_or(fail("instr"))?;
+                        }
+                    }
+                    Arc::new(StreamedProgram {
+                        bytes: Arc::clone(&self.bytes),
+                        warps: Arc::new(warps),
+                        warps_per_cta,
+                    })
+                };
                 launches.push(KernelSpec {
                     name,
                     gpu,
                     cta_count,
                     warps_per_cta,
-                    program: Arc::new(RecordedProgram {
-                        warps: Arc::new(warps),
-                        warps_per_cta,
-                    }),
+                    program,
                 });
             }
             phases.push(Phase::new(launches));
         }
 
         let wl = Workload {
-            name: name.into(),
+            name,
             page_size,
             allocs,
             phases,
@@ -254,7 +301,117 @@ impl Trace {
     }
 }
 
-/// A warp program that replays recorded instruction streams.
+/// A zero-copy instruction cursor over the shared bytes of a recorded
+/// [`Trace`].
+///
+/// Decodes one [`WarpInstr`] per [`TraceCursor::next`] call, straight out
+/// of the `Arc<Vec<u8>>` trace buffer — no per-warp vector, no copy of the
+/// trace. Cloning the cursor is cheap (an `Arc` bump plus two integers).
+///
+/// On malformed bytes the cursor ends the stream (`None`) instead of
+/// panicking. Cursors handed out by [`Trace::replay`] can never hit that
+/// path because replay validates every instruction up front.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    bytes: Arc<Vec<u8>>,
+    pos: usize,
+    remaining: u32,
+}
+
+impl TraceCursor {
+    /// A cursor yielding `count` instructions starting at byte `pos`.
+    pub(crate) fn new(bytes: Arc<Vec<u8>>, pos: usize, count: u32) -> Self {
+        TraceCursor {
+            bytes,
+            pos,
+            remaining: count,
+        }
+    }
+
+    /// True once every instruction has been yielded.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Decodes the next instruction, or `None` when exhausted (or, for a
+/// cursor over unvalidated bytes, on the first malformed instruction —
+/// the cursor ends cleanly rather than panicking).
+impl Iterator for TraceCursor {
+    type Item = WarpInstr;
+
+    fn next(&mut self) -> Option<WarpInstr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut buf = Cursor {
+            buf: &self.bytes,
+            pos: self.pos,
+        };
+        match read_instr(&mut buf) {
+            Some(instr) => {
+                self.pos = buf.pos;
+                self.remaining -= 1;
+                Some(instr)
+            }
+            None => {
+                self.remaining = 0; // malformed: end cleanly, never panic
+                None
+            }
+        }
+    }
+}
+
+/// A warp program that replays a recorded trace by handing out zero-copy
+/// [`TraceCursor`] streams over the shared trace bytes.
+struct StreamedProgram {
+    bytes: Arc<Vec<u8>>,
+    /// Per grid-global warp: (byte offset of the stream, instruction count).
+    warps: Arc<Vec<(u64, u32)>>,
+    warps_per_cta: u32,
+}
+
+impl fmt::Debug for StreamedProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamedProgram")
+            .field("warps", &self.warps.len())
+            .finish()
+    }
+}
+
+impl StreamedProgram {
+    fn cursor(&self, ctx: WarpCtx) -> TraceCursor {
+        let idx = (ctx.cta.raw() * self.warps_per_cta + ctx.warp_in_cta) as usize;
+        let (pos, count) = self.warps.get(idx).copied().unwrap_or((0, 0));
+        TraceCursor::new(Arc::clone(&self.bytes), pos as usize, count)
+    }
+}
+
+impl WarpProgram for StreamedProgram {
+    fn warp_instrs(&self, ctx: WarpCtx) -> Vec<WarpInstr> {
+        let mut out = Vec::new();
+        self.fill_warp(ctx, &mut out);
+        out
+    }
+
+    fn fill_warp(&self, ctx: WarpCtx, out: &mut Vec<WarpInstr>) {
+        let cursor = self.cursor(ctx);
+        out.clear();
+        out.reserve(cursor.remaining as usize);
+        out.extend(cursor);
+    }
+
+    fn warp_stream(&self, ctx: WarpCtx, _arena: &BufferArena) -> WarpStream {
+        WarpStream::Replay(self.cursor(ctx))
+    }
+
+    fn label(&self) -> &str {
+        "recorded"
+    }
+}
+
+/// A warp program that replays recorded instruction streams from fully
+/// materialised vectors (the [`Trace::replay_materialised`] baseline).
 struct RecordedProgram {
     warps: Arc<Vec<Vec<WarpInstr>>>,
     warps_per_cta: u32,
@@ -384,6 +541,25 @@ fn read_range(buf: &mut Cursor<'_>) -> Option<LineRange> {
         return None;
     }
     Some(LineRange::new(LineAddr::new(start), count, stride.max(1)))
+}
+
+/// Validates and skips one serialised instruction without constructing it.
+///
+/// Performs the same checks as [`read_instr`] — unknown tags, truncation,
+/// scope tags, and the `count > 1 && stride == 0` range rule all fail — so
+/// a skip-scanned stream is guaranteed decodable by [`TraceCursor`].
+fn skip_instr(buf: &mut Cursor<'_>) -> Option<()> {
+    match read_u8(buf)? {
+        0 => buf.take(4).map(|_| ()),
+        1 => read_range(buf).map(|_| ()),
+        2 => {
+            read_range(buf)?;
+            scope_from_tag(read_u8(buf)?).map(|_| ())
+        }
+        3 => buf.take(8).map(|_| ()),
+        4 => scope_from_tag(read_u8(buf)?).map(|_| ()),
+        _ => None,
+    }
 }
 
 fn read_instr(buf: &mut Cursor<'_>) -> Option<WarpInstr> {
@@ -518,5 +694,77 @@ mod tests {
         assert_eq!(k.cta_count, 1);
         assert_eq!(k.warps_per_cta, 4);
         assert_eq!(k.program.label(), "recorded");
+    }
+
+    #[test]
+    fn streaming_and_materialised_replays_agree() {
+        let wl = sample_workload();
+        let trace = Trace::record(&wl);
+        let streaming = trace.replay("s").unwrap();
+        let materialised = trace.replay_materialised("m").unwrap();
+        assert_eq!(all_instrs(&streaming), all_instrs(&materialised));
+        assert_eq!(all_instrs(&streaming), all_instrs(&wl));
+        assert_eq!(
+            materialised.phases[0].launches[0].program.label(),
+            "recorded"
+        );
+    }
+
+    #[test]
+    fn replayed_warps_stream_through_zero_copy_cursors() {
+        let wl = sample_workload();
+        let replayed = Trace::record(&wl).replay("s").unwrap();
+        let k = &replayed.phases[0].launches[0];
+        let arena = BufferArena::new();
+        let ctx = WarpCtx {
+            gpu: k.gpu,
+            gpu_count: wl.gpu_count as u32,
+            cta: gps_types::CtaId::new(1),
+            cta_count: k.cta_count,
+            warp_in_cta: 1,
+            warps_per_cta: k.warps_per_cta,
+        };
+        let mut stream = k.program.warp_stream(ctx, &arena);
+        assert!(
+            matches!(stream, WarpStream::Replay(_)),
+            "replayed programs must hand out zero-copy cursors"
+        );
+        let decoded: Vec<_> = stream.by_ref().collect();
+        assert_eq!(decoded, k.program.warp_instrs(ctx));
+        // Recycling a replay stream is a no-op: no buffer to pool.
+        stream.recycle(&arena);
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn truncated_cursors_end_cleanly_instead_of_panicking() {
+        let wl = sample_workload();
+        let full = Trace::record(&wl);
+        let bytes = full.as_bytes();
+        // Replay (which validates) must reject every truncation...
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                Trace::from_bytes(bytes[..cut].to_vec())
+                    .replay("x")
+                    .is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // ...and a raw cursor pointed anywhere into truncated bytes — even
+        // with a wildly wrong remaining-count — must drain to None rather
+        // than panic.
+        for cut in (0..bytes.len()).step_by(13) {
+            let truncated = Arc::new(bytes[..cut].to_vec());
+            for start in (0..cut.max(1)).step_by(11) {
+                let mut cursor = TraceCursor::new(Arc::clone(&truncated), start, u32::MAX);
+                let mut yielded = 0u32;
+                while cursor.next().is_some() {
+                    yielded += 1;
+                    assert!(yielded as usize <= cut, "cursor yielded past the buffer");
+                }
+                assert!(cursor.is_exhausted());
+                assert_eq!(cursor.next(), None);
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use gps_types::rng::SmallRng;
 
-use gps_sim::{KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
+use gps_sim::{FillProgram, KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
 use gps_types::{GpuId, LineAddr, LineRange, PageSize};
 
 use crate::common::{mix, warp_seed, ScaleProfile};
@@ -123,18 +123,24 @@ impl GraphParams {
                 for (g, edge_alloc) in edges.iter().enumerate() {
                     let p = self.clone();
                     let edge_base = edge_alloc.base().line();
-                    let prog = move |ctx: WarpCtx| {
-                        p.warp_program(
-                            ctx,
-                            src,
-                            dst,
-                            total_lines,
-                            part,
-                            warps_per_gpu,
-                            edge_base,
-                            edge_lines,
-                        )
-                    };
+                    // Fill-style: the generator appends into the engine's
+                    // pooled buffer instead of allocating a vector per warp.
+                    let prog = FillProgram::with_label(
+                        move |ctx: WarpCtx, out: &mut Vec<WarpInstr>| {
+                            p.warp_program(
+                                ctx,
+                                src,
+                                dst,
+                                total_lines,
+                                part,
+                                warps_per_gpu,
+                                edge_base,
+                                edge_lines,
+                                out,
+                            )
+                        },
+                        self.name,
+                    );
                     launches.push(KernelSpec {
                         name: format!("{}_it{iter}_d{dir}_g{g}", self.name),
                         gpu: GpuId::new(g as u16),
@@ -233,6 +239,8 @@ impl GraphParams {
         }
     }
 
+    /// Appends the warp's trace into `instrs` (a pooled engine buffer —
+    /// callers pass it cleared).
     #[allow(clippy::too_many_arguments)]
     fn warp_program(
         &self,
@@ -244,10 +252,12 @@ impl GraphParams {
         warps_per_gpu: u32,
         edge_base: LineAddr,
         edge_lines: u64,
-    ) -> Vec<WarpInstr> {
+        instrs: &mut Vec<WarpInstr>,
+    ) {
         let w = ctx.global_warp();
         if w >= warps_per_gpu {
-            return vec![WarpInstr::Compute(1)];
+            instrs.push(WarpInstr::Compute(1));
+            return;
         }
         let gpus = ctx.gpu_count as u64;
         let g = ctx.gpu.index() as u64;
@@ -258,8 +268,7 @@ impl GraphParams {
             0x6A47,
         ));
 
-        let mut instrs =
-            Vec::with_capacity(2 + self.gathers_per_warp as usize + self.atomics_per_warp as usize);
+        instrs.reserve(2 + self.gathers_per_warp as usize + self.atomics_per_warp as usize);
 
         // Stream this warp's slice of the private edge list.
         let e_off = (w as u64 * self.edge_lines_per_warp as u64) % edge_lines;
@@ -291,7 +300,6 @@ impl GraphParams {
                 instrs.push(WarpInstr::Atomic(dst.offset(line)));
             }
         }
-        instrs
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use gps_sim::{KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
+use gps_sim::{FillProgram, KernelSpec, WarpCtx, WarpInstr, Workload, WorkloadBuilder};
 use gps_types::{GpuId, LineAddr, LineRange, PageSize, Scope};
 
 use crate::common::{warp_seed, ScaleProfile};
@@ -171,17 +171,24 @@ impl StencilParams {
                         let my_parts = parts.clone();
                         let priv_base = privs[g].base().line();
                         let priv_lines = privs[g].lines();
-                        let prog = move |ctx: WarpCtx| {
-                            p.warp_program(
-                                ctx,
-                                src,
-                                dst,
-                                total_lines,
-                                &my_parts,
-                                priv_base,
-                                priv_lines,
-                            )
-                        };
+                        // Fill-style: the generator appends into the
+                        // engine's pooled buffer instead of allocating a
+                        // vector per warp.
+                        let prog = FillProgram::with_label(
+                            move |ctx: WarpCtx, out: &mut Vec<WarpInstr>| {
+                                p.warp_program(
+                                    ctx,
+                                    src,
+                                    dst,
+                                    total_lines,
+                                    &my_parts,
+                                    priv_base,
+                                    priv_lines,
+                                    out,
+                                )
+                            },
+                            self.name,
+                        );
                         launches.push(KernelSpec {
                             name: format!("{}_it{iter}_d{dir}_s{sweep}_g{g}", self.name),
                             gpu: GpuId::new(g as u16),
@@ -197,6 +204,8 @@ impl StencilParams {
         b.build(2).unwrap()
     }
 
+    /// Appends the warp's trace into `instrs` (a pooled engine buffer —
+    /// callers pass it cleared).
     #[allow(clippy::too_many_arguments)]
     fn warp_program(
         &self,
@@ -207,18 +216,18 @@ impl StencilParams {
         parts: &[Partition],
         priv_base: LineAddr,
         priv_lines: u64,
-    ) -> Vec<WarpInstr> {
+        instrs: &mut Vec<WarpInstr>,
+    ) {
         let g = ctx.gpu.index();
         let part = parts[g];
         let w = ctx.global_warp();
         if w >= part.warps {
-            return vec![WarpInstr::Compute(1)];
+            instrs.push(WarpInstr::Compute(1));
+            return;
         }
         let lpw = self.lines_per_warp as u64;
         let s = part.start + w as u64 * lpw;
         let chunk = lpw.min(part.end.saturating_sub(s)).max(1);
-
-        let mut instrs = Vec::with_capacity(10);
 
         // Private data (coefficients / geometry tables): streaming reads.
         if priv_lines > 0 {
@@ -325,7 +334,6 @@ impl StencilParams {
                 ));
             }
         }
-        instrs
     }
 }
 

@@ -3,9 +3,14 @@
 //! the relationships the paper's evaluation narrative rests on.
 
 use gps_bench::figures;
+use gps_bench::figures::FigureCtx;
 use gps_workloads::ScaleProfile;
 
 const SCALE: ScaleProfile = ScaleProfile::Tiny;
+
+fn mem() -> FigureCtx {
+    FigureCtx::in_memory()
+}
 
 #[test]
 fn fig3_gap_narrows_but_persists() {
@@ -23,7 +28,7 @@ fn fig3_gap_narrows_but_persists() {
 
 #[test]
 fn fig8_gps_dominates_baselines_in_geomean() {
-    let fig = figures::fig8(SCALE);
+    let fig = figures::fig8(&mem(), SCALE);
     let geo = |col: &str| fig.value("geomean", col).unwrap();
     let gps = geo("GPS");
     for baseline in ["UM", "UM + hints", "RDL", "Memcpy"] {
@@ -39,7 +44,7 @@ fn fig8_gps_dominates_baselines_in_geomean() {
 
 #[test]
 fn fig9_distributions_match_table2_patterns() {
-    let fig = figures::fig9(SCALE);
+    let fig = figures::fig9(&mem(), SCALE);
     // Halo-exchange stencils: dominated by 2-subscriber pages.
     for app in ["jacobi", "eqwp", "diffusion", "hit"] {
         let two = fig.value(app, "2 subscribers").unwrap();
@@ -51,7 +56,7 @@ fn fig9_distributions_match_table2_patterns() {
         assert!(four > 90.0, "{app}: expected 4-sub dominance, got {four}%");
     }
     // Many-to-many: a genuine mix.
-    let sssp4 = figures::fig9(SCALE); // deterministic: same values
+    let sssp4 = figures::fig9(&mem(), SCALE); // deterministic: same values
     let _ = sssp4;
     let (s2, s3) = (
         fig.value("sssp", "2 subscribers").unwrap(),
@@ -62,7 +67,7 @@ fn fig9_distributions_match_table2_patterns() {
 
 #[test]
 fn fig11_subscription_is_the_primary_factor_for_p2p_apps() {
-    let fig = figures::fig11(SCALE);
+    let fig = figures::fig11(&mem(), SCALE);
     for app in ["jacobi", "diffusion", "hit", "eqwp"] {
         let with = fig.value(app, "GPS with subscription").unwrap();
         let without = fig.value(app, "GPS w/o subscription").unwrap();
@@ -106,7 +111,7 @@ fn fig14_zero_rows_and_rising_rows() {
 
 #[test]
 fn fig13_baselines_converge_with_bandwidth_but_gps_stays_ahead() {
-    let fig = figures::fig13(SCALE);
+    let fig = figures::fig13(&mem(), SCALE);
     let first = &fig.rows.first().unwrap().0;
     let last = &fig.rows.last().unwrap().0;
     let memcpy_3 = fig.value(first, "Memcpy").unwrap();
@@ -121,7 +126,7 @@ fn fig13_baselines_converge_with_bandwidth_but_gps_stays_ahead() {
 
 #[test]
 fn extension_scaling_curve_is_monotone_for_gps() {
-    let fig = figures::scaling_curve(SCALE);
+    let fig = figures::scaling_curve(&mem(), SCALE);
     let gps = fig.column("GPS");
     assert_eq!(gps.len(), 4); // 2, 4, 8, 16 GPUs
     for w in gps.windows(2) {
@@ -134,6 +139,38 @@ fn extension_scaling_curve_is_monotone_for_gps() {
     for (g, i) in gps.iter().zip(&inf) {
         assert!(g <= i);
     }
+}
+
+#[test]
+fn figures_resume_from_result_store() {
+    let dir = std::env::temp_dir().join(format!("gps_fig_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("figures.jsonl");
+    let _ = std::fs::remove_file(&store);
+
+    let ctx = FigureCtx::with_store(&store);
+    let first = figures::fig9(&ctx, SCALE);
+    let lines = std::fs::read_to_string(&store).unwrap().lines().count();
+    assert!(lines >= 8, "expected one record per suite app, got {lines}");
+
+    // Regenerating against the same store must be all cache hits: no new
+    // records appended, identical figure values.
+    let second = figures::fig9(&ctx, SCALE);
+    let lines_after = std::fs::read_to_string(&store).unwrap().lines().count();
+    assert_eq!(
+        lines, lines_after,
+        "regeneration must not re-run completed keys"
+    );
+    assert_eq!(first.rows, second.rows);
+
+    // The store path and the in-memory path feed the figure math the same
+    // numbers (the JSON codec round-trips f64 exactly).
+    let in_memory = figures::fig9(&mem(), SCALE);
+    assert_eq!(first.rows, in_memory.rows);
+    assert_eq!(first.columns, in_memory.columns);
+
+    let _ = std::fs::remove_file(&store);
+    let _ = std::fs::remove_dir(&dir);
 }
 
 #[test]
