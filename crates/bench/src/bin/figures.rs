@@ -3,8 +3,9 @@
 //! Usage: `figures <id> [scale]` where `<id>` is one of `table1`, `table2`,
 //! `fig1`, `fig3`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `tlb`, `pagesize`, or `all`; extensions/ablations beyond the
-//! paper: `watermark`, `profiling`, `nvlink`, `scaling`, or `extras` for
-//! all four. `[scale]` is `tiny`, `small` or `paper` (default `paper`).
+//! paper: `watermark`, `profiling`, `nvlink`, `scaling`, `oversub`, or
+//! `extras` for all of them. `[scale]` is `tiny`, `small` or `paper`
+//! (default `paper`).
 //! With `--store <path>` the default-machine figures run through the
 //! `gps-harness` result store: completed runs (from earlier figure
 //! invocations or `gps-run sweep`) are reused, fresh ones are appended, so
@@ -21,7 +22,8 @@ Regenerates the tables and figures of the GPS paper (MICRO 2021).
 
   <id>     table1 table2 fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
            tlb pagesize all
-           ablations/extensions: watermark profiling nvlink scaling topology extras
+           ablations/extensions: watermark profiling nvlink scaling topology
+           oversub extras
   [scale]  tiny | small | paper (default: paper)
   --csv    emit CSV instead of an aligned text table (figures only)
   --store <path>
@@ -86,6 +88,7 @@ fn main() {
         "nvlink" => emit(figures::nvlink_sweep(&ctx, scale), csv),
         "scaling" => emit(figures::scaling_curve(&ctx, scale), csv),
         "topology" => emit(figures::topology_comparison(scale), csv),
+        "oversub" => emit(figures::oversubscription_sweep(&ctx, scale), csv),
         "extras" => {
             for f in [
                 figures::watermark_sensitivity(scale),
@@ -93,6 +96,7 @@ fn main() {
                 figures::nvlink_sweep(&ctx, scale),
                 figures::scaling_curve(&ctx, scale),
                 figures::topology_comparison(scale),
+                figures::oversubscription_sweep(&ctx, scale),
             ] {
                 println!("{}", f.render());
             }

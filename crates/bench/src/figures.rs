@@ -24,7 +24,7 @@ use gps_harness::{
 };
 use gps_interconnect::{LinkGen, PLATFORMS};
 use gps_paradigms::{GpsPolicy, Paradigm};
-use gps_sim::GpuConfig;
+use gps_sim::{GpuConfig, MemoryPressure};
 use gps_types::PageSize;
 use gps_workloads::{suite, ScaleProfile};
 
@@ -125,6 +125,7 @@ fn spec(paradigm: Paradigm, gpus: usize, link: LinkGen, scale: ScaleProfile) -> 
         gpus,
         link,
         scale,
+        pressure: MemoryPressure::NONE,
     }
 }
 
@@ -157,6 +158,7 @@ impl FigureCtx {
 /// identical either way (the JSON codec round-trips `f64` exactly).
 struct FigRun {
     steady_cycles: f64,
+    total_cycles: f64,
     metrics: Vec<(String, f64)>,
 }
 
@@ -184,6 +186,7 @@ fn fig_run(m: &Measurement) -> FigRun {
     ));
     FigRun {
         steady_cycles: m.steady_cycles,
+        total_cycles: m.report.total_cycles.as_u64() as f64,
         metrics,
     }
 }
@@ -248,6 +251,7 @@ fn run_default_machine(ctx: &FigureCtx, jobs: &[(&'static str, RunSpec)]) -> Vec
             );
             FigRun {
                 steady_cycles: r.steady_cycles,
+                total_cycles: r.total_cycles as f64,
                 metrics: r.metrics.clone(),
             }
         })
@@ -855,6 +859,59 @@ pub fn topology_comparison(scale: ScaleProfile) -> Figure {
     Figure {
         title: "Extension: GPS speedup, central switch vs ring topology (4 GPUs, NVLink 1)".into(),
         columns: vec!["Switch".into(), "Ring".into()],
+        rows,
+    }
+}
+
+/// §8 extension: GPS slowdown under memory oversubscription. Per-GPU
+/// capacity is shrunk to `demand / ratio`; the driver swaps replicas out
+/// at subscription time (LRU-approx victims via the ATU access bitmaps)
+/// and evicted replicas re-fault to remote reads. Columns are subscription
+/// ratios (end-to-end slowdown normalised to the in-capacity 1.0× run;
+/// total time, not steady state, because eviction and shootdown costs are
+/// front-loaded into iteration 0 and stencil apps hide steady-state fault
+/// stalls behind warp parallelism) plus the evicted-replica count at the
+/// highest ratio.
+pub fn oversubscription_sweep(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
+    let ratios = [1.0f64, 1.5, 2.0, 3.0];
+    let apps = suite::all();
+    let mut jobs: Vec<(&'static str, RunSpec)> = Vec::new();
+    for app in &apps {
+        for &r in &ratios {
+            let mut s = spec(Paradigm::GpsOversub, 4, LinkGen::Pcie3, scale);
+            s.pressure = MemoryPressure::from_ratio(r);
+            jobs.push((app.name, s));
+        }
+    }
+    let runs = run_default_machine(ctx, &jobs);
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut slow_cols: Vec<Vec<f64>> = vec![Vec::new(); ratios.len()];
+    let mut evicted_total = 0.0;
+    for (ai, app) in apps.iter().enumerate() {
+        let at = |ri: usize| &runs[ai * ratios.len() + ri];
+        let base = at(0).total_cycles.max(1.0);
+        let mut vals: Vec<f64> = (0..ratios.len())
+            .map(|ri| {
+                let s = at(ri).total_cycles / base;
+                slow_cols[ri].push(s);
+                s
+            })
+            .collect();
+        let evicted = at(ratios.len() - 1).metric("evicted_replicas");
+        evicted_total += evicted;
+        vals.push(evicted);
+        rows.push((app.name.to_owned(), vals));
+    }
+    let mut geo: Vec<f64> = slow_cols.iter().map(|c| geomean(c)).collect();
+    geo.push(evicted_total);
+    rows.push(("geomean".to_owned(), geo));
+
+    let mut columns: Vec<String> = ratios.iter().map(|r| format!("{r:.1}x")).collect();
+    columns.push(format!("evicted@{:.1}x", ratios[ratios.len() - 1]));
+    Figure {
+        title: "Oversubscription: GPS slowdown vs subscription ratio (4 GPUs, PCIe 3.0)".into(),
+        columns,
         rows,
     }
 }

@@ -44,6 +44,6 @@ pub use atu::AccessTrackingUnit;
 pub use budget::{HardwareBudget, MmuWidths};
 pub use config::{GpsConfig, ProfilingMode};
 pub use gps_tlb::GpsTlb;
-pub use runtime::{AllocationKind, GpsRuntime, MemAdvise, PageState};
+pub use runtime::{AllocationKind, EvictionOutcome, GpsRuntime, MemAdvise, PageState};
 pub use rwq::{InsertOutcome, RemoteWriteQueue, RwqStats};
 pub use system::{GpsLoad, GpsStore, GpsSystem};

@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use gps_mem::{FrameAllocator, GpsPageTable, GpsPte, VaRange, VaSpace};
-use gps_types::{GpsError, GpuId, PageSize, Result, Vpn, GIB};
+use gps_mem::{FrameAllocator, GpsPageTable, GpsPte, ResidentSet, VaRange, VaSpace, VictimPolicy};
+use gps_types::{GpsError, GpuId, PageSize, Ppn, Result, Vpn, GIB};
 
 use crate::atu::AccessTrackingUnit;
 
@@ -29,6 +29,27 @@ pub enum MemAdvise {
     /// `CU_MEM_ADVISE_GPS_UNSUBSCRIBE`: remove the GPU from the subscriber
     /// set and free its replica. Fails on the last subscriber.
     Unsubscribe,
+}
+
+/// What a pressure-aware region registration did to make everything fit
+/// (empty on an unpressured system).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvictionOutcome {
+    /// Replicas the driver swapped out to make room, in eviction order.
+    pub evicted: Vec<(GpuId, Vpn)>,
+    /// Subscriptions skipped outright because the GPU was full of
+    /// last-copy pages and nothing could be evicted; the GPU accesses
+    /// these pages remotely from the start.
+    pub skipped: Vec<(GpuId, Vpn)>,
+}
+
+/// Per-GPU resident-set tracking, enabled by
+/// [`GpsRuntime::enable_eviction`].
+#[derive(Debug)]
+struct EvictionState {
+    policy: VictimPolicy,
+    sets: Vec<ResidentSet>,
+    evictions: Vec<u64>,
 }
 
 /// Driver-visible state of one GPS page.
@@ -73,6 +94,7 @@ pub struct GpsRuntime {
     pages: HashMap<Vpn, PageState>,
     allocs: Vec<(VaRange, AllocationKind)>,
     tracking: bool,
+    eviction: Option<EvictionState>,
 }
 
 impl GpsRuntime {
@@ -94,6 +116,56 @@ impl GpsRuntime {
             pages: HashMap::new(),
             allocs: Vec::new(),
             tracking: false,
+            eviction: None,
+        }
+    }
+
+    /// Turns on per-GPU resident-set tracking so that registration under
+    /// memory pressure can swap replicas out with `policy` instead of
+    /// failing. Must be enabled before any region is registered.
+    pub fn enable_eviction(&mut self, policy: VictimPolicy) {
+        self.eviction = Some(EvictionState {
+            policy,
+            // One fixed-seed stream per GPU keeps the random control
+            // policy bit-reproducible run to run.
+            sets: (0..self.gpu_count)
+                .map(|g| ResidentSet::new(0xE51C_7E57 ^ (g as u64)))
+                .collect(),
+            evictions: vec![0; self.gpu_count],
+        });
+    }
+
+    /// Whether eviction tracking is enabled.
+    pub fn eviction_enabled(&self) -> bool {
+        self.eviction.is_some()
+    }
+
+    /// Replicas evicted so far, per GPU (all zeros when eviction is
+    /// disabled or never triggered).
+    pub fn evictions(&self) -> Vec<u64> {
+        self.eviction
+            .as_ref()
+            .map(|ev| ev.evictions.clone())
+            .unwrap_or_else(|| vec![0; self.gpu_count])
+    }
+
+    /// Pages currently resident (holding a replica) on `gpu`. Only
+    /// meaningful once eviction tracking is enabled.
+    pub fn resident_pages(&self, gpu: GpuId) -> usize {
+        self.eviction
+            .as_ref()
+            .map_or(0, |ev| ev.sets[gpu.index()].len())
+    }
+
+    fn note_subscribed(&mut self, gpu: GpuId, vpn: Vpn) {
+        if let Some(ev) = self.eviction.as_mut() {
+            ev.sets[gpu.index()].insert(vpn);
+        }
+    }
+
+    fn note_unsubscribed(&mut self, gpu: GpuId, vpn: Vpn) {
+        if let Some(ev) = self.eviction.as_mut() {
+            ev.sets[gpu.index()].remove(vpn);
         }
     }
 
@@ -148,6 +220,7 @@ impl GpsRuntime {
             for &gpu in &subscribers {
                 let ppn = self.frames[gpu.index()].allocate()?;
                 self.table.subscribe(vpn, gpu, ppn);
+                self.note_subscribed(gpu, vpn);
             }
             self.pages.insert(
                 vpn,
@@ -221,6 +294,7 @@ impl GpsRuntime {
             for &gpu in &subscribers {
                 let ppn = self.frames[gpu.index()].allocate()?;
                 self.table.subscribe(vpn, gpu, ppn);
+                self.note_subscribed(gpu, vpn);
             }
             self.pages.insert(
                 vpn,
@@ -233,6 +307,131 @@ impl GpsRuntime {
         }
         self.allocs.push((range, kind));
         Ok(())
+    }
+
+    /// Like [`GpsRuntime::register_region`], but when a GPU's frame
+    /// allocator is exhausted the driver *swaps out* a resident replica
+    /// (§5.3) instead of failing — the oversubscription model of §8.
+    ///
+    /// For each page the first replica is mandatory: GPUs are tried in
+    /// order until one can host it (evicting if its memory is full).
+    /// Further replicas are best-effort: a GPU whose memory holds only
+    /// last-copy pages simply skips the subscription and accesses the
+    /// page remotely. `recently_used` feeds ATU access bits into the
+    /// LRU-approx victim policy (`|_, _| false` when no history exists).
+    ///
+    /// # Errors
+    ///
+    /// As for [`GpsRuntime::register_region`]; additionally
+    /// [`GpsError::OutOfMemory`] if no GPU at all can host a page's first
+    /// replica (aggregate capacity below one copy of the data).
+    pub fn register_region_evicting(
+        &mut self,
+        range: VaRange,
+        kind: AllocationKind,
+        recently_used: &dyn Fn(GpuId, Vpn) -> bool,
+    ) -> Result<EvictionOutcome> {
+        if range.page_size() != self.page_size {
+            return Err(GpsError::PageSizeMismatch {
+                expected: self.page_size,
+                actual: range.page_size(),
+            });
+        }
+        if range.vpns().any(|v| self.pages.contains_key(&v)) {
+            return Err(GpsError::InvalidRange {
+                reason: "range overlaps an existing GPS region".to_owned(),
+            });
+        }
+        let subscribers: Vec<GpuId> = match kind {
+            AllocationKind::Automatic => GpuId::all(self.gpu_count).collect(),
+            AllocationKind::Manual => vec![GpuId::new(0)],
+        };
+        let mut outcome = EvictionOutcome::default();
+        for vpn in range.vpns() {
+            // The page must be registered before replicas can be placed:
+            // victim selection consults `pages`/`table` state.
+            self.pages.insert(
+                vpn,
+                PageState {
+                    gps_bit: false,
+                    collapsed: None,
+                    kind,
+                },
+            );
+            let mut hosted = false;
+            for &gpu in &subscribers {
+                match self.allocate_evicting(gpu, recently_used, &mut outcome.evicted) {
+                    Ok(ppn) => {
+                        self.table.subscribe(vpn, gpu, ppn);
+                        self.note_subscribed(gpu, vpn);
+                        hosted = true;
+                    }
+                    Err(_) => outcome.skipped.push((gpu, vpn)),
+                }
+            }
+            if !hosted {
+                // Every listed subscriber was full of last copies; fall
+                // back to any GPU with a free frame (the aggregate-
+                // capacity argument guarantees one exists when per-GPU
+                // capacity is at least `demand / gpu_count`).
+                let host = GpuId::all(self.gpu_count)
+                    .find(|g| self.frames[g.index()].free_pages() > 0)
+                    .ok_or(GpsError::OutOfMemory {
+                        gpu: subscribers[0],
+                        requested: self.page_size.bytes(),
+                    })?;
+                let ppn = self.frames[host.index()].allocate()?;
+                self.table.subscribe(vpn, host, ppn);
+                self.note_subscribed(host, vpn);
+            }
+            self.refresh_page(vpn);
+        }
+        self.allocs.push((range, kind));
+        Ok(outcome)
+    }
+
+    /// Allocates one frame on `gpu`, swapping out victims until one is
+    /// free. Fails with the allocator's `OutOfMemory` when eviction is
+    /// disabled or nothing eligible remains.
+    fn allocate_evicting(
+        &mut self,
+        gpu: GpuId,
+        recently_used: &dyn Fn(GpuId, Vpn) -> bool,
+        evicted: &mut Vec<(GpuId, Vpn)>,
+    ) -> Result<Ppn> {
+        loop {
+            match self.frames[gpu.index()].allocate() {
+                Ok(ppn) => return Ok(ppn),
+                Err(oom) => {
+                    let Some(victim) = self.pick_victim(gpu, recently_used) else {
+                        return Err(oom);
+                    };
+                    self.unsubscribe_page(victim, gpu)?;
+                    if let Some(ev) = self.eviction.as_mut() {
+                        ev.evictions[gpu.index()] += 1;
+                    }
+                    evicted.push((gpu, victim));
+                }
+            }
+        }
+    }
+
+    /// The page `gpu` should swap out next: never a last surviving copy,
+    /// preferring (under LRU-approx) the oldest replica whose access bit
+    /// is clear.
+    fn pick_victim(
+        &mut self,
+        gpu: GpuId,
+        recently_used: &dyn Fn(GpuId, Vpn) -> bool,
+    ) -> Option<Vpn> {
+        let table = &self.table;
+        let ev = self.eviction.as_mut()?;
+        let policy = ev.policy;
+        ev.sets[gpu.index()].select_victim(
+            policy,
+            |v| table.entry(v).is_some_and(|e| e.subscriber_count() > 1),
+            |v| recently_used(gpu, v),
+        )
     }
 
     /// `cudaFree`: releases a GPS region, freeing every replica.
@@ -254,6 +453,7 @@ impl GpsRuntime {
             if let Some(entry) = self.table.remove(vpn) {
                 for &(gpu, ppn) in entry.replicas() {
                     self.frames[gpu.index()].free(ppn);
+                    self.note_unsubscribed(gpu, vpn);
                 }
             }
             self.pages.remove(&vpn);
@@ -300,6 +500,7 @@ impl GpsRuntime {
         }
         let ppn = self.frames[gpu.index()].allocate()?;
         self.table.subscribe(vpn, gpu, ppn);
+        self.note_subscribed(gpu, vpn);
         // A collapsed page that regains subscribers becomes GPS again.
         let _ = state;
         self.refresh_page(vpn);
@@ -316,6 +517,7 @@ impl GpsRuntime {
         self.check_gpu(gpu)?;
         let ppn = self.table.unsubscribe(vpn, gpu)?;
         self.frames[gpu.index()].free(ppn);
+        self.note_unsubscribed(gpu, vpn);
         self.refresh_page(vpn);
         Ok(())
     }
@@ -387,6 +589,7 @@ impl GpsRuntime {
                     match self.table.unsubscribe(vpn, gpu) {
                         Ok(ppn) => {
                             self.frames[gpu.index()].free(ppn);
+                            self.note_unsubscribed(gpu, vpn);
                             removed.push((gpu, vpn));
                         }
                         Err(GpsError::LastSubscriber { .. }) => {
@@ -439,6 +642,39 @@ impl GpsRuntime {
         }
     }
 
+    /// Swaps `gpu`'s replica of `vpn` back in after a demand fault under
+    /// oversubscription: allocates a local frame — swapping out victims
+    /// (§5.3) if the GPU's memory is full — and re-subscribes the GPU.
+    /// Returns the `(gpu, page)` pairs displaced to make room. A no-op
+    /// returning no victims if `gpu` already subscribes.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpsError::Unmapped`] if `vpn` is not a registered GPS page.
+    /// * [`GpsError::OutOfMemory`] if no frame can be freed (every
+    ///   resident page is a last surviving copy).
+    pub fn fault_in(
+        &mut self,
+        vpn: Vpn,
+        gpu: GpuId,
+        recently_used: &dyn Fn(GpuId, Vpn) -> bool,
+    ) -> Result<Vec<(GpuId, Vpn)>> {
+        self.check_gpu(gpu)?;
+        if !self.pages.contains_key(&vpn) {
+            return Err(GpsError::Unmapped { vpn });
+        }
+        if self.table.entry(vpn).is_some_and(|e| e.is_subscriber(gpu)) {
+            return Ok(Vec::new());
+        }
+        let mut displaced = Vec::new();
+        let ppn = self.allocate_evicting(gpu, recently_used, &mut displaced)?;
+        self.table.subscribe(vpn, gpu, ppn);
+        self.note_subscribed(gpu, vpn);
+        // A collapsed page that regains subscribers becomes GPS again.
+        self.refresh_page(vpn);
+        Ok(displaced)
+    }
+
     /// Ends a profiling phase *without* applying any unsubscriptions —
     /// used by the Figure 11 "GPS without subscription" ablation.
     ///
@@ -476,6 +712,7 @@ impl GpsRuntime {
         for gpu in others {
             let ppn = self.table.unsubscribe(vpn, gpu)?;
             self.frames[gpu.index()].free(ppn);
+            self.note_unsubscribed(gpu, vpn);
         }
         if let Some(state) = self.pages.get_mut(&vpn) {
             state.collapsed = Some(to);
@@ -718,6 +955,58 @@ mod tests {
         assert_eq!(rt.subscribers(v2).unwrap().subscriber_count(), 3);
         // Evicting a non-subscriber fails.
         assert!(rt.evict_page(v2, G1).is_err());
+    }
+
+    #[test]
+    fn pressured_registration_evicts_instead_of_failing() {
+        use gps_types::VirtAddr;
+        // 2 GPUs with room for 2 frames each, registering 4 pages for
+        // both: demand is 2x capacity.
+        let mut rt = GpsRuntime::with_memory(2, PageSize::Standard64K, 2 * 65536);
+        rt.enable_eviction(VictimPolicy::LruApprox);
+        let range = VaRange::new(VirtAddr::new(1 << 32), 4 * 65536, PageSize::Standard64K);
+        let outcome = rt
+            .register_region_evicting(range, AllocationKind::Automatic, &|_, _| false)
+            .unwrap();
+        assert!(!outcome.evicted.is_empty(), "pressure must evict");
+        // Every page still has at least one replica, and no GPU exceeds
+        // its physical capacity.
+        for vpn in range.vpns() {
+            assert!(rt.subscribers(vpn).unwrap().subscriber_count() >= 1);
+        }
+        assert!(rt.resident_pages(G0) <= 2);
+        assert!(rt.resident_pages(G1) <= 2);
+        let evictions = rt.evictions();
+        assert_eq!(evictions.iter().sum::<u64>(), outcome.evicted.len() as u64);
+        // A second identical run is bit-deterministic.
+        let mut rt2 = GpsRuntime::with_memory(2, PageSize::Standard64K, 2 * 65536);
+        rt2.enable_eviction(VictimPolicy::LruApprox);
+        let outcome2 = rt2
+            .register_region_evicting(range, AllocationKind::Automatic, &|_, _| false)
+            .unwrap();
+        assert_eq!(outcome, outcome2);
+    }
+
+    #[test]
+    fn unpressured_evicting_registration_matches_plain_registration() {
+        use gps_types::VirtAddr;
+        let range = VaRange::new(VirtAddr::new(1 << 32), 2 * 65536, PageSize::Standard64K);
+        let mut a = GpsRuntime::new(2, PageSize::Standard64K);
+        a.enable_eviction(VictimPolicy::LruApprox);
+        let outcome = a
+            .register_region_evicting(range, AllocationKind::Automatic, &|_, _| false)
+            .unwrap();
+        assert_eq!(outcome, EvictionOutcome::default());
+        let mut b = GpsRuntime::new(2, PageSize::Standard64K);
+        b.register_region(range, AllocationKind::Automatic).unwrap();
+        for vpn in range.vpns() {
+            assert_eq!(
+                a.subscribers(vpn).unwrap().replicas(),
+                b.subscribers(vpn).unwrap().replicas()
+            );
+            assert_eq!(a.page_state(vpn), b.page_state(vpn));
+        }
+        assert_eq!(a.evictions(), vec![0, 0]);
     }
 
     #[test]

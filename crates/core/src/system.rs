@@ -2,12 +2,15 @@
 //! driver state — the store/load pipeline of Figure 7.
 
 use gps_interconnect::Fabric;
-use gps_types::{Cycle, GpsError, GpuId, LineAddr, PageSize, Result, Scope, Vpn, CACHE_LINE_BYTES};
+use gps_mem::VictimPolicy;
+use gps_types::{
+    Cycle, GpsError, GpuId, LineAddr, PageSize, Result, Scope, Vpn, CACHE_LINE_BYTES, GIB,
+};
 
 use crate::atu::AccessTrackingUnit;
 use crate::config::{GpsConfig, ProfilingMode};
 use crate::gps_tlb::GpsTlb;
-use crate::runtime::{AllocationKind, GpsRuntime};
+use crate::runtime::{AllocationKind, EvictionOutcome, GpsRuntime};
 use crate::rwq::{InsertOutcome, RemoteWriteQueue};
 
 /// How a store interacts with GPS (the W1–W6 path of Figure 7).
@@ -78,10 +81,26 @@ impl GpsSystem {
     ///
     /// Returns [`GpsError::Config`] for invalid hardware configurations.
     pub fn new(gpu_count: usize, page_size: PageSize, config: GpsConfig) -> Result<Self> {
+        Self::with_memory(gpu_count, page_size, config, 16 * GIB)
+    }
+
+    /// Creates a GPS system whose GPUs each hold `dram_bytes` of physical
+    /// memory — the oversubscription experiments size this below the
+    /// subscription demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpsError::Config`] for invalid hardware configurations.
+    pub fn with_memory(
+        gpu_count: usize,
+        page_size: PageSize,
+        config: GpsConfig,
+        dram_bytes: u64,
+    ) -> Result<Self> {
         config.validate()?;
         Ok(Self {
             config,
-            runtime: GpsRuntime::new(gpu_count, page_size),
+            runtime: GpsRuntime::with_memory(gpu_count, page_size, dram_bytes),
             rwq: (0..gpu_count)
                 .map(|_| RemoteWriteQueue::new(config.rwq_entries, config.drain_watermark))
                 .collect(),
@@ -147,6 +166,72 @@ impl GpsSystem {
                 )
             }
         }
+    }
+
+    /// Turns on the eviction layer (see [`GpsRuntime::enable_eviction`]).
+    pub fn enable_eviction(&mut self, policy: VictimPolicy) {
+        self.runtime.enable_eviction(policy);
+    }
+
+    /// Adopts a shared range as an automatic GPS region under memory
+    /// pressure: when a GPU's frames are exhausted the driver swaps out a
+    /// victim replica instead of failing (§5.3 / §8).
+    ///
+    /// Invalidation ordering for each evicted replica: the GPS page table
+    /// is updated first (inside the runtime), and only then is the stale
+    /// wide entry shot down in *every* GPU's GPS-TLB — a re-walk after the
+    /// shootdown therefore cannot re-cache the dropped broadcast target.
+    /// RWQ entries are virtually addressed and translate against the
+    /// updated table at drain time, so buffered stores simply stop
+    /// broadcasting to the evicted replica; the evicting GPU's own loads
+    /// re-fault to remote reads through [`GpsSystem::load`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`GpsRuntime::register_region_evicting`].
+    pub fn register_region_evicting(&mut self, range: gps_mem::VaRange) -> Result<EvictionOutcome> {
+        let atu = &self.atu;
+        let recently_used =
+            |gpu: GpuId, vpn: Vpn| atu.as_ref().is_some_and(|a| a.accessed(gpu, vpn));
+        let outcome = self.runtime.register_region_evicting(
+            range,
+            AllocationKind::Automatic,
+            &recently_used,
+        )?;
+        for &(_, vpn) in &outcome.evicted {
+            for tlb in &mut self.tlb {
+                tlb.invalidate(vpn);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Demand-fetches `gpu`'s replica of `vpn` after a §5.3 swap-out: the
+    /// driver allocates a local frame (swapping out victims when the GPU's
+    /// memory is full), re-subscribes the GPU, and then shoots down stale
+    /// GPS-TLB entries for every page displaced — the same
+    /// page-table-first, TLB-second ordering as
+    /// [`GpsSystem::register_region_evicting`]. Returns the displaced
+    /// `(gpu, page)` pairs; they access their page remotely until their own
+    /// re-fault.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GpsRuntime::fault_in`]: unknown pages, or no evictable
+    /// frame on `gpu`.
+    pub fn fault_in(&mut self, gpu: GpuId, vpn: Vpn) -> Result<Vec<(GpuId, Vpn)>> {
+        let atu = &self.atu;
+        let recently_used = |g: GpuId, v: Vpn| atu.as_ref().is_some_and(|a| a.accessed(g, v));
+        let displaced = self.runtime.fault_in(vpn, gpu, &recently_used)?;
+        for tlb in &mut self.tlb {
+            // The faulted page's subscriber mask changed too: wide entries
+            // caching the old mask would skip the new replica on broadcast.
+            tlb.invalidate(vpn);
+            for &(_, v) in &displaced {
+                tlb.invalidate(v);
+            }
+        }
+        Ok(displaced)
     }
 
     /// Starts the profiling phase (`cuGPSTrackingStart`), sizing the access

@@ -35,7 +35,10 @@ use gps_types::{GpuId, Json, PageSize};
 use gps_workloads::{suite, ScaleProfile};
 
 /// Bump when the shape of `BENCH_sim.json` changes; CI greps for this.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `peak_rss_kb` became nullable — `null` when `/proc` is unreadable
+/// instead of a fake `0` masquerading as a measurement.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Pipeline depth used for the pipelined legs when the caller does not
 /// override it (CTAs of pre-expanded warp streams buffered per kernel).
@@ -72,8 +75,10 @@ pub struct BenchLeg {
     pub depth: usize,
     /// Best-of-reps wall-clock milliseconds.
     pub wall_ms: f64,
-    /// Peak RSS in KiB after the leg (`VmHWM`; 0 if unreadable).
-    pub peak_rss_kb: u64,
+    /// Peak RSS in KiB after the leg (`VmHWM`); `None` — serialised as
+    /// JSON `null` — when `/proc` is unavailable, so a missing measurement
+    /// is never mistaken for a zero-byte footprint.
+    pub peak_rss_kb: Option<u64>,
     /// Simulated cycles of the report (identical across legs of a case).
     pub total_cycles: u64,
 }
@@ -147,7 +152,10 @@ impl BenchReport {
                             ("mode".into(), Json::Str(l.mode.into())),
                             ("depth".into(), Json::Num(l.depth as f64)),
                             ("wall_ms".into(), Json::Num(l.wall_ms)),
-                            ("peak_rss_kb".into(), Json::Num(l.peak_rss_kb as f64)),
+                            (
+                                "peak_rss_kb".into(),
+                                l.peak_rss_kb.map_or(Json::Null, |kb| Json::Num(kb as f64)),
+                            ),
                             ("total_cycles".into(), Json::Num(l.total_cycles as f64)),
                         ])
                     })
@@ -198,16 +206,14 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
-/// Peak resident set (`VmHWM`) in KiB, 0 when `/proc` is unavailable.
-fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
+/// Peak resident set (`VmHWM`) in KiB; `None` when `/proc` is unavailable
+/// or the field cannot be parsed.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
     status
         .lines()
         .find_map(|l| l.strip_prefix("VmHWM:"))
         .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
-        .unwrap_or(0)
 }
 
 /// Attempts to reset the peak-RSS watermark so each leg reads its own peak
@@ -281,7 +287,7 @@ struct LegSpec<'a> {
 /// sample, so the min-of-rounds ratio reflects the structural difference.
 fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) {
     let mut walls = vec![f64::INFINITY; legs.len()];
-    let mut rss = vec![0u64; legs.len()];
+    let mut rss: Vec<Option<u64>> = vec![None; legs.len()];
     let mut reports: Vec<Option<SimReport>> = legs.iter().map(|_| None).collect();
     for _ in 0..reps.max(1) {
         for (i, leg) in legs.iter().enumerate() {
@@ -292,7 +298,11 @@ fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) 
             drop(wl);
             let wall = start.elapsed().as_secs_f64() * 1e3;
             walls[i] = walls[i].min(wall);
-            rss[i] = rss[i].max(peak_rss_kb());
+            rss[i] = match (rss[i], peak_rss_kb()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
             reports[i] = Some(r);
         }
     }
@@ -453,11 +463,9 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchReport> {
 ///
 /// Same contract as [`run_bench`].
 pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<BenchReport> {
-    let depth = if opts.pipeline_depth == 0 {
-        DEFAULT_BENCH_DEPTH
-    } else {
-        opts.pipeline_depth
-    };
+    // Depth 0 is a legitimate request — fully sequential expansion for the
+    // "pipelined" legs — not a sentinel for the default.
+    let depth = opts.pipeline_depth;
     let rss_reset_supported = try_reset_peak_rss();
 
     let mut cases = Vec::new();
@@ -572,17 +580,29 @@ mod tests {
         let out = dir.join("BENCH_sim.json");
         let opts = BenchOptions {
             quick: true,
-            pipeline_depth: 2,
+            // Depth 0 must be honoured verbatim (sequential expansion), not
+            // silently rewritten to DEFAULT_BENCH_DEPTH.
+            pipeline_depth: 0,
             out: out.clone(),
         };
         let report = run_bench_logged(&opts, false).expect("quick bench runs");
         assert!(report.cases.iter().all(|c| c.reports_identical));
+        assert_eq!(report.pipeline_depth, 0);
+        assert!(
+            report
+                .cases
+                .iter()
+                .flat_map(|c| &c.legs)
+                .all(|l| l.depth == 0),
+            "every leg, pipelined included, must run at the requested depth 0"
+        );
 
         let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).expect("valid json");
         assert_eq!(
             doc.get("schema_version").and_then(Json::as_u64),
             Some(BENCH_SCHEMA_VERSION)
         );
+        assert_eq!(doc.get("pipeline_depth").and_then(Json::as_u64), Some(0));
         let cases = doc.get("cases").and_then(Json::as_arr).expect("cases");
         assert!(!cases.is_empty());
         for case in cases {
@@ -601,6 +621,44 @@ mod tests {
             .expect("a trace_replay case");
         assert!(replay.get("speedup_streaming").is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_peak_rss_serialises_as_null_not_zero() {
+        let report = BenchReport {
+            quick: true,
+            pipeline_depth: 0,
+            rss_reset_supported: false,
+            cases: vec![BenchCase {
+                name: "c".into(),
+                kind: "synthetic",
+                gpus: 1,
+                total_warps: 1,
+                trace_bytes: 0,
+                reps: 1,
+                legs: vec![
+                    BenchLeg {
+                        mode: "generator",
+                        depth: 0,
+                        wall_ms: 1.0,
+                        peak_rss_kb: None,
+                        total_cycles: 1,
+                    },
+                    BenchLeg {
+                        mode: "generator_pipelined",
+                        depth: 0,
+                        wall_ms: 1.0,
+                        peak_rss_kb: Some(4096),
+                        total_cycles: 1,
+                    },
+                ],
+                reports_identical: true,
+            }],
+        };
+        let text = report.to_json().emit();
+        assert!(text.contains("\"peak_rss_kb\":null"), "{text}");
+        assert!(text.contains("\"peak_rss_kb\":4096"), "{text}");
+        assert!(!text.contains("\"peak_rss_kb\":0"), "{text}");
     }
 
     #[test]

@@ -14,11 +14,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use gps_harness::bench::{BenchOptions, DEFAULT_BENCH_DEPTH};
+use gps_harness::bench::BenchOptions;
 use gps_harness::store::{ResultStore, RunStatus};
 use gps_harness::sweep::{run_sweep, SweepOptions, SweepSpec};
 use gps_interconnect::LinkGen;
 use gps_paradigms::Paradigm;
+use gps_sim::{MemoryPressure, VictimPolicy};
 use gps_workloads::{suite, ScaleProfile};
 
 const USAGE: &str = "\
@@ -48,6 +49,12 @@ SWEEP / RESUME FLAGS:
                           write <key>.trace.json + <key>.phases.txt into <dir>
     --pipeline-depth <n>  overlapped trace-expansion depth (CTAs buffered per
                           kernel); wall-clock only, results are bit-identical
+    --oversubscribe <r,..>
+                          memory-pressure ratios (subscription demand over
+                          per-GPU capacity, e.g. 1.5); each ratio is one sweep
+                          point, ratios <= 1.0 behave like no pressure
+    --victim-policy <lru|random>
+                          eviction victim policy under pressure, default lru
 
 REPORT FLAGS:
     --store <path>        result store to read
@@ -65,7 +72,8 @@ BENCH FLAGS:
     wall-clock + peak-RSS results as JSON
     --out <path>          output file, default BENCH_sim.json
     --quick               reduced suite (small cases, 1 rep) for CI smoke
-    --pipeline-depth <n>  depth for the pipelined legs, default 4
+    --pipeline-depth <n>  depth for the pipelined legs (0 = fully sequential
+                          expansion), default 4
 
 GC FLAGS:
     --store <path>        store to compact (latest record per key, sorted)
@@ -94,6 +102,8 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
         fresh: false,
         csv: false,
     };
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut victim: Option<VictimPolicy> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -119,6 +129,7 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                     "all" => {
                         let mut p = Paradigm::FIGURE8.to_vec();
                         p.push(Paradigm::GpsNoSubscription);
+                        p.push(Paradigm::GpsOversub);
                         p
                     }
                     list => split_list(list)
@@ -164,6 +175,31 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                     .parse()
                     .map_err(|e| format!("--pipeline-depth: {e}"))?;
             }
+            "--oversubscribe" => {
+                ratios = split_list(value()?)
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|e| format!("--oversubscribe: {e}"))
+                            .and_then(|r| {
+                                if r.is_finite() && r > 0.0 {
+                                    Ok(r)
+                                } else {
+                                    Err(format!("--oversubscribe: ratio {s:?} must be > 0"))
+                                }
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if ratios.is_empty() {
+                    return Err("--oversubscribe needs at least one ratio".to_owned());
+                }
+            }
+            "--victim-policy" => {
+                victim = Some(
+                    value()?
+                        .parse::<VictimPolicy>()
+                        .map_err(|e| e.to_string())?,
+                );
+            }
             "--fresh" => {
                 if is_resume {
                     return Err("resume cannot take --fresh (use sweep)".to_owned());
@@ -174,6 +210,14 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
             "--csv" => parsed.csv = true,
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if !ratios.is_empty() || victim.is_some() {
+        let victim = victim.unwrap_or_default();
+        let ratios = if ratios.is_empty() { vec![1.0] } else { ratios };
+        parsed.spec.pressures = ratios
+            .iter()
+            .map(|&r| MemoryPressure::from_ratio(r).with_victim_policy(victim))
+            .collect();
     }
     Ok(parsed)
 }
@@ -361,12 +405,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--out" => opts.out = PathBuf::from(value()?),
             "--quick" => opts.quick = true,
             "--pipeline-depth" => {
+                // 0 is a legitimate request for fully sequential expansion —
+                // honour it rather than silently substituting the default.
                 opts.pipeline_depth = value()?
                     .parse()
                     .map_err(|e| format!("--pipeline-depth: {e}"))?;
-                if opts.pipeline_depth == 0 {
-                    opts.pipeline_depth = DEFAULT_BENCH_DEPTH;
-                }
             }
             other => return Err(format!("unknown flag {other}")),
         }

@@ -18,7 +18,10 @@ use crate::runner::RunSpec;
 
 /// Bump when the canonical encoding below changes shape, so old stores
 /// are invalidated rather than silently misread.
-const KEY_VERSION: u32 = 1;
+///
+/// v2: `SimConfig` grew a `memory_pressure` field (its Debug rendering —
+/// and therefore every key — changed shape).
+const KEY_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -69,7 +72,11 @@ pub fn run_key(app: &str, spec: RunSpec, config: &SimConfig) -> String {
 /// paper at the spec's GPU count, with the workload's page size applied by
 /// the runner).
 pub fn run_key_default_machine(app: &str, spec: RunSpec) -> String {
-    run_key(app, spec, &SimConfig::gv100_system(spec.gpus))
+    run_key(
+        app,
+        spec,
+        &SimConfig::gv100_system(spec.gpus).with_memory_pressure(spec.pressure),
+    )
 }
 
 #[cfg(test)]
@@ -85,6 +92,7 @@ mod tests {
             gpus: 4,
             link: LinkGen::Pcie3,
             scale: ScaleProfile::Tiny,
+            pressure: gps_sim::MemoryPressure::NONE,
         }
     }
 
@@ -117,6 +125,22 @@ mod tests {
         let mut s = spec();
         s.scale = ScaleProfile::Small;
         assert_ne!(base, run_key_default_machine("jacobi", s));
+
+        let mut s = spec();
+        s.pressure = gps_sim::MemoryPressure::from_ratio(1.5);
+        assert_ne!(base, run_key_default_machine("jacobi", s));
+
+        let mut s = spec();
+        s.pressure = gps_sim::MemoryPressure::from_ratio(1.5)
+            .with_victim_policy(gps_sim::VictimPolicy::Random);
+        assert_ne!(
+            run_key_default_machine("jacobi", s),
+            run_key_default_machine("jacobi", {
+                let mut t = spec();
+                t.pressure = gps_sim::MemoryPressure::from_ratio(1.5);
+                t
+            })
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use gps_interconnect::LinkGen;
 use gps_obs::ProbeHandle;
 use gps_paradigms::{run_paradigm_configured, Paradigm};
-use gps_sim::{Engine, MemoryPolicy, SimConfig, SimReport};
+use gps_sim::{Engine, MemoryPolicy, MemoryPressure, SimConfig, SimReport};
 use gps_workloads::{suite::AppEntry, ScaleProfile};
 
 /// One simulation request.
@@ -23,6 +23,9 @@ pub struct RunSpec {
     pub link: LinkGen,
     /// Problem scale.
     pub scale: ScaleProfile,
+    /// Memory pressure (oversubscription ratio + victim policy); inert at
+    /// [`MemoryPressure::NONE`].
+    pub pressure: MemoryPressure,
 }
 
 /// A finished measurement: the report plus derived steady-state timing.
@@ -90,7 +93,9 @@ pub fn measure_full(
     probe: ProbeHandle,
 ) -> Measurement {
     let workload = (app.build)(spec.gpus, spec.scale);
-    let config = SimConfig::gv100_system(spec.gpus).with_stream_pipeline_depth(pipeline_depth);
+    let config = SimConfig::gv100_system(spec.gpus)
+        .with_stream_pipeline_depth(pipeline_depth)
+        .with_memory_pressure(spec.pressure);
     let report = run_paradigm_configured(spec.paradigm, &workload, config, spec.link, probe);
     let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
     Measurement {
@@ -135,6 +140,7 @@ pub fn baseline(app: &AppEntry, scale: ScaleProfile) -> Measurement {
             gpus: 1,
             link: LinkGen::Pcie3,
             scale,
+            pressure: MemoryPressure::NONE,
         },
     )
 }
@@ -225,6 +231,7 @@ mod tests {
                 gpus: 2,
                 link: LinkGen::Pcie3,
                 scale: ScaleProfile::Tiny,
+                pressure: MemoryPressure::NONE,
             },
         );
         assert!(m.steady_cycles > 0.0);

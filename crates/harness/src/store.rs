@@ -12,6 +12,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use gps_sim::{MemoryPressure, VictimPolicy};
+
 use crate::json::Json;
 
 /// Schema version stamped on every record.
@@ -52,6 +54,9 @@ pub struct RunRecord {
     pub link: String,
     /// Scale label (`tiny`/`small`/`paper`).
     pub scale: String,
+    /// Memory pressure the run was simulated under (absent in stores
+    /// written before the oversubscription sweeps → [`MemoryPressure::NONE`]).
+    pub pressure: MemoryPressure,
     /// Outcome.
     pub status: RunStatus,
     /// Attempts consumed (1 = succeeded first try).
@@ -84,6 +89,14 @@ impl RunRecord {
             ("gpus".to_owned(), Json::Num(self.gpus as f64)),
             ("link".to_owned(), Json::Str(self.link.clone())),
             ("scale".to_owned(), Json::Str(self.scale.clone())),
+            (
+                "oversub_pct".to_owned(),
+                Json::Num(self.pressure.oversubscription_pct as f64),
+            ),
+            (
+                "victim".to_owned(),
+                Json::Str(self.pressure.victim_policy.label().to_owned()),
+            ),
             (
                 "status".to_owned(),
                 Json::Str(self.status.as_str().to_owned()),
@@ -162,6 +175,23 @@ impl RunRecord {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing metrics object".to_owned()),
         };
+        // Pre-oversubscription stores lack these two fields; default to
+        // "no pressure" rather than rejecting the record.
+        let pressure = MemoryPressure {
+            oversubscription_pct: match v.get("oversub_pct") {
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| "non-integer oversub_pct".to_owned())?
+                    as u32,
+                None => MemoryPressure::NONE.oversubscription_pct,
+            },
+            victim_policy: match v.get("victim").and_then(Json::as_str) {
+                Some(s) => s
+                    .parse::<VictimPolicy>()
+                    .map_err(|e| format!("bad victim policy: {e}"))?,
+                None => VictimPolicy::default(),
+            },
+        };
         Ok(RunRecord {
             key: str_field("key")?,
             app: str_field("app")?,
@@ -169,6 +199,7 @@ impl RunRecord {
             gpus: int_field("gpus")?,
             link: str_field("link")?,
             scale: str_field("scale")?,
+            pressure,
             status,
             attempts: int_field("attempts")? as u32,
             wall_ms: num_field("wall_ms")?,
@@ -193,6 +224,7 @@ impl RunRecord {
             self.gpus,
             &self.link,
             &self.scale,
+            self.pressure,
             self.status,
             (
                 self.steady_cycles.to_bits(),
@@ -346,6 +378,7 @@ mod tests {
             gpus: 4,
             link: "pcie3".into(),
             scale: "tiny".into(),
+            pressure: MemoryPressure::NONE,
             status,
             attempts: 1,
             wall_ms: 12.5,
@@ -377,6 +410,21 @@ mod tests {
             let line = r.to_json();
             assert_eq!(RunRecord::from_json(&line).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn pressured_record_roundtrips_and_legacy_lines_default_to_none() {
+        let mut r = sample("k1", RunStatus::Ok);
+        r.pressure = MemoryPressure::from_ratio(1.5).with_victim_policy(VictimPolicy::Random);
+        assert_eq!(RunRecord::from_json(&r.to_json()).unwrap(), r);
+
+        // A line written before the pressure fields existed.
+        let legacy = sample("k2", RunStatus::Ok)
+            .to_json()
+            .replace(",\"oversub_pct\":100,\"victim\":\"lru\"", "");
+        assert!(!legacy.contains("oversub_pct"), "replacement must fire");
+        let parsed = RunRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed.pressure, MemoryPressure::NONE);
     }
 
     #[test]

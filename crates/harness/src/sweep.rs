@@ -16,6 +16,7 @@ use std::time::Instant;
 use gps_interconnect::LinkGen;
 use gps_obs::ProbeHandle;
 use gps_paradigms::Paradigm;
+use gps_sim::MemoryPressure;
 use gps_workloads::{suite, ScaleProfile};
 
 use crate::key::run_key_default_machine;
@@ -37,6 +38,9 @@ pub struct SweepSpec {
     pub links: Vec<LinkGen>,
     /// Problem scales.
     pub scales: Vec<ScaleProfile>,
+    /// Memory-pressure points (`[MemoryPressure::NONE]` for the classic
+    /// in-capacity sweep; `gps-run sweep --oversubscribe` adds more).
+    pub pressures: Vec<MemoryPressure>,
 }
 
 impl SweepSpec {
@@ -49,6 +53,7 @@ impl SweepSpec {
             gpu_counts: vec![4, 16],
             links: LinkGen::PCIE_SWEEP.to_vec(),
             scales: vec![ScaleProfile::Paper],
+            pressures: vec![MemoryPressure::NONE],
         }
     }
 
@@ -61,6 +66,7 @@ impl SweepSpec {
             gpu_counts: vec![4],
             links: vec![LinkGen::Pcie3],
             scales: vec![ScaleProfile::Tiny],
+            pressures: vec![MemoryPressure::NONE],
         }
     }
 
@@ -80,17 +86,20 @@ impl SweepSpec {
                 for &gpus in &self.gpu_counts {
                     for &link in &self.links {
                         for &scale in &self.scales {
-                            let spec = RunSpec {
-                                paradigm,
-                                gpus,
-                                link,
-                                scale,
-                            };
-                            units.push(RunUnit {
-                                key: run_key_default_machine(app, spec),
-                                app: app.clone(),
-                                spec,
-                            });
+                            for &pressure in &self.pressures {
+                                let spec = RunSpec {
+                                    paradigm,
+                                    gpus,
+                                    link,
+                                    scale,
+                                    pressure,
+                                };
+                                units.push(RunUnit {
+                                    key: run_key_default_machine(app, spec),
+                                    app: app.clone(),
+                                    spec,
+                                });
+                            }
                         }
                     }
                 }
@@ -112,16 +121,25 @@ pub struct RunUnit {
 }
 
 impl RunUnit {
-    /// `app/paradigm/gpus/link/scale`, the human-facing run label.
+    /// `app/paradigm/gpus/link/scale`, the human-facing run label; active
+    /// memory pressure appends an `/oversub<ratio>x<policy>` suffix.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/{}gpu/{}/{}",
             self.app,
             self.spec.paradigm.label(),
             self.spec.gpus,
             self.spec.link.label(),
             self.spec.scale.label()
-        )
+        );
+        if self.spec.pressure.is_active() {
+            label.push_str(&format!(
+                "/oversub{:.2}x{}",
+                self.spec.pressure.ratio(),
+                self.spec.pressure.victim_policy.label()
+            ));
+        }
+        label
     }
 }
 
@@ -193,6 +211,7 @@ fn ok_record(unit: &RunUnit, m: &Measurement, attempts: u32, wall_ms: f64) -> Ru
         gpus: unit.spec.gpus as u64,
         link: unit.spec.link.label().to_owned(),
         scale: unit.spec.scale.label().to_owned(),
+        pressure: unit.spec.pressure,
         status: RunStatus::Ok,
         attempts,
         wall_ms,
@@ -220,6 +239,7 @@ fn quarantine_record(unit: &RunUnit, attempts: u32, error: &str) -> RunRecord {
         gpus: unit.spec.gpus as u64,
         link: unit.spec.link.label().to_owned(),
         scale: unit.spec.scale.label().to_owned(),
+        pressure: unit.spec.pressure,
         status: RunStatus::Quarantined,
         attempts,
         wall_ms: 0.0,

@@ -188,6 +188,7 @@ pub fn timeline(
             .scale
             .parse()
             .map_err(|e: gps_types::GpsError| bad("scale", e.to_string()))?,
+        pressure: record.pressure,
     };
     let app = suite::by_name(&record.app)
         .ok_or_else(|| format!("stored app {:?} is not in the suite", record.app))?;

@@ -25,6 +25,7 @@ fn small_spec() -> SweepSpec {
         gpu_counts: vec![2],
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
+        pressures: vec![gps_sim::MemoryPressure::NONE],
     }
 }
 

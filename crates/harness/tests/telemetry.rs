@@ -29,6 +29,7 @@ fn gps_spec() -> RunSpec {
         gpus: 2,
         link: LinkGen::Pcie3,
         scale: ScaleProfile::Tiny,
+        pressure: gps_sim::MemoryPressure::NONE,
     }
 }
 
@@ -91,6 +92,7 @@ fn sweep_telemetry_writes_artifacts_without_changing_results() {
         gpu_counts: vec![2],
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
+        pressures: vec![gps_sim::MemoryPressure::NONE],
     };
     let dir = temp_dir("sweep");
     let plain_store = dir.join("plain.jsonl");
@@ -140,6 +142,7 @@ fn timeline_reconstructs_a_stored_run_by_key_prefix() {
         gpu_counts: vec![2],
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
+        pressures: vec![gps_sim::MemoryPressure::NONE],
     };
     let dir = temp_dir("timeline");
     let store = dir.join("store.jsonl");
@@ -169,6 +172,49 @@ fn timeline_reconstructs_a_stored_run_by_key_prefix() {
     assert!(timeline(&store, "", &out).is_err(), "ambiguous prefix");
 }
 
+/// The ambiguous-prefix error names the candidate keys (so the user can
+/// extend the prefix), and an oversubscribed run's stored pressure
+/// survives the store round-trip and the key re-derivation that timeline
+/// reconstruction depends on.
+#[test]
+fn timeline_prefix_errors_list_candidates_and_pressure_rederives() {
+    let spec = SweepSpec {
+        apps: vec!["hit".into()],
+        paradigms: vec![Paradigm::GpsOversub],
+        gpu_counts: vec![2],
+        links: vec![LinkGen::Pcie3],
+        scales: vec![ScaleProfile::Tiny],
+        pressures: vec![
+            gps_sim::MemoryPressure::from_ratio(1.5),
+            gps_sim::MemoryPressure::from_ratio(2.0),
+        ],
+    };
+    let dir = temp_dir("prefix");
+    let store = dir.join("store.jsonl");
+    let out = dir.join("out");
+    let outcome = run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    assert_eq!(outcome.executed, 2);
+
+    // The empty prefix matches both runs and the error lists each key.
+    let err = timeline(&store, "", &out).unwrap_err();
+    for record in &outcome.records {
+        assert!(
+            err.contains(record.key.as_str()),
+            "ambiguous-prefix error must list {}, got: {err}",
+            record.key
+        );
+    }
+
+    // A full key is unique; reconstruction re-derives the same key from
+    // the stored record — which only holds if the record's memory
+    // pressure round-tripped through the store intact.
+    for record in &outcome.records {
+        let tl = timeline(&store, &record.key, &out).unwrap();
+        assert_eq!(tl.key, record.key);
+        assert!(tl.stats.complete >= 1);
+    }
+}
+
 /// Re-sweeping a compacted store is all cache hits: compaction preserves
 /// exactly the records resume depends on.
 #[test]
@@ -179,6 +225,7 @@ fn compacted_store_still_resumes_clean() {
         gpu_counts: vec![2],
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
+        pressures: vec![gps_sim::MemoryPressure::NONE],
     };
     let dir = temp_dir("gc");
     let store = dir.join("store.jsonl");

@@ -1,0 +1,246 @@
+//! Eviction layer: per-GPU resident-set tracking and victim selection.
+//!
+//! GPS §8 leaves memory oversubscription as future work: a
+//! subscribed-by-default model multiplies footprint by the subscriber
+//! count, so replicas can exceed a GPU's physical memory. When that
+//! happens the driver must *unsubscribe* a resident page (swap-out,
+//! §5.3) to make room, after which the evicting GPU re-faults accesses
+//! to that page into remote reads over the fabric.
+//!
+//! This module supplies the bookkeeping half of that story:
+//!
+//! * [`ResidentSet`] — the ordered set of GPS pages holding a replica on
+//!   one GPU, maintained alongside the [`FrameAllocator`](crate::FrameAllocator).
+//! * [`VictimPolicy`] — how a victim is chosen under pressure:
+//!   LRU-approximate (skip pages whose ATU access bit is set, oldest
+//!   first) or uniformly random as the control policy.
+//!
+//! Victim *selection* is deliberately read-only: the caller owns the
+//! page-table/TLB invalidation ordering and calls [`ResidentSet::remove`]
+//! through its normal unsubscribe path.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+
+use gps_types::rng::SmallRng;
+use gps_types::{GpsError, Vpn};
+
+/// How a victim page is chosen when a GPU runs out of physical frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VictimPolicy {
+    /// Approximate LRU: prefer the oldest resident page whose ATU access
+    /// bit is clear; fall back to the oldest eligible page when every
+    /// candidate was recently used (or no access history exists yet).
+    #[default]
+    LruApprox,
+    /// Uniformly random eligible page, from a fixed-seed deterministic
+    /// stream. The control policy for the oversubscription sweep.
+    Random,
+}
+
+impl VictimPolicy {
+    /// Stable lowercase label (CLI flag value, store field).
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimPolicy::LruApprox => "lru",
+            VictimPolicy::Random => "random",
+        }
+    }
+}
+
+impl fmt::Display for VictimPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for VictimPolicy {
+    type Err = GpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" | "lru-approx" | "lruapprox" => Ok(VictimPolicy::LruApprox),
+            "random" | "rand" => Ok(VictimPolicy::Random),
+            _ => Err(GpsError::Parse {
+                what: "victim policy",
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// The ordered set of GPS pages with a resident replica on one GPU.
+///
+/// Insertion order is preserved (oldest first), giving the LRU-approx
+/// policy its age ordering; membership is O(1) via a side set. The
+/// random policy draws from an embedded fixed-seed [`SmallRng`] so runs
+/// are bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct ResidentSet {
+    order: VecDeque<Vpn>,
+    members: HashSet<Vpn>,
+    rng: SmallRng,
+}
+
+impl ResidentSet {
+    /// Creates an empty resident set whose random-victim stream is fully
+    /// determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        ResidentSet {
+            order: VecDeque::new(),
+            members: HashSet::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Records that `vpn` now holds a replica here. Re-inserting an
+    /// already-resident page is a no-op (it keeps its age).
+    pub fn insert(&mut self, vpn: Vpn) {
+        if self.members.insert(vpn) {
+            self.order.push_back(vpn);
+        }
+    }
+
+    /// Records that `vpn` no longer holds a replica here. Returns whether
+    /// the page was resident.
+    pub fn remove(&mut self, vpn: Vpn) -> bool {
+        if self.members.remove(&vpn) {
+            self.order.retain(|&v| v != vpn);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `vpn` holds a replica here.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.members.contains(&vpn)
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Resident pages, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = Vpn> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Chooses a victim among resident pages that satisfy `eligible`
+    /// (typically: not the last surviving replica), or `None` if no page
+    /// qualifies.
+    ///
+    /// Selection does not mutate residency — the caller evicts through
+    /// its unsubscribe path and then calls [`remove`](Self::remove) (the
+    /// random stream does advance, which is why this takes `&mut self`).
+    /// `recently_used` feeds the ATU access bitmap into the LRU-approx
+    /// policy; pass `|_| false` when no access history exists.
+    pub fn select_victim(
+        &mut self,
+        policy: VictimPolicy,
+        mut eligible: impl FnMut(Vpn) -> bool,
+        mut recently_used: impl FnMut(Vpn) -> bool,
+    ) -> Option<Vpn> {
+        let candidates: Vec<Vpn> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&v| eligible(v))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match policy {
+            VictimPolicy::LruApprox => Some(
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&v| !recently_used(v))
+                    .unwrap_or(candidates[0]),
+            ),
+            VictimPolicy::Random => Some(candidates[self.rng.gen_range_usize(0..candidates.len())]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u64) -> Vpn {
+        Vpn::new(n)
+    }
+
+    #[test]
+    fn insert_remove_preserves_age_order() {
+        let mut set = ResidentSet::new(1);
+        for n in [3, 1, 2] {
+            set.insert(v(n));
+        }
+        set.insert(v(3)); // re-insert keeps original age
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![v(3), v(1), v(2)]);
+        assert!(set.remove(v(1)));
+        assert!(!set.remove(v(1)));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![v(3), v(2)]);
+        assert!(set.contains(v(2)));
+        assert!(!set.contains(v(1)));
+    }
+
+    #[test]
+    fn lru_approx_skips_recently_used_and_falls_back_to_oldest() {
+        let mut set = ResidentSet::new(1);
+        for n in 0..4 {
+            set.insert(v(n));
+        }
+        // Pages 0 and 1 were recently accessed: the oldest cold page wins.
+        let victim = set.select_victim(VictimPolicy::LruApprox, |_| true, |p| p.as_u64() < 2);
+        assert_eq!(victim, Some(v(2)));
+        // Everything recently used: fall back to the oldest eligible.
+        let victim = set.select_victim(VictimPolicy::LruApprox, |_| true, |_| true);
+        assert_eq!(victim, Some(v(0)));
+        // Eligibility filters before recency.
+        let victim = set.select_victim(VictimPolicy::LruApprox, |p| p.as_u64() >= 3, |_| false);
+        assert_eq!(victim, Some(v(3)));
+        // No eligible page at all.
+        let victim = set.select_victim(VictimPolicy::LruApprox, |_| false, |_| false);
+        assert_eq!(victim, None);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_respects_eligibility() {
+        let picks = |seed: u64| {
+            let mut set = ResidentSet::new(seed);
+            for n in 0..16 {
+                set.insert(v(n));
+            }
+            (0..8)
+                .map(|_| {
+                    set.select_victim(VictimPolicy::Random, |p| p.as_u64() % 2 == 0, |_| false)
+                        .expect("eligible pages exist")
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = picks(42);
+        assert_eq!(a, picks(42), "same seed, same stream");
+        assert!(a.iter().all(|p| p.as_u64() % 2 == 0));
+        assert_ne!(a, picks(43), "different seed diverges");
+    }
+
+    #[test]
+    fn victim_policy_labels_roundtrip() {
+        for p in [VictimPolicy::LruApprox, VictimPolicy::Random] {
+            assert_eq!(p.label().parse::<VictimPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!("clock".parse::<VictimPolicy>().is_err());
+        assert_eq!(VictimPolicy::default(), VictimPolicy::LruApprox);
+    }
+}

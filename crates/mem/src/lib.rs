@@ -21,11 +21,15 @@
 //! * [`ResidencyMap`] — page-residency and read-duplication state used by
 //!   the Unified Memory baselines (fault-based migration, read-duplication
 //!   collapse on write).
+//! * [`ResidentSet`] / [`VictimPolicy`] — per-GPU resident-set tracking and
+//!   victim selection for the oversubscription/eviction model (§8 future
+//!   work: swap-out when subscriptions exceed physical memory).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmap;
+mod evict;
 mod frame;
 mod gps_page_table;
 mod page_table;
@@ -34,6 +38,7 @@ mod tlb;
 mod va_space;
 
 pub use bitmap::AccessBitmap;
+pub use evict::{ResidentSet, VictimPolicy};
 pub use frame::FrameAllocator;
 pub use gps_page_table::{GpsPageTable, GpsPte};
 pub use page_table::{PageTable, Pte};

@@ -20,6 +20,10 @@ pub enum Paradigm {
     Gps,
     /// GPS with subscription tracking disabled (Figure 11 ablation).
     GpsNoSubscription,
+    /// GPS under memory oversubscription (§8 future work): per-GPU
+    /// capacity is sized below the subscription demand given by
+    /// `SimConfig::memory_pressure`, and the driver swaps replicas out.
+    GpsOversub,
     /// The infinite-bandwidth upper bound.
     InfiniteBw,
 }
@@ -45,6 +49,7 @@ impl Paradigm {
             Paradigm::Memcpy => "memcpy",
             Paradigm::Gps => "gps",
             Paradigm::GpsNoSubscription => "gps-nosub",
+            Paradigm::GpsOversub => "gps-oversub",
             Paradigm::InfiniteBw => "infinite-bw",
         }
     }
@@ -59,6 +64,7 @@ impl fmt::Display for Paradigm {
             Paradigm::Memcpy => write!(f, "Memcpy"),
             Paradigm::Gps => write!(f, "GPS"),
             Paradigm::GpsNoSubscription => write!(f, "GPS w/o subscription"),
+            Paradigm::GpsOversub => write!(f, "GPS oversubscribed"),
             Paradigm::InfiniteBw => write!(f, "Infinite BW"),
         }
     }
@@ -75,6 +81,7 @@ impl FromStr for Paradigm {
             "memcpy" => Ok(Paradigm::Memcpy),
             "gps" => Ok(Paradigm::Gps),
             "gps-nosub" | "gpsnosub" => Ok(Paradigm::GpsNoSubscription),
+            "gps-oversub" | "gpsoversub" | "gps-oversubscribed" => Ok(Paradigm::GpsOversub),
             "infinite-bw" | "infinite" | "inf" => Ok(Paradigm::InfiniteBw),
             other => Err(GpsError::Parse {
                 what: "paradigm",
@@ -128,6 +135,7 @@ mod tests {
             Paradigm::Memcpy,
             Paradigm::Gps,
             Paradigm::GpsNoSubscription,
+            Paradigm::GpsOversub,
             Paradigm::InfiniteBw,
         ] {
             assert_eq!(p.label().parse::<Paradigm>().unwrap(), p);

@@ -1,9 +1,13 @@
 //! The GPS paradigm: wiring [`GpsSystem`] into the simulator.
 
+use std::collections::HashSet;
+
 use gps_core::{GpsConfig, GpsLoad, GpsStore, GpsSystem};
 use gps_obs::{ProbeHandle, Track};
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SimConfig, StoreRoute, Workload};
 use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
+
+use crate::common::FaultCosts;
 
 /// GPS with automatic subscription management (§6):
 ///
@@ -23,10 +27,17 @@ use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
 pub struct GpsPolicy {
     config: GpsConfig,
     subscription: bool,
+    pressure: bool,
     sys: Option<GpsSystem>,
     phases_per_iter: usize,
     profiled: bool,
     pruned: usize,
+    evicted: HashSet<(GpuId, Vpn)>,
+    faulted_this_iter: HashSet<(GpuId, Vpn)>,
+    fault_queue: Vec<Cycle>,
+    evicted_replicas: u64,
+    skipped_subs: u64,
+    refaults: u64,
     probe: ProbeHandle,
 }
 
@@ -43,10 +54,17 @@ impl GpsPolicy {
         Self {
             config,
             subscription: true,
+            pressure: false,
             sys: None,
             phases_per_iter: 1,
             profiled: false,
             pruned: 0,
+            evicted: HashSet::new(),
+            faulted_this_iter: HashSet::new(),
+            fault_queue: Vec::new(),
+            evicted_replicas: 0,
+            skipped_subs: 0,
+            refaults: 0,
             probe: ProbeHandle::disabled(),
         }
     }
@@ -56,6 +74,21 @@ impl GpsPolicy {
     pub fn without_subscription() -> Self {
         let mut p = Self::new();
         p.subscription = false;
+        p
+    }
+
+    /// GPS under memory oversubscription (§8): per-GPU frame capacity is
+    /// shrunk to `demand / SimConfig::memory_pressure.ratio()`, the driver
+    /// evicts replicas at registration time (unsubscribe + GPS-TLB
+    /// shootdown, §5.3's swap-out path), and a load that touches a
+    /// swapped-out replica pays a UM-style fault that swaps the page back
+    /// in, displacing a victim — demand-paging thrash whose fault cost
+    /// grows with how far demand exceeds capacity. With pressure at or
+    /// below 1.0 this is bit-identical to [`GpsPolicy::new`] apart from
+    /// the policy name.
+    pub fn oversubscribed() -> Self {
+        let mut p = Self::new();
+        p.pressure = true;
         p
     }
 
@@ -102,7 +135,9 @@ impl Default for GpsPolicy {
 
 impl MemoryPolicy for GpsPolicy {
     fn name(&self) -> &'static str {
-        if self.subscription {
+        if self.pressure {
+            "gps-oversub"
+        } else if self.subscription {
             "gps"
         } else {
             "gps-nosub"
@@ -114,12 +149,62 @@ impl MemoryPolicy for GpsPolicy {
     }
 
     fn init(&mut self, workload: &Workload, config: &SimConfig) {
-        let mut sys = GpsSystem::new(config.gpu_count, workload.page_size, self.config)
+        self.evicted.clear();
+        self.faulted_this_iter.clear();
+        self.fault_queue = vec![Cycle::ZERO; config.gpu_count];
+        self.evicted_replicas = 0;
+        self.skipped_subs = 0;
+        self.refaults = 0;
+        // Total subscription demand: with subscribed-by-default profiling
+        // every GPU tentatively hosts a replica of every shared page.
+        let demand: u64 = workload.shared_allocs().map(|a| a.range.pages()).sum();
+        let pressure = config.memory_pressure;
+        let apply = self.pressure && pressure.is_active() && demand > 0;
+        let mut sys = if apply {
+            // Per-GPU capacity = demand / ratio, floored so that spreading
+            // first copies round-robin always fits (aggregate capacity >=
+            // demand), keeping registration infallible.
+            let pct = u64::from(pressure.oversubscription_pct);
+            let capacity_pages = (demand.saturating_mul(100) / pct)
+                .max(demand.div_ceil(config.gpu_count as u64))
+                .max(1);
+            let mut sys = GpsSystem::with_memory(
+                config.gpu_count,
+                workload.page_size,
+                self.config,
+                capacity_pages.saturating_mul(workload.page_size.bytes()),
+            )
             .expect("invalid GPS configuration");
+            sys.enable_eviction(pressure.victim_policy);
+            sys
+        } else {
+            GpsSystem::new(config.gpu_count, workload.page_size, self.config)
+                .expect("invalid GPS configuration")
+        };
         sys.set_subscription_enabled(self.subscription);
         for alloc in workload.shared_allocs() {
-            sys.register_region(alloc.range)
-                .expect("workload ranges are disjoint");
+            if apply {
+                let outcome = sys
+                    .register_region_evicting(alloc.range)
+                    .expect("aggregate capacity covers the demand");
+                self.evicted_replicas += outcome.evicted.len() as u64;
+                self.skipped_subs += outcome.skipped.len() as u64;
+                // Both dropped and never-placed replicas re-fault on first
+                // touch: the GPU no longer hosts the page.
+                self.evicted.extend(outcome.evicted);
+                self.evicted.extend(outcome.skipped);
+            } else {
+                sys.register_region(alloc.range)
+                    .expect("workload ranges are disjoint");
+            }
+        }
+        if apply && self.probe.is_enabled() {
+            for (g, &n) in sys.runtime().evictions().iter().enumerate() {
+                if n > 0 {
+                    self.probe
+                        .counter(Track::gpu(g), "evictions", Cycle::ZERO, n as f64);
+                }
+            }
         }
         self.phases_per_iter = workload.phases_per_iteration.max(1);
         self.profiled = false;
@@ -134,11 +219,61 @@ impl MemoryPolicy for GpsPolicy {
         self.sys = Some(sys);
     }
 
-    fn route_load(&mut self, gpu: GpuId, line: LineAddr, _ctx: &mut MemCtx<'_>) -> LoadRoute {
+    fn route_load(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> LoadRoute {
         match self.sys_mut().load(gpu, line) {
             GpsLoad::LocalReplica => LoadRoute::Local,
             GpsLoad::Forwarded => LoadRoute::Forwarded,
-            GpsLoad::RemoteFallback { from } => LoadRoute::Remote { from },
+            GpsLoad::RemoteFallback { from } => {
+                // Touching a swapped-out replica takes a page fault: the
+                // driver tries to swap the page back *in* (re-subscribing
+                // this GPU, displacing a victim if its memory is full,
+                // §5.3) and the replica fills with a whole-page migration
+                // over the fabric. Later loads hit the restored local copy
+                // — until the page is displaced again; each (GPU, page)
+                // pair faults at most once per iteration so thrash degrades
+                // instead of livelocking. Faults on one GPU serialise
+                // through its fault-handling unit (same model as UM
+                // far-faults), making fault cost additive in the number of
+                // swapped-out pages touched.
+                let vpn = line.vpn(ctx.page_size);
+                if self.pressure
+                    && self.evicted.contains(&(gpu, vpn))
+                    && self.faulted_this_iter.insert((gpu, vpn))
+                {
+                    self.refaults += 1;
+                    self.probe
+                        .counter(Track::gpu(gpu.index()), "refaults", ctx.now, 1.0);
+                    let start = self.fault_queue[gpu.index()].max(ctx.now);
+                    let handled = start + FaultCosts::volta().fault_overhead;
+                    let swapped_in = match self.sys_mut().fault_in(gpu, vpn) {
+                        Ok(displaced) => {
+                            self.evicted.remove(&(gpu, vpn));
+                            self.evicted.extend(displaced);
+                            true
+                        }
+                        // No evictable frame (only last copies): the page
+                        // stays swapped out and remote; it may retry next
+                        // iteration.
+                        Err(_) => false,
+                    };
+                    let ready = if swapped_in {
+                        ctx.fabric
+                            .transfer(from, gpu, ctx.page_size.bytes(), handled)
+                            .map(|t| t.arrived)
+                            .unwrap_or(handled)
+                    } else {
+                        handled
+                    };
+                    self.fault_queue[gpu.index()] = ready;
+                    if swapped_in {
+                        LoadRoute::StallThenLocal { ready }
+                    } else {
+                        LoadRoute::StallThenRemote { from, ready }
+                    }
+                } else {
+                    LoadRoute::Remote { from }
+                }
+            }
         }
     }
 
@@ -208,7 +343,26 @@ impl MemoryPolicy for GpsPolicy {
             self.probe
                 .span(Track::gpu(gpu.index()), "rwq_drain", "gps", ctx.now, done);
         }
-        done
+        // Under pressure the grid also waits for the GPU's fault-handling
+        // unit to drain: a kernel is not complete while the driver is still
+        // servicing its page faults, so accumulated refault time lands on
+        // the critical path instead of hiding behind other warps.
+        let faults_done = self
+            .fault_queue
+            .get(gpu.index())
+            .copied()
+            .unwrap_or(Cycle::ZERO);
+        done.max(faults_done)
+    }
+
+    fn on_phase_start(&mut self, phase_idx: usize, ctx: &mut MemCtx<'_>) -> Cycle {
+        if self.pressure && phase_idx == 0 && self.evicted_replicas > 0 {
+            // Swapping out replicas at registration is synchronous driver
+            // work on the critical path: each eviction pays an unmap plus
+            // an all-GPU GPS-TLB shootdown before any kernel may launch.
+            return ctx.now + FaultCosts::volta().shootdown * self.evicted_replicas;
+        }
+        ctx.now
     }
 
     fn on_phase_end(&mut self, phase_idx: usize, ctx: &mut MemCtx<'_>) -> Cycle {
@@ -217,6 +371,11 @@ impl MemoryPolicy for GpsPolicy {
             self.pruned = self.sys_mut().tracking_stop().expect("tracking active");
             self.profiled = true;
             self.probe.instant(Track::SYSTEM, "tracking_stop", ctx.now);
+        }
+        if self.pressure && (phase_idx + 1).is_multiple_of(self.phases_per_iter) {
+            // Pages displaced after their fault become eligible to fault
+            // back in at the next iteration.
+            self.faulted_this_iter.clear();
         }
         ctx.now
     }
@@ -238,6 +397,11 @@ impl MemoryPolicy for GpsPolicy {
         for (k, &count) in hist.iter().enumerate() {
             m.push((format!("pages_{k}_subscribers"), count as f64));
         }
+        // Oversubscription counters ride at the tail so the positional
+        // metrics above keep their indices; all zero unless pressure is on.
+        m.push(("evicted_replicas".to_owned(), self.evicted_replicas as f64));
+        m.push(("skipped_subscriptions".to_owned(), self.skipped_subs as f64));
+        m.push(("refaults".to_owned(), self.refaults as f64));
         m
     }
 }
@@ -377,5 +541,140 @@ mod tests {
     fn ablation_name_differs() {
         assert_eq!(GpsPolicy::new().name(), "gps");
         assert_eq!(GpsPolicy::without_subscription().name(), "gps-nosub");
+        assert_eq!(GpsPolicy::oversubscribed().name(), "gps-oversub");
+    }
+
+    #[test]
+    fn oversub_without_pressure_matches_plain_gps() {
+        let wl = workload();
+        let mut p = GpsPolicy::oversubscribed();
+        p.init(&wl, &SimConfig::gv100_system(2));
+        let mut plain = GpsPolicy::new();
+        plain.init(&wl, &SimConfig::gv100_system(2));
+        assert_eq!(
+            p.system().unwrap().subscriber_histogram(),
+            plain.system().unwrap().subscriber_histogram()
+        );
+        let m = p.metrics();
+        for name in ["evicted_replicas", "skipped_subscriptions", "refaults"] {
+            let v = m.iter().find(|(k, _)| k == name).unwrap().1;
+            assert_eq!(v, 0.0, "{name} must stay zero without pressure");
+        }
+    }
+
+    /// A 4-GPU, 4-shared-page workload under 2x pressure: per-GPU capacity
+    /// is 2 frames, aggregate 8 frames for 4 pages, so replicas exist to
+    /// displace and the thrash path is reachable (unlike the 2-GPU
+    /// workload, where every resident page is a last copy).
+    fn pressured() -> GpsPolicy {
+        let mut b = gps_sim::WorkloadBuilder::new("t", PageSize::Standard64K, 4);
+        b.alloc_shared("s", 4 * 65536).unwrap();
+        b.phase(vec![gps_sim::KernelSpec {
+            name: "k".into(),
+            gpu: G0,
+            cta_count: 1,
+            warps_per_cta: 1,
+            program: std::sync::Arc::new(|_: gps_sim::WarpCtx| {
+                vec![gps_sim::WarpInstr::Compute(1)]
+            }),
+        }]);
+        let wl = b.build(1).unwrap();
+        let cfg = SimConfig::gv100_system(4)
+            .with_memory_pressure(gps_sim::MemoryPressure::from_ratio(2.0));
+        let mut p = GpsPolicy::oversubscribed();
+        p.init(&wl, &cfg);
+        p
+    }
+
+    #[test]
+    fn pressure_evicts_and_a_refault_swaps_the_replica_back_in() {
+        let mut p = pressured();
+        assert!(
+            p.evicted_replicas + p.skipped_subs > 0,
+            "2x pressure must shed replicas"
+        );
+        let mut f = Fabric::new(FabricConfig::new(4, LinkGen::Pcie3));
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut f,
+            page_size: PageSize::Standard64K,
+        };
+        // Find a swapped-out pair whose fault-in succeeds (a victim frame
+        // exists): after the fault the GPU subscribes again and later loads
+        // hit the restored local replica.
+        let mut swapped: Vec<(GpuId, Vpn)> = p.evicted.iter().copied().collect();
+        swapped.sort();
+        let mut swapped_in = false;
+        for (gpu, vpn) in swapped {
+            let line = vpn.first_line(PageSize::Standard64K);
+            match p.route_load(gpu, line, &mut c) {
+                LoadRoute::StallThenLocal { ready } => {
+                    assert!(ready > Cycle::ZERO);
+                    assert!(
+                        !p.evicted.contains(&(gpu, vpn)),
+                        "a swapped-in page is resident"
+                    );
+                    let again = p.route_load(gpu, line, &mut c);
+                    assert!(
+                        matches!(again, LoadRoute::Local),
+                        "after the swap-in the load is local, got {again:?}"
+                    );
+                    swapped_in = true;
+                    break;
+                }
+                LoadRoute::StallThenRemote { ready, .. } => {
+                    // No evictable frame: the page stays swapped out and
+                    // this iteration's accesses go remote.
+                    assert!(ready > Cycle::ZERO);
+                }
+                other => panic!("touching a swapped-out replica pays a fault, got {other:?}"),
+            }
+        }
+        assert!(
+            swapped_in,
+            "at least one refault must swap its page back in"
+        );
+        assert!(p.metrics().iter().find(|(k, _)| k == "refaults").unwrap().1 >= 1.0);
+        // Every page still has at least one replica somewhere.
+        assert_eq!(p.system().unwrap().subscriber_histogram()[0], 0);
+    }
+
+    #[test]
+    fn back_to_back_refaults_serialise_through_the_fault_queue() {
+        let mut p = pressured();
+        let mut swapped: Vec<(GpuId, Vpn)> = p.evicted.iter().copied().collect();
+        swapped.sort();
+        let gpu = swapped[0].0;
+        let on_gpu: Vec<Vpn> = swapped
+            .iter()
+            .filter(|&&(g, _)| g == gpu)
+            .map(|&(_, v)| v)
+            .collect();
+        let mut f = Fabric::new(FabricConfig::new(4, LinkGen::Pcie3));
+        let mut c = MemCtx {
+            now: Cycle::ZERO,
+            fabric: &mut f,
+            page_size: PageSize::Standard64K,
+        };
+        let mut last_ready = Cycle::ZERO;
+        let mut faults = 0;
+        for vpn in on_gpu {
+            if !p.evicted.contains(&(gpu, vpn)) {
+                continue; // displaced set changed as pages swapped in
+            }
+            let route = p.route_load(gpu, vpn.first_line(PageSize::Standard64K), &mut c);
+            let ready = match route {
+                LoadRoute::StallThenLocal { ready } => ready,
+                LoadRoute::StallThenRemote { ready, .. } => ready,
+                other => panic!("swapped-out page must fault, got {other:?}"),
+            };
+            assert!(
+                ready > last_ready,
+                "each fault queues behind the previous one"
+            );
+            last_ready = ready;
+            faults += 1;
+        }
+        assert!(faults >= 1, "at least one swapped-out page must fault");
     }
 }

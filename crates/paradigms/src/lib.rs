@@ -61,6 +61,7 @@ pub fn make_policy(paradigm: Paradigm) -> Box<dyn MemoryPolicy> {
         Paradigm::Memcpy => Box::new(MemcpyPolicy::new()),
         Paradigm::Gps => Box::new(GpsPolicy::new()),
         Paradigm::GpsNoSubscription => Box::new(GpsPolicy::without_subscription()),
+        Paradigm::GpsOversub => Box::new(GpsPolicy::oversubscribed()),
         Paradigm::InfiniteBw => Box::new(InfiniteBwPolicy::new()),
     }
 }

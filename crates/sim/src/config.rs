@@ -1,7 +1,67 @@
 //! Machine and timing configuration (Table 1 plus timing constants).
 
 use gps_interconnect::Topology;
+use gps_mem::VictimPolicy;
 use gps_types::{Bandwidth, GpsError, Latency, PageSize, Result, GIB, KIB, MIB};
+
+/// Memory-oversubscription knob: how much subscription demand the
+/// pressure-aware paradigms squeeze into each GPU's frame capacity.
+///
+/// Expressed as an integer percentage so the config stays `Eq` and its
+/// `Debug` rendering (which harness run keys hash) is exact: `150` means
+/// each GPU's physical capacity is sized to `demand / 1.5`, forcing the
+/// eviction layer to swap out a third of every GPU's replicas. Values at
+/// or below `100` mean capacity covers demand — no pressure, no
+/// evictions, reports bit-identical to the unpressured baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryPressure {
+    /// Subscription demand as a percentage of per-GPU frame capacity
+    /// (`150` = 1.5x oversubscribed). `100` or less disables pressure.
+    pub oversubscription_pct: u32,
+    /// Victim-selection policy used when a GPU must evict.
+    pub victim_policy: VictimPolicy,
+}
+
+impl MemoryPressure {
+    /// No pressure: capacity covers demand, eviction never triggers.
+    pub const NONE: MemoryPressure = MemoryPressure {
+        oversubscription_pct: 100,
+        victim_policy: VictimPolicy::LruApprox,
+    };
+
+    /// Pressure from a subscription ratio (`1.5` -> 150 %), keeping the
+    /// default LRU-approx victim policy. Ratios at or below 1.0 disable
+    /// pressure.
+    pub fn from_ratio(ratio: f64) -> Self {
+        MemoryPressure {
+            oversubscription_pct: (ratio.max(0.0) * 100.0).round() as u32,
+            victim_policy: VictimPolicy::LruApprox,
+        }
+    }
+
+    /// Replaces the victim policy.
+    #[must_use]
+    pub fn with_victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
+    }
+
+    /// The subscription ratio (`150` -> 1.5).
+    pub fn ratio(&self) -> f64 {
+        f64::from(self.oversubscription_pct) / 100.0
+    }
+
+    /// Whether demand actually exceeds capacity.
+    pub fn is_active(&self) -> bool {
+        self.oversubscription_pct > 100
+    }
+}
+
+impl Default for MemoryPressure {
+    fn default() -> Self {
+        MemoryPressure::NONE
+    }
+}
 
 /// Architectural and timing parameters of one simulated GPU.
 ///
@@ -160,6 +220,11 @@ pub struct SimConfig {
     /// host-side wall-clock knob, not a simulated-machine parameter, and it
     /// is excluded from harness run keys for that reason.
     pub stream_pipeline_depth: usize,
+    /// Memory-oversubscription pressure applied by the pressure-aware
+    /// paradigms ([`MemoryPressure::NONE`] by default). Unlike
+    /// `stream_pipeline_depth` this *is* a simulated-machine parameter
+    /// and participates in harness run keys.
+    pub memory_pressure: MemoryPressure,
 }
 
 impl SimConfig {
@@ -171,6 +236,7 @@ impl SimConfig {
             page_size: PageSize::Standard64K,
             topology: Topology::default(),
             stream_pipeline_depth: 0,
+            memory_pressure: MemoryPressure::NONE,
         }
     }
 
@@ -178,6 +244,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_stream_pipeline_depth(mut self, depth: usize) -> Self {
         self.stream_pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the memory-oversubscription pressure.
+    #[must_use]
+    pub fn with_memory_pressure(mut self, pressure: MemoryPressure) -> Self {
+        self.memory_pressure = pressure;
         self
     }
 
@@ -191,6 +264,11 @@ impl SimConfig {
         if self.gpu_count == 0 {
             return Err(GpsError::Config {
                 reason: "gpu_count must be positive".into(),
+            });
+        }
+        if self.memory_pressure.oversubscription_pct == 0 {
+            return Err(GpsError::Config {
+                reason: "oversubscription_pct must be positive".into(),
             });
         }
         self.gpu.validate()
@@ -259,6 +337,26 @@ mod tests {
         let s = SimConfig::default();
         assert_eq!(s.gpu_count, 4);
         assert_eq!(s.page_size, PageSize::Standard64K);
+        assert_eq!(s.memory_pressure, MemoryPressure::NONE);
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn memory_pressure_ratio_roundtrips_and_gates_activity() {
+        assert!(!MemoryPressure::NONE.is_active());
+        assert!(!MemoryPressure::from_ratio(0.5).is_active());
+        assert!(!MemoryPressure::from_ratio(1.0).is_active());
+        let p = MemoryPressure::from_ratio(1.5);
+        assert!(p.is_active());
+        assert_eq!(p.oversubscription_pct, 150);
+        assert!((p.ratio() - 1.5).abs() < 1e-12);
+        assert_eq!(p.victim_policy, VictimPolicy::LruApprox);
+        assert_eq!(
+            p.with_victim_policy(VictimPolicy::Random).victim_policy,
+            VictimPolicy::Random
+        );
+        let mut s = SimConfig::gv100_system(2);
+        s.memory_pressure.oversubscription_pct = 0;
+        assert!(s.validate().is_err());
     }
 }

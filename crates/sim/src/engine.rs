@@ -748,20 +748,7 @@ impl<'a> Engine<'a> {
                 gpus[g].l1[sm].fill(line, gpu_id);
                 arrival
             }
-            LoadRoute::Remote { from } => {
-                // Peer loads are not cached in the local L2 — remote data
-                // is not kept coherent, which is exactly the gap proposals
-                // like CARVE fill (§8). The per-SM L1 provides the short
-                // intra-kernel reuse window real hardware exhibits.
-                let req_at = t + fabric.link().latency();
-                let data_at = gpus[from.index()].dram.read(CACHE_LINE_BYTES, req_at);
-                let arrived = fabric
-                    .transfer(from, gpu_id, CACHE_LINE_BYTES, data_at)
-                    .map(|tr| tr.arrived)
-                    .unwrap_or(data_at);
-                gpus[g].l1[sm].fill(line, from);
-                arrived
-            }
+            LoadRoute::Remote { from } => Self::remote_read(gpus, fabric, g, sm, from, line, t),
             LoadRoute::Forwarded => t + gcfg.l2_latency,
             LoadRoute::StallThenLocal { ready } => {
                 let t = ready.max(t);
@@ -769,7 +756,39 @@ impl<'a> Engine<'a> {
                 gpus[g].l1[sm].fill(line, gpu_id);
                 arrival
             }
+            LoadRoute::StallThenRemote { from, ready } => {
+                // Re-fault on an evicted replica: the warp stalls for the
+                // fault overhead, then the access resolves remotely like
+                // any other peer read.
+                Self::remote_read(gpus, fabric, g, sm, from, line, ready.max(t))
+            }
         }
+    }
+
+    /// Demand-read of one line from a peer GPU's DRAM over the fabric.
+    ///
+    /// Peer loads are not cached in the local L2 — remote data is not kept
+    /// coherent, which is exactly the gap proposals like CARVE fill (§8).
+    /// The per-SM L1 provides the short intra-kernel reuse window real
+    /// hardware exhibits.
+    fn remote_read(
+        gpus: &mut [GpuState],
+        fabric: &mut Fabric,
+        g: usize,
+        sm: usize,
+        from: GpuId,
+        line: LineAddr,
+        t: Cycle,
+    ) -> Cycle {
+        let gpu_id = GpuId::new(g as u16);
+        let req_at = t + fabric.link().latency();
+        let data_at = gpus[from.index()].dram.read(CACHE_LINE_BYTES, req_at);
+        let arrived = fabric
+            .transfer(from, gpu_id, CACHE_LINE_BYTES, data_at)
+            .map(|tr| tr.arrived)
+            .unwrap_or(data_at);
+        gpus[g].l1[sm].fill(line, from);
+        arrived
     }
 
     /// L2 -> DRAM read path for a locally-homed line.

@@ -42,9 +42,10 @@ mod trace;
 mod workload;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Evicted, Lookup};
-pub use config::{GpuConfig, SimConfig};
+pub use config::{GpuConfig, MemoryPressure, SimConfig};
 pub use dram::DramModel;
 pub use engine::Engine;
+pub use gps_mem::VictimPolicy;
 pub use instr::{FillProgram, WarpCtx, WarpInstr, WarpProgram, WarpStream};
 pub use pipeline::{BoundedQueue, BufferArena};
 pub use policy::{AllLocalPolicy, LoadRoute, MemCtx, MemoryPolicy, StoreRoute};

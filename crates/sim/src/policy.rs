@@ -49,6 +49,17 @@ pub enum LoadRoute {
         /// When the fault resolves.
         ready: Cycle,
     },
+    /// The warp stalls until `ready` (re-fault on an evicted replica),
+    /// after which the line is demand-read from `from` over the fabric.
+    /// This is the oversubscription path: the first access to a page whose
+    /// local replica was swapped out pays the fault overhead, then the
+    /// access — like every later one — resolves remotely.
+    StallThenRemote {
+        /// The GPU whose DRAM still holds a replica.
+        from: GpuId,
+        /// When the re-fault resolves.
+        ready: Cycle,
+    },
 }
 
 /// How a coalesced store should be handled.
