@@ -1,6 +1,6 @@
 //! The GPS programming interface and driver state (§4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gps_mem::{FrameAllocator, GpsPageTable, GpsPte, ResidentSet, VaRange, VaSpace, VictimPolicy};
 use gps_types::{GpsError, GpuId, PageSize, Ppn, Result, Vpn, GIB};
@@ -91,7 +91,7 @@ pub struct GpsRuntime {
     space: VaSpace,
     table: GpsPageTable,
     frames: Vec<FrameAllocator>,
-    pages: HashMap<Vpn, PageState>,
+    pages: BTreeMap<Vpn, PageState>,
     allocs: Vec<(VaRange, AllocationKind)>,
     tracking: bool,
     eviction: Option<EvictionState>,
@@ -113,7 +113,7 @@ impl GpsRuntime {
             frames: (0..gpu_count)
                 .map(|g| FrameAllocator::new(GpuId::new(g as u16), dram_bytes, page_size))
                 .collect(),
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             allocs: Vec::new(),
             tracking: false,
             eviction: None,

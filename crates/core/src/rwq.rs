@@ -1,7 +1,7 @@
 //! The GPS remote write queue: a write-combining buffer for broadcast
 //! stores (§5.2, "Coalescing remote writes").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use gps_types::{LineAddr, Scope};
 
@@ -82,7 +82,7 @@ pub struct RemoteWriteQueue {
     capacity: usize,
     watermark: usize,
     /// Membership set; the value is the number of coalesced stores.
-    entries: HashMap<LineAddr, u64>,
+    entries: BTreeMap<LineAddr, u64>,
     /// Insertion order for least-recently-added draining.
     order: VecDeque<LineAddr>,
     stats: RwqStats,
@@ -103,7 +103,7 @@ impl RemoteWriteQueue {
         Self {
             capacity,
             watermark,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: VecDeque::new(),
             stats: RwqStats::default(),
         }

@@ -237,6 +237,7 @@ fn replay_micro(gpus: usize, ctas_per_gpu: u32, warps_per_cta: u32) -> Workload 
     let mut b = WorkloadBuilder::new("replay_micro", PageSize::Standard64K, gpus);
     let data = b
         .alloc_shared("data", gpus as u64 * WINDOW_LINES * 128)
+        // gps-lint: allow(no_expect) -- fixed-size allocation far below any VA limit
         .expect("micro allocation");
     let launches = (0..gpus)
         .map(|g| {
@@ -258,6 +259,7 @@ fn replay_micro(gpus: usize, ctas_per_gpu: u32, warps_per_cta: u32) -> Workload 
         })
         .collect();
     b.phase(launches);
+    // gps-lint: allow(no_expect) -- builder is fully constrained above; validation cannot fail
     b.build(1).expect("micro workload validates")
 }
 
@@ -268,6 +270,7 @@ fn simulate(workload: &Workload, depth: usize) -> SimReport {
     config.page_size = workload.page_size;
     let mut policy = AllLocalPolicy::new();
     Engine::new(config, LinkGen::Pcie3, workload, &mut policy)
+        // gps-lint: allow(no_expect) -- config is derived from the workload's own gpu_count/page_size
         .expect("bench workload/machine mismatch")
         .run()
 }
@@ -286,41 +289,51 @@ struct LegSpec<'a> {
 /// leg of that round equally instead of poisoning one leg's entire
 /// sample, so the min-of-rounds ratio reflects the structural difference.
 fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) {
-    let mut walls = vec![f64::INFINITY; legs.len()];
-    let mut rss: Vec<Option<u64>> = vec![None; legs.len()];
-    let mut reports: Vec<Option<SimReport>> = legs.iter().map(|_| None).collect();
+    struct LegState {
+        wall_ms: f64,
+        rss_kb: Option<u64>,
+        report: Option<SimReport>,
+    }
+    let mut states: Vec<LegState> = legs
+        .iter()
+        .map(|_| LegState {
+            wall_ms: f64::INFINITY,
+            rss_kb: None,
+            report: None,
+        })
+        .collect();
     for _ in 0..reps.max(1) {
-        for (i, leg) in legs.iter().enumerate() {
+        for (leg, state) in legs.iter().zip(states.iter_mut()) {
             try_reset_peak_rss();
             let start = Instant::now();
             let wl = (leg.build)();
             let r = simulate(&wl, leg.depth);
             drop(wl);
             let wall = start.elapsed().as_secs_f64() * 1e3;
-            walls[i] = walls[i].min(wall);
-            rss[i] = match (rss[i], peak_rss_kb()) {
+            state.wall_ms = state.wall_ms.min(wall);
+            state.rss_kb = match (state.rss_kb, peak_rss_kb()) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, None) => a,
                 (None, b) => b,
             };
-            reports[i] = Some(r);
+            state.report = Some(r);
         }
     }
-    let reports: Vec<SimReport> = reports
-        .into_iter()
-        .map(|r| r.expect("at least one round ran"))
-        .collect();
-    let bench_legs = legs
-        .iter()
-        .enumerate()
-        .map(|(i, leg)| BenchLeg {
+    let mut bench_legs = Vec::with_capacity(legs.len());
+    let mut reports = Vec::with_capacity(legs.len());
+    for (leg, state) in legs.iter().zip(states) {
+        // reps.max(1) guarantees every leg ran at least once.
+        // gps-lint: allow(no_expect) -- loop above runs >= 1 round for every leg
+        let report = state.report.expect("at least one round ran");
+        bench_legs.push(BenchLeg {
             mode: leg.mode,
             depth: leg.depth,
-            wall_ms: walls[i],
-            peak_rss_kb: rss[i],
-            total_cycles: reports[i].total_cycles.as_u64(),
-        })
-        .collect();
+            wall_ms: state.wall_ms,
+            peak_rss_kb: state.rss_kb,
+            total_cycles: report.total_cycles.as_u64(),
+        });
+        reports.push(report);
+    }
     (bench_legs, reports)
 }
 
@@ -357,11 +370,13 @@ fn trace_replay_case(
         LegSpec {
             mode: "streaming",
             depth: 0,
+            // gps-lint: allow(no_expect) -- trace was recorded in-process two lines up
             build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
         },
         LegSpec {
             mode: "streaming_pipelined",
             depth,
+            // gps-lint: allow(no_expect) -- trace was recorded in-process above
             build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
         },
         LegSpec {
@@ -370,6 +385,7 @@ fn trace_replay_case(
             build: Box::new(|| {
                 trace
                     .replay_materialised("bench")
+                    // gps-lint: allow(no_expect) -- trace was recorded in-process above
                     .expect("recorded trace replays")
             }),
         },
@@ -409,8 +425,13 @@ fn synthetic_case(
     reps: u32,
     depth: usize,
     log: bool,
-) -> BenchCase {
-    let entry = suite::by_name(app).expect("suite application exists");
+) -> std::io::Result<BenchCase> {
+    let entry = suite::by_name(app).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("bench case {name} names unknown suite application {app:?}"),
+        )
+    })?;
     let total_warps = (entry.build)(gpus, scale).total_warps();
     let legs = [
         LegSpec {
@@ -443,7 +464,7 @@ fn synthetic_case(
             case.reports_identical,
         );
     }
-    case
+    Ok(case)
 }
 
 /// Runs the micro-suite and writes `BENCH_sim.json` to `opts.out`.
@@ -487,7 +508,7 @@ pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<Bench
             1,
             depth,
             log,
-        ));
+        )?);
     } else {
         cases.push(trace_replay_case(
             "replay_small_1gpu",
@@ -524,7 +545,7 @@ pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<Bench
             1,
             depth,
             log,
-        ));
+        )?);
     }
 
     if let Some(bad) = cases.iter().find(|c| !c.reports_identical) {

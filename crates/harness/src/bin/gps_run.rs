@@ -7,6 +7,7 @@
 //! gps-run timeline <run-key>   reconstruct a run's cycle-resolved Chrome trace
 //! gps-run bench    [flags]     run the streaming-pipeline micro-suite
 //! gps-run gc       [flags]     compact the store to the latest record per key
+//! gps-run lint     [flags]     run the determinism & panic-hygiene analyzer
 //! ```
 //!
 //! Run `gps-run help` for the flag reference.
@@ -26,7 +27,7 @@ const USAGE: &str = "\
 gps-run — resumable parallel sweeps over the GPS evaluation space
 
 USAGE:
-    gps-run <sweep|resume|report|timeline|bench|gc|help> [flags]
+    gps-run <sweep|resume|report|timeline|bench|gc|lint|help> [flags]
 
 SWEEP / RESUME FLAGS:
     --store <path>        result store (JSON lines), default results/store.jsonl
@@ -77,6 +78,14 @@ BENCH FLAGS:
 
 GC FLAGS:
     --store <path>        store to compact (latest record per key, sorted)
+
+LINT FLAGS:
+    runs gps-lint (see crates/lint): determinism, panic-hygiene and
+    probe-coverage rules over every .rs file, scoped by lint.toml;
+    exits non-zero on any unwaivered finding
+    --root <dir>          workspace root to scan, default .
+    --config <path>       lint configuration, default <root>/lint.toml
+    --json                machine-readable output (the CI gate)
 ";
 
 struct ParsedArgs {
@@ -445,6 +454,34 @@ fn cmd_gc(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `gps-run lint`: the source analyzer, wired into the main CLI so a
+/// checkout needs only one binary. Returns the number of findings (the
+/// caller maps any non-zero count to a failing exit code).
+fn cmd_lint(args: &[String]) -> Result<usize, String> {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(it.next().ok_or("--root requires a value")?),
+            "--config" => {
+                config = Some(PathBuf::from(it.next().ok_or("--config requires a value")?));
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let config = config.unwrap_or_else(|| root.join("lint.toml"));
+    let report = gps_lint::lint_with_config_file(&root, &config)?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    Ok(report.findings.len())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -461,6 +498,13 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(rest),
         "bench" => cmd_bench(rest),
         "gc" => cmd_gc(rest),
+        "lint" => cmd_lint(rest).and_then(|findings| {
+            if findings == 0 {
+                Ok(())
+            } else {
+                Err(format!("{findings} unwaivered finding(s)"))
+            }
+        }),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

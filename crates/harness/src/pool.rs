@@ -87,6 +87,7 @@ where
                 if i >= n {
                     break;
                 }
+                // gps-lint: allow(no_slice_index) -- i < n checked by the break above
                 let item = &items[i];
                 let mut attempts = 0u32;
                 let result = loop {
@@ -104,6 +105,10 @@ where
                     }
                 };
                 on_complete(i, &result);
+                // Slot writes happen under catch_unwind, so the mutex can only
+                // be poisoned by a panic in on_complete — which already aborts
+                // the run; unwinding again is the right response.
+                // gps-lint: allow(no_slice_index, no_expect) -- i < n checked above; poison implies a prior panic
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -113,7 +118,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic that already failed the run
                 .expect("result slot poisoned")
+                // gps-lint: allow(no_expect) -- the scope joined every worker; all n indices were claimed
                 .expect("every job ran")
         })
         .collect()
@@ -145,12 +152,16 @@ where
                 if i >= n {
                     break;
                 }
+                // gps-lint: allow(no_slice_index) -- i < n checked by the break above
                 let f = jobs[i]
                     .lock()
+                    // gps-lint: allow(no_expect) -- poison implies a prior panic; this path propagates it
                     .expect("job slot poisoned")
                     .take()
+                    // gps-lint: allow(no_expect) -- fetch_add hands each index to exactly one worker
                     .expect("job taken once");
                 let out = f();
+                // gps-lint: allow(no_slice_index, no_expect) -- i < n checked above; poison implies a prior panic
                 *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
@@ -160,7 +171,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic that already failed the run
                 .expect("result slot poisoned")
+                // gps-lint: allow(no_expect) -- the scope joined every worker; all n indices were claimed
                 .expect("job executed")
         })
         .collect()

@@ -60,6 +60,7 @@ pub fn steady_cycles_per_iteration(report: &SimReport, phases_per_iteration: usi
     if iterations <= 1 {
         return report.total_cycles.as_u64() as f64;
     }
+    // gps-lint: allow(no_slice_index) -- iterations > 1 implies ends.len() >= ppi >= 1
     let iter0_end = ends[ppi - 1].as_u64();
     (report.total_cycles.as_u64() - iter0_end) as f64 / (iterations - 1) as f64
 }
@@ -118,6 +119,7 @@ pub fn measure_with_policy(
     let mut config = SimConfig::gv100_system(spec.gpus);
     config.page_size = workload.page_size;
     let report = Engine::new(config, spec.link, &workload, policy)
+        // gps-lint: allow(no_expect) -- config is derived from the workload's own gpu_count/page_size
         .expect("workload/machine mismatch")
         .run();
     let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
@@ -159,6 +161,7 @@ pub fn steady_traffic_per_iteration(report: &SimReport, phases_per_iteration: us
     if iterations <= 1 {
         return report.interconnect_bytes as f64;
     }
+    // gps-lint: allow(no_slice_index) -- iterations > 1 implies traffic.len() >= ppi >= 1
     let iter0 = traffic[ppi - 1];
     (report.interconnect_bytes - iter0) as f64 / (iterations - 1) as f64
 }

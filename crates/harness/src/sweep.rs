@@ -326,6 +326,9 @@ pub fn run_units(
     let store = Mutex::new(ResultStore::open_append(store_path)?);
     let started = Instant::now();
     let progress = Mutex::new((0usize, 0usize)); // (finished, quarantined)
+                                                 // First append failure; checked after the pool drains so a full disk
+                                                 // aborts the sweep instead of silently dropping results.
+    let append_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
     let results = run_jobs(
         &pending_units,
@@ -335,6 +338,7 @@ pub fn run_units(
             if opts.inject_panic.iter().any(|a| a == &unit.app) {
                 panic!("injected failure for {}", unit.label());
             }
+            // gps-lint: allow(no_expect) -- unit app names were resolved against the suite at plan time
             let app = suite::by_name(&unit.app).expect("validated");
             let begun = Instant::now();
             let probe = match &opts.telemetry_dir {
@@ -353,6 +357,7 @@ pub fn run_units(
             (m, wall_ms)
         },
         |i, result| {
+            // gps-lint: allow(no_slice_index) -- run_jobs only hands out i < pending_units.len()
             let unit = &pending_units[i];
             let (record, quarantined) = match result {
                 JobResult::Ok {
@@ -363,11 +368,19 @@ pub fn run_units(
                     (quarantine_record(unit, *attempts, error), true)
                 }
             };
-            store
+            let appended = store
                 .lock()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic in this callback
                 .expect("store lock")
-                .append(&record)
-                .expect("result store append");
+                .append(&record);
+            if let Err(e) = appended {
+                // gps-lint: allow(no_expect) -- poison implies a prior panic
+                let mut slot = append_failure.lock().expect("failure slot");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+            // gps-lint: allow(no_expect) -- poison implies a prior panic
             let mut p = progress.lock().expect("progress lock");
             p.0 += 1;
             p.1 += quarantined as usize;
@@ -390,6 +403,14 @@ pub fn run_units(
     );
     if opts.log && !pending_units.is_empty() {
         eprintln!();
+    }
+
+    let failed = append_failure
+        .into_inner()
+        // gps-lint: allow(no_expect) -- poison implies a prior panic that already failed the run
+        .expect("failure slot");
+    if let Some(e) = failed {
+        return Err(e);
     }
 
     let quarantined = results

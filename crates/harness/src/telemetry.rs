@@ -205,7 +205,9 @@ pub fn timeline(
 
     let probe = recording_probe();
     measure_probed(&app, spec, probe.clone());
-    let telemetry = probe.finish().expect("recording probe");
+    let telemetry = probe
+        .finish()
+        .ok_or_else(|| "recording probe yielded no recording".to_owned())?;
 
     std::fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let paths = write_run_telemetry(out_dir, &record.key, &telemetry)

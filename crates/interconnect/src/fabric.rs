@@ -1,6 +1,6 @@
 //! The switch-attached multi-GPU fabric.
 
-use gps_obs::{ProbeHandle, Track};
+use gps_obs::{names, ProbeHandle, Track};
 use gps_types::{Cycle, GpsError, GpuId, Result};
 
 use crate::counters::TrafficCounters;
@@ -146,10 +146,18 @@ impl Fabric {
 
     fn emit_transfer(&self, src: GpuId, dst: GpuId, bytes: u64, now: Cycle) {
         let bytes = bytes as f64;
-        self.probe
-            .counter(Track::gpu(src.index()), "link_egress_bytes", now, bytes);
-        self.probe
-            .counter(Track::gpu(dst.index()), "link_ingress_bytes", now, bytes);
+        self.probe.counter(
+            Track::gpu(src.index()),
+            names::LINK_EGRESS_BYTES,
+            now,
+            bytes,
+        );
+        self.probe.counter(
+            Track::gpu(dst.index()),
+            names::LINK_INGRESS_BYTES,
+            now,
+            bytes,
+        );
     }
 
     fn check(&self, gpu: GpuId) -> Result<()> {

@@ -1,0 +1,66 @@
+//! `gps-lint` — standalone entry point for the workspace analyzer.
+//!
+//! ```text
+//! gps-lint [--root <dir>] [--config <lint.toml>] [--json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gps-lint — determinism & panic-hygiene analyzer for the GPS workspace
+
+USAGE:
+    gps-lint [--root <dir>] [--config <path>] [--json]
+
+FLAGS:
+    --root <dir>      workspace root to scan, default .
+    --config <path>   lint configuration, default <root>/lint.toml
+    --json            emit machine-readable JSON instead of text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gps_lint_cli(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("gps-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn gps_lint_cli(args: &[String]) -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(it.next().ok_or("--root requires a value")?),
+            "--config" => {
+                config = Some(PathBuf::from(it.next().ok_or("--config requires a value")?));
+            }
+            "--json" => json = true,
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    let config = config.unwrap_or_else(|| root.join("lint.toml"));
+    let report = gps_lint::lint_with_config_file(&root, &config)?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

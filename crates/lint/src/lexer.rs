@@ -1,0 +1,591 @@
+//! A small, rule-oriented Rust lexer.
+//!
+//! This is not a full Rust tokenizer: it produces exactly the token stream
+//! the rule passes need — identifiers, string/char/number literals,
+//! single-character punctuation — with line numbers, while correctly
+//! skipping the constructs that defeat naive `grep`-style analysis
+//! (strings containing code, nested block comments, raw strings, char
+//! literals vs lifetimes). Comments are captured separately so waiver
+//! parsing can see them.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal content (escapes left verbatim): `"…"`, `r"…"`,
+    /// `r#"…"#`, `b"…"`.
+    Str(String),
+    /// Numeric literal; `float` records whether it is a floating literal
+    /// (decimal point, exponent, or `f32`/`f64` suffix).
+    Num {
+        /// Floating-point literal?
+        float: bool,
+    },
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token plus its position and test-region flag.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// Inside a `#[test]` / `#[cfg(test)]` region (filled by
+    /// [`mark_test_regions`], false straight out of the lexer).
+    pub in_test: bool,
+}
+
+/// One `//` comment (block comments are skipped: waivers must be
+/// line comments so they have an unambiguous target line).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether any code token precedes the comment on its line.
+    pub trailing: bool,
+    /// Whether this is a doc comment (`///` or `//!`) — never a waiver.
+    pub doc: bool,
+}
+
+/// A lexed file: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in order.
+    pub tokens: Vec<Token>,
+    /// Line comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source`. Malformed input (unterminated strings/comments) is
+/// tolerated: the remainder of the file becomes the pending token and
+/// lexing stops, which is the right degradation for an analyzer that must
+/// never panic on user code.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_had_token = false;
+
+    macro_rules! push_tok {
+        ($t:expr, $l:expr) => {
+            out.tokens.push(Token {
+                tok: $t,
+                line: $l,
+                in_test: false,
+            });
+            line_had_token = true;
+        };
+    }
+
+    while let Some(&c) = chars.get(i) {
+        if c == '\n' {
+            line += 1;
+            line_had_token = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+            let start = i + 2;
+            let mut end = start;
+            while end < chars.len() && chars.get(end) != Some(&'\n') {
+                end += 1;
+            }
+            out.comments.push(Comment {
+                // gps-lint: allow(no_slice_index) -- start <= end <= chars.len() by the scan loop
+                text: chars[start..end].iter().collect(),
+                line,
+                trailing: line_had_token,
+                doc,
+            });
+            i = end;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            // Nested block comment; newlines inside still advance `line`.
+            let mut depth = 1usize;
+            i += 2;
+            while depth > 0 {
+                match (chars.get(i), chars.get(i + 1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        i += 2;
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        i += 2;
+                    }
+                    (Some('\n'), _) => {
+                        line += 1;
+                        i += 1;
+                    }
+                    (Some(_), _) => i += 1,
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes and raw identifiers.
+        if (c == 'r' || c == 'b') && is_string_prefix(&chars, i) {
+            let (value, consumed, newlines) = lex_prefixed_string(&chars, i);
+            push_tok!(Tok::Str(value), line);
+            line += newlines;
+            i += consumed;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while chars.get(i).copied().is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            // gps-lint: allow(no_slice_index) -- i only advances while chars.get(i) is Some
+            push_tok!(Tok::Ident(chars[start..i].iter().collect()), line);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (float, consumed) = lex_number(&chars, i);
+            push_tok!(Tok::Num { float }, line);
+            i += consumed;
+            continue;
+        }
+        if c == '"' {
+            let (value, consumed, newlines) = lex_plain_string(&chars, i);
+            push_tok!(Tok::Str(value), line);
+            line += newlines;
+            i += consumed;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if next.is_some_and(is_ident_start) && after != Some('\'') {
+                // Lifetime: skip the quote and the identifier.
+                i += 1;
+                while chars.get(i).copied().is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                continue;
+            }
+            let (consumed, _) = lex_char_literal(&chars, i);
+            push_tok!(Tok::Str(String::new()), line);
+            i += consumed;
+            continue;
+        }
+        push_tok!(Tok::Punct(c), line);
+        i += 1;
+    }
+    out
+}
+
+/// Does the `r` / `b` / `rb` / `br` run at `i` introduce a string?
+fn is_string_prefix(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while matches!(chars.get(j), Some('r') | Some('b')) && j < i + 2 {
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('"') => true,
+        Some('#') => {
+            // Raw string `r#"` vs raw identifier `r#type`.
+            let mut k = j;
+            while chars.get(k) == Some(&'#') {
+                k += 1;
+            }
+            chars.get(k) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lexes a string starting at a `r`/`b` prefix. Returns
+/// `(content, chars_consumed, newlines)`.
+fn lex_prefixed_string(chars: &[char], i: usize) -> (String, usize, u32) {
+    let mut j = i;
+    let mut raw = false;
+    while matches!(chars.get(j), Some('r') | Some('b')) && j < i + 2 {
+        raw |= chars.get(j) == Some(&'r');
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        // Opening quote.
+        j += 1;
+        let start = j;
+        let mut newlines = 0u32;
+        loop {
+            match chars.get(j) {
+                // gps-lint: allow(no_slice_index) -- get(j) == None means j == chars.len(); start <= j
+                None => return (chars[start..j].iter().collect(), j - i, newlines),
+                Some('\n') => {
+                    newlines += 1;
+                    j += 1;
+                }
+                Some('"') => {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && chars.get(k) == Some(&'#') {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        // gps-lint: allow(no_slice_index) -- chars[j] is the closing quote, so j < chars.len()
+                        return (chars[start..j].iter().collect(), k - i, newlines);
+                    }
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+    } else {
+        // Byte string: same shape as a plain string after the prefix.
+        let (value, consumed, newlines) = lex_plain_string(chars, j);
+        (value, (j - i) + consumed, newlines)
+    }
+}
+
+/// Lexes a `"…"` string starting at the opening quote. Returns
+/// `(content, chars_consumed, newlines)`.
+fn lex_plain_string(chars: &[char], i: usize) -> (String, usize, u32) {
+    let start = i + 1;
+    let mut j = start;
+    let mut newlines = 0u32;
+    loop {
+        match chars.get(j) {
+            None | Some('"') => break,
+            Some('\\') => j += 2,
+            Some('\n') => {
+                newlines += 1;
+                j += 1;
+            }
+            Some(_) => j += 1,
+        }
+    }
+    let end = j.min(chars.len());
+    let consumed = if chars.get(j) == Some(&'"') {
+        j + 1 - i
+    } else {
+        end - i
+    };
+    // gps-lint: allow(no_slice_index) -- end = j.min(chars.len()) and start <= end
+    (chars[start..end].iter().collect(), consumed, newlines)
+}
+
+/// Lexes a char literal starting at the opening `'`.
+fn lex_char_literal(chars: &[char], i: usize) -> (usize, ()) {
+    let mut j = i + 1;
+    loop {
+        match chars.get(j) {
+            None => return (j - i, ()),
+            Some('\\') => j += 2,
+            Some('\'') => return (j + 1 - i, ()),
+            Some(_) => j += 1,
+        }
+    }
+}
+
+/// Lexes a numeric literal; returns `(is_float, chars_consumed)`.
+fn lex_number(chars: &[char], i: usize) -> (bool, usize) {
+    let mut j = i;
+    let mut float = false;
+    let hex = chars.get(j) == Some(&'0')
+        && matches!(
+            chars.get(j + 1),
+            Some('x') | Some('X') | Some('o') | Some('b')
+        );
+    if hex {
+        j += 2;
+        while chars
+            .get(j)
+            .copied()
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            j += 1;
+        }
+    } else {
+        while chars
+            .get(j)
+            .copied()
+            .is_some_and(|c| c.is_ascii_digit() || c == '_')
+        {
+            j += 1;
+        }
+        // A decimal point only if followed by a digit (so `0..n` and
+        // `1.method()` are not floats).
+        if chars.get(j) == Some(&'.')
+            && chars
+                .get(j + 1)
+                .copied()
+                .is_some_and(|c| c.is_ascii_digit())
+        {
+            float = true;
+            j += 1;
+            while chars
+                .get(j)
+                .copied()
+                .is_some_and(|c| c.is_ascii_digit() || c == '_')
+            {
+                j += 1;
+            }
+        }
+        if matches!(chars.get(j), Some('e') | Some('E'))
+            && chars
+                .get(j + 1)
+                .copied()
+                .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-')
+        {
+            float = true;
+            j += 1;
+            while chars
+                .get(j)
+                .copied()
+                .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-' || c == '_')
+            {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`…).
+    let suffix_start = j;
+    while chars.get(j).copied().is_some_and(is_ident_continue) {
+        j += 1;
+    }
+    // gps-lint: allow(no_slice_index) -- j only advances while chars.get(j) is Some
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    (float, j - i)
+}
+
+/// Marks tokens covered by `#[test]`-like attributes as test code.
+///
+/// An attribute whose idents include `test` (and not `not`, so
+/// `#[cfg(not(test))]` stays product code) marks the item that follows —
+/// through any further attributes — up to the matching `}` of its body, or
+/// the terminating `;` for body-less items.
+pub fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_bracket(tokens, i + 1) else {
+            return;
+        };
+        // gps-lint: allow(no_slice_index) -- matching_bracket returns an in-bounds index
+        if !attr_is_test(&tokens[i..=attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = attr_end + 1;
+        while is_attr_start(tokens, j) {
+            match matching_bracket(tokens, j + 1) {
+                Some(e) => j = e + 1,
+                None => return,
+            }
+        }
+        // Find the item body: the first `{` before any top-level `;`.
+        let mut k = j;
+        let body_end = loop {
+            match tokens.get(k).map(|t| &t.tok) {
+                None => break tokens.len().saturating_sub(1),
+                Some(Tok::Punct(';')) => break k,
+                Some(Tok::Punct('{')) => {
+                    break matching_brace(tokens, k)
+                        .unwrap_or_else(|| tokens.len().saturating_sub(1))
+                }
+                _ => k += 1,
+            }
+        };
+        for t in tokens.iter_mut().take(body_end + 1).skip(i) {
+            t.in_test = true;
+        }
+        i = body_end + 1;
+    }
+}
+
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct('#')))
+        && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+}
+
+/// Given `open` at the `[`, returns the index of the matching `]`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Given `open` at the `{`, returns the index of the matching `}`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the attribute token slice (from `#` to `]`) mark test code?
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    for t in attr {
+        if let Tok::Ident(name) = &t.tok {
+            has_test |= name == "test";
+            has_not |= name == "not";
+        }
+    }
+    has_test && !has_not
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokenized() {
+        let src = r##"
+            let x = "HashMap::new()"; // HashMap here too
+            /* HashMap in /* nested */ block */
+            let y = r#"HashSet"#;
+            call(x);
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "HashSet"));
+        assert!(ids.contains(&"call".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        // One Str token for 'x', none for the lifetimes.
+        let strs = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Str(_)))
+            .count();
+        assert_eq!(strs, 1);
+        assert!(idents(src).contains(&"str".to_owned()));
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        let one = |src: &str| match lex(src).tokens.first().map(|t| t.tok.clone()) {
+            Some(Tok::Num { float }) => float,
+            other => panic!("expected number, got {other:?}"),
+        };
+        assert!(one("1.5"));
+        assert!(one("1e3"));
+        assert!(one("2f64"));
+        assert!(!one("1"));
+        assert!(!one("0x1f"));
+        // `0..10` lexes as int, dot, dot, int.
+        let toks = lex("0..10").tokens;
+        assert_eq!(toks.len(), 4);
+        assert!(matches!(toks[0].tok, Tok::Num { float: false }));
+    }
+
+    #[test]
+    fn comments_track_line_and_position() {
+        let src = "let a = 1; // trailing\n// standalone\nlet b = 2;\n/// doc\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[2].doc);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_but_not_cfg_not_test() {
+        let src = "
+fn product() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); }
+}
+#[cfg(not(test))]
+fn also_product() { z.unwrap(); }
+";
+        let mut lexed = lex(src);
+        mark_test_regions(&mut lexed.tokens);
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.tok, Tok::Ident(s) if s == "unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_straight() {
+        let src = "let a = \"line\nbreak\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "b"))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(3));
+    }
+}

@@ -1,0 +1,187 @@
+//! `gps-lint` — a zero-dependency determinism and panic-hygiene analyzer
+//! for the GPS workspace.
+//!
+//! Every headline number this repo produces rests on `SimReport`s being
+//! bit-identical across runs, hosts, probe settings and streaming depths.
+//! The compiler does not enforce that property; this crate does, at the
+//! source level, with a hand-rolled lexer (no syn, no clippy plugins —
+//! the workspace builds offline) and a set of rule passes over every
+//! `.rs` file:
+//!
+//! * determinism: no `HashMap`/`HashSet`, wall clocks or thread identity
+//!   in report-affecting crates; no float accumulation in cycle math;
+//! * panic hygiene: `unwrap`/`expect`/indexing in library code must carry
+//!   a waiver explaining why they cannot fire;
+//! * probe coverage: the `gps-obs` series-name registry and the real
+//!   probe sites must agree in both directions.
+//!
+//! Scoping lives in the committed `lint.toml`; inline waivers
+//! (`// gps-lint: allow(<rule>) -- <reason>`) silence individual lines
+//! and are themselves errors when they stop matching anything. Run it as
+//! the `gps-lint` binary, via `gps-run lint`, or in-process from tests
+//! with [`lint_workspace`].
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use report::LintReport;
+pub use rules::{Finding, RULE_IDS};
+
+use rules::SourceFile;
+
+/// Directory names never scanned regardless of configuration.
+const ALWAYS_SKIPPED_DIRS: &[&str] = &["target", "results"];
+
+/// Path components that make a file exempt from the hygiene rules (test
+/// and example code may panic and hash freely).
+const EXEMPT_COMPONENTS: &[&str] = &["tests", "benches", "examples", "fixtures"];
+
+/// Lints the workspace rooted at `root` using the given configuration.
+///
+/// # Errors
+///
+/// Returns a description of I/O or configuration problems. Findings are
+/// not errors — they come back inside the report.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<LintReport, String> {
+    let mut paths = Vec::new();
+    walk(root, root, &cfg.exclude, &mut paths)?;
+    paths.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files: Vec<SourceFile> = Vec::new();
+    for rel in &paths {
+        let text =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        let mut lexed = lexer::lex(&text);
+        lexer::mark_test_regions(&mut lexed.tokens);
+        let exempt = rel.split('/').any(|part| EXEMPT_COMPONENTS.contains(&part));
+        let waivers = if exempt {
+            Vec::new()
+        } else {
+            rules::collect_waivers(rel, &lexed, &mut findings)
+        };
+        files.push(SourceFile {
+            rel_path: rel.clone(),
+            crate_name: crate_of(rel),
+            exempt,
+            lexed,
+            waivers,
+        });
+    }
+
+    let mut waived = 0usize;
+    for file in &mut files {
+        waived += rules::run_file_rules(file, cfg, &mut findings);
+    }
+
+    // Probe coverage: registry on one side, every probe site on the other.
+    if let Some(reg_path) = &cfg.probe_registry {
+        let mut sites = Vec::new();
+        for file in &files {
+            if !file.exempt {
+                rules::collect_probe_sites(file, &mut sites);
+            }
+        }
+        if let Some(reg_idx) = files.iter().position(|f| &f.rel_path == reg_path) {
+            let mut registry_file = files.swap_remove(reg_idx);
+            let registry = rules::parse_registry(&registry_file.lexed);
+            waived += rules::run_probe_rules(
+                &registry,
+                &mut registry_file,
+                &sites,
+                &mut files,
+                cfg,
+                &mut findings,
+            );
+            files.push(registry_file);
+        } else if cfg.enabled("probe_dead_name") || cfg.enabled("probe_unregistered_name") {
+            return Err(format!(
+                "probe_registry {reg_path:?} was not found among the scanned files"
+            ));
+        }
+    }
+
+    rules::report_unused_waivers(&files, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(LintReport {
+        findings,
+        files_scanned: files.len(),
+        waived,
+    })
+}
+
+/// Loads `lint.toml` from `path` and lints the workspace at `root`.
+///
+/// # Errors
+///
+/// As [`lint_workspace`], plus config read/parse failures.
+pub fn lint_with_config_file(root: &Path, config: &Path) -> Result<LintReport, String> {
+    let text = std::fs::read_to_string(config)
+        .map_err(|e| format!("read config {}: {e}", config.display()))?;
+    let cfg = Config::parse(&text).map_err(|e| format!("{}: {e}", config.display()))?;
+    lint_workspace(root, &cfg)
+}
+
+/// Maps a root-relative path to its owning crate name.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_owned(),
+        _ => "gps".to_owned(),
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` as `/`-separated paths
+/// relative to `root`, honouring the exclusion list.
+fn walk(root: &Path, dir: &Path, exclude: &[String], out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = rel_path(root, &path);
+        if exclude
+            .iter()
+            .any(|ex| rel == *ex || rel.starts_with(&format!("{ex}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            if name.starts_with('.') || ALWAYS_SKIPPED_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative `/`-separated rendering of `path`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(crate_of("crates/sim/src/engine.rs"), "sim");
+        assert_eq!(crate_of("crates/lint/src/lib.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "gps");
+        assert_eq!(crate_of("tests/foo.rs"), "gps");
+    }
+}

@@ -1,0 +1,120 @@
+//! Human-readable and machine-readable rendering of lint results.
+
+use crate::rules::Finding;
+
+/// The outcome of one workspace lint.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Unwaivered findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by (now-used) waivers.
+    pub waived: usize,
+}
+
+impl LintReport {
+    /// True when nothing needs fixing.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `path:line: [rule] message` lines plus a summary, for terminals.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "gps-lint: {} finding(s), {} waived, {} file(s) scanned\n",
+            self.findings.len(),
+            self.waived,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// One stable JSON document (the CI gate parses this).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"waived\":");
+        out.push_str(&self.waived.to_string());
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            push_json_str(&mut out, &f.rule);
+            out.push_str(",\"file\":");
+            push_json_str(&mut out, &f.file);
+            out.push_str(",\"line\":");
+            out.push_str(&f.line.to_string());
+            out.push_str(",\"message\":");
+            push_json_str(&mut out, &f.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let report = LintReport {
+            findings: vec![Finding {
+                rule: "no_unwrap".to_owned(),
+                file: "a \"b\".rs".to_owned(),
+                line: 3,
+                message: "tab\there".to_owned(),
+            }],
+            files_scanned: 2,
+            waived: 1,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"files_scanned\":2"));
+        assert!(json.contains("\"a \\\"b\\\".rs\""));
+        assert!(json.contains("tab\\there"));
+        assert!(!report.clean());
+        assert!(report.to_text().contains("a \"b\".rs:3: [no_unwrap]"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = LintReport {
+            findings: Vec::new(),
+            files_scanned: 0,
+            waived: 0,
+        };
+        assert!(report.clean());
+        assert_eq!(
+            report.to_json(),
+            "{\"version\":1,\"files_scanned\":0,\"waived\":0,\"findings\":[]}"
+        );
+    }
+}

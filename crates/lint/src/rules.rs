@@ -1,0 +1,685 @@
+//! Rule passes, waiver handling and findings.
+//!
+//! Rules fall into three families (see `DESIGN.md`):
+//!
+//! * **determinism** — `no_hash_collections`, `no_wall_clock`,
+//!   `float_cycle_arith`: sources of cross-run or cross-host variation in
+//!   crates whose code can influence a `SimReport`.
+//! * **panic hygiene** — `no_unwrap`, `no_expect`, `no_slice_index`:
+//!   panics in non-test library code must be justified by a waiver.
+//! * **probe coverage** — `probe_dead_name`, `probe_unregistered_name`:
+//!   the `gps-obs` name registry and the instrumented probe sites must
+//!   agree in both directions.
+//!
+//! Findings on a line are suppressed by an inline waiver carrying a
+//! reason:
+//!
+//! ```text
+//! // gps-lint: allow(no_unwrap) -- mutex poisoning implies a prior panic
+//! ```
+//!
+//! A waiver on its own line covers the next code line; a trailing waiver
+//! covers its own line. A waiver that suppresses nothing is itself an
+//! error (`unused_waiver`), so stale annotations cannot accumulate.
+
+use crate::config::Config;
+use crate::lexer::{Lexed, Tok, Token};
+
+/// Every configurable rule id, in stable (reporting) order.
+pub const RULE_IDS: &[&str] = &[
+    "no_hash_collections",
+    "no_wall_clock",
+    "float_cycle_arith",
+    "no_unwrap",
+    "no_expect",
+    "no_slice_index",
+    "probe_dead_name",
+    "probe_unregistered_name",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`RULE_IDS`], or the meta-rules `bad_waiver` /
+    /// `unused_waiver`).
+    pub rule: String,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed `// gps-lint: allow(..) -- reason` comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line whose findings it suppresses (0 = dangling, never matches).
+    pub target: u32,
+    /// Rule ids it suppresses.
+    pub rules: Vec<String>,
+    /// Whether it suppressed at least one finding.
+    pub used: bool,
+}
+
+/// One lexed source file, ready for the rule passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Root-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Owning crate: the directory name under `crates/`, or `gps` for the
+    /// root package.
+    pub crate_name: String,
+    /// Test-support file (under `tests/`, `benches/`, `examples/` or
+    /// fixtures): rules and waivers are skipped entirely.
+    pub exempt: bool,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Waivers parsed out of the comments.
+    pub waivers: Vec<Waiver>,
+}
+
+const WAIVER_PREFIX: &str = "gps-lint:";
+
+/// Parses waivers from a file's comments; malformed waivers become
+/// `bad_waiver` findings immediately.
+pub fn collect_waivers(rel_path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in &lexed.comments {
+        if c.doc {
+            continue;
+        }
+        let Some(body) = c.text.trim().strip_prefix(WAIVER_PREFIX) else {
+            continue;
+        };
+        match parse_waiver_body(body.trim()) {
+            Ok(rules) => {
+                let target = if c.trailing {
+                    c.line
+                } else {
+                    next_code_line(&lexed.tokens, c.line)
+                };
+                waivers.push(Waiver {
+                    line: c.line,
+                    target,
+                    rules,
+                    used: false,
+                });
+            }
+            Err(why) => findings.push(Finding {
+                rule: "bad_waiver".to_owned(),
+                file: rel_path.to_owned(),
+                line: c.line,
+                message: format!("malformed waiver: {why}"),
+            }),
+        }
+    }
+    waivers
+}
+
+/// `allow(rule_a, rule_b) -- reason` → the rule list.
+fn parse_waiver_body(body: &str) -> Result<Vec<String>, String> {
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or("expected `allow(<rule>, ..) -- <reason>`")?;
+    let (ids, tail) = rest
+        .split_once(')')
+        .ok_or("unclosed rule list, expected `)`")?;
+    let reason = tail
+        .trim()
+        .strip_prefix("--")
+        .map(str::trim)
+        .ok_or("missing `-- <reason>`")?;
+    if reason.is_empty() {
+        return Err("empty reason after `--`".to_owned());
+    }
+    let rules: Vec<String> = ids
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".to_owned());
+    }
+    for r in &rules {
+        if !RULE_IDS.contains(&r.as_str()) {
+            return Err(format!("unknown rule {r:?}"));
+        }
+    }
+    Ok(rules)
+}
+
+/// First line strictly after `line` that holds a code token.
+fn next_code_line(tokens: &[Token], line: u32) -> u32 {
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > line)
+        .min()
+        .unwrap_or(0)
+}
+
+/// Reports `finding` unless a waiver on its line absorbs it (the waiver is
+/// then marked used).
+fn emit(findings: &mut Vec<Finding>, waivers: &mut [Waiver], waived: &mut usize, finding: Finding) {
+    for w in waivers.iter_mut() {
+        if w.target == finding.line && w.rules.contains(&finding.rule) {
+            w.used = true;
+            *waived += 1;
+            return;
+        }
+    }
+    findings.push(finding);
+}
+
+/// Runs every per-file rule enabled for `file`'s crate. Returns the number
+/// of findings waived away.
+pub fn run_file_rules(file: &mut SourceFile, cfg: &Config, findings: &mut Vec<Finding>) -> usize {
+    let mut waived = 0usize;
+    if file.exempt {
+        return waived;
+    }
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    let on = |rule: &str| cfg.applies(rule, &file.crate_name);
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(name)
+                if on("no_hash_collections") && (name == "HashMap" || name == "HashSet") =>
+            {
+                out.push(Finding {
+                    rule: "no_hash_collections".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{name} iterates in randomized order; use BTree{} in report-affecting code",
+                        if name == "HashMap" { "Map" } else { "Set" }
+                    ),
+                });
+            }
+            Tok::Ident(name)
+                if on("no_wall_clock") && (name == "Instant" || name == "SystemTime") =>
+            {
+                out.push(Finding {
+                    rule: "no_wall_clock".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{name} reads the host clock; simulated results must not depend on wall time"
+                    ),
+                });
+            }
+            Tok::Ident(name)
+                if on("no_wall_clock")
+                    && name == "thread"
+                    && ident_at(toks, i + 3).is_some_and(|n| n == "current")
+                    && punct_at(toks, i + 1) == Some(':')
+                    && punct_at(toks, i + 2) == Some(':') =>
+            {
+                out.push(Finding {
+                    rule: "no_wall_clock".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: "thread identity is scheduler-dependent; derive nothing from it"
+                        .to_owned(),
+                });
+            }
+            Tok::Ident(name)
+                if on("float_cycle_arith")
+                    && name.to_ascii_lowercase().contains("cycle")
+                    && punct_at(toks, i + 1) == Some('+')
+                    && punct_at(toks, i + 2) == Some('=')
+                    && float_before_semicolon(toks, i + 3) =>
+            {
+                out.push(Finding {
+                    rule: "float_cycle_arith".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "float accumulation into {name:?}: cycle math must stay integral \
+                         (floats accumulate rounding that varies with evaluation order)"
+                    ),
+                });
+            }
+            Tok::Ident(name)
+                if (name == "unwrap" && on("no_unwrap") || name == "expect" && on("no_expect"))
+                    && punct_at(toks, i.wrapping_sub(1)) == Some('.')
+                    && punct_at(toks, i + 1) == Some('(') =>
+            {
+                let rule = if name == "unwrap" {
+                    "no_unwrap"
+                } else {
+                    "no_expect"
+                };
+                out.push(Finding {
+                    rule: rule.to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        ".{name}() in library code: propagate the error or waive with the \
+                         reason it cannot fail"
+                    ),
+                });
+            }
+            Tok::Punct('[') if on("no_slice_index") && is_index_open(toks, i) => {
+                out.push(Finding {
+                    rule: "no_slice_index".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: "slice/array indexing panics out of bounds; use .get() or waive \
+                              with the bound that holds"
+                        .to_owned(),
+                });
+            }
+            _ => {}
+        }
+    }
+    for f in out {
+        emit(findings, &mut file.waivers, &mut waived, f);
+    }
+    waived
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Any float literal or `f32`/`f64` ident between `start` and the next
+/// top-level `;`?
+fn float_before_semicolon(toks: &[Token], start: usize) -> bool {
+    for t in toks.iter().skip(start) {
+        match &t.tok {
+            Tok::Punct(';') => return false,
+            Tok::Num { float: true } => return true,
+            Tok::Ident(s) if s == "f32" || s == "f64" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Is the `[` at `i` an index expression (`expr[..]`) rather than an
+/// array literal/type, attribute, or macro delimiter?
+fn is_index_open(toks: &[Token], i: usize) -> bool {
+    let indexable = match i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.tok) {
+        // `mut`/`dyn` before `[` is a type position (`&mut [T]`), not an
+        // expression — neither keyword can name an indexable value.
+        Some(Tok::Ident(s)) => s != "mut" && s != "dyn",
+        Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+        _ => false,
+    };
+    if !indexable {
+        return false;
+    }
+    // `vec![..]`-style macros: ident, `!`, `[` — the prior token would be
+    // `!`, so `indexable` is already false; nothing more to do for macros.
+    // Full-range slices `x[..]` cannot panic: skip when the index is
+    // exactly `..`.
+    if punct_at(toks, i + 1) == Some('.')
+        && punct_at(toks, i + 2) == Some('.')
+        && punct_at(toks, i + 3) == Some(']')
+    {
+        return false;
+    }
+    true
+}
+
+/// A `pub const NAME: &str = "value";` entry of the probe-name registry.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// Constant identifier (`TLB_HIT`).
+    pub ident: String,
+    /// Series name (`"tlb_hit"`).
+    pub value: String,
+    /// Line of the declaration.
+    pub line: u32,
+}
+
+/// Extracts registry entries from the lexed registry file.
+pub fn parse_registry(lexed: &Lexed) -> Vec<RegistryEntry> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        // gps-lint: allow(no_slice_index) -- i ranges over 0..toks.len()
+        if toks[i].in_test {
+            continue;
+        }
+        // const IDENT : & str = "value" ;
+        if ident_at(toks, i) == Some("const") {
+            let (Some(name), Some(value)) = (ident_at(toks, i + 1), toks.get(i + 6)) else {
+                continue;
+            };
+            let shape_ok = punct_at(toks, i + 2) == Some(':')
+                && punct_at(toks, i + 3) == Some('&')
+                && ident_at(toks, i + 4) == Some("str")
+                && punct_at(toks, i + 5) == Some('=');
+            if let (true, Tok::Str(v)) = (shape_ok, &value.tok) {
+                out.push(RegistryEntry {
+                    ident: name.to_owned(),
+                    value: v.clone(),
+                    // gps-lint: allow(no_slice_index) -- i ranges over 0..toks.len()
+                    line: toks[i].line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A probe emission/read site's name argument.
+#[derive(Debug)]
+pub struct ProbeSite {
+    /// File the site lives in.
+    pub file: String,
+    /// Crate the site lives in.
+    pub crate_name: String,
+    /// Line of the name argument.
+    pub line: u32,
+    /// Literal series name, if the argument is (or contains) a string.
+    pub literal: Option<String>,
+    /// Identifiers appearing in the argument (`names`, `TLB_HIT`, …).
+    pub idents: Vec<String>,
+}
+
+/// Collects the name argument of every `.counter(` / `.gauge(` /
+/// `.instant(` call in non-test code.
+pub fn collect_probe_sites(file: &SourceFile, out: &mut Vec<ProbeSite>) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        // gps-lint: allow(no_slice_index) -- i ranges over 0..toks.len()
+        if toks[i].in_test {
+            continue;
+        }
+        let is_call = matches!(
+            ident_at(toks, i),
+            Some("counter") | Some("gauge") | Some("instant")
+        ) && punct_at(toks, i.wrapping_sub(1)) == Some('.')
+            && punct_at(toks, i + 1) == Some('(');
+        if !is_call {
+            continue;
+        }
+        // Walk the argument list; the name is argument index 1
+        // (`(track, name, ..)`).
+        let mut depth = 0usize;
+        let mut arg = 0usize;
+        let mut literal = None;
+        let mut idents = Vec::new();
+        // gps-lint: allow(no_slice_index) -- i ranges over 0..toks.len()
+        let mut line = toks[i].line;
+        for t in toks.iter().skip(i + 1) {
+            match &t.tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => arg += 1,
+                Tok::Str(s) if depth >= 1 && arg == 1 && literal.is_none() => {
+                    literal = Some(s.clone());
+                    line = t.line;
+                }
+                Tok::Ident(s) if depth >= 1 && arg == 1 => {
+                    idents.push(s.clone());
+                    line = t.line;
+                }
+                _ => {}
+            }
+            if arg > 1 {
+                break;
+            }
+        }
+        out.push(ProbeSite {
+            file: file.rel_path.clone(),
+            crate_name: file.crate_name.clone(),
+            line,
+            literal,
+            idents,
+        });
+    }
+}
+
+/// Cross-file probe-coverage pass: registry entries nobody emits
+/// (`probe_dead_name`, reported in the registry file) and emissions of
+/// unregistered names (`probe_unregistered_name`, reported at the site).
+pub fn run_probe_rules(
+    registry: &[RegistryEntry],
+    registry_file: &mut SourceFile,
+    sites: &[ProbeSite],
+    site_files: &mut [SourceFile],
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let mut waived = 0usize;
+    if cfg.enabled("probe_unregistered_name") {
+        for site in sites {
+            if !cfg.applies("probe_unregistered_name", &site.crate_name) {
+                continue;
+            }
+            let Some(name) = &site.literal else { continue };
+            if registry.iter().any(|e| e.value == *name) {
+                continue;
+            }
+            let finding = Finding {
+                rule: "probe_unregistered_name".to_owned(),
+                file: site.file.clone(),
+                line: site.line,
+                message: format!(
+                    "probe series {name:?} is not in the gps-obs name registry; register it \
+                     in names.rs (or emit through the registry constant)"
+                ),
+            };
+            match site_files.iter_mut().find(|f| f.rel_path == site.file) {
+                Some(f) => emit(findings, &mut f.waivers, &mut waived, finding),
+                None => findings.push(finding),
+            }
+        }
+    }
+    if cfg.enabled("probe_dead_name") {
+        for entry in registry {
+            let emitted = sites.iter().any(|s| {
+                s.literal.as_deref() == Some(entry.value.as_str())
+                    || s.idents.contains(&entry.ident)
+            });
+            if emitted {
+                continue;
+            }
+            let finding = Finding {
+                rule: "probe_dead_name".to_owned(),
+                file: registry_file.rel_path.clone(),
+                line: entry.line,
+                message: format!(
+                    "registered series {:?} ({}) is emitted by no probe site: dead telemetry",
+                    entry.value, entry.ident
+                ),
+            };
+            emit(findings, &mut registry_file.waivers, &mut waived, finding);
+        }
+    }
+    waived
+}
+
+/// Turns every unused waiver into an `unused_waiver` finding.
+pub fn report_unused_waivers(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        for w in &file.waivers {
+            if !w.used {
+                findings.push(Finding {
+                    rule: "unused_waiver".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: w.line,
+                    message: format!(
+                        "waiver for {} suppresses nothing; delete it (stale waivers hide \
+                         future violations)",
+                        w.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn file_for(src: &str, crate_name: &str) -> (SourceFile, Vec<Finding>) {
+        let mut lexed = lexer::lex(src);
+        lexer::mark_test_regions(&mut lexed.tokens);
+        let mut findings = Vec::new();
+        let waivers = collect_waivers("test.rs", &lexed, &mut findings);
+        (
+            SourceFile {
+                rel_path: "test.rs".to_owned(),
+                crate_name: crate_name.to_owned(),
+                exempt: false,
+                lexed,
+                waivers,
+            },
+            findings,
+        )
+    }
+
+    fn cfg_all() -> Config {
+        let entries = RULE_IDS
+            .iter()
+            .map(|r| (r.to_string(), vec!["*".to_owned()]))
+            .collect();
+        Config {
+            exclude: Vec::new(),
+            probe_registry: None,
+            rule_crates: entries,
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let (mut file, mut findings) = file_for(src, "any");
+        run_file_rules(&mut file, &cfg_all(), &mut findings);
+        report_unused_waivers(&[file], &mut findings);
+        findings
+    }
+
+    #[test]
+    fn hash_collections_and_wall_clock_flagged() {
+        let f = run("use std::collections::HashMap;\nlet t = Instant::now();\nlet id = thread::current().id();\n");
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec!["no_hash_collections", "no_wall_clock", "no_wall_clock"]
+        );
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn trailing_and_standalone_waivers_suppress_and_unused_errors() {
+        let src = "\
+let a = x.unwrap(); // gps-lint: allow(no_unwrap) -- checked above
+// gps-lint: allow(no_expect) -- infallible by construction
+let b = y.expect(\"m\");
+// gps-lint: allow(no_unwrap) -- stale
+let c = 1;
+";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused_waiver");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn malformed_waivers_are_bad_waiver_findings() {
+        let cases = [
+            "// gps-lint: allow(no_unwrap)\nlet a = 1;", // no reason
+            "// gps-lint: allow(no_unwrap) -- \nlet a = 1;", // empty reason
+            "// gps-lint: allow(bogus_rule) -- why\nlet a = 1;",
+            "// gps-lint: disallow(no_unwrap) -- why\nlet a = 1;",
+        ];
+        for src in cases {
+            let f = run(src);
+            assert_eq!(
+                f.first().map(|f| f.rule.as_str()),
+                Some("bad_waiver"),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f =
+            run("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); let m = HashMap::new(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn slice_index_heuristics() {
+        let f = run("let a = xs[i];\nlet b = &xs[..];\nlet c = vec![1];\n#[derive(Debug)]\nlet d: [u8; 4] = [0; 4];\nlet e = f(x)[0];\n");
+        let lines: Vec<u32> = f.iter().map(|f| f.line).collect();
+        assert_eq!(
+            f.iter().map(|f| f.rule.as_str()).collect::<Vec<_>>(),
+            vec!["no_slice_index", "no_slice_index"],
+            "{f:?}"
+        );
+        assert_eq!(lines, vec![1, 6]);
+    }
+
+    #[test]
+    fn float_cycle_accumulation_flagged_integer_ok() {
+        let f = run("total_cycles += busy as f64;\nself.cycles += 1;\nlatency_cycles += 0.5;\n");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "float_cycle_arith"));
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn probe_rules_cross_check_registry_and_sites() {
+        let reg_src =
+            "pub const TLB_HIT: &str = \"tlb_hit\";\npub const DEAD: &str = \"dead_series\";\n";
+        let (mut reg_file, mut findings) = file_for(reg_src, "obs");
+        let registry = parse_registry(&reg_file.lexed);
+        assert_eq!(registry.len(), 2);
+
+        let site_src = "\
+probe.counter(track, names::TLB_HIT, now, 1.0);
+probe.counter(track, \"rogue_series\", now, 1.0);
+";
+        let (mut site_file, _) = file_for(site_src, "sim");
+        let mut sites = Vec::new();
+        collect_probe_sites(&site_file, &mut sites);
+        assert_eq!(sites.len(), 2);
+
+        let files = std::slice::from_mut(&mut site_file);
+        run_probe_rules(
+            &registry,
+            &mut reg_file,
+            &sites,
+            files,
+            &cfg_all(),
+            &mut findings,
+        );
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["probe_unregistered_name", "probe_dead_name"]);
+        assert_eq!(findings[0].line, 2, "site line");
+        assert_eq!(findings[1].line, 2, "registry line of DEAD");
+    }
+}

@@ -1,0 +1,161 @@
+//! Pins the analyzer against the committed fixture corpus: every deliberate
+//! violation must surface with exactly the right rule id on exactly the
+//! right line, waivers must suppress (and stale ones must report), and
+//! nothing else may fire.
+//!
+//! Fixtures are plain `.rs` files under `tests/fixtures/` (never compiled);
+//! the test copies them into a throwaway workspace shaped like the real
+//! one, so crate scoping and the probe registry path behave as in
+//! production.
+
+use std::path::{Path, PathBuf};
+
+use gps_lint::{lint_workspace, Config};
+
+/// `(fixture file, destination inside the fake workspace)`.
+const LAYOUT: &[(&str, &str)] = &[
+    ("determinism.rs", "crates/sim/src/determinism.rs"),
+    ("sites.rs", "crates/sim/src/sites.rs"),
+    ("hygiene.rs", "crates/harness/src/hygiene.rs"),
+    ("waivers.rs", "crates/harness/src/waivers.rs"),
+    ("names.rs", "crates/obs/src/names.rs"),
+];
+
+const CONFIG: &str = r#"
+[lint]
+probe_registry = "crates/obs/src/names.rs"
+
+[rule.no_hash_collections]
+crates = ["sim"]
+[rule.no_wall_clock]
+crates = ["sim"]
+[rule.float_cycle_arith]
+crates = ["sim"]
+[rule.no_unwrap]
+crates = ["harness"]
+[rule.no_expect]
+crates = ["harness"]
+[rule.no_slice_index]
+crates = ["harness"]
+[rule.probe_dead_name]
+crates = ["obs"]
+[rule.probe_unregistered_name]
+crates = ["*"]
+"#;
+
+/// Every finding the corpus must produce, in the analyzer's reporting
+/// order: sorted by (file, line, rule).
+const EXPECTED: &[(&str, u32, &str)] = &[
+    ("crates/harness/src/hygiene.rs", 2, "no_unwrap"),
+    ("crates/harness/src/hygiene.rs", 3, "no_expect"),
+    ("crates/harness/src/hygiene.rs", 4, "no_slice_index"),
+    ("crates/harness/src/waivers.rs", 1, "unused_waiver"),
+    ("crates/harness/src/waivers.rs", 6, "bad_waiver"),
+    ("crates/harness/src/waivers.rs", 7, "bad_waiver"),
+    ("crates/obs/src/names.rs", 2, "probe_dead_name"),
+    ("crates/sim/src/determinism.rs", 1, "no_hash_collections"),
+    ("crates/sim/src/determinism.rs", 2, "no_hash_collections"),
+    ("crates/sim/src/determinism.rs", 3, "no_wall_clock"),
+    ("crates/sim/src/determinism.rs", 4, "no_wall_clock"),
+    ("crates/sim/src/determinism.rs", 7, "no_wall_clock"),
+    ("crates/sim/src/determinism.rs", 8, "no_wall_clock"),
+    ("crates/sim/src/determinism.rs", 9, "no_wall_clock"),
+    ("crates/sim/src/determinism.rs", 14, "float_cycle_arith"),
+    ("crates/sim/src/sites.rs", 3, "probe_unregistered_name"),
+];
+
+struct FakeWorkspace {
+    root: PathBuf,
+}
+
+impl FakeWorkspace {
+    fn build(tag: &str) -> Self {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+        let root =
+            std::env::temp_dir().join(format!("gps-lint-fixture-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        for (src, dst) in LAYOUT {
+            let to = root.join(dst);
+            std::fs::create_dir_all(to.parent().expect("fixture dst has a parent"))
+                .expect("create fixture dir");
+            std::fs::copy(fixtures.join(src), &to).expect("copy fixture");
+        }
+        FakeWorkspace { root }
+    }
+}
+
+impl Drop for FakeWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn corpus_findings_are_exact() {
+    let ws = FakeWorkspace::build("exact");
+    let cfg = Config::parse(CONFIG).expect("fixture config parses");
+    let report = lint_workspace(&ws.root, &cfg).expect("lint runs");
+
+    let got: Vec<(String, u32, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    let want: Vec<(String, u32, String)> = EXPECTED
+        .iter()
+        .map(|(f, l, r)| ((*f).to_owned(), *l, (*r).to_owned()))
+        .collect();
+    assert_eq!(
+        got, want,
+        "fixture corpus drifted from the analyzer's behaviour"
+    );
+    assert_eq!(report.files_scanned, LAYOUT.len());
+    // hygiene.rs carries one honoured standalone waiver and one honoured
+    // trailing waiver; nothing else in the corpus suppresses.
+    assert_eq!(report.waived, 2, "expected exactly the two hygiene waivers");
+}
+
+#[test]
+fn corpus_is_dirty_and_json_reports_it() {
+    let ws = FakeWorkspace::build("json");
+    let cfg = Config::parse(CONFIG).expect("fixture config parses");
+    let report = lint_workspace(&ws.root, &cfg).expect("lint runs");
+
+    assert!(!report.clean());
+    let json = report.to_json();
+    assert!(json.contains("\"version\":1"));
+    assert!(json.contains("\"rule\":\"probe_unregistered_name\""));
+    assert!(json.contains("\"file\":\"crates/sim/src/sites.rs\""));
+    // Text output carries file:line coordinates for every finding.
+    let text = report.to_text();
+    for (file, line, rule) in EXPECTED {
+        assert!(
+            text.contains(&format!("{file}:{line}: [{rule}]")),
+            "text report is missing {file}:{line} [{rule}]"
+        );
+    }
+}
+
+#[test]
+fn scoping_silences_out_of_scope_crates() {
+    let ws = FakeWorkspace::build("scope");
+    // Same corpus, but every rule scoped to a crate that doesn't exist:
+    // nothing may fire except the waiver meta-rules, which are never
+    // scoped (a stale or malformed waiver is wrong wherever it lives).
+    let cfg = Config::parse(
+        r#"
+[lint]
+[rule.no_unwrap]
+crates = ["nonexistent"]
+"#,
+    )
+    .expect("config parses");
+    let report = lint_workspace(&ws.root, &cfg).expect("lint runs");
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(
+        rules
+            .iter()
+            .all(|r| *r == "bad_waiver" || *r == "unused_waiver"),
+        "out-of-scope rules fired: {rules:?}"
+    );
+}

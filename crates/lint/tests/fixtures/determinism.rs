@@ -1,0 +1,26 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn wall() -> u128 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    let _tid = std::thread::current().id();
+    t.elapsed().as_nanos()
+}
+
+pub fn cycles(mut cycle_count: f64) -> f64 {
+    cycle_count += 0.5;
+    cycle_count
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_is_fine_in_tests() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,15 @@
+pub fn risky(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap();
+    let b: u32 = xs.get(1).copied().expect("second element");
+    let c = xs[2];
+    let _all = &xs[..];
+    let _v = vec![1, 2, 3];
+    a + b + c
+}
+
+pub fn covered(xs: &[u32]) -> u32 {
+    // gps-lint: allow(no_unwrap) -- fixture: standalone waiver covers the next line
+    let a = xs.first().unwrap();
+    let b = xs[0]; // gps-lint: allow(no_slice_index) -- fixture: trailing waiver covers its own line
+    a + b
+}

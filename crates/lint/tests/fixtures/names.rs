@@ -1,0 +1,2 @@
+pub const TLB_HIT: &str = "tlb_hit";
+pub const DEAD_SERIES: &str = "dead_series";

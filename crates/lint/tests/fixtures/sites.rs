@@ -1,0 +1,4 @@
+pub fn emit(p: &ProbeHandle, now: Cycle) {
+    p.counter(Track::Gpu(0), names::TLB_HIT, now, 1.0);
+    p.instant(Track::Gpu(0), "rogue_series", now);
+}

@@ -1,0 +1,10 @@
+// gps-lint: allow(no_unwrap) -- fixture: suppresses nothing on the next line
+pub fn clean() -> u32 {
+    7
+}
+
+// gps-lint: allow(bogus_rule) -- fixture: unknown rule id
+// gps-lint: allow(no_expect) fixture: missing the separator
+pub fn also_clean() -> u32 {
+    8
+}

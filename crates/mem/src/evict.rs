@@ -19,7 +19,7 @@
 //! page-table/TLB invalidation ordering and calls [`ResidentSet::remove`]
 //! through its normal unsubscribe path.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::str::FromStr;
 
@@ -79,7 +79,7 @@ impl FromStr for VictimPolicy {
 #[derive(Debug, Clone)]
 pub struct ResidentSet {
     order: VecDeque<Vpn>,
-    members: HashSet<Vpn>,
+    members: BTreeSet<Vpn>,
     rng: SmallRng,
 }
 
@@ -89,7 +89,7 @@ impl ResidentSet {
     pub fn new(seed: u64) -> Self {
         ResidentSet {
             order: VecDeque::new(),
-            members: HashSet::new(),
+            members: BTreeSet::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }

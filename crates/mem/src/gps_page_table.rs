@@ -1,6 +1,6 @@
 //! The secondary GPS page table with wide, multi-subscriber leaf entries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gps_types::{GpsError, GpuId, Ppn, Result, Vpn};
 
@@ -101,7 +101,7 @@ impl GpsPte {
 /// coalesced GPS stores drain toward the interconnect (§5.2).
 #[derive(Debug, Clone, Default)]
 pub struct GpsPageTable {
-    entries: HashMap<Vpn, GpsPte>,
+    entries: BTreeMap<Vpn, GpsPte>,
 }
 
 impl GpsPageTable {

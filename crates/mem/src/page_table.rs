@@ -1,6 +1,6 @@
 //! The conventional per-GPU page table, extended with the GPS bit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gps_types::{GpsError, GpuId, PageSize, Ppn, Result, Vpn};
 
@@ -67,7 +67,7 @@ impl Pte {
 pub struct PageTable {
     gpu: GpuId,
     page_size: PageSize,
-    entries: HashMap<Vpn, Pte>,
+    entries: BTreeMap<Vpn, Pte>,
 }
 
 impl PageTable {
@@ -76,7 +76,7 @@ impl PageTable {
         Self {
             gpu,
             page_size,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Page residency and read-duplication state for the Unified Memory
 //! baselines.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gps_types::{GpuId, Vpn};
 
@@ -71,7 +71,7 @@ pub enum CollapseOutcome {
 /// touches the page").
 #[derive(Debug, Clone, Default)]
 pub struct ResidencyMap {
-    pages: HashMap<Vpn, ResidencyState>,
+    pages: BTreeMap<Vpn, ResidencyState>,
 }
 
 impl ResidencyMap {

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod names;
 pub mod probe;
 pub mod recorder;
 pub mod ring;

@@ -1,0 +1,93 @@
+//! The registry of every counter, gauge and instant series name.
+//!
+//! Probe sites must name their series through these constants (or, at
+//! minimum, with a string that matches one of them): `gps-lint`'s probe
+//! coverage rules cross-check this registry against the instrumented
+//! crates in both directions. A constant that no probe site emits is dead
+//! telemetry (`probe_dead_name`); an emission whose name is not registered
+//! here is invisible to readers scanning the catalog
+//! (`probe_unregistered_name`). Span *names* are free-form (kernels and
+//! phases are labelled dynamically) and are not registered.
+//!
+//! Keep the constant's value equal to the snake_case series name users see
+//! in `gps-run timeline` output and Chrome traces.
+
+/// Instant marked at every inter-phase barrier (system track).
+pub const BARRIER: &str = "barrier";
+
+/// Last-level TLB lookups that hit (per-GPU counter).
+pub const TLB_HIT: &str = "tlb_hit";
+
+/// Last-level TLB lookups that missed and walked (per-GPU counter).
+pub const TLB_MISS: &str = "tlb_miss";
+
+/// Bytes read from a GPU's local DRAM (per-GPU counter).
+pub const DRAM_READ_BYTES: &str = "dram_read_bytes";
+
+/// Bytes written to a GPU's local DRAM (per-GPU counter).
+pub const DRAM_WRITE_BYTES: &str = "dram_write_bytes";
+
+/// Bytes leaving a GPU over the inter-GPU fabric (per-GPU counter).
+pub const LINK_EGRESS_BYTES: &str = "link_egress_bytes";
+
+/// Bytes arriving at a GPU over the inter-GPU fabric (per-GPU counter).
+pub const LINK_INGRESS_BYTES: &str = "link_ingress_bytes";
+
+/// Stores presented to a GPU's remote-write queue (per-GPU counter).
+pub const RWQ_STORES: &str = "rwq_stores";
+
+/// Stores coalesced into an existing queue line (per-GPU counter).
+pub const RWQ_COALESCED: &str = "rwq_coalesced";
+
+/// Remote-write-queue occupancy after an enqueue (per-GPU gauge).
+pub const RWQ_OCCUPANCY: &str = "rwq_occupancy";
+
+/// Replicas swapped out at subscription time under memory pressure
+/// (per-GPU counter).
+pub const EVICTIONS: &str = "evictions";
+
+/// Previously evicted pages faulted back in (per-GPU counter).
+pub const REFAULTS: &str = "refaults";
+
+/// GPS ATU lookups that missed the local TLB (per-GPU counter).
+pub const ATU_TLB_MISS: &str = "atu_tlb_miss";
+
+/// Instant marked when subscription tracking stops (system track).
+pub const TRACKING_STOP: &str = "tracking_stop";
+
+/// Every registered series name, for exhaustive iteration (exports,
+/// documentation, the lint self-test).
+pub const ALL: &[&str] = &[
+    BARRIER,
+    TLB_HIT,
+    TLB_MISS,
+    DRAM_READ_BYTES,
+    DRAM_WRITE_BYTES,
+    LINK_EGRESS_BYTES,
+    LINK_INGRESS_BYTES,
+    RWQ_STORES,
+    RWQ_COALESCED,
+    RWQ_OCCUPANCY,
+    EVICTIONS,
+    REFAULTS,
+    ATU_TLB_MISS,
+    TRACKING_STOP,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_duplicate_free_and_snake_case() {
+        for (i, a) in ALL.iter().enumerate() {
+            assert!(
+                a.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{a}: series names are snake_case"
+            );
+            for b in &ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate registered name");
+            }
+        }
+    }
+}

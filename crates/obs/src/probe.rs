@@ -115,6 +115,7 @@ impl ProbeHandle {
     pub fn counter(&self, track: Track, name: &'static str, now: Cycle, delta: f64) {
         if let Some(r) = &self.0 {
             r.lock()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
                 .expect("recorder lock")
                 .counter(track, name, now, delta);
         }
@@ -125,6 +126,7 @@ impl ProbeHandle {
     pub fn gauge(&self, track: Track, name: &'static str, now: Cycle, value: f64) {
         if let Some(r) = &self.0 {
             r.lock()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
                 .expect("recorder lock")
                 .gauge(track, name, now, value);
         }
@@ -135,6 +137,7 @@ impl ProbeHandle {
     pub fn span(&self, track: Track, name: &str, cat: &'static str, start: Cycle, end: Cycle) {
         if let Some(r) = &self.0 {
             r.lock()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
                 .expect("recorder lock")
                 .span(track, name, cat, start, end);
         }
@@ -144,6 +147,7 @@ impl ProbeHandle {
     #[inline]
     pub fn instant(&self, track: Track, name: &'static str, now: Cycle) {
         if let Some(r) = &self.0 {
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
             r.lock().expect("recorder lock").instant(track, name, now);
         }
     }
@@ -152,6 +156,7 @@ impl ProbeHandle {
     /// Returns `None` for a disabled handle.
     pub fn finish(&self) -> Option<Telemetry> {
         self.0.as_ref().map(|r| {
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
             let mut guard = r.lock().expect("recorder lock");
             guard.take().finish()
         })

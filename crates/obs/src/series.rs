@@ -60,6 +60,7 @@ impl TimeSeries {
     /// Adds `delta` to the bucket containing `now` (counter mode).
     pub fn add(&mut self, now: Cycle, delta: f64) {
         let idx = self.index(now);
+        // gps-lint: allow(no_slice_index) -- index() just resized buckets to cover idx
         self.buckets[idx] += delta;
         self.total += delta;
         self.samples += 1;
@@ -69,6 +70,7 @@ impl TimeSeries {
     /// last sample per bucket wins).
     pub fn sample(&mut self, now: Cycle, value: f64) {
         let idx = self.index(now);
+        // gps-lint: allow(no_slice_index) -- index() just resized buckets to cover idx
         self.buckets[idx] = value;
         self.samples += 1;
     }
@@ -94,6 +96,7 @@ impl TimeSeries {
     ///
     /// Panics if `idx` is out of range.
     pub fn bucket(&self, idx: usize) -> f64 {
+        // gps-lint: allow(no_slice_index) -- documented panic contract: caller promises idx < len()
         self.buckets[idx]
     }
 

@@ -1,9 +1,9 @@
 //! The GPS paradigm: wiring [`GpsSystem`] into the simulator.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use gps_core::{GpsConfig, GpsLoad, GpsStore, GpsSystem};
-use gps_obs::{ProbeHandle, Track};
+use gps_obs::{names, ProbeHandle, Track};
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SimConfig, StoreRoute, Workload};
 use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
 
@@ -32,8 +32,8 @@ pub struct GpsPolicy {
     phases_per_iter: usize,
     profiled: bool,
     pruned: usize,
-    evicted: HashSet<(GpuId, Vpn)>,
-    faulted_this_iter: HashSet<(GpuId, Vpn)>,
+    evicted: BTreeSet<(GpuId, Vpn)>,
+    faulted_this_iter: BTreeSet<(GpuId, Vpn)>,
     fault_queue: Vec<Cycle>,
     evicted_replicas: u64,
     skipped_subs: u64,
@@ -59,8 +59,8 @@ impl GpsPolicy {
             phases_per_iter: 1,
             profiled: false,
             pruned: 0,
-            evicted: HashSet::new(),
-            faulted_this_iter: HashSet::new(),
+            evicted: BTreeSet::new(),
+            faulted_this_iter: BTreeSet::new(),
             fault_queue: Vec::new(),
             evicted_replicas: 0,
             skipped_subs: 0,
@@ -115,15 +115,15 @@ impl GpsPolicy {
         }
         let track = Track::gpu(gpu.index());
         self.probe
-            .counter(track, "rwq_stores", now, presented as f64);
+            .counter(track, names::RWQ_STORES, now, presented as f64);
         self.probe.counter(
             track,
-            "rwq_coalesced",
+            names::RWQ_COALESCED,
             now,
             (after.hits - before.hits) as f64,
         );
         self.probe
-            .gauge(track, "rwq_occupancy", now, sys.rwq_len(gpu) as f64);
+            .gauge(track, names::RWQ_OCCUPANCY, now, sys.rwq_len(gpu) as f64);
     }
 }
 
@@ -202,7 +202,7 @@ impl MemoryPolicy for GpsPolicy {
             for (g, &n) in sys.runtime().evictions().iter().enumerate() {
                 if n > 0 {
                     self.probe
-                        .counter(Track::gpu(g), "evictions", Cycle::ZERO, n as f64);
+                        .counter(Track::gpu(g), names::EVICTIONS, Cycle::ZERO, n as f64);
                 }
             }
         }
@@ -242,7 +242,7 @@ impl MemoryPolicy for GpsPolicy {
                 {
                     self.refaults += 1;
                     self.probe
-                        .counter(Track::gpu(gpu.index()), "refaults", ctx.now, 1.0);
+                        .counter(Track::gpu(gpu.index()), names::REFAULTS, ctx.now, 1.0);
                     let start = self.fault_queue[gpu.index()].max(ctx.now);
                     let handled = start + FaultCosts::volta().fault_overhead;
                     let swapped_in = match self.sys_mut().fault_in(gpu, vpn) {
@@ -319,7 +319,7 @@ impl MemoryPolicy for GpsPolicy {
 
     fn on_tlb_miss(&mut self, gpu: GpuId, vpn: Vpn, ctx: &mut MemCtx<'_>) {
         self.probe
-            .counter(Track::gpu(gpu.index()), "atu_tlb_miss", ctx.now, 1.0);
+            .counter(Track::gpu(gpu.index()), names::ATU_TLB_MISS, ctx.now, 1.0);
         self.sys_mut().tlb_miss(gpu, vpn);
     }
 
@@ -370,7 +370,8 @@ impl MemoryPolicy for GpsPolicy {
             // cuGPSTrackingStop at the end of iteration 0 (Listing 1).
             self.pruned = self.sys_mut().tracking_stop().expect("tracking active");
             self.profiled = true;
-            self.probe.instant(Track::SYSTEM, "tracking_stop", ctx.now);
+            self.probe
+                .instant(Track::SYSTEM, names::TRACKING_STOP, ctx.now);
         }
         if self.pressure && (phase_idx + 1).is_multiple_of(self.phases_per_iter) {
             // Pages displaced after their fault become eligible to fault
@@ -401,7 +402,7 @@ impl MemoryPolicy for GpsPolicy {
         // metrics above keep their indices; all zero unless pressure is on.
         m.push(("evicted_replicas".to_owned(), self.evicted_replicas as f64));
         m.push(("skipped_subscriptions".to_owned(), self.skipped_subs as f64));
-        m.push(("refaults".to_owned(), self.refaults as f64));
+        m.push((names::REFAULTS.to_owned(), self.refaults as f64));
         m
     }
 }
@@ -556,7 +557,7 @@ mod tests {
             plain.system().unwrap().subscriber_histogram()
         );
         let m = p.metrics();
-        for name in ["evicted_replicas", "skipped_subscriptions", "refaults"] {
+        for name in ["evicted_replicas", "skipped_subscriptions", names::REFAULTS] {
             let v = m.iter().find(|(k, _)| k == name).unwrap().1;
             assert_eq!(v, 0.0, "{name} must stay zero without pressure");
         }
@@ -634,7 +635,14 @@ mod tests {
             swapped_in,
             "at least one refault must swap its page back in"
         );
-        assert!(p.metrics().iter().find(|(k, _)| k == "refaults").unwrap().1 >= 1.0);
+        assert!(
+            p.metrics()
+                .iter()
+                .find(|(k, _)| k == names::REFAULTS)
+                .unwrap()
+                .1
+                >= 1.0
+        );
         // Every page still has at least one replica somewhere.
         assert_eq!(p.system().unwrap().subscriber_histogram()[0], 0);
     }

@@ -1,6 +1,6 @@
 //! Bulk-synchronous replication via `cudaMemcpy` at barriers (§6).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload};
 use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
@@ -33,11 +33,11 @@ pub struct MemcpyPolicy {
     gpu_count: usize,
     phases_per_iter: usize,
     /// Pages dirtied this phase, with their (last) writer.
-    dirty: HashMap<Vpn, GpuId>,
+    dirty: BTreeMap<Vpn, GpuId>,
     /// Last writer of each page across the run.
-    last_writer: HashMap<Vpn, GpuId>,
+    last_writer: BTreeMap<Vpn, GpuId>,
     /// Pages ever read by a GPU other than their writer.
-    shared_pages: HashSet<Vpn>,
+    shared_pages: BTreeSet<Vpn>,
     broadcast_bytes: u64,
     broadcast_pages: u64,
 }
@@ -99,12 +99,10 @@ impl MemoryPolicy for MemcpyPolicy {
         // pages to every peer; the barrier releases when the last transfer
         // lands. The first iteration broadcasts everything dirty.
         let first_iteration = phase_idx < self.phases_per_iter;
-        let mut plan: Vec<(Vpn, GpuId)> = self
-            .dirty
-            .drain()
+        let plan: Vec<(Vpn, GpuId)> = std::mem::take(&mut self.dirty)
+            .into_iter()
             .filter(|(vpn, _)| first_iteration || self.shared_pages.contains(vpn))
             .collect();
-        plan.sort_unstable();
         let mut release = ctx.now;
         let page_bytes = ctx.page_size.bytes();
         for (_vpn, writer) in plan {

@@ -1,6 +1,6 @@
 //! Remote demand loads: the converse of GPS (§6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload};
 use gps_types::{GpuId, LineAddr, Scope, Vpn};
@@ -22,7 +22,7 @@ use gps_types::{GpuId, LineAddr, Scope, Vpn};
 #[derive(Debug, Default)]
 pub struct RdlPolicy {
     index: Option<SharedIndex>,
-    last_writer: HashMap<Vpn, GpuId>,
+    last_writer: BTreeMap<Vpn, GpuId>,
     remote_loads: u64,
     local_loads: u64,
 }

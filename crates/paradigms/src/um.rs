@@ -1,6 +1,6 @@
 //! Baseline Unified Memory: fault-based page migration (§2.1, §6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gps_mem::{CollapseOutcome, ResidencyMap};
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload};
@@ -24,7 +24,7 @@ pub struct UmPolicy {
     residency: ResidencyMap,
     index: Option<SharedIndex>,
     /// In-flight fault per page: accesses before `ready` join it.
-    inflight: HashMap<Vpn, Cycle>,
+    inflight: BTreeMap<Vpn, Cycle>,
     /// Per-GPU fault-handling serialisation point.
     fault_queue: Vec<Cycle>,
     faults: u64,
@@ -43,7 +43,7 @@ impl UmPolicy {
             costs,
             residency: ResidencyMap::new(),
             index: None,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             fault_queue: Vec::new(),
             faults: 0,
             migrated_pages: 0,

@@ -1,6 +1,6 @@
 //! Unified Memory with expert hints (§6).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload};
 use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
@@ -31,13 +31,13 @@ pub struct UmHintsPolicy {
     index: Option<SharedIndex>,
     phases_per_iter: usize,
     /// Preferred location: the page's first writer.
-    owner: HashMap<Vpn, GpuId>,
+    owner: BTreeMap<Vpn, GpuId>,
     /// Learned remote-read sets: `read_sets[class][gpu]`.
-    read_sets: Vec<Vec<HashSet<Vpn>>>,
+    read_sets: Vec<Vec<BTreeSet<Vpn>>>,
     /// Live prefetch replicas: `(gpu, vpn)` -> arrival time.
-    replicas: HashMap<(GpuId, Vpn), Cycle>,
+    replicas: BTreeMap<(GpuId, Vpn), Cycle>,
     /// Pages with at least one live replica (for O(1) write checks).
-    replicated_pages: HashMap<Vpn, u32>,
+    replicated_pages: BTreeMap<Vpn, u32>,
     current_class: usize,
     pattern_known: bool,
     prefetch_bytes: u64,
@@ -58,10 +58,10 @@ impl UmHintsPolicy {
             costs,
             index: None,
             phases_per_iter: 1,
-            owner: HashMap::new(),
+            owner: BTreeMap::new(),
             read_sets: Vec::new(),
-            replicas: HashMap::new(),
-            replicated_pages: HashMap::new(),
+            replicas: BTreeMap::new(),
+            replicated_pages: BTreeMap::new(),
             current_class: 0,
             pattern_known: false,
             prefetch_bytes: 0,
@@ -99,7 +99,7 @@ impl MemoryPolicy for UmHintsPolicy {
         self.index = Some(workload.index());
         self.phases_per_iter = workload.phases_per_iteration.max(1);
         self.read_sets = (0..self.phases_per_iter)
-            .map(|_| vec![HashSet::new(); config.gpu_count])
+            .map(|_| vec![BTreeSet::new(); config.gpu_count])
             .collect();
     }
 

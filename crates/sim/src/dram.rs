@@ -1,7 +1,7 @@
 //! Device-memory (HBM) timing model.
 
 use gps_interconnect::BandwidthResource;
-use gps_obs::{ProbeHandle, Track};
+use gps_obs::{names, ProbeHandle, Track};
 use gps_types::{Bandwidth, Cycle, Latency};
 
 /// One GPU's device memory: a bandwidth resource plus a fixed access
@@ -58,7 +58,7 @@ impl DramModel {
     pub fn read(&mut self, bytes: u64, now: Cycle) -> Cycle {
         self.read_bytes += bytes;
         self.probe
-            .counter(self.track, "dram_read_bytes", now, bytes as f64);
+            .counter(self.track, names::DRAM_READ_BYTES, now, bytes as f64);
         self.channel.book(bytes, now) + self.latency
     }
 
@@ -66,7 +66,7 @@ impl DramModel {
     pub fn write(&mut self, bytes: u64, now: Cycle) {
         self.write_bytes += bytes;
         self.probe
-            .counter(self.track, "dram_write_bytes", now, bytes as f64);
+            .counter(self.track, names::DRAM_WRITE_BYTES, now, bytes as f64);
         let _ = self.channel.book(bytes, now);
     }
 

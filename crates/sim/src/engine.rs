@@ -29,7 +29,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use gps_interconnect::{Fabric, FabricConfig, LinkGen};
 use gps_mem::{Tlb, TlbConfig};
-use gps_obs::{ProbeHandle, Track};
+use gps_obs::{names, ProbeHandle, Track};
 use gps_types::{Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES};
 
 use std::sync::Arc;
@@ -405,7 +405,7 @@ impl<'a> Engine<'a> {
                 .map(|d| d.expect("phase drained with running GPU"))
                 .max()
                 .unwrap_or(phase_start);
-            self.probe.instant(Track::SYSTEM, "barrier", barrier);
+            self.probe.instant(Track::SYSTEM, names::BARRIER, barrier);
             let release = {
                 let mut ctx = MemCtx {
                     now: barrier,
@@ -693,10 +693,10 @@ impl<'a> Engine<'a> {
     ) -> Cycle {
         let vpn = line.vpn(page_size);
         if gpus[g].tlb.lookup(vpn).is_some() {
-            probe.counter(Track::gpu(g), "tlb_hit", t, 1.0);
+            probe.counter(Track::gpu(g), names::TLB_HIT, t, 1.0);
             t
         } else {
-            probe.counter(Track::gpu(g), "tlb_miss", t, 1.0);
+            probe.counter(Track::gpu(g), names::TLB_MISS, t, 1.0);
             gpus[g].tlb.insert(vpn, ());
             let mut ctx = MemCtx {
                 now: t,

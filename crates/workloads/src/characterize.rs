@@ -7,7 +7,7 @@
 //! Table 2 communication pattern, and `figures table2` readers can inspect
 //! them to understand the generators.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gps_sim::{WarpCtx, WarpInstr, Workload};
 use gps_types::{GpuId, Vpn, CACHE_LINE_BYTES};
@@ -29,7 +29,7 @@ pub struct Characterization {
     pub private_use_pages: u64,
     /// Pages of shared allocations touched by more than one GPU, keyed by
     /// subscriber count.
-    pub shared_pages_by_degree: HashMap<usize, u64>,
+    pub shared_pages_by_degree: BTreeMap<usize, u64>,
 }
 
 impl Characterization {
@@ -87,7 +87,7 @@ impl Characterization {
 pub fn characterize(workload: &Workload) -> Characterization {
     let mut out = Characterization::default();
     let index = workload.index();
-    let mut touchers: HashMap<Vpn, HashSet<GpuId>> = HashMap::new();
+    let mut touchers: BTreeMap<Vpn, BTreeSet<GpuId>> = BTreeMap::new();
 
     let phases = workload
         .phases

@@ -1,0 +1,29 @@
+//! The repo must stay lint-clean: `gps-lint` run in-process over the real
+//! workspace, with the committed `lint.toml`, reports zero unwaivered
+//! findings. This is the same gate CI applies via `gps-run lint`; running
+//! it here means `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaivered_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = gps_lint::lint_with_config_file(root, &root.join("lint.toml"))
+        .expect("gps-lint runs over the workspace");
+    assert!(
+        report.clean(),
+        "gps-lint found unwaivered violations:\n{}",
+        report.to_text()
+    );
+    // The sweep that made the repo clean left a real corpus behind; a
+    // collapse of either number means the walker or config broke.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.waived > 0,
+        "the workspace carries waivers; zero used ones means they stopped matching"
+    );
+}
