@@ -3,8 +3,8 @@
 //! Usage: `figures <id> [scale]` where `<id>` is one of `table1`, `table2`,
 //! `fig1`, `fig3`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `tlb`, `pagesize`, or `all`; extensions/ablations beyond the
-//! paper: `watermark`, `profiling`, `nvlink`, `scaling`, `oversub`, or
-//! `extras` for all of them. `[scale]` is `tiny`, `small` or `paper`
+//! paper: `watermark`, `profiling`, `nvlink`, `scaling`, `oversub`,
+//! `serve`, or `extras` for all of them. `[scale]` is `tiny`, `small` or `paper`
 //! (default `paper`).
 //! With `--store <path>` the default-machine figures run through the
 //! `gps-harness` result store: completed runs (from earlier figure
@@ -23,7 +23,7 @@ Regenerates the tables and figures of the GPS paper (MICRO 2021).
   <id>     table1 table2 fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
            tlb pagesize all
            ablations/extensions: watermark profiling nvlink scaling topology
-           oversub extras
+           oversub serve extras
   [scale]  tiny | small | paper (default: paper)
   --csv    emit CSV instead of an aligned text table (figures only)
   --store <path>
@@ -89,6 +89,7 @@ fn main() {
         "scaling" => emit(figures::scaling_curve(&ctx, scale), csv),
         "topology" => emit(figures::topology_comparison(scale), csv),
         "oversub" => emit(figures::oversubscription_sweep(&ctx, scale), csv),
+        "serve" => emit(figures::serve_sweep(scale), csv),
         "extras" => {
             for f in [
                 figures::watermark_sensitivity(scale),
@@ -97,6 +98,7 @@ fn main() {
                 figures::scaling_curve(&ctx, scale),
                 figures::topology_comparison(scale),
                 figures::oversubscription_sweep(&ctx, scale),
+                figures::serve_sweep(scale),
             ] {
                 println!("{}", f.render());
             }

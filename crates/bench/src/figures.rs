@@ -916,6 +916,58 @@ pub fn oversubscription_sweep(ctx: &FigureCtx, scale: ScaleProfile) -> Figure {
     }
 }
 
+/// Extension: multi-tenant serving capacity sweep. An open arrival
+/// process offers a jacobi+pagerank mix at increasing rates against one
+/// shared machine (two tenant slots); columns track how achieved QPS
+/// saturates and tail latency inflates as the offered load crosses the
+/// machine's capacity. Always runs in memory: serving runs are keyed by
+/// [`gps_harness::serve_key`], not the sweep run-key space.
+pub fn serve_sweep(scale: ScaleProfile) -> Figure {
+    use gps_serve::{serve, ArrivalModel, ServeConfig};
+    use gps_types::CYCLES_PER_SECOND;
+    let rates = [500.0f64, 1000.0, 2000.0, 4000.0, 8000.0];
+    let jobs: Vec<_> = rates
+        .iter()
+        .map(|&rate| {
+            move || {
+                let mean = (CYCLES_PER_SECOND as f64 / rate).round();
+                let cfg = ServeConfig {
+                    scale,
+                    jobs: 32,
+                    arrival: ArrivalModel::Open {
+                        mean_interarrival: (mean as u64).max(1),
+                    },
+                    ..ServeConfig::default()
+                };
+                let r = serve(&cfg).expect("default mix serves");
+                vec![
+                    r.qps(),
+                    r.p50() as f64 / 1e6,
+                    r.p99() as f64 / 1e6,
+                    r.utilization() * 100.0,
+                    r.peak_queue_depth as f64,
+                ]
+            }
+        })
+        .collect();
+    let results = parallel_map(jobs);
+    Figure {
+        title: "Serving: QPS and tail latency vs offered load (jacobi+pagerank, 2 slots)".into(),
+        columns: vec![
+            "achieved QPS".into(),
+            "p50 ms".into(),
+            "p99 ms".into(),
+            "util %".into(),
+            "peak queue".into(),
+        ],
+        rows: rates
+            .iter()
+            .zip(results)
+            .map(|(rate, vals)| (format!("{rate:.0}/s offered"), vals))
+            .collect(),
+    }
+}
+
 /// §7.4: GPS performance at 4 KiB / 64 KiB / 2 MiB pages, normalised to
 /// 64 KiB (the paper: 4 KiB 42 % slower, 2 MiB 15 % slower).
 pub fn page_size_sensitivity(scale: ScaleProfile) -> Figure {

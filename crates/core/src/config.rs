@@ -69,6 +69,23 @@ impl GpsConfig {
         self
     }
 
+    /// This configuration's share when `tenants` applications split the
+    /// GPS structures: each tenant keeps `rwq_entries / tenants` RWQ
+    /// entries, floored at one (the watermark follows at capacity − 1),
+    /// and the GPS-TLB loses ways proportionally
+    /// ([`TlbConfig::with_way_share`]). A share of zero or one returns the
+    /// configuration unchanged — single tenancy is exact.
+    #[must_use]
+    pub fn for_tenant_share(self, tenants: u32) -> Self {
+        if tenants <= 1 {
+            return self;
+        }
+        let entries = (self.rwq_entries / tenants as usize).max(1);
+        let mut shared = self.with_rwq_entries(entries);
+        shared.gps_tlb = shared.gps_tlb.with_way_share(tenants);
+        shared
+    }
+
     /// Total SRAM footprint of the remote write queue in bytes.
     ///
     /// ```
@@ -130,6 +147,24 @@ mod tests {
         let c0 = GpsConfig::paper().with_rwq_entries(0);
         assert_eq!(c0.drain_watermark, 0);
         c0.validate().unwrap();
+    }
+
+    #[test]
+    fn tenant_share_divides_rwq_and_tlb_ways() {
+        let base = GpsConfig::paper();
+        assert_eq!(base.for_tenant_share(0), base);
+        assert_eq!(base.for_tenant_share(1), base);
+        let half = base.for_tenant_share(2);
+        assert_eq!(half.rwq_entries, 256);
+        assert_eq!(half.drain_watermark, 255);
+        assert_eq!(half.gps_tlb.ways, 4);
+        assert_eq!(half.gps_tlb.sets, 4);
+        half.validate().unwrap();
+        // Extreme sharing still yields a usable (1-entry, 1-way) config.
+        let sliver = base.for_tenant_share(10_000);
+        assert_eq!(sliver.rwq_entries, 1);
+        assert_eq!(sliver.gps_tlb.ways, 1);
+        sliver.validate().unwrap();
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //!   three must produce bit-identical [`SimReport`]s — the bench *fails*
 //!   if they diverge.
 //! * **synthetic cases** — a suite application run from its generator
-//!   closures at pipeline depth 0 vs. depth N, measuring what overlapped
-//!   expansion contributes when warp programs are computed, not decoded.
+//!   closures; with a non-zero `--pipeline-depth` a second leg measures
+//!   what overlapped expansion contributes when warp programs are
+//!   computed, not decoded. (The measured answer: nothing — it loses at
+//!   every scale — which is why the default depth is now 0 and the
+//!   pipelined legs are opt-in.)
 //!
 //! Results are written to `BENCH_sim.json` (wall-clock milliseconds and
 //! peak RSS per leg). The schema is versioned and checked by CI; the
@@ -41,8 +44,13 @@ use gps_workloads::{suite, ScaleProfile};
 pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Pipeline depth used for the pipelined legs when the caller does not
-/// override it (CTAs of pre-expanded warp streams buffered per kernel).
-pub const DEFAULT_BENCH_DEPTH: usize = 4;
+/// override it. `0` — no overlapped expansion — after the measured suite
+/// showed the depth-4 pipelined legs losing to plain streaming on every
+/// case (producer-thread handoff costs more than it overlaps at these
+/// trace sizes). At depth 0 the pipelined legs are dropped entirely: they
+/// would duplicate the sequential legs instruction for instruction. Pass
+/// `--pipeline-depth N` to bring them back.
+pub const DEFAULT_BENCH_DEPTH: usize = 0;
 
 /// Options for [`run_bench`].
 #[derive(Debug, Clone)]
@@ -365,31 +373,33 @@ fn trace_replay_case(
 
     // Streaming legs come first in each round: without a peak-RSS reset
     // `VmHWM` is monotone, and this order keeps the streaming numbers
-    // untainted by the materialised leg's larger footprint.
-    let legs = [
-        LegSpec {
-            mode: "streaming",
-            depth: 0,
-            // gps-lint: allow(no_expect) -- trace was recorded in-process two lines up
-            build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
-        },
-        LegSpec {
+    // untainted by the materialised leg's larger footprint. A depth-0
+    // pipelined leg would replay the exact instruction stream of the
+    // streaming leg, so it only exists when a depth was requested.
+    let mut legs = vec![LegSpec {
+        mode: "streaming",
+        depth: 0,
+        // gps-lint: allow(no_expect) -- trace was recorded in-process two lines up
+        build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
+    }];
+    if depth > 0 {
+        legs.push(LegSpec {
             mode: "streaming_pipelined",
             depth,
             // gps-lint: allow(no_expect) -- trace was recorded in-process above
             build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
-        },
-        LegSpec {
-            mode: "materialised",
-            depth: 0,
-            build: Box::new(|| {
-                trace
-                    .replay_materialised("bench")
-                    // gps-lint: allow(no_expect) -- trace was recorded in-process above
-                    .expect("recorded trace replays")
-            }),
-        },
-    ];
+        });
+    }
+    legs.push(LegSpec {
+        mode: "materialised",
+        depth: 0,
+        build: Box::new(|| {
+            trace
+                .replay_materialised("bench")
+                // gps-lint: allow(no_expect) -- trace was recorded in-process above
+                .expect("recorded trace replays")
+        }),
+    });
     let (timed, reports) = run_legs(&legs, reps);
 
     let case = BenchCase {
@@ -403,14 +413,15 @@ fn trace_replay_case(
         reports_identical: reports_identical(&reports),
     };
     if log {
+        let pipelined = case
+            .leg_wall("streaming_pipelined")
+            .map_or(String::new(), |w| format!(", pipelined {w:.1} ms"));
         println!(
-            "[bench] {name}: streaming {:.1} ms, pipelined {:.1} ms, materialised {:.1} ms \
-             (speedup {:.2}x / {:.2}x, identical: {})",
+            "[bench] {name}: streaming {:.1} ms{pipelined}, materialised {:.1} ms \
+             (speedup {:.2}x, identical: {})",
             case.leg_wall("streaming").unwrap_or(0.0),
-            case.leg_wall("streaming_pipelined").unwrap_or(0.0),
             case.leg_wall("materialised").unwrap_or(0.0),
             case.speedup_streaming().unwrap_or(0.0),
-            case.speedup_pipelined().unwrap_or(0.0),
             case.reports_identical,
         );
     }
@@ -433,18 +444,18 @@ fn synthetic_case(
         )
     })?;
     let total_warps = (entry.build)(gpus, scale).total_warps();
-    let legs = [
-        LegSpec {
-            mode: "generator",
-            depth: 0,
-            build: Box::new(move || (entry.build)(gpus, scale)),
-        },
-        LegSpec {
+    let mut legs = vec![LegSpec {
+        mode: "generator",
+        depth: 0,
+        build: Box::new(move || (entry.build)(gpus, scale)),
+    }];
+    if depth > 0 {
+        legs.push(LegSpec {
             mode: "generator_pipelined",
             depth,
             build: Box::new(move || (entry.build)(gpus, scale)),
-        },
-    ];
+        });
+    }
     let (timed, reports) = run_legs(&legs, reps);
     let case = BenchCase {
         name: name.to_owned(),
@@ -457,10 +468,12 @@ fn synthetic_case(
         reports_identical: reports_identical(&reports),
     };
     if log {
+        let pipelined = case
+            .leg_wall("generator_pipelined")
+            .map_or(String::new(), |w| format!(", pipelined {w:.1} ms"));
         println!(
-            "[bench] {name}: generator {:.1} ms, pipelined {:.1} ms (identical: {})",
+            "[bench] {name}: generator {:.1} ms{pipelined} (identical: {})",
             case.leg_wall("generator").unwrap_or(0.0),
-            case.leg_wall("generator_pipelined").unwrap_or(0.0),
             case.reports_identical,
         );
     }
@@ -484,8 +497,8 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchReport> {
 ///
 /// Same contract as [`run_bench`].
 pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<BenchReport> {
-    // Depth 0 is a legitimate request — fully sequential expansion for the
-    // "pipelined" legs — not a sentinel for the default.
+    // Depth 0 — the default — drops the pipelined legs: at depth 0 they
+    // would be byte-for-byte re-runs of the sequential legs.
     let depth = opts.pipeline_depth;
     let rss_reset_supported = try_reset_peak_rss();
 
@@ -601,9 +614,7 @@ mod tests {
         let out = dir.join("BENCH_sim.json");
         let opts = BenchOptions {
             quick: true,
-            // Depth 0 must be honoured verbatim (sequential expansion), not
-            // silently rewritten to DEFAULT_BENCH_DEPTH.
-            pipeline_depth: 0,
+            pipeline_depth: DEFAULT_BENCH_DEPTH,
             out: out.clone(),
         };
         let report = run_bench_logged(&opts, false).expect("quick bench runs");
@@ -614,8 +625,8 @@ mod tests {
                 .cases
                 .iter()
                 .flat_map(|c| &c.legs)
-                .all(|l| l.depth == 0),
-            "every leg, pipelined included, must run at the requested depth 0"
+                .all(|l| l.depth == 0 && !l.mode.ends_with("pipelined")),
+            "depth 0 must drop the pipelined legs, not duplicate the sequential ones"
         );
 
         let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).expect("valid json");
@@ -642,6 +653,17 @@ mod tests {
             .expect("a trace_replay case");
         assert!(replay.get("speedup_streaming").is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn requested_depth_restores_the_pipelined_legs() {
+        let case = trace_replay_case("t", 1, 8, 2, 1, 2, false);
+        assert!(case
+            .legs
+            .iter()
+            .any(|l| l.mode == "streaming_pipelined" && l.depth == 2));
+        assert!(case.speedup_pipelined().is_some());
+        assert!(case.reports_identical);
     }
 
     #[test]

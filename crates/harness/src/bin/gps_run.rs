@@ -3,6 +3,7 @@
 //! ```text
 //! gps-run sweep    [flags]     expand a sweep, skip completed runs, execute the rest
 //! gps-run resume   [flags]     alias of sweep that refuses --fresh (resume-only)
+//! gps-run serve    [flags]     multi-tenant serving simulation (QPS + tail latency)
 //! gps-run report   [flags]     print the result store as a table or CSV
 //! gps-run timeline <run-key>   reconstruct a run's cycle-resolved Chrome trace
 //! gps-run bench    [flags]     run the streaming-pipeline micro-suite
@@ -20,14 +21,16 @@ use gps_harness::store::{ResultStore, RunStatus};
 use gps_harness::sweep::{run_sweep, SweepOptions, SweepSpec};
 use gps_interconnect::LinkGen;
 use gps_paradigms::Paradigm;
+use gps_serve::{ArrivalModel, ServeConfig};
 use gps_sim::{MemoryPressure, VictimPolicy};
+use gps_types::CYCLES_PER_SECOND;
 use gps_workloads::{suite, ScaleProfile};
 
 const USAGE: &str = "\
 gps-run — resumable parallel sweeps over the GPS evaluation space
 
 USAGE:
-    gps-run <sweep|resume|report|timeline|bench|gc|lint|help> [flags]
+    gps-run <sweep|resume|serve|report|timeline|bench|gc|lint|help> [flags]
 
 SWEEP / RESUME FLAGS:
     --store <path>        result store (JSON lines), default results/store.jsonl
@@ -57,6 +60,25 @@ SWEEP / RESUME FLAGS:
     --victim-policy <lru|random>
                           eviction victim policy under pressure, default lru
 
+SERVE FLAGS:
+    simulates a stream of jobs from an application mix sharing one machine
+    (tenants split TLB ways, link bandwidth, RWQ entries and — under the
+    oversubscribing paradigm — frame capacity); reports sustained QPS,
+    utilization and p50/p95/p99 job latency, bit-identical per seed
+    --mix <a,b,..>        application mix (round-robin), default jacobi,pagerank
+    --paradigm <p>        memory paradigm, default gps
+    --gpus <n>            GPUs in the shared machine, default 4
+    --link <l>            interconnect generation, default pcie3
+    --scale <s>           problem scale, default tiny
+    --seed <n>            arrival-process seed, default 42
+    --mode <open|closed>  arrival model, default closed
+    --concurrency <n>     closed mode: jobs kept in flight, default = mix size
+    --arrival-rate <r>    open mode: offered jobs/second, default 200
+    --jobs <n>            total jobs to submit, default 16
+    --slots <n>           tenant slots, default = concurrency (or mix size)
+    --store <path>        result store, default results/serve.jsonl
+    --json                emit the full JSON report on stdout
+
 REPORT FLAGS:
     --store <path>        result store to read
     --csv                 emit CSV instead of an aligned table
@@ -73,8 +95,9 @@ BENCH FLAGS:
     wall-clock + peak-RSS results as JSON
     --out <path>          output file, default BENCH_sim.json
     --quick               reduced suite (small cases, 1 rep) for CI smoke
-    --pipeline-depth <n>  depth for the pipelined legs (0 = fully sequential
-                          expansion), default 4
+    --pipeline-depth <n>  depth for the pipelined legs; default 0, which
+                          drops them (measurement showed overlapped
+                          expansion losing to plain streaming everywhere)
 
 GC FLAGS:
     --store <path>        store to compact (latest record per key, sorted)
@@ -277,6 +300,111 @@ fn cmd_sweep(args: &[String], is_resume: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut store = PathBuf::from("results/serve.jsonl");
+    let mut json = false;
+    let mut mode: Option<String> = None;
+    let mut concurrency: Option<u32> = None;
+    let mut slots: Option<u32> = None;
+    let mut arrival_rate: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--mix" => config.mix = split_list(value()?).map(str::to_owned).collect(),
+            "--paradigm" => {
+                config.paradigm = value()?.parse::<Paradigm>().map_err(|e| e.to_string())?;
+            }
+            "--gpus" => config.gpus = value()?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--link" => config.link = value()?.parse::<LinkGen>().map_err(|e| e.to_string())?,
+            "--scale" => {
+                config.scale = value()?
+                    .parse::<ScaleProfile>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--mode" => mode = Some(value()?.to_owned()),
+            "--concurrency" => {
+                concurrency = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--concurrency: {e}"))?,
+                );
+            }
+            "--arrival-rate" => {
+                let rate: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--arrival-rate: {e}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--arrival-rate must be a positive jobs/second".to_owned());
+                }
+                arrival_rate = Some(rate);
+            }
+            "--jobs" => config.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--slots" => slots = Some(value()?.parse().map_err(|e| format!("--slots: {e}"))?),
+            "--store" => store = PathBuf::from(value()?),
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let default_width = config.mix.len().max(1) as u32;
+    let concurrency = concurrency.unwrap_or(default_width);
+    config.slots = slots.unwrap_or(concurrency);
+    config.arrival = match mode.as_deref().unwrap_or("closed") {
+        "closed" => {
+            if arrival_rate.is_some() {
+                return Err("--arrival-rate only applies to --mode open".to_owned());
+            }
+            ArrivalModel::Closed { concurrency }
+        }
+        "open" => {
+            let rate = arrival_rate.unwrap_or(200.0);
+            let mean = (CYCLES_PER_SECOND as f64 / rate).round();
+            ArrivalModel::Open {
+                mean_interarrival: (mean as u64).max(1),
+            }
+        }
+        other => return Err(format!("--mode must be open or closed, got {other:?}")),
+    };
+
+    let (report, record) = gps_harness::run_serve(&config, &store)?;
+    if json {
+        println!("{}", report.to_json().emit());
+    } else {
+        println!(
+            "serve {} [{}] on {}x{} {}: {} jobs over {} slots ({})",
+            report.paradigm,
+            record.app,
+            report.gpus,
+            report.scale,
+            report.link,
+            report.jobs,
+            report.slots,
+            report.mode,
+        );
+        println!(
+            "  qps {:.1}  utilization {:.1}%  makespan {:.3} ms",
+            report.qps(),
+            report.utilization() * 100.0,
+            report.makespan.as_u64() as f64 / 1e6,
+        );
+        println!(
+            "  latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  peak queue {}",
+            report.p50() as f64 / 1e6,
+            report.p95() as f64 / 1e6,
+            report.p99() as f64 / 1e6,
+            report.peak_queue_depth,
+        );
+        println!("  recorded {} -> {}", record.key, store.display());
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     use std::fmt::Write as _;
 
@@ -414,8 +542,6 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--out" => opts.out = PathBuf::from(value()?),
             "--quick" => opts.quick = true,
             "--pipeline-depth" => {
-                // 0 is a legitimate request for fully sequential expansion —
-                // honour it rather than silently substituting the default.
                 opts.pipeline_depth = value()?
                     .parse()
                     .map_err(|e| format!("--pipeline-depth: {e}"))?;
@@ -425,9 +551,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     let report = gps_harness::run_bench(&opts).map_err(|e| format!("bench failed: {e}"))?;
     for case in &report.cases {
-        if let (Some(s), Some(p)) = (case.speedup_streaming(), case.speedup_pipelined()) {
+        if let Some(s) = case.speedup_streaming() {
+            let pipelined = case
+                .speedup_pipelined()
+                .map_or(String::new(), |p| format!(", pipelined {p:.2}x"));
             println!(
-                "{:<22} streaming {s:.2}x, pipelined {p:.2}x over materialised",
+                "{:<22} streaming {s:.2}x{pipelined} over materialised",
                 case.name
             );
         }
@@ -494,6 +623,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "sweep" => cmd_sweep(rest, false),
         "resume" => cmd_sweep(rest, true),
+        "serve" => cmd_serve(rest),
         "report" => cmd_report(rest),
         "timeline" => cmd_timeline(rest),
         "bench" => cmd_bench(rest),

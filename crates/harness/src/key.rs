@@ -12,6 +12,7 @@
 //! [`RunSpec`]: crate::RunSpec
 //! [`SimConfig`]: gps_sim::SimConfig
 
+use gps_serve::ServeConfig;
 use gps_sim::SimConfig;
 
 use crate::runner::RunSpec;
@@ -21,7 +22,10 @@ use crate::runner::RunSpec;
 ///
 /// v2: `SimConfig` grew a `memory_pressure` field (its Debug rendering —
 /// and therefore every key — changed shape).
-const KEY_VERSION: u32 = 2;
+///
+/// v3: `SimConfig` grew a `tenants` field (multi-tenant serving), again
+/// changing the Debug rendering every key hashes.
+const KEY_VERSION: u32 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -57,7 +61,31 @@ fn canonical(app: &str, spec: RunSpec, config: &SimConfig) -> String {
 /// Computes the content-addressed key of one run as 32 lowercase hex
 /// digits (two independently seeded 64-bit FNV-1a lanes).
 pub fn run_key(app: &str, spec: RunSpec, config: &SimConfig) -> String {
-    let payload = canonical(app, spec, config);
+    digest(&canonical(app, spec, config))
+}
+
+/// Computes the content-addressed key of one serving run: the mix,
+/// arrival model, seed and slot count all participate, plus the Debug
+/// rendering of the base machine (before per-level tenancy is applied by
+/// the service-time oracle).
+pub fn serve_key(cfg: &ServeConfig) -> String {
+    let machine = SimConfig::gv100_system(cfg.gpus);
+    let payload = format!(
+        "v{KEY_VERSION}|serve|mix={}|paradigm={}|gpus={}|link={}|scale={}|seed={}|arrival={:?}|jobs={}|slots={}|config={machine:?}",
+        cfg.mix.join("+"),
+        cfg.paradigm.label(),
+        cfg.gpus,
+        cfg.link.label(),
+        cfg.scale.label(),
+        cfg.seed,
+        cfg.arrival,
+        cfg.jobs,
+        cfg.slots,
+    );
+    digest(&payload)
+}
+
+fn digest(payload: &str) -> String {
     let lo = fnv1a(FNV_OFFSET, payload.as_bytes());
     // Second lane: different seed, walked over the same bytes, decorrelated
     // by folding the first lane in.
@@ -149,6 +177,36 @@ mod tests {
         let base = run_key("jacobi", spec(), &config);
         config.gpu.l2_bytes *= 2;
         assert_ne!(base, run_key("jacobi", spec(), &config));
+    }
+
+    #[test]
+    fn serve_keys_hash_mix_and_arrival_params() {
+        let cfg = gps_serve::ServeConfig::default();
+        let base = serve_key(&cfg);
+        assert_eq!(base, serve_key(&cfg));
+        assert_eq!(base.len(), 32);
+
+        let mut c = gps_serve::ServeConfig::default();
+        c.seed += 1;
+        assert_ne!(base, serve_key(&c));
+
+        let c = gps_serve::ServeConfig {
+            mix: vec!["jacobi".into()],
+            ..gps_serve::ServeConfig::default()
+        };
+        assert_ne!(base, serve_key(&c));
+
+        let c = gps_serve::ServeConfig {
+            arrival: gps_serve::ArrivalModel::Open {
+                mean_interarrival: 1_000_000,
+            },
+            ..gps_serve::ServeConfig::default()
+        };
+        assert_ne!(base, serve_key(&c));
+
+        let mut c = gps_serve::ServeConfig::default();
+        c.jobs += 8;
+        assert_ne!(base, serve_key(&c));
     }
 
     #[test]

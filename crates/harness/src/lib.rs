@@ -28,6 +28,7 @@ pub mod bench;
 pub mod key;
 pub mod pool;
 pub mod runner;
+pub mod serve;
 pub mod store;
 pub mod sweep;
 pub mod telemetry;
@@ -37,13 +38,14 @@ pub mod telemetry;
 pub use bench::{run_bench, BenchCase, BenchLeg, BenchOptions, BenchReport, BENCH_SCHEMA_VERSION};
 pub use gps_types::json;
 pub use gps_types::Json;
-pub use key::{run_key, run_key_default_machine};
+pub use key::{run_key, run_key_default_machine, serve_key};
 pub use pool::{parallel_map, run_jobs, JobResult};
 pub use runner::{
     baseline, geomean, measure, measure_full, measure_pipelined, measure_probed,
     measure_with_policy, speedup, steady_cycles_per_iteration, steady_traffic_per_iteration,
     Measurement, RunSpec,
 };
+pub use serve::{run_serve, serve_record};
 pub use store::{ResultStore, RunRecord, RunStatus, STORE_VERSION};
 pub use sweep::{run_sweep, run_units, RunUnit, SweepOptions, SweepOutcome, SweepSpec};
 pub use telemetry::{

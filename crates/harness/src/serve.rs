@@ -1,0 +1,123 @@
+//! Serving runs through the harness: key, store record, execution.
+
+use std::path::Path;
+use std::time::Instant;
+
+use gps_serve::{serve, ServeConfig, ServeReport};
+use gps_sim::MemoryPressure;
+
+use crate::key::serve_key;
+use crate::store::{ResultStore, RunRecord, RunStatus};
+
+/// Maps a serving report onto the result store's record shape: the mix
+/// joins into the `app` column (`jacobi+pagerank`), `total_cycles` carries
+/// the makespan, `steady_cycles` the median job latency, and the serving
+/// rates land in `metrics`. Interconnect totals stay zero — per-job
+/// traffic is already aggregated inside the service-time oracle's runs.
+pub fn serve_record(config: &ServeConfig, report: &ServeReport, wall_ms: f64) -> RunRecord {
+    RunRecord {
+        key: serve_key(config),
+        app: config.mix.join("+"),
+        paradigm: report.paradigm.clone(),
+        gpus: config.gpus as u64,
+        link: report.link.clone(),
+        scale: report.scale.clone(),
+        pressure: MemoryPressure::NONE,
+        status: RunStatus::Ok,
+        attempts: 1,
+        wall_ms,
+        steady_cycles: report.p50() as f64,
+        total_cycles: report.makespan.as_u64(),
+        interconnect_bytes: 0,
+        interconnect_transfers: 0,
+        metrics: vec![
+            ("qps".to_owned(), report.qps()),
+            ("utilization".to_owned(), report.utilization()),
+            ("p50_cycles".to_owned(), report.p50() as f64),
+            ("p95_cycles".to_owned(), report.p95() as f64),
+            ("p99_cycles".to_owned(), report.p99() as f64),
+            ("jobs".to_owned(), report.jobs as f64),
+            ("slots".to_owned(), f64::from(report.slots)),
+            (
+                "peak_queue_depth".to_owned(),
+                report.peak_queue_depth as f64,
+            ),
+        ],
+        error: None,
+    }
+}
+
+/// Runs one serving simulation and appends its record to the store at
+/// `store_path` (creating the store and its parent directory as needed).
+///
+/// Serving runs always execute — there is no resume-skip here. The
+/// content-addressed key still matters: `gps-run report` rows from
+/// repeated identical configs dedup to the latest record, and any config
+/// change gets a fresh key.
+///
+/// # Errors
+///
+/// Returns a description if the configuration is invalid or the store
+/// cannot be written.
+pub fn run_serve(
+    config: &ServeConfig,
+    store_path: &Path,
+) -> Result<(ServeReport, RunRecord), String> {
+    let started = Instant::now();
+    let report = serve(config)?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let record = serve_record(config, &report, wall_ms);
+    if let Some(parent) = store_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    let mut store = ResultStore::open_append(store_path)
+        .map_err(|e| format!("open {}: {e}", store_path.display()))?;
+    store
+        .append(&record)
+        .map_err(|e| format!("append {}: {e}", store_path.display()))?;
+    Ok((report, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_carries_mix_key_and_metrics() {
+        let config = ServeConfig::default();
+        let report = serve(&config).unwrap();
+        let record = serve_record(&config, &report, 1.0);
+        assert_eq!(record.key, serve_key(&config));
+        assert_eq!(record.app, "jacobi+pagerank");
+        assert_eq!(record.total_cycles, report.makespan.as_u64());
+        assert!(record.metrics.iter().any(|(k, _)| k == "qps"));
+        assert!(record.metrics.iter().any(|(k, _)| k == "p99_cycles"));
+        // Round-trips through the store codec.
+        let line = record.to_json();
+        let back = RunRecord::from_json(&line).unwrap();
+        assert_eq!(back.key, record.key);
+        assert_eq!(back.metrics, record.metrics);
+    }
+
+    #[test]
+    fn run_serve_appends_to_the_store() {
+        let dir = std::env::temp_dir().join(format!("gps-serve-test-{}", std::process::id()));
+        let path = dir.join("serve.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig::default();
+        let (report, record) = run_serve(&config, &path).unwrap();
+        assert_eq!(report.jobs, config.jobs);
+        let (records, corrupt) = ResultStore::load_latest(&path).unwrap();
+        assert_eq!(corrupt, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, record.key);
+        // A second identical run supersedes (same key), not duplicates.
+        run_serve(&config, &path).unwrap();
+        let (records, _) = ResultStore::load_latest(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,6 +30,12 @@ pub struct FabricConfig {
     pub link: LinkGen,
     /// Link arrangement.
     pub topology: Topology,
+    /// How many tenants split each link's bandwidth. `1` (the default)
+    /// gives every link its full generation bandwidth; `n > 1` models fair
+    /// per-tenant bandwidth partitioning by provisioning each link at
+    /// `1/n` of the generation's rate. Infinite links stay infinite. Hop
+    /// latency is unaffected — tenancy shares throughput, not distance.
+    pub bandwidth_share: u32,
 }
 
 impl FabricConfig {
@@ -39,12 +45,20 @@ impl FabricConfig {
             gpu_count,
             link,
             topology: Topology::Switch,
+            bandwidth_share: 1,
         }
     }
 
     /// Replaces the topology.
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Splits each link's bandwidth across `share` tenants (zero is
+    /// treated as one).
+    pub fn with_bandwidth_share(mut self, share: u32) -> Self {
+        self.bandwidth_share = share.max(1);
         self
     }
 }
@@ -97,7 +111,14 @@ pub struct Fabric {
 impl Fabric {
     /// Creates an idle fabric.
     pub fn new(config: FabricConfig) -> Self {
-        let bw = config.link.bandwidth();
+        let bw = if config.bandwidth_share > 1 {
+            config
+                .link
+                .bandwidth()
+                .scaled(1.0 / f64::from(config.bandwidth_share))
+        } else {
+            config.link.bandwidth()
+        };
         let ring_links = if config.topology == Topology::Ring {
             config.gpu_count
         } else {
@@ -380,6 +401,23 @@ mod tests {
         // G3 -> G0 is one counter... clockwise hop (3 -> 0), not three.
         let t = f.transfer(G3, G0, 1300, Cycle::ZERO).unwrap();
         assert_eq!(t.arrived, Cycle::new(100 + 1300));
+    }
+
+    #[test]
+    fn bandwidth_share_halves_link_rate() {
+        let mut shared = Fabric::new(FabricConfig::new(2, LinkGen::Pcie3).with_bandwidth_share(2));
+        let t = shared.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        // 1300 bytes at 6.5 B/cy = 200 cy serialisation + hop latency,
+        // double the exclusive fabric's 100 cy.
+        assert_eq!(t.arrived, Cycle::new(200 + 1300));
+        // Share of one (or zero) leaves the fabric untouched.
+        let mut solo = Fabric::new(FabricConfig::new(2, LinkGen::Pcie3).with_bandwidth_share(0));
+        let t = solo.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        assert_eq!(t.arrived, Cycle::new(100 + 1300));
+        // Infinite links stay free no matter how many tenants share them.
+        let mut inf = Fabric::new(FabricConfig::new(2, LinkGen::Infinite).with_bandwidth_share(4));
+        let t = inf.transfer(G0, G1, 1 << 30, Cycle::ZERO).unwrap();
+        assert_eq!(t.arrived, Cycle::ZERO);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! Rules fall into three families (see `DESIGN.md`):
 //!
 //! * **determinism** — `no_hash_collections`, `no_wall_clock`,
-//!   `float_cycle_arith`: sources of cross-run or cross-host variation in
-//!   crates whose code can influence a `SimReport`.
+//!   `float_cycle_arith`, `float_eq`: sources of cross-run or cross-host
+//!   variation in crates whose code can influence a `SimReport` (exact
+//!   `f64` equality is in this family because a comparison that flips
+//!   under rounding flips the report with it).
 //! * **panic hygiene** — `no_unwrap`, `no_expect`, `no_slice_index`:
 //!   panics in non-test library code must be justified by a waiver.
 //! * **probe coverage** — `probe_dead_name`, `probe_unregistered_name`:
@@ -30,6 +32,7 @@ pub const RULE_IDS: &[&str] = &[
     "no_hash_collections",
     "no_wall_clock",
     "float_cycle_arith",
+    "float_eq",
     "no_unwrap",
     "no_expect",
     "no_slice_index",
@@ -248,6 +251,28 @@ pub fn run_file_rules(file: &mut SourceFile, cfg: &Config, findings: &mut Vec<Fi
                     ),
                 });
             }
+            // `==` lexes as two `Punct('=')`; arm on the first one. The
+            // prev-punct guard keeps the arm off the second `=` of `==`
+            // itself and off `<=`, `>=`, `!=` and the compound-assignment
+            // family.
+            Tok::Punct('=')
+                if on("float_eq")
+                    && punct_at(toks, i + 1) == Some('=')
+                    && !matches!(
+                        punct_at(toks, i.wrapping_sub(1)),
+                        Some('=' | '<' | '>' | '!' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+                    )
+                    && (float_operand(toks, i.wrapping_sub(1)) || float_operand(toks, i + 2)) =>
+            {
+                out.push(float_eq_finding(&file.rel_path, t.line, "=="));
+            }
+            Tok::Punct('!')
+                if on("float_eq")
+                    && punct_at(toks, i + 1) == Some('=')
+                    && (float_operand(toks, i.wrapping_sub(1)) || float_operand(toks, i + 2)) =>
+            {
+                out.push(float_eq_finding(&file.rel_path, t.line, "!="));
+            }
             Tok::Ident(name)
                 if (name == "unwrap" && on("no_unwrap") || name == "expect" && on("no_expect"))
                     && punct_at(toks, i.wrapping_sub(1)) == Some('.')
@@ -285,6 +310,32 @@ pub fn run_file_rules(file: &mut SourceFile, cfg: &Config, findings: &mut Vec<Fi
         emit(findings, &mut file.waivers, &mut waived, f);
     }
     waived
+}
+
+/// Is the token at `i` visibly a float — a float literal, or an `f32`/
+/// `f64` ident (suffix position of an `as` cast or a turbofish)? Untyped
+/// identifiers are invisible to a token-level pass, so `a == b` on two
+/// `f64` bindings escapes; the rule trades that miss for zero false
+/// positives on integer comparisons.
+fn float_operand(toks: &[Token], i: usize) -> bool {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Num { float }) => *float,
+        Some(Tok::Ident(s)) => s == "f32" || s == "f64",
+        _ => false,
+    }
+}
+
+fn float_eq_finding(rel_path: &str, line: u32, op: &str) -> Finding {
+    Finding {
+        rule: "float_eq".to_owned(),
+        file: rel_path.to_owned(),
+        line,
+        message: format!(
+            "exact float `{op}` comparison: rounding makes it flip across hosts and \
+             evaluation orders; compare integers, use an epsilon, or waive with why \
+             exactness holds"
+        ),
+    }
 }
 
 fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
@@ -649,6 +700,20 @@ let c = 1;
         assert!(f.iter().all(|f| f.rule == "float_cycle_arith"));
         assert_eq!(f[0].line, 1);
         assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn float_equality_flagged_integer_and_ordering_ok() {
+        let f = run("let a = x == 1.5;\nlet b = 0.5 != y;\nlet c = n as f64 == m;\nlet d = n == 42;\nlet e = x <= 1.5;\nlet g = x >= 0.5;\nlet h = x = 1.5;\n");
+        assert!(f.iter().all(|f| f.rule == "float_eq"), "{f:?}");
+        let lines: Vec<u32> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 2, 3], "{f:?}");
+    }
+
+    #[test]
+    fn float_eq_waiver_suppresses() {
+        let f = run("let a = x == 1.5; // gps-lint: allow(float_eq) -- exactness intended\n");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -15,6 +15,16 @@ pub fn cycles(mut cycle_count: f64) -> f64 {
     cycle_count
 }
 
+pub fn float_compares(a: f64, b: f64, n: u64) -> bool {
+    let exact = a == 1.5;
+    let ne = 0.25 != a;
+    let cast = n as f64 == b;
+    let int_ok = n == 42;
+    let opaque = a == b;
+    let waived = a == 2.5; // gps-lint: allow(float_eq) -- fixture: exactness intended
+    exact || ne || cast || int_ok || opaque || waived
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

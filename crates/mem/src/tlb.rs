@@ -33,6 +33,21 @@ impl TlbConfig {
         self.sets * self.ways
     }
 
+    /// This geometry's share when `share` tenants split the structure
+    /// way-wise: the set count is untouched (it must stay a power of two)
+    /// and each tenant keeps `ways / share` ways, floored at one. A share
+    /// of zero or one returns the geometry unchanged.
+    #[must_use]
+    pub const fn with_way_share(mut self, share: u32) -> Self {
+        if share > 1 {
+            self.ways = self.ways / share as usize;
+            if self.ways == 0 {
+                self.ways = 1;
+            }
+        }
+        self
+    }
+
     /// Validates the geometry.
     ///
     /// # Errors
@@ -330,5 +345,19 @@ mod tests {
         assert!(TlbConfig { sets: 3, ways: 2 }.validate().is_err());
         assert!(TlbConfig { sets: 0, ways: 2 }.validate().is_err());
         assert!(TlbConfig { sets: 2, ways: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn way_share_keeps_sets_and_floors_at_one_way() {
+        let cfg = TlbConfig::gps_tlb();
+        assert_eq!(cfg.with_way_share(0), cfg);
+        assert_eq!(cfg.with_way_share(1), cfg);
+        let half = cfg.with_way_share(2);
+        assert_eq!(half, TlbConfig { sets: 4, ways: 4 });
+        half.validate().unwrap();
+        // Oversharing never produces a zero-way TLB.
+        let floor = cfg.with_way_share(100);
+        assert_eq!(floor.ways, 1);
+        floor.validate().unwrap();
     }
 }

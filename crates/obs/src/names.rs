@@ -55,6 +55,18 @@ pub const ATU_TLB_MISS: &str = "atu_tlb_miss";
 /// Instant marked when subscription tracking stops (system track).
 pub const TRACKING_STOP: &str = "tracking_stop";
 
+/// Jobs in service across all tenant slots after a serve-loop event
+/// (system-track gauge).
+pub const SERVE_ACTIVE_JOBS: &str = "serve_active_jobs";
+
+/// Jobs waiting for a free tenant slot after a serve-loop event
+/// (system-track gauge).
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+
+/// Jobs completed on a tenant slot (per-slot counter, on the slot's
+/// GPU-track index).
+pub const SERVE_COMPLETIONS: &str = "serve_completions";
+
 /// Every registered series name, for exhaustive iteration (exports,
 /// documentation, the lint self-test).
 pub const ALL: &[&str] = &[
@@ -72,6 +84,9 @@ pub const ALL: &[&str] = &[
     REFAULTS,
     ATU_TLB_MISS,
     TRACKING_STOP,
+    SERVE_ACTIVE_JOBS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_COMPLETIONS,
 ];
 
 #[cfg(test)]

@@ -159,26 +159,33 @@ impl MemoryPolicy for GpsPolicy {
         // every GPU tentatively hosts a replica of every shared page.
         let demand: u64 = workload.shared_allocs().map(|a| a.range.pages()).sum();
         let pressure = config.memory_pressure;
-        let apply = self.pressure && pressure.is_active() && demand > 0;
+        // Tenancy: each co-resident application keeps 1/tenants of the GPS
+        // structures (RWQ entries, GPS-TLB ways) and of the per-GPU frame
+        // budget — co-tenants' resident sets multiply the effective
+        // oversubscription. With one tenant both reduce to the exclusive
+        // machine exactly.
+        let tenants = config.tenants.max(1);
+        let gps_cfg = self.config.for_tenant_share(tenants);
+        let pct = u64::from(pressure.oversubscription_pct).saturating_mul(u64::from(tenants));
+        let apply = self.pressure && pct > 100 && demand > 0;
         let mut sys = if apply {
             // Per-GPU capacity = demand / ratio, floored so that spreading
             // first copies round-robin always fits (aggregate capacity >=
             // demand), keeping registration infallible.
-            let pct = u64::from(pressure.oversubscription_pct);
             let capacity_pages = (demand.saturating_mul(100) / pct)
                 .max(demand.div_ceil(config.gpu_count as u64))
                 .max(1);
             let mut sys = GpsSystem::with_memory(
                 config.gpu_count,
                 workload.page_size,
-                self.config,
+                gps_cfg,
                 capacity_pages.saturating_mul(workload.page_size.bytes()),
             )
             .expect("invalid GPS configuration");
             sys.enable_eviction(pressure.victim_policy);
             sys
         } else {
-            GpsSystem::new(config.gpu_count, workload.page_size, self.config)
+            GpsSystem::new(config.gpu_count, workload.page_size, gps_cfg)
                 .expect("invalid GPS configuration")
         };
         sys.set_subscription_enabled(self.subscription);

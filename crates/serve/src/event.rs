@@ -1,0 +1,80 @@
+//! Typed serve-loop events with a total drain order.
+
+use gps_types::Cycle;
+
+/// What happens at an [`Event`]'s timestamp.
+///
+/// `Arrival` sorts before `Completion` at equal `(time, job)` so a job can
+/// never complete before the loop has seen it arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// The job enters the system (and dispatches or queues).
+    Arrival,
+    /// The job finishes service and frees its tenant slot.
+    Completion {
+        /// The tenant slot the job occupied.
+        slot: u32,
+    },
+}
+
+/// One scheduled event.
+///
+/// The derived ordering is lexicographic over `(time, job, kind)` — a
+/// *total* order, because a single job has at most one arrival and one
+/// completion and those never share a timestamp (service times are at
+/// least one cycle). Draining a `BinaryHeap<Reverse<Event>>` therefore
+/// visits events in exactly one possible sequence, which is what makes
+/// the whole serve report bit-identical across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Cycle,
+    /// The job it concerns (ids are assigned in submission order).
+    pub job: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_drains_by_time_then_job_then_kind() {
+        let mut heap = BinaryHeap::new();
+        let events = [
+            Event {
+                time: Cycle::new(20),
+                job: 0,
+                kind: EventKind::Completion { slot: 0 },
+            },
+            Event {
+                time: Cycle::new(10),
+                job: 1,
+                kind: EventKind::Arrival,
+            },
+            Event {
+                time: Cycle::new(10),
+                job: 0,
+                kind: EventKind::Arrival,
+            },
+            Event {
+                time: Cycle::new(10),
+                job: 1,
+                kind: EventKind::Completion { slot: 1 },
+            },
+        ];
+        for e in events {
+            heap.push(Reverse(e));
+        }
+        let drained: Vec<Event> = std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e)).collect();
+        assert_eq!(drained[0].job, 0);
+        assert_eq!(drained[0].kind, EventKind::Arrival);
+        assert_eq!(drained[1].job, 1);
+        assert_eq!(drained[1].kind, EventKind::Arrival);
+        assert_eq!(drained[2].kind, EventKind::Completion { slot: 1 });
+        assert_eq!(drained[3].time, Cycle::new(20));
+    }
+}

@@ -1,0 +1,50 @@
+//! Multi-tenant serving simulation on top of the GPS machine model.
+//!
+//! Every other entry point in this workspace answers a steady-state
+//! question: one application, one machine, how many cycles per iteration?
+//! This crate answers the capacity-planning question behind the ROADMAP's
+//! "heavy traffic from millions of users" north star: when a *stream* of
+//! jobs drawn from a mix of applications shares one simulated multi-GPU
+//! machine, what throughput does the system sustain and what do the
+//! latency tails look like?
+//!
+//! The model has three layers:
+//!
+//! * **Arrival process** ([`ArrivalModel`]) — jobs enter either *open*
+//!   (Poisson-like: exponential interarrival gaps drawn from the
+//!   workspace's own SplitMix64 [`SmallRng`], so the offered load is
+//!   independent of completions) or *closed* (a fixed number of jobs in
+//!   flight; each completion immediately admits the next). Both are fully
+//!   determined by the seed.
+//! * **Tenant arbitration** — the machine exposes `slots` tenant slots.
+//!   A dispatched job occupies one slot, and its service time comes from
+//!   a [`ServiceOracle`] that simulates the job's application on the GPS
+//!   machine with [`SimConfig::tenants`] set to the occupancy at dispatch:
+//!   co-resident tenants split the last-level TLB ways, the fabric link
+//!   bandwidth, the RWQ entries and the GPS-TLB ways, so service times
+//!   stretch as the machine fills. One tenant is exactly the exclusive
+//!   machine — a closed, concurrency-1 serve run reproduces the
+//!   standalone run's per-job cycle count.
+//! * **Event loop** ([`serve`]) — a `BinaryHeap` of typed events drained
+//!   in `(time, job id, kind)` order. The ordering is total, so the heap's
+//!   drain order — and therefore the whole [`ServeReport`] — is
+//!   bit-identical across runs with the same [`ServeConfig`].
+//!
+//! [`SmallRng`]: gps_types::rng::SmallRng
+//! [`SimConfig::tenants`]: gps_sim::SimConfig
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod config;
+pub mod event;
+pub mod oracle;
+pub mod report;
+pub mod sim;
+
+pub use arrival::ArrivalModel;
+pub use config::ServeConfig;
+pub use event::{Event, EventKind};
+pub use oracle::ServiceOracle;
+pub use report::{ServeReport, SERVE_SCHEMA_VERSION};
+pub use sim::{serve, serve_probed};

@@ -1,0 +1,127 @@
+//! Occupancy-dependent service times, memoised per (application, level).
+
+use std::collections::BTreeMap;
+
+use gps_interconnect::LinkGen;
+use gps_obs::ProbeHandle;
+use gps_paradigms::{run_paradigm_configured, Paradigm};
+use gps_sim::SimConfig;
+use gps_workloads::{suite, ScaleProfile};
+
+/// Simulates each (application, occupancy level) pair once on the shared
+/// machine and memoises the resulting end-to-end cycle count.
+///
+/// The occupancy level is applied as [`SimConfig::tenants`]: at level `n`
+/// the application keeps `1/n` of the last-level TLB ways, the fabric
+/// link bandwidth, the RWQ entries and the GPS-TLB ways, so service times
+/// grow as the machine fills. Level 1 is the exclusive machine — its
+/// service time is exactly the standalone run's `total_cycles`.
+///
+/// Memoisation is a `BTreeMap` (deterministic iteration, per the
+/// workspace-wide `no_hash_collections` rule) keyed by name and level;
+/// since the simulation itself is deterministic, caching never changes a
+/// result.
+#[derive(Debug)]
+pub struct ServiceOracle {
+    paradigm: Paradigm,
+    gpus: usize,
+    link: LinkGen,
+    scale: ScaleProfile,
+    cache: BTreeMap<(String, u32), u64>,
+}
+
+impl ServiceOracle {
+    /// Creates an oracle for the given shared machine.
+    pub fn new(paradigm: Paradigm, gpus: usize, link: LinkGen, scale: ScaleProfile) -> Self {
+        ServiceOracle {
+            paradigm,
+            gpus,
+            link,
+            scale,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Service time, in cycles, of one `app` job dispatched while `level`
+    /// tenants (including itself) occupy the machine. Never zero, so
+    /// simulated time always advances.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `app` is not in the application suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite's workload is inconsistent with the machine —
+    /// a programming error, as everywhere else in the workspace.
+    pub fn service_cycles(&mut self, app: &str, level: u32) -> Result<u64, String> {
+        let level = level.max(1);
+        let key = (app.to_owned(), level);
+        if let Some(&cached) = self.cache.get(&key) {
+            return Ok(cached);
+        }
+        let entry = suite::by_name(app).ok_or_else(|| format!("unknown application '{app}'"))?;
+        let workload = (entry.build)(self.gpus, self.scale);
+        let config = SimConfig::gv100_system(self.gpus).with_tenants(level);
+        let report = run_paradigm_configured(
+            self.paradigm,
+            &workload,
+            config,
+            self.link,
+            ProbeHandle::disabled(),
+        );
+        let cycles = report.total_cycles.as_u64().max(1);
+        self.cache.insert(key, cycles);
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> ServiceOracle {
+        ServiceOracle::new(Paradigm::Gps, 4, LinkGen::Pcie3, ScaleProfile::Tiny)
+    }
+
+    #[test]
+    fn level_one_matches_the_standalone_run() {
+        let mut o = oracle();
+        let entry = suite::by_name("jacobi").unwrap();
+        let workload = (entry.build)(4, ScaleProfile::Tiny);
+        let standalone = run_paradigm_configured(
+            Paradigm::Gps,
+            &workload,
+            SimConfig::gv100_system(4),
+            LinkGen::Pcie3,
+            ProbeHandle::disabled(),
+        );
+        assert_eq!(
+            o.service_cycles("jacobi", 1).unwrap(),
+            standalone.total_cycles.as_u64()
+        );
+        // Level 0 is clamped to the exclusive machine.
+        assert_eq!(
+            o.service_cycles("jacobi", 0).unwrap(),
+            standalone.total_cycles.as_u64()
+        );
+    }
+
+    #[test]
+    fn contention_stretches_service_times() {
+        let mut o = oracle();
+        let solo = o.service_cycles("jacobi", 1).unwrap();
+        let shared = o.service_cycles("jacobi", 2).unwrap();
+        assert!(
+            shared > solo,
+            "two tenants must be slower than one ({shared} vs {solo})"
+        );
+        // Memoisation returns the identical value.
+        assert_eq!(o.service_cycles("jacobi", 2).unwrap(), shared);
+    }
+
+    #[test]
+    fn unknown_apps_are_reported() {
+        assert!(oracle().service_cycles("doom", 1).is_err());
+    }
+}

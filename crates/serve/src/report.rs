@@ -1,0 +1,236 @@
+//! The serving report: integer facts, derived-on-demand rates.
+
+use gps_types::{Cycle, Json};
+
+/// Bump when the JSON emission below changes shape.
+pub const SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// The result of one serving run.
+///
+/// Every stored field is an integer or a string, so the derived
+/// `PartialEq` is exact: two reports compare equal if and only if they
+/// are bit-identical, which is what the determinism tests assert. Rates
+/// and ratios (QPS, utilisation) are *derived* in accessor methods at
+/// read time and never stored, so float rounding can never leak into an
+/// equality check or a run key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Application mix, in round-robin order.
+    pub mix: Vec<String>,
+    /// Paradigm label.
+    pub paradigm: String,
+    /// GPUs in the shared machine.
+    pub gpus: usize,
+    /// Interconnect label.
+    pub link: String,
+    /// Scale label.
+    pub scale: String,
+    /// Arrival seed.
+    pub seed: u64,
+    /// Arrival-model label (`open(mean=…)` / `closed(c=…)`).
+    pub mode: String,
+    /// Tenant slots.
+    pub slots: u32,
+    /// Jobs submitted (and, by conservation, completed).
+    pub jobs: u64,
+    /// Completion time of the last job.
+    pub makespan: Cycle,
+    /// Sum over jobs of their service time: slot-cycles spent serving.
+    pub busy_slot_cycles: u64,
+    /// Deepest the wait queue ever got (open mode; zero in closed mode).
+    pub peak_queue_depth: u64,
+    /// Per-job latency (completion − arrival) in cycles, sorted ascending.
+    pub latencies: Vec<u64>,
+    /// Jobs completed per application, in mix order.
+    pub per_app_jobs: Vec<(String, u64)>,
+}
+
+impl ServeReport {
+    /// Nearest-rank percentile of the job latencies, in cycles (`p` in
+    /// `[0, 100]`; zero if no job completed).
+    pub fn latency_percentile(&self, p: u32) -> u64 {
+        let n = self.latencies.len() as u64;
+        if n == 0 {
+            return 0;
+        }
+        // Nearest rank: smallest index whose rank covers p percent.
+        let rank = (u64::from(p) * n).div_ceil(100).clamp(1, n);
+        self.latencies[(rank - 1) as usize]
+    }
+
+    /// Median job latency in cycles.
+    pub fn p50(&self) -> u64 {
+        self.latency_percentile(50)
+    }
+
+    /// 95th-percentile job latency in cycles.
+    pub fn p95(&self) -> u64 {
+        self.latency_percentile(95)
+    }
+
+    /// 99th-percentile job latency in cycles.
+    pub fn p99(&self) -> u64 {
+        self.latency_percentile(99)
+    }
+
+    /// Mean job latency in cycles (integer division; zero if no jobs).
+    pub fn mean_latency(&self) -> u64 {
+        if self.latencies.is_empty() {
+            0
+        } else {
+            self.latencies.iter().sum::<u64>() / self.latencies.len() as u64
+        }
+    }
+
+    /// Sustained throughput in jobs per second of simulated time.
+    pub fn qps(&self) -> f64 {
+        if self.makespan.as_u64() == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.makespan.as_secs_f64()
+        }
+    }
+
+    /// Fraction of slot-time spent serving, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let denom = u64::from(self.slots).saturating_mul(self.makespan.as_u64());
+        if denom == 0 {
+            0.0
+        } else {
+            self.busy_slot_cycles as f64 / denom as f64
+        }
+    }
+
+    /// The report as a JSON document (versioned via
+    /// [`SERVE_SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "serve_schema_version".to_owned(),
+                Json::Num(f64::from(SERVE_SCHEMA_VERSION)),
+            ),
+            (
+                "mix".to_owned(),
+                Json::Arr(self.mix.iter().map(|m| Json::Str(m.clone())).collect()),
+            ),
+            ("paradigm".to_owned(), Json::Str(self.paradigm.clone())),
+            ("gpus".to_owned(), Json::Num(self.gpus as f64)),
+            ("link".to_owned(), Json::Str(self.link.clone())),
+            ("scale".to_owned(), Json::Str(self.scale.clone())),
+            ("seed".to_owned(), Json::Num(self.seed as f64)),
+            ("mode".to_owned(), Json::Str(self.mode.clone())),
+            ("slots".to_owned(), Json::Num(f64::from(self.slots))),
+            ("jobs".to_owned(), Json::Num(self.jobs as f64)),
+            (
+                "makespan_cycles".to_owned(),
+                Json::Num(self.makespan.as_u64() as f64),
+            ),
+            ("qps".to_owned(), Json::Num(self.qps())),
+            ("utilization".to_owned(), Json::Num(self.utilization())),
+            ("p50_cycles".to_owned(), Json::Num(self.p50() as f64)),
+            ("p95_cycles".to_owned(), Json::Num(self.p95() as f64)),
+            ("p99_cycles".to_owned(), Json::Num(self.p99() as f64)),
+            (
+                "mean_latency_cycles".to_owned(),
+                Json::Num(self.mean_latency() as f64),
+            ),
+            (
+                "peak_queue_depth".to_owned(),
+                Json::Num(self.peak_queue_depth as f64),
+            ),
+            (
+                "per_app_jobs".to_owned(),
+                Json::Arr(
+                    self.per_app_jobs
+                        .iter()
+                        .map(|(app, n)| {
+                            Json::Obj(vec![
+                                ("app".to_owned(), Json::Str(app.clone())),
+                                ("jobs".to_owned(), Json::Num(*n as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<u64>) -> ServeReport {
+        let jobs = latencies.len() as u64;
+        ServeReport {
+            mix: vec!["jacobi".to_owned()],
+            paradigm: "gps".to_owned(),
+            gpus: 4,
+            link: "pcie3".to_owned(),
+            scale: "tiny".to_owned(),
+            seed: 42,
+            mode: "closed(c=1)".to_owned(),
+            slots: 1,
+            jobs,
+            makespan: Cycle::new(1_000_000),
+            busy_slot_cycles: 900_000,
+            peak_queue_depth: 0,
+            latencies,
+            per_app_jobs: vec![("jacobi".to_owned(), jobs)],
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let r = report((1..=100).collect());
+        assert_eq!(r.p50(), 50);
+        assert_eq!(r.p95(), 95);
+        assert_eq!(r.p99(), 99);
+        assert_eq!(r.latency_percentile(100), 100);
+        assert_eq!(r.latency_percentile(0), 1);
+        assert_eq!(r.mean_latency(), 50);
+
+        let single = report(vec![7]);
+        assert_eq!(single.p50(), 7);
+        assert_eq!(single.p99(), 7);
+
+        let empty = report(vec![]);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.mean_latency(), 0);
+    }
+
+    #[test]
+    fn rates_derive_from_integers() {
+        let r = report(vec![10, 20]);
+        // 2 jobs over 1 ms of simulated time = 2000 jobs/s.
+        assert!((r.qps() - 2000.0).abs() < 1e-9);
+        assert!((r.utilization() - 0.9).abs() < 1e-12);
+        let empty = ServeReport {
+            makespan: Cycle::ZERO,
+            ..report(vec![])
+        };
+        assert!(empty.qps().abs() < 1e-12);
+        assert!(empty.utilization().abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_carries_schema_version_and_percentiles() {
+        let r = report(vec![5, 6, 7]);
+        let j = r.to_json();
+        assert_eq!(
+            j.get("serve_schema_version").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(j.get("jobs").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("p50_cycles").and_then(Json::as_u64), Some(6));
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("closed(c=1)"));
+        assert_eq!(
+            j.get("per_app_jobs")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        // Round-trips through the emitter.
+        assert_eq!(Json::parse(&j.emit()).unwrap(), j);
+    }
+}

@@ -225,6 +225,18 @@ pub struct SimConfig {
     /// `stream_pipeline_depth` this *is* a simulated-machine parameter
     /// and participates in harness run keys.
     pub memory_pressure: MemoryPressure,
+    /// Number of tenants (concurrently served applications) sharing this
+    /// machine. `1` — the default — is the exclusive single-application
+    /// machine and changes nothing. Values above `1` shrink each tenant's
+    /// share of the contended resources: last-level TLB ways, fabric link
+    /// bandwidth, RWQ entries and GPS-TLB ways (via
+    /// [`GpsConfig::for_tenant_share`]), and — for the pressure-aware
+    /// paradigms — per-GPU frame capacity. An integer (like
+    /// [`MemoryPressure::oversubscription_pct`]) so the config stays `Eq`
+    /// and its `Debug` rendering hashes exactly in harness run keys.
+    ///
+    /// [`GpsConfig::for_tenant_share`]: ../gps_core/struct.GpsConfig.html
+    pub tenants: u32,
 }
 
 impl SimConfig {
@@ -237,6 +249,7 @@ impl SimConfig {
             topology: Topology::default(),
             stream_pipeline_depth: 0,
             memory_pressure: MemoryPressure::NONE,
+            tenants: 1,
         }
     }
 
@@ -251,6 +264,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_memory_pressure(mut self, pressure: MemoryPressure) -> Self {
         self.memory_pressure = pressure;
+        self
+    }
+
+    /// Sets the tenant count (concurrent applications sharing the machine).
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: u32) -> Self {
+        self.tenants = tenants;
         self
     }
 
@@ -269,6 +289,11 @@ impl SimConfig {
         if self.memory_pressure.oversubscription_pct == 0 {
             return Err(GpsError::Config {
                 reason: "oversubscription_pct must be positive".into(),
+            });
+        }
+        if self.tenants == 0 {
+            return Err(GpsError::Config {
+                reason: "tenants must be positive".into(),
             });
         }
         self.gpu.validate()
@@ -358,5 +383,16 @@ mod tests {
         let mut s = SimConfig::gv100_system(2);
         s.memory_pressure.oversubscription_pct = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn tenants_default_to_one_and_zero_is_rejected() {
+        let s = SimConfig::gv100_system(4);
+        assert_eq!(s.tenants, 1);
+        s.validate().unwrap();
+        let shared = s.with_tenants(3);
+        assert_eq!(shared.tenants, 3);
+        shared.validate().unwrap();
+        assert!(s.with_tenants(0).validate().is_err());
     }
 }

@@ -213,10 +213,16 @@ impl<'a> Engine<'a> {
     pub fn run(mut self) -> SimReport {
         let gc = self.config.gpu_count;
         let gpu_cfg = self.config.gpu;
+        let tenants = self.config.tenants.max(1);
+        // Tenancy shrinks each application's share of the contended
+        // structures: the last-level TLB loses ways (sets stay a power of
+        // two) and every fabric link serves at 1/tenants of its rate. With
+        // one tenant both reduce to the exclusive machine exactly.
         let tlb_cfg = TlbConfig {
             sets: gpu_cfg.tlb_entries / gpu_cfg.tlb_assoc,
             ways: gpu_cfg.tlb_assoc,
-        };
+        }
+        .with_way_share(tenants);
         let mut gpus: Vec<GpuState> = (0..gc)
             .map(|_| GpuState {
                 sm_issue: vec![Cycle::ZERO; gpu_cfg.sms],
@@ -235,8 +241,11 @@ impl<'a> Engine<'a> {
                 kernels_done: 0,
             })
             .collect();
-        let mut fabric =
-            Fabric::new(FabricConfig::new(gc, self.link).with_topology(self.config.topology));
+        let mut fabric = Fabric::new(
+            FabricConfig::new(gc, self.link)
+                .with_topology(self.config.topology)
+                .with_bandwidth_share(tenants),
+        );
         fabric.set_probe(self.probe.clone());
         for (g, gpu) in gpus.iter_mut().enumerate() {
             gpu.dram.set_probe(self.probe.clone(), Track::gpu(g));
