@@ -78,10 +78,18 @@ SERVE FLAGS:
     --slots <n>           tenant slots, default = concurrency (or mix size)
     --store <path>        result store, default results/serve.jsonl
     --json                emit the full JSON report on stdout
+    --telemetry <dir>     stream per-event telemetry during the run:
+                          <key>.metrics.jsonl (one JSON line per probe
+                          emission; byte-identical per seed),
+                          <key>.trace.json (Chrome trace / Perfetto) and
+                          <key>.summary.txt (per-tenant sojourn histograms)
 
 REPORT FLAGS:
     --store <path>        result store to read
     --csv                 emit CSV instead of an aligned table
+    --html <path>         write a self-contained HTML report (inline SVG
+                          slowdown grids + QPS-vs-latency curves; serving
+                          rows come from the serve lane's store)
 
 TIMELINE (gps-run timeline <run-key> [flags]):
     re-runs the stored run (deterministic, content-addressed) with probes on
@@ -117,6 +125,7 @@ struct ParsedArgs {
     opts: SweepOptions,
     fresh: bool,
     csv: bool,
+    html: Option<PathBuf>,
 }
 
 fn split_list(value: &str) -> impl Iterator<Item = &str> {
@@ -133,6 +142,7 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
         },
         fresh: false,
         csv: false,
+        html: None,
     };
     let mut ratios: Vec<f64> = Vec::new();
     let mut victim: Option<VictimPolicy> = None;
@@ -240,6 +250,7 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
             }
             "--quiet" => parsed.opts.log = false,
             "--csv" => parsed.csv = true,
+            "--html" => parsed.html = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -304,6 +315,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServeConfig::default();
     let mut store = PathBuf::from("results/serve.jsonl");
     let mut json = false;
+    let mut telemetry_dir: Option<PathBuf> = None;
     let mut mode: Option<String> = None;
     let mut concurrency: Option<u32> = None;
     let mut slots: Option<u32> = None;
@@ -349,6 +361,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--slots" => slots = Some(value()?.parse().map_err(|e| format!("--slots: {e}"))?),
             "--store" => store = PathBuf::from(value()?),
             "--json" => json = true,
+            "--telemetry" => telemetry_dir = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -372,7 +385,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         other => return Err(format!("--mode must be open or closed, got {other:?}")),
     };
 
-    let (report, record) = gps_harness::run_serve(&config, &store)?;
+    let (report, record, paths) = match &telemetry_dir {
+        Some(dir) => {
+            let (report, record, paths) = gps_harness::run_serve_telemetry(&config, &store, dir)?;
+            (report, record, Some(paths))
+        }
+        None => {
+            let (report, record) = gps_harness::run_serve(&config, &store)?;
+            (report, record, None)
+        }
+    };
     if json {
         println!("{}", report.to_json().emit());
     } else {
@@ -401,6 +423,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.peak_queue_depth,
         );
         println!("  recorded {} -> {}", record.key, store.display());
+        if let Some(paths) = &paths {
+            println!("  metrics {}", paths.metrics.display());
+            println!("  trace   {}", paths.trace.display());
+            println!("  summary {}", paths.summary.display());
+        }
     }
     Ok(())
 }
@@ -409,6 +436,11 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     use std::fmt::Write as _;
 
     let parsed = parse_args(args, false)?;
+    if let Some(out) = &parsed.html {
+        let charts = gps_harness::write_html_report(&parsed.store, out)?;
+        println!("wrote {} ({charts} charts)", out.display());
+        return Ok(());
+    }
     let (mut records, corrupt) =
         ResultStore::load_latest(&parsed.store).map_err(|e| format!("load: {e}"))?;
     records.sort_by(|a, b| {

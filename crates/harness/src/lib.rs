@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod html;
 pub mod key;
 pub mod pool;
 pub mod runner;
@@ -38,6 +39,7 @@ pub mod telemetry;
 pub use bench::{run_bench, BenchCase, BenchLeg, BenchOptions, BenchReport, BENCH_SCHEMA_VERSION};
 pub use gps_types::json;
 pub use gps_types::Json;
+pub use html::{html_report, write_html_report};
 pub use key::{run_key, run_key_default_machine, serve_key};
 pub use pool::{parallel_map, run_jobs, JobResult};
 pub use runner::{
@@ -45,7 +47,9 @@ pub use runner::{
     measure_with_policy, speedup, steady_cycles_per_iteration, steady_traffic_per_iteration,
     Measurement, RunSpec,
 };
-pub use serve::{run_serve, serve_record};
+pub use serve::{
+    run_serve, run_serve_telemetry, serve_record, serve_telemetry_summary, ServeTelemetryPaths,
+};
 pub use store::{ResultStore, RunRecord, RunStatus, STORE_VERSION};
 pub use sweep::{run_sweep, run_units, RunUnit, SweepOptions, SweepOutcome, SweepSpec};
 pub use telemetry::{

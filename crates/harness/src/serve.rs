@@ -1,13 +1,20 @@
-//! Serving runs through the harness: key, store record, execution.
+//! Serving runs through the harness: key, store record, execution, and
+//! the streaming `--telemetry` lane.
 
-use std::path::Path;
+use std::fs::File;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use gps_serve::{serve, ServeConfig, ServeReport};
+use gps_obs::{
+    names, ChromeTraceSink, JsonlSink, ProbeHandle, Sink, Telemetry, Track, DEFAULT_BUCKET_CYCLES,
+    DEFAULT_SPAN_CAPACITY,
+};
+use gps_serve::{serve, serve_probed, ServeConfig, ServeReport};
 use gps_sim::MemoryPressure;
 
 use crate::key::serve_key;
 use crate::store::{ResultStore, RunRecord, RunStatus};
+use crate::telemetry::validate_chrome_trace;
 
 /// Maps a serving report onto the result store's record shape: the mix
 /// joins into the `app` column (`jacobi+pagerank`), `total_cycles` carries
@@ -67,6 +74,13 @@ pub fn run_serve(
     let report = serve(config)?;
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let record = serve_record(config, &report, wall_ms);
+    append_serve_record(store_path, &record)?;
+    Ok((report, record))
+}
+
+/// Appends `record` to the store at `store_path`, creating the store and
+/// its parent directory as needed.
+fn append_serve_record(store_path: &Path, record: &RunRecord) -> Result<(), String> {
     if let Some(parent) = store_path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
@@ -76,9 +90,132 @@ pub fn run_serve(
     let mut store = ResultStore::open_append(store_path)
         .map_err(|e| format!("open {}: {e}", store_path.display()))?;
     store
-        .append(&record)
+        .append(record)
         .map_err(|e| format!("append {}: {e}", store_path.display()))?;
-    Ok((report, record))
+    Ok(())
+}
+
+/// Where [`run_serve_telemetry`] put the artifacts of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeTelemetryPaths {
+    /// One JSON line per probe emission plus a closing summary line —
+    /// byte-identical across same-seed runs (the CI determinism diff).
+    pub metrics: PathBuf,
+    /// Chrome trace-event JSON streamed during the run
+    /// (`chrome://tracing`, Perfetto).
+    pub trace: PathBuf,
+    /// Human-readable per-tenant sojourn summary.
+    pub summary: PathBuf,
+}
+
+/// Renders the per-tenant sojourn summary written next to the streamed
+/// artifacts: one line per tenant lane with exact count/mean/min/max and
+/// the histogram's bucketed p50/p95/p99 upper bounds, plus the span-ring
+/// overflow count. All inputs are integers, so the text is byte-identical
+/// for identical runs.
+pub fn serve_telemetry_summary(report: &ServeReport, telemetry: &Telemetry) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve {} [{}] on {}x{} {}: {} jobs over {} slots ({})",
+        report.paradigm,
+        report.mix.join("+"),
+        report.gpus,
+        report.scale,
+        report.link,
+        report.jobs,
+        report.slots,
+        report.mode,
+    );
+    let _ = writeln!(
+        out,
+        "makespan {} cycles  peak queue {}  dropped_spans {}",
+        report.makespan.as_u64(),
+        report.peak_queue_depth,
+        telemetry.dropped_spans,
+    );
+    let _ = writeln!(
+        out,
+        "tenant sojourn cycles (histogram p* are bucket upper bounds):"
+    );
+    for (idx, (app, _)) in report.per_app_jobs.iter().enumerate() {
+        let lane = Track::tenant(idx);
+        let Some(h) = telemetry.hist(lane, names::SERVE_SOJOURN_CYCLES) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<12} jobs {:>6}  mean {:>12}  p50 <= {:>12}  p95 <= {:>12}  p99 <= {:>12}  min {:>12}  max {:>12}",
+            lane.label(),
+            app,
+            h.count(),
+            h.mean(),
+            h.percentile(50),
+            h.percentile(95),
+            h.percentile(99),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0),
+        );
+    }
+    out
+}
+
+/// [`run_serve`] with the streaming telemetry lane attached: the serve
+/// loop runs once with a probe that both records in memory and streams to
+/// two sinks, writing `<key>.metrics.jsonl` and `<key>.trace.json` into
+/// `telemetry_dir` incrementally, then `<key>.summary.txt` from the
+/// in-memory recording. The report — and the store record appended — is
+/// bit-identical to an unprobed [`run_serve`] of the same config, and the
+/// two streamed files are byte-identical across same-seed runs.
+///
+/// # Errors
+///
+/// Returns a description if the configuration is invalid, any artifact
+/// cannot be written, or the streamed trace fails validation.
+pub fn run_serve_telemetry(
+    config: &ServeConfig,
+    store_path: &Path,
+    telemetry_dir: &Path,
+) -> Result<(ServeReport, RunRecord, ServeTelemetryPaths), String> {
+    std::fs::create_dir_all(telemetry_dir)
+        .map_err(|e| format!("create {}: {e}", telemetry_dir.display()))?;
+    let key = serve_key(config);
+    let paths = ServeTelemetryPaths {
+        metrics: telemetry_dir.join(format!("{key}.metrics.jsonl")),
+        trace: telemetry_dir.join(format!("{key}.trace.json")),
+        summary: telemetry_dir.join(format!("{key}.summary.txt")),
+    };
+    let create =
+        |path: &Path| File::create(path).map_err(|e| format!("create {}: {e}", path.display()));
+    let sinks: Vec<Box<dyn Sink>> = vec![
+        Box::new(JsonlSink::new(create(&paths.metrics)?)),
+        Box::new(ChromeTraceSink::new(create(&paths.trace)?)),
+    ];
+    let probe =
+        ProbeHandle::recording_with_sinks(DEFAULT_BUCKET_CYCLES, DEFAULT_SPAN_CAPACITY, sinks);
+
+    let started = Instant::now();
+    let report = serve_probed(config, probe.clone())?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    probe
+        .close_sinks()
+        .map_err(|e| format!("close telemetry sinks: {e}"))?;
+    let telemetry = probe
+        .finish()
+        .ok_or_else(|| "recording probe yielded no recording".to_owned())?;
+
+    std::fs::write(&paths.summary, serve_telemetry_summary(&report, &telemetry))
+        .map_err(|e| format!("write {}: {e}", paths.summary.display()))?;
+    let trace_text = std::fs::read_to_string(&paths.trace)
+        .map_err(|e| format!("read back {}: {e}", paths.trace.display()))?;
+    validate_chrome_trace(&trace_text)
+        .map_err(|e| format!("streamed trace failed validation: {e}"))?;
+
+    let record = serve_record(config, &report, wall_ms);
+    append_serve_record(store_path, &record)?;
+    Ok((report, record, paths))
 }
 
 #[cfg(test)]

@@ -1,0 +1,112 @@
+//! End-to-end determinism of the serve `--telemetry` lane and the HTML
+//! report: same config, same bytes.
+
+use std::path::PathBuf;
+
+use gps_harness::{run_serve_telemetry, serve_key, write_html_report, ResultStore};
+use gps_serve::{serve, ArrivalModel, ServeConfig};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gps-serve-telemetry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        arrival: ArrivalModel::Open {
+            mean_interarrival: 300_000,
+        },
+        jobs: 10,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn telemetry_artifacts_are_byte_identical_across_runs() {
+    let dir = scratch("bytes");
+    let config = test_config();
+    let (report_a, record_a, paths_a) = run_serve_telemetry(
+        &config,
+        &dir.join("a/serve.jsonl"),
+        &dir.join("a/telemetry"),
+    )
+    .unwrap();
+    let (report_b, _, paths_b) = run_serve_telemetry(
+        &config,
+        &dir.join("b/serve.jsonl"),
+        &dir.join("b/telemetry"),
+    )
+    .unwrap();
+
+    // The probed report matches the unprobed lane bit for bit.
+    assert_eq!(report_a, serve(&config).unwrap());
+    assert_eq!(report_a, report_b);
+    assert_eq!(record_a.key, serve_key(&config));
+
+    // Every streamed/derived artifact is byte-identical per seed.
+    for (a, b) in [
+        (&paths_a.metrics, &paths_b.metrics),
+        (&paths_a.trace, &paths_b.trace),
+        (&paths_a.summary, &paths_b.summary),
+    ] {
+        let bytes_a = std::fs::read(a).unwrap();
+        let bytes_b = std::fs::read(b).unwrap();
+        assert!(!bytes_a.is_empty(), "{} must not be empty", a.display());
+        assert_eq!(bytes_a, bytes_b, "{} vs {}", a.display(), b.display());
+    }
+
+    // The metrics stream ends in an intact summary line with no drops.
+    let metrics = std::fs::read_to_string(&paths_a.metrics).unwrap();
+    let last = metrics.lines().last().unwrap();
+    assert!(last.contains("\"k\":\"summary\""));
+    assert!(last.contains("\"dropped_spans\":0"));
+    // One span line per job (arrival-to-completion), tenant-laned.
+    assert_eq!(
+        metrics.matches("\"k\":\"span\"").count() as u64,
+        config.jobs
+    );
+    assert!(metrics.contains("\"track\":\"tenant0\""));
+    assert!(metrics.contains("serve_sojourn_cycles"));
+
+    // The store got exactly one (deduplicated) record.
+    let (records, corrupt) = ResultStore::load_latest(dir.join("a/serve.jsonl")).unwrap();
+    assert_eq!((records.len(), corrupt), (1, 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn html_report_is_byte_identical_for_identical_stores() {
+    let dir = scratch("html");
+    let store = dir.join("serve.jsonl");
+    let config = test_config();
+    run_serve_telemetry(&config, &store, &dir.join("telemetry")).unwrap();
+    // A second operating point so the serve section has a real curve.
+    let faster = ServeConfig {
+        arrival: ArrivalModel::Open {
+            mean_interarrival: 150_000,
+        },
+        ..test_config()
+    };
+    run_serve_telemetry(&faster, &store, &dir.join("telemetry")).unwrap();
+
+    let out_a = dir.join("report-a.html");
+    let out_b = dir.join("report-b.html");
+    let charts_a = write_html_report(&store, &out_a).unwrap();
+    let charts_b = write_html_report(&store, &out_b).unwrap();
+    assert_eq!(charts_a, charts_b);
+    assert!(charts_a >= 1, "the serve lane renders at least one chart");
+
+    let html_a = std::fs::read(&out_a).unwrap();
+    let html_b = std::fs::read(&out_b).unwrap();
+    assert_eq!(html_a, html_b, "identical stores render identical bytes");
+    let text = String::from_utf8(html_a).unwrap();
+    assert!(text.contains("QPS vs tail latency"));
+    assert!(text.contains("jacobi+pagerank"));
+    assert!(text.contains("polyline"), "two points draw a curve");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -450,7 +450,7 @@ pub struct ProbeSite {
 }
 
 /// Collects the name argument of every `.counter(` / `.gauge(` /
-/// `.instant(` call in non-test code.
+/// `.instant(` / `.latency(` call in non-test code.
 pub fn collect_probe_sites(file: &SourceFile, out: &mut Vec<ProbeSite>) {
     let toks = &file.lexed.tokens;
     for i in 0..toks.len() {
@@ -460,7 +460,7 @@ pub fn collect_probe_sites(file: &SourceFile, out: &mut Vec<ProbeSite>) {
         }
         let is_call = matches!(
             ident_at(toks, i),
-            Some("counter") | Some("gauge") | Some("instant")
+            Some("counter") | Some("gauge") | Some("instant") | Some("latency")
         ) && punct_at(toks, i.wrapping_sub(1)) == Some('.')
             && punct_at(toks, i + 1) == Some('(');
         if !is_call {
@@ -718,20 +718,20 @@ let c = 1;
 
     #[test]
     fn probe_rules_cross_check_registry_and_sites() {
-        let reg_src =
-            "pub const TLB_HIT: &str = \"tlb_hit\";\npub const DEAD: &str = \"dead_series\";\n";
+        let reg_src = "pub const TLB_HIT: &str = \"tlb_hit\";\npub const DEAD: &str = \"dead_series\";\npub const SOJOURN: &str = \"sojourn\";\n";
         let (mut reg_file, mut findings) = file_for(reg_src, "obs");
         let registry = parse_registry(&reg_file.lexed);
-        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.len(), 3);
 
         let site_src = "\
 probe.counter(track, names::TLB_HIT, now, 1.0);
 probe.counter(track, \"rogue_series\", now, 1.0);
+probe.latency(track, names::SOJOURN, now, 7);
 ";
         let (mut site_file, _) = file_for(site_src, "sim");
         let mut sites = Vec::new();
         collect_probe_sites(&site_file, &mut sites);
-        assert_eq!(sites.len(), 2);
+        assert_eq!(sites.len(), 3, "latency sites are collected too");
 
         let files = std::slice::from_mut(&mut site_file);
         run_probe_rules(

@@ -67,6 +67,7 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/sim/src/determinism.rs", 20, "float_eq"),
     ("crates/sim/src/determinism.rs", 21, "float_eq"),
     ("crates/sim/src/sites.rs", 3, "probe_unregistered_name"),
+    ("crates/sim/src/sites.rs", 5, "probe_unregistered_name"),
 ];
 
 struct FakeWorkspace {

@@ -1,2 +1,3 @@
 pub const TLB_HIT: &str = "tlb_hit";
 pub const DEAD_SERIES: &str = "dead_series";
+pub const SOJOURN: &str = "sojourn";

@@ -1,4 +1,6 @@
 pub fn emit(p: &ProbeHandle, now: Cycle) {
     p.counter(Track::Gpu(0), names::TLB_HIT, now, 1.0);
     p.instant(Track::Gpu(0), "rogue_series", now);
+    p.latency(Track::tenant(0), names::SOJOURN, now, 7);
+    p.latency(Track::tenant(0), "rogue_latency", now, 7);
 }

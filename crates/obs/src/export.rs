@@ -201,6 +201,34 @@ mod tests {
     }
 
     #[test]
+    fn trace_escapes_hostile_span_names() {
+        // Span names are free-form (kernels label themselves), so the
+        // exporter must route every name through the JSON codec: quotes,
+        // backslashes and control characters may not corrupt the document.
+        let hostile = "mv \"fused\"\\\u{1}\n\ttail";
+        let mut r = Recorder::new(100, 16);
+        r.span(
+            Track::gpu(0),
+            hostile,
+            "kernel",
+            Cycle::ZERO,
+            Cycle::new(10),
+        );
+        let doc = chrome_trace(&r.finish());
+        let parsed = Json::parse(&doc.emit()).expect("hostile names stay valid JSON");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("the span survived");
+        assert_eq!(
+            span.get("name").and_then(Json::as_str),
+            Some(hostile),
+            "name round-trips exactly"
+        );
+    }
+
+    #[test]
     fn breakdown_attributes_counters_to_phases() {
         let text = phase_breakdown(&sample_telemetry());
         assert!(text.contains("phase 0 [0 .. 200) = 200 cycles"));

@@ -2,38 +2,48 @@
 //!
 //! The simulator's [`SimReport`](../gps_sim) aggregates are end-of-run
 //! totals; this crate adds the *time axis*. Instrumented components hold a
-//! clonable [`ProbeHandle`] and emit four kinds of signal:
+//! clonable [`ProbeHandle`] and emit five kinds of signal:
 //!
 //! * **counters** — cycle-bucketed accumulations ([`TimeSeries`]): bytes
 //!   per link, RWQ stores/coalesces, TLB hits/misses;
-//! * **gauges** — sampled levels: RWQ occupancy;
+//! * **gauges** — sampled levels: RWQ occupancy, serve queue depth;
 //! * **spans** — `[start, end)` intervals in a bounded [`EventRing`]:
-//!   kernels, phases, drains;
-//! * **instants** — point events: barriers.
+//!   kernels, phases, drains, served jobs;
+//! * **instants** — point events: barriers;
+//! * **latencies** — integer samples collected into power-of-two
+//!   [`Histogram`]s: per-tenant sojourn times.
 //!
 //! Disabled (the default), a handle is a `None` and every emission is one
 //! predictable branch — no recorder, lock or allocation exists. Probes
 //! observe copies of already-computed values and never feed back into the
 //! simulation, so enabling one cannot change a `SimReport`.
 //!
-//! A finished recording ([`Telemetry`]) exports as a Chrome trace-event
-//! document ([`chrome_trace`], loadable in `chrome://tracing` / Perfetto)
-//! or a per-phase text breakdown ([`phase_breakdown`]).
+//! A handle fans out to an in-memory [`Recorder`], to streaming [`Sink`]s
+//! that write incrementally through a caller-supplied `io::Write`
+//! ([`JsonlSink`], [`ChromeTraceSink`]), or to both at once. A finished
+//! recording ([`Telemetry`]) exports as a Chrome trace-event document
+//! ([`chrome_trace`], loadable in `chrome://tracing` / Perfetto) or a
+//! per-phase text breakdown ([`phase_breakdown`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod hist;
 pub mod names;
 pub mod probe;
 pub mod recorder;
 pub mod ring;
 pub mod series;
+pub mod sink;
 
 pub use export::{chrome_trace, phase_breakdown};
+pub use hist::Histogram;
 pub use probe::{NoopProbe, Probe, ProbeHandle, Track};
 pub use recorder::{
-    Recorder, SeriesData, SeriesKind, Telemetry, DEFAULT_BUCKET_CYCLES, DEFAULT_SPAN_CAPACITY,
+    HistData, Recorder, SeriesData, SeriesKind, Telemetry, DEFAULT_BUCKET_CYCLES,
+    DEFAULT_SPAN_CAPACITY,
 };
 pub use ring::{EventRing, SpanEvent};
 pub use series::TimeSeries;
+pub use sink::{ChromeTraceSink, JsonlSink, Sink};

@@ -67,6 +67,20 @@ pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
 /// GPU-track index).
 pub const SERVE_COMPLETIONS: &str = "serve_completions";
 
+/// Jobs arriving at the serve loop (system-track counter).
+pub const SERVE_ARRIVALS: &str = "serve_arrivals";
+
+/// Tenant slots idle after a serve-loop event (system-track gauge).
+pub const SERVE_FREE_SLOTS: &str = "serve_free_slots";
+
+/// Jobs in flight — queued or in service — for one tenant after a
+/// serve-loop event (per-tenant gauge).
+pub const SERVE_TENANT_IN_FLIGHT: &str = "serve_tenant_in_flight";
+
+/// Per-job sojourn time, arrival to completion, in cycles (per-tenant
+/// latency histogram).
+pub const SERVE_SOJOURN_CYCLES: &str = "serve_sojourn_cycles";
+
 /// Every registered series name, for exhaustive iteration (exports,
 /// documentation, the lint self-test).
 pub const ALL: &[&str] = &[
@@ -87,6 +101,10 @@ pub const ALL: &[&str] = &[
     SERVE_ACTIVE_JOBS,
     SERVE_QUEUE_DEPTH,
     SERVE_COMPLETIONS,
+    SERVE_ARRIVALS,
+    SERVE_FREE_SLOTS,
+    SERVE_TENANT_IN_FLIGHT,
+    SERVE_SOJOURN_CYCLES,
 ];
 
 #[cfg(test)]

@@ -1,17 +1,24 @@
 //! The probe sink interface and the shared, clonable [`ProbeHandle`].
 
+use std::io;
 use std::sync::{Arc, Mutex};
 
 use gps_types::Cycle;
 
 use crate::recorder::{Recorder, Telemetry};
+use crate::sink::Sink;
 
-/// A row of the timeline: the whole system, or one GPU.
+/// First track id of the per-tenant lane space (see [`Track::tenant`]).
+const TENANT_BASE: u32 = 1 << 16;
+
+/// A row of the timeline: the whole system, one GPU, or one tenant lane.
 ///
 /// Tracks map to Chrome trace-event *processes*, so every GPU gets its own
 /// swimlane in `chrome://tracing`/Perfetto and per-GPU series with the same
 /// name (`"dram_read_bytes"` on every GPU) stay distinguishable without
-/// allocating per-GPU metric names.
+/// allocating per-GPU metric names. Tenant lanes live in a disjoint id
+/// range above the GPUs, so a serving run can carry per-GPU *and*
+/// per-tenant series side by side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Track(u32);
 
@@ -24,15 +31,23 @@ impl Track {
         Track(1 + index as u32)
     }
 
+    /// The track of tenant lane `index` (serving-mix position): per-tenant
+    /// in-flight gauges and sojourn histograms in `gps-serve`.
+    pub const fn tenant(index: usize) -> Track {
+        Track(TENANT_BASE + index as u32)
+    }
+
     /// Stable numeric id (Chrome trace `pid`).
     pub const fn id(self) -> u32 {
         self.0
     }
 
-    /// Human-readable row label (`system`, `gpu0`, `gpu1`, ...).
+    /// Human-readable row label (`system`, `gpu0`, ..., `tenant0`, ...).
     pub fn label(self) -> String {
         if self.0 == 0 {
             "system".to_owned()
+        } else if self.0 >= TENANT_BASE {
+            format!("tenant{}", self.0 - TENANT_BASE)
         } else {
             format!("gpu{}", self.0 - 1)
         }
@@ -69,6 +84,13 @@ pub trait Probe: Send {
     fn instant(&mut self, track: Track, name: &'static str, now: Cycle) {
         let _ = (track, name, now);
     }
+
+    /// Records one integer sample (a sojourn time, a queue wait) into the
+    /// power-of-two latency histogram `name` on `track`; `now` timestamps
+    /// the observation for streaming sinks.
+    fn latency(&mut self, track: Track, name: &'static str, now: Cycle, value: u64) {
+        let _ = (track, name, now, value);
+    }
 }
 
 /// The do-nothing sink: every hook inherits the empty default body.
@@ -77,16 +99,45 @@ pub struct NoopProbe;
 
 impl Probe for NoopProbe {}
 
+/// What an enabled [`ProbeHandle`] fans out to: an optional in-memory
+/// [`Recorder`] and any number of streaming [`Sink`]s, all fed the same
+/// emission stream.
+struct Dispatch {
+    recorder: Option<Recorder>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Dispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatch")
+            .field("recorder", &self.recorder)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Dispatch {
+    fn emit(&mut self, f: impl Fn(&mut dyn Probe)) {
+        if let Some(r) = &mut self.recorder {
+            f(r);
+        }
+        for s in &mut self.sinks {
+            f(s.as_mut());
+        }
+    }
+}
+
 /// A clonable handle that instrumented components hold.
 ///
 /// Disabled (the default) it is `None` inside: every emission is a single
 /// predictable branch and no recorder, lock or allocation exists anywhere —
 /// the price of having telemetry compiled in is one null check per probe
-/// site. Enabled, all clones share one [`Recorder`] behind a mutex (a run
+/// site. Enabled, all clones share one [`Dispatch`] — an in-memory
+/// [`Recorder`], streaming [`Sink`]s, or both — behind a mutex (a run
 /// is single-threaded; the lock is uncontended and exists only to keep the
 /// handle `Send` for the harness worker pool).
 #[derive(Debug, Clone, Default)]
-pub struct ProbeHandle(Option<Arc<Mutex<Recorder>>>);
+pub struct ProbeHandle(Option<Arc<Mutex<Dispatch>>>);
 
 impl ProbeHandle {
     /// The disabled handle: all emissions are no-ops.
@@ -96,10 +147,28 @@ impl ProbeHandle {
 
     /// A recording handle with the given bucket width and span capacity.
     pub fn recording(bucket_cycles: u64, span_capacity: usize) -> Self {
-        Self(Some(Arc::new(Mutex::new(Recorder::new(
-            bucket_cycles,
-            span_capacity,
-        )))))
+        Self::recording_with_sinks(bucket_cycles, span_capacity, Vec::new())
+    }
+
+    /// A streaming handle: every emission goes to each sink, nothing is
+    /// buffered in memory ([`finish`](ProbeHandle::finish) returns `None`).
+    pub fn streaming(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self(Some(Arc::new(Mutex::new(Dispatch {
+            recorder: None,
+            sinks,
+        }))))
+    }
+
+    /// A handle that both records in memory and streams to `sinks`.
+    pub fn recording_with_sinks(
+        bucket_cycles: u64,
+        span_capacity: usize,
+        sinks: Vec<Box<dyn Sink>>,
+    ) -> Self {
+        Self(Some(Arc::new(Mutex::new(Dispatch {
+            recorder: Some(Recorder::new(bucket_cycles, span_capacity)),
+            sinks,
+        }))))
     }
 
     /// Whether emissions are recorded. Use to skip *preparing* expensive
@@ -110,62 +179,90 @@ impl ProbeHandle {
         self.0.is_some()
     }
 
+    fn emit(&self, f: impl Fn(&mut dyn Probe)) {
+        if let Some(d) = &self.0 {
+            d.lock()
+                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
+                .expect("dispatch lock")
+                .emit(f);
+        }
+    }
+
     /// Forwards to [`Probe::counter`] when enabled.
     #[inline]
     pub fn counter(&self, track: Track, name: &'static str, now: Cycle, delta: f64) {
-        if let Some(r) = &self.0 {
-            r.lock()
-                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
-                .expect("recorder lock")
-                .counter(track, name, now, delta);
-        }
+        self.emit(|p| p.counter(track, name, now, delta));
     }
 
     /// Forwards to [`Probe::gauge`] when enabled.
     #[inline]
     pub fn gauge(&self, track: Track, name: &'static str, now: Cycle, value: f64) {
-        if let Some(r) = &self.0 {
-            r.lock()
-                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
-                .expect("recorder lock")
-                .gauge(track, name, now, value);
-        }
+        self.emit(|p| p.gauge(track, name, now, value));
     }
 
     /// Forwards to [`Probe::span`] when enabled.
     #[inline]
     pub fn span(&self, track: Track, name: &str, cat: &'static str, start: Cycle, end: Cycle) {
-        if let Some(r) = &self.0 {
-            r.lock()
-                // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
-                .expect("recorder lock")
-                .span(track, name, cat, start, end);
-        }
+        self.emit(|p| p.span(track, name, cat, start, end));
     }
 
     /// Forwards to [`Probe::instant`] when enabled.
     #[inline]
     pub fn instant(&self, track: Track, name: &'static str, now: Cycle) {
-        if let Some(r) = &self.0 {
-            // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
-            r.lock().expect("recorder lock").instant(track, name, now);
-        }
+        self.emit(|p| p.instant(track, name, now));
     }
 
-    /// Extracts everything recorded so far, resetting the shared recorder.
-    /// Returns `None` for a disabled handle.
+    /// Forwards to [`Probe::latency`] when enabled.
+    #[inline]
+    pub fn latency(&self, track: Track, name: &'static str, now: Cycle, value: u64) {
+        self.emit(|p| p.latency(track, name, now, value));
+    }
+
+    /// Extracts everything the in-memory recorder captured so far,
+    /// resetting it. Returns `None` for a disabled or purely streaming
+    /// handle. Attached sinks are unaffected — close them separately with
+    /// [`close_sinks`](ProbeHandle::close_sinks).
     pub fn finish(&self) -> Option<Telemetry> {
-        self.0.as_ref().map(|r| {
-            // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
-            let mut guard = r.lock().expect("recorder lock");
-            guard.take().finish()
-        })
+        let d = self.0.as_ref()?;
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
+        let mut guard = d.lock().expect("dispatch lock");
+        let recorder = guard.recorder.as_mut()?;
+        Some(recorder.take().finish())
+    }
+
+    /// Closes and detaches every attached sink (format trailers, flush),
+    /// returning the first I/O error any sink latched. A second call — or
+    /// a call on a disabled/recorder-only handle — is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first latched or trailing write error across the sinks.
+    pub fn close_sinks(&self) -> io::Result<()> {
+        let Some(d) = &self.0 else {
+            return Ok(());
+        };
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
+        let mut guard = d.lock().expect("dispatch lock");
+        let mut sinks = std::mem::take(&mut guard.sinks);
+        drop(guard);
+        let mut first_err = None;
+        for sink in &mut sinks {
+            if let Err(e) = sink.close() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::JsonlSink;
+    use std::io::Write;
 
     #[test]
     fn tracks_are_stable_and_labelled() {
@@ -174,6 +271,10 @@ mod tests {
         assert_eq!(Track::gpu(3).label(), "gpu3");
         assert_eq!(Track::SYSTEM.label(), "system");
         assert!(Track::gpu(0) > Track::SYSTEM);
+        assert_eq!(Track::tenant(0).label(), "tenant0");
+        assert_eq!(Track::tenant(2).label(), "tenant2");
+        // Tenant lanes never collide with any plausible GPU index.
+        assert!(Track::tenant(0) > Track::gpu(60_000));
     }
 
     #[test]
@@ -182,7 +283,9 @@ mod tests {
         assert!(!h.is_enabled());
         h.counter(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
         h.span(Track::SYSTEM, "s", "cat", Cycle::ZERO, Cycle::new(5));
+        h.latency(Track::SYSTEM, "l", Cycle::ZERO, 9);
         assert!(h.finish().is_none());
+        assert!(h.close_sinks().is_ok());
     }
 
     #[test]
@@ -192,6 +295,7 @@ mod tests {
         p.gauge(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
         p.span(Track::SYSTEM, "s", "c", Cycle::ZERO, Cycle::ZERO);
         p.instant(Track::SYSTEM, "i", Cycle::ZERO);
+        p.latency(Track::SYSTEM, "l", Cycle::ZERO, 1);
     }
 
     #[test]
@@ -206,5 +310,49 @@ mod tests {
         // finish() resets: a second finish sees an empty recorder.
         let t2 = h2.finish().unwrap();
         assert!(t2.counters.is_empty());
+    }
+
+    #[derive(Clone, Default)]
+    struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn recorder_and_sink_see_the_same_stream() {
+        let buf = Shared::default();
+        let h =
+            ProbeHandle::recording_with_sinks(100, 16, vec![Box::new(JsonlSink::new(buf.clone()))]);
+        h.counter(Track::gpu(1), "bytes", Cycle::new(5), 64.0);
+        h.latency(Track::tenant(0), "sojourn", Cycle::new(9), 31);
+        let t = h.finish().unwrap();
+        assert_eq!(t.counters.len(), 1);
+        assert_eq!(t.hists.len(), 1);
+        h.close_sinks().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"k\":\"counter\""));
+        assert!(text.contains("\"k\":\"latency\""));
+        assert!(text.contains("\"k\":\"summary\""));
+        // Sinks are detached after close: further closes are no-ops.
+        h.close_sinks().unwrap();
+    }
+
+    #[test]
+    fn streaming_handle_has_no_recorder() {
+        let buf = Shared::default();
+        let h = ProbeHandle::streaming(vec![Box::new(JsonlSink::new(buf.clone()))]);
+        assert!(h.is_enabled());
+        h.gauge(Track::SYSTEM, "depth", Cycle::ZERO, 1.0);
+        assert!(h.finish().is_none());
+        h.close_sinks().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"k\":\"gauge\""));
     }
 }

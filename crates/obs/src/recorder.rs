@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use gps_types::Cycle;
 
+use crate::hist::Histogram;
 use crate::probe::{Probe, Track};
 use crate::ring::{EventRing, SpanEvent};
 use crate::series::TimeSeries;
@@ -37,6 +38,17 @@ pub struct SeriesData {
     pub series: TimeSeries,
 }
 
+/// One named, track-scoped latency histogram of a finished recording.
+#[derive(Debug, Clone)]
+pub struct HistData {
+    /// Timeline row.
+    pub track: Track,
+    /// Metric name.
+    pub name: &'static str,
+    /// The power-of-two-bucketed samples.
+    pub hist: Histogram,
+}
+
 /// Everything one recording captured, ready for export.
 #[derive(Debug, Clone)]
 pub struct Telemetry {
@@ -46,6 +58,8 @@ pub struct Telemetry {
     pub counters: Vec<SeriesData>,
     /// Gauge series, ordered by `(track, name)`.
     pub gauges: Vec<SeriesData>,
+    /// Latency histograms, ordered by `(track, name)`.
+    pub hists: Vec<HistData>,
     /// Spans and instants, oldest first.
     pub spans: Vec<SpanEvent>,
     /// Spans evicted from the bounded ring (0 = complete).
@@ -74,6 +88,14 @@ impl Telemetry {
             .map(|s| &s.series)
     }
 
+    /// The latency histogram `name` on `track`, if recorded.
+    pub fn hist(&self, track: Track, name: &str) -> Option<&Histogram> {
+        self.hists
+            .iter()
+            .find(|h| h.track == track && h.name == name)
+            .map(|h| &h.hist)
+    }
+
     /// Spans of category `cat`, in recorded order.
     pub fn spans_of<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a SpanEvent> + 'a {
         self.spans.iter().filter(move |s| s.cat == cat)
@@ -92,6 +114,7 @@ pub struct Recorder {
     span_capacity: usize,
     counters: BTreeMap<(Track, &'static str), TimeSeries>,
     gauges: BTreeMap<(Track, &'static str), TimeSeries>,
+    hists: BTreeMap<(Track, &'static str), Histogram>,
     ring: EventRing,
 }
 
@@ -103,6 +126,7 @@ impl Recorder {
             span_capacity,
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
             ring: EventRing::new(span_capacity),
         }
     }
@@ -129,6 +153,11 @@ impl Recorder {
             bucket_cycles: self.bucket_cycles,
             counters: pack(self.counters, SeriesKind::Counter),
             gauges: pack(self.gauges, SeriesKind::Gauge),
+            hists: self
+                .hists
+                .into_iter()
+                .map(|((track, name), hist)| HistData { track, name, hist })
+                .collect(),
             dropped_spans: self.ring.dropped(),
             spans: self.ring.into_events(),
         }
@@ -177,6 +206,10 @@ impl Probe for Recorder {
             end: now,
         });
     }
+
+    fn latency(&mut self, track: Track, name: &'static str, _now: Cycle, value: u64) {
+        self.hists.entry((track, name)).or_default().record(value);
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +249,39 @@ mod tests {
         assert_eq!(t.spans_of("phase").count(), 1);
         assert_eq!(t.spans_of("mark").next().unwrap().duration(), 0);
         assert_eq!(t.dropped_spans, 0);
+    }
+
+    #[test]
+    fn latency_samples_collect_into_histograms() {
+        let mut r = Recorder::new(100, 8);
+        r.latency(Track::tenant(0), "sojourn", Cycle::new(10), 100);
+        r.latency(Track::tenant(0), "sojourn", Cycle::new(20), 300);
+        r.latency(Track::tenant(1), "sojourn", Cycle::new(30), 7);
+        let t = r.finish();
+        assert_eq!(t.hists.len(), 2);
+        let h = t.hist(Track::tenant(0), "sojourn").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(100));
+        assert_eq!(h.max(), Some(300));
+        assert_eq!(t.hist(Track::tenant(1), "sojourn").unwrap().count(), 1);
+        assert!(t.hist(Track::tenant(2), "sojourn").is_none());
+    }
+
+    #[test]
+    fn span_ring_overflow_is_counted_not_silent() {
+        let mut r = Recorder::new(100, 4);
+        for n in 0..10u64 {
+            r.span(
+                Track::SYSTEM,
+                &format!("phase {n}"),
+                "phase",
+                Cycle::new(n * 10),
+                Cycle::new(n * 10 + 10),
+            );
+        }
+        let t = r.finish();
+        assert_eq!(t.spans.len(), 4, "ring keeps the newest spans");
+        assert_eq!(t.dropped_spans, 6, "every eviction is counted");
     }
 
     #[test]

@@ -55,6 +55,7 @@ impl ServeReport {
         }
         // Nearest rank: smallest index whose rank covers p percent.
         let rank = (u64::from(p) * n).div_ceil(100).clamp(1, n);
+        // gps-lint: allow(no_slice_index) -- rank is clamped to [1, latencies.len()]
         self.latencies[(rank - 1) as usize]
     }
 

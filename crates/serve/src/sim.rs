@@ -33,10 +33,15 @@ pub fn serve(config: &ServeConfig) -> Result<ServeReport, String> {
     serve_probed(config, ProbeHandle::disabled())
 }
 
-/// [`serve`] with a telemetry probe: the loop emits the system-track
-/// `serve_active_jobs` / `serve_queue_depth` gauges after every event and
-/// a per-slot `serve_completions` counter at each completion. Probes only
-/// observe — the report is bit-identical to the unprobed run's.
+/// [`serve`] with a telemetry probe. The loop emits, on the system track,
+/// a `serve_arrivals` counter per arrival and `serve_active_jobs` /
+/// `serve_queue_depth` / `serve_free_slots` gauges after every event; per
+/// slot, a `serve_completions` counter at each completion; and per tenant
+/// lane ([`Track::tenant`] indexed by mix position), a
+/// `serve_tenant_in_flight` gauge, a `serve_sojourn_cycles` latency
+/// histogram, and one `"job"`-category span per job from arrival to
+/// completion. Probes only observe — the report is bit-identical to the
+/// unprobed run's.
 ///
 /// # Errors
 ///
@@ -63,6 +68,9 @@ pub fn serve_probed(config: &ServeConfig, probe: ProbeHandle) -> Result<ServeRep
     let mut latencies: Vec<u64> = Vec::new();
     let mut per_app: Vec<(String, u64)> = config.mix.iter().map(|m| (m.clone(), 0)).collect();
     let mut makespan = Cycle::ZERO;
+    // Probe-only bookkeeping: queued + in-service jobs per tenant lane.
+    // Never read by the simulation, so the report stays bit-identical.
+    let mut in_flight: Vec<u64> = vec![0; config.mix.len()];
 
     match config.arrival {
         ArrivalModel::Closed { concurrency } => {
@@ -96,6 +104,19 @@ pub fn serve_probed(config: &ServeConfig, probe: ProbeHandle) -> Result<ServeRep
         match ev.kind {
             EventKind::Arrival => {
                 arrival_of.insert(ev.job, now.as_u64());
+                if probe.is_enabled() {
+                    probe.counter(Track::SYSTEM, names::SERVE_ARRIVALS, now, 1.0);
+                    let mix_idx = (ev.job % config.mix.len() as u64) as usize;
+                    if let Some(n) = in_flight.get_mut(mix_idx) {
+                        *n += 1;
+                        probe.gauge(
+                            Track::tenant(mix_idx),
+                            names::SERVE_TENANT_IN_FLIGHT,
+                            now,
+                            *n as f64,
+                        );
+                    }
+                }
                 if let ArrivalModel::Open { mean_interarrival } = config.arrival {
                     // Chain the next arrival before anything else touches
                     // the RNG, so the arrival schedule depends only on the
@@ -134,7 +155,8 @@ pub fn serve_probed(config: &ServeConfig, probe: ProbeHandle) -> Result<ServeRep
                 let arrived = arrival_of.remove(&ev.job).ok_or_else(|| {
                     format!("job {} completed without a recorded arrival", ev.job)
                 })?;
-                latencies.push(now.as_u64() - arrived);
+                let sojourn = now.as_u64() - arrived;
+                latencies.push(sojourn);
                 let mix_idx = (ev.job % config.mix.len() as u64) as usize;
                 if let Some((_, count)) = per_app.get_mut(mix_idx) {
                     *count += 1;
@@ -145,6 +167,15 @@ pub fn serve_probed(config: &ServeConfig, probe: ProbeHandle) -> Result<ServeRep
                     now,
                     1.0,
                 );
+                if probe.is_enabled() {
+                    let lane = Track::tenant(mix_idx);
+                    probe.latency(lane, names::SERVE_SOJOURN_CYCLES, now, sojourn);
+                    probe.span(lane, config.app_of(ev.job), "job", Cycle::new(arrived), now);
+                    if let Some(n) = in_flight.get_mut(mix_idx) {
+                        *n = n.saturating_sub(1);
+                        probe.gauge(lane, names::SERVE_TENANT_IN_FLIGHT, now, *n as f64);
+                    }
+                }
                 if let Some(waiting) = queue.pop_front() {
                     dispatch(
                         waiting,
@@ -179,6 +210,12 @@ pub fn serve_probed(config: &ServeConfig, probe: ProbeHandle) -> Result<ServeRep
             names::SERVE_QUEUE_DEPTH,
             now,
             queue.len() as f64,
+        );
+        probe.gauge(
+            Track::SYSTEM,
+            names::SERVE_FREE_SLOTS,
+            now,
+            free.len() as f64,
         );
     }
 
