@@ -126,6 +126,8 @@ fn spec(paradigm: Paradigm, gpus: usize, link: LinkGen, scale: ScaleProfile) -> 
         link,
         scale,
         pressure: MemoryPressure::NONE,
+        topology: gps_interconnect::Topology::Switch,
+        parallel: 0,
     }
 }
 
@@ -212,7 +214,7 @@ fn run_default_machine(ctx: &FigureCtx, jobs: &[(&'static str, RunSpec)]) -> Vec
             jobs.iter()
                 .map(|&(name, s)| {
                     let app = suite::by_name(name).expect("known app");
-                    move || fig_run(&measure(&app, s))
+                    move || fig_run(&measure(&app, s).expect("workload/machine mismatch"))
                 })
                 .collect(),
         );
@@ -568,7 +570,8 @@ pub fn fig14(scale: ScaleProfile) -> Figure {
                         &app,
                         spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
                         &mut policy,
-                    );
+                    )
+                    .expect("workload/machine mismatch");
                     m.report.metric("rwq_hit_rate").unwrap_or(0.0) * 100.0
                 }
             })
@@ -609,7 +612,8 @@ pub fn gps_tlb_sensitivity(scale: ScaleProfile) -> Figure {
                         &app,
                         spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
                         &mut policy,
-                    );
+                    )
+                    .expect("workload/machine mismatch");
                     m.report.metric("gps_tlb_hit_rate").unwrap_or(0.0) * 100.0
                 }
             })
@@ -659,7 +663,8 @@ pub fn watermark_sensitivity(scale: ScaleProfile) -> Figure {
                         &app,
                         spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
                         &mut policy,
-                    );
+                    )
+                    .expect("workload/machine mismatch");
                     m.report.metric("rwq_hit_rate").unwrap_or(0.0) * 100.0
                 }
             })
@@ -705,7 +710,8 @@ pub fn profiling_mode(scale: ScaleProfile) -> Figure {
                         &app,
                         spec(Paradigm::Gps, 4, LinkGen::Pcie3, scale),
                         &mut policy,
-                    );
+                    )
+                    .expect("workload/machine mismatch");
                     let ppi = 2;
                     let iter0 = m.report.phase_ends[ppi - 1].as_u64() as f64;
                     (iter0, m.steady_cycles)
@@ -819,7 +825,7 @@ pub fn topology_comparison(scale: ScaleProfile) -> Figure {
         apps.iter()
             .map(|app| {
                 let app = suite::by_name(app.name).expect("known app");
-                move || baseline(&app, scale)
+                move || baseline(&app, scale).expect("workload/machine mismatch")
             })
             .collect(),
     );
@@ -981,7 +987,8 @@ pub fn page_size_sensitivity(scale: ScaleProfile) -> Figure {
                 move || {
                     let workload = (app.build_paged)(4, scale, page);
                     let report =
-                        gps_paradigms::run_paradigm(Paradigm::Gps, &workload, 4, LinkGen::Pcie3);
+                        gps_paradigms::run_paradigm(Paradigm::Gps, &workload, 4, LinkGen::Pcie3)
+                            .expect("workload/machine mismatch");
                     crate::runner::steady_cycles_per_iteration(
                         &report,
                         workload.phases_per_iteration,

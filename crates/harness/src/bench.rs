@@ -1,4 +1,4 @@
-//! `gps-run bench` — the streaming-pipeline micro-suite.
+//! `gps-run bench` — the streaming-pipeline and engine micro-suite.
 //!
 //! A fixed set of benchmark cases that quantify what the streaming warp
 //! pipeline buys over the materialised baseline, at three scales:
@@ -17,6 +17,12 @@
 //!   computed, not decoded. (The measured answer: nothing — it loses at
 //!   every scale — which is why the default depth is now 0 and the
 //!   pipelined legs are opt-in.)
+//! * **engine cases** — a suite application simulated twice: once on the
+//!   classic sequential event loop (`parallel_workers = 0`) and once on
+//!   the deterministic lane engine (`parallel_workers = 1`). Both legs
+//!   must produce bit-identical [`SimReport`]s; the interesting number is
+//!   `speedup_parallel`, the wall-clock win from per-GPU event lanes and
+//!   lane-local run-ahead at 16-GPU paper scale.
 //!
 //! Results are written to `BENCH_sim.json` (wall-clock milliseconds and
 //! peak RSS per leg). The schema is versioned and checked by CI; the
@@ -41,7 +47,10 @@ use gps_workloads::{suite, ScaleProfile};
 ///
 /// v2: `peak_rss_kb` became nullable — `null` when `/proc` is unreadable
 /// instead of a fake `0` masquerading as a measurement.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `engine` cases (sequential vs parallel lane-engine legs) with a
+/// per-leg `workers` field and a per-case `speedup_parallel`.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Pipeline depth used for the pipelined legs when the caller does not
 /// override it. `0` — no overlapped expansion — after the measured suite
@@ -77,10 +86,13 @@ impl Default for BenchOptions {
 /// One timed execution.
 #[derive(Debug, Clone)]
 pub struct BenchLeg {
-    /// Leg label (`materialised`, `streaming`, `streaming_pipelined`, ...).
+    /// Leg label (`materialised`, `streaming`, `sequential`, `parallel`, ...).
     pub mode: &'static str,
     /// Pipeline depth the leg ran at.
     pub depth: usize,
+    /// Parallel lane-engine workers the leg ran with (`0` = the classic
+    /// sequential event loop; engine cases only, `0` elsewhere).
+    pub workers: usize,
     /// Best-of-reps wall-clock milliseconds.
     pub wall_ms: f64,
     /// Peak RSS in KiB after the leg (`VmHWM`); `None` — serialised as
@@ -96,7 +108,7 @@ pub struct BenchLeg {
 pub struct BenchCase {
     /// Case name (`replay_paper_4gpu`, ...).
     pub name: String,
-    /// `trace_replay` or `synthetic`.
+    /// `trace_replay`, `synthetic` or `engine`.
     pub kind: &'static str,
     /// GPU count.
     pub gpus: usize,
@@ -127,6 +139,12 @@ impl BenchCase {
     /// materialised one (trace-replay cases only).
     pub fn speedup_pipelined(&self) -> Option<f64> {
         Some(self.leg_wall("materialised")? / self.leg_wall("streaming_pipelined")?)
+    }
+
+    /// Wall-clock speedup of the parallel lane-engine leg over the
+    /// sequential event loop (engine cases only).
+    pub fn speedup_parallel(&self) -> Option<f64> {
+        Some(self.leg_wall("sequential")? / self.leg_wall("parallel")?)
     }
 }
 
@@ -159,6 +177,7 @@ impl BenchReport {
                         Json::Obj(vec![
                             ("mode".into(), Json::Str(l.mode.into())),
                             ("depth".into(), Json::Num(l.depth as f64)),
+                            ("workers".into(), Json::Num(l.workers as f64)),
                             ("wall_ms".into(), Json::Num(l.wall_ms)),
                             (
                                 "peak_rss_kb".into(),
@@ -184,6 +203,9 @@ impl BenchReport {
                 if let Some(s) = c.speedup_pipelined() {
                     fields.push(("speedup_pipelined".into(), Json::Num(round3(s))));
                 }
+                if let Some(s) = c.speedup_parallel() {
+                    fields.push(("speedup_parallel".into(), Json::Num(round3(s))));
+                }
                 Json::Obj(fields)
             })
             .collect();
@@ -194,7 +216,7 @@ impl BenchReport {
             ),
             (
                 "bench".into(),
-                Json::Str("gps streaming-pipeline micro-suite".into()),
+                Json::Str("gps streaming-pipeline & engine micro-suite".into()),
             ),
             ("quick".into(), Json::Bool(self.quick)),
             (
@@ -283,11 +305,27 @@ fn simulate(workload: &Workload, depth: usize) -> SimReport {
         .run()
 }
 
-/// One leg description: how to rebuild the workload and at what depth to
-/// simulate it.
+/// Simulates `workload` under the all-local policy with the given number
+/// of parallel lane-engine workers (`0` = classic sequential event loop).
+/// Engine cases run over NVLink so the conservative epoch window matches
+/// the fabric the 16-GPU paper configuration uses.
+fn simulate_engine(workload: &Workload, workers: usize) -> SimReport {
+    let mut config = SimConfig::gv100_system(workload.gpu_count).with_parallel_workers(workers);
+    config.page_size = workload.page_size;
+    let mut policy = AllLocalPolicy::new();
+    Engine::new(config, LinkGen::NvLink2, workload, &mut policy)
+        // gps-lint: allow(no_expect) -- config is derived from the workload's own gpu_count/page_size
+        .expect("bench workload/machine mismatch")
+        .run()
+}
+
+/// One leg description: how to rebuild the workload and how to simulate
+/// it — at a pipeline depth (`workers: None`) or on the lane engine with
+/// the given worker count (`workers: Some(n)`).
 struct LegSpec<'a> {
     mode: &'static str,
     depth: usize,
+    workers: Option<usize>,
     build: Box<dyn Fn() -> Workload + 'a>,
 }
 
@@ -315,7 +353,10 @@ fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) 
             try_reset_peak_rss();
             let start = Instant::now();
             let wl = (leg.build)();
-            let r = simulate(&wl, leg.depth);
+            let r = match leg.workers {
+                Some(workers) => simulate_engine(&wl, workers),
+                None => simulate(&wl, leg.depth),
+            };
             drop(wl);
             let wall = start.elapsed().as_secs_f64() * 1e3;
             state.wall_ms = state.wall_ms.min(wall);
@@ -336,6 +377,7 @@ fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) 
         bench_legs.push(BenchLeg {
             mode: leg.mode,
             depth: leg.depth,
+            workers: leg.workers.unwrap_or(0),
             wall_ms: state.wall_ms,
             peak_rss_kb: state.rss_kb,
             total_cycles: report.total_cycles.as_u64(),
@@ -379,6 +421,7 @@ fn trace_replay_case(
     let mut legs = vec![LegSpec {
         mode: "streaming",
         depth: 0,
+        workers: None,
         // gps-lint: allow(no_expect) -- trace was recorded in-process two lines up
         build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
     }];
@@ -386,6 +429,7 @@ fn trace_replay_case(
         legs.push(LegSpec {
             mode: "streaming_pipelined",
             depth,
+            workers: None,
             // gps-lint: allow(no_expect) -- trace was recorded in-process above
             build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
         });
@@ -393,6 +437,7 @@ fn trace_replay_case(
     legs.push(LegSpec {
         mode: "materialised",
         depth: 0,
+        workers: None,
         build: Box::new(|| {
             trace
                 .replay_materialised("bench")
@@ -447,12 +492,14 @@ fn synthetic_case(
     let mut legs = vec![LegSpec {
         mode: "generator",
         depth: 0,
+        workers: None,
         build: Box::new(move || (entry.build)(gpus, scale)),
     }];
     if depth > 0 {
         legs.push(LegSpec {
             mode: "generator_pipelined",
             depth,
+            workers: None,
             build: Box::new(move || (entry.build)(gpus, scale)),
         });
     }
@@ -474,6 +521,66 @@ fn synthetic_case(
         println!(
             "[bench] {name}: generator {:.1} ms{pipelined} (identical: {})",
             case.leg_wall("generator").unwrap_or(0.0),
+            case.reports_identical,
+        );
+    }
+    Ok(case)
+}
+
+/// An engine case: the same suite application on the classic sequential
+/// event loop (`workers = 0`) and on the deterministic lane engine
+/// (`workers = 1`). The legs run in interleaved rounds like every other
+/// case; the bench fails if their reports diverge, so the published
+/// `speedup_parallel` is always a speedup over a bit-identical result.
+fn engine_case(
+    name: &str,
+    app: &str,
+    gpus: usize,
+    scale: ScaleProfile,
+    reps: u32,
+    log: bool,
+) -> std::io::Result<BenchCase> {
+    let entry = suite::by_name(app).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("bench case {name} names unknown suite application {app:?}"),
+        )
+    })?;
+    let total_warps = (entry.build)(gpus, scale).total_warps();
+    // The sequential leg goes first in each round for the same reason the
+    // streaming leg does: without a peak-RSS reset `VmHWM` is monotone.
+    let legs = vec![
+        LegSpec {
+            mode: "sequential",
+            depth: 0,
+            workers: Some(0),
+            build: Box::new(move || (entry.build)(gpus, scale)),
+        },
+        LegSpec {
+            mode: "parallel",
+            depth: 0,
+            workers: Some(1),
+            build: Box::new(move || (entry.build)(gpus, scale)),
+        },
+    ];
+    let (timed, reports) = run_legs(&legs, reps);
+    let case = BenchCase {
+        name: name.to_owned(),
+        kind: "engine",
+        gpus,
+        total_warps,
+        trace_bytes: 0,
+        reps,
+        legs: timed,
+        reports_identical: reports_identical(&reports),
+    };
+    if log {
+        println!(
+            "[bench] {name}: sequential {:.1} ms, parallel {:.1} ms \
+             (speedup {:.2}x, identical: {})",
+            case.leg_wall("sequential").unwrap_or(0.0),
+            case.leg_wall("parallel").unwrap_or(0.0),
+            case.speedup_parallel().unwrap_or(0.0),
             case.reports_identical,
         );
     }
@@ -522,6 +629,14 @@ pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<Bench
             depth,
             log,
         )?);
+        cases.push(engine_case(
+            "engine_jacobi_tiny_2gpu",
+            "jacobi",
+            2,
+            ScaleProfile::Tiny,
+            1,
+            log,
+        )?);
     } else {
         cases.push(trace_replay_case(
             "replay_small_1gpu",
@@ -557,6 +672,24 @@ pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<Bench
             ScaleProfile::Small,
             1,
             depth,
+            log,
+        )?);
+        // The engine cases back the parallel-engine acceptance claim: the
+        // 16-GPU paper-scale leg is where per-GPU lanes pay off.
+        cases.push(engine_case(
+            "engine_jacobi_paper_4gpu",
+            "jacobi",
+            4,
+            ScaleProfile::Paper,
+            3,
+            log,
+        )?);
+        cases.push(engine_case(
+            "engine_pagerank_paper_16gpu",
+            "pagerank",
+            16,
+            ScaleProfile::Paper,
+            3,
             log,
         )?);
     }
@@ -642,7 +775,14 @@ mod tests {
                 assert!(case.get(key).is_some(), "case missing {key}");
             }
             for leg in case.get("legs").and_then(Json::as_arr).unwrap() {
-                for key in ["mode", "depth", "wall_ms", "peak_rss_kb", "total_cycles"] {
+                for key in [
+                    "mode",
+                    "depth",
+                    "workers",
+                    "wall_ms",
+                    "peak_rss_kb",
+                    "total_cycles",
+                ] {
                     assert!(leg.get(key).is_some(), "leg missing {key}");
                 }
             }
@@ -652,6 +792,19 @@ mod tests {
             .find(|c| c.get("kind").and_then(Json::as_str) == Some("trace_replay"))
             .expect("a trace_replay case");
         assert!(replay.get("speedup_streaming").is_some());
+        let engine = cases
+            .iter()
+            .find(|c| c.get("kind").and_then(Json::as_str) == Some("engine"))
+            .expect("an engine case");
+        assert!(engine.get("speedup_parallel").is_some());
+        let modes: Vec<_> = engine
+            .get("legs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|l| l.get("mode").and_then(Json::as_str).unwrap().to_owned())
+            .collect();
+        assert_eq!(modes, ["sequential", "parallel"]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -683,6 +836,7 @@ mod tests {
                     BenchLeg {
                         mode: "generator",
                         depth: 0,
+                        workers: 0,
                         wall_ms: 1.0,
                         peak_rss_kb: None,
                         total_cycles: 1,
@@ -690,6 +844,7 @@ mod tests {
                     BenchLeg {
                         mode: "generator_pipelined",
                         depth: 0,
+                        workers: 0,
                         wall_ms: 1.0,
                         peak_rss_kb: Some(4096),
                         total_cycles: 1,

@@ -6,7 +6,7 @@
 //! gps-run serve    [flags]     multi-tenant serving simulation (QPS + tail latency)
 //! gps-run report   [flags]     print the result store as a table or CSV
 //! gps-run timeline <run-key>   reconstruct a run's cycle-resolved Chrome trace
-//! gps-run bench    [flags]     run the streaming-pipeline micro-suite
+//! gps-run bench    [flags]     run the streaming-pipeline & engine micro-suite
 //! gps-run gc       [flags]     compact the store to the latest record per key
 //! gps-run lint     [flags]     run the determinism & panic-hygiene analyzer
 //! ```
@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use gps_harness::bench::BenchOptions;
 use gps_harness::store::{ResultStore, RunStatus};
 use gps_harness::sweep::{run_sweep, SweepOptions, SweepSpec};
-use gps_interconnect::LinkGen;
+use gps_interconnect::{LinkGen, Topology};
 use gps_paradigms::Paradigm;
 use gps_serve::{ArrivalModel, ServeConfig};
 use gps_sim::{MemoryPressure, VictimPolicy};
@@ -59,6 +59,13 @@ SWEEP / RESUME FLAGS:
                           point, ratios <= 1.0 behave like no pressure
     --victim-policy <lru|random>
                           eviction victim policy under pressure, default lru
+    --topologies <t,..|all>
+                          fabric topologies (switch|ring|nvswitch|pcietree),
+                          default switch; each topology is one sweep point
+    --parallel <n>        run every unit on the parallel lane engine with n
+                          workers (0 = sequential engine, the default); worker
+                          counts beyond 1 change wall-clock only, results and
+                          run keys are worker-invariant
 
 SERVE FLAGS:
     simulates a stream of jobs from an application mix sharing one machine
@@ -98,9 +105,10 @@ TIMELINE (gps-run timeline <run-key> [flags]):
     --out <dir>           output directory, default results/telemetry
 
 BENCH FLAGS:
-    runs the fixed streaming-pipeline micro-suite (trace replay materialised
-    vs streaming vs pipelined, plus a synthetic generator case) and writes
-    wall-clock + peak-RSS results as JSON
+    runs the fixed streaming-pipeline & engine micro-suite (trace replay
+    materialised vs streaming vs pipelined, a synthetic generator case, and
+    sequential vs parallel lane-engine cases at 4/16-GPU paper scale) and
+    writes wall-clock + peak-RSS results as JSON
     --out <path>          output file, default BENCH_sim.json
     --quick               reduced suite (small cases, 1 rep) for CI smoke
     --pipeline-depth <n>  depth for the pipelined legs; default 0, which
@@ -241,6 +249,19 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                         .parse::<VictimPolicy>()
                         .map_err(|e| e.to_string())?,
                 );
+            }
+            "--topologies" => {
+                let v = value()?;
+                parsed.spec.topologies = if v == "all" {
+                    Topology::ALL.to_vec()
+                } else {
+                    split_list(v)
+                        .map(|s| s.parse::<Topology>().map_err(|e| e.to_string()))
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "--parallel" => {
+                parsed.spec.parallel = value()?.parse().map_err(|e| format!("--parallel: {e}"))?;
             }
             "--fresh" => {
                 if is_resume {
@@ -591,6 +612,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 "{:<22} streaming {s:.2}x{pipelined} over materialised",
                 case.name
             );
+        }
+        if let Some(s) = case.speedup_parallel() {
+            println!("{:<27} parallel {s:.2}x over sequential", case.name);
         }
     }
     Ok(())

@@ -3,11 +3,13 @@
 //!
 //! [`html_report`] renders two chart families from one store:
 //!
-//! * **Paradigm-vs-app slowdown grids** — for every machine shape
-//!   (GPU count × link × scale) in the sweep lane, a grouped bar chart of
-//!   each paradigm's steady-state slowdown per application, normalised to
-//!   the GPS row of the same group (or the group's fastest paradigm when
-//!   GPS was not swept).
+//! * **Paradigm-vs-app slowdown grids** — grouped by GPU count, then one
+//!   grid per fabric shape (link × scale × topology) in the sweep lane: a
+//!   grouped bar chart of each paradigm's steady-state slowdown per
+//!   application, normalised to the GPS row of the same group (or the
+//!   group's fastest paradigm when GPS was not swept). The GPU-count
+//!   grouping puts the paper's scaling story side by side — the 4-GPU and
+//!   16-GPU grids of the same fabric read top to bottom.
 //! * **QPS-vs-tail-latency curves** — for every serving configuration
 //!   (mix × paradigm × machine × slots), the p50/p95/p99 job latency
 //!   against sustained QPS across that configuration's stored points.
@@ -301,13 +303,17 @@ pub fn html_report(records: &[RunRecord]) -> String {
             .count(),
     );
 
-    // Sweep lane: one slowdown grid per machine shape.
+    // Sweep lane: grids grouped by GPU count, one grid per fabric shape
+    // (link × scale × topology) within each count.
     body.push_str("<h2>Paradigm slowdown by application</h2>");
-    let mut machines: BTreeMap<(u64, String, String), Vec<&RunRecord>> = BTreeMap::new();
+    type FabricShape = (String, String, String);
+    let mut machines: BTreeMap<u64, BTreeMap<FabricShape, Vec<&RunRecord>>> = BTreeMap::new();
     for r in &sweep_rows {
         if r.steady_cycles > 0.0 {
             machines
-                .entry((r.gpus, r.link.clone(), r.scale.clone()))
+                .entry(r.gpus)
+                .or_default()
+                .entry((r.link.clone(), r.scale.clone(), r.topology.clone()))
                 .or_default()
                 .push(r);
         }
@@ -315,43 +321,48 @@ pub fn html_report(records: &[RunRecord]) -> String {
     if machines.is_empty() {
         body.push_str("<p>No successful sweep records in the store.</p>");
     }
-    for ((gpus, link, scale), rows) in &machines {
-        // Baseline per app: the GPS row when swept, else the app's fastest.
-        let mut baselines: BTreeMap<&str, f64> = BTreeMap::new();
-        for r in rows {
-            if r.paradigm == "gps" {
-                baselines.insert(r.app.as_str(), r.steady_cycles);
+    for (gpus, shapes) in &machines {
+        let _ = write!(body, "<h3>{gpus} GPU</h3>");
+        for ((link, scale, topology), rows) in shapes {
+            // Baseline per app: the GPS row when swept, else the app's
+            // fastest.
+            let mut baselines: BTreeMap<&str, f64> = BTreeMap::new();
+            for r in rows {
+                if r.paradigm == "gps" {
+                    baselines.insert(r.app.as_str(), r.steady_cycles);
+                }
             }
-        }
-        for r in rows {
-            let e = baselines.entry(r.app.as_str()).or_insert(f64::INFINITY);
-            if !rows.iter().any(|o| o.app == r.app && o.paradigm == "gps") {
-                *e = e.min(r.steady_cycles);
+            for r in rows {
+                let e = baselines.entry(r.app.as_str()).or_insert(f64::INFINITY);
+                if !rows.iter().any(|o| o.app == r.app && o.paradigm == "gps") {
+                    *e = e.min(r.steady_cycles);
+                }
             }
-        }
-        let mut bars: Vec<Bar> = rows
-            .iter()
-            .filter_map(|r| {
-                let base = *baselines.get(r.app.as_str())?;
-                (base > 0.0 && base.is_finite()).then(|| Bar {
-                    app: r.app.clone(),
-                    paradigm: r.paradigm.clone(),
-                    slowdown: r.steady_cycles / base,
+            let mut bars: Vec<Bar> = rows
+                .iter()
+                .filter_map(|r| {
+                    let base = *baselines.get(r.app.as_str())?;
+                    (base > 0.0 && base.is_finite()).then(|| Bar {
+                        app: r.app.clone(),
+                        paradigm: r.paradigm.clone(),
+                        slowdown: r.steady_cycles / base,
+                    })
                 })
-            })
-            .collect();
-        bars.sort_by(|a, b| (&a.app, &a.paradigm).cmp(&(&b.app, &b.paradigm)));
-        let paradigms: Vec<String> = {
-            let set: BTreeSet<&String> = bars.iter().map(|b| &b.paradigm).collect();
-            set.into_iter().cloned().collect()
-        };
-        let _ = write!(
-            body,
-            "<h3>{gpus} GPU &middot; {} &middot; {} scale</h3>{}",
-            esc(link),
-            esc(scale),
-            slowdown_svg(&bars, &paradigms),
-        );
+                .collect();
+            bars.sort_by(|a, b| (&a.app, &a.paradigm).cmp(&(&b.app, &b.paradigm)));
+            let paradigms: Vec<String> = {
+                let set: BTreeSet<&String> = bars.iter().map(|b| &b.paradigm).collect();
+                set.into_iter().cloned().collect()
+            };
+            let _ = write!(
+                body,
+                "<h4>{} &middot; {} scale &middot; {} fabric</h4>{}",
+                esc(link),
+                esc(scale),
+                esc(topology),
+                slowdown_svg(&bars, &paradigms),
+            );
+        }
     }
 
     // Serving lane: one latency curve per configuration.
@@ -405,7 +416,8 @@ pub fn html_report(records: &[RunRecord]) -> String {
         "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
          <title>gps-run report</title><style>\
          body{{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:60rem;color:#1b1f24}}\
-         h1{{font-size:1.4rem}}h2{{font-size:1.15rem;margin-top:2rem}}h3{{font-size:0.95rem;color:#57606a}}\
+         h1{{font-size:1.4rem}}h2{{font-size:1.15rem;margin-top:2rem}}h3{{font-size:1rem;margin-top:1.5rem}}\
+         h4{{font-size:0.9rem;color:#57606a;margin:0.8rem 0 0}}\
          svg{{display:block;margin:0.5rem 0 1.5rem}}\
          svg .axis{{stroke:#57606a;stroke-width:1}}\
          svg .ref{{stroke:#d0d7de;stroke-width:1;stroke-dasharray:4 3}}\
@@ -450,6 +462,8 @@ mod tests {
             gpus: 4,
             link: "pcie3".to_owned(),
             scale: "tiny".to_owned(),
+            topology: "switch".to_owned(),
+            parallel: 0,
             pressure: MemoryPressure::NONE,
             status: RunStatus::Ok,
             attempts: 1,
@@ -496,6 +510,26 @@ mod tests {
         assert!(html.contains("jacobi/um: 7.00x"));
         assert!(html.contains("polyline"), "two points draw a curve");
         assert!(!html.contains("<script"), "self-contained, no scripts");
+    }
+
+    #[test]
+    fn slowdown_grids_group_by_gpu_count_then_fabric_shape() {
+        let mut sixteen = sweep_record("jacobi", "gps", 100.0);
+        sixteen.gpus = 16;
+        sixteen.topology = "nvswitch".to_owned();
+        sixteen.key = "sixteen".to_owned();
+        let records = vec![
+            sweep_record("jacobi", "gps", 100.0),
+            sweep_record("jacobi", "um", 700.0),
+            sixteen,
+        ];
+        let html = html_report(&records);
+        assert_eq!(html.matches("<svg").count(), 2, "one grid per machine");
+        let four = html.find("<h3>4 GPU</h3>").expect("4-GPU section");
+        let six = html.find("<h3>16 GPU</h3>").expect("16-GPU section");
+        assert!(four < six, "sections ordered by GPU count");
+        assert!(html.contains("<h4>pcie3 &middot; tiny scale &middot; switch fabric</h4>"));
+        assert!(html.contains("<h4>pcie3 &middot; tiny scale &middot; nvswitch fabric</h4>"));
     }
 
     #[test]

@@ -25,7 +25,12 @@ use crate::runner::RunSpec;
 ///
 /// v3: `SimConfig` grew a `tenants` field (multi-tenant serving), again
 /// changing the Debug rendering every key hashes.
-const KEY_VERSION: u32 = 3;
+///
+/// v4: `SimConfig` grew `topology` and `parallel_workers` (switch-based
+/// fabrics + the parallel lane engine), and the canonical encoding started
+/// normalising `parallel_workers` to at most 1 (worker counts beyond 1 are
+/// enforced to be result-invariant, so they must share a key).
+const KEY_VERSION: u32 = 4;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -46,8 +51,13 @@ fn canonical(app: &str, spec: RunSpec, config: &SimConfig) -> String {
     // `stream_pipeline_depth` is a host-side wall-clock knob — any depth
     // produces a bit-identical SimReport (enforced by test) — so it is
     // normalised out: results computed at different depths share a key.
+    // `parallel_workers` is half a knob: 0 vs ≥1 selects the engine (the
+    // writer-epoch tier legitimately deviates from the classic engine, so
+    // the two must not share a key), but the count beyond 1 is pure
+    // wall-clock (worker-invariance is enforced by test) and collapses to 1.
     let mut config = *config;
     config.stream_pipeline_depth = 0;
+    config.parallel_workers = config.parallel_workers.min(1);
     let config = &config;
     format!(
         "v{KEY_VERSION}|app={app}|paradigm={}|gpus={}|link={}|scale={}|config={config:?}",
@@ -96,15 +106,12 @@ fn digest(payload: &str) -> String {
     format!("{hi:016x}{lo:016x}")
 }
 
-/// The key of the machine a [`RunSpec`] implies (the GV100 system of the
-/// paper at the spec's GPU count, with the workload's page size applied by
-/// the runner).
+/// The key of the machine a [`RunSpec`] implies ([`RunSpec::machine`]: the
+/// GV100 system of the paper at the spec's GPU count with pressure,
+/// topology and engine selection applied; the workload's page size is
+/// applied by the runner).
 pub fn run_key_default_machine(app: &str, spec: RunSpec) -> String {
-    run_key(
-        app,
-        spec,
-        &SimConfig::gv100_system(spec.gpus).with_memory_pressure(spec.pressure),
-    )
+    run_key(app, spec, &spec.machine())
 }
 
 #[cfg(test)]
@@ -121,6 +128,8 @@ mod tests {
             link: LinkGen::Pcie3,
             scale: ScaleProfile::Tiny,
             pressure: gps_sim::MemoryPressure::NONE,
+            topology: gps_interconnect::Topology::Switch,
+            parallel: 0,
         }
     }
 
@@ -169,6 +178,42 @@ mod tests {
                 t
             })
         );
+    }
+
+    #[test]
+    fn topology_perturbs_the_key() {
+        use gps_interconnect::Topology;
+        let base = run_key_default_machine("jacobi", spec());
+        for topology in [Topology::Ring, Topology::NvSwitch, Topology::PcieTree] {
+            let mut s = spec();
+            s.topology = topology;
+            assert_ne!(
+                base,
+                run_key_default_machine("jacobi", s),
+                "{topology} key collided with switch"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_selection_perturbs_but_worker_count_does_not() {
+        // 0 → sequential engine, ≥1 → lane engine: distinct results for the
+        // writer-epoch tier, so distinct keys. The count beyond 1 is pure
+        // wall-clock and must normalise away.
+        let sequential = run_key_default_machine("jacobi", spec());
+        let mut s = spec();
+        s.parallel = 1;
+        let lanes = run_key_default_machine("jacobi", s);
+        assert_ne!(sequential, lanes);
+        for workers in [2usize, 4, 16] {
+            let mut s = spec();
+            s.parallel = workers;
+            assert_eq!(
+                lanes,
+                run_key_default_machine("jacobi", s),
+                "worker count {workers} leaked into the key"
+            );
+        }
     }
 
     #[test]

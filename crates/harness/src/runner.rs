@@ -6,10 +6,11 @@
 //! function of its inputs — the worker pool relies on that for determinism
 //! and the run-key cache relies on it for soundness.
 
-use gps_interconnect::LinkGen;
+use gps_interconnect::{LinkGen, Topology};
 use gps_obs::ProbeHandle;
 use gps_paradigms::{run_paradigm_configured, Paradigm};
 use gps_sim::{Engine, MemoryPolicy, MemoryPressure, SimConfig, SimReport};
+use gps_types::GpsError;
 use gps_workloads::{suite::AppEntry, ScaleProfile};
 
 /// One simulation request.
@@ -26,6 +27,27 @@ pub struct RunSpec {
     /// Memory pressure (oversubscription ratio + victim policy); inert at
     /// [`MemoryPressure::NONE`].
     pub pressure: MemoryPressure,
+    /// Physical link arrangement ([`Topology::Switch`] is the paper's
+    /// evaluated fabric; the switch-based 16-GPU fabrics deviate from it).
+    pub topology: Topology,
+    /// Parallel lane-engine workers; 0 selects the sequential engine.
+    /// Counts beyond 1 are a wall-clock knob only (worker-invariance is
+    /// enforced by test), so the run key normalises them to 1.
+    pub parallel: usize,
+}
+
+impl RunSpec {
+    /// The machine a spec implies: the paper's GV100 system at the spec's
+    /// GPU count with the pressure, topology and engine selection applied.
+    /// Both [`measure_full`] and the run key derive the machine through
+    /// here, so a spec's key always addresses exactly what it runs.
+    pub fn machine(self) -> SimConfig {
+        let mut config = SimConfig::gv100_system(self.gpus)
+            .with_memory_pressure(self.pressure)
+            .with_parallel_workers(self.parallel);
+        config.topology = self.topology;
+        config
+    }
 }
 
 /// A finished measurement: the report plus derived steady-state timing.
@@ -66,14 +88,27 @@ pub fn steady_cycles_per_iteration(report: &SimReport, phases_per_iteration: usi
 }
 
 /// Runs one application under one spec.
-pub fn measure(app: &AppEntry, spec: RunSpec) -> Measurement {
+///
+/// # Errors
+///
+/// Returns [`GpsError::Config`] if the built workload is inconsistent with
+/// the machine the spec describes.
+pub fn measure(app: &AppEntry, spec: RunSpec) -> Result<Measurement, GpsError> {
     measure_full(app, spec, 0, ProbeHandle::disabled())
 }
 
 /// [`measure`] with a telemetry probe threaded through the simulation.
 /// The probe only observes — the returned [`Measurement`] is bit-identical
 /// to the unprobed one; harvest the recording with [`ProbeHandle::finish`].
-pub fn measure_probed(app: &AppEntry, spec: RunSpec, probe: ProbeHandle) -> Measurement {
+///
+/// # Errors
+///
+/// Returns [`GpsError::Config`] on a workload/machine mismatch.
+pub fn measure_probed(
+    app: &AppEntry,
+    spec: RunSpec,
+    probe: ProbeHandle,
+) -> Result<Measurement, GpsError> {
     measure_full(app, spec, 0, probe)
 }
 
@@ -81,60 +116,75 @@ pub fn measure_probed(app: &AppEntry, spec: RunSpec, probe: ProbeHandle) -> Meas
 /// given depth. A wall-clock knob only: the returned [`Measurement`] is
 /// bit-identical to [`measure`]'s, warp expansion just happens on producer
 /// threads ahead of the simulation.
-pub fn measure_pipelined(app: &AppEntry, spec: RunSpec, pipeline_depth: usize) -> Measurement {
+///
+/// # Errors
+///
+/// Returns [`GpsError::Config`] on a workload/machine mismatch.
+pub fn measure_pipelined(
+    app: &AppEntry,
+    spec: RunSpec,
+    pipeline_depth: usize,
+) -> Result<Measurement, GpsError> {
     measure_full(app, spec, pipeline_depth, ProbeHandle::disabled())
 }
 
 /// The general form: probe and pipeline depth together (what the sweep
 /// executor calls). Neither knob affects the [`Measurement`].
+///
+/// # Errors
+///
+/// Returns [`GpsError::Config`] on a workload/machine mismatch.
 pub fn measure_full(
     app: &AppEntry,
     spec: RunSpec,
     pipeline_depth: usize,
     probe: ProbeHandle,
-) -> Measurement {
+) -> Result<Measurement, GpsError> {
     let workload = (app.build)(spec.gpus, spec.scale);
-    let config = SimConfig::gv100_system(spec.gpus)
-        .with_stream_pipeline_depth(pipeline_depth)
-        .with_memory_pressure(spec.pressure);
-    let report = run_paradigm_configured(spec.paradigm, &workload, config, spec.link, probe);
+    let config = spec.machine().with_stream_pipeline_depth(pipeline_depth);
+    let report = run_paradigm_configured(spec.paradigm, &workload, config, spec.link, probe)?;
     let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
-    Measurement {
+    Ok(Measurement {
         app: app.name,
         spec,
         report,
         steady_cycles: steady,
         phases_per_iteration: workload.phases_per_iteration,
-    }
+    })
 }
 
 /// Runs one application with a caller-supplied policy (custom GPS
 /// configurations, sweeps).
+///
+/// # Errors
+///
+/// Returns [`GpsError::Config`] on a workload/machine mismatch.
 pub fn measure_with_policy(
     app: &AppEntry,
     spec: RunSpec,
     policy: &mut dyn MemoryPolicy,
-) -> Measurement {
+) -> Result<Measurement, GpsError> {
     let workload = (app.build)(spec.gpus, spec.scale);
-    let mut config = SimConfig::gv100_system(spec.gpus);
+    let mut config = spec.machine();
     config.page_size = workload.page_size;
-    let report = Engine::new(config, spec.link, &workload, policy)
-        // gps-lint: allow(no_expect) -- config is derived from the workload's own gpu_count/page_size
-        .expect("workload/machine mismatch")
-        .run();
+    let report = Engine::new(config, spec.link, &workload, policy)?.run();
     let steady = steady_cycles_per_iteration(&report, workload.phases_per_iteration);
-    Measurement {
+    Ok(Measurement {
         app: app.name,
         spec,
         report,
         steady_cycles: steady,
         phases_per_iteration: workload.phases_per_iteration,
-    }
+    })
 }
 
 /// The single-GPU baseline: the application partitioned for one GPU, all
 /// accesses local.
-pub fn baseline(app: &AppEntry, scale: ScaleProfile) -> Measurement {
+///
+/// # Errors
+///
+/// Returns [`GpsError::Config`] on a workload/machine mismatch.
+pub fn baseline(app: &AppEntry, scale: ScaleProfile) -> Result<Measurement, GpsError> {
     measure(
         app,
         RunSpec {
@@ -143,6 +193,8 @@ pub fn baseline(app: &AppEntry, scale: ScaleProfile) -> Measurement {
             link: LinkGen::Pcie3,
             scale,
             pressure: MemoryPressure::NONE,
+            topology: Topology::Switch,
+            parallel: 0,
         },
     )
 }
@@ -235,8 +287,11 @@ mod tests {
                 link: LinkGen::Pcie3,
                 scale: ScaleProfile::Tiny,
                 pressure: MemoryPressure::NONE,
+                topology: Topology::Switch,
+                parallel: 0,
             },
-        );
+        )
+        .unwrap();
         assert!(m.steady_cycles > 0.0);
         assert_eq!(m.report.gpu_count, 2);
     }

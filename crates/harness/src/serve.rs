@@ -29,6 +29,8 @@ pub fn serve_record(config: &ServeConfig, report: &ServeReport, wall_ms: f64) ->
         gpus: config.gpus as u64,
         link: report.link.clone(),
         scale: report.scale.clone(),
+        topology: "switch".to_owned(),
+        parallel: 0,
         pressure: MemoryPressure::NONE,
         status: RunStatus::Ok,
         attempts: 1,

@@ -54,6 +54,12 @@ pub struct RunRecord {
     pub link: String,
     /// Scale label (`tiny`/`small`/`paper`).
     pub scale: String,
+    /// Fabric topology label (`switch`/`ring`/`nvswitch`/`pcietree`;
+    /// absent in stores written before switch-based fabrics → `switch`).
+    pub topology: String,
+    /// Parallel lane-engine workers the run was executed with (0 = the
+    /// sequential engine; absent in older stores → 0).
+    pub parallel: u64,
     /// Memory pressure the run was simulated under (absent in stores
     /// written before the oversubscription sweeps → [`MemoryPressure::NONE`]).
     pub pressure: MemoryPressure,
@@ -89,6 +95,8 @@ impl RunRecord {
             ("gpus".to_owned(), Json::Num(self.gpus as f64)),
             ("link".to_owned(), Json::Str(self.link.clone())),
             ("scale".to_owned(), Json::Str(self.scale.clone())),
+            ("topology".to_owned(), Json::Str(self.topology.clone())),
+            ("parallel".to_owned(), Json::Num(self.parallel as f64)),
             (
                 "oversub_pct".to_owned(),
                 Json::Num(self.pressure.oversubscription_pct as f64),
@@ -199,6 +207,18 @@ impl RunRecord {
             gpus: int_field("gpus")?,
             link: str_field("link")?,
             scale: str_field("scale")?,
+            // Stores written before switch-based fabrics and the parallel
+            // engine lack these; default to the classic configuration.
+            topology: match v.get("topology").and_then(Json::as_str) {
+                Some(s) => s.to_owned(),
+                None => "switch".to_owned(),
+            },
+            parallel: match v.get("parallel") {
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| "non-integer parallel".to_owned())?,
+                None => 0,
+            },
             pressure,
             status,
             attempts: int_field("attempts")? as u32,
@@ -224,6 +244,8 @@ impl RunRecord {
             self.gpus,
             &self.link,
             &self.scale,
+            &self.topology,
+            self.parallel,
             self.pressure,
             self.status,
             (
@@ -378,6 +400,8 @@ mod tests {
             gpus: 4,
             link: "pcie3".into(),
             scale: "tiny".into(),
+            topology: "switch".into(),
+            parallel: 0,
             pressure: MemoryPressure::NONE,
             status,
             attempts: 1,
@@ -425,6 +449,18 @@ mod tests {
         assert!(!legacy.contains("oversub_pct"), "replacement must fire");
         let parsed = RunRecord::from_json(&legacy).unwrap();
         assert_eq!(parsed.pressure, MemoryPressure::NONE);
+    }
+
+    #[test]
+    fn legacy_lines_default_to_switch_topology_and_sequential_engine() {
+        // A line written before switch-based fabrics / the parallel engine.
+        let legacy = sample("k3", RunStatus::Ok)
+            .to_json()
+            .replace(",\"topology\":\"switch\",\"parallel\":0", "");
+        assert!(!legacy.contains("topology"), "replacement must fire");
+        let parsed = RunRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed.topology, "switch");
+        assert_eq!(parsed.parallel, 0);
     }
 
     #[test]

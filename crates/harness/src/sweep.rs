@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use gps_interconnect::LinkGen;
+use gps_interconnect::{LinkGen, Topology};
 use gps_obs::ProbeHandle;
 use gps_paradigms::Paradigm;
 use gps_sim::MemoryPressure;
@@ -41,6 +41,13 @@ pub struct SweepSpec {
     /// Memory-pressure points (`[MemoryPressure::NONE]` for the classic
     /// in-capacity sweep; `gps-run sweep --oversubscribe` adds more).
     pub pressures: Vec<MemoryPressure>,
+    /// Fabric topologies (`[Topology::Switch]` reproduces the paper;
+    /// `gps-run sweep --topologies` adds the switch-based fabrics).
+    pub topologies: Vec<Topology>,
+    /// Parallel lane-engine workers applied to every run (0 = the
+    /// sequential engine, the default; `gps-run sweep --parallel N` opts
+    /// runs into the lane engine).
+    pub parallel: usize,
 }
 
 impl SweepSpec {
@@ -54,6 +61,8 @@ impl SweepSpec {
             links: LinkGen::PCIE_SWEEP.to_vec(),
             scales: vec![ScaleProfile::Paper],
             pressures: vec![MemoryPressure::NONE],
+            topologies: vec![Topology::Switch],
+            parallel: 0,
         }
     }
 
@@ -67,6 +76,8 @@ impl SweepSpec {
             links: vec![LinkGen::Pcie3],
             scales: vec![ScaleProfile::Tiny],
             pressures: vec![MemoryPressure::NONE],
+            topologies: vec![Topology::Switch],
+            parallel: 0,
         }
     }
 
@@ -87,18 +98,22 @@ impl SweepSpec {
                     for &link in &self.links {
                         for &scale in &self.scales {
                             for &pressure in &self.pressures {
-                                let spec = RunSpec {
-                                    paradigm,
-                                    gpus,
-                                    link,
-                                    scale,
-                                    pressure,
-                                };
-                                units.push(RunUnit {
-                                    key: run_key_default_machine(app, spec),
-                                    app: app.clone(),
-                                    spec,
-                                });
+                                for &topology in &self.topologies {
+                                    let spec = RunSpec {
+                                        paradigm,
+                                        gpus,
+                                        link,
+                                        scale,
+                                        pressure,
+                                        topology,
+                                        parallel: self.parallel,
+                                    };
+                                    units.push(RunUnit {
+                                        key: run_key_default_machine(app, spec),
+                                        app: app.clone(),
+                                        spec,
+                                    });
+                                }
                             }
                         }
                     }
@@ -122,7 +137,9 @@ pub struct RunUnit {
 
 impl RunUnit {
     /// `app/paradigm/gpus/link/scale`, the human-facing run label; active
-    /// memory pressure appends an `/oversub<ratio>x<policy>` suffix.
+    /// memory pressure appends an `/oversub<ratio>x<policy>` suffix, a
+    /// non-default topology appends its label, and the lane engine appends
+    /// `/par<workers>`.
     pub fn label(&self) -> String {
         let mut label = format!(
             "{}/{}/{}gpu/{}/{}",
@@ -138,6 +155,12 @@ impl RunUnit {
                 self.spec.pressure.ratio(),
                 self.spec.pressure.victim_policy.label()
             ));
+        }
+        if self.spec.topology != Topology::Switch {
+            label.push_str(&format!("/{}", self.spec.topology.label()));
+        }
+        if self.spec.parallel > 0 {
+            label.push_str(&format!("/par{}", self.spec.parallel));
         }
         label
     }
@@ -211,6 +234,8 @@ fn ok_record(unit: &RunUnit, m: &Measurement, attempts: u32, wall_ms: f64) -> Ru
         gpus: unit.spec.gpus as u64,
         link: unit.spec.link.label().to_owned(),
         scale: unit.spec.scale.label().to_owned(),
+        topology: unit.spec.topology.label().to_owned(),
+        parallel: unit.spec.parallel as u64,
         pressure: unit.spec.pressure,
         status: RunStatus::Ok,
         attempts,
@@ -239,6 +264,8 @@ fn quarantine_record(unit: &RunUnit, attempts: u32, error: &str) -> RunRecord {
         gpus: unit.spec.gpus as u64,
         link: unit.spec.link.label().to_owned(),
         scale: unit.spec.scale.label().to_owned(),
+        topology: unit.spec.topology.label().to_owned(),
+        parallel: unit.spec.parallel as u64,
         pressure: unit.spec.pressure,
         status: RunStatus::Quarantined,
         attempts,
@@ -345,7 +372,13 @@ pub fn run_units(
                 Some(_) => telemetry::recording_probe(),
                 None => ProbeHandle::disabled(),
             };
-            let m = measure_full(&app, unit.spec, opts.pipeline_depth, probe.clone());
+            // A workload/machine mismatch is a typed error now; raising it
+            // here routes the unit through the quarantine path instead of
+            // aborting the whole sweep.
+            let m = match measure_full(&app, unit.spec, opts.pipeline_depth, probe.clone()) {
+                Ok(m) => m,
+                Err(e) => panic!("{}: {e}", unit.label()),
+            };
             let wall_ms = begun.elapsed().as_secs_f64() * 1e3;
             if let (Some(dir), Some(recording)) = (&opts.telemetry_dir, probe.finish()) {
                 // Telemetry is a side artifact: a write failure must not

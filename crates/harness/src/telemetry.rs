@@ -189,6 +189,11 @@ pub fn timeline(
             .parse()
             .map_err(|e: gps_types::GpsError| bad("scale", e.to_string()))?,
         pressure: record.pressure,
+        topology: record
+            .topology
+            .parse()
+            .map_err(|e: gps_types::GpsError| bad("topology", e.to_string()))?,
+        parallel: record.parallel as usize,
     };
     let app = suite::by_name(&record.app)
         .ok_or_else(|| format!("stored app {:?} is not in the suite", record.app))?;
@@ -204,7 +209,7 @@ pub fn timeline(
     }
 
     let probe = recording_probe();
-    measure_probed(&app, spec, probe.clone());
+    measure_probed(&app, spec, probe.clone()).map_err(|e| format!("re-run failed: {e}"))?;
     let telemetry = probe
         .finish()
         .ok_or_else(|| "recording probe yielded no recording".to_owned())?;

@@ -26,6 +26,8 @@ fn small_spec() -> SweepSpec {
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
         pressures: vec![gps_sim::MemoryPressure::NONE],
+        topologies: vec![gps_interconnect::Topology::Switch],
+        parallel: 0,
     }
 }
 

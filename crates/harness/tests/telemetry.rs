@@ -30,6 +30,8 @@ fn gps_spec() -> RunSpec {
         link: LinkGen::Pcie3,
         scale: ScaleProfile::Tiny,
         pressure: gps_sim::MemoryPressure::NONE,
+        topology: gps_interconnect::Topology::Switch,
+        parallel: 0,
     }
 }
 
@@ -42,8 +44,8 @@ fn probed_and_unprobed_runs_are_bit_identical() {
     // path. Both must be untouched by observation.
     for app_name in ["hit", "jacobi"] {
         let app = suite::by_name(app_name).unwrap();
-        let unprobed = measure_probed(&app, gps_spec(), ProbeHandle::disabled());
-        let probed = measure_probed(&app, gps_spec(), recording_probe());
+        let unprobed = measure_probed(&app, gps_spec(), ProbeHandle::disabled()).unwrap();
+        let probed = measure_probed(&app, gps_spec(), recording_probe()).unwrap();
         assert_eq!(
             unprobed.report, probed.report,
             "{app_name}: probing changed the simulation"
@@ -60,7 +62,7 @@ fn probed_and_unprobed_runs_are_bit_identical() {
 fn gps_trace_contains_the_papers_signals_and_roundtrips() {
     let app = suite::by_name("hit").unwrap();
     let probe = recording_probe();
-    measure_probed(&app, gps_spec(), probe.clone());
+    measure_probed(&app, gps_spec(), probe.clone()).unwrap();
     let telemetry = probe.finish().unwrap();
 
     assert!(telemetry.spans_of("kernel").next().is_some());
@@ -93,6 +95,8 @@ fn sweep_telemetry_writes_artifacts_without_changing_results() {
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
         pressures: vec![gps_sim::MemoryPressure::NONE],
+        topologies: vec![gps_interconnect::Topology::Switch],
+        parallel: 0,
     };
     let dir = temp_dir("sweep");
     let plain_store = dir.join("plain.jsonl");
@@ -143,6 +147,8 @@ fn timeline_reconstructs_a_stored_run_by_key_prefix() {
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
         pressures: vec![gps_sim::MemoryPressure::NONE],
+        topologies: vec![gps_interconnect::Topology::Switch],
+        parallel: 0,
     };
     let dir = temp_dir("timeline");
     let store = dir.join("store.jsonl");
@@ -188,6 +194,8 @@ fn timeline_prefix_errors_list_candidates_and_pressure_rederives() {
             gps_sim::MemoryPressure::from_ratio(1.5),
             gps_sim::MemoryPressure::from_ratio(2.0),
         ],
+        topologies: vec![gps_interconnect::Topology::Switch],
+        parallel: 0,
     };
     let dir = temp_dir("prefix");
     let store = dir.join("store.jsonl");
@@ -226,6 +234,8 @@ fn compacted_store_still_resumes_clean() {
         links: vec![LinkGen::Pcie3],
         scales: vec![ScaleProfile::Tiny],
         pressures: vec![gps_sim::MemoryPressure::NONE],
+        topologies: vec![gps_interconnect::Topology::Switch],
+        parallel: 0,
     };
     let dir = temp_dir("gc");
     let store = dir.join("store.jsonl");

@@ -1,11 +1,21 @@
 //! The switch-attached multi-GPU fabric.
 
 use gps_obs::{names, ProbeHandle, Track};
-use gps_types::{Cycle, GpsError, GpuId, Result};
+use gps_types::{Cycle, GpsError, GpuId, Latency, Result};
 
 use crate::counters::TrafficCounters;
 use crate::resource::BandwidthResource;
 use crate::spec::LinkGen;
+
+/// Fixed traversal latency of an explicit NVSwitch crossbar hop, on top of
+/// the link generation's wire latency (public NVSwitch microbenchmarks put
+/// the switch port-to-port penalty at ~100 ns).
+pub const NVSWITCH_HOP_LATENCY: Latency = Latency::from_nanos(100);
+
+/// GPUs per leaf switch in the 2-tier PCIe tree topology (DGX-style
+/// systems hang 4 GPUs off each PCIe switch, which uplinks to a root
+/// complex).
+pub const PCIE_TREE_LEAF_SIZE: usize = 4;
 
 /// Physical arrangement of the inter-GPU links.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,6 +29,77 @@ pub enum Topology {
     /// has a clockwise and a counter-clockwise link; transfers take the
     /// shortest path and consume bandwidth on every transit link.
     Ring,
+    /// An explicit NVSwitch crossbar (the paper's 16-GPU GV100 platform):
+    /// full bisection bandwidth like [`Topology::Switch`], but every
+    /// transfer additionally pays the switch's fixed port-to-port
+    /// traversal latency ([`NVSWITCH_HOP_LATENCY`]).
+    NvSwitch,
+    /// A 2-tier PCIe tree: GPUs attach in leaves of
+    /// [`PCIE_TREE_LEAF_SIZE`] to per-leaf switches which uplink to a root
+    /// complex. Intra-leaf transfers behave like [`Topology::Switch`];
+    /// cross-leaf transfers additionally serialise on the source leaf's
+    /// shared uplink and the destination leaf's shared downlink (each at
+    /// one link generation of bandwidth, so 4 GPUs contend for it) and pay
+    /// two hop latencies.
+    PcieTree,
+}
+
+impl Topology {
+    /// Stable lowercase label (CLI values, run keys, store records).
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Switch => "switch",
+            Topology::Ring => "ring",
+            Topology::NvSwitch => "nvswitch",
+            Topology::PcieTree => "pcietree",
+        }
+    }
+
+    /// Every topology, in label order.
+    pub const ALL: [Topology; 4] = [
+        Topology::Switch,
+        Topology::Ring,
+        Topology::NvSwitch,
+        Topology::PcieTree,
+    ];
+
+    /// The smallest latency any cross-GPU payload can experience on this
+    /// topology over `link`: a lower bound on how early one GPU's action
+    /// can become visible to another, and therefore a safe conservative
+    /// epoch for parallel lane simulation. Zero on latency-free links
+    /// (`LinkGen::Infinite`).
+    pub fn min_cross_gpu_latency(self, link: LinkGen) -> Latency {
+        match self {
+            Topology::Switch | Topology::Ring | Topology::PcieTree => link.latency(),
+            Topology::NvSwitch => {
+                if link.latency() == Latency::ZERO {
+                    Latency::ZERO
+                } else {
+                    link.latency() + NVSWITCH_HOP_LATENCY
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = GpsError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Topology::ALL
+            .into_iter()
+            .find(|t| t.label() == s)
+            .ok_or_else(|| GpsError::Parse {
+                what: "topology",
+                input: s.to_owned(),
+            })
+    }
 }
 
 /// Configuration of a [`Fabric`].
@@ -104,8 +185,17 @@ pub struct Fabric {
     /// counter-clockwise links `ccw[i]`: i -> (i-1) % N.
     cw: Vec<BandwidthResource>,
     ccw: Vec<BandwidthResource>,
+    /// PCIe-tree topology only: per-leaf shared links to/from the root
+    /// complex (`uplink[l]`: leaf l -> root, `downlink[l]`: root -> leaf l).
+    uplink: Vec<BandwidthResource>,
+    downlink: Vec<BandwidthResource>,
     counters: TrafficCounters,
     probe: ProbeHandle,
+}
+
+/// The leaf switch GPU `index` hangs off in the PCIe-tree topology.
+fn leaf_of(index: usize) -> usize {
+    index / PCIE_TREE_LEAF_SIZE
 }
 
 impl Fabric {
@@ -124,6 +214,11 @@ impl Fabric {
         } else {
             0
         };
+        let leaves = if config.topology == Topology::PcieTree {
+            config.gpu_count.div_ceil(PCIE_TREE_LEAF_SIZE)
+        } else {
+            0
+        };
         Self {
             config,
             egress: (0..config.gpu_count)
@@ -138,6 +233,8 @@ impl Fabric {
             ccw: (0..ring_links)
                 .map(|_| BandwidthResource::new(bw))
                 .collect(),
+            uplink: (0..leaves).map(|_| BandwidthResource::new(bw)).collect(),
+            downlink: (0..leaves).map(|_| BandwidthResource::new(bw)).collect(),
             counters: TrafficCounters::new(config.gpu_count),
             probe: ProbeHandle::disabled(),
         }
@@ -209,19 +306,52 @@ impl Fabric {
             });
         }
         match self.config.topology {
-            Topology::Switch => {
+            Topology::Switch | Topology::NvSwitch => {
                 // Claim the egress link, then the ingress link no earlier
                 // than the egress start (cut-through). Per-destination
                 // egress queues with credit-based flow control mean a busy
                 // destination does not block the source link for other
-                // destinations.
+                // destinations. An explicit NVSwitch crossbar keeps the
+                // full-bisection booking but adds its fixed port-to-port
+                // traversal time on top of the wire latency.
                 let (egress_start, _egress_end) = self.egress[src.index()].book_from(bytes, now);
                 let (_, ingress_end) = self.ingress[dst.index()].book_from(bytes, egress_start);
                 self.counters.record(src, dst, bytes);
                 self.emit_transfer(src, dst, bytes, now);
+                let latency = if self.config.topology == Topology::NvSwitch
+                    && self.config.link.latency() != Latency::ZERO
+                {
+                    // Latency-free links (`Infinite`) elide the switch hop
+                    // too — they model "all transfer costs removed".
+                    self.config.link.latency() + NVSWITCH_HOP_LATENCY
+                } else {
+                    self.config.link.latency()
+                };
                 Ok(Transfer {
                     departed: ingress_end,
-                    arrived: ingress_end + self.config.link.latency(),
+                    arrived: ingress_end + latency,
+                })
+            }
+            Topology::PcieTree => {
+                // Same cut-through chaining as the flat switch, but a
+                // cross-leaf payload also serialises on the source leaf's
+                // shared uplink and the destination leaf's shared downlink
+                // (4 GPUs contend for each) and traverses two switches.
+                let (src_leaf, dst_leaf) = (leaf_of(src.index()), leaf_of(dst.index()));
+                let (egress_start, _) = self.egress[src.index()].book_from(bytes, now);
+                let (before_ingress, hops) = if src_leaf == dst_leaf {
+                    (egress_start, 1)
+                } else {
+                    let (up_start, _) = self.uplink[src_leaf].book_from(bytes, egress_start);
+                    let (down_start, _) = self.downlink[dst_leaf].book_from(bytes, up_start);
+                    (down_start, 2)
+                };
+                let (_, ingress_end) = self.ingress[dst.index()].book_from(bytes, before_ingress);
+                self.counters.record(src, dst, bytes);
+                self.emit_transfer(src, dst, bytes, now);
+                Ok(Transfer {
+                    departed: ingress_end,
+                    arrived: ingress_end + self.config.link.latency() * hops,
                 })
             }
             Topology::Ring => {
@@ -288,7 +418,15 @@ impl Fabric {
 
     /// Resets all link schedules and counters.
     pub fn reset(&mut self) {
-        for r in self.egress.iter_mut().chain(self.ingress.iter_mut()) {
+        for r in self
+            .egress
+            .iter_mut()
+            .chain(self.ingress.iter_mut())
+            .chain(self.cw.iter_mut())
+            .chain(self.ccw.iter_mut())
+            .chain(self.uplink.iter_mut())
+            .chain(self.downlink.iter_mut())
+        {
             r.reset();
         }
         self.counters.reset();
@@ -418,6 +556,85 @@ mod tests {
         let mut inf = Fabric::new(FabricConfig::new(2, LinkGen::Infinite).with_bandwidth_share(4));
         let t = inf.transfer(G0, G1, 1 << 30, Cycle::ZERO).unwrap();
         assert_eq!(t.arrived, Cycle::ZERO);
+    }
+
+    #[test]
+    fn nvswitch_adds_fixed_hop_latency() {
+        let cfg = FabricConfig::new(4, LinkGen::Pcie3).with_topology(Topology::NvSwitch);
+        let mut f = Fabric::new(cfg);
+        let t = f.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        // Same booking as the flat switch plus the 100 ns crossbar hop.
+        assert_eq!(t.arrived, Cycle::new(100 + 1300 + 100));
+        // Latency-free links elide the switch hop too.
+        let mut inf =
+            Fabric::new(FabricConfig::new(2, LinkGen::Infinite).with_topology(Topology::NvSwitch));
+        let t = inf.transfer(G0, G1, 1 << 20, Cycle::new(5)).unwrap();
+        assert_eq!(t.arrived, Cycle::new(5));
+    }
+
+    #[test]
+    fn pcie_tree_intra_leaf_matches_flat_switch() {
+        let cfg = FabricConfig::new(8, LinkGen::Pcie3).with_topology(Topology::PcieTree);
+        let mut f = Fabric::new(cfg);
+        // G0 and G1 share a leaf: one hop, no uplink involvement.
+        let t = f.transfer(G0, G1, 1300, Cycle::ZERO).unwrap();
+        assert_eq!(t.arrived, Cycle::new(100 + 1300));
+    }
+
+    #[test]
+    fn pcie_tree_cross_leaf_pays_two_hops() {
+        let cfg = FabricConfig::new(8, LinkGen::Pcie3).with_topology(Topology::PcieTree);
+        let mut f = Fabric::new(cfg);
+        // G0 (leaf 0) -> G4 (leaf 1): egress, uplink, downlink, ingress all
+        // free, so serialisation overlaps cut-through; two hop latencies.
+        let t = f.transfer(G0, GpuId::new(4), 1300, Cycle::ZERO).unwrap();
+        assert_eq!(t.arrived, Cycle::new(100 + 2 * 1300));
+    }
+
+    #[test]
+    fn pcie_tree_leaf_uplink_is_shared() {
+        let cfg = FabricConfig::new(8, LinkGen::Pcie3).with_topology(Topology::PcieTree);
+        let mut f = Fabric::new(cfg);
+        // Two different sources in leaf 0 both cross leaves: their private
+        // egress links are free but the shared uplink serialises them.
+        let a = f.transfer(G0, GpuId::new(4), 1300, Cycle::ZERO).unwrap();
+        let b = f.transfer(G1, GpuId::new(5), 1300, Cycle::ZERO).unwrap();
+        assert_eq!(a.arrived, Cycle::new(100 + 2 * 1300));
+        assert_eq!(b.arrived, Cycle::new(200 + 2 * 1300));
+    }
+
+    #[test]
+    fn topology_labels_roundtrip() {
+        for t in Topology::ALL {
+            assert_eq!(t.label().parse::<Topology>().unwrap(), t);
+            assert_eq!(t.to_string(), t.label());
+        }
+        assert!("mesh".parse::<Topology>().is_err());
+    }
+
+    #[test]
+    fn min_cross_gpu_latency_tracks_topology() {
+        use gps_types::Latency;
+        let link = LinkGen::Pcie3;
+        assert_eq!(
+            Topology::Switch.min_cross_gpu_latency(link),
+            Latency::new(1300)
+        );
+        assert_eq!(
+            Topology::Ring.min_cross_gpu_latency(link),
+            Latency::new(1300)
+        );
+        assert_eq!(
+            Topology::PcieTree.min_cross_gpu_latency(link),
+            Latency::new(1300)
+        );
+        assert_eq!(
+            Topology::NvSwitch.min_cross_gpu_latency(link),
+            Latency::new(1400)
+        );
+        for t in Topology::ALL {
+            assert_eq!(t.min_cross_gpu_latency(LinkGen::Infinite), Latency::ZERO);
+        }
     }
 
     #[test]

@@ -27,6 +27,8 @@ mod resource;
 mod spec;
 
 pub use counters::TrafficCounters;
-pub use fabric::{Fabric, FabricConfig, Topology, Transfer};
+pub use fabric::{
+    Fabric, FabricConfig, Topology, Transfer, NVSWITCH_HOP_LATENCY, PCIE_TREE_LEAF_SIZE,
+};
 pub use resource::BandwidthResource;
 pub use spec::{LinkGen, PlatformSpec, PLATFORMS};

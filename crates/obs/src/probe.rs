@@ -99,12 +99,124 @@ pub struct NoopProbe;
 
 impl Probe for NoopProbe {}
 
+/// One captured telemetry emission — what a buffering [`ProbeHandle`]
+/// queues instead of recording immediately. The parallel engine's lanes
+/// each buffer their emissions, and the epoch coordinator replays the
+/// k-way merge of all lanes into the run's real probe, so the recorded
+/// stream is independent of lane interleaving.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings match the `Probe` methods exactly
+pub enum Emission {
+    /// A [`Probe::counter`] call.
+    Counter {
+        track: Track,
+        name: &'static str,
+        now: Cycle,
+        delta: f64,
+    },
+    /// A [`Probe::gauge`] call.
+    Gauge {
+        track: Track,
+        name: &'static str,
+        now: Cycle,
+        value: f64,
+    },
+    /// A [`Probe::span`] call (the name is owned — span names are
+    /// free-form kernel labels).
+    Span {
+        track: Track,
+        name: String,
+        cat: &'static str,
+        start: Cycle,
+        end: Cycle,
+    },
+    /// A [`Probe::instant`] call.
+    Instant {
+        track: Track,
+        name: &'static str,
+        now: Cycle,
+    },
+    /// A [`Probe::latency`] call.
+    Latency {
+        track: Track,
+        name: &'static str,
+        now: Cycle,
+        value: u64,
+    },
+}
+
+/// The queue behind a buffering handle: every emission is stamped with the
+/// lane's current merge tag (set by the lane runner to the simulated time
+/// of the event being stepped).
+#[derive(Debug, Default)]
+struct BufferingProbe {
+    tag: u64,
+    events: Vec<(u64, Emission)>,
+}
+
+impl Probe for BufferingProbe {
+    fn counter(&mut self, track: Track, name: &'static str, now: Cycle, delta: f64) {
+        self.events.push((
+            self.tag,
+            Emission::Counter {
+                track,
+                name,
+                now,
+                delta,
+            },
+        ));
+    }
+
+    fn gauge(&mut self, track: Track, name: &'static str, now: Cycle, value: f64) {
+        self.events.push((
+            self.tag,
+            Emission::Gauge {
+                track,
+                name,
+                now,
+                value,
+            },
+        ));
+    }
+
+    fn span(&mut self, track: Track, name: &str, cat: &'static str, start: Cycle, end: Cycle) {
+        self.events.push((
+            self.tag,
+            Emission::Span {
+                track,
+                name: name.to_owned(),
+                cat,
+                start,
+                end,
+            },
+        ));
+    }
+
+    fn instant(&mut self, track: Track, name: &'static str, now: Cycle) {
+        self.events
+            .push((self.tag, Emission::Instant { track, name, now }));
+    }
+
+    fn latency(&mut self, track: Track, name: &'static str, now: Cycle, value: u64) {
+        self.events.push((
+            self.tag,
+            Emission::Latency {
+                track,
+                name,
+                now,
+                value,
+            },
+        ));
+    }
+}
+
 /// What an enabled [`ProbeHandle`] fans out to: an optional in-memory
-/// [`Recorder`] and any number of streaming [`Sink`]s, all fed the same
-/// emission stream.
+/// [`Recorder`], any number of streaming [`Sink`]s, and/or a deterministic
+/// replay buffer, all fed the same emission stream.
 struct Dispatch {
     recorder: Option<Recorder>,
     sinks: Vec<Box<dyn Sink>>,
+    buffer: Option<BufferingProbe>,
 }
 
 impl std::fmt::Debug for Dispatch {
@@ -112,6 +224,7 @@ impl std::fmt::Debug for Dispatch {
         f.debug_struct("Dispatch")
             .field("recorder", &self.recorder)
             .field("sinks", &self.sinks.len())
+            .field("buffer", &self.buffer.is_some())
             .finish()
     }
 }
@@ -124,6 +237,9 @@ impl Dispatch {
         for s in &mut self.sinks {
             f(s.as_mut());
         }
+        if let Some(b) = &mut self.buffer {
+            f(b);
+        }
     }
 }
 
@@ -133,9 +249,11 @@ impl Dispatch {
 /// predictable branch and no recorder, lock or allocation exists anywhere —
 /// the price of having telemetry compiled in is one null check per probe
 /// site. Enabled, all clones share one [`Dispatch`] — an in-memory
-/// [`Recorder`], streaming [`Sink`]s, or both — behind a mutex (a run
-/// is single-threaded; the lock is uncontended and exists only to keep the
-/// handle `Send` for the harness worker pool).
+/// [`Recorder`], streaming [`Sink`]s, or both — behind a mutex. A classic
+/// sequential run never contends the lock; under the parallel engine each
+/// lane holds its *own* buffering handle, so the lock stays per-thread and
+/// uncontended there too (it exists to keep the handle `Send` for the
+/// harness worker pool and the lane threads).
 #[derive(Debug, Clone, Default)]
 pub struct ProbeHandle(Option<Arc<Mutex<Dispatch>>>);
 
@@ -156,6 +274,21 @@ impl ProbeHandle {
         Self(Some(Arc::new(Mutex::new(Dispatch {
             recorder: None,
             sinks,
+            buffer: None,
+        }))))
+    }
+
+    /// A buffering handle for one parallel-engine lane: every emission is
+    /// queued with the lane's current [`set_tag`](ProbeHandle::set_tag)
+    /// value instead of being recorded. The coordinator later
+    /// [`drain_buffered`](ProbeHandle::drain_buffered)s all lanes, merges
+    /// by `(tag, lane, queue position)` and
+    /// [`replay`](ProbeHandle::replay)s into the run's real probe.
+    pub fn buffering() -> Self {
+        Self(Some(Arc::new(Mutex::new(Dispatch {
+            recorder: None,
+            sinks: Vec::new(),
+            buffer: Some(BufferingProbe::default()),
         }))))
     }
 
@@ -168,6 +301,7 @@ impl ProbeHandle {
         Self(Some(Arc::new(Mutex::new(Dispatch {
             recorder: Some(Recorder::new(bucket_cycles, span_capacity)),
             sinks,
+            buffer: None,
         }))))
     }
 
@@ -216,6 +350,65 @@ impl ProbeHandle {
     #[inline]
     pub fn latency(&self, track: Track, name: &'static str, now: Cycle, value: u64) {
         self.emit(|p| p.latency(track, name, now, value));
+    }
+
+    /// Sets the merge tag stamped onto subsequent buffered emissions (the
+    /// simulated time of the event the lane is about to step). No-op on
+    /// non-buffering handles.
+    pub fn set_tag(&self, tag: u64) {
+        if let Some(d) = &self.0 {
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
+            let mut guard = d.lock().expect("dispatch lock");
+            if let Some(b) = &mut guard.buffer {
+                b.tag = tag;
+            }
+        }
+    }
+
+    /// Takes every buffered `(tag, emission)` pair in emission order,
+    /// leaving the buffer empty. Empty for non-buffering handles.
+    pub fn drain_buffered(&self) -> Vec<(u64, Emission)> {
+        let Some(d) = &self.0 else {
+            return Vec::new();
+        };
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; probes never panic themselves
+        let mut guard = d.lock().expect("dispatch lock");
+        match &mut guard.buffer {
+            Some(b) => std::mem::take(&mut b.events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Re-emits one captured [`Emission`] through this handle.
+    pub fn replay(&self, e: Emission) {
+        match e {
+            Emission::Counter {
+                track,
+                name,
+                now,
+                delta,
+            } => self.counter(track, name, now, delta),
+            Emission::Gauge {
+                track,
+                name,
+                now,
+                value,
+            } => self.gauge(track, name, now, value),
+            Emission::Span {
+                track,
+                name,
+                cat,
+                start,
+                end,
+            } => self.span(track, &name, cat, start, end),
+            Emission::Instant { track, name, now } => self.instant(track, name, now),
+            Emission::Latency {
+                track,
+                name,
+                now,
+                value,
+            } => self.latency(track, name, now, value),
+        }
     }
 
     /// Extracts everything the in-memory recorder captured so far,
@@ -342,6 +535,52 @@ mod tests {
         assert!(text.contains("\"k\":\"summary\""));
         // Sinks are detached after close: further closes are no-ops.
         h.close_sinks().unwrap();
+    }
+
+    #[test]
+    fn buffering_handle_queues_tagged_emissions_for_replay() {
+        let lane = ProbeHandle::buffering();
+        assert!(lane.is_enabled());
+        lane.set_tag(7);
+        lane.counter(Track::gpu(0), "bytes", Cycle::new(700), 64.0);
+        lane.set_tag(9);
+        lane.span(Track::gpu(0), "mv", "kernel", Cycle::ZERO, Cycle::new(900));
+        let events = lane.drain_buffered();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, 7);
+        assert_eq!(events[1].0, 9);
+        assert!(matches!(events[1].1, Emission::Span { .. }));
+        // Drained: the buffer is empty, and nothing was recorded.
+        assert!(lane.drain_buffered().is_empty());
+        assert!(lane.finish().is_none());
+
+        // Replaying into a recording handle lands the events for real.
+        let master = ProbeHandle::recording(100, 16);
+        for (_, e) in events {
+            master.replay(e);
+        }
+        let t = master.finish().unwrap();
+        assert_eq!(t.counters.len(), 1);
+        assert_eq!(t.counters[0].series.total(), 64.0);
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].name, "mv");
+    }
+
+    #[test]
+    fn set_tag_and_drain_are_noops_on_other_handles() {
+        let h = ProbeHandle::recording(100, 16);
+        h.set_tag(3);
+        h.counter(Track::SYSTEM, "x", Cycle::ZERO, 1.0);
+        assert!(h.drain_buffered().is_empty());
+        assert_eq!(h.finish().unwrap().counters.len(), 1);
+        let d = ProbeHandle::disabled();
+        d.set_tag(3);
+        assert!(d.drain_buffered().is_empty());
+        d.replay(Emission::Instant {
+            track: Track::SYSTEM,
+            name: "barrier",
+            now: Cycle::ZERO,
+        });
     }
 
     #[test]

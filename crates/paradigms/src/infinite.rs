@@ -1,6 +1,6 @@
 //! The infinite-bandwidth upper bound (§6).
 
-use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
+use gps_sim::{LaneMode, LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
 use gps_types::{GpuId, LineAddr, Scope};
 
 /// The infinite-bandwidth comparison point.
@@ -26,6 +26,10 @@ impl InfiniteBwPolicy {
 impl MemoryPolicy for InfiniteBwPolicy {
     fn name(&self) -> &'static str {
         "infinite-bw"
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        LaneMode::PureLocal
     }
 
     fn route_load(&mut self, _gpu: GpuId, _line: LineAddr, _ctx: &mut MemCtx<'_>) -> LoadRoute {

@@ -50,6 +50,7 @@ pub use um_hints::UmHintsPolicy;
 use gps_interconnect::LinkGen;
 use gps_obs::ProbeHandle;
 use gps_sim::{Engine, MemoryPolicy, SimConfig, SimReport, Workload};
+use gps_types::GpsError;
 
 /// Builds the policy object for `paradigm`. The engine initialises the
 /// policy against the workload before simulation starts.
@@ -75,21 +76,22 @@ pub fn make_policy(paradigm: Paradigm) -> Box<dyn MemoryPolicy> {
 /// use gps_workloads::{als, ScaleProfile};
 ///
 /// let wl = als::build(2, ScaleProfile::Tiny);
-/// let gps = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3);
-/// let um = run_paradigm(Paradigm::Um, &wl, 2, LinkGen::Pcie3);
+/// let gps = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3)?;
+/// let um = run_paradigm(Paradigm::Um, &wl, 2, LinkGen::Pcie3)?;
 /// assert!(gps.total_cycles < um.total_cycles);
+/// # Ok::<(), gps_types::GpsError>(())
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload is inconsistent with the machine (the harness
-/// constructs both, so a mismatch is a programming error).
+/// Returns [`GpsError::Config`] if the workload is inconsistent with the
+/// machine (wrong GPU count or page size).
 pub fn run_paradigm(
     paradigm: Paradigm,
     workload: &Workload,
     gpu_count: usize,
     link: LinkGen,
-) -> SimReport {
+) -> Result<SimReport, GpsError> {
     run_paradigm_probed(paradigm, workload, gpu_count, link, ProbeHandle::disabled())
 }
 
@@ -98,16 +100,17 @@ pub fn run_paradigm(
 /// `probe`, the returned report is bit-identical to the unprobed run's.
 /// Harvest the recording afterwards with [`ProbeHandle::finish`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload is inconsistent with the machine.
+/// Returns [`GpsError::Config`] if the workload is inconsistent with the
+/// machine.
 pub fn run_paradigm_probed(
     paradigm: Paradigm,
     workload: &Workload,
     gpu_count: usize,
     link: LinkGen,
     probe: ProbeHandle,
-) -> SimReport {
+) -> Result<SimReport, GpsError> {
     run_paradigm_configured(
         paradigm,
         workload,
@@ -123,16 +126,17 @@ pub fn run_paradigm_probed(
 /// changes wall-clock time but never the report — alongside genuine machine
 /// parameters.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload is inconsistent with the machine.
+/// Returns [`GpsError::Config`] if the workload is inconsistent with the
+/// machine.
 pub fn run_paradigm_configured(
     paradigm: Paradigm,
     workload: &Workload,
     mut config: SimConfig,
     link: LinkGen,
     probe: ProbeHandle,
-) -> SimReport {
+) -> Result<SimReport, GpsError> {
     config.page_size = workload.page_size;
     let mut policy = make_policy(paradigm);
     let link = if paradigm == Paradigm::InfiniteBw {
@@ -140,18 +144,18 @@ pub fn run_paradigm_configured(
     } else {
         link
     };
-    Engine::new(config, link, workload, policy.as_mut())
-        .expect("workload/machine mismatch")
+    Ok(Engine::new(config, link, workload, policy.as_mut())?
         .with_probe(probe)
-        .run()
+        .run())
 }
 
 /// Runs the single-GPU baseline of a workload builder: the same application
 /// partitioned for one GPU, every access local.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload is inconsistent with the machine.
-pub fn run_single_gpu_baseline(workload: &Workload) -> SimReport {
+/// Returns [`GpsError::Config`] if the workload is inconsistent with a
+/// single-GPU machine.
+pub fn run_single_gpu_baseline(workload: &Workload) -> Result<SimReport, GpsError> {
     run_paradigm(Paradigm::InfiniteBw, workload, 1, LinkGen::Pcie3)
 }

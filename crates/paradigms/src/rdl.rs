@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload};
+use gps_sim::{
+    LaneMode, LoadRoute, MemCtx, MemoryPolicy, SharedIndex, SimConfig, StoreRoute, Workload,
+};
 use gps_types::{GpuId, LineAddr, Scope, Vpn};
 
 /// Remote Demand Loads.
@@ -45,6 +47,17 @@ impl MemoryPolicy for RdlPolicy {
 
     fn init(&mut self, workload: &Workload, _config: &SimConfig) {
         self.index = Some(workload.index());
+    }
+
+    /// Last-writer routing is exactly what the lane engine's writer-epoch
+    /// tier reproduces (bounded-stale by one conservative window).
+    fn lane_mode(&self) -> LaneMode {
+        LaneMode::WriterEpochs
+    }
+
+    fn absorb_lane_loads(&mut self, remote: u64, local: u64) {
+        self.remote_loads += remote;
+        self.local_loads += local;
     }
 
     fn route_load(&mut self, gpu: GpuId, line: LineAddr, ctx: &mut MemCtx<'_>) -> LoadRoute {

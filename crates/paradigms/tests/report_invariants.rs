@@ -44,7 +44,7 @@ fn every_report_of_the_paper_suite_is_well_formed() {
     for app in suite::all() {
         let workload = (app.build)(2, ScaleProfile::Tiny);
         for paradigm in Paradigm::FIGURE8 {
-            let report = run_paradigm(paradigm, &workload, 2, LinkGen::Pcie3);
+            let report = run_paradigm(paradigm, &workload, 2, LinkGen::Pcie3).unwrap();
             check(&report, &format!("{}/{}", app.name, paradigm.label()));
         }
     }

@@ -48,12 +48,8 @@ impl ServiceOracle {
     ///
     /// # Errors
     ///
-    /// Returns a description if `app` is not in the application suite.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the suite's workload is inconsistent with the machine —
-    /// a programming error, as everywhere else in the workspace.
+    /// Returns a description if `app` is not in the application suite or
+    /// the suite's workload is inconsistent with the machine.
     pub fn service_cycles(&mut self, app: &str, level: u32) -> Result<u64, String> {
         let level = level.max(1);
         let key = (app.to_owned(), level);
@@ -69,7 +65,8 @@ impl ServiceOracle {
             config,
             self.link,
             ProbeHandle::disabled(),
-        );
+        )
+        .map_err(|e| format!("simulating '{app}' failed: {e}"))?;
         let cycles = report.total_cycles.as_u64().max(1);
         self.cache.insert(key, cycles);
         Ok(cycles)
@@ -95,7 +92,8 @@ mod tests {
             SimConfig::gv100_system(4),
             LinkGen::Pcie3,
             ProbeHandle::disabled(),
-        );
+        )
+        .unwrap();
         assert_eq!(
             o.service_cycles("jacobi", 1).unwrap(),
             standalone.total_cycles.as_u64()

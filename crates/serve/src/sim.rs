@@ -349,7 +349,8 @@ mod tests {
             SimConfig::gv100_system(4),
             gps_interconnect::LinkGen::Pcie3,
             gps_obs::ProbeHandle::disabled(),
-        );
+        )
+        .unwrap();
         let cfg = ServeConfig {
             mix: vec!["jacobi".to_owned()],
             arrival: ArrivalModel::Closed { concurrency: 1 },

@@ -225,6 +225,16 @@ pub struct SimConfig {
     /// `stream_pipeline_depth` this *is* a simulated-machine parameter
     /// and participates in harness run keys.
     pub memory_pressure: MemoryPressure,
+    /// Engine selector: `0` (the default) runs the classic single-heap
+    /// sequential engine; any value `N >= 1` runs the per-GPU *lane*
+    /// engine with `N` host worker threads (`1` = the lane engine on the
+    /// simulation thread itself). The lane engine's result is independent
+    /// of `N` — worker count is a wall-clock knob like
+    /// `stream_pipeline_depth`, so harness run keys normalise it to
+    /// `min(parallel_workers, 1)`: they distinguish *which engine* ran
+    /// (the conservative-epoch engine is a different, still deterministic,
+    /// model for writer-tracking paradigms) but never the thread count.
+    pub parallel_workers: usize,
     /// Number of tenants (concurrently served applications) sharing this
     /// machine. `1` — the default — is the exclusive single-application
     /// machine and changes nothing. Values above `1` shrink each tenant's
@@ -249,7 +259,17 @@ impl SimConfig {
             topology: Topology::default(),
             stream_pipeline_depth: 0,
             memory_pressure: MemoryPressure::NONE,
+            parallel_workers: 0,
             tenants: 1,
+        }
+    }
+
+    /// The paper's second evaluation platform (Fig. 13): a 16-GPU GV100
+    /// system on a single-hop NVSwitch fabric (the DGX-2 arrangement).
+    pub fn paper_16gpu() -> Self {
+        Self {
+            topology: Topology::NvSwitch,
+            ..Self::gv100_system(16)
         }
     }
 
@@ -264,6 +284,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_memory_pressure(mut self, pressure: MemoryPressure) -> Self {
         self.memory_pressure = pressure;
+        self
+    }
+
+    /// Selects the engine: `0` = classic sequential, `N >= 1` = the
+    /// per-GPU lane engine with `N` worker threads.
+    #[must_use]
+    pub fn with_parallel_workers(mut self, workers: usize) -> Self {
+        self.parallel_workers = workers;
         self
     }
 
@@ -383,6 +411,22 @@ mod tests {
         let mut s = SimConfig::gv100_system(2);
         s.memory_pressure.oversubscription_pct = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn paper_16gpu_is_nvswitch_at_16() {
+        let s = SimConfig::paper_16gpu();
+        assert_eq!(s.gpu_count, 16);
+        assert_eq!(s.topology, Topology::NvSwitch);
+        assert_eq!(s.parallel_workers, 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn parallel_workers_default_to_classic_engine() {
+        let s = SimConfig::gv100_system(4);
+        assert_eq!(s.parallel_workers, 0);
+        assert_eq!(s.with_parallel_workers(3).parallel_workers, 3);
     }
 
     #[test]

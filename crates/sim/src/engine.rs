@@ -30,12 +30,12 @@ use std::collections::{BinaryHeap, VecDeque};
 use gps_interconnect::{Fabric, FabricConfig, LinkGen};
 use gps_mem::{Tlb, TlbConfig};
 use gps_obs::{names, ProbeHandle, Track};
-use gps_types::{Cycle, GpsError, GpuId, LineAddr, Result, Scope, CACHE_LINE_BYTES};
+use gps_types::{Cycle, GpsError, GpuId, LineAddr, PageSize, Result, Scope, CACHE_LINE_BYTES};
 
 use std::sync::Arc;
 
 use crate::cache::{Cache, CacheConfig, Lookup};
-use crate::config::SimConfig;
+use crate::config::{GpuConfig, SimConfig};
 use crate::dram::DramModel;
 use crate::instr::{WarpInstr, WarpStream};
 use crate::pipeline::{expand_cta, BufferArena, CtaPrefetcher};
@@ -50,7 +50,7 @@ const PREFETCH_MIN_WARPS: u64 = 1024;
 
 /// Retired instruction buffers are returned to the arena in batches of
 /// this size (one lock acquisition per batch instead of per warp).
-const RECYCLE_FLUSH: usize = 256;
+pub(crate) const RECYCLE_FLUSH: usize = 256;
 
 /// Replays one workload under one memory policy.
 ///
@@ -81,61 +81,112 @@ const RECYCLE_FLUSH: usize = 256;
 /// # Ok::<(), gps_types::GpsError>(())
 /// ```
 pub struct Engine<'a> {
-    config: SimConfig,
-    link: LinkGen,
-    workload: &'a Workload,
-    policy: &'a mut dyn MemoryPolicy,
-    probe: ProbeHandle,
+    pub(crate) config: SimConfig,
+    pub(crate) link: LinkGen,
+    pub(crate) workload: &'a Workload,
+    pub(crate) policy: &'a mut dyn MemoryPolicy,
+    pub(crate) probe: ProbeHandle,
 }
 
-struct GpuState {
-    sm_issue: Vec<Cycle>,
-    sm_busy: u64,
-    l1: Vec<Cache>,
-    l1_hits: u64,
-    l1_misses: u64,
-    l2: Cache,
-    dram: DramModel,
-    tlb: Tlb<()>,
+pub(crate) struct GpuState {
+    pub(crate) sm_issue: Vec<Cycle>,
+    pub(crate) sm_busy: u64,
+    pub(crate) l1: Vec<Cache>,
+    pub(crate) l1_hits: u64,
+    pub(crate) l1_misses: u64,
+    pub(crate) l2: Cache,
+    pub(crate) dram: DramModel,
+    pub(crate) tlb: Tlb<()>,
     /// Next time the shared page walker can start a new walk.
-    walker_free: Cycle,
-    instructions: u64,
-    warps_done: u64,
-    kernels_done: u64,
+    pub(crate) walker_free: Cycle,
+    pub(crate) instructions: u64,
+    pub(crate) warps_done: u64,
+    pub(crate) kernels_done: u64,
 }
 
-struct Warp {
-    gpu: usize,
-    sm: usize,
-    cta: u32,
+impl GpuState {
+    /// Fresh per-GPU machine state for `config`. Tenancy shrinks the
+    /// last-level TLB's ways (sets stay a power of two); with one tenant
+    /// this reduces to the exclusive machine exactly.
+    pub(crate) fn new(config: &SimConfig) -> Self {
+        let gpu_cfg = config.gpu;
+        let tlb_cfg = TlbConfig {
+            sets: gpu_cfg.tlb_entries / gpu_cfg.tlb_assoc,
+            ways: gpu_cfg.tlb_assoc,
+        }
+        .with_way_share(config.tenants.max(1));
+        GpuState {
+            sm_issue: vec![Cycle::ZERO; gpu_cfg.sms],
+            sm_busy: 0,
+            l1: (0..gpu_cfg.sms)
+                .map(|_| Cache::new(CacheConfig::new(gpu_cfg.l1_bytes, gpu_cfg.l1_assoc)))
+                .collect(),
+            l1_hits: 0,
+            l1_misses: 0,
+            l2: Cache::new(CacheConfig::new(gpu_cfg.l2_bytes, gpu_cfg.l2_assoc)),
+            dram: DramModel::new(gpu_cfg.dram_bandwidth, gpu_cfg.dram_latency),
+            tlb: Tlb::new(tlb_cfg),
+            walker_free: Cycle::ZERO,
+            instructions: 0,
+            warps_done: 0,
+            kernels_done: 0,
+        }
+    }
+
+    /// Snapshot of this GPU's counters for the final report.
+    pub(crate) fn report(&self) -> GpuReport {
+        GpuReport {
+            l1_hits: self.l1_hits,
+            l1_misses: self.l1_misses,
+            l2_hits: self.l2.stats().hits,
+            l2_misses: self.l2.stats().misses,
+            l2_writebacks: self.l2.stats().writebacks,
+            tlb: TlbCounts {
+                hits: self.tlb.stats().hits,
+                misses: self.tlb.stats().misses,
+            },
+            sm_busy_cycles: self.sm_busy,
+            dram_read_bytes: self.dram.read_bytes(),
+            dram_write_bytes: self.dram.write_bytes(),
+            instructions: self.instructions,
+            warps: self.warps_done,
+            kernels: self.kernels_done,
+        }
+    }
+}
+
+pub(crate) struct Warp {
+    pub(crate) gpu: usize,
+    pub(crate) sm: usize,
+    pub(crate) cta: u32,
     /// Remaining instructions. The stream subsumes the old `instrs`/`pc`
     /// pair: an owned stream carries its cursor, a replay stream decodes
     /// straight from the shared trace bytes.
-    stream: WarpStream,
-    ready: Cycle,
+    pub(crate) stream: WarpStream,
+    pub(crate) ready: Cycle,
 }
 
 /// Per-GPU state of the kernel currently running (one at a time per GPU).
-struct KernelRun {
-    spec: KernelSpec,
+pub(crate) struct KernelRun {
+    pub(crate) spec: KernelSpec,
     /// Next CTA index not yet launched.
-    next_cta: u32,
+    pub(crate) next_cta: u32,
     /// Live warps per launched CTA (indexed by CTA id).
-    cta_live: Vec<u32>,
+    pub(crate) cta_live: Vec<u32>,
     /// Warps still running across the grid.
-    live_warps: u64,
+    pub(crate) live_warps: u64,
     /// Launch time (telemetry kernel-span start).
-    started: Cycle,
+    pub(crate) started: Cycle,
     /// Latest warp completion seen so far.
-    last_done: Cycle,
+    pub(crate) last_done: Cycle,
     /// Round-robin SM cursor for CTA placement.
-    sm_cursor: usize,
+    pub(crate) sm_cursor: usize,
     /// Resident CTAs per SM.
-    sm_resident: Vec<u32>,
+    pub(crate) sm_resident: Vec<u32>,
     /// Producer pre-expanding upcoming CTAs' warp streams
     /// ([`SimConfig::stream_pipeline_depth`] > 0 and the grid is large
     /// enough). `None` expands inline at launch.
-    prefetch: Option<CtaPrefetcher>,
+    pub(crate) prefetch: Option<CtaPrefetcher>,
 }
 
 impl KernelRun {
@@ -143,7 +194,12 @@ impl KernelRun {
     /// running, expanded inline otherwise. Both paths walk CTAs in grid
     /// order and generate streams purely from warp coordinates, so the
     /// choice never affects simulated timing.
-    fn cta_streams(&mut self, gpu: usize, gpu_count: u32, arena: &BufferArena) -> Vec<WarpStream> {
+    pub(crate) fn cta_streams(
+        &mut self,
+        gpu: usize,
+        gpu_count: u32,
+        arena: &BufferArena,
+    ) -> Vec<WarpStream> {
         let cta_idx = self.next_cta - 1; // caller just claimed this index
         match &mut self.prefetch {
             Some(pf) => pf.take(cta_idx),
@@ -210,37 +266,28 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs the workload to completion.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// [`SimConfig::parallel_workers`] selects the core: `0` drains one
+    /// global event heap sequentially; `N >= 1` runs the per-GPU lane
+    /// engine (which itself falls back here when the policy's
+    /// [`LaneMode`](crate::LaneMode) or the fabric rules lanes out).
+    pub fn run(self) -> SimReport {
+        if self.config.parallel_workers > 0 {
+            return crate::lanes::run(self);
+        }
+        self.run_classic()
+    }
+
+    /// The classic sequential core: one global `(time, sequence)` heap.
+    pub(crate) fn run_classic(mut self) -> SimReport {
         let gc = self.config.gpu_count;
         let gpu_cfg = self.config.gpu;
         let tenants = self.config.tenants.max(1);
         // Tenancy shrinks each application's share of the contended
-        // structures: the last-level TLB loses ways (sets stay a power of
-        // two) and every fabric link serves at 1/tenants of its rate. With
-        // one tenant both reduce to the exclusive machine exactly.
-        let tlb_cfg = TlbConfig {
-            sets: gpu_cfg.tlb_entries / gpu_cfg.tlb_assoc,
-            ways: gpu_cfg.tlb_assoc,
-        }
-        .with_way_share(tenants);
-        let mut gpus: Vec<GpuState> = (0..gc)
-            .map(|_| GpuState {
-                sm_issue: vec![Cycle::ZERO; gpu_cfg.sms],
-                sm_busy: 0,
-                l1: (0..gpu_cfg.sms)
-                    .map(|_| Cache::new(CacheConfig::new(gpu_cfg.l1_bytes, gpu_cfg.l1_assoc)))
-                    .collect(),
-                l1_hits: 0,
-                l1_misses: 0,
-                l2: Cache::new(CacheConfig::new(gpu_cfg.l2_bytes, gpu_cfg.l2_assoc)),
-                dram: DramModel::new(gpu_cfg.dram_bandwidth, gpu_cfg.dram_latency),
-                tlb: Tlb::new(tlb_cfg),
-                walker_free: Cycle::ZERO,
-                instructions: 0,
-                warps_done: 0,
-                kernels_done: 0,
-            })
-            .collect();
+        // structures: the last-level TLB loses ways (via `GpuState::new`)
+        // and every fabric link serves at 1/tenants of its rate. With one
+        // tenant both reduce to the exclusive machine exactly.
+        let mut gpus: Vec<GpuState> = (0..gc).map(|_| GpuState::new(&self.config)).collect();
         let mut fabric = Fabric::new(
             FabricConfig::new(gc, self.link)
                 .with_topology(self.config.topology)
@@ -292,15 +339,19 @@ impl<'a> Engine<'a> {
             for g in 0..gc {
                 if let Some(spec) = queues[g].pop_front() {
                     let at = phase_start + gpu_cfg.kernel_launch_overhead;
-                    let run = self.start_kernel(
+                    let run = start_kernel(
+                        &self.config,
+                        self.workload.gpu_count as u32,
                         g,
                         spec,
                         at,
                         &arena,
                         &mut warps,
                         &mut free_slots,
-                        &mut heap,
-                        &mut seq,
+                        &mut HeapSink {
+                            heap: &mut heap,
+                            seq: &mut seq,
+                        },
                     );
                     running[g] = Some(run);
                 } else {
@@ -336,6 +387,7 @@ impl<'a> Engine<'a> {
                 }
 
                 let kernel_finished = {
+                    // gps-lint: allow(no_expect) -- a retiring warp's GPU always has a running kernel
                     let run = running[g].as_mut().expect("warp without kernel");
                     run.live_warps -= 1;
                     run.last_done = run.last_done.max(done_at);
@@ -350,7 +402,7 @@ impl<'a> Engine<'a> {
                             run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
                             let streams =
                                 run.cta_streams(g, self.workload.gpu_count as u32, &arena);
-                            Self::spawn_cta(
+                            spawn_cta(
                                 g,
                                 sm,
                                 cta_idx,
@@ -358,8 +410,10 @@ impl<'a> Engine<'a> {
                                 streams,
                                 &mut warps,
                                 &mut free_slots,
-                                &mut heap,
-                                &mut seq,
+                                &mut HeapSink {
+                                    heap: &mut heap,
+                                    seq: &mut seq,
+                                },
                             );
                         }
                     }
@@ -367,6 +421,7 @@ impl<'a> Engine<'a> {
                 };
 
                 if kernel_finished {
+                    // gps-lint: allow(no_expect) -- kernel_finished was computed from Some above
                     let run = running[g].take().expect("just observed");
                     gpus[g].kernels_done += 1;
                     self.probe.span(
@@ -392,15 +447,19 @@ impl<'a> Engine<'a> {
                     };
                     if let Some(spec) = queues[g].pop_front() {
                         let at = visible + gpu_cfg.kernel_launch_overhead;
-                        let run = self.start_kernel(
+                        let run = start_kernel(
+                            &self.config,
+                            self.workload.gpu_count as u32,
                             g,
                             spec,
                             at,
                             &arena,
                             &mut warps,
                             &mut free_slots,
-                            &mut heap,
-                            &mut seq,
+                            &mut HeapSink {
+                                heap: &mut heap,
+                                seq: &mut seq,
+                            },
                         );
                         running[g] = Some(run);
                     } else {
@@ -411,6 +470,7 @@ impl<'a> Engine<'a> {
 
             let barrier = gpu_done
                 .iter()
+                // gps-lint: allow(no_expect) -- the event loop only exits once every GPU drained
                 .map(|d| d.expect("phase drained with running GPU"))
                 .max()
                 .unwrap_or(phase_start);
@@ -448,134 +508,11 @@ impl<'a> Engine<'a> {
             phase_traffic,
             interconnect_bytes: 0,
             interconnect_transfers: 0,
-            per_gpu: gpus
-                .iter()
-                .map(|g| GpuReport {
-                    l1_hits: g.l1_hits,
-                    l1_misses: g.l1_misses,
-                    l2_hits: g.l2.stats().hits,
-                    l2_misses: g.l2.stats().misses,
-                    l2_writebacks: g.l2.stats().writebacks,
-                    tlb: TlbCounts {
-                        hits: g.tlb.stats().hits,
-                        misses: g.tlb.stats().misses,
-                    },
-                    sm_busy_cycles: g.sm_busy,
-                    dram_read_bytes: g.dram.read_bytes(),
-                    dram_write_bytes: g.dram.write_bytes(),
-                    instructions: g.instructions,
-                    warps: g.warps_done,
-                    kernels: g.kernels_done,
-                })
-                .collect(),
+            per_gpu: gpus.iter().map(GpuState::report).collect(),
             policy_metrics: self.policy.metrics(),
         };
         report.absorb_traffic(fabric.counters());
         report
-    }
-
-    /// Creates the runtime state for a kernel and spawns its first wave of
-    /// CTAs.
-    #[allow(clippy::too_many_arguments)]
-    fn start_kernel(
-        &mut self,
-        gpu: usize,
-        spec: KernelSpec,
-        at: Cycle,
-        arena: &BufferArena,
-        warps: &mut Vec<Warp>,
-        free_slots: &mut Vec<usize>,
-        heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-        seq: &mut u64,
-    ) -> KernelRun {
-        let gpu_cfg = self.config.gpu;
-        let gpu_count = self.workload.gpu_count as u32;
-        let slots_per_sm = gpu_cfg.cta_slots_per_sm(spec.warps_per_cta);
-        let depth = self.config.stream_pipeline_depth;
-        let prefetch = if depth > 0 && spec.total_warps() >= PREFETCH_MIN_WARPS {
-            Some(CtaPrefetcher::spawn(
-                Arc::clone(&spec.program),
-                arena.clone(),
-                GpuId::new(gpu as u16),
-                gpu_count,
-                spec.cta_count,
-                spec.warps_per_cta,
-                depth,
-            ))
-        } else {
-            None
-        };
-        let mut run = KernelRun {
-            next_cta: 0,
-            cta_live: vec![0; spec.cta_count as usize],
-            live_warps: 0,
-            started: at,
-            last_done: at,
-            sm_cursor: 0,
-            sm_resident: vec![0; gpu_cfg.sms],
-            prefetch,
-            spec,
-        };
-        run.live_warps = run.spec.total_warps() as u64;
-
-        // First wave: round-robin CTAs over SMs until residency is full or
-        // CTAs run out.
-        let capacity = slots_per_sm as u64 * gpu_cfg.sms as u64;
-        let first_wave = (run.spec.cta_count as u64).min(capacity) as u32;
-        for _ in 0..first_wave {
-            let cta_idx = run.next_cta;
-            run.next_cta += 1;
-            // Find next SM with room.
-            let mut sm = run.sm_cursor;
-            while run.sm_resident[sm] >= slots_per_sm {
-                sm = (sm + 1) % gpu_cfg.sms;
-            }
-            run.sm_cursor = (sm + 1) % gpu_cfg.sms;
-            run.sm_resident[sm] += 1;
-            run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
-            let streams = run.cta_streams(gpu, gpu_count, arena);
-            Self::spawn_cta(gpu, sm, cta_idx, at, streams, warps, free_slots, heap, seq);
-        }
-        run
-    }
-
-    /// Schedules the warps of one CTA from their pre-built streams.
-    #[allow(clippy::too_many_arguments)]
-    fn spawn_cta(
-        gpu: usize,
-        sm: usize,
-        cta_idx: u32,
-        at: Cycle,
-        streams: Vec<WarpStream>,
-        warps: &mut Vec<Warp>,
-        free_slots: &mut Vec<usize>,
-        heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-        seq: &mut u64,
-    ) {
-        for mut stream in streams {
-            // Degenerate empty warp: give it a single no-op so the retire
-            // bookkeeping path still sees it.
-            stream.ensure_nonempty();
-            let warp = Warp {
-                gpu,
-                sm,
-                cta: cta_idx,
-                stream,
-                ready: at,
-            };
-            let slot = match free_slots.pop() {
-                Some(s) => {
-                    warps[s] = warp;
-                    s
-                }
-                None => {
-                    warps.push(warp);
-                    warps.len() - 1
-                }
-            };
-            *seq += 1;
-            heap.push(Reverse((at.as_u64(), *seq, slot)));
-        }
     }
 
     /// Executes one instruction of warp `slot`.
@@ -587,6 +524,7 @@ impl<'a> Engine<'a> {
         fabric: &mut Fabric,
     ) {
         let w = &mut warps[slot];
+        // gps-lint: allow(no_expect) -- heap slots always hold a next instruction; retire removes exhausted warps
         let instr = w.stream.next().expect("stepped an exhausted warp");
         let gcfg = self.config.gpu;
         let page_size = self.config.page_size;
@@ -686,40 +624,6 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Translates `vpn`, charging a walk on a miss; returns the time
-    /// translation completes.
-    #[allow(clippy::too_many_arguments)]
-    fn translate(
-        policy: &mut dyn MemoryPolicy,
-        probe: &ProbeHandle,
-        gcfg: &crate::config::GpuConfig,
-        page_size: gps_types::PageSize,
-        gpus: &mut [GpuState],
-        fabric: &mut Fabric,
-        g: usize,
-        line: LineAddr,
-        t: Cycle,
-    ) -> Cycle {
-        let vpn = line.vpn(page_size);
-        if gpus[g].tlb.lookup(vpn).is_some() {
-            probe.counter(Track::gpu(g), names::TLB_HIT, t, 1.0);
-            t
-        } else {
-            probe.counter(Track::gpu(g), names::TLB_MISS, t, 1.0);
-            gpus[g].tlb.insert(vpn, ());
-            let mut ctx = MemCtx {
-                now: t,
-                fabric,
-                page_size,
-            };
-            policy.on_tlb_miss(GpuId::new(g as u16), vpn, &mut ctx);
-            // Walks serialise on the GPU's shared page walker.
-            let start = gpus[g].walker_free.max(t);
-            gpus[g].walker_free = start + gcfg.tlb_walker_interval;
-            start + gcfg.tlb_walk_latency
-        }
-    }
-
     /// Full load path for one line; returns the data arrival time.
     #[allow(clippy::too_many_arguments)]
     fn load_line(
@@ -742,7 +646,17 @@ impl<'a> Engine<'a> {
         }
         gpus[g].l1_misses += 1;
 
-        let t = Self::translate(policy, probe, &gcfg, page_size, gpus, fabric, g, line, t);
+        let t = translate(
+            policy,
+            probe,
+            &gcfg,
+            page_size,
+            &mut gpus[g],
+            fabric,
+            g,
+            line,
+            t,
+        );
         let route = {
             let mut ctx = MemCtx {
                 now: t,
@@ -753,7 +667,7 @@ impl<'a> Engine<'a> {
         };
         match route {
             LoadRoute::Local => {
-                let arrival = Self::l2_read(gpus, gcfg, g, line, gpu_id, t);
+                let arrival = l2_read(&mut gpus[g], &gcfg, line, gpu_id, t);
                 gpus[g].l1[sm].fill(line, gpu_id);
                 arrival
             }
@@ -761,7 +675,7 @@ impl<'a> Engine<'a> {
             LoadRoute::Forwarded => t + gcfg.l2_latency,
             LoadRoute::StallThenLocal { ready } => {
                 let t = ready.max(t);
-                let arrival = Self::l2_read(gpus, gcfg, g, line, gpu_id, t);
+                let arrival = l2_read(&mut gpus[g], &gcfg, line, gpu_id, t);
                 gpus[g].l1[sm].fill(line, gpu_id);
                 arrival
             }
@@ -800,28 +714,6 @@ impl<'a> Engine<'a> {
         arrived
     }
 
-    /// L2 -> DRAM read path for a locally-homed line.
-    fn l2_read(
-        gpus: &mut [GpuState],
-        gcfg: crate::config::GpuConfig,
-        g: usize,
-        line: LineAddr,
-        home: GpuId,
-        t: Cycle,
-    ) -> Cycle {
-        match gpus[g].l2.access_read(line, home) {
-            Lookup::Hit => t + gcfg.l2_latency,
-            Lookup::Miss { evicted } => {
-                if let Some(e) = evicted {
-                    if e.dirty {
-                        gpus[g].dram.write(CACHE_LINE_BYTES, t);
-                    }
-                }
-                gpus[g].dram.read(CACHE_LINE_BYTES, t + gcfg.l2_latency)
-            }
-        }
-    }
-
     /// Full store/atomic path for one line; returns `Some(ready)` if the
     /// warp must stall (write faults), else `None`.
     #[allow(clippy::too_many_arguments)]
@@ -840,7 +732,17 @@ impl<'a> Engine<'a> {
         atomic: bool,
     ) -> Option<Cycle> {
         let gpu_id = GpuId::new(g as u16);
-        let t = Self::translate(policy, probe, &gcfg, page_size, gpus, fabric, g, line, t);
+        let t = translate(
+            policy,
+            probe,
+            &gcfg,
+            page_size,
+            &mut gpus[g],
+            fabric,
+            g,
+            line,
+            t,
+        );
         let route = {
             let mut ctx = MemCtx {
                 now: t,
@@ -858,7 +760,7 @@ impl<'a> Engine<'a> {
         let _ = gpus[g].l1[sm].probe(line);
         match route {
             StoreRoute::Local | StoreRoute::LocalReplicated => {
-                Self::l2_write(gpus, g, line, gpu_id, t);
+                l2_write(&mut gpus[g], line, gpu_id, t);
                 None
             }
             StoreRoute::Remote { to } => {
@@ -867,18 +769,200 @@ impl<'a> Engine<'a> {
             }
             StoreRoute::StallThenLocal { ready } => {
                 let at = ready.max(t);
-                Self::l2_write(gpus, g, line, gpu_id, at);
+                l2_write(&mut gpus[g], line, gpu_id, at);
                 Some(at)
             }
         }
     }
+}
 
-    /// Write-validate L2 store path.
-    fn l2_write(gpus: &mut [GpuState], g: usize, line: LineAddr, home: GpuId, t: Cycle) {
-        if let Lookup::Miss { evicted: Some(e) } = gpus[g].l2.access_write(line, home) {
-            if e.dirty {
-                gpus[g].dram.write(CACHE_LINE_BYTES, t);
+/// Destination for warp wake-up events. [`start_kernel`] and [`spawn_cta`]
+/// are shared between the classic engine (one global `(time, sequence)`
+/// heap) and the lane engine (a calendar queue per lane); this trait is
+/// the seam between the scheduling logic and the queue representation.
+pub(crate) trait EventSink {
+    /// Schedules warp `slot` to step at cycle `at`. Implementations must
+    /// preserve push order among events at the same cycle.
+    fn push_event(&mut self, at: Cycle, slot: usize);
+}
+
+/// The classic engine's sink: the global heap ordered by `(time, sequence)`.
+pub(crate) struct HeapSink<'a> {
+    pub heap: &'a mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+    pub seq: &'a mut u64,
+}
+
+impl EventSink for HeapSink<'_> {
+    fn push_event(&mut self, at: Cycle, slot: usize) {
+        *self.seq += 1;
+        self.heap.push(Reverse((at.as_u64(), *self.seq, slot)));
+    }
+}
+
+/// Creates the runtime state for a kernel and spawns its first wave of
+/// CTAs. Free-standing (rather than an `Engine` method) so the lane engine
+/// can drive per-GPU kernel scheduling with exactly the classic logic.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn start_kernel(
+    config: &SimConfig,
+    workload_gpu_count: u32,
+    gpu: usize,
+    spec: KernelSpec,
+    at: Cycle,
+    arena: &BufferArena,
+    warps: &mut Vec<Warp>,
+    free_slots: &mut Vec<usize>,
+    events: &mut dyn EventSink,
+) -> KernelRun {
+    let gpu_cfg = config.gpu;
+    let slots_per_sm = gpu_cfg.cta_slots_per_sm(spec.warps_per_cta);
+    let depth = config.stream_pipeline_depth;
+    let prefetch = if depth > 0 && spec.total_warps() >= PREFETCH_MIN_WARPS {
+        Some(CtaPrefetcher::spawn(
+            Arc::clone(&spec.program),
+            arena.clone(),
+            GpuId::new(gpu as u16),
+            workload_gpu_count,
+            spec.cta_count,
+            spec.warps_per_cta,
+            depth,
+        ))
+    } else {
+        None
+    };
+    let mut run = KernelRun {
+        next_cta: 0,
+        cta_live: vec![0; spec.cta_count as usize],
+        live_warps: 0,
+        started: at,
+        last_done: at,
+        sm_cursor: 0,
+        sm_resident: vec![0; gpu_cfg.sms],
+        prefetch,
+        spec,
+    };
+    run.live_warps = run.spec.total_warps() as u64;
+
+    // First wave: round-robin CTAs over SMs until residency is full or
+    // CTAs run out.
+    let capacity = slots_per_sm as u64 * gpu_cfg.sms as u64;
+    let first_wave = (run.spec.cta_count as u64).min(capacity) as u32;
+    for _ in 0..first_wave {
+        let cta_idx = run.next_cta;
+        run.next_cta += 1;
+        // Find next SM with room.
+        let mut sm = run.sm_cursor;
+        while run.sm_resident[sm] >= slots_per_sm {
+            sm = (sm + 1) % gpu_cfg.sms;
+        }
+        run.sm_cursor = (sm + 1) % gpu_cfg.sms;
+        run.sm_resident[sm] += 1;
+        run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
+        let streams = run.cta_streams(gpu, workload_gpu_count, arena);
+        spawn_cta(gpu, sm, cta_idx, at, streams, warps, free_slots, events);
+    }
+    run
+}
+
+/// Schedules the warps of one CTA from their pre-built streams.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_cta(
+    gpu: usize,
+    sm: usize,
+    cta_idx: u32,
+    at: Cycle,
+    streams: Vec<WarpStream>,
+    warps: &mut Vec<Warp>,
+    free_slots: &mut Vec<usize>,
+    events: &mut dyn EventSink,
+) {
+    for mut stream in streams {
+        // Degenerate empty warp: give it a single no-op so the retire
+        // bookkeeping path still sees it.
+        stream.ensure_nonempty();
+        let warp = Warp {
+            gpu,
+            sm,
+            cta: cta_idx,
+            stream,
+            ready: at,
+        };
+        let slot = match free_slots.pop() {
+            Some(s) => {
+                warps[s] = warp;
+                s
             }
+            None => {
+                warps.push(warp);
+                warps.len() - 1
+            }
+        };
+        events.push_event(at, slot);
+    }
+}
+
+/// Translates `line`'s page, charging a walk on a miss; returns the time
+/// translation completes. Operates on one GPU's state (`g` is that GPU's
+/// index, used only for probe attribution and the policy callback) so both
+/// the classic core and a single lane can share it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn translate(
+    policy: &mut dyn MemoryPolicy,
+    probe: &ProbeHandle,
+    gcfg: &GpuConfig,
+    page_size: PageSize,
+    gpu: &mut GpuState,
+    fabric: &mut Fabric,
+    g: usize,
+    line: LineAddr,
+    t: Cycle,
+) -> Cycle {
+    let vpn = line.vpn(page_size);
+    if gpu.tlb.lookup(vpn).is_some() {
+        probe.counter(Track::gpu(g), names::TLB_HIT, t, 1.0);
+        t
+    } else {
+        probe.counter(Track::gpu(g), names::TLB_MISS, t, 1.0);
+        gpu.tlb.insert(vpn, ());
+        let mut ctx = MemCtx {
+            now: t,
+            fabric,
+            page_size,
+        };
+        policy.on_tlb_miss(GpuId::new(g as u16), vpn, &mut ctx);
+        // Walks serialise on the GPU's shared page walker.
+        let start = gpu.walker_free.max(t);
+        gpu.walker_free = start + gcfg.tlb_walker_interval;
+        start + gcfg.tlb_walk_latency
+    }
+}
+
+/// L2 -> DRAM read path for a locally-homed line.
+pub(crate) fn l2_read(
+    gpu: &mut GpuState,
+    gcfg: &GpuConfig,
+    line: LineAddr,
+    home: GpuId,
+    t: Cycle,
+) -> Cycle {
+    match gpu.l2.access_read(line, home) {
+        Lookup::Hit => t + gcfg.l2_latency,
+        Lookup::Miss { evicted } => {
+            if let Some(e) = evicted {
+                if e.dirty {
+                    gpu.dram.write(CACHE_LINE_BYTES, t);
+                }
+            }
+            gpu.dram.read(CACHE_LINE_BYTES, t + gcfg.l2_latency)
+        }
+    }
+}
+
+/// Write-validate L2 store path.
+pub(crate) fn l2_write(gpu: &mut GpuState, line: LineAddr, home: GpuId, t: Cycle) {
+    if let Lookup::Miss { evicted: Some(e) } = gpu.l2.access_write(line, home) {
+        if e.dirty {
+            gpu.dram.write(CACHE_LINE_BYTES, t);
         }
     }
 }

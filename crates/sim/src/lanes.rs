@@ -1,0 +1,884 @@
+//! The deterministic per-GPU lane engine.
+//!
+//! [`run`] simulates each GPU on its own event *lane* — a private
+//! `(time, sequence)` event queue ([`LaneQueue`]) plus that GPU's caches,
+//! TLB and DRAM — and advances all lanes through conservative time
+//! windows, MGSim-style.
+//! Cross-lane effects are exchanged only at window barriers, so lanes may
+//! be driven by any number of worker threads without changing the result.
+//!
+//! Execution tiers (declared by the policy via [`MemoryPolicy::lane_mode`]):
+//!
+//! * [`LaneMode::PureLocal`] — every access is local, so the lanes never
+//!   interact inside a phase: one window of infinite length per phase.
+//!   Within a lane, the pop order under `(time, lane seq)` equals the
+//!   classic engine's `(time, global seq)` order restricted to that lane
+//!   (relative sequence order is push order in both), and every timing
+//!   input is lane-local, so the [`SimReport`] is **bit-identical** to the
+//!   classic engine's.
+//! * [`LaneMode::WriterEpochs`] — routing depends only on which GPU last
+//!   wrote a shared page. Lanes advance in windows of the fabric's minimum
+//!   cross-GPU latency `E` ([`Topology::min_cross_gpu_latency`]): an
+//!   access at `t < W + E` cannot observe data published after `W`, so
+//!   buffering writer updates until the barrier and merging them in
+//!   `(cycle, gpu, sequence)` order is *conservative*. Remote loads
+//!   suspend their warp; the barrier books them against the owner's DRAM
+//!   and the shared fabric in deterministic order and resumes the warp at
+//!   its arrival (which lands at or after `W + E` because the request
+//!   leaves at `t >= W` and pays at least `E` in flight). Results are
+//!   deterministic and worker-count-invariant, but writer visibility is
+//!   bounded-stale (at most one window), so this tier is pinned by its own
+//!   golden reports rather than the classic engine's.
+//! * [`LaneMode::Fallback`] — delegate to [`Engine::run_classic`].
+//!
+//! Telemetry: each lane buffers its probe emissions tagged with the event
+//! time ([`ProbeHandle::buffering`]); at each phase end the coordinator
+//! merges all lanes' buffers by `(tag, lane, queue position)` and replays
+//! them into the run's real probe, so `--telemetry` output is independent
+//! of lane interleaving.
+//!
+//! [`MemoryPolicy::lane_mode`]: crate::MemoryPolicy::lane_mode
+//! [`LaneMode::PureLocal`]: crate::LaneMode::PureLocal
+//! [`LaneMode::WriterEpochs`]: crate::LaneMode::WriterEpochs
+//! [`LaneMode::Fallback`]: crate::LaneMode::Fallback
+//! [`SimReport`]: crate::SimReport
+//! [`Topology::min_cross_gpu_latency`]: gps_interconnect::Topology::min_cross_gpu_latency
+//! [`Engine::run_classic`]: Engine::run_classic
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use gps_interconnect::{Fabric, FabricConfig};
+use gps_obs::{names, Emission, ProbeHandle, Track};
+use gps_types::{Cycle, GpuId, LineAddr, Vpn, CACHE_LINE_BYTES};
+
+use crate::config::SimConfig;
+use crate::engine::{
+    l2_read, l2_write, start_kernel, translate, Engine, EventSink, GpuState, KernelRun, Warp,
+    RECYCLE_FLUSH,
+};
+use crate::instr::{WarpInstr, WarpStream};
+use crate::pipeline::BufferArena;
+use crate::policy::{AllLocalPolicy, LaneMode, MemCtx};
+use crate::stats::SimReport;
+use crate::workload::{KernelSpec, SharedIndex};
+
+/// Per-lane event queue: a binary heap of `(time, sequence, slot)` keys
+/// packed into one `u128` — time in the top 56 bits, a per-lane push
+/// sequence in the middle 48, the warp slot in the low 24 — so a sift
+/// compare is a single branch on 16-byte keys instead of a
+/// lexicographic tuple walk.
+///
+/// Within one lane the sequence is assigned in push order, so the pop
+/// order under the packed key equals the classic engine's
+/// `(time, global sequence)` order restricted to that lane: relative
+/// sequence order is push order in both. The slot bits are never reached
+/// as a tie-break (sequences are unique); they just ride along so the pop
+/// returns the payload.
+struct LaneQueue {
+    heap: BinaryHeap<Reverse<u128>>,
+    seq: u64,
+}
+
+/// Bit layout of the packed key.
+const KEY_SLOT_BITS: u32 = 24;
+const KEY_SEQ_BITS: u32 = 48;
+
+impl LaneQueue {
+    fn new() -> Self {
+        LaneQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, t: u64, slot: usize) {
+        debug_assert!(t < 1 << (128 - 72), "cycle overflows the packed key");
+        debug_assert!(slot < 1 << KEY_SLOT_BITS, "slot overflows the packed key");
+        debug_assert!(
+            self.seq < (1 << KEY_SEQ_BITS) - 1,
+            "push seq overflows the packed key"
+        );
+        self.seq += 1;
+        let key = ((t as u128) << (KEY_SEQ_BITS + KEY_SLOT_BITS))
+            | ((self.seq as u128) << KEY_SLOT_BITS)
+            | slot as u128;
+        self.heap.push(Reverse(key));
+    }
+
+    /// The earliest queued event's cycle, if any.
+    fn peek_time(&self) -> Option<u64> {
+        self.heap
+            .peek()
+            .map(|&Reverse(key)| (key >> (KEY_SEQ_BITS + KEY_SLOT_BITS)) as u64)
+    }
+
+    /// Pops the earliest event as `(cycle, slot)` if it lies strictly
+    /// before `limit`.
+    fn pop_before(&mut self, limit: u64) -> Option<(u64, usize)> {
+        let &Reverse(key) = self.heap.peek()?;
+        let t = (key >> (KEY_SEQ_BITS + KEY_SLOT_BITS)) as u64;
+        if t >= limit {
+            return None;
+        }
+        self.heap.pop();
+        Some((t, (key & ((1 << KEY_SLOT_BITS) - 1)) as usize))
+    }
+}
+
+impl EventSink for LaneQueue {
+    fn push_event(&mut self, at: Cycle, slot: usize) {
+        self.push(at.as_u64(), slot);
+    }
+}
+
+/// Shared, read-only inputs every lane needs while draining a window.
+struct LaneCtx<'w> {
+    config: &'w SimConfig,
+    /// GPU count the workload was partitioned for (CTA stream expansion).
+    gpu_count: u32,
+    mode: LaneMode,
+    /// Line/page classifier ([`LaneMode::WriterEpochs`] only).
+    index: Option<&'w SharedIndex>,
+    /// Last-writer map as of the previous barrier (engine-owned).
+    writers: &'w BTreeMap<Vpn, GpuId>,
+}
+
+/// A warp parked mid-load: some lines of its coalesced range route to
+/// peer GPUs and resolve at the next window barrier.
+struct Suspend {
+    slot: usize,
+    /// Max over the local lines' arrivals (and `issue + 1`); the barrier
+    /// raises it to cover the remote arrivals.
+    ready: Cycle,
+    /// `(owner, line, issue time)` per remote line.
+    pending: Vec<(GpuId, LineAddr, Cycle)>,
+}
+
+enum Stepped {
+    Ready,
+    Suspended(Suspend),
+}
+
+/// One GPU's private simulation state.
+struct Lane {
+    g: usize,
+    gpu: GpuState,
+    warps: Vec<Warp>,
+    free_slots: Vec<usize>,
+    events: LaneQueue,
+    arena: BufferArena,
+    retired: Vec<Vec<WarpInstr>>,
+    queue: VecDeque<KernelSpec>,
+    running: Option<KernelRun>,
+    done: Option<Cycle>,
+    suspended: Vec<Suspend>,
+    /// Shared pages this lane itself wrote (self-visibility is immediate).
+    overlay: BTreeSet<Vpn>,
+    /// This window's writer updates: `(cycle, lane delta seq, page)`.
+    deltas: Vec<(u64, u64, Vpn)>,
+    delta_seq: u64,
+    remote_loads: u64,
+    local_loads: u64,
+    /// Buffering handle when telemetry is on, disabled otherwise.
+    probe: ProbeHandle,
+    buffered: bool,
+    /// No-op policy handed to the shared [`translate`] helper (lane-capable
+    /// policies never override `on_tlb_miss`).
+    stand_in: AllLocalPolicy,
+    /// Never booked; exists only because [`MemCtx`] carries a fabric.
+    scratch_fabric: Fabric,
+}
+
+impl Lane {
+    fn new(g: usize, engine: &Engine<'_>, telemetry: bool) -> Self {
+        let probe = if telemetry {
+            ProbeHandle::buffering()
+        } else {
+            ProbeHandle::disabled()
+        };
+        let mut gpu = GpuState::new(&engine.config);
+        gpu.dram.set_probe(probe.clone(), Track::gpu(g));
+        Lane {
+            g,
+            gpu,
+            warps: Vec::new(),
+            free_slots: Vec::new(),
+            events: LaneQueue::new(),
+            arena: BufferArena::new(),
+            retired: Vec::new(),
+            queue: VecDeque::new(),
+            running: None,
+            done: None,
+            suspended: Vec::new(),
+            overlay: BTreeSet::new(),
+            deltas: Vec::new(),
+            delta_seq: 0,
+            remote_loads: 0,
+            local_loads: 0,
+            probe,
+            buffered: telemetry,
+            stand_in: AllLocalPolicy::new(),
+            scratch_fabric: Fabric::new(FabricConfig::new(engine.config.gpu_count, engine.link)),
+        }
+    }
+
+    /// Processes every queued event strictly before `window_end`.
+    fn drain_window(&mut self, ctx: &LaneCtx<'_>, window_end: u64) {
+        'events: while let Some((t, slot)) = self.events.pop_before(window_end) {
+            let mut t = t;
+            loop {
+                if self.buffered {
+                    self.probe.set_tag(t);
+                }
+                match self.step(ctx, slot) {
+                    Stepped::Ready => {
+                        if self.warps[slot].stream.is_exhausted() {
+                            let done_at = self.warps[slot].ready;
+                            self.retire_warp(ctx.config, ctx.gpu_count, slot, done_at);
+                            continue 'events;
+                        }
+                        let ready = self.warps[slot].ready.as_u64();
+                        // Run-ahead: if this warp's next event strictly
+                        // precedes everything queued (and fits the
+                        // window), it would be the next pop anyway — step
+                        // it now and skip the push/pop round trip. Strict
+                        // inequality keeps `(time, seq)` order: a tie
+                        // must yield to the already-queued event.
+                        if ready < window_end
+                            && self.events.peek_time().is_none_or(|next| ready < next)
+                        {
+                            t = ready;
+                            continue;
+                        }
+                        self.events.push(ready, slot);
+                        continue 'events;
+                    }
+                    Stepped::Suspended(s) => {
+                        self.suspended.push(s);
+                        continue 'events;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction of warp `slot` — the lane port of the
+    /// classic engine's `step_warp`, with routing resolved from the
+    /// engine-owned writer state instead of a policy callback.
+    fn step(&mut self, ctx: &LaneCtx<'_>, slot: usize) -> Stepped {
+        let gcfg = ctx.config.gpu;
+        let page_size = ctx.config.page_size;
+        let g = self.g;
+        let gpu_id = GpuId::new(g as u16);
+
+        let (sm, instr) = {
+            let w = &mut self.warps[slot];
+            // gps-lint: allow(no_expect) -- heap slots always hold a next instruction; retire removes exhausted warps
+            let instr = w.stream.next().expect("stepped an exhausted warp");
+            (w.sm, instr)
+        };
+        let issue = self.warps[slot].ready.max(self.gpu.sm_issue[sm]);
+        self.gpu.instructions += 1;
+
+        match instr {
+            WarpInstr::Compute(c) => {
+                let end = Cycle::new(issue.as_u64() + c as u64);
+                self.gpu.sm_issue[sm] = end.max(Cycle::new(issue.as_u64() + 1));
+                self.gpu.sm_busy += (c as u64).max(1);
+                self.warps[slot].ready = end.max(Cycle::new(issue.as_u64() + 1));
+                Stepped::Ready
+            }
+            WarpInstr::Load(range) => {
+                self.gpu.sm_busy += range.len().max(1) as u64;
+                self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + range.len().max(1) as u64);
+                let mut ready = Cycle::new(issue.as_u64() + 1);
+                let mut pending: Vec<(GpuId, LineAddr, Cycle)> = Vec::new();
+                for (i, line) in range.iter().enumerate() {
+                    let t = Cycle::new(issue.as_u64() + i as u64);
+                    if self.gpu.l1[sm].probe(line) {
+                        self.gpu.l1_hits += 1;
+                        ready = ready.max(t + gcfg.l1_latency);
+                        continue;
+                    }
+                    self.gpu.l1_misses += 1;
+                    let t = translate(
+                        &mut self.stand_in,
+                        &self.probe,
+                        &gcfg,
+                        page_size,
+                        &mut self.gpu,
+                        &mut self.scratch_fabric,
+                        g,
+                        line,
+                        t,
+                    );
+                    match self.route_load(ctx, line) {
+                        None => {
+                            let arrival = l2_read(&mut self.gpu, &gcfg, line, gpu_id, t);
+                            self.gpu.l1[sm].fill(line, gpu_id);
+                            ready = ready.max(arrival);
+                        }
+                        Some(from) => pending.push((from, line, t)),
+                    }
+                }
+                if pending.is_empty() {
+                    self.warps[slot].ready = ready;
+                    Stepped::Ready
+                } else {
+                    Stepped::Suspended(Suspend {
+                        slot,
+                        ready,
+                        pending,
+                    })
+                }
+            }
+            WarpInstr::Store(range, _scope) => {
+                self.gpu.sm_busy += range.len().max(1) as u64;
+                self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + range.len().max(1) as u64);
+                for (i, line) in range.iter().enumerate() {
+                    let t = Cycle::new(issue.as_u64() + i as u64);
+                    let t = translate(
+                        &mut self.stand_in,
+                        &self.probe,
+                        &gcfg,
+                        page_size,
+                        &mut self.gpu,
+                        &mut self.scratch_fabric,
+                        g,
+                        line,
+                        t,
+                    );
+                    self.route_store(ctx, line, t);
+                    let _ = self.gpu.l1[sm].probe(line);
+                    l2_write(&mut self.gpu, line, gpu_id, t);
+                }
+                self.warps[slot].ready = Cycle::new(issue.as_u64() + 1);
+                Stepped::Ready
+            }
+            WarpInstr::Atomic(line) => {
+                self.gpu.sm_busy += 1;
+                self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + 1);
+                let t = translate(
+                    &mut self.stand_in,
+                    &self.probe,
+                    &gcfg,
+                    page_size,
+                    &mut self.gpu,
+                    &mut self.scratch_fabric,
+                    g,
+                    line,
+                    issue,
+                );
+                self.route_store(ctx, line, t);
+                let _ = self.gpu.l1[sm].probe(line);
+                l2_write(&mut self.gpu, line, gpu_id, t);
+                self.warps[slot].ready = Cycle::new(issue.as_u64() + 1);
+                Stepped::Ready
+            }
+            WarpInstr::Fence(_scope) => {
+                self.gpu.sm_busy += 1;
+                self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + 1);
+                // Lane-capable policies keep the default `on_fence`
+                // (returns `now`), so a fence never stalls past issue.
+                self.warps[slot].ready = Cycle::new(issue.as_u64() + 1);
+                Stepped::Ready
+            }
+        }
+    }
+
+    /// Routes one coalesced load: `None` = local, `Some(owner)` = remote.
+    /// Mirrors `RdlPolicy::route_load` exactly in [`LaneMode::WriterEpochs`]
+    /// (private lines route local without touching either counter).
+    fn route_load(&mut self, ctx: &LaneCtx<'_>, line: LineAddr) -> Option<GpuId> {
+        if ctx.mode != LaneMode::WriterEpochs {
+            return None;
+        }
+        // gps-lint: allow(no_expect) -- run() builds the index for every WriterEpochs lane
+        let index = ctx.index.expect("writer mode without a shared index");
+        if !index.is_shared(line) {
+            return None;
+        }
+        let vpn = line.vpn(ctx.config.page_size);
+        let writer = if self.overlay.contains(&vpn) {
+            Some(GpuId::new(self.g as u16))
+        } else {
+            ctx.writers.get(&vpn).copied()
+        };
+        match writer {
+            Some(w) if w.index() != self.g => {
+                self.remote_loads += 1;
+                Some(w)
+            }
+            _ => {
+                self.local_loads += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a store's writer update ([`LaneMode::WriterEpochs`] only;
+    /// the store itself always completes locally, like `RdlPolicy`).
+    fn route_store(&mut self, ctx: &LaneCtx<'_>, line: LineAddr, t: Cycle) {
+        if ctx.mode != LaneMode::WriterEpochs {
+            return;
+        }
+        // gps-lint: allow(no_expect) -- run() builds the index for every WriterEpochs lane
+        let index = ctx.index.expect("writer mode without a shared index");
+        if !index.is_shared(line) {
+            return;
+        }
+        let vpn = line.vpn(ctx.config.page_size);
+        self.overlay.insert(vpn);
+        self.delta_seq += 1;
+        self.deltas.push((t.as_u64(), self.delta_seq, vpn));
+    }
+
+    /// Retires warp `slot` at `done_at`: frees the slot, recycles the
+    /// stream buffer and runs the classic kernel bookkeeping (CTA refill,
+    /// kernel finish, next launch or lane completion).
+    fn retire_warp(
+        &mut self,
+        config: &SimConfig,
+        workload_gpu_count: u32,
+        slot: usize,
+        done_at: Cycle,
+    ) {
+        let cta = self.warps[slot].cta;
+        let sm = self.warps[slot].sm;
+        self.gpu.warps_done += 1;
+        self.free_slots.push(slot);
+        let stream = std::mem::replace(&mut self.warps[slot].stream, WarpStream::owned(Vec::new()));
+        if let Some(buf) = stream.into_buffer() {
+            self.retired.push(buf);
+            if self.retired.len() >= RECYCLE_FLUSH {
+                self.arena.put_n(&mut self.retired);
+            }
+        }
+
+        let kernel_finished = {
+            // gps-lint: allow(no_expect) -- a live warp's lane always has a running kernel
+            let run = self.running.as_mut().expect("warp without kernel");
+            run.live_warps -= 1;
+            run.last_done = run.last_done.max(done_at);
+            run.cta_live[cta as usize] -= 1;
+            if run.cta_live[cta as usize] == 0 {
+                run.sm_resident[sm] -= 1;
+                if run.next_cta < run.spec.cta_count {
+                    let cta_idx = run.next_cta;
+                    run.next_cta += 1;
+                    run.sm_resident[sm] += 1;
+                    run.cta_live[cta_idx as usize] = run.spec.warps_per_cta;
+                    let streams = run.cta_streams(self.g, workload_gpu_count, &self.arena);
+                    crate::engine::spawn_cta(
+                        self.g,
+                        sm,
+                        cta_idx,
+                        done_at,
+                        streams,
+                        &mut self.warps,
+                        &mut self.free_slots,
+                        &mut self.events,
+                    );
+                }
+            }
+            run.live_warps == 0
+        };
+
+        if kernel_finished {
+            // gps-lint: allow(no_expect) -- just observed Some above
+            let run = self.running.take().expect("just observed");
+            self.gpu.kernels_done += 1;
+            self.probe.span(
+                Track::gpu(self.g),
+                &run.spec.name,
+                "kernel",
+                run.started,
+                run.last_done,
+            );
+            // Grid-end implicit release, as in the classic engine.
+            for l1 in &mut self.gpu.l1[..] {
+                l1.invalidate_all();
+            }
+            self.gpu.l2.invalidate_remote(GpuId::new(self.g as u16));
+            // Lane-capable policies keep the default `on_kernel_end`.
+            let visible = run.last_done;
+            if let Some(spec) = self.queue.pop_front() {
+                let at = visible + config.gpu.kernel_launch_overhead;
+                let next = start_kernel(
+                    config,
+                    workload_gpu_count,
+                    self.g,
+                    spec,
+                    at,
+                    &self.arena,
+                    &mut self.warps,
+                    &mut self.free_slots,
+                    &mut self.events,
+                );
+                self.running = Some(next);
+            } else {
+                self.done = Some(visible);
+            }
+        }
+    }
+}
+
+/// Merges every lane's buffered writer updates into the master map in
+/// `(cycle, gpu, sequence)` order — the tentpole's deterministic merge.
+///
+/// Each lane's self-write overlay is cleared afterwards: its entries are
+/// now reflected in `writers` (at their true merge rank, so a peer's later
+/// write correctly steals ownership), and keeping them would pin pages
+/// local to any past writer forever instead of to the *last* writer.
+fn barrier_merge(lanes: &mut [Lane], writers: &mut BTreeMap<Vpn, GpuId>) {
+    let mut all: Vec<(u64, u16, u64, Vpn)> = Vec::new();
+    for lane in lanes.iter_mut() {
+        let g = lane.g as u16;
+        all.extend(lane.deltas.drain(..).map(|(t, s, vpn)| (t, g, s, vpn)));
+        lane.overlay.clear();
+    }
+    all.sort_unstable();
+    for (_, g, _, vpn) in all {
+        writers.insert(vpn, GpuId::new(g));
+    }
+}
+
+/// Books every suspended warp's remote lines against the owners' DRAM and
+/// the shared fabric in deterministic `(issue time, lane, position)` order,
+/// then resumes (or retires) each warp at its merged arrival time.
+fn resolve_suspended(
+    lanes: &mut [Lane],
+    fabric: &mut Fabric,
+    config: &SimConfig,
+    workload_gpu_count: u32,
+    telemetry: bool,
+    window_end: u64,
+) {
+    if lanes.iter().all(|l| l.suspended.is_empty()) {
+        return;
+    }
+    if telemetry {
+        // Barrier-time DRAM/fabric emissions land in the owner lanes'
+        // buffers; tag them with the barrier so the merge stays ordered.
+        for lane in lanes.iter() {
+            lane.probe.set_tag(window_end);
+        }
+    }
+
+    struct Req {
+        key: (u64, usize, usize, usize),
+        lane: usize,
+        sidx: usize,
+        from: GpuId,
+        line: LineAddr,
+    }
+    let mut reqs: Vec<Req> = Vec::new();
+    for (g, lane) in lanes.iter().enumerate() {
+        for (si, susp) in lane.suspended.iter().enumerate() {
+            for (pi, &(from, line, t)) in susp.pending.iter().enumerate() {
+                reqs.push(Req {
+                    key: (t.as_u64(), g, si, pi),
+                    lane: g,
+                    sidx: si,
+                    from,
+                    line,
+                });
+            }
+        }
+    }
+    reqs.sort_unstable_by_key(|r| r.key);
+
+    let link_latency = fabric.link().latency();
+    for r in reqs {
+        // Same shape as the classic engine's `remote_read`: request hop,
+        // owner DRAM, cut-through fabric transfer, requester L1 fill.
+        let req_at = Cycle::new(r.key.0) + link_latency;
+        let data_at = lanes[r.from.index()]
+            .gpu
+            .dram
+            .read(CACHE_LINE_BYTES, req_at);
+        let arrived = fabric
+            .transfer(r.from, GpuId::new(r.lane as u16), CACHE_LINE_BYTES, data_at)
+            .map(|tr| tr.arrived)
+            .unwrap_or(data_at);
+        let sm = lanes[r.lane].warps[lanes[r.lane].suspended[r.sidx].slot].sm;
+        lanes[r.lane].gpu.l1[sm].fill(r.line, r.from);
+        let susp = &mut lanes[r.lane].suspended[r.sidx];
+        susp.ready = susp.ready.max(arrived);
+    }
+
+    for lane in lanes.iter_mut() {
+        let susps = std::mem::take(&mut lane.suspended);
+        for susp in susps {
+            lane.warps[susp.slot].ready = susp.ready;
+            if !lane.warps[susp.slot].stream.is_exhausted() {
+                lane.events.push(susp.ready.as_u64(), susp.slot);
+            } else {
+                if lane.buffered {
+                    lane.probe.set_tag(susp.ready.as_u64());
+                }
+                lane.retire_warp(config, workload_gpu_count, susp.slot, susp.ready);
+            }
+        }
+    }
+}
+
+/// Runs `engine`'s workload on the lane engine (or falls back to the
+/// classic core when the policy or fabric rules lanes out).
+pub(crate) fn run(engine: Engine<'_>) -> SimReport {
+    let mode = engine.policy.lane_mode();
+    let epoch = match mode {
+        LaneMode::Fallback => return engine.run_classic(),
+        LaneMode::PureLocal => 0,
+        LaneMode::WriterEpochs => {
+            let e = engine
+                .config
+                .topology
+                .min_cross_gpu_latency(engine.link)
+                .as_u64();
+            if e == 0 {
+                // A latency-free fabric admits no conservative window.
+                return engine.run_classic();
+            }
+            e
+        }
+    };
+    let pure = mode == LaneMode::PureLocal;
+
+    let gc = engine.config.gpu_count;
+    let gpu_cfg = engine.config.gpu;
+    let tenants = engine.config.tenants.max(1);
+    let master_probe = engine.probe.clone();
+    let telemetry = master_probe.is_enabled();
+
+    // Coordinator-owned fabric: books barrier-resolved remote reads and
+    // backs the policy's phase hooks. Lanes never touch it mid-window.
+    let mut fabric = Fabric::new(
+        FabricConfig::new(gc, engine.link)
+            .with_topology(engine.config.topology)
+            .with_bandwidth_share(tenants),
+    );
+    fabric.set_probe(master_probe.clone());
+
+    engine.policy.attach_probe(master_probe.clone());
+    engine.policy.init(engine.workload, &engine.config);
+
+    // Engine-owned writer-tracking state (WriterEpochs only): lanes route
+    // from a read-only snapshot, so the policy object never crosses a
+    // thread boundary.
+    let index: Option<SharedIndex> = (!pure).then(|| engine.workload.index());
+    let mut writers: BTreeMap<Vpn, GpuId> = BTreeMap::new();
+
+    let mut lanes: Vec<Lane> = (0..gc).map(|g| Lane::new(g, &engine, telemetry)).collect();
+    let workers = engine.config.parallel_workers.min(gc).max(1);
+    let wl_gc = engine.workload.gpu_count as u32;
+
+    let mut phase_ends: Vec<Cycle> = Vec::new();
+    let mut phase_traffic: Vec<u64> = Vec::new();
+    let mut phase_start = Cycle::ZERO;
+
+    for (phase_idx, phase) in engine.workload.phases.iter().enumerate() {
+        {
+            let mut ctx = MemCtx {
+                now: phase_start,
+                fabric: &mut fabric,
+                page_size: engine.config.page_size,
+            };
+            let gate = engine.policy.on_phase_start(phase_idx, &mut ctx);
+            phase_start = phase_start.max(gate);
+        }
+        let phase_began = phase_start;
+
+        for (g, lane) in lanes.iter_mut().enumerate() {
+            lane.queue = phase.launches_for(GpuId::new(g as u16)).cloned().collect();
+            lane.done = None;
+            if let Some(spec) = lane.queue.pop_front() {
+                let at = phase_start + gpu_cfg.kernel_launch_overhead;
+                let run = start_kernel(
+                    &engine.config,
+                    wl_gc,
+                    g,
+                    spec,
+                    at,
+                    &lane.arena,
+                    &mut lane.warps,
+                    &mut lane.free_slots,
+                    &mut lane.events,
+                );
+                lane.running = Some(run);
+            } else {
+                lane.done = Some(phase_start);
+            }
+        }
+
+        // Window loop. Each window starts at the earliest pending event
+        // across non-empty lanes (idle lanes never hold the epoch back)
+        // and spans `E` cycles; barrier work re-queues events at or after
+        // the window's end, so the loop terminates when every lane drains.
+        while let Some(next) = lanes.iter().filter_map(|l| l.events.peek_time()).min() {
+            let window_end = if pure {
+                u64::MAX
+            } else {
+                next.saturating_add(epoch)
+            };
+            let ctx = LaneCtx {
+                config: &engine.config,
+                gpu_count: wl_gc,
+                mode,
+                index: index.as_ref(),
+                writers: &writers,
+            };
+            if workers == 1 {
+                for lane in &mut lanes {
+                    lane.drain_window(&ctx, window_end);
+                }
+            } else {
+                let chunk = gc.div_ceil(workers);
+                std::thread::scope(|s| {
+                    for part in lanes.chunks_mut(chunk) {
+                        let ctx = &ctx;
+                        s.spawn(move || {
+                            for lane in part {
+                                lane.drain_window(ctx, window_end);
+                            }
+                        });
+                    }
+                });
+            }
+            barrier_merge(&mut lanes, &mut writers);
+            resolve_suspended(
+                &mut lanes,
+                &mut fabric,
+                &engine.config,
+                wl_gc,
+                telemetry,
+                window_end,
+            );
+        }
+
+        let barrier = lanes
+            .iter()
+            // gps-lint: allow(no_expect) -- the window loop only exits once every lane drained
+            .map(|l| l.done.expect("phase drained with running GPU"))
+            .max()
+            .unwrap_or(phase_start);
+
+        if telemetry {
+            let mut all: Vec<(u64, usize, usize, Emission)> = Vec::new();
+            for (g, lane) in lanes.iter().enumerate() {
+                for (i, (tag, e)) in lane.probe.drain_buffered().into_iter().enumerate() {
+                    all.push((tag, g, i, e));
+                }
+            }
+            all.sort_by_key(|a| (a.0, a.1, a.2));
+            for (_, _, _, e) in all {
+                master_probe.replay(e);
+            }
+        }
+
+        master_probe.instant(Track::SYSTEM, names::BARRIER, barrier);
+        let release = {
+            let mut ctx = MemCtx {
+                now: barrier,
+                fabric: &mut fabric,
+                page_size: engine.config.page_size,
+            };
+            engine.policy.on_phase_end(phase_idx, &mut ctx)
+        };
+        if telemetry {
+            master_probe.span(
+                Track::SYSTEM,
+                &format!("phase {phase_idx}"),
+                "phase",
+                phase_began,
+                release,
+            );
+        }
+        phase_ends.push(release);
+        phase_traffic.push(fabric.counters().total_bytes());
+        phase_start = release + gpu_cfg.phase_sync_overhead;
+    }
+
+    if mode == LaneMode::WriterEpochs {
+        let remote = lanes.iter().map(|l| l.remote_loads).sum();
+        let local = lanes.iter().map(|l| l.local_loads).sum();
+        engine.policy.absorb_lane_loads(remote, local);
+    }
+
+    let total = phase_ends.last().copied().unwrap_or(Cycle::ZERO);
+    let mut report = SimReport {
+        workload: engine.workload.name.clone(),
+        policy: engine.policy.name().to_owned(),
+        gpu_count: gc,
+        link: engine.link.label().to_owned(),
+        total_cycles: total,
+        phase_ends,
+        phase_traffic,
+        interconnect_bytes: 0,
+        interconnect_transfers: 0,
+        per_gpu: lanes.iter().map(|l| l.gpu.report()).collect(),
+        policy_metrics: engine.policy.metrics(),
+    };
+    report.absorb_traffic(fabric.counters());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LaneQueue;
+
+    fn drain(q: &mut LaneQueue) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        while let Some(ev) = q.pop_before(u64::MAX) {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_cycle_order_with_fifo_ties() {
+        let mut q = LaneQueue::new();
+        q.push(5, 0);
+        q.push(3, 1);
+        q.push(5, 2);
+        q.push(3, 3);
+        q.push(4, 4);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(drain(&mut q), vec![(3, 1), (3, 3), (4, 4), (5, 0), (5, 2)]);
+        assert!(q.pop_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn pop_is_bounded_and_cycles_at_the_limit_stay_pushable() {
+        let mut q = LaneQueue::new();
+        q.push(4, 0);
+        q.push(9, 1);
+        assert_eq!(q.pop_before(8), Some((4, 0)));
+        assert_eq!(q.pop_before(8), None);
+        // A window barrier re-queues a resumed warp exactly at the window
+        // end; it must order ahead of the later event already queued.
+        q.push(8, 2);
+        assert_eq!(drain(&mut q), vec![(8, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn packed_keys_round_trip_large_cycles_and_slots() {
+        let mut q = LaneQueue::new();
+        let t = 1 << 40; // far beyond any realistic run length
+        let slot = (1 << 24) - 1;
+        q.push(t, slot);
+        q.push(t - 1, 0);
+        assert_eq!(drain(&mut q), vec![(t - 1, 0), (t, slot)]);
+    }
+
+    #[test]
+    fn same_cycle_order_is_push_order_across_many_events() {
+        let mut q = LaneQueue::new();
+        for slot in 0..100 {
+            q.push(7, slot);
+        }
+        let popped: Vec<usize> = drain(&mut q).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+}

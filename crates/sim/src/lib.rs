@@ -35,6 +35,7 @@ mod config;
 mod dram;
 mod engine;
 mod instr;
+mod lanes;
 mod pipeline;
 mod policy;
 mod stats;
@@ -48,7 +49,7 @@ pub use engine::Engine;
 pub use gps_mem::VictimPolicy;
 pub use instr::{FillProgram, WarpCtx, WarpInstr, WarpProgram, WarpStream};
 pub use pipeline::{BoundedQueue, BufferArena};
-pub use policy::{AllLocalPolicy, LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
+pub use policy::{AllLocalPolicy, LaneMode, LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
 pub use stats::{GpuReport, SimReport, TlbCounts};
 pub use trace::{Trace, TraceCursor};
 pub use workload::{AllocSpec, KernelSpec, Phase, SharedIndex, Workload, WorkloadBuilder};

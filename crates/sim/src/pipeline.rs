@@ -60,6 +60,7 @@ impl BufferArena {
     pub fn take(&self) -> Vec<WarpInstr> {
         self.free
             .lock()
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; arena users never panic while holding the lock
             .expect("arena lock")
             .pop()
             .unwrap_or_default()
@@ -72,6 +73,7 @@ impl BufferArena {
     /// costs more than the allocation it avoids.
     pub fn take_n(&self, n: usize, out: &mut Vec<Vec<WarpInstr>>) {
         {
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; arena users never panic while holding the lock
             let mut free = self.free.lock().expect("arena lock");
             let from_pool = n.min(free.len());
             let start = free.len() - from_pool;
@@ -89,6 +91,7 @@ impl BufferArena {
             return;
         }
         buf.clear();
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; arena users never panic while holding the lock
         let mut free = self.free.lock().expect("arena lock");
         if free.len() < ARENA_MAX_BUFFERS {
             free.push(buf);
@@ -99,6 +102,7 @@ impl BufferArena {
     /// (the batched form of [`BufferArena::put`], for the engine's retire
     /// path).
     pub fn put_n(&self, bufs: &mut Vec<Vec<WarpInstr>>) {
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; arena users never panic while holding the lock
         let mut free = self.free.lock().expect("arena lock");
         for mut buf in bufs.drain(..) {
             if buf.capacity() == 0 || free.len() >= ARENA_MAX_BUFFERS {
@@ -111,6 +115,7 @@ impl BufferArena {
 
     /// Number of buffers currently pooled.
     pub fn pooled(&self) -> usize {
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; arena users never panic while holding the lock
         self.free.lock().expect("arena lock").len()
     }
 }
@@ -153,8 +158,10 @@ impl<T> BoundedQueue<T> {
     /// Blocks until there is room, then enqueues `item`. Returns `false`
     /// (dropping the item) if the queue was closed.
     pub fn push(&self, item: T) -> bool {
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; queue users never panic while holding the lock
         let mut state = self.state.lock().expect("queue lock");
         while state.items.len() >= self.capacity && !state.closed {
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; queue users never panic while holding the lock
             state = self.not_full.wait(state).expect("queue lock");
         }
         if state.closed {
@@ -168,6 +175,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available and dequeues it. Returns `None`
     /// once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; queue users never panic while holding the lock
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if let Some(item) = state.items.pop_front() {
@@ -177,12 +185,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
+            // gps-lint: allow(no_expect) -- poison implies a prior panic; queue users never panic while holding the lock
             state = self.not_empty.wait(state).expect("queue lock");
         }
     }
 
     /// Closes the queue, waking all blocked pushers and poppers.
     pub fn close(&self) {
+        // gps-lint: allow(no_expect) -- poison implies a prior panic; queue users never panic while holding the lock
         self.state.lock().expect("queue lock").closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
@@ -278,6 +288,7 @@ impl CtaPrefetcher {
                 for cta in batch_start..batch_end {
                     let streams = (0..warps_per_cta)
                         .map(|warp_in_cta| {
+                            // gps-lint: allow(no_expect) -- take_n topped the pool up to exactly batch_warps buffers
                             let mut buf = bufs.pop().expect("take_n delivered batch_warps");
                             program.fill_warp(
                                 WarpCtx {
@@ -316,9 +327,11 @@ impl CtaPrefetcher {
     /// scheduling bug, never data-dependent) or the producer died.
     pub(crate) fn take(&mut self, cta: u32) -> Vec<WarpStream> {
         if self.pending.is_empty() {
+            // gps-lint: allow(no_expect) -- documented panic: the producer outlives the grid unless the engine unwound first
             let batch = self.queue.pop().expect("prefetch producer ended early");
             self.pending.extend(batch);
         }
+        // gps-lint: allow(no_expect) -- the refill above extends pending from a non-empty batch
         let next = self.pending.pop_front().expect("refill is non-empty");
         assert_eq!(next.cta, cta, "CTA hand-off out of grid order");
         next.streams

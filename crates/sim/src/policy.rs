@@ -83,6 +83,32 @@ pub enum StoreRoute {
     },
 }
 
+/// How the parallel lane engine may run a policy.
+///
+/// The lane engine simulates each GPU on its own event lane. A policy
+/// declares, via [`MemoryPolicy::lane_mode`], which lane execution tier its
+/// routing semantics admit; the engine falls back to the classic
+/// sequential core whenever the declared tier (or the configured fabric)
+/// rules lanes out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneMode {
+    /// Every access routes `Local` and no hook observes cross-GPU state:
+    /// lanes are fully independent and the lane engine is bit-identical to
+    /// the classic engine.
+    PureLocal,
+    /// Routing depends only on *which GPU last wrote a shared page*
+    /// (e.g. the reverse-data-lookup paradigm). Lanes advance in
+    /// conservative epochs of the fabric's minimum cross-GPU latency;
+    /// writer updates merge deterministically at every epoch barrier. The
+    /// result is deterministic and worker-count-invariant but reflects
+    /// bounded-staleness writer visibility, so it is pinned by its own
+    /// golden reports rather than the classic engine's.
+    WriterEpochs,
+    /// The policy's hooks need globally ordered state the lane engine
+    /// cannot provide; the engine silently delegates to the classic core.
+    Fallback,
+}
+
 /// A multi-GPU memory-management paradigm.
 ///
 /// The simulation engine consults the policy on every coalesced line
@@ -169,6 +195,23 @@ pub trait MemoryPolicy {
     fn metrics(&self) -> Vec<(String, f64)> {
         Vec::new()
     }
+
+    /// Which lane-engine tier this policy's semantics admit. The
+    /// conservative default keeps every existing policy on the classic
+    /// sequential core under `parallel_workers >= 1`.
+    fn lane_mode(&self) -> LaneMode {
+        LaneMode::Fallback
+    }
+
+    /// Hands the policy the summed per-lane routing counters after a lane
+    /// run ([`LaneMode::WriterEpochs`] only — lanes route from
+    /// engine-owned writer state, so the master policy never sees the
+    /// individual accesses). Called once, before [`metrics`].
+    ///
+    /// [`metrics`]: MemoryPolicy::metrics
+    fn absorb_lane_loads(&mut self, remote: u64, local: u64) {
+        let _ = (remote, local);
+    }
 }
 
 /// The trivial policy: every access is local.
@@ -202,6 +245,10 @@ impl MemoryPolicy for AllLocalPolicy {
         _ctx: &mut MemCtx<'_>,
     ) -> StoreRoute {
         StoreRoute::Local
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        LaneMode::PureLocal
     }
 }
 

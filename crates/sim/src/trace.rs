@@ -519,11 +519,13 @@ fn read_u16(buf: &mut Cursor<'_>) -> Option<u16> {
 
 fn read_u32(buf: &mut Cursor<'_>) -> Option<u32> {
     buf.take(4)
+        // gps-lint: allow(no_expect) -- take(4) returns exactly 4 bytes
         .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
 }
 
 fn read_u64(buf: &mut Cursor<'_>) -> Option<u64> {
     buf.take(8)
+        // gps-lint: allow(no_expect) -- take(8) returns exactly 8 bytes
         .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
 }
 

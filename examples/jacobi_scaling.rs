@@ -23,7 +23,7 @@ fn main() {
     let link = LinkGen::Pcie3;
 
     let base_wl = jacobi::build(1, scale);
-    let base = run_paradigm(Paradigm::InfiniteBw, &base_wl, 1, link);
+    let base = run_paradigm(Paradigm::InfiniteBw, &base_wl, 1, link).unwrap();
     let t1 = steady(&base, base_wl.phases_per_iteration);
 
     println!("Jacobi strong scaling over PCIe 3.0 (speedup vs 1 GPU):");
@@ -42,7 +42,7 @@ fn main() {
         print!("{:<14}", paradigm.to_string());
         for gpus in [2usize, 4, 8] {
             let wl = jacobi::build(gpus, scale);
-            let report = run_paradigm(paradigm, &wl, gpus, link);
+            let report = run_paradigm(paradigm, &wl, gpus, link).unwrap();
             let s = t1 / steady(&report, wl.phases_per_iteration);
             print!("{s:>8.2}");
         }

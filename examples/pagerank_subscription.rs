@@ -36,12 +36,12 @@ fn main() {
     let scale = ScaleProfile::Small;
     let wl = pagerank::build(gpus, scale);
     let base_wl = pagerank::build(1, scale);
-    let base = run_paradigm(Paradigm::InfiniteBw, &base_wl, 1, LinkGen::Pcie3);
+    let base = run_paradigm(Paradigm::InfiniteBw, &base_wl, 1, LinkGen::Pcie3).unwrap();
     let t1 = steady_cycles(&base, base_wl.phases_per_iteration);
 
     println!("Pagerank on {gpus} GPUs (PCIe 3.0):\n");
     for paradigm in [Paradigm::GpsNoSubscription, Paradigm::Gps] {
-        let report = run_paradigm(paradigm, &wl, gpus, LinkGen::Pcie3);
+        let report = run_paradigm(paradigm, &wl, gpus, LinkGen::Pcie3).unwrap();
         let speedup = t1 / steady_cycles(&report, wl.phases_per_iteration);
         let traffic = steady_traffic(&report, wl.phases_per_iteration);
         println!("{paradigm}:");

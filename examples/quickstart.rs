@@ -60,12 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 2: end-to-end — a small Jacobi solve under GPS vs UM.
     // ---------------------------------------------------------------
     let scale = ScaleProfile::Small;
-    let base = run_single_gpu_baseline(&jacobi::build(1, scale));
+    let base = run_single_gpu_baseline(&jacobi::build(1, scale)).unwrap();
     let baseline_steady = gps_steady(&base, 2);
     println!("\n4-GPU Jacobi speedup over 1 GPU (PCIe 3.0):");
     for paradigm in [Paradigm::Um, Paradigm::Gps, Paradigm::InfiniteBw] {
         let wl = jacobi::build(4, scale);
-        let report = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3);
+        let report = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3).unwrap();
         let steady = gps_steady(&report, wl.phases_per_iteration);
         println!(
             "  {paradigm:<12} {:>5.2}x   (interconnect traffic {} MiB)",

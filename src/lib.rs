@@ -29,8 +29,9 @@
 //!
 //! // Simulate a small Jacobi solve on 2 GPUs under the GPS paradigm.
 //! let wl = jacobi::build(2, ScaleProfile::Tiny);
-//! let report = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3);
+//! let report = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3)?;
 //! assert!(report.total_cycles.as_u64() > 0);
+//! # Ok::<(), gps::types::GpsError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -18,8 +18,8 @@ fn every_paradigm_is_deterministic() {
         Paradigm::InfiniteBw,
     ] {
         let wl = (app.build)(4, ScaleProfile::Tiny);
-        let a = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3);
-        let b = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3);
+        let a = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3).unwrap();
+        let b = run_paradigm(paradigm, &wl, 4, LinkGen::Pcie3).unwrap();
         assert_eq!(
             a.total_cycles, b.total_cycles,
             "{paradigm}: nondeterministic cycles"
@@ -36,7 +36,7 @@ fn every_paradigm_is_deterministic() {
 fn infinite_bandwidth_moves_no_data() {
     for app in suite::all() {
         let wl = (app.build)(4, ScaleProfile::Tiny);
-        let report = run_paradigm(Paradigm::InfiniteBw, &wl, 4, LinkGen::Pcie3);
+        let report = run_paradigm(Paradigm::InfiniteBw, &wl, 4, LinkGen::Pcie3).unwrap();
         assert_eq!(report.interconnect_bytes, 0, "{}", app.name);
     }
 }
@@ -46,7 +46,7 @@ fn single_gpu_runs_never_touch_the_fabric() {
     for app in suite::all() {
         let wl = (app.build)(1, ScaleProfile::Tiny);
         for paradigm in [Paradigm::Um, Paradigm::Gps, Paradigm::Memcpy] {
-            let report = run_paradigm(paradigm, &wl, 1, LinkGen::Pcie3);
+            let report = run_paradigm(paradigm, &wl, 1, LinkGen::Pcie3).unwrap();
             assert_eq!(
                 report.interconnect_bytes, 0,
                 "{} under {paradigm}",
@@ -61,11 +61,11 @@ fn traffic_is_line_or_page_granular() {
     let app = suite::by_name("diffusion").unwrap();
     let wl = (app.build)(4, ScaleProfile::Tiny);
     // GPS traffic is cache-line granular.
-    let gps = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3);
+    let gps = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3).unwrap();
     assert!(gps.interconnect_bytes > 0);
     assert_eq!(gps.interconnect_bytes % CACHE_LINE_BYTES, 0);
     // memcpy traffic is page granular.
-    let memcpy = run_paradigm(Paradigm::Memcpy, &wl, 4, LinkGen::Pcie3);
+    let memcpy = run_paradigm(Paradigm::Memcpy, &wl, 4, LinkGen::Pcie3).unwrap();
     assert!(memcpy.interconnect_bytes > 0);
     assert_eq!(memcpy.interconnect_bytes % wl.page_size.bytes(), 0);
 }
@@ -77,8 +77,8 @@ fn subscription_tracking_reduces_gps_traffic_for_p2p_apps() {
     for name in ["jacobi", "diffusion", "hit"] {
         let app = suite::by_name(name).unwrap();
         let wl = (app.build)(4, ScaleProfile::Tiny);
-        let with = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3);
-        let without = run_paradigm(Paradigm::GpsNoSubscription, &wl, 4, LinkGen::Pcie3);
+        let with = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3).unwrap();
+        let without = run_paradigm(Paradigm::GpsNoSubscription, &wl, 4, LinkGen::Pcie3).unwrap();
         // Compare steady-state traffic (everything past the profiling
         // iteration, which is identical by construction).
         let ppi = wl.phases_per_iteration;
@@ -99,7 +99,7 @@ fn subscription_tracking_reduces_gps_traffic_for_p2p_apps() {
 fn phase_traffic_is_monotone_and_consistent() {
     let app = suite::by_name("sssp").unwrap();
     let wl = (app.build)(4, ScaleProfile::Tiny);
-    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3);
+    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3).unwrap();
     assert_eq!(report.phase_traffic.len(), wl.phases.len());
     for w in report.phase_traffic.windows(2) {
         assert!(w[0] <= w[1], "cumulative traffic must be monotone");
@@ -120,7 +120,7 @@ fn profiling_iteration_is_the_expensive_one_for_gps() {
     // more time and traffic than any steady iteration (§5.2).
     let app = suite::by_name("jacobi").unwrap();
     let wl = (app.build)(4, ScaleProfile::Tiny);
-    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3);
+    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3).unwrap();
     let ppi = wl.phases_per_iteration;
     let iter0_traffic = report.phase_traffic[ppi - 1];
     let steady_traffic = report.interconnect_bytes - iter0_traffic;

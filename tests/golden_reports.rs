@@ -88,7 +88,7 @@ fn current_grid() -> String {
     for app in suite::all() {
         let wl = (app.build)(GPUS, ScaleProfile::Tiny);
         for paradigm in PARADIGMS {
-            let report = run_paradigm(paradigm, &wl, GPUS, LinkGen::Pcie3);
+            let report = run_paradigm(paradigm, &wl, GPUS, LinkGen::Pcie3).unwrap();
             let _ = writeln!(
                 out,
                 "{}/{}: {}",

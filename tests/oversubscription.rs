@@ -28,6 +28,7 @@ fn oversub_report(app: &str, pressure: MemoryPressure, depth: usize) -> SimRepor
         LinkGen::Pcie3,
         ProbeHandle::disabled(),
     )
+    .unwrap()
 }
 
 fn metric(report: &SimReport, name: &str) -> f64 {
@@ -129,7 +130,8 @@ fn no_pressure_degenerates_to_plain_gps_bit_for_bit() {
             SimConfig::gv100_system(GPUS).with_stream_pipeline_depth(4),
             LinkGen::Pcie3,
             ProbeHandle::disabled(),
-        );
+        )
+        .unwrap();
         oversub.policy = plain.policy.clone();
         assert_eq!(
             oversub, plain,

@@ -17,7 +17,7 @@ fn steady(report: &SimReport, ppi: usize) -> f64 {
 
 fn run(app: &suite::AppEntry, paradigm: Paradigm, gpus: usize) -> f64 {
     let wl = (app.build)(gpus, ScaleProfile::Tiny);
-    let report = run_paradigm(paradigm, &wl, gpus, LinkGen::Pcie3);
+    let report = run_paradigm(paradigm, &wl, gpus, LinkGen::Pcie3).unwrap();
     steady(&report, wl.phases_per_iteration)
 }
 
@@ -89,7 +89,7 @@ fn faster_interconnects_help_memcpy() {
     let wl = (app.build)(4, ScaleProfile::Tiny);
     let mut last = f64::INFINITY;
     for link in [LinkGen::Pcie3, LinkGen::Pcie6, LinkGen::Infinite] {
-        let report = run_paradigm(Paradigm::Memcpy, &wl, 4, link);
+        let report = run_paradigm(Paradigm::Memcpy, &wl, 4, link).unwrap();
         let t = steady(&report, wl.phases_per_iteration);
         assert!(
             t <= last * 1.001,
@@ -107,11 +107,11 @@ fn sixteen_gpu_gps_scales_beyond_four_gpu_gps() {
     let wl4 = (app.build)(4, ScaleProfile::Small);
     let wl16 = (app.build)(16, ScaleProfile::Small);
     let t4 = steady(
-        &run_paradigm(Paradigm::Gps, &wl4, 4, LinkGen::Pcie6),
+        &run_paradigm(Paradigm::Gps, &wl4, 4, LinkGen::Pcie6).unwrap(),
         wl4.phases_per_iteration,
     );
     let t16 = steady(
-        &run_paradigm(Paradigm::Gps, &wl16, 16, LinkGen::Pcie6),
+        &run_paradigm(Paradigm::Gps, &wl16, 16, LinkGen::Pcie6).unwrap(),
         wl16.phases_per_iteration,
     );
     assert!(
@@ -124,7 +124,7 @@ fn sixteen_gpu_gps_scales_beyond_four_gpu_gps() {
 fn reports_expose_policy_metrics() {
     let app = suite::by_name("ct").unwrap();
     let wl = (app.build)(4, ScaleProfile::Tiny);
-    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3);
+    let report = run_paradigm(Paradigm::Gps, &wl, 4, LinkGen::Pcie3).unwrap();
     assert!(report.metric("rwq_hit_rate").is_some());
     assert!(report.metric("gps_tlb_hit_rate").unwrap() > 0.9);
     // CT is all-to-all: its shared pages keep all four subscribers.

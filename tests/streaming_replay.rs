@@ -23,8 +23,8 @@ fn streaming_replay_matches_materialised_across_the_suite() {
         let streamed = trace.replay(&wl.name).unwrap();
         let materialised = trace.replay_materialised(&wl.name).unwrap();
         for paradigm in [Paradigm::Gps, Paradigm::Memcpy] {
-            let a = run_paradigm(paradigm, &streamed, 2, LinkGen::Pcie3);
-            let b = run_paradigm(paradigm, &materialised, 2, LinkGen::Pcie3);
+            let a = run_paradigm(paradigm, &streamed, 2, LinkGen::Pcie3).unwrap();
+            let b = run_paradigm(paradigm, &materialised, 2, LinkGen::Pcie3).unwrap();
             assert_eq!(a, b, "{}/{paradigm}: streaming decode diverged", app.name);
         }
     }

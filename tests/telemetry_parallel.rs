@@ -1,0 +1,85 @@
+//! Byte-identity of telemetry between the sequential and parallel engines.
+//!
+//! The lane engine buffers every per-GPU emission during a window and
+//! replays the merged stream into the master probe in `(cycle, gpu, seq)`
+//! order, so the exported artifacts — the Chrome trace JSON and the
+//! per-phase counter breakdown — must be *byte-identical* to a sequential
+//! run for PureLocal-tier paradigms, and invariant to the worker count for
+//! the writer-epoch (RDL) tier.
+
+use gps::interconnect::LinkGen;
+use gps::obs::{chrome_trace, phase_breakdown, ProbeHandle, Telemetry};
+use gps::paradigms::{run_paradigm_configured, Paradigm};
+use gps::sim::SimConfig;
+use gps::workloads::{suite, ScaleProfile};
+use gps_harness::recording_probe;
+
+const GPUS: usize = 4;
+
+fn capture(app: &str, paradigm: Paradigm, workers: usize) -> Telemetry {
+    let app = suite::by_name(app).unwrap();
+    let wl = (app.build)(GPUS, ScaleProfile::Tiny);
+    let probe = recording_probe();
+    let config = SimConfig::gv100_system(GPUS).with_parallel_workers(workers);
+    run_paradigm_configured(paradigm, &wl, config, LinkGen::Pcie3, probe.clone()).unwrap();
+    probe.finish().expect("recording probe yields a recording")
+}
+
+fn artifacts(t: &Telemetry) -> (String, String) {
+    (chrome_trace(t).emit(), phase_breakdown(t))
+}
+
+#[test]
+fn pure_tier_telemetry_is_byte_identical_to_sequential() {
+    for paradigm in [Paradigm::Gps, Paradigm::InfiniteBw] {
+        let sequential = artifacts(&capture("jacobi", paradigm, 0));
+        let parallel = artifacts(&capture("jacobi", paradigm, 2));
+        assert_eq!(
+            sequential.0,
+            parallel.0,
+            "chrome trace diverged for {}",
+            paradigm.label()
+        );
+        assert_eq!(
+            sequential.1,
+            parallel.1,
+            "phase breakdown diverged for {}",
+            paradigm.label()
+        );
+    }
+}
+
+#[test]
+fn rdl_lane_telemetry_is_worker_invariant() {
+    let one = artifacts(&capture("pagerank", Paradigm::Rdl, 1));
+    for workers in [2usize, 4] {
+        let n = artifacts(&capture("pagerank", Paradigm::Rdl, workers));
+        assert_eq!(one.0, n.0, "chrome trace diverged at {workers} workers");
+        assert_eq!(one.1, n.1, "phase breakdown diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn disabled_probe_parallel_run_still_matches_sequential_report() {
+    // Telemetry off is the common case; buffering must be skipped without
+    // perturbing results (the `buffered` guard in the lane engine).
+    let app = suite::by_name("jacobi").unwrap();
+    let wl = (app.build)(GPUS, ScaleProfile::Tiny);
+    let seq = run_paradigm_configured(
+        Paradigm::Gps,
+        &wl,
+        SimConfig::gv100_system(GPUS),
+        LinkGen::Pcie3,
+        ProbeHandle::disabled(),
+    )
+    .unwrap();
+    let par = run_paradigm_configured(
+        Paradigm::Gps,
+        &wl,
+        SimConfig::gv100_system(GPUS).with_parallel_workers(2),
+        LinkGen::Pcie3,
+        ProbeHandle::disabled(),
+    )
+    .unwrap();
+    assert_eq!(seq, par);
+}

@@ -14,8 +14,8 @@ fn replayed_trace_reproduces_simulation_exactly() {
     let replayed = trace.replay("jacobi-replay").unwrap();
 
     for paradigm in [Paradigm::Gps, Paradigm::Um, Paradigm::Memcpy] {
-        let original = run_paradigm(paradigm, &wl, 2, LinkGen::Pcie3);
-        let from_trace = run_paradigm(paradigm, &replayed, 2, LinkGen::Pcie3);
+        let original = run_paradigm(paradigm, &wl, 2, LinkGen::Pcie3).unwrap();
+        let from_trace = run_paradigm(paradigm, &replayed, 2, LinkGen::Pcie3).unwrap();
         assert_eq!(
             original.total_cycles, from_trace.total_cycles,
             "{paradigm}: replay diverged in time"
@@ -45,8 +45,8 @@ fn traces_roundtrip_through_files() {
 
     let loaded = Trace::from_bytes(std::fs::read(&path).unwrap());
     let replayed = loaded.replay("from-file").unwrap();
-    let a = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3);
-    let b = run_paradigm(Paradigm::Gps, &replayed, 2, LinkGen::Pcie3);
+    let a = run_paradigm(Paradigm::Gps, &wl, 2, LinkGen::Pcie3).unwrap();
+    let b = run_paradigm(Paradigm::Gps, &replayed, 2, LinkGen::Pcie3).unwrap();
     assert_eq!(a.total_cycles, b.total_cycles);
     std::fs::remove_file(&path).ok();
 }
@@ -63,8 +63,8 @@ fn serialised_trace_replays_to_bit_identical_report() {
         let bytes = Trace::record(&wl).as_bytes().to_vec();
         let replayed = Trace::from_bytes(bytes).replay(&wl.name).unwrap();
         for paradigm in Paradigm::FIGURE8 {
-            let live = run_paradigm(paradigm, &wl, 2, LinkGen::Pcie3);
-            let from_trace = run_paradigm(paradigm, &replayed, 2, LinkGen::Pcie3);
+            let live = run_paradigm(paradigm, &wl, 2, LinkGen::Pcie3).unwrap();
+            let from_trace = run_paradigm(paradigm, &replayed, 2, LinkGen::Pcie3).unwrap();
             assert_eq!(live, from_trace, "{app_name}/{paradigm}: report diverged");
         }
     }
