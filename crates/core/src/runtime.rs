@@ -731,6 +731,13 @@ impl GpsRuntime {
         self.pages.get(&vpn).copied()
     }
 
+    /// Driver state of every GPS-managed page, in VPN order. Lane-engine
+    /// routers snapshot this (page table walks must not consult live driver
+    /// state mid-window).
+    pub fn page_states(&self) -> impl Iterator<Item = (Vpn, PageState)> + '_ {
+        self.pages.iter().map(|(&v, &s)| (v, s))
+    }
+
     /// Whether `gpu` holds a local replica of `vpn`.
     pub fn is_subscriber(&self, gpu: GpuId, vpn: Vpn) -> bool {
         self.table.entry(vpn).is_some_and(|e| e.is_subscriber(gpu))

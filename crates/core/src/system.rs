@@ -496,6 +496,74 @@ impl GpsSystem {
     pub fn atomic_broadcasts(&self) -> u64 {
         self.atomic_broadcasts
     }
+
+    /// Moves every GPU's remote write queue and GPS-TLB out of the system
+    /// so the lane engine can give each per-GPU lane exclusive ownership of
+    /// its own units. The system keeps fresh (empty) replacements so its
+    /// other paths remain well-formed; [`GpsSystem::attach_lane_state`]
+    /// restores the real units before metrics are read.
+    pub fn detach_lane_state(&mut self) -> Vec<(RemoteWriteQueue, GpsTlb)> {
+        let gpu_count = self.runtime.gpu_count();
+        let rwq = std::mem::replace(
+            &mut self.rwq,
+            (0..gpu_count)
+                .map(|_| {
+                    RemoteWriteQueue::new(self.config.rwq_entries, self.config.drain_watermark)
+                })
+                .collect(),
+        );
+        let tlb = std::mem::replace(
+            &mut self.tlb,
+            (0..gpu_count)
+                .map(|_| GpsTlb::new(self.config.gps_tlb, self.config.gps_tlb_walk_latency))
+                .collect(),
+        );
+        rwq.into_iter().zip(tlb).collect()
+    }
+
+    /// Restores per-GPU units detached by [`GpsSystem::detach_lane_state`]
+    /// (in GPU order) so aggregate statistics see the lanes' history.
+    pub fn attach_lane_state(&mut self, units: Vec<(RemoteWriteQueue, GpsTlb)>) {
+        let (rwq, tlb): (Vec<_>, Vec<_>) = units.into_iter().unzip();
+        assert_eq!(rwq.len(), self.runtime.gpu_count(), "one unit per GPU");
+        self.rwq = rwq;
+        self.tlb = tlb;
+    }
+
+    /// Broadcasts one already-translated line to `gpu`'s remote
+    /// subscribers, booking a fabric transfer per replica and advancing the
+    /// writer's visibility horizon. The lane engine calls this at epoch
+    /// barriers with the GPS-TLB translation its router performed during
+    /// the window ([`GpsSystem::drain_line`] minus the TLB step).
+    pub fn publish_line(
+        &mut self,
+        gpu: GpuId,
+        line: LineAddr,
+        translated_at: Cycle,
+        fabric: &mut Fabric,
+    ) {
+        let vpn = line.vpn(self.runtime.page_size());
+        let Some(entry) = self.runtime.table().entry(vpn) else {
+            return;
+        };
+        for (dst, _) in entry.remote_replicas(gpu) {
+            if let Ok(t) = fabric.transfer(gpu, dst, CACHE_LINE_BYTES, translated_at) {
+                self.last_arrival[gpu.index()] = self.last_arrival[gpu.index()].max(t.arrived);
+            }
+        }
+    }
+
+    /// The latest broadcast arrival `gpu` has booked so far (its release
+    /// visibility horizon).
+    pub fn visibility(&self, gpu: GpuId) -> Cycle {
+        self.last_arrival[gpu.index()]
+    }
+
+    /// Credits `n` atomic broadcasts performed outside the system (lane
+    /// routers count their own and deposit them when absorbed).
+    pub fn add_atomic_broadcasts(&mut self, n: u64) {
+        self.atomic_broadcasts += n;
+    }
 }
 
 #[cfg(test)]

@@ -17,12 +17,14 @@
 //!   computed, not decoded. (The measured answer: nothing — it loses at
 //!   every scale — which is why the default depth is now 0 and the
 //!   pipelined legs are opt-in.)
-//! * **engine cases** — a suite application simulated twice: once on the
-//!   classic sequential event loop (`parallel_workers = 0`) and once on
-//!   the deterministic lane engine (`parallel_workers = 1`). Both legs
-//!   must produce bit-identical [`SimReport`]s; the interesting number is
-//!   `speedup_parallel`, the wall-clock win from per-GPU event lanes and
-//!   lane-local run-ahead at 16-GPU paper scale.
+//! * **engine cases** — a suite application simulated three ways on the
+//!   case's fabric topology: the classic sequential event loop
+//!   (`parallel_workers = 0`), the lane engine on the simulation thread
+//!   (`parallel_workers = 1`), and the lane engine on a real worker pool
+//!   (`parallel_workers = N`). All legs must produce bit-identical
+//!   [`SimReport`]s; the interesting numbers are `speedup_parallel` (event
+//!   lanes + lane-local run-ahead) and `speedup_multiworker` (what the
+//!   thread pool adds on top), measured up to 64-GPU superpod scale.
 //!
 //! Results are written to `BENCH_sim.json` (wall-clock milliseconds and
 //! peak RSS per leg). The schema is versioned and checked by CI; the
@@ -35,7 +37,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gps_interconnect::LinkGen;
+use gps_interconnect::{LinkGen, Topology};
 use gps_sim::{
     AllLocalPolicy, Engine, KernelSpec, SimConfig, SimReport, Trace, WarpCtx, WarpInstr, Workload,
     WorkloadBuilder,
@@ -50,7 +52,11 @@ use gps_workloads::{suite, ScaleProfile};
 ///
 /// v3: `engine` cases (sequential vs parallel lane-engine legs) with a
 /// per-leg `workers` field and a per-case `speedup_parallel`.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: engine cases grew a `parallel_pool` leg (the lane engine on a real
+/// worker pool) and a `speedup_multiworker`, every case carries its fabric
+/// `topology`, and the full suite scales to 32/64-GPU superpod cases.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Pipeline depth used for the pipelined legs when the caller does not
 /// override it. `0` — no overlapped expansion — after the measured suite
@@ -112,6 +118,10 @@ pub struct BenchCase {
     pub kind: &'static str,
     /// GPU count.
     pub gpus: usize,
+    /// Fabric topology label the case simulated on (`switch` unless the
+    /// case says otherwise; engine cases at superpod scale use `nvswitch`
+    /// or `pcietree`).
+    pub topology: String,
     /// Total warps simulated.
     pub total_warps: u64,
     /// Serialised trace size (0 for synthetic cases).
@@ -145,6 +155,12 @@ impl BenchCase {
     /// sequential event loop (engine cases only).
     pub fn speedup_parallel(&self) -> Option<f64> {
         Some(self.leg_wall("sequential")? / self.leg_wall("parallel")?)
+    }
+
+    /// Wall-clock speedup of the worker-pool lane-engine leg over the
+    /// sequential event loop (engine cases only).
+    pub fn speedup_multiworker(&self) -> Option<f64> {
+        Some(self.leg_wall("sequential")? / self.leg_wall("parallel_pool")?)
     }
 }
 
@@ -191,6 +207,7 @@ impl BenchReport {
                     ("name".into(), Json::Str(c.name.clone())),
                     ("kind".into(), Json::Str(c.kind.into())),
                     ("gpus".into(), Json::Num(c.gpus as f64)),
+                    ("topology".into(), Json::Str(c.topology.clone())),
                     ("total_warps".into(), Json::Num(c.total_warps as f64)),
                     ("trace_bytes".into(), Json::Num(c.trace_bytes as f64)),
                     ("reps".into(), Json::Num(f64::from(c.reps))),
@@ -205,6 +222,9 @@ impl BenchReport {
                 }
                 if let Some(s) = c.speedup_parallel() {
                     fields.push(("speedup_parallel".into(), Json::Num(round3(s))));
+                }
+                if let Some(s) = c.speedup_multiworker() {
+                    fields.push(("speedup_multiworker".into(), Json::Num(round3(s))));
                 }
                 Json::Obj(fields)
             })
@@ -305,12 +325,13 @@ fn simulate(workload: &Workload, depth: usize) -> SimReport {
         .run()
 }
 
-/// Simulates `workload` under the all-local policy with the given number
-/// of parallel lane-engine workers (`0` = classic sequential event loop).
-/// Engine cases run over NVLink so the conservative epoch window matches
-/// the fabric the 16-GPU paper configuration uses.
-fn simulate_engine(workload: &Workload, workers: usize) -> SimReport {
+/// Simulates `workload` under the all-local policy on `topology` with the
+/// given number of parallel lane-engine workers (`0` = classic sequential
+/// event loop). Engine cases run over NVLink so the conservative epoch
+/// window matches the fabric the paper configurations use.
+fn simulate_engine(workload: &Workload, workers: usize, topology: Topology) -> SimReport {
     let mut config = SimConfig::gv100_system(workload.gpu_count).with_parallel_workers(workers);
+    config.topology = topology;
     config.page_size = workload.page_size;
     let mut policy = AllLocalPolicy::new();
     Engine::new(config, LinkGen::NvLink2, workload, &mut policy)
@@ -321,11 +342,12 @@ fn simulate_engine(workload: &Workload, workers: usize) -> SimReport {
 
 /// One leg description: how to rebuild the workload and how to simulate
 /// it — at a pipeline depth (`workers: None`) or on the lane engine with
-/// the given worker count (`workers: Some(n)`).
+/// the given worker count (`workers: Some(n)`) over `topology`.
 struct LegSpec<'a> {
     mode: &'static str,
     depth: usize,
     workers: Option<usize>,
+    topology: Topology,
     build: Box<dyn Fn() -> Workload + 'a>,
 }
 
@@ -354,7 +376,7 @@ fn run_legs(legs: &[LegSpec<'_>], reps: u32) -> (Vec<BenchLeg>, Vec<SimReport>) 
             let start = Instant::now();
             let wl = (leg.build)();
             let r = match leg.workers {
-                Some(workers) => simulate_engine(&wl, workers),
+                Some(workers) => simulate_engine(&wl, workers, leg.topology),
                 None => simulate(&wl, leg.depth),
             };
             drop(wl);
@@ -422,6 +444,7 @@ fn trace_replay_case(
         mode: "streaming",
         depth: 0,
         workers: None,
+        topology: Topology::Switch,
         // gps-lint: allow(no_expect) -- trace was recorded in-process two lines up
         build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
     }];
@@ -430,6 +453,7 @@ fn trace_replay_case(
             mode: "streaming_pipelined",
             depth,
             workers: None,
+            topology: Topology::Switch,
             // gps-lint: allow(no_expect) -- trace was recorded in-process above
             build: Box::new(|| trace.replay("bench").expect("recorded trace replays")),
         });
@@ -438,6 +462,7 @@ fn trace_replay_case(
         mode: "materialised",
         depth: 0,
         workers: None,
+        topology: Topology::Switch,
         build: Box::new(|| {
             trace
                 .replay_materialised("bench")
@@ -451,6 +476,7 @@ fn trace_replay_case(
         name: name.to_owned(),
         kind: "trace_replay",
         gpus,
+        topology: Topology::Switch.label().to_owned(),
         total_warps,
         trace_bytes,
         reps,
@@ -493,6 +519,7 @@ fn synthetic_case(
         mode: "generator",
         depth: 0,
         workers: None,
+        topology: Topology::Switch,
         build: Box::new(move || (entry.build)(gpus, scale)),
     }];
     if depth > 0 {
@@ -500,6 +527,7 @@ fn synthetic_case(
             mode: "generator_pipelined",
             depth,
             workers: None,
+            topology: Topology::Switch,
             build: Box::new(move || (entry.build)(gpus, scale)),
         });
     }
@@ -508,6 +536,7 @@ fn synthetic_case(
         name: name.to_owned(),
         kind: "synthetic",
         gpus,
+        topology: Topology::Switch.label().to_owned(),
         total_warps,
         trace_bytes: 0,
         reps,
@@ -527,19 +556,34 @@ fn synthetic_case(
     Ok(case)
 }
 
-/// An engine case: the same suite application on the classic sequential
-/// event loop (`workers = 0`) and on the deterministic lane engine
-/// (`workers = 1`). The legs run in interleaved rounds like every other
-/// case; the bench fails if their reports diverge, so the published
-/// `speedup_parallel` is always a speedup over a bit-identical result.
-fn engine_case(
-    name: &str,
-    app: &str,
+/// The shape of one engine case: which application, at what scale, on
+/// which fabric, and how many pool workers the `parallel_pool` leg spawns.
+struct EngineCaseSpec {
+    name: &'static str,
+    app: &'static str,
     gpus: usize,
     scale: ScaleProfile,
+    topology: Topology,
+    pool_workers: usize,
     reps: u32,
-    log: bool,
-) -> std::io::Result<BenchCase> {
+}
+
+/// An engine case: the same suite application on the classic sequential
+/// event loop (`workers = 0`), on the deterministic lane engine on the
+/// simulation thread (`workers = 1`), and on the lane engine's real worker
+/// pool (`workers = pool_workers`). The legs run in interleaved rounds
+/// like every other case; the bench fails if their reports diverge, so the
+/// published speedups are always speedups over a bit-identical result.
+fn engine_case(spec: EngineCaseSpec, log: bool) -> std::io::Result<BenchCase> {
+    let EngineCaseSpec {
+        name,
+        app,
+        gpus,
+        scale,
+        topology,
+        pool_workers,
+        reps,
+    } = spec;
     let entry = suite::by_name(app).ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -554,12 +598,21 @@ fn engine_case(
             mode: "sequential",
             depth: 0,
             workers: Some(0),
+            topology,
             build: Box::new(move || (entry.build)(gpus, scale)),
         },
         LegSpec {
             mode: "parallel",
             depth: 0,
             workers: Some(1),
+            topology,
+            build: Box::new(move || (entry.build)(gpus, scale)),
+        },
+        LegSpec {
+            mode: "parallel_pool",
+            depth: 0,
+            workers: Some(pool_workers.max(2)),
+            topology,
             build: Box::new(move || (entry.build)(gpus, scale)),
         },
     ];
@@ -568,6 +621,7 @@ fn engine_case(
         name: name.to_owned(),
         kind: "engine",
         gpus,
+        topology: topology.label().to_owned(),
         total_warps,
         trace_bytes: 0,
         reps,
@@ -576,11 +630,13 @@ fn engine_case(
     };
     if log {
         println!(
-            "[bench] {name}: sequential {:.1} ms, parallel {:.1} ms \
-             (speedup {:.2}x, identical: {})",
+            "[bench] {name}: sequential {:.1} ms, parallel {:.1} ms, \
+             pool {:.1} ms (speedup {:.2}x / {:.2}x, identical: {})",
             case.leg_wall("sequential").unwrap_or(0.0),
             case.leg_wall("parallel").unwrap_or(0.0),
+            case.leg_wall("parallel_pool").unwrap_or(0.0),
             case.speedup_parallel().unwrap_or(0.0),
+            case.speedup_multiworker().unwrap_or(0.0),
             case.reports_identical,
         );
     }
@@ -630,11 +686,15 @@ pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<Bench
             log,
         )?);
         cases.push(engine_case(
-            "engine_jacobi_tiny_2gpu",
-            "jacobi",
-            2,
-            ScaleProfile::Tiny,
-            1,
+            EngineCaseSpec {
+                name: "engine_jacobi_tiny_2gpu",
+                app: "jacobi",
+                gpus: 2,
+                scale: ScaleProfile::Tiny,
+                topology: Topology::Switch,
+                pool_workers: 2,
+                reps: 1,
+            },
             log,
         )?);
     } else {
@@ -675,21 +735,54 @@ pub fn run_bench_logged(opts: &BenchOptions, log: bool) -> std::io::Result<Bench
             log,
         )?);
         // The engine cases back the parallel-engine acceptance claim: the
-        // 16-GPU paper-scale leg is where per-GPU lanes pay off.
+        // worker pool has to win at >= 16-GPU scale, and keep winning on
+        // both superpod fabrics (32-GPU NVSwitch, 64-GPU PCIe tree).
         cases.push(engine_case(
-            "engine_jacobi_paper_4gpu",
-            "jacobi",
-            4,
-            ScaleProfile::Paper,
-            3,
+            EngineCaseSpec {
+                name: "engine_jacobi_paper_4gpu",
+                app: "jacobi",
+                gpus: 4,
+                scale: ScaleProfile::Paper,
+                topology: Topology::Switch,
+                pool_workers: 4,
+                reps: 3,
+            },
             log,
         )?);
         cases.push(engine_case(
-            "engine_pagerank_paper_16gpu",
-            "pagerank",
-            16,
-            ScaleProfile::Paper,
-            3,
+            EngineCaseSpec {
+                name: "engine_pagerank_paper_16gpu",
+                app: "pagerank",
+                gpus: 16,
+                scale: ScaleProfile::Paper,
+                topology: Topology::NvSwitch,
+                pool_workers: 8,
+                reps: 3,
+            },
+            log,
+        )?);
+        cases.push(engine_case(
+            EngineCaseSpec {
+                name: "engine_pagerank_superpod_32gpu",
+                app: "pagerank",
+                gpus: 32,
+                scale: ScaleProfile::Paper,
+                topology: Topology::NvSwitch,
+                pool_workers: 8,
+                reps: 2,
+            },
+            log,
+        )?);
+        cases.push(engine_case(
+            EngineCaseSpec {
+                name: "engine_jacobi_superpod_64gpu",
+                app: "jacobi",
+                gpus: 64,
+                scale: ScaleProfile::Small,
+                topology: Topology::PcieTree,
+                pool_workers: 8,
+                reps: 2,
+            },
             log,
         )?);
     }
@@ -771,7 +864,14 @@ mod tests {
         let cases = doc.get("cases").and_then(Json::as_arr).expect("cases");
         assert!(!cases.is_empty());
         for case in cases {
-            for key in ["name", "kind", "gpus", "legs", "reports_identical"] {
+            for key in [
+                "name",
+                "kind",
+                "gpus",
+                "topology",
+                "legs",
+                "reports_identical",
+            ] {
                 assert!(case.get(key).is_some(), "case missing {key}");
             }
             for leg in case.get("legs").and_then(Json::as_arr).unwrap() {
@@ -797,6 +897,7 @@ mod tests {
             .find(|c| c.get("kind").and_then(Json::as_str) == Some("engine"))
             .expect("an engine case");
         assert!(engine.get("speedup_parallel").is_some());
+        assert!(engine.get("speedup_multiworker").is_some());
         let modes: Vec<_> = engine
             .get("legs")
             .and_then(Json::as_arr)
@@ -804,7 +905,16 @@ mod tests {
             .iter()
             .map(|l| l.get("mode").and_then(Json::as_str).unwrap().to_owned())
             .collect();
-        assert_eq!(modes, ["sequential", "parallel"]);
+        assert_eq!(modes, ["sequential", "parallel", "parallel_pool"]);
+        let pool_workers = engine
+            .get("legs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .find(|l| l.get("mode").and_then(Json::as_str) == Some("parallel_pool"))
+            .and_then(|l| l.get("workers").and_then(Json::as_u64))
+            .expect("pool leg records its worker count");
+        assert!(pool_workers >= 2, "pool leg must use a real worker pool");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -829,6 +939,7 @@ mod tests {
                 name: "c".into(),
                 kind: "synthetic",
                 gpus: 1,
+                topology: "switch".into(),
                 total_warps: 1,
                 trace_bytes: 0,
                 reps: 1,

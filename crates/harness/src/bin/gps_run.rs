@@ -42,6 +42,9 @@ SWEEP / RESUME FLAGS:
     --scales <s,..>       problem scales (tiny|small|paper), default tiny
     --paper               shorthand for the full paper suite
                           (all apps, figure8, 4+16 GPUs, PCIe sweep, paper scale)
+    --superpod            shorthand for the superpod scaling study (all apps,
+                          figure8, 32+64 GPUs, nvlink3, nvswitch + pcietree
+                          fabrics, small scale, 8 lane workers)
     --workers <n>         worker threads, default = host parallelism
     --retries <n>         extra attempts before quarantine, default 1
     --max-jobs <n>        stop after launching n jobs (interrupt simulation)
@@ -63,9 +66,10 @@ SWEEP / RESUME FLAGS:
                           fabric topologies (switch|ring|nvswitch|pcietree),
                           default switch; each topology is one sweep point
     --parallel <n>        run every unit on the parallel lane engine with n
-                          workers (0 = sequential engine, the default); worker
-                          counts beyond 1 change wall-clock only, results and
-                          run keys are worker-invariant
+                          workers (n >= 1; omit the flag for the sequential
+                          engine, the default); worker counts beyond 1 change
+                          wall-clock only, results and run keys are
+                          worker-invariant
 
 SERVE FLAGS:
     simulates a stream of jobs from an application mix sharing one machine
@@ -107,8 +111,9 @@ TIMELINE (gps-run timeline <run-key> [flags]):
 BENCH FLAGS:
     runs the fixed streaming-pipeline & engine micro-suite (trace replay
     materialised vs streaming vs pipelined, a synthetic generator case, and
-    sequential vs parallel lane-engine cases at 4/16-GPU paper scale) and
-    writes wall-clock + peak-RSS results as JSON
+    sequential vs parallel vs worker-pool lane-engine cases from 4-GPU
+    paper scale up to 32/64-GPU superpod fabrics) and writes wall-clock +
+    peak-RSS results as JSON
     --out <path>          output file, default BENCH_sim.json
     --quick               reduced suite (small cases, 1 rep) for CI smoke
     --pipeline-depth <n>  depth for the pipelined legs; default 0, which
@@ -136,11 +141,83 @@ struct ParsedArgs {
     html: Option<PathBuf>,
 }
 
+/// A rejected sweep/report command line. Typed (rather than ad-hoc strings)
+/// so each rejection class renders one canonical message and the CLI
+/// integration tests can pin them.
+#[derive(Debug, PartialEq, Eq)]
+enum ArgError {
+    /// A flag that takes a value appeared last on the line.
+    MissingValue { flag: String },
+    /// A flag the command does not know.
+    UnknownFlag { flag: String },
+    /// A list flag whose value dissolved to nothing (`--apps ""`, `--gpus ,`).
+    EmptyList { flag: &'static str },
+    /// A sweep-shaping flag given twice — the first value would be silently
+    /// discarded, so the contradiction is refused instead.
+    Duplicate { flag: String },
+    /// A suite preset (`--paper`/`--superpod`) combined with another
+    /// sweep-shaping flag; presets fix the whole cross product.
+    PresetConflict { preset: String, other: String },
+    /// `--gpus` listed a zero GPU count.
+    ZeroGpus,
+    /// `--parallel 0`: the sequential engine is selected by omitting the
+    /// flag, not by a zero worker count.
+    ZeroParallel,
+    /// `resume --fresh`: resume exists to keep the store.
+    FreshOnResume,
+    /// Anything else (unparsable numbers, unknown labels), with the
+    /// offending flag baked into the message.
+    Invalid { message: String },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+            ArgError::UnknownFlag { flag } => write!(f, "unknown flag {flag}"),
+            ArgError::EmptyList { flag } => write!(f, "{flag} needs at least one value"),
+            ArgError::Duplicate { flag } => {
+                write!(f, "{flag} given twice; pass one comma-separated list")
+            }
+            ArgError::PresetConflict { preset, other } => {
+                write!(
+                    f,
+                    "{preset} cannot be combined with {other}: a preset fixes the whole sweep"
+                )
+            }
+            ArgError::ZeroGpus => write!(f, "--gpus: a GPU count must be at least 1"),
+            ArgError::ZeroParallel => write!(
+                f,
+                "--parallel: worker count must be at least 1 (omit the flag for the sequential engine)"
+            ),
+            ArgError::FreshOnResume => write!(f, "resume cannot take --fresh (use sweep)"),
+            ArgError::Invalid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
 fn split_list(value: &str) -> impl Iterator<Item = &str> {
     value.split(',').map(str::trim).filter(|s| !s.is_empty())
 }
 
-fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
+/// The flags that shape the sweep cross product. Repeating one of these, or
+/// mixing one with a suite preset, is a contradiction the parser refuses
+/// (`--inject-panic` is deliberately repeatable and not listed).
+const SPEC_FLAGS: &[&str] = &[
+    "--apps",
+    "--paradigms",
+    "--gpus",
+    "--links",
+    "--scales",
+    "--topologies",
+    "--parallel",
+    "--oversubscribe",
+    "--victim-policy",
+    "--paper",
+    "--superpod",
+];
+
+fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, ArgError> {
     let mut parsed = ParsedArgs {
         store: PathBuf::from("results/store.jsonl"),
         spec: SweepSpec::smoke(),
@@ -154,13 +231,44 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
     };
     let mut ratios: Vec<f64> = Vec::new();
     let mut victim: Option<VictimPolicy> = None;
+    let invalid = |message: String| ArgError::Invalid { message };
 
+    let mut preset: Option<String> = None;
+    let mut spec_flags_seen: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        // Contradiction checks for the sweep-shaping flags: no repeats, and
+        // no mixing with a preset in either order (a preset replaces the
+        // whole spec, so the other flag's value would be silently lost).
+        if SPEC_FLAGS.contains(&flag.as_str()) {
+            let is_preset = flag == "--paper" || flag == "--superpod";
+            if let Some(preset) = &preset {
+                if flag == preset {
+                    return Err(ArgError::Duplicate { flag: flag.clone() });
+                }
+                return Err(ArgError::PresetConflict {
+                    preset: preset.clone(),
+                    other: flag.clone(),
+                });
+            }
+            if is_preset {
+                if let Some(other) = spec_flags_seen.first() {
+                    return Err(ArgError::PresetConflict {
+                        preset: flag.clone(),
+                        other: other.clone(),
+                    });
+                }
+                preset = Some(flag.clone());
+            }
+            if spec_flags_seen.contains(flag) {
+                return Err(ArgError::Duplicate { flag: flag.clone() });
+            }
+            spec_flags_seen.push(flag.clone());
+        }
         let mut value = || {
             it.next()
                 .map(String::as_str)
-                .ok_or_else(|| format!("{flag} requires a value"))
+                .ok_or_else(|| ArgError::MissingValue { flag: flag.clone() })
         };
         match flag.as_str() {
             "--store" => parsed.store = PathBuf::from(value()?),
@@ -171,6 +279,9 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                 } else {
                     split_list(v).map(str::to_owned).collect()
                 };
+                if parsed.spec.apps.is_empty() {
+                    return Err(ArgError::EmptyList { flag: "--apps" });
+                }
             }
             "--paradigms" => {
                 let v = value()?;
@@ -183,14 +294,28 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                         p
                     }
                     list => split_list(list)
-                        .map(|s| s.parse::<Paradigm>().map_err(|e| e.to_string()))
+                        .map(|s| s.parse::<Paradigm>().map_err(|e| invalid(e.to_string())))
                         .collect::<Result<_, _>>()?,
                 };
+                if parsed.spec.paradigms.is_empty() {
+                    return Err(ArgError::EmptyList {
+                        flag: "--paradigms",
+                    });
+                }
             }
             "--gpus" => {
                 parsed.spec.gpu_counts = split_list(value()?)
-                    .map(|s| s.parse::<usize>().map_err(|e| format!("--gpus: {e}")))
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map_err(|e| invalid(format!("--gpus: {e}")))
+                    })
                     .collect::<Result<_, _>>()?;
+                if parsed.spec.gpu_counts.is_empty() {
+                    return Err(ArgError::EmptyList { flag: "--gpus" });
+                }
+                if parsed.spec.gpu_counts.contains(&0) {
+                    return Err(ArgError::ZeroGpus);
+                }
             }
             "--links" => {
                 let v = value()?;
@@ -198,56 +323,77 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                     LinkGen::PCIE_SWEEP.to_vec()
                 } else {
                     split_list(v)
-                        .map(|s| s.parse::<LinkGen>().map_err(|e| e.to_string()))
+                        .map(|s| s.parse::<LinkGen>().map_err(|e| invalid(e.to_string())))
                         .collect::<Result<_, _>>()?
                 };
+                if parsed.spec.links.is_empty() {
+                    return Err(ArgError::EmptyList { flag: "--links" });
+                }
             }
             "--scales" => {
                 parsed.spec.scales = split_list(value()?)
-                    .map(|s| s.parse::<ScaleProfile>().map_err(|e| e.to_string()))
+                    .map(|s| {
+                        s.parse::<ScaleProfile>()
+                            .map_err(|e| invalid(e.to_string()))
+                    })
                     .collect::<Result<_, _>>()?;
+                if parsed.spec.scales.is_empty() {
+                    return Err(ArgError::EmptyList { flag: "--scales" });
+                }
             }
             "--paper" => parsed.spec = SweepSpec::paper_suite(),
+            "--superpod" => parsed.spec = SweepSpec::superpod(),
             "--workers" => {
-                parsed.opts.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                parsed.opts.workers = value()?
+                    .parse()
+                    .map_err(|e| invalid(format!("--workers: {e}")))?;
             }
             "--retries" => {
-                parsed.opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
+                parsed.opts.retries = value()?
+                    .parse()
+                    .map_err(|e| invalid(format!("--retries: {e}")))?;
             }
             "--max-jobs" => {
-                parsed.opts.max_jobs =
-                    Some(value()?.parse().map_err(|e| format!("--max-jobs: {e}"))?);
+                parsed.opts.max_jobs = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| invalid(format!("--max-jobs: {e}")))?,
+                );
             }
             "--inject-panic" => parsed.opts.inject_panic.push(value()?.to_owned()),
             "--telemetry" => parsed.opts.telemetry_dir = Some(PathBuf::from(value()?)),
             "--pipeline-depth" => {
                 parsed.opts.pipeline_depth = value()?
                     .parse()
-                    .map_err(|e| format!("--pipeline-depth: {e}"))?;
+                    .map_err(|e| invalid(format!("--pipeline-depth: {e}")))?;
             }
             "--oversubscribe" => {
                 ratios = split_list(value()?)
                     .map(|s| {
                         s.parse::<f64>()
-                            .map_err(|e| format!("--oversubscribe: {e}"))
+                            .map_err(|e| invalid(format!("--oversubscribe: {e}")))
                             .and_then(|r| {
                                 if r.is_finite() && r > 0.0 {
                                     Ok(r)
                                 } else {
-                                    Err(format!("--oversubscribe: ratio {s:?} must be > 0"))
+                                    Err(invalid(format!(
+                                        "--oversubscribe: ratio {s:?} must be > 0"
+                                    )))
                                 }
                             })
                     })
                     .collect::<Result<_, _>>()?;
                 if ratios.is_empty() {
-                    return Err("--oversubscribe needs at least one ratio".to_owned());
+                    return Err(ArgError::EmptyList {
+                        flag: "--oversubscribe",
+                    });
                 }
             }
             "--victim-policy" => {
                 victim = Some(
                     value()?
                         .parse::<VictimPolicy>()
-                        .map_err(|e| e.to_string())?,
+                        .map_err(|e| invalid(e.to_string()))?,
                 );
             }
             "--topologies" => {
@@ -256,23 +402,37 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
                     Topology::ALL.to_vec()
                 } else {
                     split_list(v)
-                        .map(|s| s.parse::<Topology>().map_err(|e| e.to_string()))
+                        .map(|s| s.parse::<Topology>().map_err(|e| invalid(e.to_string())))
                         .collect::<Result<_, _>>()?
                 };
+                if parsed.spec.topologies.is_empty() {
+                    return Err(ArgError::EmptyList {
+                        flag: "--topologies",
+                    });
+                }
             }
             "--parallel" => {
-                parsed.spec.parallel = value()?.parse().map_err(|e| format!("--parallel: {e}"))?;
+                parsed.spec.parallel = value()?
+                    .parse()
+                    .map_err(|e| invalid(format!("--parallel: {e}")))?;
+                if parsed.spec.parallel == 0 {
+                    return Err(ArgError::ZeroParallel);
+                }
             }
             "--fresh" => {
                 if is_resume {
-                    return Err("resume cannot take --fresh (use sweep)".to_owned());
+                    return Err(ArgError::FreshOnResume);
                 }
                 parsed.fresh = true;
             }
             "--quiet" => parsed.opts.log = false,
             "--csv" => parsed.csv = true,
             "--html" => parsed.html = Some(PathBuf::from(value()?)),
-            other => return Err(format!("unknown flag {other}")),
+            other => {
+                return Err(ArgError::UnknownFlag {
+                    flag: other.to_owned(),
+                })
+            }
         }
     }
     if !ratios.is_empty() || victim.is_some() {
@@ -287,7 +447,7 @@ fn parse_args(args: &[String], is_resume: bool) -> Result<ParsedArgs, String> {
 }
 
 fn cmd_sweep(args: &[String], is_resume: bool) -> Result<(), String> {
-    let parsed = parse_args(args, is_resume)?;
+    let parsed = parse_args(args, is_resume).map_err(|e| e.to_string())?;
     if parsed.fresh && parsed.store.exists() {
         std::fs::remove_file(&parsed.store).map_err(|e| format!("--fresh: {e}"))?;
     }
@@ -301,10 +461,11 @@ fn cmd_sweep(args: &[String], is_resume: bool) -> Result<(), String> {
         outcome.quarantined,
         parsed.store.display(),
         outcome.records.len(),
-        if outcome.corrupt_lines > 0 {
-            format!(", {} torn lines dropped", outcome.corrupt_lines)
-        } else {
-            String::new()
+        match (outcome.corrupt_lines, outcome.migrated) {
+            (0, 0) => String::new(),
+            (c, 0) => format!(", {c} torn lines dropped"),
+            (0, m) => format!(", {m} stale keys migrated"),
+            (c, m) => format!(", {c} torn lines dropped, {m} stale keys migrated"),
         },
     );
     let quarantined: Vec<_> = outcome
@@ -456,7 +617,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_report(args: &[String]) -> Result<(), String> {
     use std::fmt::Write as _;
 
-    let parsed = parse_args(args, false)?;
+    let parsed = parse_args(args, false).map_err(|e| e.to_string())?;
     if let Some(out) = &parsed.html {
         let charts = gps_harness::write_html_report(&parsed.store, out)?;
         println!("wrote {} ({charts} charts)", out.display());
@@ -614,7 +775,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             );
         }
         if let Some(s) = case.speedup_parallel() {
-            println!("{:<27} parallel {s:.2}x over sequential", case.name);
+            let pool = case
+                .speedup_multiworker()
+                .map_or(String::new(), |p| format!(", pool {p:.2}x"));
+            println!("{:<27} parallel {s:.2}x{pool} over sequential", case.name);
         }
     }
     Ok(())

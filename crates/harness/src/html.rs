@@ -553,6 +553,50 @@ mod tests {
     }
 
     #[test]
+    fn hostile_names_are_escaped_in_every_rendered_field() {
+        // The store is plain JSON lines anyone can hand-edit; every string
+        // the report renders must go through esc(), not just the app name.
+        // One record poisons every rendered dimension at once.
+        let mut sweep = sweep_record("a<b", "gps", 100.0);
+        sweep.paradigm = "par<adigm>&".to_owned();
+        sweep.link = "li\"nk&".to_owned();
+        sweep.scale = "sc<ale".to_owned();
+        sweep.topology = "to&po'".to_owned();
+
+        let mut serve = serve_point(1000.0, 3_000_000.0);
+        serve.app = "mix<&\"jacobi".to_owned();
+        serve.paradigm = "gps<'".to_owned();
+        serve.link = "l<k".to_owned();
+        serve.scale = "t<y".to_owned();
+
+        let html = html_report(&[sweep, serve]);
+        for escaped in [
+            "par&lt;adigm&gt;&amp;",
+            "li&quot;nk&amp;",
+            "sc&lt;ale",
+            "to&amp;po&#39;",
+            "mix&lt;&amp;&quot;jacobi",
+            "gps&lt;&#39;",
+            "l&lt;k",
+            "t&lt;y",
+        ] {
+            assert!(html.contains(escaped), "missing escaped form {escaped:?}");
+        }
+        for raw in [
+            "par<adigm>",
+            "li\"nk&",
+            "sc<ale",
+            "to&po'",
+            "mix<&\"",
+            "gps<'",
+            "l<k",
+            "t<y",
+        ] {
+            assert!(!html.contains(raw), "raw hostile string {raw:?} leaked");
+        }
+    }
+
+    #[test]
     fn empty_store_still_renders() {
         let html = html_report(&[]);
         assert!(html.contains("No successful sweep records"));

@@ -66,6 +66,22 @@ impl SweepSpec {
         }
     }
 
+    /// The superpod scaling study: all apps × the Figure-8 paradigms at
+    /// {32, 64} GPUs on both superpod fabrics (NVSwitch scale-up, PCIe-tree
+    /// scale-out), small scale, executed on the 8-worker lane engine.
+    pub fn superpod() -> SweepSpec {
+        SweepSpec {
+            apps: suite::all().iter().map(|a| a.name.to_owned()).collect(),
+            paradigms: Paradigm::FIGURE8.to_vec(),
+            gpu_counts: vec![32, 64],
+            links: vec![LinkGen::NvLink3],
+            scales: vec![ScaleProfile::Small],
+            pressures: vec![MemoryPressure::NONE],
+            topologies: vec![Topology::NvSwitch, Topology::PcieTree],
+            parallel: 8,
+        }
+    }
+
     /// A tiny smoke sweep (all apps, all Figure-8 paradigms, 4 GPUs,
     /// PCIe 3.0, tiny scale) — the default of `gps-run sweep`.
     pub fn smoke() -> SweepSpec {
@@ -224,6 +240,63 @@ pub struct SweepOutcome {
     pub quarantined: usize,
     /// Corrupt (torn) store lines dropped on load.
     pub corrupt_lines: usize,
+    /// Completed records carried over from an older `KEY_VERSION`: their
+    /// stored key no longer matches the one this build derives, so they
+    /// were re-appended under their re-derived key and count as cache hits
+    /// instead of being silently re-run.
+    pub migrated: usize,
+}
+
+/// Re-derives the content-addressed key of a stored record from its own
+/// fields (sweeps always key the spec's default machine, so the key is a
+/// pure function of the record). `None` when a stored label no longer
+/// parses — a record from a dimension this build does not know cannot be
+/// migrated and is left alone.
+fn rederived_key(r: &RunRecord) -> Option<String> {
+    let spec = RunSpec {
+        paradigm: r.paradigm.parse().ok()?,
+        gpus: r.gpus as usize,
+        link: r.link.parse().ok()?,
+        scale: r.scale.parse().ok()?,
+        pressure: r.pressure,
+        topology: r.topology.parse().ok()?,
+        parallel: r.parallel as usize,
+    };
+    Some(run_key_default_machine(&r.app, spec))
+}
+
+/// Key-version migration: re-homes completed records whose stored key no
+/// longer matches the key this build derives for the same run (a store
+/// written under an older `KEY_VERSION`, e.g. before `SimConfig` grew the
+/// topology/engine fields). Each such record is re-appended under its
+/// re-derived key — the store stays append-only; `gps-run gc` drops the
+/// stale line — so a resume treats the old result as the cache hit it is.
+/// Records under a key that already has a (newer) record are left alone:
+/// a fresh result must never be shadowed by a migrated one.
+fn migrate_stale_keys(existing: &mut Vec<RunRecord>, store_path: &Path) -> std::io::Result<usize> {
+    let have: std::collections::BTreeSet<String> = existing.iter().map(|r| r.key.clone()).collect();
+    let mut moved = Vec::new();
+    for r in existing.iter() {
+        if r.status != RunStatus::Ok {
+            continue;
+        }
+        if let Some(key) = rederived_key(r) {
+            if key != r.key && !have.contains(&key) {
+                let mut m = r.clone();
+                m.key = key;
+                moved.push(m);
+            }
+        }
+    }
+    if !moved.is_empty() {
+        let mut store = ResultStore::open_append(store_path)?;
+        for m in &moved {
+            store.append(m)?;
+        }
+    }
+    let migrated = moved.len();
+    existing.append(&mut moved);
+    Ok(migrated)
 }
 
 fn ok_record(unit: &RunUnit, m: &Measurement, attempts: u32, wall_ms: f64) -> RunRecord {
@@ -317,7 +390,11 @@ pub fn run_units(
         std::fs::create_dir_all(dir)?;
     }
 
-    let (existing, corrupt_lines) = ResultStore::load_latest(store_path)?;
+    let (mut existing, corrupt_lines) = ResultStore::load_latest(store_path)?;
+    let migrated = migrate_stale_keys(&mut existing, store_path)?;
+    if migrated > 0 && opts.log {
+        eprintln!("[gps-run] migrated {migrated} stale-key records to the current key version");
+    }
     let done: std::collections::BTreeSet<&str> = existing
         .iter()
         .filter(|r| r.status == RunStatus::Ok)
@@ -462,5 +539,6 @@ pub fn run_units(
         pending,
         quarantined,
         corrupt_lines: corrupt_lines.max(corrupt_after),
+        migrated,
     })
 }

@@ -107,6 +107,66 @@ fn interrupted_then_resumed_sweep_matches_uninterrupted() {
 }
 
 #[test]
+fn stale_key_records_migrate_instead_of_rerunning() {
+    // A store written under an older KEY_VERSION holds completed results
+    // whose keys this build will never derive. Resume must re-home them
+    // under the re-derived key — zero re-execution — and keep the store
+    // append-only (the stale line survives until gc).
+    let store = temp_store("migrate");
+    let spec = small_spec();
+
+    let first = run_sweep(&spec, &store, &quiet(2)).unwrap();
+    assert_eq!(first.executed, 4);
+    assert_eq!(first.migrated, 0);
+
+    // Age the store: rewrite every key to what an older key encoding
+    // would have produced (any 32-hex string this build cannot derive).
+    let text = std::fs::read_to_string(&store).unwrap();
+    let mut aged = String::new();
+    for (i, line) in text.lines().enumerate() {
+        let stale = format!("{i:032x}");
+        let key_field_start = line.find("\"key\":\"").unwrap() + "\"key\":\"".len();
+        let old_key = &line[key_field_start..key_field_start + 32];
+        aged.push_str(&line.replace(old_key, &stale));
+        aged.push('\n');
+    }
+    std::fs::write(&store, aged).unwrap();
+
+    // Resume: all four runs are recognised as done under stale keys,
+    // re-homed, and skipped — nothing executes.
+    let resumed = run_sweep(&spec, &store, &quiet(2)).unwrap();
+    assert_eq!(resumed.migrated, 4, "all four stale keys must re-home");
+    assert_eq!(resumed.executed, 0, "migration must not re-run anything");
+    assert_eq!(resumed.skipped, 4);
+
+    // The migrated view matches a fresh sweep of the same spec.
+    let fresh_store = temp_store("migrate-fresh");
+    let fresh = run_sweep(&spec, &fresh_store, &quiet(2)).unwrap();
+    let migrated_current: Vec<_> = resumed
+        .records
+        .iter()
+        .filter(|r| !r.key.starts_with("000000000000000000000000000000"))
+        .cloned()
+        .collect();
+    assert_eq!(
+        fingerprint(&migrated_current),
+        fingerprint(&fresh.records),
+        "migrated records must be identical to freshly computed ones"
+    );
+
+    // Append-only: the stale lines are still in the raw store (gc's job),
+    // and a further resume migrates nothing new.
+    let (all, _) = ResultStore::load(&store).unwrap();
+    assert_eq!(all.len(), 8, "4 stale lines + 4 migrated lines");
+    let again = run_sweep(&spec, &store, &quiet(2)).unwrap();
+    assert_eq!(again.migrated, 0);
+    assert_eq!(again.executed, 0);
+
+    std::fs::remove_file(&store).ok();
+    std::fs::remove_file(&fresh_store).ok();
+}
+
+#[test]
 fn injected_panics_quarantine_without_aborting_siblings() {
     let store = temp_store("quarantine");
     let spec = small_spec();

@@ -1,13 +1,18 @@
 //! The GPS paradigm: wiring [`GpsSystem`] into the simulator.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use gps_core::{GpsConfig, GpsLoad, GpsStore, GpsSystem};
+use gps_core::{GpsConfig, GpsLoad, GpsStore, GpsSystem, ProfilingMode};
+use gps_interconnect::Fabric;
 use gps_obs::{names, ProbeHandle, Track};
-use gps_sim::{LoadRoute, MemCtx, MemoryPolicy, SimConfig, StoreRoute, Workload};
+use gps_sim::{
+    LaneMode, LaneRouter, LoadRoute, MemCtx, MemoryPolicy, SimConfig, StoreRoute, Workload,
+};
 use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn};
 
 use crate::common::FaultCosts;
+use crate::gps_lane::{self, GpsLaneRouter, RouteSnapshot};
 
 /// GPS with automatic subscription management (§6):
 ///
@@ -38,6 +43,10 @@ pub struct GpsPolicy {
     evicted_replicas: u64,
     skipped_subs: u64,
     refaults: u64,
+    /// Lane-tier bookkeeping: `tracking_stop` on the subscription path
+    /// shoots down every GPS-TLB; the lane TLBs live in the routers, so
+    /// the flush is deferred to the next [`MemoryPolicy::lane_phase_sync`].
+    lane_tlb_flush: bool,
     probe: ProbeHandle,
 }
 
@@ -65,6 +74,7 @@ impl GpsPolicy {
             evicted_replicas: 0,
             skipped_subs: 0,
             refaults: 0,
+            lane_tlb_flush: false,
             probe: ProbeHandle::disabled(),
         }
     }
@@ -155,6 +165,7 @@ impl MemoryPolicy for GpsPolicy {
         self.evicted_replicas = 0;
         self.skipped_subs = 0;
         self.refaults = 0;
+        self.lane_tlb_flush = false;
         // Total subscription demand: with subscribed-by-default profiling
         // every GPU tentatively hosts a replica of every shared page.
         let demand: u64 = workload.shared_allocs().map(|a| a.range.pages()).sum();
@@ -377,6 +388,9 @@ impl MemoryPolicy for GpsPolicy {
             // cuGPSTrackingStop at the end of iteration 0 (Listing 1).
             self.pruned = self.sys_mut().tracking_stop().expect("tracking active");
             self.profiled = true;
+            // The stop's GPS-TLB shootdown only happens on the subscription
+            // path (the ablation aborts tracking without touching TLBs).
+            self.lane_tlb_flush = self.subscription;
             self.probe
                 .instant(Track::SYSTEM, names::TRACKING_STOP, ctx.now);
         }
@@ -386,6 +400,77 @@ impl MemoryPolicy for GpsPolicy {
             self.faulted_this_iter.clear();
         }
         ctx.now
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        // The conservative GPS tier covers the subscribed-by-default
+        // profiling modes (gps and gps-nosub). Oversubscription routes
+        // through fault state that mutates mid-window, and
+        // unsubscribed-by-default profiling subscribes on first touch:
+        // both stay on the classic core.
+        if !self.pressure && self.config.profiling == ProfilingMode::SubscribedByDefault {
+            LaneMode::GpsEpochs
+        } else {
+            LaneMode::Fallback
+        }
+    }
+
+    fn lane_routers(&mut self) -> Vec<Box<dyn LaneRouter>> {
+        let (snap, collapse_latency) = {
+            let Some(sys) = self.sys.as_ref() else {
+                return Vec::new();
+            };
+            (
+                Arc::new(RouteSnapshot::capture(sys)),
+                sys.config().collapse_latency,
+            )
+        };
+        self.sys_mut()
+            .detach_lane_state()
+            .into_iter()
+            .enumerate()
+            .map(|(g, (rwq, tlb))| {
+                Box::new(GpsLaneRouter::new(
+                    GpuId::new(g as u16),
+                    Arc::clone(&snap),
+                    rwq,
+                    tlb,
+                    collapse_latency,
+                )) as Box<dyn LaneRouter>
+            })
+            .collect()
+    }
+
+    fn lane_barrier(
+        &mut self,
+        routers: &mut [&mut dyn LaneRouter],
+        fabric: &mut Fabric,
+    ) -> Vec<Cycle> {
+        let sys = self.sys.as_mut().expect("policy used before init");
+        gps_lane::apply_barrier(routers, sys, fabric)
+    }
+
+    fn lane_phase_sync(&mut self, routers: &mut [&mut dyn LaneRouter]) {
+        let flush_tlbs = std::mem::take(&mut self.lane_tlb_flush);
+        let sys = self.sys.as_ref().expect("policy used before init");
+        gps_lane::phase_sync(routers, sys, flush_tlbs);
+    }
+
+    fn absorb_lane_routers(&mut self, routers: Vec<Box<dyn LaneRouter>>) {
+        let mut units = Vec::with_capacity(routers.len());
+        let mut atomics = 0u64;
+        for router in routers {
+            let router = router
+                .into_any()
+                .downcast::<GpsLaneRouter>()
+                .expect("foreign router in a GPS lane run");
+            let (rwq, tlb, a) = router.into_units();
+            units.push((rwq, tlb));
+            atomics += a;
+        }
+        let sys = self.sys_mut();
+        sys.attach_lane_state(units);
+        sys.add_atomic_broadcasts(atomics);
     }
 
     fn metrics(&self) -> Vec<(String, f64)> {

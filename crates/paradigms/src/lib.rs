@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod common;
+mod gps_lane;
 mod gps_policy;
 mod infinite;
 mod memcpy;

@@ -1,0 +1,128 @@
+//! Epoch-window boundary goldens for the lane engine (satellite of the
+//! worker-pool PR).
+//!
+//! The lane engine drains events *strictly before* the window end: an event
+//! queued at exactly `window_end` belongs to the next window and therefore
+//! observes the writer map merged at the intervening barrier. These tests
+//! pin that edge on every topology with a two-GPU race built to land one
+//! cycle on either side of the first window boundary:
+//!
+//! * GPU 0 stores a shared line at kernel start (its writer delta is merged
+//!   at the window-0 barrier);
+//! * GPU 1 computes for `D` cycles and then loads the same line. The load
+//!   event queues at `launch + D`, and window 0 spans
+//!   `[launch, launch + E)` where `E` is the topology's minimum cross-GPU
+//!   latency. `D = E` drains in window 1 → remote read from the writer;
+//!   `D = E - 1` drains in window 0 → stale-local (bounded staleness, the
+//!   documented epoch contract).
+
+use std::sync::Arc;
+
+use gps_interconnect::{LinkGen, Topology};
+use gps_obs::ProbeHandle;
+use gps_paradigms::{run_paradigm_configured, Paradigm};
+use gps_sim::{KernelSpec, SimConfig, SimReport, WarpCtx, WarpInstr, WorkloadBuilder};
+use gps_types::{GpuId, LineRange, PageSize};
+
+fn kernel(
+    gpu: u16,
+    prog: impl Fn(WarpCtx) -> Vec<WarpInstr> + Send + Sync + 'static,
+) -> KernelSpec {
+    KernelSpec {
+        name: format!("k{gpu}"),
+        gpu: GpuId::new(gpu),
+        cta_count: 1,
+        warps_per_cta: 1,
+        program: Arc::new(prog),
+    }
+}
+
+/// One writer / one delayed reader on a shared line, reader delayed by
+/// `delay` compute cycles.
+fn race_workload(delay: u32) -> gps_sim::Workload {
+    let mut b = WorkloadBuilder::new("boundary", PageSize::Standard64K, 2);
+    let d = b.alloc_shared("d", 65536).expect("alloc");
+    let line = d.base().line();
+    b.phase(vec![
+        kernel(0, move |_| vec![WarpInstr::store1(line)]),
+        kernel(1, move |_| {
+            vec![
+                WarpInstr::Compute(delay),
+                WarpInstr::Load(LineRange::single(line)),
+            ]
+        }),
+    ]);
+    b.build(1).expect("build")
+}
+
+fn run_rdl(topology: Topology, delay: u32, workers: usize) -> SimReport {
+    let mut cfg = SimConfig::gv100_system(2).with_parallel_workers(workers);
+    cfg.topology = topology;
+    run_paradigm_configured(
+        Paradigm::Rdl,
+        &race_workload(delay),
+        cfg,
+        LinkGen::NvLink2,
+        ProbeHandle::disabled(),
+    )
+    .expect("rdl run")
+}
+
+fn metric(report: &SimReport, name: &str) -> f64 {
+    report
+        .policy_metrics
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+#[test]
+fn load_at_window_end_sees_the_merged_writer_on_every_topology() {
+    for topology in Topology::ALL {
+        let epoch = topology.min_cross_gpu_latency(LinkGen::NvLink2).as_u64();
+        assert!(epoch >= 2, "{topology}: epoch too small to probe the edge");
+        let at_edge = run_rdl(topology, epoch as u32, 1);
+        assert_eq!(
+            metric(&at_edge, "rdl_remote_loads"),
+            1.0,
+            "{topology}: a load landing exactly at the window end drains in \
+             the next window and must see GPU 0's merged write"
+        );
+        assert!(
+            at_edge.interconnect_bytes > 0,
+            "{topology}: the boundary load must fetch remotely"
+        );
+    }
+}
+
+#[test]
+fn load_one_cycle_inside_the_window_stays_local_on_every_topology() {
+    for topology in Topology::ALL {
+        let epoch = topology.min_cross_gpu_latency(LinkGen::NvLink2).as_u64();
+        assert!(epoch >= 2, "{topology}: epoch too small to probe the edge");
+        let inside = run_rdl(topology, (epoch - 1) as u32, 1);
+        assert_eq!(
+            metric(&inside, "rdl_remote_loads"),
+            0.0,
+            "{topology}: a load one cycle inside the window drains before \
+             the barrier merge and must route local (bounded staleness)"
+        );
+        assert_eq!(
+            inside.interconnect_bytes, 0,
+            "{topology}: the in-window load must not touch the fabric"
+        );
+    }
+}
+
+#[test]
+fn boundary_behaviour_is_worker_invariant() {
+    for topology in Topology::ALL {
+        let epoch = topology.min_cross_gpu_latency(LinkGen::NvLink2).as_u64();
+        for delay in [epoch - 1, epoch] {
+            let solo = run_rdl(topology, delay as u32, 1);
+            let pooled = run_rdl(topology, delay as u32, 2);
+            assert_eq!(solo, pooled, "{topology}: delay {delay} diverged");
+        }
+    }
+}

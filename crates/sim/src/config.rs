@@ -273,6 +273,26 @@ impl SimConfig {
         }
     }
 
+    /// A 32-GPU GV100 system on a single-hop NVSwitch fabric — the scale-up
+    /// extrapolation of the paper's DGX-2 platform (two drawers behind one
+    /// switch plane).
+    pub fn superpod_32() -> Self {
+        Self {
+            topology: Topology::NvSwitch,
+            ..Self::gv100_system(32)
+        }
+    }
+
+    /// A 64-GPU GV100 system on a PCIe host-bridge tree — the scale-out
+    /// extrapolation: sixteen 4-GPU leaves under a root complex, the
+    /// cheapest fabric that reaches this count.
+    pub fn superpod_64() -> Self {
+        Self {
+            topology: Topology::PcieTree,
+            ..Self::gv100_system(64)
+        }
+    }
+
     /// Sets the overlapped-expansion pipeline depth.
     #[must_use]
     pub fn with_stream_pipeline_depth(mut self, depth: usize) -> Self {

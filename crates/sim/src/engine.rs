@@ -30,7 +30,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use gps_interconnect::{Fabric, FabricConfig, LinkGen};
 use gps_mem::{Tlb, TlbConfig};
 use gps_obs::{names, ProbeHandle, Track};
-use gps_types::{Cycle, GpsError, GpuId, LineAddr, PageSize, Result, Scope, CACHE_LINE_BYTES};
+use gps_types::{Cycle, GpsError, GpuId, LineAddr, PageSize, Result, Scope, Vpn, CACHE_LINE_BYTES};
 
 use std::sync::Arc;
 
@@ -917,23 +917,43 @@ pub(crate) fn translate(
     line: LineAddr,
     t: Cycle,
 ) -> Cycle {
-    let vpn = line.vpn(page_size);
-    if gpu.tlb.lookup(vpn).is_some() {
-        probe.counter(Track::gpu(g), names::TLB_HIT, t, 1.0);
-        t
-    } else {
-        probe.counter(Track::gpu(g), names::TLB_MISS, t, 1.0);
-        gpu.tlb.insert(vpn, ());
+    let (done, missed) = translate_inner(probe, gcfg, page_size, gpu, g, line, t);
+    if let Some(vpn) = missed {
         let mut ctx = MemCtx {
             now: t,
             fabric,
             page_size,
         };
         policy.on_tlb_miss(GpuId::new(g as u16), vpn, &mut ctx);
+    }
+    done
+}
+
+/// The policy-free core of [`translate`]: conventional TLB lookup, walker
+/// serialisation, probe counters. Returns the completion time and, on a
+/// miss, the page — the caller forwards it to the policy (classic core) or
+/// the lane's router (lane engine), which is the only difference between
+/// the two paths.
+pub(crate) fn translate_inner(
+    probe: &ProbeHandle,
+    gcfg: &GpuConfig,
+    page_size: PageSize,
+    gpu: &mut GpuState,
+    g: usize,
+    line: LineAddr,
+    t: Cycle,
+) -> (Cycle, Option<Vpn>) {
+    let vpn = line.vpn(page_size);
+    if gpu.tlb.lookup(vpn).is_some() {
+        probe.counter(Track::gpu(g), names::TLB_HIT, t, 1.0);
+        (t, None)
+    } else {
+        probe.counter(Track::gpu(g), names::TLB_MISS, t, 1.0);
+        gpu.tlb.insert(vpn, ());
         // Walks serialise on the GPU's shared page walker.
         let start = gpu.walker_free.max(t);
         gpu.walker_free = start + gcfg.tlb_walker_interval;
-        start + gcfg.tlb_walk_latency
+        (start + gcfg.tlb_walk_latency, Some(vpn))
     }
 }
 

@@ -29,7 +29,42 @@
 //!   deterministic and worker-count-invariant, but writer visibility is
 //!   bounded-stale (at most one window), so this tier is pinned by its own
 //!   golden reports rather than the classic engine's.
+//! * [`LaneMode::GpsEpochs`] — the conservative GPS tier. Each lane owns a
+//!   [`LaneRouter`] (its GPU's write queue, GPS-TLB and a driver-state
+//!   snapshot); stores route through the write queue locally while the
+//!   router *buffers* every cross-lane effect — RWQ publishes, peer
+//!   stores, collapses, access-tracking records. The policy applies the
+//!   buffered effects at each window barrier ([`MemoryPolicy::lane_barrier`])
+//!   in `(cycle, gpu, sequence)` order and returns per-GPU broadcast
+//!   visibility horizons; kernel-end releases and sys-scoped fences defer
+//!   to those horizons. Like `WriterEpochs`, subscriber visibility is
+//!   bounded-stale by one window, so the tier is pinned by worker-count
+//!   invariance and its own goldens.
 //! * [`LaneMode::Fallback`] — delegate to [`Engine::run_classic`].
+//!
+//! # Epoch-window boundary
+//!
+//! [`LaneQueue::pop_before`] is *strictly* exclusive: an event at exactly
+//! `W + E` stays queued when the window `[W, W + E)` drains. This is
+//! load-bearing, not an off-by-one — an access at `W + E` may legally
+//! observe a cross-GPU effect published at `W` (the fabric's minimum
+//! latency has elapsed), so it must execute only after the barrier has
+//! merged the window's publishes. Conversely every barrier-resolved
+//! remote load lands at or after `W + E` (request leaves at `t >= W`,
+//! pays at least `E` in flight — asserted in [`resolve_suspended`]), so
+//! re-queued warps never reenter the closed window.
+//!
+//! # Worker pool
+//!
+//! `SimConfig::parallel_workers > 1` drives the lanes from a persistent
+//! [`std::thread::scope`] pool: `N` workers pull lane indices from an
+//! atomic work queue each window and park on a barrier between windows,
+//! while the coordinator thread runs the policy, the shared fabric and all
+//! barrier work. Lanes are mutated only between the start/end barriers
+//! (workers) or under [`LaneExec::with_all`] (coordinator), never both at
+//! once; and because every lane drains its window against the same
+//! read-only inputs regardless of which worker claims it, reports *and*
+//! telemetry are bit-identical for 1 vs `N` workers (pinned by tests).
 //!
 //! Telemetry: each lane buffers its probe emissions tagged with the event
 //! time ([`ProbeHandle::buffering`]); at each phase end the coordinator
@@ -38,30 +73,35 @@
 //! of lane interleaving.
 //!
 //! [`MemoryPolicy::lane_mode`]: crate::MemoryPolicy::lane_mode
+//! [`MemoryPolicy::lane_barrier`]: crate::MemoryPolicy::lane_barrier
 //! [`LaneMode::PureLocal`]: crate::LaneMode::PureLocal
 //! [`LaneMode::WriterEpochs`]: crate::LaneMode::WriterEpochs
+//! [`LaneMode::GpsEpochs`]: crate::LaneMode::GpsEpochs
 //! [`LaneMode::Fallback`]: crate::LaneMode::Fallback
+//! [`LaneRouter`]: crate::LaneRouter
 //! [`SimReport`]: crate::SimReport
 //! [`Topology::min_cross_gpu_latency`]: gps_interconnect::Topology::min_cross_gpu_latency
 //! [`Engine::run_classic`]: Engine::run_classic
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
-use gps_interconnect::{Fabric, FabricConfig};
+use gps_interconnect::{Fabric, FabricConfig, LinkGen};
 use gps_obs::{names, Emission, ProbeHandle, Track};
-use gps_types::{Cycle, GpuId, LineAddr, Vpn, CACHE_LINE_BYTES};
+use gps_types::{Cycle, GpuId, LineAddr, Scope, Vpn, CACHE_LINE_BYTES};
 
 use crate::config::SimConfig;
 use crate::engine::{
-    l2_read, l2_write, start_kernel, translate, Engine, EventSink, GpuState, KernelRun, Warp,
+    l2_read, l2_write, start_kernel, translate_inner, Engine, EventSink, GpuState, KernelRun, Warp,
     RECYCLE_FLUSH,
 };
 use crate::instr::{WarpInstr, WarpStream};
 use crate::pipeline::BufferArena;
-use crate::policy::{AllLocalPolicy, LaneMode, MemCtx};
+use crate::policy::{LaneLoad, LaneMode, LaneRouter, LaneStore, MemCtx, MemoryPolicy};
 use crate::stats::SimReport;
-use crate::workload::{KernelSpec, SharedIndex};
+use crate::workload::{KernelSpec, SharedIndex, Workload};
 
 /// Per-lane event queue: a binary heap of `(time, sequence, slot)` keys
 /// packed into one `u128` — time in the top 56 bits, a per-lane push
@@ -114,7 +154,10 @@ impl LaneQueue {
     }
 
     /// Pops the earliest event as `(cycle, slot)` if it lies strictly
-    /// before `limit`.
+    /// before `limit`. Strictness is the epoch-boundary invariant: an
+    /// event at exactly the window end may observe that window's merged
+    /// publishes, so it must drain only after the barrier (see module
+    /// docs).
     fn pop_before(&mut self, limit: u64) -> Option<(u64, usize)> {
         let &Reverse(key) = self.heap.peek()?;
         let t = (key >> (KEY_SEQ_BITS + KEY_SLOT_BITS)) as u64;
@@ -140,12 +183,15 @@ struct LaneCtx<'w> {
     mode: LaneMode,
     /// Line/page classifier ([`LaneMode::WriterEpochs`] only).
     index: Option<&'w SharedIndex>,
-    /// Last-writer map as of the previous barrier (engine-owned).
-    writers: &'w BTreeMap<Vpn, GpuId>,
+    /// Last-writer map as of the previous barrier (engine-owned). Shared
+    /// by `Arc` so the worker pool can snapshot it per window without a
+    /// copy; the coordinator mutates it between windows via
+    /// [`Arc::make_mut`] while no lane holds a clone.
+    writers: &'w Arc<BTreeMap<Vpn, GpuId>>,
 }
 
-/// A warp parked mid-load: some lines of its coalesced range route to
-/// peer GPUs and resolve at the next window barrier.
+/// A warp parked mid-instruction: its completion depends on cross-lane
+/// state and resolves at the next window barrier.
 struct Suspend {
     slot: usize,
     /// Max over the local lines' arrivals (and `issue + 1`); the barrier
@@ -153,11 +199,25 @@ struct Suspend {
     ready: Cycle,
     /// `(owner, line, issue time)` per remote line.
     pending: Vec<(GpuId, LineAddr, Cycle)>,
+    /// Sys-scoped fence ([`LaneMode::GpsEpochs`]): the router queued a
+    /// write-queue flush; the barrier resumes the warp no earlier than
+    /// the lane's broadcast-visibility horizon and the window end.
+    flush: bool,
 }
 
 enum Stepped {
     Ready,
     Suspended(Suspend),
+}
+
+/// How one coalesced load routes, after the mode-specific lookup.
+enum RoutedLoad {
+    Local,
+    /// Serviced by the issuing GPU's own write queue (§5.1 forwarding):
+    /// L2-latency hit, no fill, no L2 access.
+    Forwarded,
+    /// Demand-read from the owner at the next window barrier.
+    Remote(GpuId),
 }
 
 /// One GPU's private simulation state.
@@ -183,21 +243,22 @@ struct Lane {
     /// Buffering handle when telemetry is on, disabled otherwise.
     probe: ProbeHandle,
     buffered: bool,
-    /// No-op policy handed to the shared [`translate`] helper (lane-capable
-    /// policies never override `on_tlb_miss`).
-    stand_in: AllLocalPolicy,
-    /// Never booked; exists only because [`MemCtx`] carries a fabric.
-    scratch_fabric: Fabric,
+    /// Per-GPU routing state ([`LaneMode::GpsEpochs`] only).
+    router: Option<Box<dyn LaneRouter>>,
+    /// Kernel-end release awaiting the next barrier's visibility horizon
+    /// ([`LaneMode::GpsEpochs`] only): the next launch (or lane
+    /// completion) happens at `max(horizon, last_done)`.
+    pending_kernel: Option<Cycle>,
 }
 
 impl Lane {
-    fn new(g: usize, engine: &Engine<'_>, telemetry: bool) -> Self {
+    fn new(g: usize, config: &SimConfig, telemetry: bool) -> Self {
         let probe = if telemetry {
             ProbeHandle::buffering()
         } else {
             ProbeHandle::disabled()
         };
-        let mut gpu = GpuState::new(&engine.config);
+        let mut gpu = GpuState::new(config);
         gpu.dram.set_probe(probe.clone(), Track::gpu(g));
         Lane {
             g,
@@ -218,8 +279,8 @@ impl Lane {
             local_loads: 0,
             probe,
             buffered: telemetry,
-            stand_in: AllLocalPolicy::new(),
-            scratch_fabric: Fabric::new(FabricConfig::new(engine.config.gpu_count, engine.link)),
+            router: None,
+            pending_kernel: None,
         }
     }
 
@@ -265,7 +326,8 @@ impl Lane {
 
     /// Executes one instruction of warp `slot` — the lane port of the
     /// classic engine's `step_warp`, with routing resolved from the
-    /// engine-owned writer state instead of a policy callback.
+    /// engine-owned writer state or the lane's [`LaneRouter`] instead of a
+    /// policy callback.
     fn step(&mut self, ctx: &LaneCtx<'_>, slot: usize) -> Stepped {
         let gcfg = ctx.config.gpu;
         let page_size = ctx.config.page_size;
@@ -295,31 +357,24 @@ impl Lane {
                 let mut ready = Cycle::new(issue.as_u64() + 1);
                 let mut pending: Vec<(GpuId, LineAddr, Cycle)> = Vec::new();
                 for (i, line) in range.iter().enumerate() {
-                    let t = Cycle::new(issue.as_u64() + i as u64);
+                    let t0 = Cycle::new(issue.as_u64() + i as u64);
                     if self.gpu.l1[sm].probe(line) {
                         self.gpu.l1_hits += 1;
-                        ready = ready.max(t + gcfg.l1_latency);
+                        ready = ready.max(t0 + gcfg.l1_latency);
                         continue;
                     }
                     self.gpu.l1_misses += 1;
-                    let t = translate(
-                        &mut self.stand_in,
-                        &self.probe,
-                        &gcfg,
-                        page_size,
-                        &mut self.gpu,
-                        &mut self.scratch_fabric,
-                        g,
-                        line,
-                        t,
-                    );
+                    let t = self.translate(&gcfg, page_size, line, t0);
                     match self.route_load(ctx, line) {
-                        None => {
+                        RoutedLoad::Local => {
                             let arrival = l2_read(&mut self.gpu, &gcfg, line, gpu_id, t);
                             self.gpu.l1[sm].fill(line, gpu_id);
                             ready = ready.max(arrival);
                         }
-                        Some(from) => pending.push((from, line, t)),
+                        RoutedLoad::Forwarded => {
+                            ready = ready.max(t + gcfg.l2_latency);
+                        }
+                        RoutedLoad::Remote(from) => pending.push((from, line, t)),
                     }
                 }
                 if pending.is_empty() {
@@ -330,74 +385,106 @@ impl Lane {
                         slot,
                         ready,
                         pending,
+                        flush: false,
                     })
                 }
             }
-            WarpInstr::Store(range, _scope) => {
+            WarpInstr::Store(range, scope) => {
                 self.gpu.sm_busy += range.len().max(1) as u64;
                 self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + range.len().max(1) as u64);
+                let mut ready = Cycle::new(issue.as_u64() + 1);
                 for (i, line) in range.iter().enumerate() {
-                    let t = Cycle::new(issue.as_u64() + i as u64);
-                    let t = translate(
-                        &mut self.stand_in,
-                        &self.probe,
-                        &gcfg,
-                        page_size,
-                        &mut self.gpu,
-                        &mut self.scratch_fabric,
-                        g,
-                        line,
-                        t,
-                    );
-                    self.route_store(ctx, line, t);
-                    let _ = self.gpu.l1[sm].probe(line);
-                    l2_write(&mut self.gpu, line, gpu_id, t);
+                    let t0 = Cycle::new(issue.as_u64() + i as u64);
+                    let t = self.translate(&gcfg, page_size, line, t0);
+                    if let Some(stall) = self.store_line(ctx, sm, line, scope, t, false) {
+                        ready = ready.max(stall);
+                    }
                 }
-                self.warps[slot].ready = Cycle::new(issue.as_u64() + 1);
+                self.warps[slot].ready = ready;
                 Stepped::Ready
             }
             WarpInstr::Atomic(line) => {
                 self.gpu.sm_busy += 1;
                 self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + 1);
-                let t = translate(
-                    &mut self.stand_in,
-                    &self.probe,
-                    &gcfg,
-                    page_size,
-                    &mut self.gpu,
-                    &mut self.scratch_fabric,
-                    g,
-                    line,
-                    issue,
-                );
-                self.route_store(ctx, line, t);
-                let _ = self.gpu.l1[sm].probe(line);
-                l2_write(&mut self.gpu, line, gpu_id, t);
-                self.warps[slot].ready = Cycle::new(issue.as_u64() + 1);
+                let t = self.translate(&gcfg, page_size, line, issue);
+                let mut ready = Cycle::new(issue.as_u64() + 1);
+                if let Some(stall) = self.store_line(ctx, sm, line, Scope::Gpu, t, true) {
+                    ready = ready.max(stall);
+                }
+                self.warps[slot].ready = ready;
                 Stepped::Ready
             }
-            WarpInstr::Fence(_scope) => {
+            WarpInstr::Fence(scope) => {
                 self.gpu.sm_busy += 1;
                 self.gpu.sm_issue[sm] = Cycle::new(issue.as_u64() + 1);
-                // Lane-capable policies keep the default `on_fence`
+                let ready = Cycle::new(issue.as_u64() + 1);
+                if scope.drains_write_queue() {
+                    if let Some(router) = self.router.as_mut() {
+                        // Sys-scoped fence: queue the flush; visibility
+                        // resolves at the barrier.
+                        router.flush(issue);
+                        return Stepped::Suspended(Suspend {
+                            slot,
+                            ready,
+                            pending: Vec::new(),
+                            flush: true,
+                        });
+                    }
+                }
+                // Other lane-capable policies keep the default `on_fence`
                 // (returns `now`), so a fence never stalls past issue.
-                self.warps[slot].ready = Cycle::new(issue.as_u64() + 1);
+                self.warps[slot].ready = ready;
                 Stepped::Ready
             }
         }
     }
 
-    /// Routes one coalesced load: `None` = local, `Some(owner)` = remote.
-    /// Mirrors `RdlPolicy::route_load` exactly in [`LaneMode::WriterEpochs`]
-    /// (private lines route local without touching either counter).
-    fn route_load(&mut self, ctx: &LaneCtx<'_>, line: LineAddr) -> Option<GpuId> {
+    /// Conventional-TLB translation for one line: the lane port of the
+    /// classic engine's `translate`, feeding misses to the lane's router
+    /// (access tracking) instead of a policy callback.
+    fn translate(
+        &mut self,
+        gcfg: &crate::config::GpuConfig,
+        page_size: gps_types::PageSize,
+        line: LineAddr,
+        t0: Cycle,
+    ) -> Cycle {
+        let (t, missed) = translate_inner(
+            &self.probe,
+            gcfg,
+            page_size,
+            &mut self.gpu,
+            self.g,
+            line,
+            t0,
+        );
+        if let Some(vpn) = missed {
+            if let Some(router) = self.router.as_mut() {
+                router.tlb_miss(vpn, t0);
+            }
+        }
+        t
+    }
+
+    /// Routes one coalesced load. Mirrors `RdlPolicy::route_load` exactly
+    /// in [`LaneMode::WriterEpochs`] (private lines route local without
+    /// touching either counter); defers to the router in
+    /// [`LaneMode::GpsEpochs`].
+    fn route_load(&mut self, ctx: &LaneCtx<'_>, line: LineAddr) -> RoutedLoad {
+        if let Some(router) = self.router.as_mut() {
+            return match router.load(line) {
+                LaneLoad::Local => RoutedLoad::Local,
+                LaneLoad::Forwarded => RoutedLoad::Forwarded,
+                LaneLoad::Remote { from } => RoutedLoad::Remote(from),
+            };
+        }
         if ctx.mode != LaneMode::WriterEpochs {
-            return None;
+            return RoutedLoad::Local;
         }
         // gps-lint: allow(no_expect) -- run() builds the index for every WriterEpochs lane
         let index = ctx.index.expect("writer mode without a shared index");
         if !index.is_shared(line) {
-            return None;
+            return RoutedLoad::Local;
         }
         let vpn = line.vpn(ctx.config.page_size);
         let writer = if self.overlay.contains(&vpn) {
@@ -408,13 +495,54 @@ impl Lane {
         match writer {
             Some(w) if w.index() != self.g => {
                 self.remote_loads += 1;
-                Some(w)
+                RoutedLoad::Remote(w)
             }
             _ => {
                 self.local_loads += 1;
-                None
+                RoutedLoad::Local
             }
         }
+    }
+
+    /// One coalesced store (or atomic) to `line` at translated time `t` —
+    /// the lane port of the classic engine's `store_line`. Returns the
+    /// stall completion for collapse-stalled stores.
+    fn store_line(
+        &mut self,
+        ctx: &LaneCtx<'_>,
+        sm: usize,
+        line: LineAddr,
+        scope: Scope,
+        t: Cycle,
+        atomic: bool,
+    ) -> Option<Cycle> {
+        let gpu_id = GpuId::new(self.g as u16);
+        if let Some(router) = self.router.as_mut() {
+            let route = if atomic {
+                router.atomic(line, t)
+            } else {
+                router.store(line, scope, t)
+            };
+            let _ = self.gpu.l1[sm].probe(line);
+            return match route {
+                LaneStore::Local | LaneStore::Replicated => {
+                    l2_write(&mut self.gpu, line, gpu_id, t);
+                    None
+                }
+                // Peer store: the router buffered the transfer for the
+                // barrier; nothing is written locally (classic parity).
+                LaneStore::Remote => None,
+                LaneStore::Stall { ready } => {
+                    let at = ready.max(t);
+                    l2_write(&mut self.gpu, line, gpu_id, at);
+                    Some(at)
+                }
+            };
+        }
+        self.route_store(ctx, line, t);
+        let _ = self.gpu.l1[sm].probe(line);
+        l2_write(&mut self.gpu, line, gpu_id, t);
+        None
     }
 
     /// Records a store's writer update ([`LaneMode::WriterEpochs`] only;
@@ -501,25 +629,39 @@ impl Lane {
                 l1.invalidate_all();
             }
             self.gpu.l2.invalidate_remote(GpuId::new(self.g as u16));
-            // Lane-capable policies keep the default `on_kernel_end`.
             let visible = run.last_done;
-            if let Some(spec) = self.queue.pop_front() {
-                let at = visible + config.gpu.kernel_launch_overhead;
-                let next = start_kernel(
-                    config,
-                    workload_gpu_count,
-                    self.g,
-                    spec,
-                    at,
-                    &self.arena,
-                    &mut self.warps,
-                    &mut self.free_slots,
-                    &mut self.events,
-                );
-                self.running = Some(next);
+            if let Some(router) = self.router.as_mut() {
+                // GPS grid-end release: queue the write-queue flush; the
+                // next launch waits on the barrier's visibility horizon.
+                router.flush(visible);
+                self.pending_kernel = Some(visible);
             } else {
-                self.done = Some(visible);
+                // Other lane-capable policies keep the default
+                // `on_kernel_end`.
+                self.advance_kernel(config, workload_gpu_count, visible);
             }
+        }
+    }
+
+    /// Launches the next queued kernel at `visible` (plus launch overhead)
+    /// or marks the lane done for the phase.
+    fn advance_kernel(&mut self, config: &SimConfig, workload_gpu_count: u32, visible: Cycle) {
+        if let Some(spec) = self.queue.pop_front() {
+            let at = visible + config.gpu.kernel_launch_overhead;
+            let next = start_kernel(
+                config,
+                workload_gpu_count,
+                self.g,
+                spec,
+                at,
+                &self.arena,
+                &mut self.warps,
+                &mut self.free_slots,
+                &mut self.events,
+            );
+            self.running = Some(next);
+        } else {
+            self.done = Some(visible);
         }
     }
 }
@@ -531,7 +673,7 @@ impl Lane {
 /// now reflected in `writers` (at their true merge rank, so a peer's later
 /// write correctly steals ownership), and keeping them would pin pages
 /// local to any past writer forever instead of to the *last* writer.
-fn barrier_merge(lanes: &mut [Lane], writers: &mut BTreeMap<Vpn, GpuId>) {
+fn barrier_merge(lanes: &mut [&mut Lane], writers: &mut BTreeMap<Vpn, GpuId>) {
     let mut all: Vec<(u64, u16, u64, Vpn)> = Vec::new();
     for lane in lanes.iter_mut() {
         let g = lane.g as u16;
@@ -546,14 +688,17 @@ fn barrier_merge(lanes: &mut [Lane], writers: &mut BTreeMap<Vpn, GpuId>) {
 
 /// Books every suspended warp's remote lines against the owners' DRAM and
 /// the shared fabric in deterministic `(issue time, lane, position)` order,
-/// then resumes (or retires) each warp at its merged arrival time.
+/// then resumes (or retires) each warp at its merged arrival time. Fence
+/// (flush) suspends resume at the lane's visibility horizon (`vis`,
+/// [`LaneMode::GpsEpochs`] only), no earlier than the window end.
 fn resolve_suspended(
-    lanes: &mut [Lane],
+    lanes: &mut [&mut Lane],
     fabric: &mut Fabric,
     config: &SimConfig,
     workload_gpu_count: u32,
     telemetry: bool,
     window_end: u64,
+    vis: Option<&[Cycle]>,
 ) {
     if lanes.iter().all(|l| l.suspended.is_empty()) {
         return;
@@ -602,6 +747,10 @@ fn resolve_suspended(
             .transfer(r.from, GpuId::new(r.lane as u16), CACHE_LINE_BYTES, data_at)
             .map(|tr| tr.arrived)
             .unwrap_or(data_at);
+        debug_assert!(
+            window_end == u64::MAX || arrived.as_u64() >= window_end,
+            "a barrier-resolved remote load must land at or after the window end"
+        );
         let sm = lanes[r.lane].warps[lanes[r.lane].suspended[r.sidx].slot].sm;
         lanes[r.lane].gpu.l1[sm].fill(r.line, r.from);
         let susp = &mut lanes[r.lane].suspended[r.sidx];
@@ -611,16 +760,179 @@ fn resolve_suspended(
     for lane in lanes.iter_mut() {
         let susps = std::mem::take(&mut lane.suspended);
         for susp in susps {
-            lane.warps[susp.slot].ready = susp.ready;
+            let mut ready = susp.ready;
+            if susp.flush {
+                if let Some(vis) = vis {
+                    ready = ready.max(vis[lane.g]);
+                }
+                if window_end != u64::MAX {
+                    // A resumed fence must not reenter the closed window.
+                    ready = ready.max(Cycle::new(window_end));
+                }
+            }
+            lane.warps[susp.slot].ready = ready;
             if !lane.warps[susp.slot].stream.is_exhausted() {
-                lane.events.push(susp.ready.as_u64(), susp.slot);
+                lane.events.push(ready.as_u64(), susp.slot);
             } else {
                 if lane.buffered {
-                    lane.probe.set_tag(susp.ready.as_u64());
+                    lane.probe.set_tag(ready.as_u64());
                 }
-                lane.retire_warp(config, workload_gpu_count, susp.slot, susp.ready);
+                lane.retire_warp(config, workload_gpu_count, susp.slot, ready);
             }
         }
+    }
+}
+
+/// How the coordinator reaches the lanes: inline (one worker) or through
+/// the [`Pool`]. Window drains go through [`drain`]; all barrier-time
+/// mutation goes through [`with_all`], which hands back every lane.
+///
+/// [`drain`]: LaneExec::drain
+/// [`with_all`]: LaneExec::with_all
+trait LaneExec {
+    /// Drains every lane's events strictly before `window_end`.
+    fn drain(&mut self, ctx: &LaneCtx<'_>, window_end: u64);
+
+    /// Runs `f` over all lanes (in lane order) with exclusive access.
+    fn with_all<R>(&mut self, f: impl FnOnce(&mut [&mut Lane]) -> R) -> R;
+}
+
+/// Single-worker execution: the coordinator drains lanes itself.
+struct InlineExec<'l> {
+    lanes: &'l mut Vec<Lane>,
+}
+
+impl LaneExec for InlineExec<'_> {
+    fn drain(&mut self, ctx: &LaneCtx<'_>, window_end: u64) {
+        for lane in self.lanes.iter_mut() {
+            lane.drain_window(ctx, window_end);
+        }
+    }
+
+    fn with_all<R>(&mut self, f: impl FnOnce(&mut [&mut Lane]) -> R) -> R {
+        let mut lanes: Vec<&mut Lane> = self.lanes.iter_mut().collect();
+        f(&mut lanes)
+    }
+}
+
+/// One window's inputs for the worker pool.
+struct PoolJob {
+    window_end: u64,
+    /// Snapshot of the writer map for this window (cloned handle per
+    /// worker; the coordinator drops all pool clones after the window so
+    /// its `Arc::make_mut` mutates in place).
+    writers: Arc<BTreeMap<Vpn, GpuId>>,
+}
+
+/// The persistent worker pool: lanes live in per-lane mutex cells and are
+/// claimed by index from an atomic queue, so the lane→worker assignment is
+/// irrelevant to the result (each drain sees only the lane itself plus the
+/// read-only job). Workers park on `start` between windows; the
+/// coordinator holds no cell lock while workers run and workers hold none
+/// while the coordinator runs barrier work — `end.wait()` hands exclusive
+/// access back.
+struct Pool<'w> {
+    cells: Vec<Mutex<Lane>>,
+    /// Next unclaimed lane index for the current window.
+    queue: AtomicUsize,
+    job: Mutex<PoolJob>,
+    start: Barrier,
+    end: Barrier,
+    stop: AtomicBool,
+    /// Permanently empty map parked in `job.writers` between windows.
+    empty: Arc<BTreeMap<Vpn, GpuId>>,
+    config: &'w SimConfig,
+    wl_gc: u32,
+    mode: LaneMode,
+    index: Option<&'w SharedIndex>,
+}
+
+/// Worker loop: wait for a window, claim lanes until the queue runs dry,
+/// park again. Exits when the coordinator raises `stop` before a start
+/// barrier.
+fn lane_worker(pool: &Pool<'_>) {
+    loop {
+        pool.start.wait();
+        if pool.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let (window_end, writers) = {
+            // gps-lint: allow(no_expect) -- the job mutex is only held across plain field reads/writes
+            let job = pool.job.lock().expect("job mutex poisoned");
+            (job.window_end, Arc::clone(&job.writers))
+        };
+        let ctx = LaneCtx {
+            config: pool.config,
+            gpu_count: pool.wl_gc,
+            mode: pool.mode,
+            index: pool.index,
+            writers: &writers,
+        };
+        loop {
+            let i = pool.queue.fetch_add(1, Ordering::Relaxed);
+            if i >= pool.cells.len() {
+                break;
+            }
+            pool.cells[i]
+                .lock()
+                // gps-lint: allow(no_expect) -- a poisoned cell means a sibling worker already panicked
+                .expect("lane mutex poisoned")
+                .drain_window(&ctx, window_end);
+        }
+        // Release the window's writer snapshot before the end barrier so
+        // the coordinator sees the only remaining Arc reference.
+        drop(writers);
+        pool.end.wait();
+    }
+}
+
+/// Multi-worker execution: the coordinator publishes a job and rides the
+/// start/end barriers.
+struct PoolExec<'p, 'w> {
+    pool: &'p Pool<'w>,
+}
+
+impl LaneExec for PoolExec<'_, '_> {
+    fn drain(&mut self, ctx: &LaneCtx<'_>, window_end: u64) {
+        self.pool.queue.store(0, Ordering::SeqCst);
+        {
+            // gps-lint: allow(no_expect) -- the job mutex is only held across plain field reads/writes
+            let mut job = self.pool.job.lock().expect("job mutex poisoned");
+            job.window_end = window_end;
+            job.writers = Arc::clone(ctx.writers);
+        }
+        self.pool.start.wait();
+        self.pool.end.wait();
+        // Park the empty map so the coordinator's writer-map handle is
+        // unique again (keeps `Arc::make_mut` allocation-free).
+        // gps-lint: allow(no_expect) -- the job mutex is only held across plain field reads/writes
+        let mut job = self.pool.job.lock().expect("job mutex poisoned");
+        job.writers = Arc::clone(&self.pool.empty);
+    }
+
+    fn with_all<R>(&mut self, f: impl FnOnce(&mut [&mut Lane]) -> R) -> R {
+        let mut guards: Vec<_> = self
+            .pool
+            .cells
+            .iter()
+            // gps-lint: allow(no_expect) -- a poisoned cell means a worker already panicked
+            .map(|c| c.lock().expect("lane mutex poisoned"))
+            .collect();
+        let mut lanes: Vec<&mut Lane> = guards.iter_mut().map(|g| &mut **g).collect();
+        f(&mut lanes)
+    }
+}
+
+/// Stops the workers exactly once, on both the success and the unwind
+/// path: raise `stop`, then release the start barrier they are parked on.
+struct PoolShutdown<'p, 'w> {
+    pool: &'p Pool<'w>,
+}
+
+impl Drop for PoolShutdown<'_, '_> {
+    fn drop(&mut self) {
+        self.pool.stop.store(true, Ordering::Release);
+        self.pool.start.wait();
     }
 }
 
@@ -631,7 +943,7 @@ pub(crate) fn run(engine: Engine<'_>) -> SimReport {
     let epoch = match mode {
         LaneMode::Fallback => return engine.run_classic(),
         LaneMode::PureLocal => 0,
-        LaneMode::WriterEpochs => {
+        LaneMode::WriterEpochs | LaneMode::GpsEpochs => {
             let e = engine
                 .config
                 .topology
@@ -644,16 +956,16 @@ pub(crate) fn run(engine: Engine<'_>) -> SimReport {
             e
         }
     };
-    let pure = mode == LaneMode::PureLocal;
+    let gps = mode == LaneMode::GpsEpochs;
 
     let gc = engine.config.gpu_count;
-    let gpu_cfg = engine.config.gpu;
     let tenants = engine.config.tenants.max(1);
     let master_probe = engine.probe.clone();
     let telemetry = master_probe.is_enabled();
 
     // Coordinator-owned fabric: books barrier-resolved remote reads and
-    // backs the policy's phase hooks. Lanes never touch it mid-window.
+    // publishes, and backs the policy's phase hooks. Lanes never touch it
+    // mid-window.
     let mut fabric = Fabric::new(
         FabricConfig::new(gc, engine.link)
             .with_topology(engine.config.topology)
@@ -664,113 +976,244 @@ pub(crate) fn run(engine: Engine<'_>) -> SimReport {
     engine.policy.attach_probe(master_probe.clone());
     engine.policy.init(engine.workload, &engine.config);
 
+    // GPS tier: one router per GPU, moved out of the policy. An empty
+    // vector means the policy cannot run this workload on lanes.
+    let routers = if gps {
+        engine.policy.lane_routers()
+    } else {
+        Vec::new()
+    };
+    if gps && routers.len() != gc {
+        return engine.run_classic();
+    }
+
+    let Engine {
+        config,
+        link,
+        workload,
+        policy,
+        probe: _,
+    } = engine;
+    let wl_gc = workload.gpu_count as u32;
+
     // Engine-owned writer-tracking state (WriterEpochs only): lanes route
     // from a read-only snapshot, so the policy object never crosses a
     // thread boundary.
-    let index: Option<SharedIndex> = (!pure).then(|| engine.workload.index());
-    let mut writers: BTreeMap<Vpn, GpuId> = BTreeMap::new();
+    let index: Option<SharedIndex> = (mode == LaneMode::WriterEpochs).then(|| workload.index());
+    let mut writers: Arc<BTreeMap<Vpn, GpuId>> = Arc::new(BTreeMap::new());
 
-    let mut lanes: Vec<Lane> = (0..gc).map(|g| Lane::new(g, &engine, telemetry)).collect();
-    let workers = engine.config.parallel_workers.min(gc).max(1);
-    let wl_gc = engine.workload.gpu_count as u32;
+    let mut lanes: Vec<Lane> = (0..gc).map(|g| Lane::new(g, &config, telemetry)).collect();
+    for (lane, mut router) in lanes.iter_mut().zip(routers) {
+        router.attach_probe(lane.probe.clone());
+        lane.router = Some(router);
+    }
+    let workers = config.parallel_workers.min(gc).max(1);
+
+    if workers == 1 {
+        run_phases(
+            &mut InlineExec { lanes: &mut lanes },
+            policy,
+            workload,
+            &config,
+            link,
+            &master_probe,
+            &mut fabric,
+            &mut writers,
+            index.as_ref(),
+            mode,
+            epoch,
+            wl_gc,
+        )
+    } else {
+        let empty: Arc<BTreeMap<Vpn, GpuId>> = Arc::new(BTreeMap::new());
+        let pool = Pool {
+            cells: lanes.into_iter().map(Mutex::new).collect(),
+            queue: AtomicUsize::new(0),
+            job: Mutex::new(PoolJob {
+                window_end: 0,
+                writers: Arc::clone(&empty),
+            }),
+            start: Barrier::new(workers + 1),
+            end: Barrier::new(workers + 1),
+            stop: AtomicBool::new(false),
+            empty,
+            config: &config,
+            wl_gc,
+            mode,
+            index: index.as_ref(),
+        };
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| lane_worker(&pool));
+            }
+            let _shutdown = PoolShutdown { pool: &pool };
+            run_phases(
+                &mut PoolExec { pool: &pool },
+                policy,
+                workload,
+                &config,
+                link,
+                &master_probe,
+                &mut fabric,
+                &mut writers,
+                index.as_ref(),
+                mode,
+                epoch,
+                wl_gc,
+            )
+        })
+    }
+}
+
+/// The coordinator loop: phases, windows, barriers, telemetry merge and
+/// the final report — generic over inline vs pooled lane execution.
+#[allow(clippy::too_many_arguments)]
+fn run_phases<E: LaneExec>(
+    exec: &mut E,
+    policy: &mut dyn MemoryPolicy,
+    workload: &Workload,
+    config: &SimConfig,
+    link: LinkGen,
+    master_probe: &ProbeHandle,
+    fabric: &mut Fabric,
+    writers: &mut Arc<BTreeMap<Vpn, GpuId>>,
+    index: Option<&SharedIndex>,
+    mode: LaneMode,
+    epoch: u64,
+    wl_gc: u32,
+) -> SimReport {
+    let pure = mode == LaneMode::PureLocal;
+    let gps = mode == LaneMode::GpsEpochs;
+    let gpu_cfg = config.gpu;
+    let telemetry = master_probe.is_enabled();
 
     let mut phase_ends: Vec<Cycle> = Vec::new();
     let mut phase_traffic: Vec<u64> = Vec::new();
     let mut phase_start = Cycle::ZERO;
 
-    for (phase_idx, phase) in engine.workload.phases.iter().enumerate() {
+    for (phase_idx, phase) in workload.phases.iter().enumerate() {
         {
             let mut ctx = MemCtx {
                 now: phase_start,
-                fabric: &mut fabric,
-                page_size: engine.config.page_size,
+                fabric,
+                page_size: config.page_size,
             };
-            let gate = engine.policy.on_phase_start(phase_idx, &mut ctx);
+            let gate = policy.on_phase_start(phase_idx, &mut ctx);
             phase_start = phase_start.max(gate);
         }
         let phase_began = phase_start;
 
-        for (g, lane) in lanes.iter_mut().enumerate() {
-            lane.queue = phase.launches_for(GpuId::new(g as u16)).cloned().collect();
-            lane.done = None;
-            if let Some(spec) = lane.queue.pop_front() {
-                let at = phase_start + gpu_cfg.kernel_launch_overhead;
-                let run = start_kernel(
-                    &engine.config,
-                    wl_gc,
-                    g,
-                    spec,
-                    at,
-                    &lane.arena,
-                    &mut lane.warps,
-                    &mut lane.free_slots,
-                    &mut lane.events,
-                );
-                lane.running = Some(run);
-            } else {
-                lane.done = Some(phase_start);
+        exec.with_all(|lanes| {
+            for lane in lanes.iter_mut() {
+                let g = lane.g;
+                lane.queue = phase.launches_for(GpuId::new(g as u16)).cloned().collect();
+                lane.done = None;
+                lane.pending_kernel = None;
+                if let Some(spec) = lane.queue.pop_front() {
+                    let at = phase_start + gpu_cfg.kernel_launch_overhead;
+                    let run = start_kernel(
+                        config,
+                        wl_gc,
+                        g,
+                        spec,
+                        at,
+                        &lane.arena,
+                        &mut lane.warps,
+                        &mut lane.free_slots,
+                        &mut lane.events,
+                    );
+                    lane.running = Some(run);
+                } else {
+                    lane.done = Some(phase_start);
+                }
             }
-        }
+        });
 
         // Window loop. Each window starts at the earliest pending event
         // across non-empty lanes (idle lanes never hold the epoch back)
         // and spans `E` cycles; barrier work re-queues events at or after
         // the window's end, so the loop terminates when every lane drains.
-        while let Some(next) = lanes.iter().filter_map(|l| l.events.peek_time()).min() {
-            let window_end = if pure {
-                u64::MAX
-            } else {
-                next.saturating_add(epoch)
-            };
-            let ctx = LaneCtx {
-                config: &engine.config,
-                gpu_count: wl_gc,
-                mode,
-                index: index.as_ref(),
-                writers: &writers,
-            };
-            if workers == 1 {
-                for lane in &mut lanes {
-                    lane.drain_window(&ctx, window_end);
-                }
-            } else {
-                let chunk = gc.div_ceil(workers);
-                std::thread::scope(|s| {
-                    for part in lanes.chunks_mut(chunk) {
-                        let ctx = &ctx;
-                        s.spawn(move || {
-                            for lane in part {
-                                lane.drain_window(ctx, window_end);
-                            }
-                        });
-                    }
-                });
+        // On the GPS tier a kernel-end release may leave a lane with no
+        // events but a launch pending on the barrier's visibility horizon:
+        // those rounds run barrier work only.
+        let mut last_window_end = phase_start.as_u64();
+        loop {
+            let (next, has_pending) = exec.with_all(|lanes| {
+                let next = lanes.iter().filter_map(|l| l.events.peek_time()).min();
+                let pending = gps && lanes.iter().any(|l| l.pending_kernel.is_some());
+                (next, pending)
+            });
+            if next.is_none() && !has_pending {
+                break;
             }
-            barrier_merge(&mut lanes, &mut writers);
-            resolve_suspended(
-                &mut lanes,
-                &mut fabric,
-                &engine.config,
-                wl_gc,
-                telemetry,
-                window_end,
-            );
+            let window_end = match next {
+                Some(_) if pure => u64::MAX,
+                Some(n) => n.saturating_add(epoch),
+                None => last_window_end,
+            };
+            last_window_end = window_end;
+            if next.is_some() {
+                let ctx = LaneCtx {
+                    config,
+                    gpu_count: wl_gc,
+                    mode,
+                    index,
+                    writers: &*writers,
+                };
+                exec.drain(&ctx, window_end);
+            }
+            exec.with_all(|lanes| {
+                if mode == LaneMode::WriterEpochs {
+                    barrier_merge(lanes, Arc::make_mut(writers));
+                }
+                let vis = if gps {
+                    let mut routers: Vec<&mut dyn LaneRouter> = lanes
+                        .iter_mut()
+                        .filter_map(|l| l.router.as_deref_mut())
+                        .collect();
+                    Some(policy.lane_barrier(&mut routers, fabric))
+                } else {
+                    None
+                };
+                if let Some(vis) = vis.as_deref() {
+                    for lane in lanes.iter_mut() {
+                        if let Some(t) = lane.pending_kernel.take() {
+                            lane.advance_kernel(config, wl_gc, vis[lane.g].max(t));
+                        }
+                    }
+                }
+                resolve_suspended(
+                    lanes,
+                    fabric,
+                    config,
+                    wl_gc,
+                    telemetry,
+                    window_end,
+                    vis.as_deref(),
+                );
+            });
         }
 
-        let barrier = lanes
-            .iter()
-            // gps-lint: allow(no_expect) -- the window loop only exits once every lane drained
-            .map(|l| l.done.expect("phase drained with running GPU"))
-            .max()
-            .unwrap_or(phase_start);
+        let barrier = exec.with_all(|lanes| {
+            lanes
+                .iter()
+                // gps-lint: allow(no_expect) -- the window loop only exits once every lane drained
+                .map(|l| l.done.expect("phase drained with running GPU"))
+                .max()
+                .unwrap_or(phase_start)
+        });
 
         if telemetry {
-            let mut all: Vec<(u64, usize, usize, Emission)> = Vec::new();
-            for (g, lane) in lanes.iter().enumerate() {
-                for (i, (tag, e)) in lane.probe.drain_buffered().into_iter().enumerate() {
-                    all.push((tag, g, i, e));
+            let mut all: Vec<(u64, usize, usize, Emission)> = exec.with_all(|lanes| {
+                let mut all = Vec::new();
+                for lane in lanes.iter() {
+                    let g = lane.g;
+                    for (i, (tag, e)) in lane.probe.drain_buffered().into_iter().enumerate() {
+                        all.push((tag, g, i, e));
+                    }
                 }
-            }
+                all
+            });
             all.sort_by_key(|a| (a.0, a.1, a.2));
             for (_, _, _, e) in all {
                 master_probe.replay(e);
@@ -781,11 +1224,22 @@ pub(crate) fn run(engine: Engine<'_>) -> SimReport {
         let release = {
             let mut ctx = MemCtx {
                 now: barrier,
-                fabric: &mut fabric,
-                page_size: engine.config.page_size,
+                fabric,
+                page_size: config.page_size,
             };
-            engine.policy.on_phase_end(phase_idx, &mut ctx)
+            policy.on_phase_end(phase_idx, &mut ctx)
         };
+        if gps {
+            // The phase hook may have pruned subscriptions or shot down
+            // GPS TLBs: resynchronise every router's snapshot.
+            exec.with_all(|lanes| {
+                let mut routers: Vec<&mut dyn LaneRouter> = lanes
+                    .iter_mut()
+                    .filter_map(|l| l.router.as_deref_mut())
+                    .collect();
+                policy.lane_phase_sync(&mut routers);
+            });
+        }
         if telemetry {
             master_probe.span(
                 Track::SYSTEM,
@@ -800,25 +1254,39 @@ pub(crate) fn run(engine: Engine<'_>) -> SimReport {
         phase_start = release + gpu_cfg.phase_sync_overhead;
     }
 
-    if mode == LaneMode::WriterEpochs {
-        let remote = lanes.iter().map(|l| l.remote_loads).sum();
-        let local = lanes.iter().map(|l| l.local_loads).sum();
-        engine.policy.absorb_lane_loads(remote, local);
+    match mode {
+        LaneMode::WriterEpochs => {
+            let (remote, local) = exec.with_all(|lanes| {
+                (
+                    lanes.iter().map(|l| l.remote_loads).sum(),
+                    lanes.iter().map(|l| l.local_loads).sum(),
+                )
+            });
+            policy.absorb_lane_loads(remote, local);
+        }
+        LaneMode::GpsEpochs => {
+            let routers: Vec<Box<dyn LaneRouter>> =
+                exec.with_all(|lanes| lanes.iter_mut().filter_map(|l| l.router.take()).collect());
+            policy.absorb_lane_routers(routers);
+        }
+        _ => {}
     }
+
+    let per_gpu = exec.with_all(|lanes| lanes.iter().map(|l| l.gpu.report()).collect::<Vec<_>>());
 
     let total = phase_ends.last().copied().unwrap_or(Cycle::ZERO);
     let mut report = SimReport {
-        workload: engine.workload.name.clone(),
-        policy: engine.policy.name().to_owned(),
-        gpu_count: gc,
-        link: engine.link.label().to_owned(),
+        workload: workload.name.clone(),
+        policy: policy.name().to_owned(),
+        gpu_count: config.gpu_count,
+        link: link.label().to_owned(),
         total_cycles: total,
         phase_ends,
         phase_traffic,
         interconnect_bytes: 0,
         interconnect_transfers: 0,
-        per_gpu: lanes.iter().map(|l| l.gpu.report()).collect(),
-        policy_metrics: engine.policy.metrics(),
+        per_gpu,
+        policy_metrics: policy.metrics(),
     };
     report.absorb_traffic(fabric.counters());
     report

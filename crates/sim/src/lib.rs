@@ -49,7 +49,10 @@ pub use engine::Engine;
 pub use gps_mem::VictimPolicy;
 pub use instr::{FillProgram, WarpCtx, WarpInstr, WarpProgram, WarpStream};
 pub use pipeline::{BoundedQueue, BufferArena};
-pub use policy::{AllLocalPolicy, LaneMode, LoadRoute, MemCtx, MemoryPolicy, StoreRoute};
+pub use policy::{
+    AllLocalPolicy, LaneLoad, LaneMode, LaneRouter, LaneStore, LoadRoute, MemCtx, MemoryPolicy,
+    StoreRoute,
+};
 pub use stats::{GpuReport, SimReport, TlbCounts};
 pub use trace::{Trace, TraceCursor};
 pub use workload::{AllocSpec, KernelSpec, Phase, SharedIndex, Workload, WorkloadBuilder};

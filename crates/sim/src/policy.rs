@@ -1,5 +1,7 @@
 //! The memory-policy interface: how paradigms observe and route accesses.
 
+use std::any::Any;
+
 use gps_interconnect::Fabric;
 use gps_obs::ProbeHandle;
 use gps_types::{Cycle, GpuId, LineAddr, PageSize, Scope, Vpn};
@@ -101,12 +103,93 @@ pub enum LaneMode {
     /// conservative epochs of the fabric's minimum cross-GPU latency;
     /// writer updates merge deterministically at every epoch barrier. The
     /// result is deterministic and worker-count-invariant but reflects
-    /// bounded-staleness writer visibility, so it is pinned by its own
-    /// golden reports rather than the classic engine's.
+    /// bounded-staleness writer visibility, so this tier is pinned by its
+    /// own golden reports rather than the classic engine's.
     WriterEpochs,
+    /// The GPS conservative tier. Per-GPU routing state (remote write
+    /// queue, GPS-TLB) moves into a [`LaneRouter`] owned by each lane;
+    /// subscription state changes only at phase barriers (tracking stop)
+    /// or via buffered collapses, so every lane routes from an immutable
+    /// snapshot inside a window. Publishes (write-queue drains, atomic
+    /// broadcasts, peer stores) buffer in the router and the policy books
+    /// them on the shared fabric at the window barrier in global
+    /// `(cycle, gpu, sequence)` order via [`MemoryPolicy::lane_barrier`].
+    /// Like [`LaneMode::WriterEpochs`] this is deterministic and
+    /// worker-count-invariant but bounded-stale versus the classic engine,
+    /// so it is pinned by its own golden reports.
+    GpsEpochs,
     /// The policy's hooks need globally ordered state the lane engine
     /// cannot provide; the engine silently delegates to the classic core.
     Fallback,
+}
+
+/// How a [`LaneMode::GpsEpochs`] lane services one coalesced load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneLoad {
+    /// Local hierarchy (subscriber replica or non-GPS page).
+    Local,
+    /// The issuing GPU's own write queue holds the line (§5.1 forward).
+    Forwarded,
+    /// Demand-read from `from` at the next window barrier.
+    Remote {
+        /// The GPU whose DRAM will service the read.
+        from: GpuId,
+    },
+}
+
+/// How a [`LaneMode::GpsEpochs`] lane handles one coalesced store/atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneStore {
+    /// Local write only.
+    Local,
+    /// Peer store to a conventional page owned by another GPU: the router
+    /// has buffered the transfer for the barrier; nothing is kept locally.
+    Remote,
+    /// GPS page: local replica written, replication coalesced or buffered.
+    Replicated,
+    /// The warp stalls until `ready` (sys-scoped collapse).
+    Stall {
+        /// When the collapse fault resolves.
+        ready: Cycle,
+    },
+}
+
+/// Per-lane routing state for [`LaneMode::GpsEpochs`].
+///
+/// A router owns everything one GPU's accesses need inside a window: the
+/// GPU's write queue and GPS-TLB plus an immutable snapshot of the driver
+/// state (page table, GPS bits, serving GPUs). Cross-lane effects —
+/// broadcasts, peer stores, collapses, access-tracking records — are
+/// *buffered*, never applied: the owning policy drains and applies them at
+/// each window barrier ([`MemoryPolicy::lane_barrier`]) in deterministic
+/// order. Routers cross thread boundaries with their lane, hence `Send`.
+pub trait LaneRouter: Send + 'static {
+    /// Hands the router its lane's buffering probe (before the run).
+    fn attach_probe(&mut self, probe: ProbeHandle);
+
+    /// Routes one coalesced load of `line`.
+    fn load(&mut self, line: LineAddr) -> LaneLoad;
+
+    /// Routes one coalesced store to `line` at (translated) time `now`.
+    fn store(&mut self, line: LineAddr, scope: Scope, now: Cycle) -> LaneStore;
+
+    /// Routes one atomic to `line` at (translated) time `now`.
+    fn atomic(&mut self, line: LineAddr, now: Cycle) -> LaneStore;
+
+    /// A last-level conventional TLB miss at `now` (pre-walk), feeding the
+    /// access tracking unit at the next barrier.
+    fn tlb_miss(&mut self, vpn: Vpn, now: Cycle);
+
+    /// Queues a full write-queue flush at `now` (grid-end implicit release
+    /// or sys-scoped fence). Visibility resolves at the next barrier.
+    fn flush(&mut self, now: Cycle);
+
+    /// Downcast hook: the owning policy recovers its concrete router type
+    /// inside [`MemoryPolicy::lane_barrier`] and friends.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Owned downcast hook for [`MemoryPolicy::absorb_lane_routers`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 /// A multi-GPU memory-management paradigm.
@@ -211,6 +294,50 @@ pub trait MemoryPolicy {
     /// [`metrics`]: MemoryPolicy::metrics
     fn absorb_lane_loads(&mut self, remote: u64, local: u64) {
         let _ = (remote, local);
+    }
+
+    /// Builds one [`LaneRouter`] per GPU for [`LaneMode::GpsEpochs`],
+    /// moving the per-GPU routing state out of the policy. Called once,
+    /// after [`init`]. Returning an empty vector (the default) means the
+    /// policy cannot run this workload on the GPS tier and the engine
+    /// falls back to the classic core.
+    ///
+    /// [`init`]: MemoryPolicy::init
+    fn lane_routers(&mut self) -> Vec<Box<dyn LaneRouter>> {
+        Vec::new()
+    }
+
+    /// Window barrier for [`LaneMode::GpsEpochs`]: drains every router's
+    /// buffered cross-lane effects and applies them to `fabric` (and the
+    /// policy's driver state) in deterministic `(cycle, gpu, sequence)`
+    /// order. Returns, per GPU, the broadcast-visibility horizon after the
+    /// barrier — the lane engine resolves pending kernel-end releases and
+    /// sys-fence stalls against it.
+    fn lane_barrier(
+        &mut self,
+        routers: &mut [&mut dyn LaneRouter],
+        fabric: &mut Fabric,
+    ) -> Vec<Cycle> {
+        let _ = fabric;
+        vec![Cycle::ZERO; routers.len()]
+    }
+
+    /// Called after [`on_phase_end`] in a [`LaneMode::GpsEpochs`] run:
+    /// resynchronises the routers with driver state that the phase hook may
+    /// have changed (subscription pruning, GPS-TLB shootdowns).
+    ///
+    /// [`on_phase_end`]: MemoryPolicy::on_phase_end
+    fn lane_phase_sync(&mut self, routers: &mut [&mut dyn LaneRouter]) {
+        let _ = routers;
+    }
+
+    /// Returns the routers after a [`LaneMode::GpsEpochs`] run so the
+    /// policy can reabsorb their state (write-queue and GPS-TLB statistics)
+    /// for [`metrics`]. Called once, before [`metrics`].
+    ///
+    /// [`metrics`]: MemoryPolicy::metrics
+    fn absorb_lane_routers(&mut self, routers: Vec<Box<dyn LaneRouter>>) {
+        let _ = routers;
     }
 }
 

@@ -102,6 +102,53 @@ fn paper_16gpu_preset_runs_parallel_and_matches_classic() {
 }
 
 #[test]
+fn superpod_presets_run_parallel_and_match_classic() {
+    // The superpod scale-ups: 32 GPUs behind one NVSwitch plane and 64
+    // GPUs on a PCIe host-bridge tree. The pure tier must stay
+    // bit-identical to the classic engine at these counts, including with
+    // more workers than a desktop host has cores (the pool just queues).
+    for (cfg, gpus) in [
+        (SimConfig::superpod_32(), 32usize),
+        (SimConfig::superpod_64(), 64),
+    ] {
+        assert_eq!(cfg.gpu_count, gpus);
+        let wl = mixed_workload(gpus, 2);
+        let classic = run_with(&wl, cfg, LinkGen::NvLink3);
+        for workers in [1usize, 8, 16] {
+            let lanes = run_with(&wl, cfg.with_parallel_workers(workers), LinkGen::NvLink3);
+            assert_eq!(classic, lanes, "gpus={gpus} workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn epoch_window_size_never_leaks_into_pure_tier_results() {
+    // The two superpod fabrics give the lane engine different conservative
+    // window sizes (NVSwitch adds a hop to the minimum cross-GPU latency,
+    // the PCIe tree does not). Under the all-local policy nothing crosses
+    // the fabric, so the window size is pure scheduling: the report must be
+    // identical across both fabrics and equal to the classic engine's.
+    let wl = mixed_workload(32, 2);
+    let mut nvswitch_cfg = SimConfig::superpod_32().with_parallel_workers(8);
+    nvswitch_cfg.topology = Topology::NvSwitch;
+    let mut tree_cfg = nvswitch_cfg;
+    tree_cfg.topology = Topology::PcieTree;
+    let nvswitch = run_with(&wl, nvswitch_cfg, LinkGen::NvLink3);
+    let tree = run_with(&wl, tree_cfg, LinkGen::NvLink3);
+    assert_eq!(
+        nvswitch.interconnect_bytes, 0,
+        "all-local: fabric untouched"
+    );
+    assert_eq!(
+        nvswitch, tree,
+        "window size is scheduling only; it must not perturb the result"
+    );
+    let mut classic = nvswitch_cfg;
+    classic.parallel_workers = 0;
+    assert_eq!(nvswitch, run_with(&wl, classic, LinkGen::NvLink3));
+}
+
+#[test]
 fn idle_lane_does_not_stall_the_window_loop() {
     // GPU 1 has no launches in either phase: the window loop must ignore
     // its empty heap and finish, and the report must match classic.

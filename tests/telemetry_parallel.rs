@@ -5,7 +5,7 @@
 //! order, so the exported artifacts — the Chrome trace JSON and the
 //! per-phase counter breakdown — must be *byte-identical* to a sequential
 //! run for PureLocal-tier paradigms, and invariant to the worker count for
-//! the writer-epoch (RDL) tier.
+//! the epoch tiers (RDL's writer epochs, GPS's conservative epochs).
 
 use gps::interconnect::LinkGen;
 use gps::obs::{chrome_trace, phase_breakdown, ProbeHandle, Telemetry};
@@ -31,7 +31,10 @@ fn artifacts(t: &Telemetry) -> (String, String) {
 
 #[test]
 fn pure_tier_telemetry_is_byte_identical_to_sequential() {
-    for paradigm in [Paradigm::Gps, Paradigm::InfiniteBw] {
+    // GPS left this set when it moved to the conservative GpsEpochs tier
+    // (its telemetry pin is worker invariance, below); GpsOversub stays
+    // because memory pressure keeps it on the classic (Fallback) core.
+    for paradigm in [Paradigm::GpsOversub, Paradigm::InfiniteBw] {
         let sequential = artifacts(&capture("jacobi", paradigm, 0));
         let parallel = artifacts(&capture("jacobi", paradigm, 2));
         assert_eq!(
@@ -50,6 +53,16 @@ fn pure_tier_telemetry_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn gps_lane_telemetry_is_worker_invariant() {
+    let one = artifacts(&capture("jacobi", Paradigm::Gps, 1));
+    for workers in [2usize, 4] {
+        let n = artifacts(&capture("jacobi", Paradigm::Gps, workers));
+        assert_eq!(one.0, n.0, "chrome trace diverged at {workers} workers");
+        assert_eq!(one.1, n.1, "phase breakdown diverged at {workers} workers");
+    }
+}
+
+#[test]
 fn rdl_lane_telemetry_is_worker_invariant() {
     let one = artifacts(&capture("pagerank", Paradigm::Rdl, 1));
     for workers in [2usize, 4] {
@@ -63,23 +76,20 @@ fn rdl_lane_telemetry_is_worker_invariant() {
 fn disabled_probe_parallel_run_still_matches_sequential_report() {
     // Telemetry off is the common case; buffering must be skipped without
     // perturbing results (the `buffered` guard in the lane engine).
+    // InfiniteBw pins classic-vs-lane identity; GPS (whose conservative
+    // tier deviates from the classic loop by design) pins 1-vs-2 workers.
     let app = suite::by_name("jacobi").unwrap();
     let wl = (app.build)(GPUS, ScaleProfile::Tiny);
-    let seq = run_paradigm_configured(
-        Paradigm::Gps,
-        &wl,
-        SimConfig::gv100_system(GPUS),
-        LinkGen::Pcie3,
-        ProbeHandle::disabled(),
-    )
-    .unwrap();
-    let par = run_paradigm_configured(
-        Paradigm::Gps,
-        &wl,
-        SimConfig::gv100_system(GPUS).with_parallel_workers(2),
-        LinkGen::Pcie3,
-        ProbeHandle::disabled(),
-    )
-    .unwrap();
-    assert_eq!(seq, par);
+    let run = |paradigm, workers| {
+        run_paradigm_configured(
+            paradigm,
+            &wl,
+            SimConfig::gv100_system(GPUS).with_parallel_workers(workers),
+            LinkGen::Pcie3,
+            ProbeHandle::disabled(),
+        )
+        .unwrap()
+    };
+    assert_eq!(run(Paradigm::InfiniteBw, 0), run(Paradigm::InfiniteBw, 2));
+    assert_eq!(run(Paradigm::Gps, 1), run(Paradigm::Gps, 2));
 }
