@@ -124,12 +124,14 @@ GC FLAGS:
     --store <path>        store to compact (latest record per key, sorted)
 
 LINT FLAGS:
-    runs gps-lint (see crates/lint): determinism, panic-hygiene and
-    probe-coverage rules over every .rs file, scoped by lint.toml;
-    exits non-zero on any unwaivered finding
+    runs gps-lint (see crates/lint): determinism, panic-hygiene,
+    probe-coverage and call-graph reachability rules over every .rs
+    file, scoped by lint.toml; exit 1 on unwaivered findings, exit 2 on
+    I/O or configuration errors
     --root <dir>          workspace root to scan, default .
     --config <path>       lint configuration, default <root>/lint.toml
     --json                machine-readable output (the CI gate)
+    --stats               per-pass wall time and finding counts (text only)
 ";
 
 struct ParsedArgs {
@@ -804,12 +806,14 @@ fn cmd_gc(args: &[String]) -> Result<(), String> {
 }
 
 /// `gps-run lint`: the source analyzer, wired into the main CLI so a
-/// checkout needs only one binary. Returns the number of findings (the
-/// caller maps any non-zero count to a failing exit code).
+/// checkout needs only one binary. Returns the number of findings; the
+/// caller maps a non-zero count to exit 1 and an `Err` (I/O, config) to
+/// exit 2, so CI can tell a dirty tree from a broken setup.
 fn cmd_lint(args: &[String]) -> Result<usize, String> {
     let mut root = PathBuf::from(".");
     let mut config: Option<PathBuf> = None;
     let mut json = false;
+    let mut stats = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -818,6 +822,7 @@ fn cmd_lint(args: &[String]) -> Result<usize, String> {
                 config = Some(PathBuf::from(it.next().ok_or("--config requires a value")?));
             }
             "--json" => json = true,
+            "--stats" => stats = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -825,8 +830,16 @@ fn cmd_lint(args: &[String]) -> Result<usize, String> {
     let report = gps_lint::lint_with_config_file(&root, &config)?;
     if json {
         println!("{}", report.to_json());
+        if stats {
+            // Keep stdout pure JSON for the CI gate; timings are wall
+            // time and never machine-parsed.
+            eprint!("{}", report.stats_text());
+        }
     } else {
         print!("{}", report.to_text());
+        if stats {
+            print!("{}", report.stats_text());
+        }
     }
     Ok(report.findings.len())
 }
@@ -848,13 +861,22 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(rest),
         "bench" => cmd_bench(rest),
         "gc" => cmd_gc(rest),
-        "lint" => cmd_lint(rest).and_then(|findings| {
-            if findings == 0 {
-                Ok(())
-            } else {
-                Err(format!("{findings} unwaivered finding(s)"))
-            }
-        }),
+        // Distinct exit codes: 1 = unwaivered findings (dirty tree), 2 =
+        // I/O or configuration error (broken setup) — the generic Err
+        // path below exits 1, which would conflate the two.
+        "lint" => {
+            return match cmd_lint(rest) {
+                Ok(0) => ExitCode::SUCCESS,
+                Ok(findings) => {
+                    eprintln!("gps-run: {findings} unwaivered finding(s)");
+                    ExitCode::from(1)
+                }
+                Err(e) => {
+                    eprintln!("gps-run: {e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -1,0 +1,130 @@
+//! Exit-code contract for `gps-run lint`: 0 = clean tree, 1 = unwaivered
+//! findings, 2 = I/O or configuration error. CI keys off these codes, so
+//! each class gets its own test against a throwaway workspace.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gps_run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gps-run"))
+        .args(args)
+        .output()
+        .expect("gps-run spawns")
+}
+
+/// A throwaway workspace: one crate file with `content`, plus a
+/// `lint.toml` scoping `no_unwrap` to that crate.
+struct MiniWorkspace {
+    root: PathBuf,
+}
+
+impl MiniWorkspace {
+    fn build(tag: &str, content: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("gps-lint-cli-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src = root.join("crates/sim/src");
+        std::fs::create_dir_all(&src).expect("create mini workspace");
+        std::fs::write(src.join("lib.rs"), content).expect("write source");
+        std::fs::write(
+            root.join("lint.toml"),
+            "[lint]\n[rule.no_unwrap]\ncrates = [\"sim\"]\n",
+        )
+        .expect("write config");
+        MiniWorkspace { root }
+    }
+
+    fn root_str(&self) -> &str {
+        self.root.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for MiniWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let ws = MiniWorkspace::build("clean", "pub fn ok() -> u32 { 7 }\n");
+    let out = gps_run(&["lint", "--root", ws.root_str()]);
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+}
+
+#[test]
+fn findings_exit_one_with_a_count_on_stderr() {
+    let ws = MiniWorkspace::build(
+        "dirty",
+        "pub fn risky(xs: &[u32]) -> u32 { *xs.first().unwrap() }\n",
+    );
+    let out = gps_run(&["lint", "--root", ws.root_str()]);
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1, not 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 unwaivered finding(s)"),
+        "stderr should carry the finding count; got: {stderr}"
+    );
+}
+
+#[test]
+fn missing_config_exits_two() {
+    let ws = MiniWorkspace::build("noconf", "pub fn ok() -> u32 { 7 }\n");
+    let out = gps_run(&[
+        "lint",
+        "--root",
+        ws.root_str(),
+        "--config",
+        "/nonexistent/lint.toml",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "config errors must exit 2, not 1"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("read config"),
+        "stderr should name the config failure; got: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = gps_run(&["lint", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "got: {stderr}");
+}
+
+#[test]
+fn stats_table_goes_to_stdout_in_text_mode() {
+    let ws = MiniWorkspace::build("stats", "pub fn ok() -> u32 { 7 }\n");
+    let out = gps_run(&["lint", "--root", ws.root_str(), "--stats"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for pass in ["walk_and_lex", "symbols", "callgraph", "total"] {
+        assert!(
+            stdout.contains(pass),
+            "stats table missing {pass}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn json_stdout_stays_pure_with_stats() {
+    let ws = MiniWorkspace::build("jsonstats", "pub fn ok() -> u32 { 7 }\n");
+    let out = gps_run(&["lint", "--root", ws.root_str(), "--json", "--stats"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One JSON object, no timing rows: machine consumers parse stdout.
+    assert!(stdout.trim_start().starts_with('{'), "got: {stdout}");
+    assert!(
+        !stdout.contains("walk_and_lex"),
+        "stats leaked into JSON stdout: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("walk_and_lex"),
+        "stats table should land on stderr under --json; got: {stderr}"
+    );
+}

@@ -1,7 +1,7 @@
 //! `gps-lint` — standalone entry point for the workspace analyzer.
 //!
 //! ```text
-//! gps-lint [--root <dir>] [--config <lint.toml>] [--json]
+//! gps-lint [--root <dir>] [--config <lint.toml>] [--json] [--stats]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
@@ -13,12 +13,14 @@ const USAGE: &str = "\
 gps-lint — determinism & panic-hygiene analyzer for the GPS workspace
 
 USAGE:
-    gps-lint [--root <dir>] [--config <path>] [--json]
+    gps-lint [--root <dir>] [--config <path>] [--json] [--stats]
 
 FLAGS:
     --root <dir>      workspace root to scan, default .
     --config <path>   lint configuration, default <root>/lint.toml
     --json            emit machine-readable JSON instead of text
+    --stats           per-pass wall time and finding counts (text only;
+                      with --json the table goes to stderr)
 ";
 
 fn main() -> ExitCode {
@@ -36,6 +38,7 @@ fn gps_lint_cli(args: &[String]) -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut config: Option<PathBuf> = None;
     let mut json = false;
+    let mut stats = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,6 +47,7 @@ fn gps_lint_cli(args: &[String]) -> Result<ExitCode, String> {
                 config = Some(PathBuf::from(it.next().ok_or("--config requires a value")?));
             }
             "--json" => json = true,
+            "--stats" => stats = true,
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -55,8 +59,15 @@ fn gps_lint_cli(args: &[String]) -> Result<ExitCode, String> {
     let report = gps_lint::lint_with_config_file(&root, &config)?;
     if json {
         println!("{}", report.to_json());
+        if stats {
+            // stdout stays pure JSON for machine consumers.
+            eprint!("{}", report.stats_text());
+        }
     } else {
         print!("{}", report.to_text());
+        if stats {
+            print!("{}", report.stats_text());
+        }
     }
     Ok(if report.clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,346 @@
+//! A conservative, name-based call graph over the symbol table.
+//!
+//! Edges are derived purely from token shapes — no types, no trait
+//! resolution — with a bias that makes the *reachability rules* sound in
+//! the direction that matters for this workspace:
+//!
+//! * `Type::name(..)` resolves to functions whose impl owner (or trait)
+//!   is `Type`; `Self::name` uses the caller's owner; a qualifier naming
+//!   no known type falls back to free functions called `name`
+//!   (module-qualified calls like `lexer::lex(..)`).
+//! * `.name(..)` method calls edge to *every* workspace method called
+//!   `name` — over-approximate, because the receiver's type is unknown —
+//!   unless more than [`METHOD_AMBIGUITY_CAP`] definitions share the
+//!   name, in which case the edges are dropped. Ubiquitous names
+//!   (`new`, `push`, `len`) would otherwise connect everything to
+//!   everything and drown the rules in false positives. This cap is the
+//!   documented false-negative policy (DESIGN §14): a hazard reached
+//!   *only* through a method name with 7+ workspace definitions escapes.
+//! * `name(..)` plain calls edge to free functions called `name`.
+//!
+//! Standard-library names simply resolve to nothing, so the graph stays
+//! workspace-sized.
+
+use crate::lexer::{Tok, Token};
+use crate::rules::SourceFile;
+use crate::symbols::SymbolTable;
+
+/// Method-call edges are dropped when a simple name has more workspace
+/// definitions than this (see module docs).
+pub const METHOD_AMBIGUITY_CAP: usize = 6;
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee fn indices (into `SymbolTable::fns`) this site may reach.
+    pub callees: Vec<usize>,
+    /// Line of the callee name token.
+    pub line: u32,
+    /// Callee name as written (`route_store`, `Fabric::transfer`).
+    pub display: String,
+}
+
+/// The workspace call graph, indexed like `SymbolTable::fns`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per-function call sites, in token order.
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Extracts call sites from every function body.
+    pub fn build(files: &[SourceFile], table: &SymbolTable) -> CallGraph {
+        let mut calls = Vec::with_capacity(table.fns.len());
+        for (fi, f) in table.fns.iter().enumerate() {
+            let mut sites = Vec::new();
+            if let (Some((start, end)), Some(file)) = (f.body, files.get(f.file)) {
+                extract_calls(&file.lexed.tokens, start, end, table, fi, &mut sites);
+            }
+            calls.push(sites);
+        }
+        CallGraph { calls }
+    }
+
+    /// Breadth-first reachability from `roots`. Returns, per function,
+    /// `None` (unreached) or `Some(caller)` — the function it was first
+    /// reached from (roots point at themselves).
+    pub fn reach(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut from: Vec<Option<usize>> = vec![None; self.calls.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if from.get(r).is_some_and(Option::is_none) {
+                // gps-lint: allow(no_slice_index) -- guarded by the get() above
+                from[r] = Some(r);
+                queue.push(r);
+            }
+        }
+        let mut head = 0usize;
+        while let Some(&f) = queue.get(head) {
+            head += 1;
+            for site in self.calls.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                for &callee in &site.callees {
+                    if from.get(callee).is_some_and(Option::is_none) {
+                        // gps-lint: allow(no_slice_index) -- guarded by the get() above
+                        from[callee] = Some(f);
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        from
+    }
+
+    /// Renders the discovery chain `root → … → fn_idx` for findings, so a
+    /// report-reader can see *why* a function counts as reachable.
+    pub fn chain(table: &SymbolTable, from: &[Option<usize>], fn_idx: usize) -> String {
+        let mut names = Vec::new();
+        let mut cur = fn_idx;
+        // Bounded walk: `from` parents always point at earlier BFS
+        // discoveries, but cap anyway so a bug cannot loop forever.
+        for _ in 0..64 {
+            let Some(f) = table.fns.get(cur) else { break };
+            names.push(match &f.owner {
+                Some(o) => format!("{o}::{}", f.name),
+                None => f.name.clone(),
+            });
+            match from.get(cur).copied().flatten() {
+                Some(parent) if parent != cur => cur = parent,
+                _ => break,
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// Scans the token range `(start, end)` (exclusive of the braces) of one
+/// fn body for call shapes.
+fn extract_calls(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    table: &SymbolTable,
+    caller: usize,
+    out: &mut Vec<CallSite>,
+) {
+    let mut i = start + 1;
+    while i < end {
+        let Some(t) = toks.get(i) else { break };
+        let Tok::Ident(name) = &t.tok else {
+            i += 1;
+            continue;
+        };
+        if punct(toks, i + 1) != Some('(') {
+            i += 1;
+            continue;
+        }
+        // Qualifier: `Type :: name (` → the ident two puncts back.
+        let qualifier = if punct(toks, i.wrapping_sub(1)) == Some(':')
+            && punct(toks, i.wrapping_sub(2)) == Some(':')
+        {
+            match toks.get(i.wrapping_sub(3)).map(|t| &t.tok) {
+                Some(Tok::Ident(q)) => Some(q.clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let is_method = punct(toks, i.wrapping_sub(1)) == Some('.');
+        let callees = resolve(table, caller, name, qualifier.as_deref(), is_method);
+        if !callees.is_empty() {
+            out.push(CallSite {
+                callees,
+                line: t.line,
+                display: match &qualifier {
+                    Some(q) => format!("{q}::{name}"),
+                    None => name.clone(),
+                },
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Maps one call shape to candidate fn indices (empty = external).
+fn resolve(
+    table: &SymbolTable,
+    caller: usize,
+    name: &str,
+    qualifier: Option<&str>,
+    is_method: bool,
+) -> Vec<usize> {
+    let Some(candidates) = table.by_name.get(name) else {
+        return Vec::new();
+    };
+    match qualifier {
+        Some(q) => {
+            let owner: Option<&str> = if q == "Self" {
+                table.fns.get(caller).and_then(|f| f.owner.as_deref())
+            } else {
+                Some(q)
+            };
+            let matched: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    table.fns.get(c).is_some_and(|f| {
+                        f.owner.as_deref() == owner || f.trait_name.as_deref() == owner
+                    })
+                })
+                .collect();
+            if !matched.is_empty() {
+                return matched;
+            }
+            // `module::free_fn(..)`: the qualifier names no impl type —
+            // fall back to free functions with that name.
+            candidates
+                .iter()
+                .copied()
+                .filter(|&c| table.fns.get(c).is_some_and(|f| f.owner.is_none()))
+                .collect()
+        }
+        None if is_method => {
+            let methods: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| table.fns.get(c).is_some_and(|f| f.owner.is_some()))
+                .collect();
+            if methods.len() > METHOD_AMBIGUITY_CAP {
+                Vec::new()
+            } else {
+                methods
+            }
+        }
+        None => candidates
+            .iter()
+            .copied()
+            .filter(|&c| table.fns.get(c).is_some_and(|f| f.owner.is_none()))
+            .collect(),
+    }
+}
+
+fn punct(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::rules::SourceFile;
+    use crate::symbols::SymbolTable;
+
+    fn setup(src: &str) -> (Vec<SourceFile>, SymbolTable, CallGraph) {
+        let mut lexed = lexer::lex(src);
+        lexer::mark_test_regions(&mut lexed.tokens);
+        let files = vec![SourceFile {
+            rel_path: "crates/sim/src/x.rs".to_owned(),
+            crate_name: "sim".to_owned(),
+            exempt: false,
+            lexed,
+            waivers: Vec::new(),
+        }];
+        let table = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &table);
+        (files, table, graph)
+    }
+
+    fn idx(table: &SymbolTable, name: &str) -> usize {
+        table
+            .by_name
+            .get(name)
+            .and_then(|v| v.first())
+            .copied()
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn plain_qualified_and_method_calls_resolve() {
+        let (_, table, graph) = setup(
+            "fn root() { helper(); Widget::build(); w.spin(); }\n\
+             fn helper() {}\n\
+             struct Widget;\n\
+             impl Widget { fn build() {} fn spin(&self) {} }\n\
+             struct Other;\n\
+             impl Other { fn spin(&self) {} }\n",
+        );
+        let from = graph.reach(&[idx(&table, "root")]);
+        for name in ["helper", "build"] {
+            assert!(
+                from.get(idx(&table, name)).copied().flatten().is_some(),
+                "{name}"
+            );
+        }
+        // `.spin()` is ambiguous over two impls: both are reached.
+        let spins = table.by_name.get("spin").expect("spin");
+        assert!(spins
+            .iter()
+            .all(|&s| from.get(s).copied().flatten().is_some()));
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_callers_impl() {
+        let (_, table, graph) = setup(
+            "struct A; struct B;\n\
+             impl A { fn go(&self) { Self::inner(); } fn inner() {} }\n\
+             impl B { fn inner() {} }\n",
+        );
+        let from = graph.reach(&[idx(&table, "go")]);
+        let inners = table.by_name.get("inner").expect("inner");
+        let reached: Vec<bool> = inners
+            .iter()
+            .map(|&i| from.get(i).copied().flatten().is_some())
+            .collect();
+        // Only A::inner, not B::inner.
+        assert_eq!(reached, vec![true, false]);
+    }
+
+    #[test]
+    fn module_qualified_free_fn_falls_back() {
+        let (_, table, graph) = setup("fn root() { lexer::tokenize(1); }\nfn tokenize(x: u8) {}\n");
+        let from = graph.reach(&[idx(&table, "root")]);
+        assert!(from
+            .get(idx(&table, "tokenize"))
+            .copied()
+            .flatten()
+            .is_some());
+    }
+
+    #[test]
+    fn ambiguous_method_names_drop_edges() {
+        let src = (0..8)
+            .map(|n| format!("struct T{n}; impl T{n} {{ fn poke(&self) {{ hazard(); }} }}\n"))
+            .collect::<String>()
+            + "fn hazard() {}\nfn root(x: T0) { x.poke(); }\n";
+        let (_, table, graph) = setup(&src);
+        let from = graph.reach(&[idx(&table, "root")]);
+        // 8 definitions of `poke` > cap: no edge, hazard unreached.
+        assert!(from.get(idx(&table, "hazard")).copied().flatten().is_none());
+    }
+
+    #[test]
+    fn chains_render_the_discovery_path() {
+        let (_, table, graph) = setup("fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n");
+        let from = graph.reach(&[idx(&table, "root")]);
+        assert_eq!(
+            CallGraph::chain(&table, &from, idx(&table, "leaf")),
+            "root -> mid -> leaf"
+        );
+    }
+
+    #[test]
+    fn trait_qualified_calls_reach_impls() {
+        let (_, table, graph) = setup(
+            "trait Router { fn route(&self); }\n\
+             struct R;\n\
+             impl Router for R { fn route(&self) { leaf(); } }\n\
+             fn leaf() {}\n\
+             fn root(r: R) { Router::route(r); }\n",
+        );
+        let from = graph.reach(&[idx(&table, "root")]);
+        assert!(from.get(idx(&table, "leaf")).copied().flatten().is_some());
+    }
+}

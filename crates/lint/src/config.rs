@@ -7,9 +7,14 @@
 //! parser does not understand is an error, not a silent default — a typo
 //! in a rule id must not quietly disable a gate.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::rules::RULE_IDS;
+
+/// Rules that understand `cross_crate = true` (reachability upgrades are
+/// implemented per rule, so accepting the key anywhere else would be a
+/// silently dead setting).
+const CROSS_CRATE_RULES: &[&str] = &["no_hash_collections", "no_wall_clock"];
 
 /// Parsed configuration.
 #[derive(Debug, Clone, Default)]
@@ -24,6 +29,10 @@ pub struct Config {
     /// root package's `src/` is the crate `"gps"`). A rule with no entry
     /// is off.
     pub rule_crates: BTreeMap<String, Vec<String>>,
+    /// Rules with the cross-crate reachability upgrade enabled
+    /// (`cross_crate = true`): hazards outside the rule's crate scope are
+    /// still reported when reachable from inside it.
+    pub cross_crate: BTreeSet<String>,
 }
 
 impl Config {
@@ -94,6 +103,19 @@ impl Config {
                     cfg.rule_crates
                         .insert(id.clone(), parse_string_array(value, lineno)?);
                 }
+                (Section::Rule(id), "cross_crate") => {
+                    if !CROSS_CRATE_RULES.contains(&id.as_str()) {
+                        return Err(format!(
+                            "{lineno}: cross_crate is not supported for rule {id:?} \
+                             (only {CROSS_CRATE_RULES:?})"
+                        ));
+                    }
+                    if parse_bool(value, lineno)? {
+                        cfg.cross_crate.insert(id.clone());
+                    } else {
+                        cfg.cross_crate.remove(id);
+                    }
+                }
                 (Section::Rule(_), other) => {
                     return Err(format!("{lineno}: unknown rule key {other:?}"));
                 }
@@ -118,6 +140,14 @@ fn strip_comment(line: &str) -> &str {
         }
     }
     line
+}
+
+fn parse_bool(value: &str, lineno: usize) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("{lineno}: expected true or false, got {other}")),
+    }
 }
 
 fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
@@ -177,6 +207,22 @@ mod tests {
         assert!(Config::parse("[rule.no_unwrap]\nfiles = []\n").is_err());
         assert!(Config::parse("orphan = 1\n").is_err());
         assert!(Config::parse("[weird]\n").is_err());
+    }
+
+    #[test]
+    fn cross_crate_key_is_parsed_and_restricted() {
+        let cfg = Config::parse(
+            "[rule.no_hash_collections]\ncrates = [\"sim\"]\ncross_crate = true\n\
+             [rule.no_wall_clock]\ncrates = [\"sim\"]\ncross_crate = false\n",
+        )
+        .expect("parses");
+        assert!(cfg.cross_crate.contains("no_hash_collections"));
+        assert!(!cfg.cross_crate.contains("no_wall_clock"));
+        assert!(
+            Config::parse("[rule.no_unwrap]\ncross_crate = true\n").is_err(),
+            "unsupported rule"
+        );
+        assert!(Config::parse("[rule.no_wall_clock]\ncross_crate = yes\n").is_err());
     }
 
     #[test]

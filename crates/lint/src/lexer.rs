@@ -152,6 +152,23 @@ pub fn lex(source: &str) -> Lexed {
             i += consumed;
             continue;
         }
+        // Raw identifier `r#name`: one Ident token keeping the `r#`
+        // prefix, so keyword-driven rules never mistake `r#unsafe` for
+        // the `unsafe` keyword, while `fn r#match` definitions and
+        // `r#match(..)` call sites still lex to the same name.
+        if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars.get(i + 2).copied().is_some_and(is_ident_start)
+        {
+            let start = i;
+            i += 2;
+            while chars.get(i).copied().is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            // gps-lint: allow(no_slice_index) -- i only advances while chars.get(i) is Some
+            push_tok!(Tok::Ident(chars[start..i].iter().collect()), line);
+            continue;
+        }
         if is_ident_start(c) {
             let start = i;
             while chars.get(i).copied().is_some_and(is_ident_continue) {
@@ -276,7 +293,14 @@ fn lex_plain_string(chars: &[char], i: usize) -> (String, usize, u32) {
     loop {
         match chars.get(j) {
             None | Some('"') => break,
-            Some('\\') => j += 2,
+            Some('\\') => {
+                // A backslash-newline continuation still ends a source
+                // line; missing it would shift every later line number.
+                if chars.get(j + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
             Some('\n') => {
                 newlines += 1;
                 j += 1;

@@ -21,18 +21,24 @@
 //! the `gps-lint` binary, via `gps-run lint`, or in-process from tests
 //! with [`lint_workspace`].
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod wsrules;
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 pub use config::Config;
-pub use report::LintReport;
+pub use report::{LintReport, PassStat};
 pub use rules::{Finding, RULE_IDS};
 
+use callgraph::CallGraph;
 use rules::SourceFile;
+use symbols::SymbolTable;
 
 /// Directory names never scanned regardless of configuration.
 const ALWAYS_SKIPPED_DIRS: &[&str] = &["target", "results"];
@@ -48,62 +54,126 @@ const EXEMPT_COMPONENTS: &[&str] = &["tests", "benches", "examples", "fixtures"]
 /// Returns a description of I/O or configuration problems. Findings are
 /// not errors — they come back inside the report.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<LintReport, String> {
-    let mut paths = Vec::new();
-    walk(root, root, &cfg.exclude, &mut paths)?;
-    paths.sort();
-
+    let mut stats: Vec<PassStat> = Vec::new();
     let mut findings: Vec<Finding> = Vec::new();
-    let mut files: Vec<SourceFile> = Vec::new();
-    for rel in &paths {
-        let text =
-            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
-        let mut lexed = lexer::lex(&text);
-        lexer::mark_test_regions(&mut lexed.tokens);
-        let exempt = rel.split('/').any(|part| EXEMPT_COMPONENTS.contains(&part));
-        let waivers = if exempt {
-            Vec::new()
-        } else {
-            rules::collect_waivers(rel, &lexed, &mut findings)
-        };
-        files.push(SourceFile {
-            rel_path: rel.clone(),
-            crate_name: crate_of(rel),
-            exempt,
-            lexed,
-            waivers,
-        });
+    let mut waived = 0usize;
+
+    // Tracks one pass: runs the body, records wall time and the
+    // finding/waiver deltas it produced under `name`, and yields the
+    // body's value.
+    macro_rules! pass {
+        ($name:expr, $body:expr) => {{
+            let t0 = Instant::now();
+            let f0 = findings.len();
+            let w0 = waived;
+            let out = $body;
+            stats.push(PassStat {
+                pass: $name.to_owned(),
+                micros: t0.elapsed().as_micros(),
+                findings: findings.len() - f0,
+                waived: waived - w0,
+            });
+            out
+        }};
     }
 
-    let mut waived = 0usize;
-    for file in &mut files {
-        waived += rules::run_file_rules(file, cfg, &mut findings);
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut walk_err: Option<String> = None;
+    pass!("walk_and_lex", {
+        let mut paths = Vec::new();
+        match walk(root, root, &cfg.exclude, &mut paths) {
+            Ok(()) => {
+                paths.sort();
+                for rel in &paths {
+                    let text = match std::fs::read_to_string(root.join(rel)) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            walk_err = Some(format!("read {rel}: {e}"));
+                            break;
+                        }
+                    };
+                    let mut lexed = lexer::lex(&text);
+                    lexer::mark_test_regions(&mut lexed.tokens);
+                    let exempt = rel.split('/').any(|part| EXEMPT_COMPONENTS.contains(&part));
+                    let waivers = if exempt {
+                        Vec::new()
+                    } else {
+                        rules::collect_waivers(rel, &lexed, &mut findings)
+                    };
+                    files.push(SourceFile {
+                        rel_path: rel.clone(),
+                        crate_name: crate_of(rel),
+                        exempt,
+                        lexed,
+                        waivers,
+                    });
+                }
+            }
+            Err(e) => walk_err = Some(e),
+        }
+    });
+    if let Some(e) = walk_err {
+        return Err(e);
     }
+
+    pass!("file_rules", {
+        for file in &mut files {
+            waived += rules::run_file_rules(file, cfg, &mut findings);
+        }
+    });
+
+    pass!("relaxed_atomic_ordering", {
+        waived += wsrules::run_relaxed_atomic(&mut files, cfg, &mut findings);
+    });
+
+    // Phase 1 of the workspace analysis: symbols and the call graph.
+    // These run *before* the probe pass, which reorders `files` — the
+    // symbol table carries file indices.
+    let table = pass!("symbols", SymbolTable::build(&files));
+    let graph = pass!("callgraph", CallGraph::build(&files, &table));
+
+    // Phase 2: reachability rules over the graph.
+    pass!("shared_mut_in_worker", {
+        waived += wsrules::run_shared_mut_in_worker(&mut files, &table, &graph, cfg, &mut findings);
+    });
+    pass!("lane_tier_purity", {
+        waived += wsrules::run_lane_tier_purity(&mut files, &table, &graph, cfg, &mut findings);
+    });
+    pass!("cross_crate_reachability", {
+        waived += wsrules::run_cross_crate(&mut files, &table, &graph, cfg, &mut findings);
+    });
 
     // Probe coverage: registry on one side, every probe site on the other.
-    if let Some(reg_path) = &cfg.probe_registry {
-        let mut sites = Vec::new();
-        for file in &files {
-            if !file.exempt {
-                rules::collect_probe_sites(file, &mut sites);
+    let mut probe_err: Option<String> = None;
+    pass!("probe_coverage", {
+        if let Some(reg_path) = &cfg.probe_registry {
+            let mut sites = Vec::new();
+            for file in &files {
+                if !file.exempt {
+                    rules::collect_probe_sites(file, &mut sites);
+                }
+            }
+            if let Some(reg_idx) = files.iter().position(|f| &f.rel_path == reg_path) {
+                let mut registry_file = files.swap_remove(reg_idx);
+                let registry = rules::parse_registry(&registry_file.lexed);
+                waived += rules::run_probe_rules(
+                    &registry,
+                    &mut registry_file,
+                    &sites,
+                    &mut files,
+                    cfg,
+                    &mut findings,
+                );
+                files.push(registry_file);
+            } else if cfg.enabled("probe_dead_name") || cfg.enabled("probe_unregistered_name") {
+                probe_err = Some(format!(
+                    "probe_registry {reg_path:?} was not found among the scanned files"
+                ));
             }
         }
-        if let Some(reg_idx) = files.iter().position(|f| &f.rel_path == reg_path) {
-            let mut registry_file = files.swap_remove(reg_idx);
-            let registry = rules::parse_registry(&registry_file.lexed);
-            waived += rules::run_probe_rules(
-                &registry,
-                &mut registry_file,
-                &sites,
-                &mut files,
-                cfg,
-                &mut findings,
-            );
-            files.push(registry_file);
-        } else if cfg.enabled("probe_dead_name") || cfg.enabled("probe_unregistered_name") {
-            return Err(format!(
-                "probe_registry {reg_path:?} was not found among the scanned files"
-            ));
-        }
+    });
+    if let Some(e) = probe_err {
+        return Err(e);
     }
 
     rules::report_unused_waivers(&files, &mut findings);
@@ -112,6 +182,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<LintReport, String> {
         findings,
         files_scanned: files.len(),
         waived,
+        stats,
     })
 }
 

@@ -2,6 +2,21 @@
 
 use crate::rules::Finding;
 
+/// Timing and outcome of one analyzer pass, for `--stats`. Durations are
+/// wall time and therefore *never* part of the JSON document — the CI
+/// gate diffs that output, so it must be bit-stable across runs.
+#[derive(Debug, Clone)]
+pub struct PassStat {
+    /// Pass name (`lex`, `symbols`, or a rule id).
+    pub pass: String,
+    /// Wall time in microseconds.
+    pub micros: u128,
+    /// Unwaivered findings the pass produced.
+    pub findings: usize,
+    /// Findings the pass saw suppressed by waivers.
+    pub waived: usize,
+}
+
 /// The outcome of one workspace lint.
 #[derive(Debug)]
 pub struct LintReport {
@@ -11,6 +26,8 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Findings suppressed by (now-used) waivers.
     pub waived: usize,
+    /// Per-pass timing and counts, in execution order.
+    pub stats: Vec<PassStat>,
 }
 
 impl LintReport {
@@ -33,6 +50,27 @@ impl LintReport {
             self.findings.len(),
             self.waived,
             self.files_scanned
+        ));
+        out
+    }
+
+    /// The `--stats` table: one row per pass with wall time and finding
+    /// counts. Text-only by design (see [`PassStat`]).
+    pub fn stats_text(&self) -> String {
+        let mut out = String::from("pass                         time_us  findings  waived\n");
+        let (mut total_us, mut total_f, mut total_w) = (0u128, 0usize, 0usize);
+        for s in &self.stats {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>9} {:>7}\n",
+                s.pass, s.micros, s.findings, s.waived
+            ));
+            total_us += s.micros;
+            total_f += s.findings;
+            total_w += s.waived;
+        }
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>9} {:>7}\n",
+            "total", total_us, total_f, total_w
         ));
         out
     }
@@ -94,8 +132,22 @@ mod tests {
             }],
             files_scanned: 2,
             waived: 1,
+            stats: vec![PassStat {
+                pass: "file_rules".to_owned(),
+                micros: 1234,
+                findings: 1,
+                waived: 1,
+            }],
         };
         let json = report.to_json();
+        assert!(
+            !json.contains("1234") && !json.contains("stats"),
+            "timings must stay out of the stable JSON: {json}"
+        );
+        let stats = report.stats_text();
+        assert!(stats.contains("file_rules"));
+        assert!(stats.starts_with("pass"));
+        assert!(stats.contains("total"));
         assert!(json.starts_with("{\"version\":1,"));
         assert!(json.contains("\"files_scanned\":2"));
         assert!(json.contains("\"a \\\"b\\\".rs\""));
@@ -110,6 +162,7 @@ mod tests {
             findings: Vec::new(),
             files_scanned: 0,
             waived: 0,
+            stats: Vec::new(),
         };
         assert!(report.clean());
         assert_eq!(

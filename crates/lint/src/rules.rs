@@ -38,6 +38,9 @@ pub const RULE_IDS: &[&str] = &[
     "no_slice_index",
     "probe_dead_name",
     "probe_unregistered_name",
+    "relaxed_atomic_ordering",
+    "shared_mut_in_worker",
+    "lane_tier_purity",
 ];
 
 /// One reported violation.
@@ -166,8 +169,14 @@ fn next_code_line(tokens: &[Token], line: u32) -> u32 {
 }
 
 /// Reports `finding` unless a waiver on its line absorbs it (the waiver is
-/// then marked used).
-fn emit(findings: &mut Vec<Finding>, waivers: &mut [Waiver], waived: &mut usize, finding: Finding) {
+/// then marked used). Shared with the workspace-level passes in
+/// `wsrules`, which emit through the same waiver machinery.
+pub(crate) fn emit_waivable(
+    findings: &mut Vec<Finding>,
+    waivers: &mut [Waiver],
+    waived: &mut usize,
+    finding: Finding,
+) {
     for w in waivers.iter_mut() {
         if w.target == finding.line && w.rules.contains(&finding.rule) {
             w.used = true;
@@ -307,7 +316,7 @@ pub fn run_file_rules(file: &mut SourceFile, cfg: &Config, findings: &mut Vec<Fi
         }
     }
     for f in out {
-        emit(findings, &mut file.waivers, &mut waived, f);
+        emit_waivable(findings, &mut file.waivers, &mut waived, f);
     }
     waived
 }
@@ -370,9 +379,14 @@ fn float_before_semicolon(toks: &[Token], start: usize) -> bool {
 /// array literal/type, attribute, or macro delimiter?
 fn is_index_open(toks: &[Token], i: usize) -> bool {
     let indexable = match i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.tok) {
-        // `mut`/`dyn` before `[` is a type position (`&mut [T]`), not an
-        // expression — neither keyword can name an indexable value.
-        Some(Tok::Ident(s)) => s != "mut" && s != "dyn",
+        // `mut`/`dyn` before `[` is a type position (`&mut [T]`) and
+        // `in`/`return`/`break`/`else` before `[` start an array literal
+        // (`for x in [..]`) — none of these keywords can name an
+        // indexable value.
+        Some(Tok::Ident(s)) => !matches!(
+            s.as_str(),
+            "mut" | "dyn" | "in" | "return" | "break" | "else"
+        ),
         Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
         _ => false,
     };
@@ -539,7 +553,7 @@ pub fn run_probe_rules(
                 ),
             };
             match site_files.iter_mut().find(|f| f.rel_path == site.file) {
-                Some(f) => emit(findings, &mut f.waivers, &mut waived, finding),
+                Some(f) => emit_waivable(findings, &mut f.waivers, &mut waived, finding),
                 None => findings.push(finding),
             }
         }
@@ -562,7 +576,7 @@ pub fn run_probe_rules(
                     entry.value, entry.ident
                 ),
             };
-            emit(findings, &mut registry_file.waivers, &mut waived, finding);
+            emit_waivable(findings, &mut registry_file.waivers, &mut waived, finding);
         }
     }
     waived
@@ -619,6 +633,7 @@ mod tests {
             exclude: Vec::new(),
             probe_registry: None,
             rule_crates: entries,
+            cross_crate: Default::default(),
         }
     }
 

@@ -1,0 +1,610 @@
+//! Phase 1 of the workspace analyzer: a symbol table over the lexed
+//! token streams.
+//!
+//! One walk per file extracts, with no type inference and no resolver
+//! beyond the token stream itself:
+//!
+//! * **functions** — free `fn` items and methods, with their enclosing
+//!   `impl` owner (`impl Type` / `impl Trait for Type`), whether they
+//!   take `&mut self`, and the token range of their body;
+//! * **`use` imports** — leaf name → path segments, so rule passes can
+//!   tell `std::time::Instant` from a local `Instant` enum variant;
+//! * **collection-typed fields** — `HashMap`/`HashSet` appearing outside
+//!   any function body (struct/enum declarations), attributed to the
+//!   type being declared, so a hash map smuggled in as a field is
+//!   visible to the reachability rules even though no statement names it.
+//!
+//! Everything is name-based and deliberately conservative; the
+//! [`crate::callgraph`] module documents the over/under-approximation
+//! policy the rules inherit.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, Token};
+use crate::rules::SourceFile;
+
+/// One function (or method) definition or trait-method declaration.
+#[derive(Debug)]
+pub struct FnSym {
+    /// Simple name (`drain_window`; raw identifiers keep their `r#`).
+    pub name: String,
+    /// Index of the defining file in the scanned-file slice.
+    pub file: usize,
+    /// Owning crate of that file.
+    pub crate_name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing `impl` self-type (or trait name for declarations inside
+    /// `trait … { }` blocks); `None` for free functions.
+    pub owner: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// Does the receiver allow mutation (`&mut self` / `mut self`)?
+    pub mut_self: bool,
+    /// Token-index range `[start, end]` of the body braces in the file's
+    /// token stream; `None` for body-less trait declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `use` mapping: `leaf` is the name visible in the file, `path` the
+/// segments it came from (`use std::time::Instant` → leaf `Instant`,
+/// path `["std", "time", "Instant"]`; `as` aliases map the alias).
+#[derive(Debug)]
+pub struct Import {
+    /// Name as visible in the importing file.
+    pub leaf: String,
+    /// Full path segments, including the final name.
+    pub path: Vec<String>,
+}
+
+/// A `HashMap`/`HashSet`-typed field declared outside any fn body.
+#[derive(Debug)]
+pub struct CollectionField {
+    /// File index.
+    pub file: usize,
+    /// Line of the collection ident.
+    pub line: u32,
+    /// The type being declared (`struct`/`enum` name), when known.
+    pub owner: Option<String>,
+    /// `HashMap` or `HashSet`.
+    pub collection: String,
+}
+
+/// The whole-workspace symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function, in file-then-token order (deterministic).
+    pub fns: Vec<FnSym>,
+    /// Simple name → indices into `fns`.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per-file imports, indexed like the scanned-file slice.
+    pub imports: Vec<Vec<Import>>,
+    /// Collection-typed fields outside fn bodies.
+    pub fields: Vec<CollectionField>,
+}
+
+impl SymbolTable {
+    /// Builds the table over every non-exempt file (test and fixture
+    /// code must not create reachability).
+    pub fn build(files: &[SourceFile]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (fi, file) in files.iter().enumerate() {
+            let mut imports = Vec::new();
+            if !file.exempt {
+                scan_file(fi, file, &mut table, &mut imports);
+            }
+            table.imports.push(imports);
+        }
+        for (i, f) in table.fns.iter().enumerate() {
+            table.by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        table
+    }
+
+    /// Does `file` import `leaf` from a path whose segments include
+    /// `segment` (e.g. is this file's `Instant` the `std::time` one)?
+    pub fn imports_from(&self, file: usize, leaf: &str, segment: &str) -> bool {
+        self.imports.get(file).is_some_and(|imps| {
+            imps.iter()
+                .any(|im| im.leaf == leaf && im.path.iter().any(|s| s == segment))
+        })
+    }
+}
+
+/// One enclosing-context frame while scanning a file.
+#[derive(Clone)]
+struct ImplCtx {
+    owner: Option<String>,
+    trait_name: Option<String>,
+    /// Token index of the context's closing brace.
+    end: usize,
+}
+
+fn scan_file(fi: usize, file: &SourceFile, table: &mut SymbolTable, imports: &mut Vec<Import>) {
+    let toks = &file.lexed.tokens;
+    let mut ctxs: Vec<ImplCtx> = Vec::new();
+    // Highest token index claimed by an fn body so far: collection idents
+    // below this are expression uses, not field declarations.
+    let mut body_end = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Drop impl/trait contexts we have walked past.
+        ctxs.retain(|c| c.end >= i);
+        let t = match toks.get(i) {
+            Some(t) => t,
+            None => break,
+        };
+        if t.in_test {
+            i += 1;
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(k) if k == "use" => {
+                i = scan_use(toks, i + 1, imports);
+            }
+            Tok::Ident(k) if k == "impl" => {
+                if let Some(ctx) = scan_impl_header(toks, i + 1) {
+                    ctxs.push(ctx);
+                }
+                i += 1;
+            }
+            Tok::Ident(k) if k == "struct" || k == "enum" || k == "union" => {
+                // Track the declared type so collection-typed fields can be
+                // attributed to it (tuple structs hit the `;` and push no
+                // context, which is fine — they cannot hold named fields).
+                if let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) {
+                    if let Some(open) = find_body_open(toks, i + 2) {
+                        let end = matching_brace_tokens(toks, open).unwrap_or(toks.len() - 1);
+                        ctxs.push(ImplCtx {
+                            owner: Some(name.clone()),
+                            trait_name: None,
+                            end,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(k) if k == "trait" => {
+                // `trait Name { fn decl(...); }` — declarations inside are
+                // attributed to the trait so call resolution can see them.
+                if let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) {
+                    if let Some(open) = find_body_open(toks, i + 2) {
+                        let end = matching_brace_tokens(toks, open).unwrap_or(toks.len() - 1);
+                        ctxs.push(ImplCtx {
+                            owner: Some(name.clone()),
+                            trait_name: Some(name.clone()),
+                            end,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(k) if k == "fn" => {
+                let sym = scan_fn(fi, file, toks, i, ctxs.last());
+                if let Some(sym) = sym {
+                    let next = match sym.body {
+                        // Record the symbol but keep scanning inside the
+                        // body: nested fns (and nothing else) re-enter.
+                        Some((start, _)) => start + 1,
+                        None => i + 1,
+                    };
+                    if let Some((_, end)) = sym.body {
+                        body_end = body_end.max(end);
+                    }
+                    table.fns.push(sym);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(name) if name == "HashMap" || name == "HashSet" => {
+                // Outside any fn body: a collection-typed field or alias.
+                if i > body_end {
+                    table.fields.push(CollectionField {
+                        file: fi,
+                        line: t.line,
+                        owner: ctxs.last().and_then(|c| c.owner.clone()),
+                        collection: name.clone(),
+                    });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses one `use …;` starting after the `use` keyword. Returns the
+/// index just past the terminating `;`. Handles `a::b::{c, d as e, self}`
+/// one group level deep (the workspace uses nothing deeper); unparsed
+/// shapes simply contribute no imports — a documented under-approximation.
+fn scan_use(toks: &[Token], mut i: usize, out: &mut Vec<Import>) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    loop {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(seg)) => {
+                prefix.push(seg.clone());
+                i += 1;
+            }
+            Some(Tok::Punct(':')) => i += 1,
+            Some(Tok::Punct('{')) => {
+                // Group: each comma-separated element is a leaf or a
+                // nested path relative to `prefix`.
+                i += 1;
+                let mut elem: Vec<String> = Vec::new();
+                let mut alias: Option<String> = None;
+                let mut depth = 1usize;
+                while let Some(t) = toks.get(i) {
+                    match &t.tok {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                flush_group_elem(&prefix, &mut elem, &mut alias, out);
+                                break;
+                            }
+                        }
+                        Tok::Punct(',') if depth == 1 => {
+                            flush_group_elem(&prefix, &mut elem, &mut alias, out);
+                        }
+                        Tok::Ident(s) if s == "as" => {
+                            i += 1;
+                            if let Some(Tok::Ident(a)) = toks.get(i).map(|t| &t.tok) {
+                                alias = Some(a.clone());
+                            }
+                        }
+                        Tok::Ident(s) => elem.push(s.clone()),
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                // Grouped import is complete: skip to the `;`.
+                while let Some(t) = toks.get(i) {
+                    i += 1;
+                    if matches!(t.tok, Tok::Punct(';')) {
+                        break;
+                    }
+                }
+                return i;
+            }
+            Some(Tok::Punct(';')) | None => return i + 1,
+            Some(_) => i += 1,
+        }
+        if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(';')) | None) {
+            // Plain `use a::b::Leaf;` or `use a::b::Leaf as Alias;`.
+            if let Some(pos) = prefix.iter().position(|s| s == "as") {
+                let alias = prefix.get(pos + 1).cloned();
+                let mut path = prefix.clone();
+                path.truncate(pos);
+                if let (Some(alias), false) = (alias, path.is_empty()) {
+                    out.push(Import { leaf: alias, path });
+                }
+            } else if let Some(leaf) = prefix.last() {
+                out.push(Import {
+                    leaf: leaf.clone(),
+                    path: prefix.clone(),
+                });
+            }
+            return i + 1;
+        }
+    }
+}
+
+fn flush_group_elem(
+    prefix: &[String],
+    elem: &mut Vec<String>,
+    alias: &mut Option<String>,
+    out: &mut Vec<Import>,
+) {
+    let taken: Vec<String> = std::mem::take(elem);
+    let alias = alias.take();
+    let leaf = match (&alias, taken.last()) {
+        (Some(a), _) => a.clone(),
+        (None, Some(last)) if last == "self" => match prefix.last() {
+            Some(p) => p.clone(),
+            None => return,
+        },
+        (None, Some(last)) => last.clone(),
+        (None, None) => return,
+    };
+    let mut path = prefix.to_vec();
+    path.extend(taken.iter().filter(|s| *s != "self").cloned());
+    out.push(Import { leaf, path });
+}
+
+/// Parses an `impl` header starting just past the `impl` keyword; returns
+/// the context covering the impl body.
+fn scan_impl_header(toks: &[Token], mut i: usize) -> Option<ImplCtx> {
+    // Skip `<generics>`.
+    if punct(toks, i) == Some('<') {
+        i = skip_angle(toks, i)?;
+    }
+    let (first, j) = scan_type_path(toks, i)?;
+    i = j;
+    let (owner, trait_name) = if ident(toks, i) == Some("for") {
+        let (owner, j) = scan_type_path(toks, i + 1)?;
+        i = j;
+        (owner, Some(first))
+    } else {
+        (first, None)
+    };
+    let open = find_body_open(toks, i)?;
+    let end = matching_brace_tokens(toks, open)?;
+    Some(ImplCtx {
+        owner: Some(owner),
+        trait_name,
+        end,
+    })
+}
+
+/// Reads one type path (`&'a mut gps_sim::Lane<'w>`) and returns its last
+/// plain segment plus the index just past it (generics skipped).
+fn scan_type_path(toks: &[Token], mut i: usize) -> Option<(String, usize)> {
+    let mut last: Option<String> = None;
+    loop {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct('&')) | Some(Tok::Punct('*')) => i += 1,
+            Some(Tok::Ident(k)) if k == "mut" || k == "dyn" => i += 1,
+            Some(Tok::Ident(seg)) => {
+                last = Some(seg.clone());
+                i += 1;
+                if punct(toks, i) == Some('<') {
+                    i = skip_angle(toks, i)?;
+                }
+                if punct(toks, i) == Some(':') && punct(toks, i + 1) == Some(':') {
+                    i += 2;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    last.map(|l| (l, i))
+}
+
+/// Skips a balanced `<…>` starting at the `<`; `->` inside (fn-pointer
+/// bounds) does not close the angle. Returns the index past the `>`.
+fn skip_angle(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        match t.tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') if punct(toks, i.wrapping_sub(1)) == Some('-') => {}
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            // A body or statement end inside "generics" means we mis-saw
+            // a comparison; bail rather than swallow the file.
+            Tok::Punct('{') | Tok::Punct(';') => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// First `{` at or after `i`, before any top-level `;` (which would mean
+/// a body-less item).
+fn find_body_open(toks: &[Token], mut i: usize) -> Option<usize> {
+    while let Some(t) = toks.get(i) {
+        match t.tok {
+            Tok::Punct('{') => return Some(i),
+            Tok::Punct(';') => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Parses one `fn` item starting at the `fn` keyword.
+fn scan_fn(
+    fi: usize,
+    file: &SourceFile,
+    toks: &[Token],
+    at: usize,
+    ctx: Option<&ImplCtx>,
+) -> Option<FnSym> {
+    let name = match toks.get(at + 1).map(|t| &t.tok) {
+        Some(Tok::Ident(n)) => n.clone(),
+        _ => return None,
+    };
+    let mut i = at + 2;
+    if punct(toks, i) == Some('<') {
+        i = skip_angle(toks, i).unwrap_or(i + 1);
+    }
+    // Parameter list.
+    let mut mut_self = false;
+    if punct(toks, i) == Some('(') {
+        let mut depth = 0usize;
+        let params_start = i;
+        while let Some(t) = toks.get(i) {
+            match t.tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // `&mut self` / `mut self` in the first few parameter tokens
+        // (lifetimes are skipped by the lexer, so `&'a mut self` lexes
+        // the same).
+        let head: Vec<&Tok> = toks
+            .iter()
+            .skip(params_start + 1)
+            .take(3)
+            .map(|t| &t.tok)
+            .collect();
+        mut_self = matches!(
+            head.as_slice(),
+            [Tok::Punct('&'), Tok::Ident(m), Tok::Ident(s), ..]
+            | [Tok::Ident(m), Tok::Ident(s), ..]
+                if m == "mut" && s == "self"
+        );
+        i += 1;
+    }
+    let body = match find_body_open(toks, i) {
+        Some(open) => Some((open, matching_brace_tokens(toks, open)?)),
+        None => None,
+    };
+    Some(FnSym {
+        name,
+        file: fi,
+        crate_name: file.crate_name.clone(),
+        line: toks.get(at)?.line,
+        owner: ctx.and_then(|c| c.owner.clone()),
+        trait_name: ctx.and_then(|c| c.trait_name.clone()),
+        mut_self,
+        body,
+    })
+}
+
+fn ident(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Given `open` at a `{`, the index of its matching `}`.
+fn matching_brace_tokens(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (idx, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::rules::SourceFile;
+
+    fn table_for(src: &str) -> SymbolTable {
+        let mut lexed = lexer::lex(src);
+        lexer::mark_test_regions(&mut lexed.tokens);
+        let file = SourceFile {
+            rel_path: "crates/sim/src/x.rs".to_owned(),
+            crate_name: "sim".to_owned(),
+            exempt: false,
+            lexed,
+            waivers: Vec::new(),
+        };
+        SymbolTable::build(std::slice::from_ref(&file))
+    }
+
+    #[test]
+    fn free_fns_methods_and_trait_impls() {
+        let t = table_for(
+            "fn free(a: u32) {}\n\
+             struct S;\n\
+             impl S { fn method(&self) {} fn mutator(&mut self, x: u8) {} }\n\
+             impl Send2 for S { fn send(&mut self) {} }\n\
+             trait Tr { fn decl(&self); fn with_default(&self) {} }\n",
+        );
+        let names: Vec<(&str, Option<&str>, Option<&str>, bool)> = t
+            .fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.owner.as_deref(),
+                    f.trait_name.as_deref(),
+                    f.mut_self,
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, None, false),
+                ("method", Some("S"), None, false),
+                ("mutator", Some("S"), None, true),
+                ("send", Some("S"), Some("Send2"), true),
+                ("decl", Some("Tr"), Some("Tr"), false),
+                ("with_default", Some("Tr"), Some("Tr"), false),
+            ]
+        );
+        assert!(t.fns[0].body.is_some());
+        assert!(t.fns[4].body.is_none(), "declaration has no body");
+    }
+
+    #[test]
+    fn generic_impls_and_lifetimes_resolve_owner() {
+        let t = table_for(
+            "impl<'w> Pool<'w> { fn claim(&mut self) {} }\n\
+             impl LaneExec for PoolExec<'_, '_> { fn drain(&mut self) {} }\n",
+        );
+        assert_eq!(t.fns[0].owner.as_deref(), Some("Pool"));
+        assert_eq!(t.fns[1].owner.as_deref(), Some("PoolExec"));
+        assert_eq!(t.fns[1].trait_name.as_deref(), Some("LaneExec"));
+    }
+
+    #[test]
+    fn use_resolution_plain_grouped_and_aliased() {
+        let t = table_for(
+            "use std::time::Instant;\n\
+             use std::sync::atomic::{AtomicUsize, Ordering as AtomOrd};\n\
+             use std::collections::BTreeMap;\n\
+             fn f() {}\n",
+        );
+        assert!(t.imports_from(0, "Instant", "time"));
+        assert!(t.imports_from(0, "AtomicUsize", "atomic"));
+        assert!(t.imports_from(0, "AtomOrd", "atomic"));
+        assert!(!t.imports_from(0, "Ordering", "atomic"), "alias renames");
+        assert!(t.imports_from(0, "BTreeMap", "collections"));
+        assert!(!t.imports_from(0, "Instant", "collections"));
+    }
+
+    #[test]
+    fn collection_fields_outside_bodies_are_recorded() {
+        let t = table_for(
+            "struct Holder { map: HashMap<u32, u32> }\n\
+             fn uses() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        // Only the field, not the two in-body mentions.
+        assert_eq!(t.fields.len(), 1);
+        assert_eq!(t.fields[0].line, 1);
+        assert_eq!(t.fields[0].collection, "HashMap");
+        assert_eq!(t.fields[0].owner.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn test_code_contributes_no_symbols() {
+        let t = table_for("#[cfg(test)]\nmod tests { fn helper() {} }\nfn real() {}\n");
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn raw_identifier_fns_keep_their_prefix() {
+        let t = table_for("fn r#match(x: u8) {}\n");
+        assert_eq!(t.fns[0].name, "r#match");
+    }
+}

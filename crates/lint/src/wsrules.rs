@@ -1,0 +1,415 @@
+//! Workspace-level rule passes: the reachability rules that need the
+//! symbol table and call graph, plus `relaxed_atomic_ordering` (token
+//! shaped, but introduced alongside them and reported through the same
+//! stats machinery).
+//!
+//! All findings emitted here are waivable exactly like the per-file
+//! rules: an inline `// gps-lint: allow(<rule>) -- <reason>` on the
+//! hazard line absorbs them, and unused waivers still error.
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::rules::{emit_waivable, Finding, SourceFile};
+use crate::symbols::SymbolTable;
+
+/// Interior-mutability idents that defeat worker-count invariance when
+/// shared across lane workers.
+const SHARED_MUT_IDENTS: &[&str] = &["Cell", "RefCell", "UnsafeCell"];
+
+/// Types whose `&mut self` methods count as direct cross-lane policy
+/// mutation for `lane_tier_purity`.
+const TIER_MUTATION_SINKS: &[&str] = &["Fabric", "GpsSystem", "GpsRuntime"];
+
+/// The sanctioned cross-lane effect channel: methods owned by this type
+/// are the boundary `lane_tier_purity` protects, so their own calls into
+/// the sinks are exempt.
+const TIER_CHANNEL_OWNER: &str = "GpsLaneRouter";
+
+/// Flags `Ordering::Relaxed` in report-affecting crates: relaxed atomics
+/// allow cross-thread reorderings that can leak into aggregation order.
+/// Pure work-claim counters (fetch_add where only uniqueness matters) get
+/// reasoned waivers.
+pub fn run_relaxed_atomic(
+    files: &mut [SourceFile],
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let mut waived = 0usize;
+    for file in files.iter_mut() {
+        if file.exempt || !cfg.applies("relaxed_atomic_ordering", &file.crate_name) {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            // `Ordering :: Relaxed` (the lexer splits `::` into two `:`).
+            let is_relaxed = matches!(&t.tok, Tok::Ident(s) if s == "Relaxed")
+                && punct(toks, i.wrapping_sub(1)) == Some(':')
+                && punct(toks, i.wrapping_sub(2)) == Some(':')
+                && ident(toks, i.wrapping_sub(3)).is_some_and(|s| s.ends_with("Ordering"));
+            if is_relaxed {
+                out.push(Finding {
+                    rule: "relaxed_atomic_ordering".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: "Ordering::Relaxed permits cross-thread reordering; use \
+                              Acquire/Release (or waive with why the value never feeds a report)"
+                        .to_owned(),
+                });
+            }
+        }
+        for f in out {
+            emit_waivable(findings, &mut file.waivers, &mut waived, f);
+        }
+    }
+    waived
+}
+
+/// Flags interior mutability (`Cell`/`RefCell`/`UnsafeCell`, `static
+/// mut`, `unsafe`) in functions reachable from a `std::thread::scope`
+/// call in a crate the rule is scoped to: anything a lane worker can
+/// touch must be behind the per-lane router or a proper atomic, or
+/// worker-count invariance is a fiction.
+pub fn run_shared_mut_in_worker(
+    files: &mut [SourceFile],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let roots: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            cfg.applies("shared_mut_in_worker", &f.crate_name) && body_spawns_scope(files, table, f)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return 0;
+    }
+    let from = graph.reach(&roots);
+    let mut out: Vec<(usize, Finding)> = Vec::new();
+    for (gi, g) in table.fns.iter().enumerate() {
+        if from.get(gi).copied().flatten().is_none() {
+            continue;
+        }
+        let Some((start, end)) = g.body else { continue };
+        let Some(file) = files.get(g.file) else {
+            continue;
+        };
+        let toks = &file.lexed.tokens;
+        for i in (start + 1)..end {
+            let Some(hazard) = shared_mut_hazard(toks, i) else {
+                continue;
+            };
+            let Some(t) = toks.get(i) else { break };
+            out.push((
+                g.file,
+                Finding {
+                    rule: "shared_mut_in_worker".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{hazard} is reachable from a lane-worker scope \
+                         (via {}); shared state in workers must be a per-lane router \
+                         field or a proper atomic",
+                        CallGraph::chain(table, &from, gi)
+                    ),
+                },
+            ));
+        }
+    }
+    emit_all(files, findings, out)
+}
+
+/// Does `f`'s body contain `thread :: scope (`?
+fn body_spawns_scope(
+    files: &[SourceFile],
+    _table: &SymbolTable,
+    f: &crate::symbols::FnSym,
+) -> bool {
+    let Some((start, end)) = f.body else {
+        return false;
+    };
+    let Some(file) = files.get(f.file) else {
+        return false;
+    };
+    let toks = &file.lexed.tokens;
+    ((start + 1)..end).any(|i| {
+        ident(toks, i) == Some("thread")
+            && punct(toks, i + 1) == Some(':')
+            && punct(toks, i + 2) == Some(':')
+            && ident(toks, i + 3) == Some("scope")
+            && punct(toks, i + 4) == Some('(')
+    })
+}
+
+/// An interior-mutability hazard at token `i`, if any.
+fn shared_mut_hazard(toks: &[crate::lexer::Token], i: usize) -> Option<&'static str> {
+    let name = ident(toks, i)?;
+    if let Some(&h) = SHARED_MUT_IDENTS.iter().find(|&&h| h == name) {
+        return Some(h);
+    }
+    if name == "static" && ident(toks, i + 1) == Some("mut") {
+        return Some("static mut");
+    }
+    if name == "unsafe" {
+        return Some("unsafe");
+    }
+    None
+}
+
+/// Flags direct calls to `&mut self` methods of the shared-system types
+/// (`Fabric`/`GpsSystem`/`GpsRuntime`) from functions reachable out of
+/// lane-tier code (`LaneRouter` impl methods and `drain_window`), unless
+/// the caller is itself a `GpsLaneRouter` method — that type *is* the
+/// sanctioned cross-lane channel — or a method of one of the sink types:
+/// the rule guards the boundary *crossing* from lane tier into the
+/// shared system, and once inside, the system mutating its own state is
+/// its implementation, not a cross-lane effect.
+pub fn run_lane_tier_purity(
+    files: &mut [SourceFile],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let roots: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            cfg.applies("lane_tier_purity", &f.crate_name)
+                && (f.trait_name.as_deref() == Some("LaneRouter") || f.name == "drain_window")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return 0;
+    }
+    let sinks: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.mut_self
+                && f.owner
+                    .as_deref()
+                    .is_some_and(|o| TIER_MUTATION_SINKS.contains(&o))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if sinks.is_empty() {
+        return 0;
+    }
+    let from = graph.reach(&roots);
+    let mut out: Vec<(usize, Finding)> = Vec::new();
+    for (gi, g) in table.fns.iter().enumerate() {
+        if from.get(gi).copied().flatten().is_none() {
+            continue;
+        }
+        if g.owner
+            .as_deref()
+            .is_some_and(|o| o == TIER_CHANNEL_OWNER || TIER_MUTATION_SINKS.contains(&o))
+        {
+            continue;
+        }
+        let Some(file) = files.get(g.file) else {
+            continue;
+        };
+        for site in graph.calls.get(gi).map(Vec::as_slice).unwrap_or(&[]) {
+            let Some(&sink) = site.callees.iter().find(|c| sinks.contains(c)) else {
+                continue;
+            };
+            let sink_fn = match table.fns.get(sink) {
+                Some(s) => s,
+                None => continue,
+            };
+            out.push((
+                g.file,
+                Finding {
+                    rule: "lane_tier_purity".to_owned(),
+                    file: file.rel_path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "lane-tier code (via {}) calls {}::{} which takes &mut self; \
+                         cross-lane effects must route through GpsLaneRouter",
+                        CallGraph::chain(table, &from, gi),
+                        sink_fn.owner.as_deref().unwrap_or("?"),
+                        sink_fn.name
+                    ),
+                },
+            ));
+        }
+    }
+    emit_all(files, findings, out)
+}
+
+/// Cross-crate reachability upgrade for `no_hash_collections` and
+/// `no_wall_clock`: hazards in crates *outside* a rule's scope are still
+/// flagged when the containing function is reachable from a scoped crate
+/// (the per-file pass already covers scoped crates themselves).
+pub fn run_cross_crate(
+    files: &mut [SourceFile],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let mut waived = 0usize;
+    for rule in ["no_hash_collections", "no_wall_clock"] {
+        if !cfg.cross_crate.contains(rule) {
+            continue;
+        }
+        let roots: Vec<usize> = table
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| cfg.applies(rule, &f.crate_name))
+            .map(|(i, _)| i)
+            .collect();
+        if roots.is_empty() {
+            continue;
+        }
+        let from = graph.reach(&roots);
+        let mut out: Vec<(usize, Finding)> = Vec::new();
+        for (gi, g) in table.fns.iter().enumerate() {
+            if from.get(gi).copied().flatten().is_none() {
+                continue;
+            }
+            // Scoped crates are the per-file pass's job; this pass exists
+            // for the helpers they lean on.
+            if cfg.applies(rule, &g.crate_name) {
+                continue;
+            }
+            let Some((start, end)) = g.body else { continue };
+            let Some(file) = files.get(g.file) else {
+                continue;
+            };
+            let toks = &file.lexed.tokens;
+            for i in (start + 1)..end {
+                let Some(name) = ident(toks, i) else { continue };
+                let hazard = match rule {
+                    "no_hash_collections" => name == "HashMap" || name == "HashSet",
+                    _ => {
+                        (name == "Instant" || name == "SystemTime")
+                            && wall_clock_evidence(table, toks, g.file, i, name)
+                    }
+                };
+                if !hazard {
+                    continue;
+                }
+                let Some(t) = toks.get(i) else { break };
+                out.push((
+                    g.file,
+                    Finding {
+                        rule: rule.to_owned(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "{name} in crate `{}` is outside the {rule} scope but reachable \
+                             from report-affecting code (via {})",
+                            g.crate_name,
+                            CallGraph::chain(table, &from, gi)
+                        ),
+                    },
+                ));
+            }
+        }
+        // Collection-typed fields: a HashMap smuggled in as struct state
+        // counts when any method of the owning type is reachable.
+        if rule == "no_hash_collections" {
+            for field in &table.fields {
+                let Some(file) = files.get(field.file) else {
+                    continue;
+                };
+                if cfg.applies(rule, &file.crate_name) {
+                    continue;
+                }
+                let reached = table.fns.iter().enumerate().any(|(i, f)| {
+                    from.get(i).copied().flatten().is_some()
+                        && match &field.owner {
+                            Some(owner) => f.owner.as_deref() == Some(owner),
+                            None => f.file == field.file,
+                        }
+                });
+                if !reached {
+                    continue;
+                }
+                out.push((
+                    field.file,
+                    Finding {
+                        rule: rule.to_owned(),
+                        file: file.rel_path.clone(),
+                        line: field.line,
+                        message: format!(
+                            "{} field on `{}` in crate `{}` is outside the {rule} scope but \
+                             its methods are reachable from report-affecting code",
+                            field.collection,
+                            field.owner.as_deref().unwrap_or("<free>"),
+                            file.crate_name
+                        ),
+                    },
+                ));
+            }
+        }
+        waived += emit_all(files, findings, out);
+    }
+    waived
+}
+
+/// Is the `Instant`/`SystemTime` ident at `i` actually the std wall
+/// clock? Requires either a `std::time` import of that name in the file
+/// or an inline `time :: Name` qualification — so an `Emission::Instant`
+/// enum variant never fires.
+fn wall_clock_evidence(
+    table: &SymbolTable,
+    toks: &[crate::lexer::Token],
+    file: usize,
+    i: usize,
+    name: &str,
+) -> bool {
+    if table.imports_from(file, name, "time") {
+        return true;
+    }
+    punct(toks, i.wrapping_sub(1)) == Some(':')
+        && punct(toks, i.wrapping_sub(2)) == Some(':')
+        && ident(toks, i.wrapping_sub(3)) == Some("time")
+}
+
+/// Emits findings collected as `(file index, finding)` through each
+/// file's waivers; returns how many were waived.
+fn emit_all(
+    files: &mut [SourceFile],
+    findings: &mut Vec<Finding>,
+    out: Vec<(usize, Finding)>,
+) -> usize {
+    let mut waived = 0usize;
+    for (fi, finding) in out {
+        match files.get_mut(fi) {
+            Some(file) => emit_waivable(findings, &mut file.waivers, &mut waived, finding),
+            None => findings.push(finding),
+        }
+    }
+    waived
+}
+
+fn ident(toks: &[crate::lexer::Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct(toks: &[crate::lexer::Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}

@@ -16,8 +16,13 @@ use gps_lint::{lint_workspace, Config};
 const LAYOUT: &[(&str, &str)] = &[
     ("determinism.rs", "crates/sim/src/determinism.rs"),
     ("sites.rs", "crates/sim/src/sites.rs"),
+    ("concurrency.rs", "crates/sim/src/concurrency.rs"),
+    ("tier.rs", "crates/sim/src/tier.rs"),
+    ("bridge.rs", "crates/sim/src/bridge.rs"),
     ("hygiene.rs", "crates/harness/src/hygiene.rs"),
     ("waivers.rs", "crates/harness/src/waivers.rs"),
+    ("crosshelp.rs", "crates/harness/src/crosshelp.rs"),
+    ("emission.rs", "crates/harness/src/emission.rs"),
     ("names.rs", "crates/obs/src/names.rs"),
 ];
 
@@ -27,8 +32,10 @@ probe_registry = "crates/obs/src/names.rs"
 
 [rule.no_hash_collections]
 crates = ["sim"]
+cross_crate = true
 [rule.no_wall_clock]
 crates = ["sim"]
+cross_crate = true
 [rule.float_cycle_arith]
 crates = ["sim"]
 [rule.float_eq]
@@ -43,11 +50,20 @@ crates = ["harness"]
 crates = ["obs"]
 [rule.probe_unregistered_name]
 crates = ["*"]
+[rule.relaxed_atomic_ordering]
+crates = ["sim"]
+[rule.shared_mut_in_worker]
+crates = ["sim"]
+[rule.lane_tier_purity]
+crates = ["sim"]
 "#;
 
 /// Every finding the corpus must produce, in the analyzer's reporting
 /// order: sorted by (file, line, rule).
 const EXPECTED: &[(&str, u32, &str)] = &[
+    ("crates/harness/src/crosshelp.rs", 5, "no_hash_collections"),
+    ("crates/harness/src/crosshelp.rs", 15, "no_hash_collections"),
+    ("crates/harness/src/crosshelp.rs", 21, "no_wall_clock"),
     ("crates/harness/src/hygiene.rs", 2, "no_unwrap"),
     ("crates/harness/src/hygiene.rs", 3, "no_expect"),
     ("crates/harness/src/hygiene.rs", 4, "no_slice_index"),
@@ -55,6 +71,12 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/harness/src/waivers.rs", 6, "bad_waiver"),
     ("crates/harness/src/waivers.rs", 7, "bad_waiver"),
     ("crates/obs/src/names.rs", 2, "probe_dead_name"),
+    (
+        "crates/sim/src/concurrency.rs",
+        6,
+        "relaxed_atomic_ordering",
+    ),
+    ("crates/sim/src/concurrency.rs", 16, "shared_mut_in_worker"),
     ("crates/sim/src/determinism.rs", 1, "no_hash_collections"),
     ("crates/sim/src/determinism.rs", 2, "no_hash_collections"),
     ("crates/sim/src/determinism.rs", 3, "no_wall_clock"),
@@ -68,6 +90,7 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/sim/src/determinism.rs", 21, "float_eq"),
     ("crates/sim/src/sites.rs", 3, "probe_unregistered_name"),
     ("crates/sim/src/sites.rs", 5, "probe_unregistered_name"),
+    ("crates/sim/src/tier.rs", 30, "lane_tier_purity"),
 ];
 
 struct FakeWorkspace {
@@ -116,11 +139,13 @@ fn corpus_findings_are_exact() {
         "fixture corpus drifted from the analyzer's behaviour"
     );
     assert_eq!(report.files_scanned, LAYOUT.len());
-    // hygiene.rs carries one honoured standalone waiver and one honoured
-    // trailing waiver; determinism.rs one honoured float_eq waiver.
+    // Honoured waivers: hygiene.rs standalone no_unwrap + trailing
+    // no_slice_index, determinism.rs float_eq, concurrency.rs trailing
+    // relaxed_atomic_ordering + standalone shared_mut_in_worker, tier.rs
+    // lane_tier_purity, crosshelp.rs cross-crate no_wall_clock.
     assert_eq!(
-        report.waived, 3,
-        "expected exactly the three honoured waivers"
+        report.waived, 7,
+        "expected exactly the seven honoured waivers"
     );
 }
 

@@ -1,0 +1,7 @@
+pub fn publish_metrics(table: &SideTable) -> usize {
+    let hits = cache_lookup(7);
+    let _epoch = stamp_epoch();
+    let _late = stamped_waived();
+    let _kind = classify_emission();
+    hits + table.side_probe()
+}

@@ -1,0 +1,30 @@
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+pub fn run_lane_pool(claim: &AtomicUsize) -> u32 {
+    let _ = claim.fetch_add(1, Ordering::Relaxed);
+    let _ = claim.fetch_add(1, Ordering::Relaxed); // gps-lint: allow(relaxed_atomic_ordering) -- fixture: trailing waiver honoured
+    thread::scope(|s| {
+        s.spawn(|| worker_tally());
+        s.spawn(|| worker_scratch());
+    });
+    0
+}
+
+fn worker_tally() -> u32 {
+    let tally = Cell::new(0u32);
+    tally.set(tally.get() + 1);
+    tally.get()
+}
+
+fn worker_scratch() -> u32 {
+    // gps-lint: allow(shared_mut_in_worker) -- fixture: standalone waiver on a reachable hazard
+    let scratch = RefCell::new(3u32);
+    *scratch.borrow()
+}
+
+pub fn cold_diagnostics() -> u32 {
+    let probe = Cell::new(9u32);
+    probe.get()
+}

@@ -1,0 +1,29 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct SideTable {
+    pub map: HashMap<u64, u64>,
+}
+
+impl SideTable {
+    pub fn side_probe(&self) -> usize {
+        self.map.len()
+    }
+}
+
+pub fn cache_lookup(key: u64) -> usize {
+    let mut m = HashMap::new();
+    m.insert(key, 1u64);
+    m.len()
+}
+
+pub fn stamp_epoch() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn stamped_waived() -> u64 {
+    // gps-lint: allow(no_wall_clock) -- fixture: cross-crate waiver honoured
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}

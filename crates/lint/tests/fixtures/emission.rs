@@ -1,0 +1,8 @@
+pub enum Emission {
+    Instant,
+    Deferred,
+}
+
+pub fn classify_emission() -> Emission {
+    Emission::Instant
+}

@@ -1,0 +1,7 @@
+fn r#match(r#type: u64) -> u64 { r#type }
+fn nest() -> Vec<Vec<u64>> { Vec::new() }
+fn pick(f: for<'a> fn(&'a [u64]) -> u64) -> u64 { f(&[1]) }
+probe! { counter(track, "tlb_hit", 1.5); }
+const GREETING: &str = "first\
+second";
+const AFTER: char = 'x';

@@ -1,0 +1,42 @@
+pub struct Fabric {
+    credits: u64,
+}
+
+impl Fabric {
+    pub fn transfer(&mut self, n: u64) {
+        self.credits += n;
+    }
+}
+
+pub struct GpsLaneRouter {
+    queued: u64,
+}
+
+impl GpsLaneRouter {
+    pub fn forward(&mut self, fabric: &mut Fabric, n: u64) {
+        self.queued += 1;
+        fabric.transfer(n);
+    }
+}
+
+pub trait LaneRouter {
+    fn route(&mut self, fabric: &mut Fabric);
+}
+
+pub struct EagerLane;
+
+impl LaneRouter for EagerLane {
+    fn route(&mut self, fabric: &mut Fabric) {
+        fabric.transfer(1);
+    }
+}
+
+pub fn drain_window(fabric: &mut Fabric, router: &mut GpsLaneRouter) {
+    router.forward(fabric, 2);
+    settle(fabric);
+}
+
+fn settle(fabric: &mut Fabric) {
+    // gps-lint: allow(lane_tier_purity) -- fixture: standalone waiver on a reachable helper
+    fabric.transfer(3);
+}

@@ -1,0 +1,193 @@
+//! Pins the lexer's exact token stream on the constructs that defeat
+//! naive tokenizers: raw identifiers, nested generics, higher-ranked
+//! closure lifetimes, macro bodies, and backslash-newline string
+//! continuations (which must still advance the line counter — every rule
+//! coordinate downstream depends on it).
+
+use std::path::Path;
+
+use gps_lint::lexer::{lex, Tok};
+
+/// Shorthand constructors so the expected streams below stay readable.
+fn id(s: &str) -> Tok {
+    Tok::Ident(s.to_owned())
+}
+fn p(c: char) -> Tok {
+    Tok::Punct(c)
+}
+
+fn lex_fixture() -> Vec<(u32, Tok)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lexer_edges.rs");
+    let text = std::fs::read_to_string(path).expect("read lexer_edges fixture");
+    lex(&text)
+        .tokens
+        .into_iter()
+        .map(|t| (t.line, t.tok))
+        .collect()
+}
+
+fn on_line(line: u32) -> Vec<Tok> {
+    lex_fixture()
+        .into_iter()
+        .filter(|(l, _)| *l == line)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+#[test]
+fn raw_identifiers_lex_as_single_idents() {
+    // `r#match`/`r#type` must stay one identifier each (keeping the
+    // prefix), not an `r` ident followed by stray punctuation.
+    assert_eq!(
+        on_line(1),
+        vec![
+            id("fn"),
+            id("r#match"),
+            p('('),
+            id("r#type"),
+            p(':'),
+            id("u64"),
+            p(')'),
+            p('-'),
+            p('>'),
+            id("u64"),
+            p('{'),
+            id("r#type"),
+            p('}'),
+        ]
+    );
+}
+
+#[test]
+fn nested_generics_emit_every_angle_bracket() {
+    // `Vec<Vec<u64>>` closes with two separate `>` tokens — the rule
+    // passes that balance angles depend on never seeing a fused `>>`.
+    assert_eq!(
+        on_line(2),
+        vec![
+            id("fn"),
+            id("nest"),
+            p('('),
+            p(')'),
+            p('-'),
+            p('>'),
+            id("Vec"),
+            p('<'),
+            id("Vec"),
+            p('<'),
+            id("u64"),
+            p('>'),
+            p('>'),
+            p('{'),
+            id("Vec"),
+            p(':'),
+            p(':'),
+            id("new"),
+            p('('),
+            p(')'),
+            p('}'),
+        ]
+    );
+}
+
+#[test]
+fn closure_lifetime_params_are_skipped_not_char_literals() {
+    // `for<'a> fn(&'a [u64])`: both `'a` occurrences vanish (lifetimes
+    // produce no token) instead of opening a char literal that would
+    // swallow the rest of the line.
+    assert_eq!(
+        on_line(3),
+        vec![
+            id("fn"),
+            id("pick"),
+            p('('),
+            id("f"),
+            p(':'),
+            id("for"),
+            p('<'),
+            p('>'),
+            id("fn"),
+            p('('),
+            p('&'),
+            p('['),
+            id("u64"),
+            p(']'),
+            p(')'),
+            p('-'),
+            p('>'),
+            id("u64"),
+            p(')'),
+            p('-'),
+            p('>'),
+            id("u64"),
+            p('{'),
+            id("f"),
+            p('('),
+            p('&'),
+            p('['),
+            Tok::Num { float: false },
+            p(']'),
+            p(')'),
+            p('}'),
+        ]
+    );
+}
+
+#[test]
+fn macro_bodies_lex_like_ordinary_tokens() {
+    // Rule passes look inside macro invocations, so the body must arrive
+    // as a normal stream: ident, `!`, braces, literals with exact kinds.
+    assert_eq!(
+        on_line(4),
+        vec![
+            id("probe"),
+            p('!'),
+            p('{'),
+            id("counter"),
+            p('('),
+            id("track"),
+            p(','),
+            Tok::Str("tlb_hit".to_owned()),
+            p(','),
+            Tok::Num { float: true },
+            p(')'),
+            p(';'),
+            p('}'),
+        ]
+    );
+}
+
+#[test]
+fn string_continuation_still_counts_its_line() {
+    // The `"first\` + newline + `second"` literal spans lines 5-6; the
+    // token anchors at line 5 with the escape left verbatim, and the
+    // terminating `;` must land on line 6 — a lexer that forgets to
+    // count the continuation newline shifts every later finding.
+    assert_eq!(
+        on_line(5),
+        vec![
+            id("const"),
+            id("GREETING"),
+            p(':'),
+            p('&'),
+            id("str"),
+            p('='),
+            Tok::Str("first\\\nsecond".to_owned()),
+        ]
+    );
+    assert_eq!(on_line(6), vec![p(';')]);
+    // And line 7 (after the continuation) still sees the char literal as
+    // an empty Str token at the right coordinate.
+    assert_eq!(
+        on_line(7),
+        vec![
+            id("const"),
+            id("AFTER"),
+            p(':'),
+            id("char"),
+            p('='),
+            Tok::Str(String::new()),
+            p(';'),
+        ]
+    );
+}

@@ -152,6 +152,7 @@ impl GpsPageTable {
         if entry.subscriber_count() == 1 {
             return Err(GpsError::LastSubscriber { vpn, gpu });
         }
+        // gps-lint: allow(no_expect) -- membership was checked by the subscriber guards above
         Ok(entry.remove_replica(gpu).expect("checked membership above"))
     }
 

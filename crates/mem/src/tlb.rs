@@ -139,6 +139,7 @@ impl<T> Tlb<T> {
     ///
     /// Panics if the geometry is invalid (see [`TlbConfig::validate`]).
     pub fn new(config: TlbConfig) -> Self {
+        // gps-lint: allow(no_expect) -- documented panic: the constructor's # Panics contract covers invalid geometry
         config.validate().expect("invalid TLB geometry");
         Self {
             config,
@@ -218,6 +219,7 @@ impl<T> Tlb<T> {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
+                // gps-lint: allow(no_expect) -- the eviction branch only runs when the set is full, so it is non-empty
                 .expect("set is non-empty");
             let old = set.swap_remove(lru);
             evicted = Some((old.vpn, old.payload));

@@ -301,6 +301,7 @@ fn concrete<'r>(routers: &'r mut [&mut dyn LaneRouter]) -> Vec<&'r mut GpsLaneRo
         .map(|r| {
             r.as_any_mut()
                 .downcast_mut::<GpsLaneRouter>()
+                // gps-lint: allow(no_expect) -- lane runs construct every router as GpsLaneRouter; a foreign type is an engine bug
                 .expect("foreign router in a GPS lane run")
         })
         .collect()

@@ -764,6 +764,7 @@ impl<'a> Engine<'a> {
                 None
             }
             StoreRoute::Remote { to } => {
+                // gps-lint: allow(lane_tier_purity) -- serial engine store path: lanes reach it only in single-worker tiers
                 let _ = fabric.transfer(gpu_id, to, CACHE_LINE_BYTES, t);
                 None
             }

@@ -460,6 +460,7 @@ impl Lane {
         );
         if let Some(vpn) = missed {
             if let Some(router) = self.router.as_mut() {
+                // gps-lint: allow(lane_tier_purity) -- receiver is the per-lane router, the sanctioned channel; name-based resolution cannot see receiver types
                 router.tlb_miss(vpn, t0);
             }
         }
@@ -519,8 +520,10 @@ impl Lane {
         let gpu_id = GpuId::new(self.g as u16);
         if let Some(router) = self.router.as_mut() {
             let route = if atomic {
+                // gps-lint: allow(lane_tier_purity) -- receiver is the per-lane router, the sanctioned channel; name-based resolution cannot see receiver types
                 router.atomic(line, t)
             } else {
+                // gps-lint: allow(lane_tier_purity) -- receiver is the per-lane router, the sanctioned channel; name-based resolution cannot see receiver types
                 router.store(line, scope, t)
             };
             let _ = self.gpu.l1[sm].probe(line);
@@ -869,6 +872,7 @@ fn lane_worker(pool: &Pool<'_>) {
             writers: &writers,
         };
         loop {
+            // gps-lint: allow(relaxed_atomic_ordering) -- pure work-claim counter: only claim uniqueness matters, each lane lands in its own cell
             let i = pool.queue.fetch_add(1, Ordering::Relaxed);
             if i >= pool.cells.len() {
                 break;
@@ -894,6 +898,7 @@ struct PoolExec<'p, 'w> {
 
 impl LaneExec for PoolExec<'_, '_> {
     fn drain(&mut self, ctx: &LaneCtx<'_>, window_end: u64) {
+        // gps-lint: allow(lane_tier_purity) -- receiver is the pool's AtomicUsize claim counter, not the shared system
         self.pool.queue.store(0, Ordering::SeqCst);
         {
             // gps-lint: allow(no_expect) -- the job mutex is only held across plain field reads/writes

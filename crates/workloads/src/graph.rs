@@ -91,14 +91,17 @@ impl GraphParams {
         let value_bytes = scale.bytes(self.value_bytes);
         let cur = b
             .alloc_shared(format!("{}_cur", self.name), value_bytes)
+            // gps-lint: allow(no_unwrap) -- builder invariant: generated alloc names are unique and sizes are non-zero
             .unwrap();
         let nxt = b
             .alloc_shared(format!("{}_nxt", self.name), value_bytes)
+            // gps-lint: allow(no_unwrap) -- builder invariant: generated alloc names are unique and sizes are non-zero
             .unwrap();
         let edge_bytes_per_gpu = (scale.bytes(self.edge_bytes) / gpus as u64).max(64 * 1024);
         let edges: Vec<_> = (0..gpus)
             .map(|g| {
                 b.alloc_private(format!("{}_edges{g}", self.name), edge_bytes_per_gpu)
+                    // gps-lint: allow(no_unwrap) -- builder invariant: generated alloc names are unique and sizes are clamped to 64 KiB
                     .unwrap()
             })
             .collect();
@@ -152,6 +155,7 @@ impl GraphParams {
                 b.phase(launches);
             }
         }
+        // gps-lint: allow(no_unwrap) -- the iteration loops above always push at least one phase
         b.build(2).unwrap()
     }
 

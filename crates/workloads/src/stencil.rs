@@ -129,9 +129,11 @@ impl StencilParams {
         let array_bytes = scale.bytes(self.array_bytes);
         let a = b
             .alloc_shared(format!("{}_a", self.name), array_bytes)
+            // gps-lint: allow(no_unwrap) -- builder invariant: generated alloc names are unique and sizes are non-zero
             .unwrap();
         let c = b
             .alloc_shared(format!("{}_b", self.name), array_bytes)
+            // gps-lint: allow(no_unwrap) -- builder invariant: generated alloc names are unique and sizes are non-zero
             .unwrap();
         let privs: Vec<_> = (0..gpus)
             .map(|g| {
@@ -139,6 +141,7 @@ impl StencilParams {
                     format!("{}_priv{g}", self.name),
                     (scale.bytes(self.private_bytes) / gpus as u64).max(64 * 1024),
                 )
+                // gps-lint: allow(no_unwrap) -- builder invariant: generated alloc names are unique and sizes are clamped to 64 KiB
                 .unwrap()
             })
             .collect();
@@ -201,6 +204,7 @@ impl StencilParams {
                 b.phase(launches);
             }
         }
+        // gps-lint: allow(no_unwrap) -- the iteration loops above always push at least one phase
         b.build(2).unwrap()
     }
 
